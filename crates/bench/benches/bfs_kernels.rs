@@ -1,0 +1,59 @@
+//! Host-side cost of simulating the BFS kernels (how fast the simulator
+//! replays the paper's workloads). One measurement per method family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maxwarp::{run_bfs, DeviceGraph, ExecConfig, Method, VirtualWarp, WarpCentricOpts};
+use maxwarp_graph::{Dataset, Scale};
+use maxwarp_simt::{Gpu, GpuConfig};
+
+fn bench_bfs_methods(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("bfs_simulation");
+    grp.sample_size(10);
+    let g = Dataset::Rmat.build(Scale::Tiny);
+    let src = Dataset::Rmat.source(&g);
+    let exec = ExecConfig::default();
+    let methods = [
+        Method::Baseline,
+        Method::warp(8),
+        Method::warp(32),
+        Method::WarpCentric(
+            WarpCentricOpts::plain(VirtualWarp::new(8))
+                .with_dynamic()
+                .with_defer(64),
+        ),
+    ];
+    for m in methods {
+        grp.bench_function(m.label(), |b| {
+            b.iter(|| {
+                let mut gpu = Gpu::new(GpuConfig::fermi_c2050());
+                let dg = DeviceGraph::upload(&mut gpu, &g);
+                run_bfs(&mut gpu, &dg, src, m, &exec).unwrap().run.cycles()
+            })
+        });
+    }
+    grp.finish();
+}
+
+fn bench_bfs_datasets(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("bfs_by_dataset");
+    grp.sample_size(10);
+    let exec = ExecConfig::default();
+    for d in [Dataset::Random, Dataset::WikiTalkLike, Dataset::RoadNet] {
+        let g = d.build(Scale::Tiny);
+        let src = d.source(&g);
+        grp.bench_function(d.name(), |b| {
+            b.iter(|| {
+                let mut gpu = Gpu::new(GpuConfig::fermi_c2050());
+                let dg = DeviceGraph::upload(&mut gpu, &g);
+                run_bfs(&mut gpu, &dg, src, Method::warp(8), &exec)
+                    .unwrap()
+                    .run
+                    .cycles()
+            })
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, bench_bfs_methods, bench_bfs_datasets);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Host-side performance of the graph generators and IO.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maxwarp_graph::{decode_csr, encode_csr, erdos_renyi, grid2d, rmat, small_world, RmatConfig};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generators");
+    g.sample_size(10);
+    g.bench_function("rmat_scale14_ef8", |b| {
+        b.iter(|| rmat(&RmatConfig::classic(14, 8, 7)))
+    });
+    g.bench_function("erdos_renyi_16k_128k", |b| {
+        b.iter(|| erdos_renyi(16_384, 131_072, 7))
+    });
+    g.bench_function("grid_128x128", |b| b.iter(|| grid2d(128, 128)));
+    g.bench_function("small_world_16k", |b| {
+        b.iter(|| small_world(16_384, 4, 0.05, 7))
+    });
+    g.finish();
+}
+
+fn bench_io(c: &mut Criterion) {
+    let mut g = c.benchmark_group("io");
+    g.sample_size(20);
+    let graph = erdos_renyi(16_384, 131_072, 3);
+    g.bench_function("encode_csr_128k_edges", |b| b.iter(|| encode_csr(&graph)));
+    let bytes = encode_csr(&graph);
+    g.bench_function("decode_csr_128k_edges", |b| {
+        b.iter(|| decode_csr(&bytes).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_io);
+criterion_main!(benches);

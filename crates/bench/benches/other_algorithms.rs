@@ -1,0 +1,48 @@
+//! Host-side cost of simulating SSSP, connected components, and PageRank
+//! (the F6 workloads).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maxwarp::{run_cc, run_pagerank, run_sssp, DeviceGraph, ExecConfig, Method};
+use maxwarp_graph::{random_weights, Dataset, Scale};
+use maxwarp_simt::{Gpu, GpuConfig};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("other_algorithms_simulation");
+    grp.sample_size(10);
+    let d = Dataset::Random;
+    let g = d.build(Scale::Tiny);
+    let w = random_weights(&g, 16, 1);
+    let src = d.source(&g);
+    let gs = g.symmetrize();
+    let exec = ExecConfig::default();
+    for m in [Method::Baseline, Method::warp(8)] {
+        grp.bench_function(format!("sssp_{}", m.label()), |b| {
+            b.iter(|| {
+                let mut gpu = Gpu::new(GpuConfig::fermi_c2050());
+                let dg = DeviceGraph::upload_weighted(&mut gpu, &g, &w);
+                run_sssp(&mut gpu, &dg, src, m, &exec).unwrap().run.cycles()
+            })
+        });
+        grp.bench_function(format!("cc_{}", m.label()), |b| {
+            b.iter(|| {
+                let mut gpu = Gpu::new(GpuConfig::fermi_c2050());
+                let dg = DeviceGraph::upload(&mut gpu, &gs);
+                run_cc(&mut gpu, &dg, m, &exec).unwrap().run.cycles()
+            })
+        });
+        grp.bench_function(format!("pagerank10_{}", m.label()), |b| {
+            b.iter(|| {
+                let mut gpu = Gpu::new(GpuConfig::fermi_c2050());
+                let dg = DeviceGraph::upload(&mut gpu, &g);
+                run_pagerank(&mut gpu, &dg, 10, 0.85, m, &exec)
+                    .unwrap()
+                    .run
+                    .cycles()
+            })
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates ablation `ablation6` — see DESIGN.md's experiment index.
+fn main() {
+    let scale = maxwarp_bench::util::scale_from_args();
+    maxwarp_bench::experiments::ablation6::run(scale);
+}

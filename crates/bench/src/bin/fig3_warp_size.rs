@@ -1,0 +1,5 @@
+//! Regenerates paper artifact `fig3` — see DESIGN.md's experiment index.
+fn main() {
+    let scale = maxwarp_bench::util::scale_from_args();
+    let _ = maxwarp_bench::experiments::fig3::run(scale);
+}

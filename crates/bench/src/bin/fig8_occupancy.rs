@@ -1,0 +1,5 @@
+//! Regenerates paper artifact `fig8` — see DESIGN.md's experiment index.
+fn main() {
+    let scale = maxwarp_bench::util::scale_from_args();
+    maxwarp_bench::experiments::fig8::run(scale);
+}

@@ -1,0 +1,55 @@
+//! Quick interactive probe: cycles per method per dataset at a chosen
+//! scale. Not part of the paper-figure set; useful for calibration.
+
+use maxwarp::{run_bfs, DeviceGraph, ExecConfig, Method};
+use maxwarp_graph::{Dataset, DegreeStats, Scale};
+use maxwarp_simt::{Gpu, GpuConfig};
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("small") => Scale::Small,
+        Some("medium") => Scale::Medium,
+        _ => Scale::Tiny,
+    };
+    let methods = [
+        Method::Baseline,
+        Method::warp(1),
+        Method::warp(2),
+        Method::warp(4),
+        Method::warp(8),
+        Method::warp(16),
+        Method::warp(32),
+    ];
+    println!(
+        "{:<14} {:>9} {:>9} {:>6} | {}",
+        "dataset",
+        "n",
+        "m",
+        "cv",
+        methods
+            .iter()
+            .map(|m| format!("{:>12}", m.label()))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    for d in Dataset::ALL {
+        let g = d.build(scale);
+        let src = d.source(&g);
+        let cv = DegreeStats::of(&g).cv;
+        let mut cells = Vec::new();
+        for m in methods {
+            let mut gpu = Gpu::new(GpuConfig::fermi_c2050());
+            let dg = DeviceGraph::upload(&mut gpu, &g);
+            let out = run_bfs(&mut gpu, &dg, src, m, &ExecConfig::default()).unwrap();
+            cells.push(format!("{:>12}", out.run.cycles()));
+        }
+        println!(
+            "{:<14} {:>9} {:>9} {:>6.2} | {}",
+            d.name(),
+            g.num_vertices(),
+            g.num_edges(),
+            cv,
+            cells.join(" ")
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerates every table and figure in one run. Pass `tiny`, `small`
+//! (default) or `medium` as the first argument.
+use maxwarp_bench::experiments as ex;
+
+fn main() {
+    let scale = maxwarp_bench::util::scale_from_args();
+    println!(
+        "maxwarp reproduction of Hong et al., PPoPP 2011 — all experiments (scale: {})",
+        maxwarp_bench::util::scale_name(scale)
+    );
+    ex::table1::run(scale);
+    ex::fig1::run(scale);
+    let _ = ex::fig2::run(scale);
+    let _ = ex::fig3::run(scale);
+    ex::fig4::run(scale);
+    ex::fig5::run(scale);
+    ex::fig6::run(scale);
+    let _ = ex::fig7::run(scale);
+    ex::fig8::run(scale);
+    ex::ablation1::run(scale);
+    ex::ablation2::run(scale);
+    ex::ablation3::run(scale);
+    ex::ablation4::run(scale);
+    ex::ablation5::run(scale);
+    ex::ablation6::run(scale);
+}

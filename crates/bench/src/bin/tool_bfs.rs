@@ -1,0 +1,206 @@
+//! `tool_bfs` — run BFS on your own graph under the simulator.
+//!
+//! ```text
+//! tool_bfs <graph> [--method baseline|vwK|vwK+dyn|vwK+defer] [--src N]
+//!          [--device fermi|gtx280] [--cached] [--symmetrize]
+//! ```
+//!
+//! `<graph>` is an edge-list file (`u v` per line, `#` comments), a binary
+//! `.mwcsr` file, or a built-in dataset name (`rmat`, `random`,
+//! `livejournal`, `patents`, `wikitalk`, `roadnet`, `smallworld`,
+//! `regular`, optionally suffixed `:tiny|:small|:medium`).
+
+use maxwarp::{run_bfs, DeviceGraph, ExecConfig, Method, VirtualWarp, WarpCentricOpts};
+use maxwarp_graph::{load_csr, read_edge_list, Csr, Dataset, DegreeStats, Scale};
+use maxwarp_simt::{Gpu, GpuConfig};
+use std::io::BufReader;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tool_bfs <graph> [--method baseline|vwK[+dyn][+defer]] [--src N]\n\
+         \t[--device fermi|gtx280] [--cached] [--symmetrize]\n\
+         <graph>: edge-list file, .mwcsr file, or dataset name\n\
+         \t(rmat|random|livejournal|patents|wikitalk|roadnet|smallworld|regular)[:tiny|:small|:medium]"
+    );
+    exit(2);
+}
+
+fn load_graph(spec: &str) -> Csr {
+    let (name, scale) = match spec.split_once(':') {
+        Some((n, "tiny")) => (n, Scale::Tiny),
+        Some((n, "small")) => (n, Scale::Small),
+        Some((n, "medium")) => (n, Scale::Medium),
+        Some(_) => usage(),
+        None => (spec, Scale::Small),
+    };
+    let dataset = match name.to_ascii_lowercase().as_str() {
+        "rmat" => Some(Dataset::Rmat),
+        "random" => Some(Dataset::Random),
+        "livejournal" => Some(Dataset::LiveJournalLike),
+        "patents" => Some(Dataset::PatentsLike),
+        "wikitalk" => Some(Dataset::WikiTalkLike),
+        "roadnet" => Some(Dataset::RoadNet),
+        "smallworld" => Some(Dataset::SmallWorld),
+        "regular" => Some(Dataset::Regular),
+        _ => None,
+    };
+    if let Some(d) = dataset {
+        return d.build(scale);
+    }
+    let path = std::path::Path::new(spec);
+    if !path.exists() {
+        eprintln!("error: no such file or dataset: {spec}");
+        exit(1);
+    }
+    if path.extension().is_some_and(|e| e == "mwcsr") {
+        load_csr(path).unwrap_or_else(|e| {
+            eprintln!("error reading {spec}: {e}");
+            exit(1);
+        })
+    } else {
+        let f = std::fs::File::open(path).unwrap_or_else(|e| {
+            eprintln!("error opening {spec}: {e}");
+            exit(1);
+        });
+        read_edge_list(BufReader::new(f), 0).unwrap_or_else(|e| {
+            eprintln!("error parsing {spec}: {e}");
+            exit(1);
+        })
+    }
+}
+
+fn parse_method(s: &str, mean_degree: f64) -> Method {
+    if s == "baseline" {
+        return Method::Baseline;
+    }
+    let Some(rest) = s.strip_prefix("vw") else { usage() };
+    let mut parts = rest.split('+');
+    let k: u32 = parts.next().and_then(|p| p.parse().ok()).unwrap_or_else(|| usage());
+    if !k.is_power_of_two() || k > 32 {
+        eprintln!("error: virtual warp size must be a power of two <= 32");
+        exit(2);
+    }
+    let mut opts = WarpCentricOpts::plain(VirtualWarp::new(k));
+    for p in parts {
+        match p {
+            "dyn" => opts = opts.with_dynamic(),
+            "defer" => opts = opts.with_defer(((mean_degree * 16.0) as u32).max(64)),
+            _ => usage(),
+        }
+    }
+    Method::WarpCentric(opts)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut graph_spec = None;
+    let mut method_str = "vw32".to_string();
+    let mut src: Option<u32> = None;
+    let mut device = GpuConfig::fermi_c2050();
+    let mut cached = false;
+    let mut symmetrize = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--method" => {
+                i += 1;
+                method_str = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--src" => {
+                i += 1;
+                src = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--device" => {
+                i += 1;
+                device = match args.get(i).map(String::as_str) {
+                    Some("fermi") => GpuConfig::fermi_c2050(),
+                    Some("gtx280") => GpuConfig::gtx280(),
+                    _ => usage(),
+                };
+            }
+            "--cached" => cached = true,
+            "--symmetrize" => symmetrize = true,
+            a if graph_spec.is_none() && !a.starts_with("--") => {
+                graph_spec = Some(a.to_string())
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(spec) = graph_spec else { usage() };
+
+    let mut g = load_graph(&spec);
+    if symmetrize {
+        g = g.symmetrize();
+    }
+    if g.num_vertices() == 0 {
+        eprintln!("error: empty graph");
+        exit(1);
+    }
+    let stats = DegreeStats::of(&g);
+    let method = parse_method(&method_str, stats.mean);
+    let src = src.unwrap_or_else(|| {
+        (0..g.num_vertices()).max_by_key(|&v| g.degree(v)).unwrap()
+    });
+    if src >= g.num_vertices() {
+        eprintln!("error: source {src} out of range (n={})", g.num_vertices());
+        exit(1);
+    }
+
+    println!(
+        "graph: {} vertices, {} edges | mean degree {:.2}, max {}, cv {:.2}",
+        g.num_vertices(),
+        g.num_edges(),
+        stats.mean,
+        stats.max,
+        stats.cv
+    );
+    println!("device: {} | method: {} | source: {src}", device.name, method.label());
+
+    let clock = device.clock_hz;
+    let mut gpu = Gpu::new(device);
+    let dg = DeviceGraph::upload(&mut gpu, &g);
+    let exec = ExecConfig {
+        cached_graph_loads: cached,
+        ..ExecConfig::default()
+    };
+    let out = run_bfs(&mut gpu, &dg, src, method, &exec).expect("launch failed");
+
+    let reached = out.levels.iter().filter(|&&l| l != u32::MAX).count();
+    let depth = out
+        .levels
+        .iter()
+        .filter(|&&l| l != u32::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0);
+    let s = &out.run.stats;
+    println!(
+        "result: reached {reached}/{} vertices, depth {depth}, {} levels run",
+        g.num_vertices(),
+        out.run.iterations
+    );
+    println!(
+        "cost:   {} cycles ({:.3} ms at {:.2} GHz) | {} instructions | {} DRAM transactions",
+        out.run.cycles(),
+        out.run.cycles() as f64 / clock as f64 * 1e3,
+        clock as f64 / 1e9,
+        s.instructions,
+        s.mem_transactions
+    );
+    println!(
+        "shape:  lane-util {:.1}% | {:.2} tx/mem-instr | warp imbalance (max/mean) {:.2}{}",
+        s.lane_utilization() * 100.0,
+        s.tx_per_mem_instruction(),
+        s.warp_imbalance_max_over_mean(),
+        if cached {
+            format!(" | cache hit-rate {:.1}%", s.cache_hit_rate() * 100.0)
+        } else {
+            String::new()
+        }
+    );
+}

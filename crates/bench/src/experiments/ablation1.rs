@@ -1,0 +1,58 @@
+//! A1 — vertex-ordering ablation (beyond the paper): how much of each
+//! method's performance comes from the graph's vertex labeling?
+//!
+//! Random relabeling destroys the neighbor-id locality that makes
+//! `levels[neighbor]` gathers partially coalesce; BFS-order (Cuthill–McKee
+//! flavoured) restores and improves it. The warp-centric method's
+//! adjacency-list reads stay coalesced under any ordering — one of its
+//! structural advantages.
+
+use crate::util::{banner, bfs_fresh, f};
+use maxwarp::{ExecConfig, Method};
+use maxwarp_graph::{
+    apply_permutation, bfs_permutation, random_permutation, Dataset, Scale,
+};
+
+/// Print cycles under natural / random / BFS orderings.
+pub fn run(scale: Scale) {
+    banner(
+        "A1",
+        "vertex-ordering ablation: BFS cycles under relabelings",
+        scale,
+    );
+    println!(
+        "{:<14} {:<9} {:>12} {:>12} {:>12} {:>14}",
+        "dataset", "method", "natural", "random", "bfs-order", "random/natural"
+    );
+    let exec = ExecConfig::default();
+    for d in [Dataset::Rmat, Dataset::LiveJournalLike, Dataset::RoadNet] {
+        let g = d.build(scale);
+        let src = d.source(&g);
+        let rand_perm = random_permutation(g.num_vertices(), 0xA1);
+        let g_rand = apply_permutation(&g, &rand_perm);
+        let bfs_perm = bfs_permutation(&g, src);
+        let g_bfs = apply_permutation(&g, &bfs_perm);
+        for m in [Method::Baseline, Method::warp(8)] {
+            let nat = bfs_fresh(&g, src, m, &exec).run.cycles();
+            let rnd = bfs_fresh(&g_rand, rand_perm[src as usize], m, &exec)
+                .run
+                .cycles();
+            let bfo = bfs_fresh(&g_bfs, bfs_perm[src as usize], m, &exec).run.cycles();
+            println!(
+                "{:<14} {:<9} {:>12} {:>12} {:>12} {:>13}x",
+                d.name(),
+                m.label(),
+                nat,
+                rnd,
+                bfo,
+                f(rnd as f64 / nat as f64)
+            );
+        }
+    }
+    println!(
+        "(expected shape: ordering acts through *balance* as much as locality — random \
+         relabeling spreads RMAT/LJ's id-clustered hubs across chunks and can help, while \
+         on the mesh it destroys gather locality and hurts; BFS-order on the mesh packs \
+         each frontier into one contiguous chunk, serializing it onto few warps)"
+    );
+}

@@ -1,0 +1,51 @@
+//! A2 — frontier-representation ablation (beyond the paper): the level
+//! -array scan formulation (the paper's) vs explicit frontier queues with
+//! warp-cooperative enqueue.
+//!
+//! Scan pays O(n) per level; queues pay O(frontier). On high-diameter
+//! graphs (road networks: hundreds of levels, slim frontiers) queues win
+//! by multiples; on small-diameter graphs the formulations tie.
+
+use crate::util::{banner, built_datasets, device, f};
+use maxwarp::{run_bfs, run_bfs_queue, DeviceGraph, ExecConfig, Method};
+use maxwarp_graph::Scale;
+use maxwarp_simt::Gpu;
+
+/// Print scan-vs-queue cycles per dataset and method.
+pub fn run(scale: Scale) {
+    banner(
+        "A2",
+        "frontier representation: level-array scan vs warp-cooperative queue",
+        scale,
+    );
+    println!(
+        "{:<14} {:<9} {:>12} {:>12} {:>12} {:>8}",
+        "dataset", "method", "scan-cyc", "queue-cyc", "levels", "scan/q"
+    );
+    let exec = ExecConfig::default();
+    for (d, g, src) in built_datasets(scale) {
+        for m in [Method::Baseline, Method::warp(4)] {
+            let mut gpu = Gpu::new(device());
+            let dg = DeviceGraph::upload(&mut gpu, &g);
+            let scan = run_bfs(&mut gpu, &dg, src, m, &exec).unwrap();
+            let mut gpu2 = Gpu::new(device());
+            let dg2 = DeviceGraph::upload(&mut gpu2, &g);
+            let queue = run_bfs_queue(&mut gpu2, &dg2, src, m, &exec).unwrap();
+            assert_eq!(scan.levels, queue.levels, "{} {}", d.name(), m.label());
+            println!(
+                "{:<14} {:<9} {:>12} {:>12} {:>12} {:>7}x",
+                d.name(),
+                m.label(),
+                scan.run.cycles(),
+                queue.run.cycles(),
+                scan.run.iterations,
+                f(scan.run.cycles() as f64 / queue.run.cycles() as f64)
+            );
+        }
+    }
+    println!(
+        "(expected shape: the queue wins where per-level scans dominate — RoadNet* at \
+         medium scale reaches 3.5-5.4x — and costs a few percent of enqueue overhead on \
+         short-diameter graphs or when frontiers are too thin to fill the machine)"
+    );
+}

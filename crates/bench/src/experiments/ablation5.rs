@@ -1,0 +1,94 @@
+//! A5 — beyond traversal: betweenness centrality and triangle counting
+//! under the warp-centric mapping (the workload classes the paper's
+//! authors took up in follow-on work).
+
+use crate::util::{banner, built_datasets, device, f};
+use maxwarp::{run_betweenness, run_coloring, run_triangles, DeviceGraph, ExecConfig, Method};
+use maxwarp_graph::{Dataset, Orientation, Scale};
+use maxwarp_simt::Gpu;
+
+/// Print baseline-vs-warp cycles for BC (sampled sources) and triangle
+/// counting.
+pub fn run(scale: Scale) {
+    banner(
+        "A5",
+        "betweenness centrality (4 sources), triangle counting, graph coloring",
+        scale,
+    );
+    println!(
+        "{:<14} {:<10} {:>12} {:>12} {:>7} {:>9}",
+        "dataset", "workload", "baseline-cyc", "warp-cyc", "best-K", "speedup"
+    );
+    let exec = ExecConfig::default();
+    let subset = [
+        Dataset::Rmat,
+        Dataset::LiveJournalLike,
+        Dataset::WikiTalkLike,
+        Dataset::RoadNet,
+    ];
+    for (d, g, src) in built_datasets(scale) {
+        if !subset.contains(&d) {
+            continue;
+        }
+        // --- BC on a small source sample (full BC is O(nm)). The
+        //     ~1000-level mesh at Medium scale needs thousands of
+        //     per-level launches per source — pathological for any
+        //     level-synchronous GPU Brandes — so it is skipped there. ---
+        let skip_bc = d == Dataset::RoadNet && scale == Scale::Medium;
+        let sources = [src, 1, g.num_vertices() / 2, g.num_vertices() - 1];
+        let bc_cycles = |m: Method| {
+            let mut gpu = Gpu::new(device());
+            let dg = DeviceGraph::upload(&mut gpu, &g);
+            run_betweenness(&mut gpu, &dg, &sources, m, &exec)
+                .unwrap()
+                .run
+                .cycles()
+        };
+        if !skip_bc {
+            report("bc", d.name(), bc_cycles);
+        }
+
+        // --- Triangles need symmetric input. ---
+        let gs = if g.is_symmetric() { g.clone() } else { g.symmetrize() };
+        let tri_cycles = |m: Method| {
+            let mut gpu = Gpu::new(device());
+            run_triangles(&mut gpu, &gs, m, &exec, Orientation::ByDegree)
+                .unwrap()
+                .run
+                .cycles()
+        };
+        report("triangles", d.name(), tri_cycles);
+
+        // --- Luby-round coloring (also on the symmetric view). ---
+        let col_cycles = |m: Method| {
+            let mut gpu = Gpu::new(device());
+            let dg = DeviceGraph::upload(&mut gpu, &gs);
+            run_coloring(&mut gpu, &dg, m, &exec).unwrap().run.cycles()
+        };
+        report("coloring", d.name(), col_cycles);
+    }
+    println!(
+        "(expected shape: both workloads inherit BFS's pattern — warp-centric wins on the \
+         heavy-tailed graphs, is neutral-to-negative on the mesh)"
+    );
+}
+
+fn report(workload: &str, dataset: &str, cycles: impl Fn(Method) -> u64) {
+    let base = cycles(Method::Baseline);
+    let mut best = (0u32, u64::MAX);
+    for k in [8u32, 32] {
+        let c = cycles(Method::warp(k));
+        if c < best.1 {
+            best = (k, c);
+        }
+    }
+    println!(
+        "{:<14} {:<10} {:>12} {:>12} {:>7} {:>8}x",
+        dataset,
+        workload,
+        base,
+        best.1,
+        best.0,
+        f(base as f64 / best.1 as f64)
+    );
+}

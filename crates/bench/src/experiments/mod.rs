@@ -1,0 +1,17 @@
+//! One module per paper artifact (see DESIGN.md's experiment index).
+
+pub mod ablation1;
+pub mod ablation2;
+pub mod ablation3;
+pub mod ablation4;
+pub mod ablation5;
+pub mod ablation6;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod table1;

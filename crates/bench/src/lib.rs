@@ -1,0 +1,15 @@
+//! # maxwarp-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md's experiment
+//! index), plus `repro_all`, which regenerates everything in one run:
+//!
+//! ```text
+//! cargo run --release -p maxwarp-bench --bin repro_all [tiny|small|medium]
+//! ```
+//!
+//! Criterion benches (in `benches/`) measure the *host* performance of the
+//! simulator and baselines; the figure binaries report *simulated* GPU
+//! cycles.
+
+pub mod experiments;
+pub mod util;

@@ -1,0 +1,151 @@
+//! Shared harness utilities: scale parsing, fresh-device runs, and table
+//! printing.
+
+use maxwarp::{run_bfs, BfsOutput, DeviceGraph, ExecConfig, Method};
+use maxwarp_graph::{Csr, Dataset, Scale};
+use maxwarp_simt::{Gpu, GpuConfig};
+
+/// Parse the experiment scale from argv/env. Priority: first CLI arg, then
+/// `MAXWARP_SCALE`, then the default (`Small` — figures at `Medium` match
+/// the paper's shapes best but take minutes).
+pub fn scale_from_args() -> Scale {
+    let pick = |s: &str| match s.to_ascii_lowercase().as_str() {
+        "tiny" => Some(Scale::Tiny),
+        "small" => Some(Scale::Small),
+        "medium" => Some(Scale::Medium),
+        _ => None,
+    };
+    if let Some(arg) = std::env::args().nth(1) {
+        if let Some(s) = pick(&arg) {
+            return s;
+        }
+    }
+    if let Ok(env) = std::env::var("MAXWARP_SCALE") {
+        if let Some(s) = pick(&env) {
+            return s;
+        }
+    }
+    Scale::Small
+}
+
+/// Human name of a scale.
+pub fn scale_name(s: Scale) -> &'static str {
+    match s {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Medium => "medium",
+    }
+}
+
+/// The device configuration every figure uses.
+pub fn device() -> GpuConfig {
+    GpuConfig::fermi_c2050()
+}
+
+/// Run BFS on a fresh device (so each measurement's memory layout is
+/// identical and device memory does not accumulate across runs).
+pub fn bfs_fresh(g: &Csr, src: u32, method: Method, exec: &ExecConfig) -> BfsOutput {
+    let mut gpu = Gpu::new(device());
+    let dg = DeviceGraph::upload(&mut gpu, g);
+    run_bfs(&mut gpu, &dg, src, method, exec).expect("bfs launch failed")
+}
+
+/// Default outlier-deferral threshold for a graph: well above the mean
+/// degree so only true outliers defer (the paper defers the heavy tail,
+/// not the bulk).
+pub fn defer_threshold(g: &Csr) -> u32 {
+    ((g.mean_degree() * 16.0) as u32).max(64)
+}
+
+/// Print a figure/table header.
+pub fn banner(id: &str, title: &str, scale: Scale) {
+    println!();
+    println!("== {id}: {title} [scale={}] ==", scale_name(scale));
+}
+
+/// Format a floating-point cell.
+pub fn f(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Useful-edge count for throughput numbers: edges actually traversable
+/// from the source (reached vertices' out-edges), the convention TEPS
+/// numbers use.
+pub fn reachable_edges(g: &Csr, levels: &[u32]) -> u64 {
+    (0..g.num_vertices())
+        .filter(|&v| levels[v as usize] != u32::MAX)
+        .map(|v| g.degree(v) as u64)
+        .sum()
+}
+
+/// All datasets with their built graphs and sources at a scale.
+pub fn built_datasets(scale: Scale) -> Vec<(Dataset, Csr, u32)> {
+    Dataset::ALL
+        .iter()
+        .map(|&d| {
+            let g = d.build(scale);
+            let src = d.source(&g);
+            (d, g, src)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxwarp_graph::Dataset;
+
+    #[test]
+    fn scale_names() {
+        assert_eq!(scale_name(Scale::Tiny), "tiny");
+        assert_eq!(scale_name(Scale::Small), "small");
+        assert_eq!(scale_name(Scale::Medium), "medium");
+    }
+
+    #[test]
+    fn defer_threshold_tracks_mean_degree() {
+        let sparse = maxwarp_graph::grid2d(20, 20);
+        assert_eq!(defer_threshold(&sparse), 64, "floor applies");
+        let dense = maxwarp_graph::regular_graph(256, 32, 1);
+        assert_eq!(defer_threshold(&dense), 32 * 16);
+    }
+
+    #[test]
+    fn built_datasets_covers_all() {
+        let built = built_datasets(Scale::Tiny);
+        assert_eq!(built.len(), Dataset::ALL.len());
+        for (d, g, src) in built {
+            assert!(src < g.num_vertices(), "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn float_formatting_buckets() {
+        assert_eq!(f(512.3), "512");
+        assert_eq!(f(51.23), "51.2");
+        assert_eq!(f(5.123), "5.12");
+    }
+
+    #[test]
+    fn reachable_edges_counts_only_reached() {
+        let g = maxwarp_graph::Csr::from_edges(4, &[(0, 1), (1, 2), (3, 0)]);
+        // Vertex 3 unreachable from 0.
+        let levels = vec![0, 1, 2, u32::MAX];
+        assert_eq!(reachable_edges(&g, &levels), 2);
+    }
+
+    #[test]
+    fn bfs_fresh_is_deterministic() {
+        let g = Dataset::Regular.build(Scale::Tiny);
+        let a = bfs_fresh(&g, 0, maxwarp::Method::warp(8), &maxwarp::ExecConfig::default());
+        let b = bfs_fresh(&g, 0, maxwarp::Method::warp(8), &maxwarp::ExecConfig::default());
+        assert_eq!(a.run.cycles(), b.run.cycles());
+        assert_eq!(a.levels, b.levels);
+    }
+}

@@ -1,0 +1,81 @@
+//! CSR graph resident in simulated device memory.
+
+use maxwarp_graph::Csr;
+use maxwarp_simt::{DevPtr, Gpu};
+
+/// A graph uploaded to the device: the two CSR arrays plus optional edge
+/// weights, and host-side copies of the sizes.
+#[derive(Clone, Copy, Debug)]
+pub struct DeviceGraph {
+    /// `n + 1` row offsets.
+    pub row_offsets: DevPtr<u32>,
+    /// `m` column indices.
+    pub col_indices: DevPtr<u32>,
+    /// Optional `m` edge weights (aligned with `col_indices`).
+    pub weights: Option<DevPtr<u32>>,
+    /// Vertex count.
+    pub n: u32,
+    /// Directed edge count.
+    pub m: u32,
+}
+
+impl DeviceGraph {
+    /// Upload `g` to the device.
+    pub fn upload(gpu: &mut Gpu, g: &Csr) -> DeviceGraph {
+        assert!(
+            g.num_edges() <= u32::MAX as u64,
+            "graph too large for u32 device offsets"
+        );
+        DeviceGraph {
+            row_offsets: gpu.mem.alloc_from(g.row_offsets()),
+            col_indices: gpu.mem.alloc_from(g.col_indices()),
+            weights: None,
+            n: g.num_vertices(),
+            m: g.num_edges() as u32,
+        }
+    }
+
+    /// Upload `g` along with per-edge weights.
+    pub fn upload_weighted(gpu: &mut Gpu, g: &Csr, weights: &[u32]) -> DeviceGraph {
+        assert_eq!(weights.len() as u64, g.num_edges(), "one weight per edge");
+        let mut dg = DeviceGraph::upload(gpu, g);
+        dg.weights = Some(gpu.mem.alloc_from(weights));
+        dg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxwarp_graph::erdos_renyi;
+    use maxwarp_simt::GpuConfig;
+
+    #[test]
+    fn upload_roundtrip() {
+        let g = erdos_renyi(100, 500, 1);
+        let mut gpu = Gpu::new(GpuConfig::tiny_test());
+        let dg = DeviceGraph::upload(&mut gpu, &g);
+        assert_eq!(dg.n, 100);
+        assert_eq!(dg.m, 500);
+        assert_eq!(gpu.mem.download(dg.row_offsets), g.row_offsets());
+        assert_eq!(gpu.mem.download(dg.col_indices), g.col_indices());
+        assert!(dg.weights.is_none());
+    }
+
+    #[test]
+    fn weighted_upload() {
+        let g = erdos_renyi(50, 200, 2);
+        let w: Vec<u32> = (0..200u32).map(|i| i % 7 + 1).collect();
+        let mut gpu = Gpu::new(GpuConfig::tiny_test());
+        let dg = DeviceGraph::upload_weighted(&mut gpu, &g, &w);
+        assert_eq!(gpu.mem.download(dg.weights.unwrap()), w);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per edge")]
+    fn weight_length_checked() {
+        let g = erdos_renyi(10, 20, 3);
+        let mut gpu = Gpu::new(GpuConfig::tiny_test());
+        let _ = DeviceGraph::upload_weighted(&mut gpu, &g, &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Connected components by iterative min-label propagation.
+//!
+//! Every round, each vertex pushes its current label to its neighbors with
+//! `atomicMin`; rounds repeat until a fixpoint. On a symmetric graph the
+//! labels converge to each component's minimum vertex id (the same answer
+//! as the union-find reference). Directed input is accepted but, as with
+//! any propagation-based CC, only symmetric graphs yield *connected*
+//! (rather than reachability-closed) components — the drivers in the
+//! harness symmetrize first.
+
+use crate::device_graph::DeviceGraph;
+use crate::kernels::common::{
+    defer_outliers, load_row_range, scalar_neighbor_loop, vertices_per_pass, vw_neighbor_loop,
+};
+use crate::method::{ExecConfig, Method, WarpCentricOpts};
+use crate::runner::{check_iteration_bound, AlgoRun};
+use crate::vwarp::VwLayout;
+use maxwarp_simt::{BlockCtx, DevPtr, Gpu, Lanes, LaunchError, Mask, WarpCtx, WARP_SIZE};
+
+/// Result of a connected-components run.
+#[derive(Clone, Debug)]
+pub struct CcOutput {
+    /// Per-vertex component labels (component minimum vertex id).
+    pub labels: Vec<u32>,
+    /// Execution record.
+    pub run: AlgoRun,
+}
+
+struct CcState {
+    labels: DevPtr<u32>,
+    changed: DevPtr<u32>,
+    queue: DevPtr<u32>,
+    qcount: DevPtr<u32>,
+}
+
+/// Push source labels `lu` across the edges at indices `i`.
+fn push_labels(
+    w: &mut WarpCtx<'_>,
+    g: &DeviceGraph,
+    labels: DevPtr<u32>,
+    changed: DevPtr<u32>,
+    lu: &Lanes<u32>,
+    act: Mask,
+    i: &Lanes<u32>,
+) {
+    let nbr = w.ld(act, g.col_indices, i);
+    let old = w.atomic_min(act, labels, &nbr, lu);
+    let improved = w.lt(act, lu, &old);
+    if improved.any() {
+        w.st_uniform(improved, changed, 0, 1);
+    }
+}
+
+/// Run connected components with the given method.
+pub fn run_cc(
+    gpu: &mut Gpu,
+    g: &DeviceGraph,
+    method: Method,
+    exec: &ExecConfig,
+) -> Result<CcOutput, LaunchError> {
+    let labels = gpu.mem.alloc::<u32>(g.n.max(1));
+    let init: Vec<u32> = (0..g.n).collect();
+    gpu.mem.upload(labels, &init);
+    let st = CcState {
+        labels,
+        changed: gpu.mem.alloc::<u32>(1),
+        queue: gpu.mem.alloc::<u32>(g.n.max(1)),
+        qcount: gpu.mem.alloc::<u32>(1),
+    };
+
+    let mut run = AlgoRun::default();
+    let mut round = 0u32;
+    loop {
+        run.begin_iteration();
+        gpu.mem.write(st.changed, 0, 0u32);
+        gpu.mem.write(st.qcount, 0, 0u32);
+
+        let stats = match method {
+            Method::Baseline => launch_baseline_round(gpu, g, &st, exec)?,
+            Method::WarpCentric(opts) => launch_warp_round(gpu, g, &st, opts, exec)?,
+        };
+        run.absorb(&stats);
+
+        if let Method::WarpCentric(opts) = method {
+            if opts.defer_threshold.is_some() {
+                let qc = gpu.mem.read(st.qcount, 0);
+                if qc > 0 {
+                    let s = launch_outlier_round(gpu, g, &st, qc, exec)?;
+                    run.absorb(&s);
+                }
+            }
+        }
+
+        if gpu.mem.read(st.changed, 0) == 0 {
+            break;
+        }
+        round += 1;
+        check_iteration_bound("cc", round, g.n);
+    }
+    Ok(CcOutput {
+        labels: gpu.mem.download(st.labels),
+        run,
+    })
+}
+
+fn launch_baseline_round(
+    gpu: &mut Gpu,
+    g: &DeviceGraph,
+    st: &CcState,
+    exec: &ExecConfig,
+) -> Result<maxwarp_simt::KernelStats, LaunchError> {
+    let (g, labels, changed) = (*g, st.labels, st.changed);
+    let n = g.n;
+    let kernel = move |b: &mut BlockCtx<'_>| {
+        b.phase(|w| {
+            let vid = w.global_thread_ids();
+            let m = w.lt_scalar(Mask::FULL, &vid, n);
+            if m.none() {
+                return;
+            }
+            let lu = w.ld(m, labels, &vid);
+            let (s, e) = load_row_range(w, &g, m, &vid);
+            scalar_neighbor_loop(w, m, &s, &e, |w, act, i| {
+                push_labels(w, &g, labels, changed, &lu, act, i);
+            });
+        });
+    };
+    let grid = n.div_ceil(exec.block_threads).max(1);
+    gpu.launch(grid, exec.block_threads, &kernel)
+}
+
+fn launch_warp_round(
+    gpu: &mut Gpu,
+    g: &DeviceGraph,
+    st: &CcState,
+    opts: WarpCentricOpts,
+    exec: &ExecConfig,
+) -> Result<maxwarp_simt::KernelStats, LaunchError> {
+    let (g, labels, changed, queue, qcount) = (*g, st.labels, st.changed, st.queue, st.qcount);
+    let layout = VwLayout::new(opts.vw);
+    let vpp = vertices_per_pass(&layout);
+    let n = g.n;
+    let chunk = exec.chunk_vertices.max(vpp);
+    let num_tasks = n.div_ceil(chunk);
+    let grid = exec.resident_grid(&gpu.cfg);
+
+    gpu.launch_warp_tasks(
+        grid,
+        exec.block_threads,
+        num_tasks,
+        opts.schedule(),
+        move |w, task| {
+            let chunk_base = task * chunk;
+            let chunk_end = (chunk_base + chunk).min(n);
+            let mut base = chunk_base;
+            while base < chunk_end {
+                let vids = layout.task_ids(base);
+                let m = w.lt_scalar(Mask::FULL, &vids, chunk_end);
+                if m.none() {
+                    break;
+                }
+                let lu = w.ld(m, labels, &vids);
+                let (s, e) = load_row_range(w, &g, m, &vids);
+                let mwork = match opts.defer_threshold {
+                    Some(t) => defer_outliers(w, &layout, m, &vids, &s, &e, t, queue, qcount),
+                    None => m,
+                };
+                if mwork.any() {
+                    vw_neighbor_loop(w, &layout, mwork, &s, &e, |w, act, i| {
+                        push_labels(w, &g, labels, changed, &lu, act, i);
+                    });
+                }
+                base += vpp;
+            }
+        },
+    )
+}
+
+fn launch_outlier_round(
+    gpu: &mut Gpu,
+    g: &DeviceGraph,
+    st: &CcState,
+    qc: u32,
+    exec: &ExecConfig,
+) -> Result<maxwarp_simt::KernelStats, LaunchError> {
+    let (g, labels, changed, queue) = (*g, st.labels, st.changed, st.queue);
+    let kernel = move |b: &mut BlockCtx<'_>| {
+        let bid = b.block_id();
+        let stride = b.num_blocks();
+        let bthreads = b.threads_per_block();
+        let mut qi = bid;
+        while qi < qc {
+            b.phase(|w| {
+                let v = w.ld_uniform(Mask::FULL, queue, qi);
+                let luv = w.ld_uniform(Mask::FULL, labels, v);
+                let lu = Lanes::splat(luv);
+                let s = w.ld_uniform(Mask::FULL, g.row_offsets, v);
+                let e = w.ld_uniform(Mask::FULL, g.row_offsets, v + 1);
+                let base = w.id().warp_in_block * WARP_SIZE as u32;
+                let offs = Lanes::from_fn(|l| base + l as u32);
+                let mut i = w.alu1(Mask::FULL, &offs, |o| s.wrapping_add(o));
+                let endv = Lanes::splat(e);
+                let mut act = w.lt(Mask::FULL, &i, &endv);
+                while act.any() {
+                    push_labels(w, &g, labels, changed, &lu, act, &i);
+                    i = w.add_scalar(act, &i, bthreads);
+                    act = w.lt(act, &i, &endv);
+                }
+            });
+            qi += stride;
+        }
+    };
+    let grid = qc.min(exec.resident_grid(&gpu.cfg));
+    gpu.launch(grid, exec.block_threads, &kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vwarp::VirtualWarp;
+    use maxwarp_graph::reference::{connected_components, count_distinct};
+    use maxwarp_graph::{Dataset, Scale};
+    use maxwarp_simt::{Gpu, GpuConfig};
+
+    fn methods() -> Vec<Method> {
+        vec![
+            Method::Baseline,
+            Method::warp(8),
+            Method::warp(32),
+            Method::WarpCentric(WarpCentricOpts::plain(VirtualWarp::new(8)).with_dynamic()),
+            Method::WarpCentric(WarpCentricOpts::plain(VirtualWarp::new(16)).with_defer(64)),
+        ]
+    }
+
+    fn check_symmetric(g: &maxwarp_graph::Csr, name: &str) {
+        let want = connected_components(g);
+        for method in methods() {
+            let mut gpu = Gpu::new(GpuConfig::tiny_test());
+            let dg = DeviceGraph::upload(&mut gpu, g);
+            let out = run_cc(&mut gpu, &dg, method, &ExecConfig::default()).unwrap();
+            assert_eq!(out.labels, want, "{name} / {}", method.label());
+        }
+    }
+
+    #[test]
+    fn correct_on_roadnet() {
+        let g = Dataset::RoadNet.build(Scale::Tiny);
+        check_symmetric(&g, "roadnet");
+    }
+
+    #[test]
+    fn correct_on_symmetrized_rmat() {
+        let g = Dataset::Rmat.build(Scale::Tiny).symmetrize();
+        check_symmetric(&g, "rmat-sym");
+    }
+
+    #[test]
+    fn correct_on_smallworld() {
+        let g = Dataset::SmallWorld.build(Scale::Tiny);
+        check_symmetric(&g, "smallworld");
+    }
+
+    #[test]
+    fn disconnected_components_found() {
+        // Two 3-cliques and two isolated vertices.
+        let mut edges = Vec::new();
+        for a in 0..3u32 {
+            for b in 0..3u32 {
+                if a != b {
+                    edges.push((a, b));
+                    edges.push((a + 3, b + 3));
+                }
+            }
+        }
+        let g = maxwarp_graph::Csr::from_edges(8, &edges);
+        let mut gpu = Gpu::new(GpuConfig::tiny_test());
+        let dg = DeviceGraph::upload(&mut gpu, &g);
+        let out = run_cc(&mut gpu, &dg, Method::warp(4), &ExecConfig::default()).unwrap();
+        assert_eq!(out.labels, vec![0, 0, 0, 3, 3, 3, 6, 7]);
+        assert_eq!(count_distinct(&out.labels), 4);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = maxwarp_graph::Csr::empty(16);
+        let mut gpu = Gpu::new(GpuConfig::tiny_test());
+        let dg = DeviceGraph::upload(&mut gpu, &g);
+        let out = run_cc(&mut gpu, &dg, Method::Baseline, &ExecConfig::default()).unwrap();
+        assert_eq!(out.labels, (0..16u32).collect::<Vec<_>>());
+        assert_eq!(out.run.iterations, 1);
+    }
+}

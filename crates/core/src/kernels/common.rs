@@ -1,0 +1,327 @@
+//! Building blocks shared by all graph kernels: masked adjacency-range
+//! loads, the two neighbor-iteration disciplines (per-thread scalar vs.
+//! virtual-warp strided), outlier deferral, and the block-cooperative
+//! outlier kernel skeleton.
+//!
+//! The two neighbor loops are the whole story of the paper in miniature:
+//!
+//! * [`scalar_neighbor_loop`] — each lane walks its *own* vertex's
+//!   adjacency list one edge per iteration. The warp iterates until its
+//!   slowest lane finishes (intra-warp imbalance) and each iteration's
+//!   column loads come from 32 unrelated lists (scattered transactions).
+//! * [`vw_neighbor_loop`] — the K lanes of each virtual warp stride
+//!   together over *one* list. Trip count drops to `ceil(deg/K)`;
+//!   consecutive lanes read consecutive columns (coalesced).
+
+use crate::device_graph::DeviceGraph;
+use crate::vwarp::VwLayout;
+use maxwarp_simt::{DevPtr, Lanes, Mask, WarpCtx, WARP_SIZE};
+
+/// Load `(start, end)` adjacency offsets for the active vertices.
+pub(crate) fn load_row_range(
+    w: &mut WarpCtx<'_>,
+    g: &DeviceGraph,
+    m: Mask,
+    vids: &Lanes<u32>,
+) -> (Lanes<u32>, Lanes<u32>) {
+    let start = w.ld(m, g.row_offsets, vids);
+    let vplus = w.add_scalar(m, vids, 1);
+    let end = w.ld(m, g.row_offsets, &vplus);
+    (start, end)
+}
+
+/// [`load_row_range`] with the loads optionally routed through the
+/// read-only cache (texture path).
+pub(crate) fn load_row_range_opt(
+    w: &mut WarpCtx<'_>,
+    g: &DeviceGraph,
+    m: Mask,
+    vids: &Lanes<u32>,
+    cached: bool,
+) -> (Lanes<u32>, Lanes<u32>) {
+    if !cached {
+        return load_row_range(w, g, m, vids);
+    }
+    let start = w.ld_cached(m, g.row_offsets, vids);
+    let vplus = w.add_scalar(m, vids, 1);
+    let end = w.ld_cached(m, g.row_offsets, &vplus);
+    (start, end)
+}
+
+/// Read column indices at `i`, optionally through the read-only cache.
+pub(crate) fn ld_cols_opt(
+    w: &mut WarpCtx<'_>,
+    g: &DeviceGraph,
+    act: Mask,
+    i: &Lanes<u32>,
+    cached: bool,
+) -> Lanes<u32> {
+    if cached {
+        w.ld_cached(act, g.col_indices, i)
+    } else {
+        w.ld(act, g.col_indices, i)
+    }
+}
+
+/// Per-thread neighbor iteration (the baseline discipline): every active
+/// lane advances through its own `[start, end)` range one edge at a time.
+/// `body(w, act, i)` runs once per iteration with the live mask and each
+/// lane's current edge index.
+pub(crate) fn scalar_neighbor_loop(
+    w: &mut WarpCtx<'_>,
+    m: Mask,
+    start: &Lanes<u32>,
+    end: &Lanes<u32>,
+    mut body: impl FnMut(&mut WarpCtx<'_>, Mask, &Lanes<u32>),
+) {
+    let mut i = *start;
+    let mut act = w.lt(m, &i, end);
+    while act.any() {
+        body(w, act, &i);
+        i = w.add_scalar(act, &i, 1);
+        act = w.lt(act, &i, end);
+    }
+}
+
+/// Virtual-warp-strided neighbor iteration (the paper's SIMD phase): the K
+/// lanes of each virtual warp cover `[start + lane_in_vw, end)` in steps of
+/// K.
+pub(crate) fn vw_neighbor_loop(
+    w: &mut WarpCtx<'_>,
+    layout: &VwLayout,
+    m: Mask,
+    start: &Lanes<u32>,
+    end: &Lanes<u32>,
+    mut body: impl FnMut(&mut WarpCtx<'_>, Mask, &Lanes<u32>),
+) {
+    let k = layout.vw.k();
+    let mut i = w.add(m, start, &layout.lane_in_vw);
+    let mut act = w.lt(m, &i, end);
+    while act.any() {
+        body(w, act, &i);
+        i = w.add_scalar(act, &i, k);
+        act = w.lt(act, &i, end);
+    }
+}
+
+/// Defer high-degree vertices: among the active vertices, those with
+/// `degree >= threshold` are appended (by their virtual warp's leader lane)
+/// to the global outlier queue and removed from the returned mask.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn defer_outliers(
+    w: &mut WarpCtx<'_>,
+    layout: &VwLayout,
+    m: Mask,
+    vids: &Lanes<u32>,
+    start: &Lanes<u32>,
+    end: &Lanes<u32>,
+    threshold: u32,
+    queue: DevPtr<u32>,
+    qcount: DevPtr<u32>,
+) -> Mask {
+    let deg = w.alu2(m, end, start, |e, s| e.wrapping_sub(s));
+    let mdef = w.alu_pred(m, &deg, |d| d >= threshold);
+    if mdef.any() {
+        let leaders = mdef & layout.leaders;
+        let slot = w.atomic_add(leaders, qcount, &Lanes::splat(0), &Lanes::splat(1u32));
+        w.st(leaders, queue, &slot, vids);
+    }
+    m.andnot(mdef)
+}
+
+/// Block-cooperative processing of the outlier queue: block `b` handles
+/// queue entries `b, b + grid, ...`; all `block_threads` lanes of the block
+/// stride together over the vertex's adjacency list. `body(w, act, i)` is
+/// the per-edge action.
+///
+/// Returns a kernel closure for `Gpu::launch`.
+pub(crate) fn outlier_kernel<'k>(
+    g: DeviceGraph,
+    queue: DevPtr<u32>,
+    qcount_host: u32,
+    body: impl Fn(&mut WarpCtx<'_>, Mask, &Lanes<u32>) + 'k,
+) -> impl Fn(&mut maxwarp_simt::BlockCtx<'_>) + 'k {
+    move |b: &mut maxwarp_simt::BlockCtx<'_>| {
+        let bid = b.block_id();
+        let stride = b.num_blocks();
+        let bthreads = b.threads_per_block();
+        let mut qi = bid;
+        while qi < qcount_host {
+            b.phase(|w| {
+                let v = w.ld_uniform(Mask::FULL, queue, qi);
+                let s = w.ld_uniform(Mask::FULL, g.row_offsets, v);
+                let e = w.ld_uniform(Mask::FULL, g.row_offsets, v + 1);
+                // Block-strided edge indices: warp w covers
+                // s + w*32 + lane, stepping block_threads.
+                let base = w.id().warp_in_block * WARP_SIZE as u32;
+                let offs = Lanes::from_fn(|l| base + l as u32);
+                let mut i = w.alu1(Mask::FULL, &offs, |o| s.wrapping_add(o));
+                let endv = Lanes::splat(e);
+                let mut act = w.lt(Mask::FULL, &i, &endv);
+                while act.any() {
+                    body(w, act, &i);
+                    i = w.add_scalar(act, &i, bthreads);
+                    act = w.lt(act, &i, &endv);
+                }
+            });
+            qi += stride;
+        }
+    }
+}
+
+/// Vertices-per-warp-pass for a layout (`32 / K`).
+pub(crate) fn vertices_per_pass(layout: &VwLayout) -> u32 {
+    layout.vw.per_physical()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vwarp::VirtualWarp;
+    use maxwarp_graph::Csr;
+    use maxwarp_simt::{Gpu, GpuConfig, TaskSchedule};
+
+    fn setup() -> (Gpu, DeviceGraph, Csr) {
+        // Vertex 0: degree 5; vertex 1: degree 0; vertex 2: degree 2.
+        let g = Csr::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 1), (2, 0), (2, 4)]);
+        let mut gpu = Gpu::new(GpuConfig::tiny_test());
+        let dg = DeviceGraph::upload(&mut gpu, &g);
+        (gpu, dg, g)
+    }
+
+    #[test]
+    fn row_range_loads() {
+        let (mut gpu, dg, g) = setup();
+        let out_s = gpu.mem.alloc::<u32>(8);
+        let out_e = gpu.mem.alloc::<u32>(8);
+        gpu.launch_warp_tasks(1, 32, 1, TaskSchedule::StaticBlocked, |w, _| {
+            let vids = w.lane_ids();
+            let m = w.lt_scalar(Mask::FULL, &vids, dg.n);
+            let (s, e) = load_row_range(w, &dg, m, &vids);
+            w.st(m, out_s, &vids, &s);
+            w.st(m, out_e, &vids, &e);
+        })
+        .unwrap();
+        let s = gpu.mem.download(out_s);
+        let e = gpu.mem.download(out_e);
+        for v in 0..5u32 {
+            assert_eq!(e[v as usize] - s[v as usize], g.degree(v), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn scalar_loop_visits_every_edge_once() {
+        let (mut gpu, dg, g) = setup();
+        let visits = gpu.mem.alloc::<u32>(dg.m);
+        gpu.launch_warp_tasks(1, 32, 1, TaskSchedule::StaticBlocked, |w, _| {
+            let vids = w.lane_ids();
+            let m = w.lt_scalar(Mask::FULL, &vids, dg.n);
+            let (s, e) = load_row_range(w, &dg, m, &vids);
+            scalar_neighbor_loop(w, m, &s, &e, |w, act, i| {
+                let _ = w.atomic_add(act, visits, i, &Lanes::splat(1u32));
+            });
+        })
+        .unwrap();
+        assert_eq!(gpu.mem.download(visits), vec![1u32; g.num_edges() as usize]);
+    }
+
+    #[test]
+    fn vw_loop_visits_every_edge_once() {
+        for k in [1u32, 2, 4, 8, 32] {
+            let (mut gpu, dg, g) = setup();
+            let layout = VwLayout::new(VirtualWarp::new(k));
+            let visits = gpu.mem.alloc::<u32>(dg.m);
+            let vpp = vertices_per_pass(&layout);
+            gpu.launch_warp_tasks(1, 32, 1, TaskSchedule::StaticBlocked, |w, _| {
+                let mut base = 0u32;
+                while base < dg.n {
+                    let vids = layout.task_ids(base);
+                    let m = w.lt_scalar(Mask::FULL, &vids, dg.n);
+                    let (s, e) = load_row_range(w, &dg, m, &vids);
+                    vw_neighbor_loop(w, &layout, m, &s, &e, |w, act, i| {
+                        let _ = w.atomic_add(act, visits, i, &Lanes::splat(1u32));
+                    });
+                    base += vpp;
+                }
+            })
+            .unwrap();
+            assert_eq!(
+                gpu.mem.download(visits),
+                vec![1u32; g.num_edges() as usize],
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn vw_loop_has_fewer_iterations_than_scalar_on_skew() {
+        // Vertex 0 has degree 5, others small: scalar loop runs 5
+        // iterations; vw32 runs ceil(5/32)=1 per vertex group.
+        let (mut gpu, dg, _) = setup();
+        let s_scalar = gpu
+            .launch_warp_tasks(1, 32, 1, TaskSchedule::StaticBlocked, |w, _| {
+                let vids = w.lane_ids();
+                let m = w.lt_scalar(Mask::FULL, &vids, dg.n);
+                let (s, e) = load_row_range(w, &dg, m, &vids);
+                scalar_neighbor_loop(w, m, &s, &e, |w, act, _| w.alu_nop(act));
+            })
+            .unwrap();
+        let (mut gpu2, dg2, _) = setup();
+        let layout = VwLayout::new(VirtualWarp::new(32));
+        let s_vw = gpu2
+            .launch_warp_tasks(1, 32, 1, TaskSchedule::StaticBlocked, |w, _| {
+                for base in 0..dg2.n {
+                    let vids = layout.task_ids(base);
+                    let m = w.lt_scalar(Mask::FULL, &vids, dg2.n);
+                    let (s, e) = load_row_range(w, &dg2, m, &vids);
+                    vw_neighbor_loop(w, &layout, m, &s, &e, |w, act, _| w.alu_nop(act));
+                }
+            })
+            .unwrap();
+        // Both visit all edges, but the scalar version's *loop* section has
+        // more iterations; compare the per-task instruction counts loosely.
+        assert!(s_scalar.instructions > 0 && s_vw.instructions > 0);
+        // Scalar: 5 iterations of the while loop; vw32: 5 vertex groups with
+        // <= 1 iteration each but more per-group overhead. The discriminator
+        // is lane utilization in the loop: scalar's tail iterations have 1
+        // active lane.
+        assert!(s_scalar.lane_utilization() < s_vw.lane_utilization());
+    }
+
+    #[test]
+    fn defer_outliers_splits_correctly() {
+        let (mut gpu, dg, _) = setup();
+        let queue = gpu.mem.alloc::<u32>(dg.n);
+        let qcount = gpu.mem.alloc::<u32>(1);
+        let layout = VwLayout::new(VirtualWarp::new(8));
+        let kept_out = gpu.mem.alloc::<u32>(1);
+        gpu.launch_warp_tasks(1, 32, 1, TaskSchedule::StaticBlocked, |w, _| {
+            let vids = layout.task_ids(0); // vertices 0..4 across 4 vws
+            let m = w.lt_scalar(Mask::FULL, &vids, dg.n);
+            let (s, e) = load_row_range(w, &dg, m, &vids);
+            // Threshold 3: only vertex 0 (degree 5) defers.
+            let kept = defer_outliers(w, &layout, m, &vids, &s, &e, 3, queue, qcount);
+            w.st_uniform(Mask::FULL, kept_out, 0, kept.count());
+        })
+        .unwrap();
+        assert_eq!(gpu.mem.read(qcount, 0), 1);
+        assert_eq!(gpu.mem.read(queue, 0), 0); // vertex 0 deferred
+        // 8 lanes of vw 0 removed from a 32-lane valid mask over 4 vertices.
+        assert_eq!(gpu.mem.read(kept_out, 0), 24);
+    }
+
+    #[test]
+    fn outlier_kernel_covers_all_edges_of_queued_vertices() {
+        let (mut gpu, dg, g) = setup();
+        // Queue vertices 0 and 2 manually.
+        let queue = gpu.mem.alloc_from(&[0u32, 2]);
+        let visits = gpu.mem.alloc::<u32>(dg.m);
+        let k = outlier_kernel(dg, queue, 2, move |w, act, i| {
+            let _ = w.atomic_add(act, visits, i, &Lanes::splat(1u32));
+        });
+        gpu.launch(2, 64, &k).unwrap();
+        let v = gpu.mem.download(visits);
+        // Edges of vertices 0 (rows 0..5) and 2 (rows 5..7) visited once.
+        assert_eq!(v, vec![1u32; g.num_edges() as usize]);
+    }
+}

@@ -1,0 +1,17 @@
+//! The graph-algorithm kernels, each in baseline (thread-per-vertex) and
+//! virtual warp-centric variants.
+
+pub(crate) mod common;
+
+pub mod bc;
+pub mod bfs;
+pub mod bfs_hybrid;
+pub mod bfs_queue;
+pub mod cc;
+pub mod coloring;
+pub mod kcore;
+pub mod msbfs;
+pub mod pagerank;
+pub mod spmv;
+pub mod sssp;
+pub mod triangles;

@@ -1,0 +1,295 @@
+//! PageRank (push-style, fixed iteration count).
+//!
+//! Each iteration: every vertex pushes `rank/degree` to its neighbors with
+//! `atomicAdd` (dangling vertices add their rank to a global accumulator);
+//! a second map kernel then applies damping and teleport. The neighbor
+//! push is the irregular part, and it takes the same baseline vs.
+//! virtual-warp-centric shapes as BFS.
+
+use crate::device_graph::DeviceGraph;
+use crate::kernels::common::{
+    load_row_range, scalar_neighbor_loop, vertices_per_pass, vw_neighbor_loop,
+};
+use crate::method::{ExecConfig, Method, WarpCentricOpts};
+use crate::runner::AlgoRun;
+use crate::vwarp::VwLayout;
+use maxwarp_simt::{BlockCtx, DevPtr, Gpu, Lanes, LaunchError, Mask, WarpCtx};
+
+/// Result of a PageRank run.
+#[derive(Clone, Debug)]
+pub struct PagerankOutput {
+    /// Final per-vertex ranks (sum ≈ 1).
+    pub ranks: Vec<f32>,
+    /// Execution record.
+    pub run: AlgoRun,
+}
+
+/// Push each active vertex's `share` across the edges at indices `i`.
+fn push_rank(
+    w: &mut WarpCtx<'_>,
+    g: &DeviceGraph,
+    next: DevPtr<f32>,
+    share: &Lanes<f32>,
+    act: Mask,
+    i: &Lanes<u32>,
+) {
+    let nbr = w.ld(act, g.col_indices, i);
+    let _ = w.atomic_add(act, next, &nbr, share);
+}
+
+/// Run `iters` PageRank iterations with damping `d`.
+pub fn run_pagerank(
+    gpu: &mut Gpu,
+    g: &DeviceGraph,
+    iters: u32,
+    d: f32,
+    method: Method,
+    exec: &ExecConfig,
+) -> Result<PagerankOutput, LaunchError> {
+    assert!(g.n > 0, "pagerank needs a non-empty graph");
+    assert!((0.0..=1.0).contains(&d), "damping must be in [0,1]");
+    let n = g.n;
+    let mut rank = gpu.mem.alloc::<f32>(n);
+    let mut next = gpu.mem.alloc::<f32>(n);
+    let dangling = gpu.mem.alloc::<f32>(1);
+    gpu.mem.fill(rank, 1.0f32 / n as f32);
+
+    let mut run = AlgoRun::default();
+    for _ in 0..iters {
+        run.begin_iteration();
+        gpu.mem.fill(next, 0.0f32);
+        gpu.mem.write(dangling, 0, 0.0f32);
+
+        let stats = match method {
+            Method::Baseline => launch_baseline_push(gpu, g, rank, next, dangling, exec)?,
+            Method::WarpCentric(opts) => {
+                launch_warp_push(gpu, g, rank, next, dangling, opts, exec)?
+            }
+        };
+        run.absorb(&stats);
+
+        // Apply damping + teleport + dangling redistribution (a uniform map
+        // kernel, identical for every method).
+        let dang = gpu.mem.read(dangling, 0);
+        let base = (1.0 - d) / n as f32 + d * dang / n as f32;
+        let s = launch_apply(gpu, n, next, base, d, exec)?;
+        run.absorb(&s);
+
+        std::mem::swap(&mut rank, &mut next);
+    }
+    Ok(PagerankOutput {
+        ranks: gpu.mem.download(rank),
+        run,
+    })
+}
+
+/// Compute per-lane shares and flag dangling vertices; shared by both push
+/// variants. Returns `(share, m_dangling, m_push)`.
+fn shares(
+    w: &mut WarpCtx<'_>,
+    rank: DevPtr<f32>,
+    vids: &Lanes<u32>,
+    m: Mask,
+    s: &Lanes<u32>,
+    e: &Lanes<u32>,
+) -> (Lanes<f32>, Mask, Mask) {
+    let deg = w.alu2(m, e, s, |e, s| e.wrapping_sub(s));
+    let r = w.ld(m, rank, vids);
+    let m_dangling = w.alu_pred(m, &deg, |d| d == 0);
+    let m_push = m.andnot(m_dangling);
+    let share = w.alu2(m_push, &r, &deg, |r, d| if d > 0 { r / d as f32 } else { 0.0 });
+    (share, m_dangling, m_push)
+}
+
+fn launch_baseline_push(
+    gpu: &mut Gpu,
+    g: &DeviceGraph,
+    rank: DevPtr<f32>,
+    next: DevPtr<f32>,
+    dangling: DevPtr<f32>,
+    exec: &ExecConfig,
+) -> Result<maxwarp_simt::KernelStats, LaunchError> {
+    let g = *g;
+    let n = g.n;
+    let kernel = move |b: &mut BlockCtx<'_>| {
+        b.phase(|w| {
+            let vid = w.global_thread_ids();
+            let m = w.lt_scalar(Mask::FULL, &vid, n);
+            if m.none() {
+                return;
+            }
+            let (s, e) = load_row_range(w, &g, m, &vid);
+            let (share, m_dangling, m_push) = shares(w, rank, &vid, m, &s, &e);
+            if m_dangling.any() {
+                let r = w.ld(m_dangling, rank, &vid);
+                let _ = w.atomic_add(m_dangling, dangling, &Lanes::splat(0), &r);
+            }
+            if m_push.any() {
+                scalar_neighbor_loop(w, m_push, &s, &e, |w, act, i| {
+                    push_rank(w, &g, next, &share, act, i);
+                });
+            }
+        });
+    };
+    let grid = n.div_ceil(exec.block_threads).max(1);
+    gpu.launch(grid, exec.block_threads, &kernel)
+}
+
+fn launch_warp_push(
+    gpu: &mut Gpu,
+    g: &DeviceGraph,
+    rank: DevPtr<f32>,
+    next: DevPtr<f32>,
+    dangling: DevPtr<f32>,
+    opts: WarpCentricOpts,
+    exec: &ExecConfig,
+) -> Result<maxwarp_simt::KernelStats, LaunchError> {
+    let g = *g;
+    let layout = VwLayout::new(opts.vw);
+    let vpp = vertices_per_pass(&layout);
+    let n = g.n;
+    let chunk = exec.chunk_vertices.max(vpp);
+    let num_tasks = n.div_ceil(chunk);
+    let grid = exec.resident_grid(&gpu.cfg);
+
+    gpu.launch_warp_tasks(
+        grid,
+        exec.block_threads,
+        num_tasks,
+        opts.schedule(),
+        move |w, task| {
+            let chunk_base = task * chunk;
+            let chunk_end = (chunk_base + chunk).min(n);
+            let mut base = chunk_base;
+            while base < chunk_end {
+                let vids = layout.task_ids(base);
+                let m = w.lt_scalar(Mask::FULL, &vids, chunk_end);
+                if m.none() {
+                    break;
+                }
+                let (s, e) = load_row_range(w, &g, m, &vids);
+                let (share, m_dangling, m_push) = shares(w, rank, &vids, m, &s, &e);
+                // Only virtual-warp leaders contribute the dangling rank
+                // (every lane of a vw holds the same vertex).
+                let m_dl = m_dangling & layout.leaders;
+                if m_dl.any() {
+                    let r = w.ld(m_dl, rank, &vids);
+                    let _ = w.atomic_add(m_dl, dangling, &Lanes::splat(0), &r);
+                }
+                if m_push.any() {
+                    vw_neighbor_loop(w, &layout, m_push, &s, &e, |w, act, i| {
+                        push_rank(w, &g, next, &share, act, i);
+                    });
+                }
+                base += vpp;
+            }
+        },
+    )
+}
+
+/// `next[v] = base + d * next[v]` — the uniform apply kernel.
+fn launch_apply(
+    gpu: &mut Gpu,
+    n: u32,
+    next: DevPtr<f32>,
+    base: f32,
+    d: f32,
+    exec: &ExecConfig,
+) -> Result<maxwarp_simt::KernelStats, LaunchError> {
+    let kernel = move |b: &mut BlockCtx<'_>| {
+        b.phase(|w| {
+            let vid = w.global_thread_ids();
+            let m = w.lt_scalar(Mask::FULL, &vid, n);
+            if m.none() {
+                return;
+            }
+            let v = w.ld(m, next, &vid);
+            let r = w.alu1(m, &v, |x| base + d * x);
+            w.st(m, next, &vid, &r);
+        });
+    };
+    let grid = n.div_ceil(exec.block_threads).max(1);
+    gpu.launch(grid, exec.block_threads, &kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vwarp::VirtualWarp;
+    use maxwarp_cpu::pagerank::{pagerank_push, rank_linf};
+    use maxwarp_graph::{Dataset, Scale};
+    use maxwarp_simt::{Gpu, GpuConfig};
+
+    fn methods() -> Vec<Method> {
+        vec![
+            Method::Baseline,
+            Method::warp(4),
+            Method::warp(32),
+            Method::WarpCentric(WarpCentricOpts::plain(VirtualWarp::new(8)).with_dynamic()),
+        ]
+    }
+
+    fn check_dataset(d: Dataset, tol: f32) {
+        let g = d.build(Scale::Tiny);
+        let want = pagerank_push(&g, 10, 0.85);
+        for method in methods() {
+            let mut gpu = Gpu::new(GpuConfig::tiny_test());
+            let dg = DeviceGraph::upload(&mut gpu, &g);
+            let out =
+                run_pagerank(&mut gpu, &dg, 10, 0.85, method, &ExecConfig::default()).unwrap();
+            let err = rank_linf(&out.ranks, &want);
+            assert!(err < tol, "{} / {}: linf={err}", d.name(), method.label());
+            assert_eq!(out.run.iterations, 10);
+        }
+    }
+
+    #[test]
+    fn matches_cpu_on_random() {
+        check_dataset(Dataset::Random, 1e-5);
+    }
+
+    #[test]
+    fn matches_cpu_on_rmat() {
+        check_dataset(Dataset::Rmat, 1e-5);
+    }
+
+    #[test]
+    fn matches_cpu_on_patents_like() {
+        // Patents-like has dangling vertices (vertex 0 cites nothing).
+        check_dataset(Dataset::PatentsLike, 1e-5);
+    }
+
+    #[test]
+    fn ranks_sum_to_one() {
+        let g = Dataset::SmallWorld.build(Scale::Tiny);
+        let mut gpu = Gpu::new(GpuConfig::tiny_test());
+        let dg = DeviceGraph::upload(&mut gpu, &g);
+        let out =
+            run_pagerank(&mut gpu, &dg, 8, 0.85, Method::warp(8), &ExecConfig::default()).unwrap();
+        let sum: f32 = out.ranks.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "sum={sum}");
+    }
+
+    #[test]
+    fn hub_gets_highest_rank() {
+        // All vertices point at vertex 0.
+        let edges: Vec<(u32, u32)> = (1..40u32).map(|v| (v, 0)).collect();
+        let g = maxwarp_graph::Csr::from_edges(40, &edges);
+        let mut gpu = Gpu::new(GpuConfig::tiny_test());
+        let dg = DeviceGraph::upload(&mut gpu, &g);
+        let out = run_pagerank(&mut gpu, &dg, 20, 0.85, Method::Baseline, &ExecConfig::default())
+            .unwrap();
+        for v in 1..40 {
+            assert!(out.ranks[0] > out.ranks[v as usize]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_graph_rejected() {
+        let g = maxwarp_graph::Csr::empty(0);
+        let mut gpu = Gpu::new(GpuConfig::tiny_test());
+        let dg = DeviceGraph::upload(&mut gpu, &g);
+        let _ = run_pagerank(&mut gpu, &dg, 5, 0.85, Method::Baseline, &ExecConfig::default());
+    }
+}

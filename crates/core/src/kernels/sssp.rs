@@ -1,0 +1,326 @@
+//! Single-source shortest paths (round-synchronous Bellman-Ford).
+//!
+//! Each round, every reached vertex relaxes its out-edges with
+//! `atomicMin`; rounds repeat until no distance improves. Baseline and
+//! virtual warp-centric variants differ exactly as in BFS: per-thread vs.
+//! per-virtual-warp adjacency iteration.
+
+use crate::device_graph::DeviceGraph;
+use crate::kernels::common::{
+    defer_outliers, load_row_range, scalar_neighbor_loop, vertices_per_pass, vw_neighbor_loop,
+};
+use crate::method::{ExecConfig, Method, WarpCentricOpts};
+use crate::runner::{check_iteration_bound, AlgoRun};
+use crate::vwarp::VwLayout;
+use maxwarp_simt::{BlockCtx, DevPtr, Gpu, Lanes, LaunchError, Mask, WarpCtx, WARP_SIZE};
+
+/// Distance of unreached vertices.
+pub const INF: u32 = u32::MAX;
+
+/// Result of an SSSP run.
+#[derive(Clone, Debug)]
+pub struct SsspOutput {
+    /// Per-vertex distances (`INF` = unreachable).
+    pub dist: Vec<u32>,
+    /// Execution record.
+    pub run: AlgoRun,
+}
+
+struct SsspState {
+    dist: DevPtr<u32>,
+    changed: DevPtr<u32>,
+    queue: DevPtr<u32>,
+    qcount: DevPtr<u32>,
+}
+
+/// Relax the edges at indices `i` from source distances `du`.
+#[allow(clippy::too_many_arguments)]
+fn relax_edges(
+    w: &mut WarpCtx<'_>,
+    g: &DeviceGraph,
+    weights: DevPtr<u32>,
+    dist: DevPtr<u32>,
+    changed: DevPtr<u32>,
+    du: &Lanes<u32>,
+    act: Mask,
+    i: &Lanes<u32>,
+) {
+    let nbr = w.ld(act, g.col_indices, i);
+    let wt = w.ld(act, weights, i);
+    let nd = w.alu2(act, du, &wt, |d, x| d.saturating_add(x).min(INF - 1));
+    let old = w.atomic_min(act, dist, &nbr, &nd);
+    let improved = w.lt(act, &nd, &old);
+    if improved.any() {
+        w.st_uniform(improved, changed, 0, 1);
+    }
+}
+
+/// Run SSSP from `src`. The device graph must carry weights
+/// ([`DeviceGraph::upload_weighted`]).
+///
+/// ```
+/// use maxwarp::{run_sssp, DeviceGraph, ExecConfig, Method};
+/// use maxwarp_simt::{Gpu, GpuConfig};
+///
+/// // 0 --5--> 1 --2--> 2, plus a costly shortcut 0 --9--> 2.
+/// let g = maxwarp_graph::Csr::from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+/// let mut gpu = Gpu::new(GpuConfig::tiny_test());
+/// let dg = DeviceGraph::upload_weighted(&mut gpu, &g, &[5, 9, 2]);
+/// let out = run_sssp(&mut gpu, &dg, 0, Method::warp(8), &ExecConfig::default()).unwrap();
+/// assert_eq!(out.dist, vec![0, 5, 7]); // detour beats the shortcut
+/// ```
+pub fn run_sssp(
+    gpu: &mut Gpu,
+    g: &DeviceGraph,
+    src: u32,
+    method: Method,
+    exec: &ExecConfig,
+) -> Result<SsspOutput, LaunchError> {
+    let weights = g
+        .weights
+        .expect("run_sssp requires a weighted device graph");
+    assert!(src < g.n, "source {src} out of range for n={}", g.n);
+    let dist = gpu.mem.alloc::<u32>(g.n);
+    gpu.mem.fill(dist, INF);
+    gpu.mem.write(dist, src, 0);
+    let st = SsspState {
+        dist,
+        changed: gpu.mem.alloc::<u32>(1),
+        queue: gpu.mem.alloc::<u32>(g.n.max(1)),
+        qcount: gpu.mem.alloc::<u32>(1),
+    };
+
+    let mut run = AlgoRun::default();
+    let mut round = 0u32;
+    loop {
+        run.begin_iteration();
+        gpu.mem.write(st.changed, 0, 0u32);
+        gpu.mem.write(st.qcount, 0, 0u32);
+
+        let stats = match method {
+            Method::Baseline => launch_baseline_round(gpu, g, weights, &st, exec)?,
+            Method::WarpCentric(opts) => launch_warp_round(gpu, g, weights, &st, opts, exec)?,
+        };
+        run.absorb(&stats);
+
+        if let Method::WarpCentric(opts) = method {
+            if opts.defer_threshold.is_some() {
+                let qc = gpu.mem.read(st.qcount, 0);
+                if qc > 0 {
+                    let s = launch_outlier_round(gpu, g, weights, &st, qc, exec)?;
+                    run.absorb(&s);
+                }
+            }
+        }
+
+        if gpu.mem.read(st.changed, 0) == 0 {
+            break;
+        }
+        round += 1;
+        check_iteration_bound("sssp", round, g.n);
+    }
+    Ok(SsspOutput {
+        dist: gpu.mem.download(st.dist),
+        run,
+    })
+}
+
+fn launch_baseline_round(
+    gpu: &mut Gpu,
+    g: &DeviceGraph,
+    weights: DevPtr<u32>,
+    st: &SsspState,
+    exec: &ExecConfig,
+) -> Result<maxwarp_simt::KernelStats, LaunchError> {
+    let (g, dist, changed) = (*g, st.dist, st.changed);
+    let n = g.n;
+    let kernel = move |b: &mut BlockCtx<'_>| {
+        b.phase(|w| {
+            let vid = w.global_thread_ids();
+            let m = w.lt_scalar(Mask::FULL, &vid, n);
+            if m.none() {
+                return;
+            }
+            let du = w.ld(m, dist, &vid);
+            let mf = w.alu_pred(m, &du, |d| d != INF);
+            if mf.none() {
+                return;
+            }
+            let (s, e) = load_row_range(w, &g, mf, &vid);
+            scalar_neighbor_loop(w, mf, &s, &e, |w, act, i| {
+                relax_edges(w, &g, weights, dist, changed, &du, act, i);
+            });
+        });
+    };
+    let grid = n.div_ceil(exec.block_threads).max(1);
+    gpu.launch(grid, exec.block_threads, &kernel)
+}
+
+fn launch_warp_round(
+    gpu: &mut Gpu,
+    g: &DeviceGraph,
+    weights: DevPtr<u32>,
+    st: &SsspState,
+    opts: WarpCentricOpts,
+    exec: &ExecConfig,
+) -> Result<maxwarp_simt::KernelStats, LaunchError> {
+    let (g, dist, changed, queue, qcount) = (*g, st.dist, st.changed, st.queue, st.qcount);
+    let layout = VwLayout::new(opts.vw);
+    let vpp = vertices_per_pass(&layout);
+    let n = g.n;
+    let chunk = exec.chunk_vertices.max(vpp);
+    let num_tasks = n.div_ceil(chunk);
+    let grid = exec.resident_grid(&gpu.cfg);
+
+    gpu.launch_warp_tasks(
+        grid,
+        exec.block_threads,
+        num_tasks,
+        opts.schedule(),
+        move |w, task| {
+            let chunk_base = task * chunk;
+            let chunk_end = (chunk_base + chunk).min(n);
+            let mut base = chunk_base;
+            while base < chunk_end {
+                let vids = layout.task_ids(base);
+                let m = w.lt_scalar(Mask::FULL, &vids, chunk_end);
+                if m.none() {
+                    break;
+                }
+                let du = w.ld(m, dist, &vids);
+                let mf = w.alu_pred(m, &du, |d| d != INF);
+                if mf.any() {
+                    let (s, e) = load_row_range(w, &g, mf, &vids);
+                    let mwork = match opts.defer_threshold {
+                        Some(t) => {
+                            defer_outliers(w, &layout, mf, &vids, &s, &e, t, queue, qcount)
+                        }
+                        None => mf,
+                    };
+                    if mwork.any() {
+                        vw_neighbor_loop(w, &layout, mwork, &s, &e, |w, act, i| {
+                            relax_edges(w, &g, weights, dist, changed, &du, act, i);
+                        });
+                    }
+                }
+                base += vpp;
+            }
+        },
+    )
+}
+
+/// Block-cooperative relaxation of deferred high-degree vertices. Unlike
+/// BFS, the edge body needs the source distance, so this does not reuse
+/// [`outlier_kernel`](crate::kernels::common::outlier_kernel) directly.
+fn launch_outlier_round(
+    gpu: &mut Gpu,
+    g: &DeviceGraph,
+    weights: DevPtr<u32>,
+    st: &SsspState,
+    qc: u32,
+    exec: &ExecConfig,
+) -> Result<maxwarp_simt::KernelStats, LaunchError> {
+    let (g, dist, changed, queue) = (*g, st.dist, st.changed, st.queue);
+    let kernel = move |b: &mut BlockCtx<'_>| {
+        let bid = b.block_id();
+        let stride = b.num_blocks();
+        let bthreads = b.threads_per_block();
+        let mut qi = bid;
+        while qi < qc {
+            b.phase(|w| {
+                let v = w.ld_uniform(Mask::FULL, queue, qi);
+                let duv = w.ld_uniform(Mask::FULL, dist, v);
+                let du = Lanes::splat(duv);
+                let s = w.ld_uniform(Mask::FULL, g.row_offsets, v);
+                let e = w.ld_uniform(Mask::FULL, g.row_offsets, v + 1);
+                let base = w.id().warp_in_block * WARP_SIZE as u32;
+                let offs = Lanes::from_fn(|l| base + l as u32);
+                let mut i = w.alu1(Mask::FULL, &offs, |o| s.wrapping_add(o));
+                let endv = Lanes::splat(e);
+                let mut act = w.lt(Mask::FULL, &i, &endv);
+                while act.any() {
+                    relax_edges(w, &g, weights, dist, changed, &du, act, &i);
+                    i = w.add_scalar(act, &i, bthreads);
+                    act = w.lt(act, &i, &endv);
+                }
+            });
+            qi += stride;
+        }
+    };
+    let grid = qc.min(exec.resident_grid(&gpu.cfg));
+    gpu.launch(grid, exec.block_threads, &kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vwarp::VirtualWarp;
+    use maxwarp_graph::reference::sssp_dijkstra;
+    use maxwarp_graph::{random_weights, Dataset, Scale};
+    use maxwarp_simt::{Gpu, GpuConfig};
+
+    fn methods() -> Vec<Method> {
+        vec![
+            Method::Baseline,
+            Method::warp(4),
+            Method::warp(32),
+            Method::WarpCentric(WarpCentricOpts::plain(VirtualWarp::new(8)).with_dynamic()),
+            Method::WarpCentric(WarpCentricOpts::plain(VirtualWarp::new(16)).with_defer(64)),
+        ]
+    }
+
+    fn check_dataset(d: Dataset) {
+        let g = d.build(Scale::Tiny);
+        let wts = random_weights(&g, 16, 11);
+        let src = d.source(&g);
+        let want = sssp_dijkstra(&g, &wts, src);
+        for method in methods() {
+            let mut gpu = Gpu::new(GpuConfig::tiny_test());
+            let dg = DeviceGraph::upload_weighted(&mut gpu, &g, &wts);
+            let out = run_sssp(&mut gpu, &dg, src, method, &ExecConfig::default()).unwrap();
+            assert_eq!(out.dist, want, "{} / {}", d.name(), method.label());
+        }
+    }
+
+    #[test]
+    fn correct_on_random() {
+        check_dataset(Dataset::Random);
+    }
+
+    #[test]
+    fn correct_on_rmat() {
+        check_dataset(Dataset::Rmat);
+    }
+
+    #[test]
+    fn correct_on_roadnet() {
+        check_dataset(Dataset::RoadNet);
+    }
+
+    #[test]
+    fn correct_on_wikitalk_like() {
+        check_dataset(Dataset::WikiTalkLike);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a weighted")]
+    fn unweighted_graph_rejected() {
+        let g = maxwarp_graph::Csr::from_edges(4, &[(0, 1)]);
+        let mut gpu = Gpu::new(GpuConfig::tiny_test());
+        let dg = DeviceGraph::upload(&mut gpu, &g);
+        let _ = run_sssp(&mut gpu, &dg, 0, Method::Baseline, &ExecConfig::default());
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_inf() {
+        let g = maxwarp_graph::Csr::from_edges(64, &[(0, 1), (1, 2)]);
+        let w = vec![3u32, 4];
+        let mut gpu = Gpu::new(GpuConfig::tiny_test());
+        let dg = DeviceGraph::upload_weighted(&mut gpu, &g, &w);
+        let out = run_sssp(&mut gpu, &dg, 0, Method::warp(8), &ExecConfig::default()).unwrap();
+        assert_eq!(out.dist[0], 0);
+        assert_eq!(out.dist[1], 3);
+        assert_eq!(out.dist[2], 7);
+        assert!(out.dist[3..].iter().all(|&d| d == INF));
+    }
+}

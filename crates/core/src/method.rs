@@ -1,0 +1,156 @@
+//! Method selection: which kernel family and which of the paper's
+//! techniques to apply.
+
+use crate::vwarp::VirtualWarp;
+use maxwarp_simt::TaskSchedule;
+
+/// Options of the virtual warp-centric method.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WarpCentricOpts {
+    /// Virtual warp size K.
+    pub vw: VirtualWarp,
+    /// Use dynamic workload distribution (warps fetch vertex chunks from an
+    /// atomic counter) instead of static partitioning.
+    pub dynamic: bool,
+    /// Defer vertices with degree ≥ this threshold to a global outlier
+    /// queue processed by whole blocks in a second kernel.
+    pub defer_threshold: Option<u32>,
+}
+
+impl WarpCentricOpts {
+    /// Plain virtual warp-centric execution with static partitioning.
+    pub fn plain(vw: VirtualWarp) -> Self {
+        WarpCentricOpts {
+            vw,
+            dynamic: false,
+            defer_threshold: None,
+        }
+    }
+
+    /// Enable dynamic workload distribution.
+    pub fn with_dynamic(mut self) -> Self {
+        self.dynamic = true;
+        self
+    }
+
+    /// Enable outlier deferral at the given degree threshold.
+    pub fn with_defer(mut self, threshold: u32) -> Self {
+        self.defer_threshold = Some(threshold);
+        self
+    }
+
+    pub(crate) fn schedule(&self) -> TaskSchedule {
+        if self.dynamic {
+            TaskSchedule::Dynamic
+        } else {
+            TaskSchedule::StaticBlocked
+        }
+    }
+}
+
+/// Which implementation runs an algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// Thread-per-vertex — the conventional CUDA graph kernel the paper
+    /// uses as its GPU baseline.
+    Baseline,
+    /// The paper's virtual warp-centric method.
+    WarpCentric(WarpCentricOpts),
+}
+
+impl Method {
+    /// Warp-centric with the given K and no extra techniques.
+    pub fn warp(k: u32) -> Method {
+        Method::WarpCentric(WarpCentricOpts::plain(VirtualWarp::new(k)))
+    }
+
+    /// Short label for tables ("baseline", "vw8", "vw32+dyn+defer", ...).
+    pub fn label(&self) -> String {
+        match self {
+            Method::Baseline => "baseline".to_string(),
+            Method::WarpCentric(o) => {
+                let mut s = o.vw.to_string();
+                if o.dynamic {
+                    s.push_str("+dyn");
+                }
+                if o.defer_threshold.is_some() {
+                    s.push_str("+defer");
+                }
+                s
+            }
+        }
+    }
+}
+
+/// Execution geometry shared by all drivers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Threads per block (multiple of 32).
+    pub block_threads: u32,
+    /// Vertices per work chunk in warp-task mode (static chunks and
+    /// dynamic fetches use the same granularity).
+    pub chunk_vertices: u32,
+    /// Route the read-only CSR arrays (row offsets, column indices)
+    /// through the device's read-only cache — the texture-binding trick of
+    /// paper-era kernels. Honored by the BFS kernels (ablation A4).
+    pub cached_graph_loads: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            block_threads: 256,
+            // Small chunks give the dynamic distributor real granularity to
+            // balance; each chunk pays one atomic fetch in dynamic mode.
+            chunk_vertices: 16,
+            cached_graph_loads: false,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Resident grid size that fills the device for persistent warp-task
+    /// kernels.
+    pub fn resident_grid(&self, cfg: &maxwarp_simt::GpuConfig) -> u32 {
+        (cfg.num_sms * cfg.blocks_per_sm(self.block_threads, 0)).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Method::Baseline.label(), "baseline");
+        assert_eq!(Method::warp(8).label(), "vw8");
+        let full = Method::WarpCentric(
+            WarpCentricOpts::plain(VirtualWarp::new(32))
+                .with_dynamic()
+                .with_defer(1024),
+        );
+        assert_eq!(full.label(), "vw32+dyn+defer");
+    }
+
+    #[test]
+    fn schedule_mapping() {
+        assert_eq!(
+            WarpCentricOpts::plain(VirtualWarp::new(4)).schedule(),
+            TaskSchedule::StaticBlocked
+        );
+        assert_eq!(
+            WarpCentricOpts::plain(VirtualWarp::new(4))
+                .with_dynamic()
+                .schedule(),
+            TaskSchedule::Dynamic
+        );
+    }
+
+    #[test]
+    fn resident_grid_fills_device() {
+        let cfg = maxwarp_simt::GpuConfig::fermi_c2050();
+        let e = ExecConfig::default();
+        // 256-thread blocks: 6 blocks/SM x 14 SMs.
+        assert_eq!(e.resident_grid(&cfg), 84);
+    }
+}

@@ -1,0 +1,100 @@
+//! Derived metrics and table rows for the experiment harness.
+
+use crate::runner::AlgoRun;
+use serde::{Deserialize, Serialize};
+
+/// One measured configuration: the row format the figure harnesses print.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Method label (`baseline`, `vw8`, `vw32+dyn+defer`, ...).
+    pub method: String,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Millions of traversed edges per second at the device clock.
+    pub mteps: f64,
+    /// SIMD lane utilization in `[0, 1]`.
+    pub lane_utilization: f64,
+    /// Global-memory transactions per memory instruction.
+    pub tx_per_mem: f64,
+    /// Iterations (levels / rounds).
+    pub iterations: u32,
+}
+
+impl RunRow {
+    /// Build a row from a finished run.
+    pub fn new(
+        dataset: &str,
+        method: &str,
+        run: &AlgoRun,
+        useful_edges: u64,
+        clock_hz: u64,
+    ) -> RunRow {
+        RunRow {
+            dataset: dataset.to_string(),
+            method: method.to_string(),
+            cycles: run.cycles(),
+            mteps: run.teps(useful_edges, clock_hz) / 1e6,
+            lane_utilization: run.stats.lane_utilization(),
+            tx_per_mem: run.stats.tx_per_mem_instruction(),
+            iterations: run.iterations,
+        }
+    }
+
+    /// Speedup of this row relative to `base` (cycle ratio).
+    pub fn speedup_over(&self, base: &RunRow) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        base.cycles as f64 / self.cycles as f64
+    }
+}
+
+/// Geometric mean of a set of positive values (0 if empty).
+pub fn geomean(vals: &[f64]) -> f64 {
+    if vals.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = vals.iter().map(|v| v.max(1e-300).ln()).sum();
+    (log_sum / vals.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxwarp_simt::KernelStats;
+
+    fn run_with_cycles(c: u64) -> AlgoRun {
+        let mut r = AlgoRun::default();
+        r.stats = KernelStats {
+            cycles: c,
+            ..Default::default()
+        };
+        r
+    }
+
+    #[test]
+    fn row_and_speedup() {
+        let base = RunRow::new("g", "baseline", &run_with_cycles(1000), 500, 1_000_000_000);
+        let fast = RunRow::new("g", "vw32", &run_with_cycles(250), 500, 1_000_000_000);
+        assert!((fast.speedup_over(&base) - 4.0).abs() < 1e-12);
+        assert!((base.speedup_over(&base) - 1.0).abs() < 1e-12);
+        assert!(fast.mteps > base.mteps);
+    }
+
+    #[test]
+    fn geomean_math() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[4.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_speedup_is_zero() {
+        let base = RunRow::new("g", "a", &run_with_cycles(100), 1, 1_000_000_000);
+        let zero = RunRow::new("g", "b", &run_with_cycles(0), 1, 1_000_000_000);
+        assert_eq!(zero.speedup_over(&base), 0.0);
+    }
+}

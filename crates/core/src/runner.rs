@@ -1,0 +1,93 @@
+//! Shared driver machinery: the level-synchronous loop and run results.
+
+use maxwarp_simt::KernelStats;
+
+/// Result of running one algorithm end-to-end on the simulated GPU.
+#[derive(Clone, Debug, Default)]
+pub struct AlgoRun {
+    /// Statistics accumulated over every kernel launch of the run.
+    pub stats: KernelStats,
+    /// Iterations executed (BFS levels, relaxation rounds, PR iterations).
+    pub iterations: u32,
+    /// Per-iteration cycle counts (useful for level-profile plots).
+    pub cycles_per_iteration: Vec<u64>,
+}
+
+impl AlgoRun {
+    /// Fold one launch's stats into the run, attributing its cycles to the
+    /// current iteration.
+    pub fn absorb(&mut self, launch: &KernelStats) {
+        if let Some(last) = self.cycles_per_iteration.last_mut() {
+            *last += launch.cycles;
+        }
+        self.stats.accumulate(launch);
+    }
+
+    /// Begin a new iteration.
+    pub fn begin_iteration(&mut self) {
+        self.iterations += 1;
+        self.cycles_per_iteration.push(0);
+    }
+
+    /// Total simulated cycles.
+    pub fn cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+
+    /// Traversed-edges-per-second at the given clock, for `edges` edges of
+    /// useful work.
+    pub fn teps(&self, edges: u64, clock_hz: u64) -> f64 {
+        if self.stats.cycles == 0 {
+            return 0.0;
+        }
+        edges as f64 / (self.stats.cycles as f64 / clock_hz as f64)
+    }
+}
+
+/// Guard against runaway fixpoint loops in drivers: panics (with the
+/// algorithm name) if iterations exceed the theoretical bound.
+pub(crate) fn check_iteration_bound(algo: &str, iterations: u32, bound: u32) {
+    assert!(
+        iterations <= bound.saturating_add(2),
+        "{algo}: {iterations} iterations exceeds bound {bound} — kernel not converging"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates_per_iteration() {
+        let mut run = AlgoRun::default();
+        run.begin_iteration();
+        let mut s = KernelStats::default();
+        s.cycles = 100;
+        s.instructions = 10;
+        run.absorb(&s);
+        run.absorb(&s);
+        run.begin_iteration();
+        run.absorb(&s);
+        assert_eq!(run.iterations, 2);
+        assert_eq!(run.cycles_per_iteration, vec![200, 100]);
+        assert_eq!(run.cycles(), 300);
+        assert_eq!(run.stats.instructions, 30);
+    }
+
+    #[test]
+    fn teps_math() {
+        let mut run = AlgoRun::default();
+        run.stats.cycles = 1_000_000;
+        // 1M edges in 1M cycles at 1GHz = 1e9 edges/s.
+        let teps = run.teps(1_000_000, 1_000_000_000);
+        assert!((teps - 1e9).abs() < 1.0);
+        let empty = AlgoRun::default();
+        assert_eq!(empty.teps(100, 1_000_000_000), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not converging")]
+    fn iteration_bound_panics() {
+        check_iteration_bound("bfs", 100, 10);
+    }
+}

@@ -1,0 +1,207 @@
+//! Virtual warps — the paper's core abstraction.
+//!
+//! A *virtual warp* of size `K ∈ {1, 2, 4, 8, 16, 32}` is a K-lane slice of
+//! a physical 32-lane warp. The virtual warp-centric programming method
+//! assigns one *task* (typically: one vertex) to each virtual warp; the
+//! `32/K` virtual warps packed into a physical warp execute the same
+//! instruction sequence over different tasks, so the physical warp runs for
+//! the *maximum* of its virtual warps' trip counts.
+//!
+//! `K` is the knob that trades the two pathologies against each other:
+//!
+//! * **large K** → fewer virtual warps per physical warp → less intra-warp
+//!   imbalance (a single high-degree vertex no longer stalls 31 foreign
+//!   lanes) and better-coalesced neighbor-list reads — but vertices with
+//!   degree `< K` waste SIMD lanes (ALU underutilization);
+//! * **small K** → full lane utilization on low-degree graphs, but heavy
+//!   imbalance and scattered memory on skewed ones.
+//!
+//! [`VwLayout`] precomputes the per-lane index registers kernels need; it
+//! models values a CUDA kernel derives from `threadIdx` once at entry.
+
+use maxwarp_simt::{Lanes, Mask, WARP_SIZE};
+
+/// A validated virtual-warp size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct VirtualWarp(u32);
+
+impl VirtualWarp {
+    /// All legal sizes, smallest first. `K = 1` is the degenerate
+    /// "thread-per-task" layout; `K = 32` is one task per physical warp.
+    pub const ALL: [VirtualWarp; 6] = [
+        VirtualWarp(1),
+        VirtualWarp(2),
+        VirtualWarp(4),
+        VirtualWarp(8),
+        VirtualWarp(16),
+        VirtualWarp(32),
+    ];
+
+    /// The sizes the paper sweeps in its figures.
+    pub const PAPER_SWEEP: [VirtualWarp; 4] = [
+        VirtualWarp(4),
+        VirtualWarp(8),
+        VirtualWarp(16),
+        VirtualWarp(32),
+    ];
+
+    /// Construct; `k` must be a power of two in `[1, 32]`.
+    pub fn new(k: u32) -> VirtualWarp {
+        assert!(
+            k.is_power_of_two() && k <= WARP_SIZE as u32,
+            "virtual warp size {k} must be a power of two <= 32"
+        );
+        VirtualWarp(k)
+    }
+
+    /// Lanes per virtual warp (K).
+    #[inline]
+    pub fn k(self) -> u32 {
+        self.0
+    }
+
+    /// Virtual warps per physical warp (`32 / K`).
+    #[inline]
+    pub fn per_physical(self) -> u32 {
+        WARP_SIZE as u32 / self.0
+    }
+
+    /// Physical warps needed for `tasks` virtual-warp tasks.
+    #[inline]
+    pub fn physical_warps_for(self, tasks: u32) -> u32 {
+        tasks.div_ceil(self.per_physical())
+    }
+}
+
+impl std::fmt::Display for VirtualWarp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vw{}", self.0)
+    }
+}
+
+/// Per-lane index registers for a virtual-warp layout. All fields are
+/// "free" register values (derived from lane id at kernel entry, like
+/// `threadIdx.x % K` in CUDA).
+#[derive(Clone, Copy, Debug)]
+pub struct VwLayout {
+    /// The virtual warp size.
+    pub vw: VirtualWarp,
+    /// `lane / K`: which virtual warp within the physical warp.
+    pub vw_index: Lanes<u32>,
+    /// `lane % K`: this lane's position within its virtual warp.
+    pub lane_in_vw: Lanes<u32>,
+    /// Mask of virtual-warp leader lanes (`lane % K == 0`).
+    pub leaders: Mask,
+}
+
+impl VwLayout {
+    /// Build the layout for virtual warp size `vw`.
+    pub fn new(vw: VirtualWarp) -> VwLayout {
+        let k = vw.k();
+        VwLayout {
+            vw,
+            vw_index: Lanes::from_fn(|l| l as u32 / k),
+            lane_in_vw: Lanes::from_fn(|l| l as u32 % k),
+            leaders: Mask::from_fn(|l| (l as u32).is_multiple_of(k)),
+        }
+    }
+
+    /// Task ids for each lane given the physical warp's first task:
+    /// `base + lane/K`. A register computation (free).
+    #[inline]
+    pub fn task_ids(&self, base: u32) -> Lanes<u32> {
+        self.vw_index.map(|i| base.saturating_add(i))
+    }
+
+    /// Mask of lanes whose virtual warp index is below `count` — used when
+    /// fewer than `32/K` tasks remain.
+    #[inline]
+    pub fn active_vws(&self, count: u32) -> Mask {
+        let idx = self.vw_index;
+        Mask::from_fn(|l| idx.get(l) < count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legal_sizes_construct() {
+        for k in [1u32, 2, 4, 8, 16, 32] {
+            let vw = VirtualWarp::new(k);
+            assert_eq!(vw.k(), k);
+            assert_eq!(vw.per_physical() * k, 32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = VirtualWarp::new(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_oversize() {
+        let _ = VirtualWarp::new(64);
+    }
+
+    #[test]
+    fn physical_warp_count() {
+        let vw = VirtualWarp::new(8); // 4 vws per physical warp
+        assert_eq!(vw.physical_warps_for(0), 0);
+        assert_eq!(vw.physical_warps_for(1), 1);
+        assert_eq!(vw.physical_warps_for(4), 1);
+        assert_eq!(vw.physical_warps_for(5), 2);
+    }
+
+    #[test]
+    fn layout_indices() {
+        let l = VwLayout::new(VirtualWarp::new(8));
+        assert_eq!(l.vw_index.get(0), 0);
+        assert_eq!(l.vw_index.get(7), 0);
+        assert_eq!(l.vw_index.get(8), 1);
+        assert_eq!(l.vw_index.get(31), 3);
+        assert_eq!(l.lane_in_vw.get(0), 0);
+        assert_eq!(l.lane_in_vw.get(7), 7);
+        assert_eq!(l.lane_in_vw.get(8), 0);
+        assert_eq!(l.leaders.count(), 4);
+        assert!(l.leaders.get(0) && l.leaders.get(8) && l.leaders.get(16) && l.leaders.get(24));
+    }
+
+    #[test]
+    fn task_ids_and_active_vws() {
+        let l = VwLayout::new(VirtualWarp::new(16));
+        let t = l.task_ids(10);
+        assert_eq!(t.get(0), 10);
+        assert_eq!(t.get(15), 10);
+        assert_eq!(t.get(16), 11);
+        let m = l.active_vws(1);
+        assert_eq!(m.count(), 16);
+        assert!(m.get(15) && !m.get(16));
+        assert_eq!(l.active_vws(0), Mask::NONE);
+        assert_eq!(l.active_vws(2), Mask::FULL);
+    }
+
+    #[test]
+    fn degenerate_k1_layout() {
+        let l = VwLayout::new(VirtualWarp::new(1));
+        assert_eq!(l.vw_index.get(31), 31);
+        assert_eq!(l.lane_in_vw.get(31), 0);
+        assert!(l.leaders.all());
+    }
+
+    #[test]
+    fn k32_layout() {
+        let l = VwLayout::new(VirtualWarp::new(32));
+        assert_eq!(l.vw_index.get(31), 0);
+        assert_eq!(l.lane_in_vw.get(31), 31);
+        assert_eq!(l.leaders.count(), 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(VirtualWarp::new(8).to_string(), "vw8");
+    }
+}

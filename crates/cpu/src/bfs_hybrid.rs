@@ -1,0 +1,186 @@
+//! Direction-optimizing (hybrid) BFS — the extension the paper's authors
+//! published next (Hong, Oguntebi, Olukotun, PACT 2011; Beamer et al.'s
+//! formulation of the switch heuristic).
+//!
+//! Top-down steps expand the frontier; bottom-up steps instead scan
+//! *unvisited* vertices for any parent in the frontier — dramatically
+//! cheaper when the frontier covers much of the graph (1-2 middle levels
+//! of a small-world graph). The driver switches direction with the
+//! classic α/β heuristic.
+
+use maxwarp_graph::Csr;
+
+/// Level of unreachable vertices.
+pub const INF: u32 = u32::MAX;
+
+/// Tuning knobs of the direction switch.
+#[derive(Clone, Copy, Debug)]
+pub struct HybridConfig {
+    /// Switch top-down → bottom-up when the frontier's out-edge count
+    /// exceeds `remaining_edges / alpha`.
+    pub alpha: u32,
+    /// Switch bottom-up → top-down when the frontier shrinks below
+    /// `n / beta`.
+    pub beta: u32,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig { alpha: 14, beta: 24 }
+    }
+}
+
+/// Statistics of a hybrid run (which directions the levels used).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HybridStats {
+    pub top_down_levels: u32,
+    pub bottom_up_levels: u32,
+}
+
+/// Direction-optimizing BFS. `rev` must be the transpose of `g` (pass `g`
+/// itself for symmetric graphs); bottom-up steps scan `rev` to find
+/// parents.
+pub fn bfs_hybrid(
+    g: &Csr,
+    rev: &Csr,
+    src: u32,
+    cfg: &HybridConfig,
+) -> (Vec<u32>, HybridStats) {
+    assert_eq!(
+        g.num_vertices(),
+        rev.num_vertices(),
+        "reverse graph must match"
+    );
+    assert!(src < g.num_vertices());
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let mut levels = vec![INF; n as usize];
+    levels[src as usize] = 0;
+    let mut frontier: Vec<u32> = vec![src];
+    let mut stats = HybridStats::default();
+    let mut level = 0u32;
+    let mut scanned_edges: u64 = 0;
+
+    while !frontier.is_empty() {
+        // Heuristic inputs: out-edges hanging off the frontier vs edges
+        // left to scan.
+        let frontier_edges: u64 = frontier.iter().map(|&v| g.degree(v) as u64).sum();
+        let remaining = m.saturating_sub(scanned_edges);
+        let bottom_up = frontier_edges > remaining / cfg.alpha as u64
+            && frontier.len() as u64 > (n as u64) / cfg.beta as u64;
+
+        level += 1;
+        let mut next = Vec::new();
+        if bottom_up {
+            stats.bottom_up_levels += 1;
+            for v in 0..n {
+                if levels[v as usize] != INF {
+                    continue;
+                }
+                // Any in-neighbor on the current level adopts us.
+                for &u in rev.neighbors(v) {
+                    if levels[u as usize] == level - 1 {
+                        levels[v as usize] = level;
+                        next.push(v);
+                        break;
+                    }
+                }
+            }
+        } else {
+            stats.top_down_levels += 1;
+            for &u in &frontier {
+                for &v in g.neighbors(u) {
+                    let slot = &mut levels[v as usize];
+                    if *slot == INF {
+                        *slot = level;
+                        next.push(v);
+                    }
+                }
+            }
+        }
+        scanned_edges += frontier_edges;
+        frontier = next;
+    }
+    (levels, stats)
+}
+
+/// Hybrid BFS on a symmetric graph (its own transpose).
+pub fn bfs_hybrid_symmetric(g: &Csr, src: u32, cfg: &HybridConfig) -> (Vec<u32>, HybridStats) {
+    bfs_hybrid(g, g, src, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxwarp_graph::reference::bfs_levels;
+    use maxwarp_graph::{erdos_renyi, grid2d, rmat, small_world, RmatConfig};
+
+    #[test]
+    fn matches_reference_on_directed_graphs() {
+        for (name, g) in [
+            ("er", erdos_renyi(2000, 16000, 3)),
+            ("rmat", rmat(&RmatConfig::classic(11, 8, 5))),
+        ] {
+            let rev = g.reverse();
+            for src in [0u32, 100] {
+                let want = bfs_levels(&g, src);
+                let (got, _) = bfs_hybrid(&g, &rev, src, &HybridConfig::default());
+                assert_eq!(got, want, "{name} src={src}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_symmetric_graphs() {
+        for (name, g) in [
+            ("grid", grid2d(40, 40)),
+            ("smallworld", small_world(2000, 4, 0.05, 7)),
+        ] {
+            let want = bfs_levels(&g, 0);
+            let (got, _) = bfs_hybrid_symmetric(&g, 0, &HybridConfig::default());
+            assert_eq!(got, want, "{name}");
+        }
+    }
+
+    #[test]
+    fn small_world_uses_bottom_up_in_the_middle() {
+        // A small-world graph's middle levels cover most vertices: the
+        // heuristic must fire.
+        let g = small_world(4000, 6, 0.1, 1);
+        let (_, stats) = bfs_hybrid_symmetric(&g, 0, &HybridConfig::default());
+        assert!(stats.bottom_up_levels >= 1, "{stats:?}");
+        assert!(stats.top_down_levels >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn grid_stays_top_down() {
+        // Thin mesh frontiers never justify bottom-up scans.
+        let g = grid2d(50, 50);
+        let (_, stats) = bfs_hybrid_symmetric(&g, 0, &HybridConfig::default());
+        assert_eq!(stats.bottom_up_levels, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn forced_bottom_up_still_correct() {
+        // Huge alpha/beta: the thresholds collapse to zero, forcing
+        // bottom-up from the first level.
+        let g = small_world(1000, 4, 0.2, 2);
+        let cfg = HybridConfig {
+            alpha: 1_000_000,
+            beta: 1_000_000,
+        };
+        let (got, stats) = bfs_hybrid_symmetric(&g, 0, &cfg);
+        assert_eq!(got, bfs_levels(&g, 0));
+        assert!(stats.bottom_up_levels > 0);
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_inf() {
+        let g = Csr::from_edges(10, &[(0, 1), (1, 0)]);
+        let rev = g.reverse();
+        let (got, _) = bfs_hybrid(&g, &rev, 0, &HybridConfig::default());
+        assert_eq!(got[0], 0);
+        assert_eq!(got[1], 1);
+        assert!(got[2..].iter().all(|&l| l == INF));
+    }
+}

@@ -1,0 +1,82 @@
+//! Wall-clock measurement helpers for the CPU baselines.
+
+use std::time::{Duration, Instant};
+
+/// Run `f` once and return its result with the elapsed wall-clock time.
+pub fn time_once<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed())
+}
+
+/// Run `f` `reps` times (at least once) and return the last result with the
+/// *median* elapsed time — robust to scheduler noise.
+pub fn time_median<R>(reps: usize, mut f: impl FnMut() -> R) -> (R, Duration) {
+    let reps = reps.max(1);
+    let mut times = Vec::with_capacity(reps);
+    let mut out = None;
+    for _ in 0..reps {
+        let (r, d) = time_once(&mut f);
+        times.push(d);
+        out = Some(r);
+    }
+    times.sort_unstable();
+    (out.unwrap(), times[times.len() / 2])
+}
+
+/// Throughput in edges traversed per second.
+pub fn edges_per_second(edges: u64, d: Duration) -> f64 {
+    if d.is_zero() {
+        return f64::INFINITY;
+    }
+    edges as f64 / d.as_secs_f64()
+}
+
+/// Number of worker threads to use: respects `MAXWARP_CPU_THREADS`,
+/// otherwise the machine's available parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(s) = std::env::var("MAXWARP_CPU_THREADS") {
+        if let Ok(n) = s.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_once_returns_result() {
+        let (r, d) = time_once(|| 41 + 1);
+        assert_eq!(r, 42);
+        assert!(d >= Duration::ZERO);
+    }
+
+    #[test]
+    fn time_median_runs_all_reps() {
+        let mut count = 0;
+        let (_, _) = time_median(5, || count += 1);
+        assert_eq!(count, 5);
+        let mut c2 = 0;
+        let (_, _) = time_median(0, || c2 += 1);
+        assert_eq!(c2, 1, "at least one rep");
+    }
+
+    #[test]
+    fn edges_per_second_math() {
+        let eps = edges_per_second(1000, Duration::from_millis(500));
+        assert!((eps - 2000.0).abs() < 1e-6);
+        assert!(edges_per_second(1, Duration::ZERO).is_infinite());
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! CPU PageRank baselines: sequential push-style iteration (mirroring the
+//! GPU kernels' structure) and a parallel version with per-thread
+//! accumulation.
+
+use crate::measure::default_threads;
+use maxwarp_graph::Csr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// `iters` synchronous push iterations with damping `d` and uniform
+/// dangling redistribution. `f32` to match the device arithmetic.
+pub fn pagerank_push(g: &Csr, iters: u32, d: f32) -> Vec<f32> {
+    let n = g.num_vertices() as usize;
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rank = vec![1.0f32 / n as f32; n];
+    let mut next = vec![0.0f32; n];
+    for _ in 0..iters {
+        let mut dangling = 0.0f32;
+        next.fill(0.0);
+        for u in 0..n as u32 {
+            let deg = g.degree(u);
+            if deg == 0 {
+                dangling += rank[u as usize];
+            } else {
+                let share = rank[u as usize] / deg as f32;
+                for &v in g.neighbors(u) {
+                    next[v as usize] += share;
+                }
+            }
+        }
+        let base = (1.0 - d) / n as f32 + d * dangling / n as f32;
+        for r in next.iter_mut() {
+            *r = base + d * *r;
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+/// Parallel pull-style PageRank: workers own disjoint destination ranges
+/// over the *reverse* graph, so no atomics are needed on the accumulators.
+pub fn pagerank_parallel(g: &Csr, iters: u32, d: f32, threads: usize) -> Vec<f32> {
+    let threads = threads.max(1);
+    let n = g.num_vertices() as usize;
+    if n == 0 {
+        return Vec::new();
+    }
+    let rev = g.reverse();
+    let out_deg: Vec<u32> = (0..n as u32).map(|v| g.degree(v)).collect();
+    let mut rank = vec![1.0f32 / n as f32; n];
+    let mut next = vec![0.0f32; n];
+    for _ in 0..iters {
+        let dangling: f32 = (0..n)
+            .filter(|&u| out_deg[u] == 0)
+            .map(|u| rank[u])
+            .sum();
+        let base = (1.0 - d) / n as f32 + d * dangling / n as f32;
+        let cursor = AtomicUsize::new(0);
+        let chunk = (n / (threads * 8)).max(256);
+        let rank_ref = &rank;
+        let next_chunks: Vec<(usize, Vec<f32>)> = crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..threads {
+                let rev = &rev;
+                let out_deg = &out_deg;
+                let cursor = &cursor;
+                handles.push(scope.spawn(move |_| {
+                    let mut parts = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        let mut local = vec![0.0f32; end - start];
+                        for v in start..end {
+                            let mut acc = 0.0f32;
+                            for &u in rev.neighbors(v as u32) {
+                                acc += rank_ref[u as usize] / out_deg[u as usize] as f32;
+                            }
+                            local[v - start] = base + d * acc;
+                        }
+                        parts.push((start, local));
+                    }
+                    parts
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("pagerank worker panicked"))
+                .collect()
+        })
+        .expect("pagerank scope panicked");
+        for (start, local) in next_chunks {
+            next[start..start + local.len()].copy_from_slice(&local);
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+/// [`pagerank_parallel`] with the default worker count.
+pub fn pagerank_parallel_default(g: &Csr, iters: u32, d: f32) -> Vec<f32> {
+    pagerank_parallel(g, iters, d, default_threads())
+}
+
+/// Max absolute difference between two rank vectors.
+pub fn rank_linf(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxwarp_graph::erdos_renyi;
+    use maxwarp_graph::reference::pagerank as pagerank_ref;
+
+    #[test]
+    fn push_matches_f64_reference() {
+        let g = erdos_renyi(400, 3200, 3);
+        let ours = pagerank_push(&g, 20, 0.85);
+        let want = pagerank_ref(&g, 20, 0.85);
+        for v in 0..400 {
+            assert!(
+                (ours[v] as f64 - want[v]).abs() < 1e-4,
+                "v={v}: {} vs {}",
+                ours[v],
+                want[v]
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_push() {
+        let g = erdos_renyi(400, 3200, 5);
+        let a = pagerank_push(&g, 15, 0.85);
+        for threads in [1, 2, 4] {
+            let b = pagerank_parallel(&g, 15, 0.85, threads);
+            assert!(rank_linf(&a, &b) < 1e-5, "x{threads}: {}", rank_linf(&a, &b));
+        }
+    }
+
+    #[test]
+    fn ranks_sum_to_one() {
+        let g = erdos_renyi(300, 900, 1);
+        let pr = pagerank_parallel_default(&g, 10, 0.85);
+        let sum: f32 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "sum={sum}");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(0);
+        assert!(pagerank_push(&g, 5, 0.85).is_empty());
+        assert!(pagerank_parallel(&g, 5, 0.85, 2).is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! CPU single-source shortest paths baselines: sequential Bellman-Ford
+//! (round-based, the algorithm the GPU kernels mirror) and a parallel
+//! variant with atomic relaxations.
+
+use crate::measure::default_threads;
+use maxwarp_graph::Csr;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+
+/// Distance of unreachable vertices.
+pub const INF: u32 = u32::MAX;
+
+/// Round-based Bellman-Ford: repeat full relaxation sweeps until a
+/// fixpoint. Weights are aligned with `g.col_indices()`.
+pub fn sssp_bellman_ford(g: &Csr, weights: &[u32], src: u32) -> Vec<u32> {
+    assert_eq!(weights.len() as u64, g.num_edges());
+    assert!(src < g.num_vertices());
+    let n = g.num_vertices();
+    let mut dist = vec![INF; n as usize];
+    dist[src as usize] = 0;
+    loop {
+        let mut changed = false;
+        for u in 0..n {
+            let du = dist[u as usize];
+            if du == INF {
+                continue;
+            }
+            let row = g.row_offsets()[u as usize] as usize;
+            for (k, &v) in g.neighbors(u).iter().enumerate() {
+                let nd = du.saturating_add(weights[row + k]).min(INF - 1);
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return dist;
+        }
+    }
+}
+
+/// Parallel Bellman-Ford: vertices are chunked per sweep; relaxations use
+/// an atomic fetch-min loop. Converges to the same fixpoint as the
+/// sequential version.
+pub fn sssp_parallel(g: &Csr, weights: &[u32], src: u32, threads: usize) -> Vec<u32> {
+    assert_eq!(weights.len() as u64, g.num_edges());
+    assert!(src < g.num_vertices());
+    let threads = threads.max(1);
+    let n = g.num_vertices() as usize;
+    let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(INF)).collect();
+    dist[src as usize].store(0, Ordering::Relaxed);
+
+    loop {
+        let changed = AtomicBool::new(false);
+        let cursor = AtomicUsize::new(0);
+        let chunk = (n / (threads * 8)).max(256);
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                let dist = &dist;
+                let changed = &changed;
+                let cursor = &cursor;
+                scope.spawn(move |_| loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    for u in start..end {
+                        let du = dist[u].load(Ordering::Relaxed);
+                        if du == INF {
+                            continue;
+                        }
+                        let row = g.row_offsets()[u] as usize;
+                        for (k, &v) in g.neighbors(u as u32).iter().enumerate() {
+                            let nd = du.saturating_add(weights[row + k]).min(INF - 1);
+                            // Atomic fetch-min.
+                            let mut cur = dist[v as usize].load(Ordering::Relaxed);
+                            while nd < cur {
+                                match dist[v as usize].compare_exchange_weak(
+                                    cur,
+                                    nd,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                ) {
+                                    Ok(_) => {
+                                        changed.store(true, Ordering::Relaxed);
+                                        break;
+                                    }
+                                    Err(now) => cur = now,
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("sssp scope panicked");
+        if !changed.load(Ordering::Relaxed) {
+            return dist.into_iter().map(|a| a.into_inner()).collect();
+        }
+    }
+}
+
+/// [`sssp_parallel`] with the default worker count.
+pub fn sssp_parallel_default(g: &Csr, weights: &[u32], src: u32) -> Vec<u32> {
+    sssp_parallel(g, weights, src, default_threads())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxwarp_graph::reference::sssp_dijkstra;
+    use maxwarp_graph::{erdos_renyi, grid2d, random_weights};
+
+    #[test]
+    fn bellman_matches_dijkstra() {
+        let g = erdos_renyi(800, 6400, 7);
+        let w = random_weights(&g, 16, 1);
+        assert_eq!(sssp_bellman_ford(&g, &w, 0), sssp_dijkstra(&g, &w, 0));
+    }
+
+    #[test]
+    fn parallel_matches_dijkstra() {
+        let g = erdos_renyi(800, 6400, 8);
+        let w = random_weights(&g, 16, 2);
+        let want = sssp_dijkstra(&g, &w, 0);
+        for threads in [1, 2, 4] {
+            assert_eq!(sssp_parallel(&g, &w, 0, threads), want, "x{threads}");
+        }
+    }
+
+    #[test]
+    fn grid_distances() {
+        let g = grid2d(20, 20);
+        let w = vec![1u32; g.num_edges() as usize];
+        let d = sssp_bellman_ford(&g, &w, 0);
+        assert_eq!(d[399], 38); // Manhattan distance to far corner
+        assert_eq!(sssp_parallel_default(&g, &w, 0), d);
+    }
+
+    #[test]
+    fn unreachable_stays_inf() {
+        let g = maxwarp_graph::Csr::from_edges(3, &[(0, 1)]);
+        let d = sssp_bellman_ford(&g, &[5], 0);
+        assert_eq!(d, vec![0, 5, INF]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Graph cleaning and preparation utilities.
+//!
+//! Real edge lists arrive messy: duplicate edges, self-loops, many small
+//! components. [`GraphBuilder`] canonicalizes them, and
+//! [`largest_component`] extracts the giant component (the paper-style
+//! convention for picking BFS sources that reach most of the graph).
+
+use crate::csr::Csr;
+use crate::reference::connected_components;
+
+/// Accumulates edges and builds a cleaned CSR.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    edges: Vec<(u32, u32)>,
+    max_id: u32,
+    remove_self_loops: bool,
+    dedup: bool,
+    symmetrize: bool,
+}
+
+impl GraphBuilder {
+    /// An empty builder with no cleaning enabled.
+    pub fn new() -> Self {
+        GraphBuilder::default()
+    }
+
+    /// Drop `(v, v)` edges.
+    pub fn remove_self_loops(mut self) -> Self {
+        self.remove_self_loops = true;
+        self
+    }
+
+    /// Drop duplicate `(u, v)` pairs.
+    pub fn dedup(mut self) -> Self {
+        self.dedup = true;
+        self
+    }
+
+    /// Add the reverse of every edge (and dedup the result).
+    pub fn symmetrize(mut self) -> Self {
+        self.symmetrize = true;
+        self.dedup = true;
+        self
+    }
+
+    /// Add one edge.
+    pub fn add_edge(&mut self, u: u32, v: u32) -> &mut Self {
+        self.max_id = self.max_id.max(u).max(v);
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Add many edges.
+    pub fn extend(&mut self, it: impl IntoIterator<Item = (u32, u32)>) -> &mut Self {
+        for (u, v) in it {
+            self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Number of raw edges added so far.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if no edge has been added.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Build the CSR with at least `min_vertices` vertices.
+    pub fn build(mut self, min_vertices: u32) -> Csr {
+        if self.remove_self_loops {
+            self.edges.retain(|&(u, v)| u != v);
+        }
+        if self.symmetrize {
+            let rev: Vec<(u32, u32)> = self.edges.iter().map(|&(u, v)| (v, u)).collect();
+            self.edges.extend(rev);
+        }
+        if self.dedup {
+            self.edges.sort_unstable();
+            self.edges.dedup();
+        }
+        let n = if self.edges.is_empty() {
+            min_vertices
+        } else {
+            (self.max_id + 1).max(min_vertices)
+        };
+        let mut g = Csr::from_edges(n, &self.edges);
+        g.sort_neighbors();
+        g
+    }
+}
+
+/// Extract the largest (weakly) connected component: returns the induced
+/// subgraph with vertices renumbered densely, plus the mapping
+/// `old_id -> Some(new_id)` for retained vertices.
+pub fn largest_component(g: &Csr) -> (Csr, Vec<Option<u32>>) {
+    let labels = connected_components(g);
+    // Find the most frequent label.
+    let mut counts = std::collections::HashMap::new();
+    for &l in &labels {
+        *counts.entry(l).or_insert(0u32) += 1;
+    }
+    let (&giant, _) = counts
+        .iter()
+        .max_by_key(|&(&l, &c)| (c, std::cmp::Reverse(l)))
+        .expect("graph has at least one vertex");
+    // Dense renumbering of the giant component.
+    let mut map = vec![None; g.num_vertices() as usize];
+    let mut next = 0u32;
+    for v in 0..g.num_vertices() {
+        if labels[v as usize] == giant {
+            map[v as usize] = Some(next);
+            next += 1;
+        }
+    }
+    let edges: Vec<(u32, u32)> = g
+        .edges()
+        .filter_map(|(u, v)| Some((map[u as usize]?, map[v as usize]?)))
+        .collect();
+    let mut sub = Csr::from_edges(next, &edges);
+    sub.sort_neighbors();
+    (sub, map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::erdos_renyi;
+
+    #[test]
+    fn builder_cleans_edges() {
+        let mut b = GraphBuilder::new().remove_self_loops().dedup();
+        b.extend([(0, 1), (0, 1), (1, 1), (2, 0)]);
+        assert_eq!(b.len(), 4);
+        let g = b.build(0);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2); // (0,1) deduped, (1,1) dropped
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(2), &[0]);
+    }
+
+    #[test]
+    fn builder_symmetrizes() {
+        let mut b = GraphBuilder::new().symmetrize();
+        b.add_edge(0, 1).add_edge(1, 2);
+        let g = b.build(0);
+        assert!(g.is_symmetric());
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn builder_min_vertices_and_empty() {
+        let b = GraphBuilder::new();
+        assert!(b.is_empty());
+        let g = b.build(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn largest_component_extracts_giant() {
+        // Component A: 0-1-2 (3 vertices); component B: 3-4 (2 vertices);
+        // isolated: 5.
+        let g = Csr::from_edges(
+            6,
+            &[(0, 1), (1, 0), (1, 2), (2, 1), (3, 4), (4, 3)],
+        );
+        let (sub, map) = largest_component(&g);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 4);
+        assert_eq!(map[0], Some(0));
+        assert_eq!(map[2], Some(2));
+        assert_eq!(map[3], None);
+        assert_eq!(map[5], None);
+    }
+
+    #[test]
+    fn largest_component_of_connected_graph_is_identity_shaped() {
+        let g = erdos_renyi(200, 4000, 1).symmetrize();
+        let (sub, map) = largest_component(&g);
+        // Dense ER is almost surely connected.
+        assert_eq!(sub.num_vertices(), 200);
+        assert!(map.iter().all(|m| m.is_some()));
+        assert_eq!(sub.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn largest_component_bfs_covers_everything() {
+        use crate::reference::bfs_levels;
+        let g = Csr::from_edges(10, &[(0, 1), (1, 0), (5, 6), (6, 5), (6, 7), (7, 6)]);
+        let (sub, _) = largest_component(&g);
+        let lv = bfs_levels(&sub, 0);
+        assert!(lv.iter().all(|&l| l != u32::MAX), "giant component is connected");
+    }
+}

@@ -1,0 +1,291 @@
+//! Compressed sparse row (CSR) graph representation.
+//!
+//! The layout the paper's kernels consume directly: a `row_offsets` array of
+//! `n + 1` entries and a `col_indices` array of `m` entries, both `u32` —
+//! exactly what gets uploaded to simulated device memory.
+
+use serde::{Deserialize, Serialize};
+
+/// Vertex identifier.
+pub type VertexId = u32;
+
+/// A directed graph in CSR form. For undirected graphs, each edge appears
+/// in both directions.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Csr {
+    /// `n + 1` monotone offsets into `col_indices`.
+    row_offsets: Vec<u32>,
+    /// Neighbor lists, concatenated.
+    col_indices: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Build from raw arrays, validating all CSR invariants.
+    ///
+    /// # Panics
+    /// If offsets are empty, non-monotone, don't end at
+    /// `col_indices.len()`, or any column index is out of range.
+    pub fn from_raw(row_offsets: Vec<u32>, col_indices: Vec<VertexId>) -> Self {
+        assert!(!row_offsets.is_empty(), "row_offsets must have n+1 entries");
+        assert_eq!(row_offsets[0], 0, "row_offsets must start at 0");
+        assert!(
+            row_offsets.windows(2).all(|w| w[0] <= w[1]),
+            "row_offsets must be monotone"
+        );
+        assert_eq!(
+            *row_offsets.last().unwrap() as usize,
+            col_indices.len(),
+            "last offset must equal edge count"
+        );
+        let n = (row_offsets.len() - 1) as u32;
+        assert!(
+            col_indices.iter().all(|&c| c < n),
+            "column index out of range"
+        );
+        Csr {
+            row_offsets,
+            col_indices,
+        }
+    }
+
+    /// Build from an edge list. Self-loops are kept; parallel edges are kept.
+    /// `n` is the vertex count (edges must stay below it).
+    pub fn from_edges(n: u32, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut deg = vec![0u32; n as usize];
+        for &(u, v) in edges {
+            assert!(u < n && v < n, "edge ({u},{v}) out of range for n={n}");
+            deg[u as usize] += 1;
+        }
+        let mut row_offsets = Vec::with_capacity(n as usize + 1);
+        let mut acc = 0u32;
+        row_offsets.push(0);
+        for d in &deg {
+            acc = acc
+                .checked_add(*d)
+                .expect("edge count overflows u32 CSR offsets");
+            row_offsets.push(acc);
+        }
+        let mut col_indices = vec![0u32; edges.len()];
+        let mut cursor: Vec<u32> = row_offsets[..n as usize].to_vec();
+        for &(u, v) in edges {
+            let c = &mut cursor[u as usize];
+            col_indices[*c as usize] = v;
+            *c += 1;
+        }
+        Csr {
+            row_offsets,
+            col_indices,
+        }
+    }
+
+    /// An edgeless graph with `n` vertices.
+    pub fn empty(n: u32) -> Self {
+        Csr {
+            row_offsets: vec![0; n as usize + 1],
+            col_indices: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> u32 {
+        (self.row_offsets.len() - 1) as u32
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.col_indices.len() as u64
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u32 {
+        self.row_offsets[v as usize + 1] - self.row_offsets[v as usize]
+    }
+
+    /// Neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let s = self.row_offsets[v as usize] as usize;
+        let e = self.row_offsets[v as usize + 1] as usize;
+        &self.col_indices[s..e]
+    }
+
+    /// The raw offsets array (`n + 1` entries) — uploaded to the device.
+    #[inline]
+    pub fn row_offsets(&self) -> &[u32] {
+        &self.row_offsets
+    }
+
+    /// The raw adjacency array (`m` entries) — uploaded to the device.
+    #[inline]
+    pub fn col_indices(&self) -> &[VertexId] {
+        &self.col_indices
+    }
+
+    /// Iterate all directed edges as `(src, dst)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices())
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// The transpose (all edges reversed).
+    pub fn reverse(&self) -> Csr {
+        let edges: Vec<(u32, u32)> = self.edges().map(|(u, v)| (v, u)).collect();
+        Csr::from_edges(self.num_vertices(), &edges)
+    }
+
+    /// Symmetrized copy: for every edge `(u,v)` both directions exist, with
+    /// duplicates removed. Self-loops are dropped.
+    pub fn symmetrize(&self) -> Csr {
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(self.col_indices.len() * 2);
+        for (u, v) in self.edges() {
+            if u != v {
+                edges.push((u, v));
+                edges.push((v, u));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        Csr::from_edges(self.num_vertices(), &edges)
+    }
+
+    /// True if for every edge `(u,v)` the reverse edge exists.
+    pub fn is_symmetric(&self) -> bool {
+        let mut set: Vec<(u32, u32)> = self.edges().collect();
+        set.sort_unstable();
+        self.edges()
+            .all(|(u, v)| set.binary_search(&(v, u)).is_ok())
+    }
+
+    /// Sort each neighbor list ascending (canonical form; also improves
+    /// locality for the CPU baselines).
+    pub fn sort_neighbors(&mut self) {
+        for v in 0..self.num_vertices() {
+            let s = self.row_offsets[v as usize] as usize;
+            let e = self.row_offsets[v as usize + 1] as usize;
+            self.col_indices[s..e].sort_unstable();
+        }
+    }
+
+    /// Maximum out-degree.
+    pub fn max_degree(&self) -> u32 {
+        (0..self.num_vertices())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean out-degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            return 0.0;
+        }
+        self.num_edges() as f64 / self.num_vertices() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Csr {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        Csr::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn from_edges_basics() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[3]);
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        let g = Csr::from_raw(vec![0, 2, 3], vec![1, 0, 0]);
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.neighbors(0), &[1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn from_raw_rejects_nonmonotone() {
+        let _ = Csr::from_raw(vec![0, 3, 2], vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_raw_rejects_bad_column() {
+        let _ = Csr::from_raw(vec![0, 1], vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_edges_rejects_bad_vertex() {
+        let _ = Csr::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(3);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(2), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.mean_degree(), 0.0);
+    }
+
+    #[test]
+    fn edges_iterator_roundtrip() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let g2 = Csr::from_edges(4, &edges);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn reverse_transposes() {
+        let g = diamond();
+        let r = g.reverse();
+        assert_eq!(r.neighbors(3), &[1, 2]);
+        assert_eq!(r.degree(0), 0);
+        assert_eq!(r.reverse(), g);
+    }
+
+    #[test]
+    fn symmetrize_makes_symmetric() {
+        let g = diamond();
+        assert!(!g.is_symmetric());
+        let s = g.symmetrize();
+        assert!(s.is_symmetric());
+        assert_eq!(s.num_edges(), 8);
+        // No self-loops, no duplicates.
+        let mut g2 = Csr::from_edges(3, &[(0, 0), (0, 1), (0, 1), (1, 0)]);
+        g2.sort_neighbors();
+        let s2 = g2.symmetrize();
+        assert_eq!(s2.num_edges(), 2);
+        assert_eq!(s2.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn sort_neighbors_canonicalizes() {
+        let mut g = Csr::from_edges(3, &[(0, 2), (0, 1)]);
+        assert_eq!(g.neighbors(0), &[2, 1]);
+        g.sort_neighbors();
+        assert_eq!(g.neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn degree_stats() {
+        let g = diamond();
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.mean_degree() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,166 @@
+//! Degree-distribution statistics.
+//!
+//! The paper's story is driven by degree-distribution *shape*: heavy tails
+//! cause intra-warp workload imbalance. These statistics quantify that
+//! shape for the dataset table (T1) and for checking generated stand-ins
+//! against their real-graph templates.
+
+use crate::csr::Csr;
+
+/// Summary statistics of a graph's out-degree distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    pub min: u32,
+    pub max: u32,
+    pub mean: f64,
+    /// Standard deviation.
+    pub std_dev: f64,
+    /// Coefficient of variation (`std_dev / mean`) — the paper-relevant
+    /// imbalance proxy. 0 for regular graphs, ≫ 1 for hub-dominated ones.
+    pub cv: f64,
+    /// 50th / 90th / 99th percentile degrees.
+    pub p50: u32,
+    pub p90: u32,
+    pub p99: u32,
+    /// Fraction of all edges owned by the top 1% highest-degree vertices.
+    pub top1pct_edge_share: f64,
+}
+
+impl DegreeStats {
+    /// Compute statistics for `g`'s out-degrees.
+    pub fn of(g: &Csr) -> DegreeStats {
+        let n = g.num_vertices();
+        if n == 0 {
+            return DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                cv: 0.0,
+                p50: 0,
+                p90: 0,
+                p99: 0,
+                top1pct_edge_share: 0.0,
+            };
+        }
+        let mut degs: Vec<u32> = (0..n).map(|v| g.degree(v)).collect();
+        degs.sort_unstable();
+        let m: u64 = degs.iter().map(|&d| d as u64).sum();
+        let mean = m as f64 / n as f64;
+        let var = degs
+            .iter()
+            .map(|&d| {
+                let x = d as f64 - mean;
+                x * x
+            })
+            .sum::<f64>()
+            / n as f64;
+        let std_dev = var.sqrt();
+        let pct = |p: f64| degs[((n as f64 - 1.0) * p) as usize];
+        let top_count = ((n as f64) * 0.01).ceil() as usize;
+        let top_edges: u64 = degs[n as usize - top_count..]
+            .iter()
+            .map(|&d| d as u64)
+            .sum();
+        DegreeStats {
+            min: degs[0],
+            max: *degs.last().unwrap(),
+            mean,
+            std_dev,
+            cv: if mean > 0.0 { std_dev / mean } else { 0.0 },
+            p50: pct(0.50),
+            p90: pct(0.90),
+            p99: pct(0.99),
+            top1pct_edge_share: if m > 0 { top_edges as f64 / m as f64 } else { 0.0 },
+        }
+    }
+}
+
+/// Log-2 bucketed degree histogram: `buckets[k]` counts vertices with
+/// degree in `[2^(k-1)+1 .. 2^k]` (bucket 0 counts degree-0, bucket 1
+/// counts degree-1).
+pub fn degree_histogram_log2(g: &Csr) -> Vec<u64> {
+    let mut buckets = vec![0u64; 34];
+    for v in 0..g.num_vertices() {
+        let d = g.degree(v);
+        let b = if d == 0 {
+            0
+        } else {
+            (32 - (d - 1).leading_zeros()) as usize + 1
+        };
+        buckets[b.min(33)] += 1;
+    }
+    while buckets.len() > 1 && *buckets.last().unwrap() == 0 {
+        buckets.pop();
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_graph_has_zero_cv() {
+        // Ring: every vertex degree 1.
+        let edges: Vec<(u32, u32)> = (0..8u32).map(|v| (v, (v + 1) % 8)).collect();
+        let g = Csr::from_edges(8, &edges);
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1);
+        assert_eq!(s.cv, 0.0);
+        assert_eq!(s.p50, 1);
+        assert_eq!(s.p99, 1);
+    }
+
+    #[test]
+    fn hub_graph_has_high_cv_and_edge_share() {
+        // Star with 100 leaves: hub owns all edges.
+        let n = 101u32;
+        let edges: Vec<(u32, u32)> = (1..n).map(|v| (0, v)).collect();
+        let g = Csr::from_edges(n, &edges);
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.min, 0);
+        assert!(s.cv > 5.0, "cv={}", s.cv);
+        assert!((s.top1pct_edge_share - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = DegreeStats::of(&Csr::empty(0));
+        assert_eq!(s.max, 0);
+        assert_eq!(s.cv, 0.0);
+        let s2 = DegreeStats::of(&Csr::empty(5));
+        assert_eq!(s2.mean, 0.0);
+        assert_eq!(s2.top1pct_edge_share, 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        // Degrees: 0, 1, 2, 3, 4 over five vertices.
+        let mut edges = Vec::new();
+        for v in 1..5u32 {
+            for k in 0..v {
+                edges.push((v, k % 5));
+            }
+        }
+        let g = Csr::from_edges(5, &edges);
+        let h = degree_histogram_log2(&g);
+        assert_eq!(h[0], 1); // degree 0
+        assert_eq!(h[1], 1); // degree 1
+        assert_eq!(h[2], 1); // degree 2
+        assert_eq!(h[3], 2); // degrees 3..4
+    }
+
+    #[test]
+    fn percentiles_ordered() {
+        let edges: Vec<(u32, u32)> = (0..1000u32)
+            .flat_map(|v| (0..(v % 17)).map(move |k| (v, (v + k + 1) % 1000)))
+            .collect();
+        let g = Csr::from_edges(1000, &edges);
+        let s = DegreeStats::of(&g);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+        assert!(s.min <= s.p50);
+    }
+}

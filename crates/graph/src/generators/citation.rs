@@ -1,0 +1,83 @@
+//! Citation-style graphs — the cit-Patents stand-in: vertices arrive in
+//! order and cite earlier vertices with a recency-plus-popularity bias.
+//! Moderate maximum degree, mild tail: between ER and RMAT on the
+//! imbalance spectrum, matching where Patents sits in the paper's results.
+
+use crate::csr::Csr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Build a citation graph: vertex `u` (for `u > 0`) cites up to
+/// `citations_per_vertex` earlier vertices; with probability
+/// `preferential` a citation copies the target of an existing edge
+/// (preferential attachment — yields a mild power law on in-degree),
+/// otherwise the target is uniform over `[0, u)`.
+pub fn citation_graph(n: u32, citations_per_vertex: u32, preferential: f64, seed: u64) -> Csr {
+    assert!(n >= 2);
+    assert!((0.0..=1.0).contains(&preferential));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity((n as usize) * citations_per_vertex as usize);
+    for u in 1..n {
+        let c = citations_per_vertex.min(u);
+        for _ in 0..c {
+            let v = if !edges.is_empty() && rng.gen::<f64>() < preferential {
+                // Copy an earlier citation's target (preferential).
+                let (_, t) = edges[rng.gen_range(0..edges.len())];
+                if t < u {
+                    t
+                } else {
+                    rng.gen_range(0..u)
+                }
+            } else {
+                rng.gen_range(0..u)
+            };
+            edges.push((u, v));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    Csr::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeStats;
+
+    #[test]
+    fn is_a_dag_by_construction() {
+        let g = citation_graph(500, 5, 0.5, 1);
+        assert!(g.edges().all(|(u, v)| v < u), "citations point backward");
+    }
+
+    #[test]
+    fn out_degree_bounded() {
+        let g = citation_graph(1000, 8, 0.3, 2);
+        let s = DegreeStats::of(&g);
+        assert!(s.max <= 8);
+        // Out-degrees are tight; the tail lives on in-degrees.
+        let rin = g.reverse();
+        let sin = DegreeStats::of(&rin);
+        assert!(sin.max > 3 * sin.mean as u32, "in-deg max={} mean={}", sin.max, sin.mean);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            citation_graph(128, 4, 0.5, 7),
+            citation_graph(128, 4, 0.5, 7)
+        );
+        assert_ne!(
+            citation_graph(128, 4, 0.5, 7),
+            citation_graph(128, 4, 0.5, 8)
+        );
+    }
+
+    #[test]
+    fn early_vertices_cite_fewer() {
+        let g = citation_graph(100, 10, 0.0, 3);
+        assert_eq!(g.degree(0), 0);
+        assert!(g.degree(1) <= 1);
+        assert!(g.degree(50) <= 10);
+    }
+}

@@ -1,0 +1,60 @@
+//! Erdős–Rényi uniform random graphs — the paper's "Random" datasets.
+//! Degrees concentrate tightly around the mean (binomial), so these graphs
+//! have *low* intra-warp imbalance: the control group for the RMAT family.
+
+use crate::csr::Csr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `G(n, m)`: exactly `m` directed edges chosen uniformly (self-loops
+/// excluded, parallel edges possible but rare for sparse graphs).
+pub fn erdos_renyi(n: u32, m: u64, seed: u64) -> Csr {
+    assert!(n >= 2, "need at least two vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m as usize);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n);
+        let mut v = rng.gen_range(0..n);
+        while v == u {
+            v = rng.gen_range(0..n);
+        }
+        edges.push((u, v));
+    }
+    Csr::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeStats;
+
+    #[test]
+    fn exact_edge_count_and_determinism() {
+        let g = erdos_renyi(500, 3000, 9);
+        assert_eq!(g.num_vertices(), 500);
+        assert_eq!(g.num_edges(), 3000);
+        assert_eq!(g, erdos_renyi(500, 3000, 9));
+        assert_ne!(g, erdos_renyi(500, 3000, 10));
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = erdos_renyi(100, 1000, 1);
+        assert!(g.edges().all(|(u, v)| u != v));
+    }
+
+    #[test]
+    fn degrees_concentrate_near_mean() {
+        let g = erdos_renyi(2000, 32_000, 11);
+        let s = DegreeStats::of(&g);
+        // Binomial with mean 16: CV ≈ 1/4, max well under 4x mean.
+        assert!(s.cv < 0.5, "cv={}", s.cv);
+        assert!((s.max as f64) < 4.0 * s.mean, "max={} mean={}", s.max, s.mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_n_rejected() {
+        let _ = erdos_renyi(1, 0, 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! 2-D grid (mesh) graphs — the stand-in for road networks: near-constant
+//! low degree, huge diameter. On these graphs the baseline thread-per-vertex
+//! kernel is already balanced, so virtual-warp-centric execution *wastes*
+//! SIMD lanes — the crossover case in the paper's figures.
+
+use crate::csr::Csr;
+
+/// A `width × height` 4-neighbor mesh, symmetric (each adjacency stored in
+/// both directions). Vertex `(x, y)` has id `y * width + x`.
+pub fn grid2d(width: u32, height: u32) -> Csr {
+    assert!(width >= 1 && height >= 1);
+    let n = width
+        .checked_mul(height)
+        .expect("grid dimensions overflow u32");
+    let mut edges = Vec::with_capacity(4 * n as usize);
+    for y in 0..height {
+        for x in 0..width {
+            let v = y * width + x;
+            if x + 1 < width {
+                edges.push((v, v + 1));
+                edges.push((v + 1, v));
+            }
+            if y + 1 < height {
+                edges.push((v, v + width));
+                edges.push((v + width, v));
+            }
+        }
+    }
+    Csr::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeStats;
+
+    #[test]
+    fn small_grid_structure() {
+        let g = grid2d(3, 2);
+        assert_eq!(g.num_vertices(), 6);
+        // 2x3 grid: 7 undirected edges = 14 directed.
+        assert_eq!(g.num_edges(), 14);
+        // Corner (0,0) has 2 neighbors: right (1) and down (3).
+        let mut nb = g.neighbors(0).to_vec();
+        nb.sort_unstable();
+        assert_eq!(nb, vec![1, 3]);
+    }
+
+    #[test]
+    fn interior_degree_is_four() {
+        let g = grid2d(10, 10);
+        // Vertex (5,5) = 55 is interior.
+        assert_eq!(g.degree(55), 4);
+        // Corner degree 2.
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn symmetric_and_regularish() {
+        let g = grid2d(20, 20);
+        assert!(g.is_symmetric());
+        let s = DegreeStats::of(&g);
+        assert!(s.max <= 4);
+        assert!(s.cv < 0.3, "cv={}", s.cv);
+    }
+
+    #[test]
+    fn degenerate_line() {
+        let g = grid2d(5, 1);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+}

@@ -1,0 +1,82 @@
+//! Extreme-hub graphs — the WikiTalk-shaped stand-in: a tiny set of vertices
+//! with enormous degree embedded in a low-degree background. This is the
+//! worst case for thread-per-vertex kernels (one thread serially walks a
+//! million-edge adjacency list while its warp idles) and the best case for
+//! the paper's *defer outliers* technique.
+
+use crate::csr::Csr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Build a hub graph: `num_hubs` vertices receive `hub_degree` out-edges to
+/// uniform random targets; every other vertex gets `base_degree` out-edges.
+/// The graph is left directed (like the talk/citation graphs it mimics).
+pub fn hub_graph(n: u32, num_hubs: u32, hub_degree: u32, base_degree: u32, seed: u64) -> Csr {
+    assert!(num_hubs <= n, "more hubs than vertices");
+    assert!(hub_degree < n, "hub degree must be below n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges =
+        Vec::with_capacity((num_hubs as usize) * (hub_degree as usize)
+            + ((n - num_hubs) as usize) * (base_degree as usize));
+    // Hubs are spread across the id space (not clustered at 0) so that a
+    // warp of consecutive vertex ids usually contains at most one hub —
+    // the worst case for intra-warp imbalance.
+    let stride = (n / num_hubs.max(1)).max(1);
+    let mut is_hub = vec![false; n as usize];
+    for h in 0..num_hubs {
+        is_hub[(h * stride) as usize % n as usize] = true;
+    }
+    for u in 0..n {
+        let d = if is_hub[u as usize] { hub_degree } else { base_degree };
+        for _ in 0..d {
+            let mut v = rng.gen_range(0..n);
+            while v == u {
+                v = rng.gen_range(0..n);
+            }
+            edges.push((u, v));
+        }
+    }
+    Csr::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeStats;
+
+    #[test]
+    fn hub_degrees_dominant() {
+        let g = hub_graph(1000, 5, 500, 4, 3);
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.max, 500);
+        assert!(s.cv > 3.0, "cv={}", s.cv);
+        // Top 1% of vertices (10) includes the 5 hubs: most edges.
+        assert!(s.top1pct_edge_share > 0.3, "{}", s.top1pct_edge_share);
+    }
+
+    #[test]
+    fn non_hubs_have_base_degree() {
+        let g = hub_graph(100, 2, 50, 3, 1);
+        let heavy = (0..100).filter(|&v| g.degree(v) == 50).count();
+        let light = (0..100).filter(|&v| g.degree(v) == 3).count();
+        assert_eq!(heavy, 2);
+        assert_eq!(light, 98);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hub_graph(64, 2, 16, 2, 5), hub_graph(64, 2, 16, 2, 5));
+        assert_ne!(hub_graph(64, 2, 16, 2, 5), hub_graph(64, 2, 16, 2, 6));
+    }
+
+    #[test]
+    fn hubs_spread_out() {
+        let g = hub_graph(1024, 4, 100, 2, 9);
+        let hubs: Vec<u32> = (0..1024).filter(|&v| g.degree(v) == 100).collect();
+        assert_eq!(hubs.len(), 4);
+        // No two hubs within the same 32-vertex warp span.
+        for w in hubs.windows(2) {
+            assert!(w[1] / 32 != w[0] / 32);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Synthetic graph generators.
+//!
+//! Each generator is deterministic given its seed and reproduces a degree
+//! -distribution *class* from the paper's evaluation: scale-free/heavy-tail
+//! (RMAT), uniform random (Erdős–Rényi), citation-like bounded DAGs,
+//! extreme-hub graphs, low-degree meshes (road networks), small-world
+//! rings, and exactly-regular graphs.
+
+pub mod citation;
+pub mod erdos_renyi;
+pub mod grid;
+pub mod hub;
+pub mod regular;
+pub mod rmat;
+pub mod small_world;
+
+pub use citation::citation_graph;
+pub use erdos_renyi::erdos_renyi;
+pub use grid::grid2d;
+pub use hub::hub_graph;
+pub use regular::regular_graph;
+pub use rmat::{rmat, RmatConfig};
+pub use small_world::small_world;
+
+use crate::csr::Csr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random edge weights in `[1, max_weight]`, one per directed edge
+/// of `g`, aligned with `g.col_indices()`.
+pub fn random_weights(g: &Csr, max_weight: u32, seed: u64) -> Vec<u32> {
+    assert!(max_weight >= 1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x77e1_u64);
+    (0..g.num_edges()).map(|_| rng.gen_range(1..=max_weight)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_in_range_and_deterministic() {
+        let g = erdos_renyi(100, 400, 7);
+        let w1 = random_weights(&g, 16, 3);
+        let w2 = random_weights(&g, 16, 3);
+        assert_eq!(w1, w2);
+        assert_eq!(w1.len() as u64, g.num_edges());
+        assert!(w1.iter().all(|&x| (1..=16).contains(&x)));
+        let w3 = random_weights(&g, 16, 4);
+        assert_ne!(w1, w3);
+    }
+}

@@ -1,0 +1,71 @@
+//! Exactly-regular random graphs: every vertex has out-degree `k` with
+//! uniformly random distinct targets. Zero degree variance — the extreme
+//! "balanced" endpoint of the workload-imbalance spectrum.
+
+use crate::csr::Csr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random `k`-out-regular directed graph (no self-loops, no duplicate
+/// targets per vertex).
+pub fn regular_graph(n: u32, k: u32, seed: u64) -> Csr {
+    assert!(k < n, "out-degree {k} must be below vertex count {n}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity((n as usize) * (k as usize));
+    let mut chosen: Vec<u32> = Vec::with_capacity(k as usize);
+    for u in 0..n {
+        chosen.clear();
+        while chosen.len() < k as usize {
+            let v = rng.gen_range(0..n);
+            if v != u && !chosen.contains(&v) {
+                chosen.push(v);
+            }
+        }
+        for &v in &chosen {
+            edges.push((u, v));
+        }
+    }
+    Csr::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeStats;
+
+    #[test]
+    fn every_vertex_has_degree_k() {
+        let g = regular_graph(200, 8, 5);
+        for v in 0..200 {
+            assert_eq!(g.degree(v), 8);
+        }
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.cv, 0.0);
+        assert_eq!(s.min, 8);
+        assert_eq!(s.max, 8);
+    }
+
+    #[test]
+    fn no_self_loops_or_dup_targets() {
+        let g = regular_graph(50, 6, 1);
+        for u in 0..50u32 {
+            let mut nb = g.neighbors(u).to_vec();
+            assert!(!nb.contains(&u));
+            nb.sort_unstable();
+            nb.dedup();
+            assert_eq!(nb.len(), 6);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(regular_graph(64, 4, 9), regular_graph(64, 4, 9));
+        assert_ne!(regular_graph(64, 4, 9), regular_graph(64, 4, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be below")]
+    fn k_too_large_rejected() {
+        let _ = regular_graph(4, 4, 0);
+    }
+}

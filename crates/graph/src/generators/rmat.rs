@@ -1,0 +1,161 @@
+//! R-MAT (recursive matrix) generator — the standard scale-free synthetic
+//! graph family used throughout the GPU-graph literature, including the
+//! paper's RMAT datasets. Skewed partition probabilities produce a
+//! power-law-like degree distribution with pronounced hubs.
+
+use crate::csr::Csr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// R-MAT parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RmatConfig {
+    /// `n = 2^scale` vertices.
+    pub scale: u32,
+    /// `m = edge_factor * n` generated edges (before optional dedup).
+    pub edge_factor: u32,
+    /// Quadrant probabilities; must sum to ~1. Graph500 uses
+    /// (0.57, 0.19, 0.19, 0.05); the classic skewed setting is
+    /// (0.45, 0.15, 0.15, 0.25).
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    /// Remove duplicate edges and self-loops.
+    pub dedup: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RmatConfig {
+    /// The skew used by the paper era's RMAT experiments.
+    pub fn classic(scale: u32, edge_factor: u32, seed: u64) -> Self {
+        RmatConfig {
+            scale,
+            edge_factor,
+            a: 0.45,
+            b: 0.15,
+            c: 0.15,
+            dedup: true,
+            seed,
+        }
+    }
+
+    /// Graph500 parameters: stronger skew, bigger hubs.
+    pub fn graph500(scale: u32, edge_factor: u32, seed: u64) -> Self {
+        RmatConfig {
+            scale,
+            edge_factor,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            dedup: true,
+            seed,
+        }
+    }
+
+    fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generate an R-MAT graph.
+pub fn rmat(cfg: &RmatConfig) -> Csr {
+    assert!(cfg.scale <= 28, "scale {} too large for u32 ids", cfg.scale);
+    assert!(cfg.d() > -1e-9, "quadrant probabilities exceed 1");
+    let n = 1u32 << cfg.scale;
+    let m = (n as u64 * cfg.edge_factor as u64) as usize;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut u, mut v) = (0u32, 0u32);
+        for _ in 0..cfg.scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.gen();
+            if r < cfg.a {
+                // upper-left: no bits set
+            } else if r < cfg.a + cfg.b {
+                v |= 1;
+            } else if r < cfg.a + cfg.b + cfg.c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        edges.push((u, v));
+    }
+    if cfg.dedup {
+        edges.retain(|&(u, v)| u != v);
+        edges.sort_unstable();
+        edges.dedup();
+    }
+    Csr::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeStats;
+
+    #[test]
+    fn sizes_and_determinism() {
+        let cfg = RmatConfig::classic(10, 8, 42);
+        let g1 = rmat(&cfg);
+        let g2 = rmat(&cfg);
+        assert_eq!(g1, g2);
+        assert_eq!(g1.num_vertices(), 1024);
+        // Dedup removes some of the 8192 generated edges.
+        assert!(g1.num_edges() > 4000 && g1.num_edges() <= 8192);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g1 = rmat(&RmatConfig::classic(8, 8, 1));
+        let g2 = rmat(&RmatConfig::classic(8, 8, 2));
+        assert_ne!(g1, g2);
+    }
+
+    #[test]
+    fn skewed_distribution_has_hubs() {
+        let g = rmat(&RmatConfig::graph500(12, 16, 7));
+        let s = DegreeStats::of(&g);
+        // Scale-free shape: max degree far above mean, high CV.
+        assert!(
+            s.max as f64 > 10.0 * s.mean,
+            "max={} mean={}",
+            s.max,
+            s.mean
+        );
+        assert!(s.cv > 1.0, "cv={}", s.cv);
+    }
+
+    #[test]
+    fn no_dedup_keeps_count_exact() {
+        let mut cfg = RmatConfig::classic(8, 4, 3);
+        cfg.dedup = false;
+        let g = rmat(&cfg);
+        assert_eq!(g.num_edges(), 256 * 4);
+    }
+
+    #[test]
+    fn dedup_removes_self_loops() {
+        let g = rmat(&RmatConfig::classic(8, 8, 5));
+        assert!(g.edges().all(|(u, v)| u != v));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn invalid_probabilities_panic() {
+        let cfg = RmatConfig {
+            scale: 4,
+            edge_factor: 2,
+            a: 0.6,
+            b: 0.3,
+            c: 0.3,
+            dedup: false,
+            seed: 0,
+        };
+        let _ = rmat(&cfg);
+    }
+}

@@ -1,0 +1,70 @@
+//! Watts–Strogatz small-world graphs: a ring lattice with random rewiring.
+//! Low degree variance but short diameter — distinguishes "few BFS levels"
+//! effects from "heavy tail" effects in the experiments.
+
+use crate::csr::Csr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Watts–Strogatz graph: `n` vertices on a ring, each connected to its `k`
+/// nearest neighbors on each side (degree `2k` before rewiring), each edge
+/// rewired with probability `p` to a uniform random target. Returned graph
+/// is symmetric.
+pub fn small_world(n: u32, k: u32, p: f64, seed: u64) -> Csr {
+    assert!(n > 2 * k, "need n > 2k (n={n}, k={k})");
+    assert!((0.0..=1.0).contains(&p));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity((n as usize) * (k as usize) * 2);
+    for u in 0..n {
+        for j in 1..=k {
+            let mut v = (u + j) % n;
+            if rng.gen::<f64>() < p {
+                // Rewire to a uniform non-self target.
+                v = rng.gen_range(0..n);
+                while v == u {
+                    v = rng.gen_range(0..n);
+                }
+            }
+            edges.push((u, v));
+            edges.push((v, u));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    Csr::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeStats;
+
+    #[test]
+    fn unrewired_ring_is_regular() {
+        let g = small_world(100, 3, 0.0, 1);
+        for v in 0..100 {
+            assert_eq!(g.degree(v), 6, "vertex {v}");
+        }
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn rewiring_perturbs_but_stays_low_variance() {
+        let g = small_world(1000, 4, 0.1, 2);
+        let s = DegreeStats::of(&g);
+        assert!(s.mean > 7.0 && s.mean < 9.0, "mean={}", s.mean);
+        assert!(s.cv < 0.4, "cv={}", s.cv);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(small_world(64, 2, 0.3, 7), small_world(64, 2, 0.3, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "need n > 2k")]
+    fn degenerate_rejected() {
+        let _ = small_world(4, 2, 0.0, 0);
+    }
+}

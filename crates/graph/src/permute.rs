@@ -1,0 +1,178 @@
+//! Vertex relabeling (permutations).
+//!
+//! Vertex ordering controls memory locality: the baseline kernel's frontier
+//! scan is only coalesced because consecutive thread ids map to consecutive
+//! vertices, and adjacency lists of nearby vertices sit nearby in CSR.
+//! Relabeling lets the harness isolate how much of each method's
+//! performance comes from lucky ordering (ablation A1 in DESIGN.md).
+
+use crate::csr::Csr;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Relabel vertices: `perm[old] = new`. Edges `(u,v)` become
+/// `(perm[u], perm[v])`; neighbor lists are re-sorted into the new id
+/// order so the result is canonical.
+pub fn apply_permutation(g: &Csr, perm: &[u32]) -> Csr {
+    let n = g.num_vertices();
+    assert_eq!(perm.len() as u32, n, "permutation length must equal n");
+    debug_assert!(is_permutation(perm));
+    let edges: Vec<(u32, u32)> = g
+        .edges()
+        .map(|(u, v)| (perm[u as usize], perm[v as usize]))
+        .collect();
+    let mut out = Csr::from_edges(n, &edges);
+    out.sort_neighbors();
+    out
+}
+
+/// True if `perm` is a bijection on `0..len`.
+pub fn is_permutation(perm: &[u32]) -> bool {
+    let mut seen = vec![false; perm.len()];
+    for &p in perm {
+        if p as usize >= perm.len() || seen[p as usize] {
+            return false;
+        }
+        seen[p as usize] = true;
+    }
+    true
+}
+
+/// Inverse permutation: `inv[perm[i]] = i`.
+pub fn inverse_permutation(perm: &[u32]) -> Vec<u32> {
+    let mut inv = vec![0u32; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p as usize] = i as u32;
+    }
+    inv
+}
+
+/// A uniformly random permutation (destroys locality).
+pub fn random_permutation(n: u32, seed: u64) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..n).collect();
+    perm.shuffle(&mut StdRng::seed_from_u64(seed));
+    perm
+}
+
+/// BFS-order relabeling from `src`: vertices get ids in discovery order
+/// (unreached vertices keep their relative order after all reached ones).
+/// This is the locality-restoring ordering (Cuthill–McKee flavoured).
+pub fn bfs_permutation(g: &Csr, src: u32) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut perm = vec![u32::MAX; n as usize];
+    let mut next_id = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+    perm[src as usize] = next_id;
+    next_id += 1;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if perm[v as usize] == u32::MAX {
+                perm[v as usize] = next_id;
+                next_id += 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    for p in perm.iter_mut() {
+        if *p == u32::MAX {
+            *p = next_id;
+            next_id += 1;
+        }
+    }
+    perm
+}
+
+/// Degree-descending relabeling: hubs get the smallest ids (clusters the
+/// heavy tail at the front — adversarial for static partitioning).
+pub fn degree_sort_permutation(g: &Csr) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut order: Vec<u32> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    inverse_permutation(&order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::erdos_renyi;
+    use crate::reference::bfs_levels;
+
+    #[test]
+    fn identity_permutation_is_noop() {
+        let mut g = erdos_renyi(100, 600, 1);
+        g.sort_neighbors();
+        let id: Vec<u32> = (0..100).collect();
+        assert_eq!(apply_permutation(&g, &id), g);
+    }
+
+    #[test]
+    fn permutation_preserves_structure() {
+        let g = erdos_renyi(200, 1000, 2);
+        let perm = random_permutation(200, 7);
+        let pg = apply_permutation(&g, &perm);
+        assert_eq!(pg.num_edges(), g.num_edges());
+        // Degree multiset preserved.
+        let mut d1: Vec<u32> = (0..200).map(|v| g.degree(v)).collect();
+        let mut d2: Vec<u32> = (0..200).map(|v| pg.degree(v)).collect();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        assert_eq!(d1, d2);
+        // BFS levels commute with relabeling.
+        let lv = bfs_levels(&g, 0);
+        let plv = bfs_levels(&pg, perm[0]);
+        for v in 0..200usize {
+            assert_eq!(lv[v], plv[perm[v] as usize], "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let perm = random_permutation(64, 3);
+        let inv = inverse_permutation(&perm);
+        assert!(is_permutation(&inv));
+        let g = erdos_renyi(64, 256, 4);
+        let mut gg = g.clone();
+        gg.sort_neighbors();
+        let back = apply_permutation(&apply_permutation(&g, &perm), &inv);
+        assert_eq!(back, gg);
+    }
+
+    #[test]
+    fn is_permutation_detects_bad_input() {
+        assert!(is_permutation(&[2, 0, 1]));
+        assert!(!is_permutation(&[0, 0, 1]));
+        assert!(!is_permutation(&[0, 3, 1]));
+        assert!(is_permutation(&[]));
+    }
+
+    #[test]
+    fn bfs_permutation_orders_by_discovery() {
+        // Path 0-1-2-3 with ids scrambled: BFS order from 2.
+        let g = Csr::from_edges(4, &[(2, 1), (1, 2), (1, 0), (0, 1), (2, 3), (3, 2)]);
+        let perm = bfs_permutation(&g, 2);
+        assert_eq!(perm[2], 0); // source first
+        assert!(is_permutation(&perm));
+        // Neighbors of the source get the next ids.
+        assert!(perm[1] <= 2 && perm[3] <= 2);
+    }
+
+    #[test]
+    fn bfs_permutation_handles_unreachable() {
+        let g = Csr::from_edges(5, &[(0, 1)]);
+        let perm = bfs_permutation(&g, 0);
+        assert!(is_permutation(&perm));
+        assert_eq!(perm[0], 0);
+        assert_eq!(perm[1], 1);
+    }
+
+    #[test]
+    fn degree_sort_puts_hubs_first() {
+        let edges: Vec<(u32, u32)> = (1..20u32).map(|v| (7, v % 20)).collect();
+        let g = Csr::from_edges(20, &edges);
+        let perm = degree_sort_permutation(&g);
+        assert_eq!(perm[7], 0, "highest-degree vertex gets id 0");
+        assert!(is_permutation(&perm));
+    }
+}

@@ -1,0 +1,126 @@
+//! Shared-memory histogram — the classic kernel for demonstrating the
+//! simulator's shared memory, bank conflicts, and two-level atomic
+//! reduction.
+//!
+//! Each block builds a private histogram in shared memory (cheap atomics,
+//! possible bank conflicts), then flushes it to the global histogram with
+//! one global atomic per bin per block.
+//!
+//! ```text
+//! cargo run --release -p maxwarp-simt --example histogram
+//! ```
+
+use maxwarp_simt::{BlockCtx, Gpu, GpuConfig, Lanes, Mask};
+
+const BINS: u32 = 64;
+
+fn main() {
+    let cfg = GpuConfig::fermi_c2050();
+    let mut gpu = Gpu::new(cfg);
+
+    // Skewed input data: a Zipf-ish mix so some bins are hot (atomic
+    // contention) and others cold.
+    let n = 1 << 16;
+    let data: Vec<u32> = (0..n)
+        .map(|i| {
+            let x = (i * 2654435761u64 as usize) as u64 % 1000;
+            if x < 500 {
+                0 // hot bin
+            } else {
+                (x % BINS as u64) as u32
+            }
+        })
+        .collect();
+    let d_data = gpu.mem.alloc_from(&data);
+    let d_hist = gpu.mem.alloc::<u32>(BINS);
+
+    let block_threads = 256u32;
+    let grid = 64u32;
+    let total = n as u32;
+
+    let stats = gpu
+        .launch(grid, block_threads, &|b: &mut BlockCtx<'_>| {
+            let sh = b.shared_alloc::<u32>(BINS);
+            let bid = b.block_id();
+            let nblocks = b.num_blocks();
+            let bthreads = b.threads_per_block();
+
+            // Phase 1: grid-stride accumulation into the block-private
+            // shared histogram.
+            b.phase(|w| {
+                let base = bid * bthreads + w.id().warp_in_block * 32;
+                let mut idx = w.alu1(Mask::FULL, &w.lane_ids(), |l| base + l);
+                let stride = nblocks * bthreads;
+                let mut m = w.lt_scalar(Mask::FULL, &idx, total);
+                while m.any() {
+                    let v = w.ld(m, d_data, &idx);
+                    // Warp-aggregated shared-memory increment: lanes that
+                    // hit the same bin elect one writer that adds the whole
+                    // group's count (the classic ballot/popc aggregation;
+                    // charged as two extra warp instructions).
+                    let cur = w.sh_ld(m, sh, &v);
+                    let mut writers = Mask::NONE;
+                    let mut newv = Lanes::splat(0u32);
+                    for l in m.iter() {
+                        let bin = v.get(l);
+                        let group: Vec<usize> =
+                            m.iter().filter(|&k| v.get(k) == bin).collect();
+                        if *group.last().unwrap() == l {
+                            writers = writers.with(l, true);
+                            newv.set(l, cur.get(l) + group.len() as u32);
+                        }
+                    }
+                    w.alu_nop(m); // ballot
+                    w.alu_nop(m); // popc + leader election
+                    w.sh_st(writers, sh, &v, &newv);
+                    idx = w.add_scalar(m, &idx, stride);
+                    m = m & w.lt_scalar(m, &idx, total);
+                }
+            });
+            b.barrier();
+
+            // Phase 2: flush shared bins to the global histogram.
+            b.phase(|w| {
+                let wib = w.id().warp_in_block;
+                if wib >= BINS / 32 {
+                    return;
+                }
+                let bin = w.alu1(Mask::FULL, &w.lane_ids(), |l| wib * 32 + l);
+                let v = w.sh_ld(Mask::FULL, sh, &bin);
+                let nz = w.alu_pred(Mask::FULL, &v, |x| x > 0);
+                if nz.any() {
+                    let _ = w.atomic_add(nz, d_hist, &bin, &v);
+                }
+            });
+        })
+        .unwrap();
+
+    // NOTE: the intra-block shared-memory RMW above is only safe because
+    // warps of a block execute phases sequentially in this simulator; on
+    // real hardware you would use atomicAdd on shared memory. The point
+    // here is the cost model, which charges the same two shared accesses.
+
+    let hist = gpu.mem.download(d_hist);
+    let expect = {
+        let mut e = vec![0u32; BINS as usize];
+        for &v in &data {
+            e[v as usize] += 1;
+        }
+        e
+    };
+    assert_eq!(hist, expect, "histogram must match host computation");
+
+    println!(
+        "histogram of {} elements into {} bins: OK | {} cycles | lane-util {:.1}% | \
+         {} shared ops ({} conflict replays) | {} atomics ({} replays)",
+        n,
+        BINS,
+        stats.cycles,
+        stats.lane_utilization() * 100.0,
+        stats.shared_instructions,
+        stats.shared_replay_passes,
+        stats.atomic_instructions,
+        stats.atomic_replays
+    );
+    println!("hot bin 0 holds {} of {} elements", hist[0], n);
+}

@@ -1,0 +1,102 @@
+//! Global-memory coalescing model.
+//!
+//! When a warp issues a load or store, the hardware inspects the byte
+//! addresses of the active lanes and merges them into memory *transactions*
+//! of `segment_bytes` each (128 B on the parts the paper targeted). A fully
+//! coalesced access — 32 consecutive 4-byte words — costs one transaction;
+//! a fully scattered access costs one transaction per active lane. This gap
+//! is the second of the two pathologies the paper attacks (the first being
+//! intra-warp workload imbalance).
+
+use crate::lanes::WARP_SIZE;
+
+/// Count the memory transactions needed to service the given active-lane
+/// byte addresses with segments of `segment_bytes`.
+///
+/// Duplicate addresses and addresses within the same segment are merged,
+/// matching the broadcast behaviour of real hardware. Returns 0 for an
+/// empty address set.
+pub fn transactions(addrs: impl IntoIterator<Item = u64>, segment_bytes: u32) -> u32 {
+    debug_assert!(segment_bytes.is_power_of_two());
+    let shift = segment_bytes.trailing_zeros();
+    // A warp has at most 32 lanes, so a tiny linear-scan set beats hashing.
+    let mut segs = [0u64; WARP_SIZE];
+    let mut n = 0usize;
+    'outer: for a in addrs {
+        let seg = a >> shift;
+        for &s in &segs[..n] {
+            if s == seg {
+                continue 'outer;
+            }
+        }
+        segs[n] = seg;
+        n += 1;
+    }
+    n as u32
+}
+
+/// Transactions for a warp accessing `base + idx*4` for each active index —
+/// the common case of indexing a word array.
+pub fn transactions_words(
+    base_byte: u64,
+    idxs: impl IntoIterator<Item = u32>,
+    segment_bytes: u32,
+) -> u32 {
+    transactions(
+        idxs.into_iter().map(|i| base_byte + (i as u64) * 4),
+        segment_bytes,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_access_is_free() {
+        assert_eq!(transactions(std::iter::empty(), 128), 0);
+    }
+
+    #[test]
+    fn fully_coalesced_is_one() {
+        // 32 consecutive words starting at a segment boundary.
+        let addrs = (0..32u64).map(|i| 4096 + i * 4);
+        assert_eq!(transactions(addrs, 128), 1);
+    }
+
+    #[test]
+    fn misaligned_consecutive_is_two() {
+        // 32 consecutive words straddling a 128 B boundary.
+        let addrs = (0..32u64).map(|i| 4096 + 64 + i * 4);
+        assert_eq!(transactions(addrs, 128), 2);
+    }
+
+    #[test]
+    fn fully_scattered_is_per_lane() {
+        // Each lane hits its own segment.
+        let addrs = (0..32u64).map(|i| i * 1024);
+        assert_eq!(transactions(addrs, 128), 32);
+    }
+
+    #[test]
+    fn broadcast_is_one() {
+        let addrs = std::iter::repeat(4096u64).take(32);
+        assert_eq!(transactions(addrs, 128), 1);
+    }
+
+    #[test]
+    fn smaller_segments_cost_more() {
+        let addrs: Vec<u64> = (0..32u64).map(|i| i * 4).collect();
+        assert_eq!(transactions(addrs.iter().copied(), 128), 1);
+        assert_eq!(transactions(addrs.iter().copied(), 64), 2);
+        assert_eq!(transactions(addrs.iter().copied(), 32), 4);
+    }
+
+    #[test]
+    fn word_index_helper_matches() {
+        let base = 256u64;
+        let idxs = [0u32, 1, 2, 31, 32];
+        let direct = transactions(idxs.iter().map(|&i| base + i as u64 * 4), 128);
+        assert_eq!(transactions_words(base, idxs.iter().copied(), 128), direct);
+    }
+}

@@ -1,0 +1,426 @@
+//! The simulated device: memory + kernel launches.
+
+use crate::cache::CacheModel;
+use crate::config::GpuConfig;
+use crate::kernel::{BlockCtx, Kernel};
+use crate::lanes::WARP_SIZE;
+use crate::mem::DeviceMem;
+use crate::shared::SharedMem;
+use crate::stats::KernelStats;
+use crate::timing::{self, TimingError, TimingInput};
+use crate::trace::{KernelTrace, Op, WarpTrace};
+use crate::warp::{WarpCtx, WarpId};
+
+/// Launch-time errors (the simulator's `cudaGetLastError`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LaunchError {
+    /// Block size must be a positive multiple of the 32-lane warp size and
+    /// at most `max_threads_per_block`.
+    InvalidBlockSize { threads: u32, max: u32 },
+    /// Timing-model rejection (occupancy or malformed dynamic tasks).
+    Timing(TimingError),
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::InvalidBlockSize { threads, max } => write!(
+                f,
+                "invalid block size {threads}: must be a positive multiple of 32 and <= {max}"
+            ),
+            LaunchError::Timing(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+impl From<TimingError> for LaunchError {
+    fn from(e: TimingError) -> Self {
+        LaunchError::Timing(e)
+    }
+}
+
+/// How warp-sized tasks are distributed over the resident warps
+/// (see [`Gpu::launch_warp_tasks`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskSchedule {
+    /// Each resident warp takes a contiguous range of tasks — the static
+    /// partitioning a grid-stride-free CUDA kernel computes from its thread
+    /// id.
+    StaticBlocked,
+    /// Tasks are dealt round-robin over resident warps.
+    StaticCyclic,
+    /// Warps fetch chunks from a global counter with `atomicAdd` as they go
+    /// idle — the paper's *dynamic workload distribution*. Each task trace
+    /// is prefixed with the atomic fetch it pays for.
+    Dynamic,
+}
+
+/// The simulated GPU: configuration plus device memory.
+///
+/// ```
+/// use maxwarp_simt::{Gpu, GpuConfig, Mask, Lanes};
+///
+/// let mut gpu = Gpu::new(GpuConfig::tiny_test());
+/// let data = gpu.mem.alloc_from(&[1u32, 2, 3, 4]);
+/// let out = gpu.mem.alloc::<u32>(4);
+/// let stats = gpu
+///     .launch(1, 32, &|b: &mut maxwarp_simt::BlockCtx<'_>| {
+///         b.phase(|w| {
+///             let idx = w.lane_ids();
+///             let m = w.lt_scalar(Mask::FULL, &idx, 4);
+///             let v = w.ld(m, data, &idx);
+///             let doubled = w.alu1(m, &v, |x| x * 2);
+///             w.st(m, out, &idx, &doubled);
+///         });
+///     })
+///     .unwrap();
+/// assert_eq!(gpu.mem.download(out), vec![2, 4, 6, 8]);
+/// assert!(stats.cycles > 0);
+/// ```
+pub struct Gpu {
+    /// Machine parameters.
+    pub cfg: GpuConfig,
+    /// Global device memory.
+    pub mem: DeviceMem,
+}
+
+impl Gpu {
+    /// A device with the given configuration and empty memory.
+    pub fn new(cfg: GpuConfig) -> Self {
+        Gpu {
+            cfg,
+            mem: DeviceMem::new(),
+        }
+    }
+
+    /// Launch `kernel` on a grid of `grid_blocks` blocks of `block_threads`
+    /// threads. Runs the functional phase (actual memory effects + traces),
+    /// then the timing phase; returns combined statistics.
+    pub fn launch<K: Kernel + ?Sized>(
+        &mut self,
+        grid_blocks: u32,
+        block_threads: u32,
+        kernel: &K,
+    ) -> Result<KernelStats, LaunchError> {
+        self.validate_block(block_threads)?;
+        let warps_per_block = block_threads / WARP_SIZE as u32;
+
+        let mut trace = KernelTrace {
+            blocks: Vec::with_capacity(grid_blocks as usize),
+            block_threads,
+            shared_words_per_block: 0,
+        };
+        let mut cache =
+            CacheModel::new(self.cfg.l2_lines, self.cfg.l2_ways, self.cfg.segment_bytes);
+        for b in 0..grid_blocks {
+            let mut ctx = BlockCtx::new(
+                &mut self.mem,
+                &mut cache,
+                &self.cfg,
+                b,
+                grid_blocks,
+                warps_per_block,
+            );
+            kernel.run_block(&mut ctx);
+            let (bt, shared_used) = ctx.into_trace();
+            trace.shared_words_per_block = trace.shared_words_per_block.max(shared_used);
+            trace.blocks.push(bt);
+        }
+
+        let mut stats = KernelStats::from_trace(&trace);
+        stats.cycles = timing::time_kernel_trace(&trace, &self.cfg)?;
+        Ok(stats)
+    }
+
+    /// Launch warp-granular tasks: `f(warp, task_id)` runs once per task in
+    /// `0..num_tasks`, each execution tracing one warp's work. The
+    /// `schedule` decides how tasks map onto the `grid_blocks ×
+    /// block_threads` resident warps at timing time.
+    ///
+    /// This is the vehicle for the paper's *dynamic workload distribution*
+    /// study: the same functional work, scheduled statically or via an
+    /// atomic work counter.
+    pub fn launch_warp_tasks(
+        &mut self,
+        grid_blocks: u32,
+        block_threads: u32,
+        num_tasks: u32,
+        schedule: TaskSchedule,
+        mut f: impl FnMut(&mut WarpCtx<'_>, u32),
+    ) -> Result<KernelStats, LaunchError> {
+        self.validate_block(block_threads)?;
+        let warps_per_block = block_threads / WARP_SIZE as u32;
+        let resident_warps = (grid_blocks * warps_per_block).max(1);
+
+        // Functional phase: one trace per task. Shared memory is per-task
+        // scratch (warp-private), sized by the per-SM budget.
+        let mut cache =
+            CacheModel::new(self.cfg.l2_lines, self.cfg.l2_ways, self.cfg.segment_bytes);
+        let mut tasks: Vec<WarpTrace> = Vec::with_capacity(num_tasks as usize);
+        for task in 0..num_tasks {
+            let mut wt = WarpTrace::new();
+            if schedule == TaskSchedule::Dynamic {
+                // The chunk fetch: one-lane atomicAdd on the work counter.
+                wt.ops.push(Op::Atomic {
+                    active: 1,
+                    tx: 1,
+                    replays: 0,
+                });
+            }
+            let mut shared = SharedMem::new(self.cfg.shared_words_per_sm);
+            let id = WarpId {
+                block: task,
+                warp_in_block: 0,
+                warps_per_block: 1,
+                num_blocks: num_tasks.max(1),
+            };
+            let mut ctx =
+                WarpCtx::new(&mut self.mem, &mut shared, &mut wt, &mut cache, &self.cfg, id);
+            f(&mut ctx, task);
+            tasks.push(wt);
+        }
+
+        // Timing phase: build per-warp streams (static) or a queue (dynamic).
+        let n_blocks = grid_blocks.max(1);
+        let mut blocks: Vec<Vec<Vec<&WarpTrace>>> = (0..n_blocks)
+            .map(|_| (0..warps_per_block).map(|_| Vec::new()).collect())
+            .collect();
+        let mut queue: Vec<&WarpTrace> = Vec::new();
+        match schedule {
+            TaskSchedule::StaticBlocked => {
+                let per = (num_tasks as usize).div_ceil(resident_warps as usize);
+                for (t, wt) in tasks.iter().enumerate() {
+                    let w = (t / per) as u32;
+                    blocks[(w / warps_per_block) as usize][(w % warps_per_block) as usize]
+                        .push(wt);
+                }
+            }
+            TaskSchedule::StaticCyclic => {
+                for (t, wt) in tasks.iter().enumerate() {
+                    let w = (t as u32) % resident_warps;
+                    blocks[(w / warps_per_block) as usize][(w % warps_per_block) as usize]
+                        .push(wt);
+                }
+            }
+            TaskSchedule::Dynamic => {
+                queue = tasks.iter().collect();
+            }
+        }
+
+        let cycles = timing::simulate(
+            &TimingInput {
+                blocks,
+                block_threads,
+                shared_words_per_block: 0,
+                queue,
+            },
+            &self.cfg,
+        )?;
+
+        // Statistics: per-task instruction counts are the imbalance
+        // histogram of interest.
+        let mut stats = KernelStats::default();
+        for wt in &tasks {
+            stats.warps += 1;
+            stats.per_warp_instructions.push(wt.len() as u32);
+        }
+        let kt = KernelTrace {
+            blocks: vec![crate::trace::BlockTrace { warps: tasks }],
+            block_threads,
+            shared_words_per_block: 0,
+        };
+        let mut agg = KernelStats::from_trace(&kt);
+        agg.per_warp_instructions = stats.per_warp_instructions;
+        agg.warps = stats.warps;
+        agg.blocks = grid_blocks as u64;
+        agg.cycles = cycles;
+        Ok(agg)
+    }
+
+    fn validate_block(&self, block_threads: u32) -> Result<(), LaunchError> {
+        if block_threads == 0
+            || !block_threads.is_multiple_of(WARP_SIZE as u32)
+            || block_threads > self.cfg.max_threads_per_block
+        {
+            return Err(LaunchError::InvalidBlockSize {
+                threads: block_threads,
+                max: self.cfg.max_threads_per_block,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanes::Lanes;
+    use crate::mask::Mask;
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuConfig::tiny_test())
+    }
+
+    #[test]
+    fn launch_validates_block_size() {
+        let mut g = gpu();
+        let k = |_: &mut BlockCtx<'_>| {};
+        assert!(matches!(
+            g.launch(1, 0, &k),
+            Err(LaunchError::InvalidBlockSize { .. })
+        ));
+        assert!(matches!(
+            g.launch(1, 33, &k),
+            Err(LaunchError::InvalidBlockSize { .. })
+        ));
+        assert!(matches!(
+            g.launch(1, 4096, &k),
+            Err(LaunchError::InvalidBlockSize { .. })
+        ));
+        assert!(g.launch(1, 64, &k).is_ok());
+    }
+
+    #[test]
+    fn saxpy_style_kernel_end_to_end() {
+        let mut g = gpu();
+        let n = 1000u32;
+        let x = g.mem.alloc_from(&(0..n).collect::<Vec<_>>());
+        let y = g.mem.alloc::<u32>(n);
+        let block_threads = 64u32;
+        let grid = n.div_ceil(block_threads);
+        let stats = g
+            .launch(grid, block_threads, &|b: &mut BlockCtx<'_>| {
+                b.phase(|w| {
+                    let tid = w.global_thread_ids();
+                    let m = w.lt_scalar(Mask::FULL, &tid, n);
+                    let v = w.ld(m, x, &tid);
+                    let r = w.alu1(m, &v, |a| a * 3 + 1);
+                    w.st(m, y, &tid, &r);
+                });
+            })
+            .unwrap();
+        let host = g.mem.download(y);
+        for i in 0..n {
+            assert_eq!(host[i as usize], i * 3 + 1);
+        }
+        assert_eq!(stats.blocks as u32, grid);
+        assert!(stats.cycles > 0);
+        assert!(stats.lane_utilization() > 0.9); // near-full warps
+    }
+
+    #[test]
+    fn stats_cycles_scale_with_grid() {
+        let mut g = gpu();
+        let k = |b: &mut BlockCtx<'_>| {
+            b.phase(|w| {
+                for _ in 0..200 {
+                    w.alu_nop(Mask::FULL);
+                }
+            });
+        };
+        let c1 = g.launch(1, 32, &k).unwrap().cycles;
+        let c64 = g.launch(64, 32, &k).unwrap().cycles;
+        assert!(c64 > c1, "64 blocks ({c64}) must exceed 1 block ({c1})");
+    }
+
+    #[test]
+    fn warp_tasks_static_vs_dynamic_same_memory_effects() {
+        for schedule in [
+            TaskSchedule::StaticBlocked,
+            TaskSchedule::StaticCyclic,
+            TaskSchedule::Dynamic,
+        ] {
+            let mut g = gpu();
+            let out = g.mem.alloc::<u32>(64);
+            let stats = g
+                .launch_warp_tasks(2, 64, 64, schedule, |w, task| {
+                    w.st_uniform(Mask::FULL, out, task, task * 10);
+                })
+                .unwrap();
+            let host = g.mem.download(out);
+            for t in 0..64u32 {
+                assert_eq!(host[t as usize], t * 10, "{schedule:?}");
+            }
+            assert_eq!(stats.warps, 64);
+            assert!(stats.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn dynamic_schedule_pays_fetch_atomics() {
+        let mut g = gpu();
+        let out = g.mem.alloc::<u32>(8);
+        let s_static = g
+            .launch_warp_tasks(1, 32, 8, TaskSchedule::StaticBlocked, |w, t| {
+                w.st_uniform(Mask::FULL, out, t, 1);
+            })
+            .unwrap();
+        let mut g2 = gpu();
+        let out2 = g2.mem.alloc::<u32>(8);
+        let s_dyn = g2
+            .launch_warp_tasks(1, 32, 8, TaskSchedule::Dynamic, |w, t| {
+                w.st_uniform(Mask::FULL, out2, t, 1);
+            })
+            .unwrap();
+        assert_eq!(
+            s_dyn.atomic_instructions,
+            s_static.atomic_instructions + 8,
+            "each dynamic task pays one fetch atomic"
+        );
+    }
+
+    #[test]
+    fn dynamic_beats_static_on_imbalanced_tasks() {
+        // Task i does i*8 ALU ops: a strongly skewed workload. With 4
+        // resident warps, dynamic distribution should beat blocked-static.
+        let run = |schedule| {
+            let mut g = gpu();
+            g.launch_warp_tasks(1, 128, 64, schedule, |w, task| {
+                for _ in 0..task * 8 {
+                    w.alu_nop(Mask::FULL);
+                }
+            })
+            .unwrap()
+            .cycles
+        };
+        let c_static = run(TaskSchedule::StaticBlocked);
+        let c_dyn = run(TaskSchedule::Dynamic);
+        assert!(
+            c_dyn < c_static,
+            "dynamic {c_dyn} should beat static-blocked {c_static}"
+        );
+    }
+
+    #[test]
+    fn grid_zero_tasks_ok() {
+        let mut g = gpu();
+        let stats = g
+            .launch_warp_tasks(1, 32, 0, TaskSchedule::Dynamic, |_, _| {})
+            .unwrap();
+        assert_eq!(stats.warps, 0);
+        assert_eq!(stats.cycles, 0);
+    }
+
+    #[test]
+    fn doc_example_compiles_and_runs() {
+        let mut gpu = Gpu::new(GpuConfig::tiny_test());
+        let data = gpu.mem.alloc_from(&[1u32, 2, 3, 4]);
+        let out = gpu.mem.alloc::<u32>(4);
+        let stats = gpu
+            .launch(1, 32, &|b: &mut BlockCtx<'_>| {
+                b.phase(|w| {
+                    let idx = w.lane_ids();
+                    let m = w.lt_scalar(Mask::FULL, &idx, 4);
+                    let v = w.ld(m, data, &idx);
+                    let doubled = w.alu1(m, &v, |x| x * 2);
+                    w.st(m, out, &idx, &doubled);
+                });
+            })
+            .unwrap();
+        assert_eq!(gpu.mem.download(out), vec![2, 4, 6, 8]);
+        assert!(stats.cycles > 0);
+        let _ = Lanes::splat(0u32);
+    }
+}

@@ -1,0 +1,246 @@
+//! The 32-wide warp register model.
+//!
+//! A [`Lanes<T>`] is one SIMT "register": a value of type `T` per lane of a
+//! warp. Warp-synchronous kernels compute on `Lanes` values under a
+//! [`Mask`](crate::mask::Mask); the [`WarpCtx`](crate::warp::WarpCtx) methods
+//! that operate on them record instruction-issue events for the timing model.
+
+use crate::mask::Mask;
+
+/// Number of lanes in a physical warp. Fixed at 32, matching every NVIDIA
+/// architecture from Tesla (CC 1.x) through today.
+pub const WARP_SIZE: usize = 32;
+
+/// Base-2 logarithm of [`WARP_SIZE`].
+pub const LOG_WARP_SIZE: u32 = 5;
+
+/// One warp register: a `T` per lane.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lanes<T>(pub [T; WARP_SIZE]);
+
+impl<T: Copy + Default> Default for Lanes<T> {
+    #[inline]
+    fn default() -> Self {
+        Lanes([T::default(); WARP_SIZE])
+    }
+}
+
+impl<T: Copy> Lanes<T> {
+    /// Broadcast `v` to every lane.
+    #[inline]
+    pub fn splat(v: T) -> Self {
+        Lanes([v; WARP_SIZE])
+    }
+
+    /// Build from a per-lane function.
+    #[inline]
+    pub fn from_fn(f: impl FnMut(usize) -> T) -> Self {
+        Lanes(std::array::from_fn(f))
+    }
+
+    /// Value held by lane `lane`.
+    #[inline]
+    pub fn get(&self, lane: usize) -> T {
+        self.0[lane]
+    }
+
+    /// Set lane `lane` to `v`.
+    #[inline]
+    pub fn set(&mut self, lane: usize, v: T) {
+        self.0[lane] = v;
+    }
+
+    /// Per-lane map (no instruction-issue recording; use `WarpCtx` ops in
+    /// kernels so the cost is accounted).
+    #[inline]
+    pub fn map<U: Copy + Default>(&self, mut f: impl FnMut(T) -> U) -> Lanes<U> {
+        Lanes(std::array::from_fn(|l| f(self.0[l])))
+    }
+
+    /// Per-lane zip-map.
+    #[inline]
+    pub fn zip<U: Copy, V: Copy + Default>(
+        &self,
+        other: &Lanes<U>,
+        mut f: impl FnMut(T, U) -> V,
+    ) -> Lanes<V> {
+        Lanes(std::array::from_fn(|l| f(self.0[l], other.0[l])))
+    }
+
+    /// Lane-wise select: active lanes take `self`, inactive take `other`.
+    #[inline]
+    pub fn select(&self, mask: Mask, other: &Lanes<T>) -> Lanes<T> {
+        Lanes(std::array::from_fn(|l| {
+            if mask.get(l) {
+                self.0[l]
+            } else {
+                other.0[l]
+            }
+        }))
+    }
+
+    /// Evaluate a predicate on the active lanes, yielding a mask. Inactive
+    /// lanes are always clear in the result.
+    #[inline]
+    pub fn test(&self, mask: Mask, mut pred: impl FnMut(T) -> bool) -> Mask {
+        Mask::from_fn(|l| mask.get(l) && pred(self.0[l]))
+    }
+
+    /// Iterator over `(lane, value)` pairs of active lanes.
+    #[inline]
+    pub fn iter_active(&self, mask: Mask) -> impl Iterator<Item = (usize, T)> + '_ {
+        mask.iter().map(move |l| (l, self.0[l]))
+    }
+}
+
+impl Lanes<u32> {
+    /// `[0, 1, ..., 31]` — the lane-id register.
+    #[inline]
+    pub fn lane_ids() -> Self {
+        Lanes(std::array::from_fn(|l| l as u32))
+    }
+
+    /// Sum of values on active lanes (functional helper — kernels should use
+    /// `WarpCtx::reduce_add` so reduction-tree cost is recorded).
+    #[inline]
+    pub fn sum_active(&self, mask: Mask) -> u64 {
+        mask.iter().map(|l| self.0[l] as u64).sum()
+    }
+
+    /// Max of values on active lanes, or `None` if the mask is empty.
+    #[inline]
+    pub fn max_active(&self, mask: Mask) -> Option<u32> {
+        mask.iter().map(|l| self.0[l]).max()
+    }
+
+    /// Min of values on active lanes, or `None` if the mask is empty.
+    #[inline]
+    pub fn min_active(&self, mask: Mask) -> Option<u32> {
+        mask.iter().map(|l| self.0[l]).min()
+    }
+}
+
+impl<T: Copy + std::fmt::Debug> std::fmt::Debug for Lanes<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Lanes{:?}", &self.0[..])
+    }
+}
+
+/// Types that can live in simulated device memory.
+///
+/// Device memory is modeled as an array of 32-bit words (the natural access
+/// granularity of the paper-era GPUs for graph data: vertex ids, offsets,
+/// levels, and `f32` ranks are all 4 bytes). A `DeviceWord` converts to and
+/// from its raw word.
+pub trait DeviceWord: Copy + Default + PartialEq + std::fmt::Debug + 'static {
+    /// Raw 32-bit representation.
+    fn to_word(self) -> u32;
+    /// Recover the value from its raw representation.
+    fn from_word(w: u32) -> Self;
+}
+
+impl DeviceWord for u32 {
+    #[inline]
+    fn to_word(self) -> u32 {
+        self
+    }
+    #[inline]
+    fn from_word(w: u32) -> Self {
+        w
+    }
+}
+
+impl DeviceWord for i32 {
+    #[inline]
+    fn to_word(self) -> u32 {
+        self as u32
+    }
+    #[inline]
+    fn from_word(w: u32) -> Self {
+        w as i32
+    }
+}
+
+impl DeviceWord for f32 {
+    #[inline]
+    fn to_word(self) -> u32 {
+        self.to_bits()
+    }
+    #[inline]
+    fn from_word(w: u32) -> Self {
+        f32::from_bits(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splat_and_get() {
+        let v = Lanes::splat(7u32);
+        for l in 0..WARP_SIZE {
+            assert_eq!(v.get(l), 7);
+        }
+    }
+
+    #[test]
+    fn lane_ids_are_identity() {
+        let ids = Lanes::lane_ids();
+        for l in 0..WARP_SIZE {
+            assert_eq!(ids.get(l), l as u32);
+        }
+    }
+
+    #[test]
+    fn select_respects_mask() {
+        let a = Lanes::splat(1u32);
+        let b = Lanes::splat(2u32);
+        let m = Mask::first(10);
+        let s = a.select(m, &b);
+        for l in 0..WARP_SIZE {
+            assert_eq!(s.get(l), if l < 10 { 1 } else { 2 });
+        }
+    }
+
+    #[test]
+    fn test_pred_clears_inactive() {
+        let ids = Lanes::lane_ids();
+        let m = ids.test(Mask::first(8), |v| v % 2 == 0);
+        assert_eq!(m.count(), 4); // 0,2,4,6
+        assert!(!m.get(10)); // inactive even lane stays clear
+    }
+
+    #[test]
+    fn reductions() {
+        let ids = Lanes::lane_ids();
+        assert_eq!(ids.sum_active(Mask::FULL), (0..32).sum::<u64>());
+        assert_eq!(ids.max_active(Mask::first(5)), Some(4));
+        assert_eq!(ids.min_active(Mask::NONE), None);
+    }
+
+    #[test]
+    fn zip_and_map() {
+        let a = Lanes::from_fn(|l| l as u32);
+        let b = Lanes::splat(10u32);
+        let c = a.zip(&b, |x, y| x + y);
+        assert_eq!(c.get(5), 15);
+        let d = c.map(|x| x * 2);
+        assert_eq!(d.get(5), 30);
+    }
+
+    #[test]
+    fn device_word_roundtrip() {
+        assert_eq!(u32::from_word(42u32.to_word()), 42);
+        assert_eq!(i32::from_word((-7i32).to_word()), -7);
+        let f = -3.25f32;
+        assert_eq!(f32::from_word(f.to_word()), f);
+    }
+
+    #[test]
+    fn iter_active_pairs() {
+        let ids = Lanes::lane_ids();
+        let pairs: Vec<(usize, u32)> = ids.iter_active(Mask::lane(3).or(Mask::lane(9))).collect();
+        assert_eq!(pairs, vec![(3, 3), (9, 9)]);
+    }
+}

@@ -1,0 +1,298 @@
+//! Active-lane masks.
+//!
+//! A [`Mask`] is a 32-bit set describing which lanes of a warp participate in
+//! an operation. All divergent control flow in a warp-synchronous kernel is
+//! expressed by narrowing and re-widening masks, exactly as the hardware's
+//! SIMT stack serializes divergent branches.
+
+use crate::lanes::WARP_SIZE;
+
+/// A set of active lanes within one 32-lane warp.
+///
+/// Bit `i` set means lane `i` is active. `Mask` is a plain value type; all
+/// combinators are `const`-friendly and allocation-free.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Mask(pub u32);
+
+impl Mask {
+    /// All 32 lanes active.
+    pub const FULL: Mask = Mask(u32::MAX);
+    /// No lane active.
+    pub const NONE: Mask = Mask(0);
+
+    /// Mask with exactly the given lane active.
+    #[inline]
+    pub const fn lane(lane: usize) -> Mask {
+        debug_assert!(lane < WARP_SIZE);
+        Mask(1 << lane)
+    }
+
+    /// Mask with the first `n` lanes active (`n` may be 0..=32).
+    #[inline]
+    pub const fn first(n: usize) -> Mask {
+        debug_assert!(n <= WARP_SIZE);
+        if n >= WARP_SIZE {
+            Mask::FULL
+        } else {
+            Mask((1u32 << n) - 1)
+        }
+    }
+
+    /// Build a mask from a per-lane predicate.
+    #[inline]
+    pub fn from_fn(mut f: impl FnMut(usize) -> bool) -> Mask {
+        let mut bits = 0u32;
+        for lane in 0..WARP_SIZE {
+            if f(lane) {
+                bits |= 1 << lane;
+            }
+        }
+        Mask(bits)
+    }
+
+    /// Is lane `lane` active?
+    #[inline]
+    pub const fn get(self, lane: usize) -> bool {
+        debug_assert!(lane < WARP_SIZE);
+        (self.0 >> lane) & 1 == 1
+    }
+
+    /// Return a copy with lane `lane` set to `on`.
+    #[inline]
+    pub const fn with(self, lane: usize, on: bool) -> Mask {
+        debug_assert!(lane < WARP_SIZE);
+        if on {
+            Mask(self.0 | (1 << lane))
+        } else {
+            Mask(self.0 & !(1 << lane))
+        }
+    }
+
+    /// Number of active lanes.
+    #[inline]
+    pub const fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True if at least one lane is active.
+    #[inline]
+    pub const fn any(self) -> bool {
+        self.0 != 0
+    }
+
+    /// True if no lane is active.
+    #[inline]
+    pub const fn none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if all 32 lanes are active.
+    #[inline]
+    pub const fn all(self) -> bool {
+        self.0 == u32::MAX
+    }
+
+    /// Lowest active lane, if any. This is the "leader" lane used by
+    /// warp-cooperative idioms (one lane does an atomic, then broadcasts).
+    #[inline]
+    pub const fn leader(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub const fn and(self, other: Mask) -> Mask {
+        Mask(self.0 & other.0)
+    }
+
+    /// Set union.
+    #[inline]
+    pub const fn or(self, other: Mask) -> Mask {
+        Mask(self.0 | other.0)
+    }
+
+    /// Set complement (within the 32 lanes).
+    #[inline]
+    pub const fn not(self) -> Mask {
+        Mask(!self.0)
+    }
+
+    /// `self` minus `other`.
+    #[inline]
+    pub const fn andnot(self, other: Mask) -> Mask {
+        Mask(self.0 & !other.0)
+    }
+
+    /// Iterate over the indices of active lanes in ascending order.
+    #[inline]
+    pub fn iter(self) -> MaskIter {
+        MaskIter(self.0)
+    }
+
+    /// Number of active lanes strictly below `lane` — the rank used to
+    /// compute compaction offsets (CUDA's `__popc(ballot & lanemask_lt)`).
+    #[inline]
+    pub const fn rank(self, lane: usize) -> u32 {
+        debug_assert!(lane < WARP_SIZE);
+        (self.0 & ((1u32 << lane) - 1)).count_ones()
+    }
+}
+
+impl std::ops::BitAnd for Mask {
+    type Output = Mask;
+    #[inline]
+    fn bitand(self, rhs: Mask) -> Mask {
+        self.and(rhs)
+    }
+}
+
+impl std::ops::BitOr for Mask {
+    type Output = Mask;
+    #[inline]
+    fn bitor(self, rhs: Mask) -> Mask {
+        self.or(rhs)
+    }
+}
+
+impl std::ops::Not for Mask {
+    type Output = Mask;
+    #[inline]
+    fn not(self) -> Mask {
+        Mask::not(self)
+    }
+}
+
+impl std::ops::BitAndAssign for Mask {
+    #[inline]
+    fn bitand_assign(&mut self, rhs: Mask) {
+        self.0 &= rhs.0;
+    }
+}
+
+impl std::ops::BitOrAssign for Mask {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: Mask) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl std::fmt::Debug for Mask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Mask({:032b})", self.0)
+    }
+}
+
+/// Iterator over active lane indices of a [`Mask`].
+pub struct MaskIter(u32);
+
+impl Iterator for MaskIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let lane = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(lane)
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for MaskIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_and_none() {
+        assert_eq!(Mask::FULL.count(), 32);
+        assert!(Mask::FULL.all());
+        assert!(Mask::FULL.any());
+        assert!(!Mask::NONE.any());
+        assert!(Mask::NONE.none());
+        assert_eq!(Mask::NONE.count(), 0);
+    }
+
+    #[test]
+    fn first_n() {
+        assert_eq!(Mask::first(0), Mask::NONE);
+        assert_eq!(Mask::first(32), Mask::FULL);
+        assert_eq!(Mask::first(5).count(), 5);
+        assert!(Mask::first(5).get(4));
+        assert!(!Mask::first(5).get(5));
+    }
+
+    #[test]
+    fn lane_and_with() {
+        let m = Mask::lane(7);
+        assert_eq!(m.count(), 1);
+        assert!(m.get(7));
+        let m2 = m.with(3, true).with(7, false);
+        assert!(m2.get(3));
+        assert!(!m2.get(7));
+    }
+
+    #[test]
+    fn from_fn_matches_get() {
+        let m = Mask::from_fn(|l| l % 3 == 0);
+        for lane in 0..WARP_SIZE {
+            assert_eq!(m.get(lane), lane % 3 == 0);
+        }
+    }
+
+    #[test]
+    fn leader_is_lowest() {
+        assert_eq!(Mask::NONE.leader(), None);
+        assert_eq!(Mask::FULL.leader(), Some(0));
+        assert_eq!(Mask::lane(13).or(Mask::lane(29)).leader(), Some(13));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = Mask::from_fn(|l| l < 16);
+        let b = Mask::from_fn(|l| l % 2 == 0);
+        assert_eq!((a & b).count(), 8);
+        assert_eq!((a | b).count(), 16 + 8);
+        assert_eq!(a.andnot(b).count(), 8);
+        assert_eq!((!a).count(), 16);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let m = Mask::from_fn(|l| l == 1 || l == 17 || l == 31);
+        let lanes: Vec<usize> = m.iter().collect();
+        assert_eq!(lanes, vec![1, 17, 31]);
+        assert_eq!(m.iter().len(), 3);
+    }
+
+    #[test]
+    fn rank_counts_lower_lanes() {
+        let m = Mask::from_fn(|l| l % 2 == 0);
+        assert_eq!(m.rank(0), 0);
+        assert_eq!(m.rank(1), 1);
+        assert_eq!(m.rank(8), 4);
+        assert_eq!(m.rank(31), 16); // lanes 0,2,..,30 below 31
+    }
+
+    #[test]
+    fn bit_assign_ops() {
+        let mut m = Mask::FULL;
+        m &= Mask::first(4);
+        assert_eq!(m, Mask::first(4));
+        m |= Mask::lane(31);
+        assert!(m.get(31));
+    }
+}

@@ -1,0 +1,252 @@
+//! Simulated device (global) memory.
+//!
+//! Device memory is a flat array of 32-bit words managed by a bump
+//! allocator. Allocations return typed [`DevPtr<T>`] handles — plain
+//! `(offset, len)` pairs that kernels copy freely, mirroring how CUDA device
+//! pointers are passed to kernels by value.
+//!
+//! Out-of-bounds accesses panic with a descriptive message, the moral
+//! equivalent of CUDA's `cudaErrorIllegalAddress` aborting the kernel.
+
+use crate::lanes::DeviceWord;
+use std::marker::PhantomData;
+
+/// Alignment (in words) of every allocation: one 128-byte segment, so that
+/// distinct buffers never share a coalescing segment.
+pub const ALLOC_ALIGN_WORDS: u32 = 32;
+
+/// Typed pointer into simulated device memory.
+///
+/// `DevPtr` is `Copy` and carries its allocation length for bounds checking.
+pub struct DevPtr<T> {
+    word: u32,
+    len: u32,
+    _ty: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for DevPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for DevPtr<T> {}
+
+impl<T> std::fmt::Debug for DevPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DevPtr(word={}, len={})", self.word, self.len)
+    }
+}
+
+impl<T: DeviceWord> DevPtr<T> {
+    /// Number of `T` elements in the allocation.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// True if the allocation holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Byte address of element `idx` — the quantity the coalescing model
+    /// works with.
+    #[inline]
+    pub fn byte_addr(&self, idx: u32) -> u64 {
+        (self.word as u64 + idx as u64) * 4
+    }
+
+    /// Word offset of element `idx` within the device array.
+    #[inline]
+    pub(crate) fn word_of(&self, idx: u32) -> usize {
+        assert!(
+            idx < self.len,
+            "illegal device address: index {idx} out of bounds for allocation of {}",
+            self.len
+        );
+        self.word as usize + idx as usize
+    }
+
+    /// A sub-slice view `[at, at+len)` of this allocation.
+    pub fn slice(&self, at: u32, len: u32) -> DevPtr<T> {
+        assert!(
+            at.checked_add(len).is_some_and(|end| end <= self.len),
+            "device sub-slice [{at}, {at}+{len}) out of bounds {}",
+            self.len
+        );
+        DevPtr {
+            word: self.word + at,
+            len,
+            _ty: PhantomData,
+        }
+    }
+}
+
+/// The device's global memory: words plus a bump allocator.
+#[derive(Clone, Debug, Default)]
+pub struct DeviceMem {
+    words: Vec<u32>,
+    /// High-water mark of the bump allocator, in words.
+    top: u32,
+}
+
+impl DeviceMem {
+    /// Fresh, empty device memory.
+    pub fn new() -> Self {
+        DeviceMem::default()
+    }
+
+    /// Allocate `len` elements of `T`, zero-initialized.
+    pub fn alloc<T: DeviceWord>(&mut self, len: u32) -> DevPtr<T> {
+        let word = self.top;
+        let padded = len.div_ceil(ALLOC_ALIGN_WORDS) * ALLOC_ALIGN_WORDS;
+        self.top = self
+            .top
+            .checked_add(padded.max(ALLOC_ALIGN_WORDS))
+            .expect("device memory address space exhausted");
+        self.words.resize(self.top as usize, 0);
+        DevPtr {
+            word,
+            len,
+            _ty: PhantomData,
+        }
+    }
+
+    /// Allocate and upload a host slice.
+    pub fn alloc_from<T: DeviceWord>(&mut self, data: &[T]) -> DevPtr<T> {
+        let ptr = self.alloc::<T>(data.len() as u32);
+        self.upload(ptr, data);
+        ptr
+    }
+
+    /// Copy a host slice into an allocation (must fit).
+    pub fn upload<T: DeviceWord>(&mut self, ptr: DevPtr<T>, data: &[T]) {
+        assert!(
+            data.len() as u32 <= ptr.len,
+            "upload of {} elements into allocation of {}",
+            data.len(),
+            ptr.len
+        );
+        for (i, v) in data.iter().enumerate() {
+            self.words[ptr.word as usize + i] = v.to_word();
+        }
+    }
+
+    /// Copy an allocation back to the host.
+    pub fn download<T: DeviceWord>(&self, ptr: DevPtr<T>) -> Vec<T> {
+        (0..ptr.len)
+            .map(|i| T::from_word(self.words[ptr.word_of(i)]))
+            .collect()
+    }
+
+    /// Read one element.
+    #[inline]
+    pub fn read<T: DeviceWord>(&self, ptr: DevPtr<T>, idx: u32) -> T {
+        T::from_word(self.words[ptr.word_of(idx)])
+    }
+
+    /// Write one element.
+    #[inline]
+    pub fn write<T: DeviceWord>(&mut self, ptr: DevPtr<T>, idx: u32, v: T) {
+        let w = ptr.word_of(idx);
+        self.words[w] = v.to_word();
+    }
+
+    /// Fill an entire allocation with a value.
+    pub fn fill<T: DeviceWord>(&mut self, ptr: DevPtr<T>, v: T) {
+        let w = v.to_word();
+        let start = ptr.word as usize;
+        self.words[start..start + ptr.len as usize].fill(w);
+    }
+
+    /// Total allocated words (high-water mark).
+    pub fn allocated_words(&self) -> u32 {
+        self.top
+    }
+
+    /// Drop all allocations. Outstanding `DevPtr`s become dangling; this is
+    /// only used between independent experiments.
+    pub fn reset(&mut self) {
+        self.words.clear();
+        self.top = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_zeroed_and_roundtrip() {
+        let mut m = DeviceMem::new();
+        let p = m.alloc::<u32>(10);
+        assert_eq!(m.download(p), vec![0u32; 10]);
+        m.upload(p, &[1, 2, 3]);
+        assert_eq!(m.read(p, 0), 1);
+        assert_eq!(m.read(p, 2), 3);
+        assert_eq!(m.read(p, 3), 0);
+    }
+
+    #[test]
+    fn allocations_are_segment_aligned() {
+        let mut m = DeviceMem::new();
+        let a = m.alloc::<u32>(1);
+        let b = m.alloc::<u32>(1);
+        assert_eq!(a.byte_addr(0) % 128, 0);
+        assert_eq!(b.byte_addr(0) % 128, 0);
+        assert_ne!(a.byte_addr(0) / 128, b.byte_addr(0) / 128);
+    }
+
+    #[test]
+    fn alloc_from_and_fill() {
+        let mut m = DeviceMem::new();
+        let p = m.alloc_from(&[5i32, -6, 7]);
+        assert_eq!(m.download(p), vec![5, -6, 7]);
+        m.fill(p, -1i32);
+        assert_eq!(m.download(p), vec![-1, -1, -1]);
+    }
+
+    #[test]
+    fn f32_storage() {
+        let mut m = DeviceMem::new();
+        let p = m.alloc_from(&[1.5f32, -2.25]);
+        assert_eq!(m.read(p, 1), -2.25);
+        m.write(p, 0, 9.0f32);
+        assert_eq!(m.read(p, 0), 9.0);
+    }
+
+    #[test]
+    fn slice_views() {
+        let mut m = DeviceMem::new();
+        let p = m.alloc_from(&[0u32, 1, 2, 3, 4, 5]);
+        let s = p.slice(2, 3);
+        assert_eq!(m.download(s), vec![2, 3, 4]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_oob_panics() {
+        let mut m = DeviceMem::new();
+        let p = m.alloc::<u32>(4);
+        let _ = p.slice(2, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn read_oob_panics() {
+        let mut m = DeviceMem::new();
+        let p = m.alloc::<u32>(4);
+        let _ = m.read(p, 4);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut m = DeviceMem::new();
+        let _ = m.alloc::<u32>(100);
+        assert!(m.allocated_words() >= 100);
+        m.reset();
+        assert_eq!(m.allocated_words(), 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Per-block shared memory with bank-conflict modeling.
+//!
+//! Shared memory is organized in 32 banks of 32-bit words. A warp access in
+//! which two active lanes touch *different words in the same bank* is
+//! serialized into replays; lanes reading the *same* word are broadcast for
+//! free. The cost of an access is the maximum number of distinct words
+//! mapped to any one bank.
+
+use crate::lanes::{DeviceWord, WARP_SIZE};
+use std::marker::PhantomData;
+
+/// Number of shared-memory banks (32-bit wide each).
+pub const NUM_BANKS: usize = 32;
+
+/// Typed pointer into a block's shared memory.
+pub struct SharedPtr<T> {
+    word: u32,
+    len: u32,
+    _ty: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for SharedPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SharedPtr<T> {}
+
+impl<T: DeviceWord> SharedPtr<T> {
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// True if zero-length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    pub(crate) fn word_of(&self, idx: u32) -> usize {
+        assert!(
+            idx < self.len,
+            "illegal shared-memory address: index {idx} out of bounds for allocation of {}",
+            self.len
+        );
+        self.word as usize + idx as usize
+    }
+}
+
+/// One block's shared memory.
+#[derive(Clone, Debug)]
+pub struct SharedMem {
+    words: Vec<u32>,
+    top: u32,
+    capacity: u32,
+}
+
+impl SharedMem {
+    /// Shared memory with the given capacity in 32-bit words.
+    pub fn new(capacity_words: u32) -> Self {
+        SharedMem {
+            words: Vec::new(),
+            top: 0,
+            capacity: capacity_words,
+        }
+    }
+
+    /// Allocate `len` elements, zero-initialized. Panics if the block's
+    /// shared-memory budget is exceeded (CUDA would fail the launch).
+    pub fn alloc<T: DeviceWord>(&mut self, len: u32) -> SharedPtr<T> {
+        assert!(
+            self.top + len <= self.capacity,
+            "shared memory exhausted: requested {len} words, {} of {} in use",
+            self.top,
+            self.capacity
+        );
+        let word = self.top;
+        self.top += len;
+        self.words.resize(self.top as usize, 0);
+        SharedPtr {
+            word,
+            len,
+            _ty: PhantomData,
+        }
+    }
+
+    /// Words currently allocated.
+    pub fn used_words(&self) -> u32 {
+        self.top
+    }
+
+    #[inline]
+    pub(crate) fn word(&self, w: usize) -> u32 {
+        self.words[w]
+    }
+
+    #[inline]
+    pub(crate) fn set_word(&mut self, w: usize, v: u32) {
+        self.words[w] = v;
+    }
+}
+
+/// Bank-conflict cost of a warp-wide shared access to the given word
+/// offsets: the maximum, over banks, of the number of *distinct* words
+/// hitting that bank. Same-word accesses broadcast. Returns 0 for an empty
+/// set, 1 for conflict-free.
+pub fn bank_conflict_cost(word_offsets: impl IntoIterator<Item = u32>) -> u32 {
+    let mut per_bank_words: [[u32; WARP_SIZE]; NUM_BANKS] = [[u32::MAX; WARP_SIZE]; NUM_BANKS];
+    let mut per_bank_count = [0u32; NUM_BANKS];
+    for w in word_offsets {
+        let bank = (w as usize) % NUM_BANKS;
+        let seen = &mut per_bank_words[bank];
+        let cnt = &mut per_bank_count[bank];
+        if !seen[..*cnt as usize].contains(&w) {
+            seen[*cnt as usize] = w;
+            *cnt += 1;
+        }
+    }
+    per_bank_count.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_budget() {
+        let mut s = SharedMem::new(100);
+        let a = s.alloc::<u32>(60);
+        assert_eq!(a.len(), 60);
+        assert_eq!(s.used_words(), 60);
+        let _b = s.alloc::<u32>(40);
+        assert_eq!(s.used_words(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared memory exhausted")]
+    fn over_budget_panics() {
+        let mut s = SharedMem::new(10);
+        let _ = s.alloc::<u32>(11);
+    }
+
+    #[test]
+    fn conflict_free_stride_one() {
+        assert_eq!(bank_conflict_cost((0..32u32).map(|l| l)), 1);
+    }
+
+    #[test]
+    fn stride_two_is_two_way() {
+        assert_eq!(bank_conflict_cost((0..32u32).map(|l| l * 2)), 2);
+    }
+
+    #[test]
+    fn stride_32_is_fully_serialized() {
+        assert_eq!(bank_conflict_cost((0..32u32).map(|l| l * 32)), 32);
+    }
+
+    #[test]
+    fn broadcast_is_free() {
+        assert_eq!(bank_conflict_cost(std::iter::repeat(7u32).take(32)), 1);
+    }
+
+    #[test]
+    fn empty_access_costs_zero() {
+        assert_eq!(bank_conflict_cost(std::iter::empty()), 0);
+    }
+
+    #[test]
+    fn mixed_broadcast_and_conflict() {
+        // Lanes 0..16 read word 3; lanes 16..32 read words 35, 67 (bank 3).
+        let mut offs = vec![3u32; 16];
+        offs.extend([35u32; 8]);
+        offs.extend([67u32; 8]);
+        assert_eq!(bank_conflict_cost(offs), 3);
+    }
+}

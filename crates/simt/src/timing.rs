@@ -1,0 +1,784 @@
+//! Cycle-level timing engine.
+//!
+//! Replays instruction traces through a machine model:
+//!
+//! * blocks are dispatched to SMs as occupancy slots free up;
+//! * each SM issues `issue_width` instructions per cycle, round-robin among
+//!   its ready warps (ready = previous instruction's latency has elapsed) —
+//!   this is the latency-hiding mechanism that makes resident-warp count
+//!   matter;
+//! * global-memory transactions are serviced by a device-wide DRAM channel
+//!   at `dram_cycles_per_transaction` each (the bandwidth limit), then incur
+//!   `mem_latency` before the warp may continue;
+//! * shared-memory accesses pay `shared_latency` plus bank-conflict passes;
+//! * atomics pay DRAM service plus `atomic_replay_cycles` per same-address
+//!   replay;
+//! * barriers rendezvous all live warps of a block.
+//!
+//! The engine also supports *dynamic work queues* (the paper's dynamic
+//! workload distribution): a shared FIFO of warp-sized task traces that
+//! resident warps drain as they go idle, modeling `atomicAdd`-based chunk
+//! fetching. Static chunk schedules are expressed as fixed per-warp streams
+//! of the same task traces.
+
+use crate::config::GpuConfig;
+use crate::trace::{KernelTrace, Op, WarpTrace};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Errors detected while setting up the timing simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TimingError {
+    /// Block cannot fit on an SM at all (too many warps or too much shared
+    /// memory) — a real launch would fail with `cudaErrorInvalidValue`.
+    ZeroOccupancy {
+        block_threads: u32,
+        shared_words: u32,
+    },
+    /// A dynamic-queue task trace contains a barrier, which has no defined
+    /// semantics for warp-level tasks.
+    BarrierInQueueTask,
+}
+
+impl std::fmt::Display for TimingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimingError::ZeroOccupancy {
+                block_threads,
+                shared_words,
+            } => write!(
+                f,
+                "block of {block_threads} threads with {shared_words} shared words fits on no SM"
+            ),
+            TimingError::BarrierInQueueTask => {
+                write!(f, "dynamic-queue task traces must not contain barriers")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimingError {}
+
+/// Workload description for the timing engine.
+pub struct TimingInput<'a> {
+    /// `blocks[b][w]` = the fixed stream of traces warp `w` of block `b`
+    /// executes in order. For an ordinary kernel launch each warp has
+    /// exactly one trace.
+    pub blocks: Vec<Vec<Vec<&'a WarpTrace>>>,
+    /// Threads per block (for occupancy).
+    pub block_threads: u32,
+    /// Shared-memory words per block (for occupancy).
+    pub shared_words_per_block: u32,
+    /// Shared dynamic work queue: after a warp exhausts its fixed stream it
+    /// pulls task traces from this FIFO until empty. Empty vec = pure
+    /// static execution.
+    pub queue: Vec<&'a WarpTrace>,
+}
+
+/// Detailed output of a timing simulation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TimingReport {
+    /// Total execution cycles (max completion over all warps).
+    pub cycles: u64,
+    /// Instructions issued per SM — the load-balance view across the chip.
+    pub sm_instructions: Vec<u64>,
+    /// Cycles the DRAM channel spent servicing transactions.
+    pub dram_busy_cycles: u64,
+}
+
+impl TimingReport {
+    /// Fraction of cycles the DRAM channel was busy (1.0 = bandwidth
+    /// bound).
+    pub fn dram_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.dram_busy_cycles as f64 / self.cycles as f64
+    }
+
+    /// Max-over-mean of per-SM issued instructions (1.0 = perfectly
+    /// balanced chip).
+    pub fn sm_imbalance(&self) -> f64 {
+        let busy: Vec<u64> = self.sm_instructions.to_vec();
+        let total: u64 = busy.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / busy.len() as f64;
+        *busy.iter().max().unwrap() as f64 / mean
+    }
+}
+
+/// Simulate the workload; returns total execution cycles.
+pub fn simulate(input: &TimingInput<'_>, cfg: &GpuConfig) -> Result<u64, TimingError> {
+    Ok(simulate_report(input, cfg)?.cycles)
+}
+
+/// Simulate the workload and return the detailed [`TimingReport`].
+pub fn simulate_report(
+    input: &TimingInput<'_>,
+    cfg: &GpuConfig,
+) -> Result<TimingReport, TimingError> {
+    Engine::new(input, cfg)?.run()
+}
+
+/// Convenience wrapper: time an ordinary kernel launch trace.
+pub fn time_kernel_trace(trace: &KernelTrace, cfg: &GpuConfig) -> Result<u64, TimingError> {
+    let blocks = trace
+        .blocks
+        .iter()
+        .map(|b| b.warps.iter().map(|w| vec![w]).collect())
+        .collect();
+    simulate(
+        &TimingInput {
+            blocks,
+            block_threads: trace.block_threads,
+            shared_words_per_block: trace.shared_words_per_block,
+            queue: Vec::new(),
+        },
+        cfg,
+    )
+}
+
+struct WarpRt<'a> {
+    stream: Vec<&'a WarpTrace>,
+    cur_trace: usize,
+    cur_op: usize,
+    block: u32,
+    finished: bool,
+}
+
+impl<'a> WarpRt<'a> {
+    fn current_op(&self) -> Option<Op> {
+        self.stream
+            .get(self.cur_trace)
+            .and_then(|t| t.ops.get(self.cur_op))
+            .copied()
+    }
+
+    /// Advance past the current op; skips empty traces. Returns true if
+    /// another op exists in the fixed stream.
+    fn advance(&mut self) -> bool {
+        self.cur_op += 1;
+        loop {
+            match self.stream.get(self.cur_trace) {
+                None => return false,
+                Some(t) if self.cur_op >= t.ops.len() => {
+                    self.cur_trace += 1;
+                    self.cur_op = 0;
+                }
+                Some(_) => return true,
+            }
+        }
+    }
+
+    /// Position at the first op, skipping empty traces; false if none.
+    fn normalize(&mut self) -> bool {
+        loop {
+            match self.stream.get(self.cur_trace) {
+                None => return false,
+                Some(t) if self.cur_op >= t.ops.len() => {
+                    self.cur_trace += 1;
+                    self.cur_op = 0;
+                }
+                Some(_) => return true,
+            }
+        }
+    }
+}
+
+struct BlockRt {
+    warps: Vec<u32>,
+    sm: u32,
+    live: u32,
+    barrier_arrived: u32,
+    barrier_waiting: Vec<u32>,
+}
+
+struct Engine<'a> {
+    cfg: &'a GpuConfig,
+    warps: Vec<WarpRt<'a>>,
+    blocks: Vec<BlockRt>,
+    queue: VecDeque<&'a WarpTrace>,
+    /// Min-heap of (ready-to-issue time, warp index).
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    sm_cycle: Vec<u64>,
+    sm_issued_in_cycle: Vec<u32>,
+    sm_free_slots: Vec<u32>,
+    pending_blocks: VecDeque<u32>,
+    dram_free: u64,
+    dram_busy: u64,
+    end_time: u64,
+    sm_instructions: Vec<u64>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(input: &TimingInput<'a>, cfg: &'a GpuConfig) -> Result<Self, TimingError> {
+        for t in &input.queue {
+            if t.ops.iter().any(|o| matches!(o, Op::Bar)) {
+                return Err(TimingError::BarrierInQueueTask);
+            }
+        }
+        let slots = cfg.blocks_per_sm(input.block_threads, input.shared_words_per_block);
+        if slots == 0 && !input.blocks.is_empty() {
+            return Err(TimingError::ZeroOccupancy {
+                block_threads: input.block_threads,
+                shared_words: input.shared_words_per_block,
+            });
+        }
+
+        let mut warps = Vec::new();
+        let mut blocks = Vec::new();
+        for (b, warp_streams) in input.blocks.iter().enumerate() {
+            let mut ids = Vec::with_capacity(warp_streams.len());
+            for stream in warp_streams {
+                ids.push(warps.len() as u32);
+                warps.push(WarpRt {
+                    stream: stream.clone(),
+                    cur_trace: 0,
+                    cur_op: 0,
+                    block: b as u32,
+                    finished: false,
+                });
+            }
+            blocks.push(BlockRt {
+                live: ids.len() as u32,
+                warps: ids,
+                sm: u32::MAX,
+                barrier_arrived: 0,
+                barrier_waiting: Vec::new(),
+            });
+        }
+
+        let mut eng = Engine {
+            cfg,
+            warps,
+            blocks,
+            queue: input.queue.iter().copied().collect(),
+            heap: BinaryHeap::new(),
+            sm_cycle: vec![0; cfg.num_sms as usize],
+            sm_issued_in_cycle: vec![0; cfg.num_sms as usize],
+            sm_free_slots: vec![slots; cfg.num_sms as usize],
+            pending_blocks: (0..input.blocks.len() as u32).collect(),
+            dram_free: 0,
+            dram_busy: 0,
+            end_time: 0,
+            sm_instructions: vec![0; cfg.num_sms as usize],
+        };
+
+        // Initial dispatch: fill SMs round-robin at t = 0.
+        let mut sm = 0u32;
+        let mut scanned_full_round = 0;
+        while !eng.pending_blocks.is_empty() && scanned_full_round < cfg.num_sms {
+            if eng.sm_free_slots[sm as usize] > 0 {
+                let b = eng.pending_blocks.pop_front().unwrap();
+                eng.dispatch_block(b, sm, 0);
+                scanned_full_round = 0;
+            } else {
+                scanned_full_round += 1;
+            }
+            sm = (sm + 1) % cfg.num_sms;
+        }
+        Ok(eng)
+    }
+
+    fn dispatch_block(&mut self, b: u32, sm: u32, t: u64) {
+        self.sm_free_slots[sm as usize] -= 1;
+        self.blocks[b as usize].sm = sm;
+        let warp_ids = self.blocks[b as usize].warps.clone();
+        for wi in warp_ids {
+            self.start_or_finish_warp(wi, t);
+        }
+    }
+
+    /// Give warp `wi` something to run at time `t`, pulling from the dynamic
+    /// queue if its fixed stream is exhausted; otherwise retire it.
+    fn start_or_finish_warp(&mut self, wi: u32, t: u64) {
+        let has_work = {
+            let w = &mut self.warps[wi as usize];
+            if w.normalize() {
+                true
+            } else if let Some(task) = self.queue.pop_front() {
+                w.stream.push(task);
+                w.normalize()
+            } else {
+                false
+            }
+        };
+        if has_work {
+            self.heap.push(Reverse((t, wi)));
+        } else {
+            self.finish_warp(wi, t);
+        }
+    }
+
+    fn finish_warp(&mut self, wi: u32, t: u64) {
+        let w = &mut self.warps[wi as usize];
+        debug_assert!(!w.finished);
+        w.finished = true;
+        let b = w.block as usize;
+        self.end_time = self.end_time.max(t);
+        let block = &mut self.blocks[b];
+        block.live -= 1;
+        if block.live == 0 {
+            // Block retires; its SM slot frees and a pending block launches.
+            let sm = block.sm;
+            self.sm_free_slots[sm as usize] += 1;
+            if let Some(nb) = self.pending_blocks.pop_front() {
+                self.dispatch_block(nb, sm, t);
+            }
+        } else if block.barrier_arrived == block.live && block.barrier_arrived > 0 {
+            // The finished warp was the last one others were waiting on —
+            // malformed kernel (barrier not executed by all warps), but
+            // release rather than deadlock.
+            self.release_barrier(b, t);
+        }
+    }
+
+    fn release_barrier(&mut self, b: usize, t: u64) {
+        let waiting = std::mem::take(&mut self.blocks[b].barrier_waiting);
+        self.blocks[b].barrier_arrived = 0;
+        for wi in waiting {
+            let has_more = self.warps[wi as usize].advance();
+            if has_more {
+                self.heap.push(Reverse((t, wi)));
+            } else {
+                self.start_or_finish_warp(wi, t);
+            }
+        }
+    }
+
+    fn run(mut self) -> Result<TimingReport, TimingError> {
+        while let Some(Reverse((t, wi))) = self.heap.pop() {
+            let sm = self.blocks[self.warps[wi as usize].block as usize].sm as usize;
+            // Enforce the SM issue port: `issue_width` issues per cycle.
+            let mut t_iss = t.max(self.sm_cycle[sm]);
+            if t_iss == self.sm_cycle[sm]
+                && self.sm_issued_in_cycle[sm] >= self.cfg.issue_width
+            {
+                t_iss += 1;
+            }
+            if t_iss > t {
+                // Not our turn yet; retry at the earliest legal slot.
+                self.heap.push(Reverse((t_iss, wi)));
+                continue;
+            }
+            if t_iss > self.sm_cycle[sm] {
+                self.sm_cycle[sm] = t_iss;
+                self.sm_issued_in_cycle[sm] = 0;
+            }
+            self.sm_issued_in_cycle[sm] += 1;
+            self.sm_instructions[sm] += 1;
+
+            let op = self.warps[wi as usize]
+                .current_op()
+                .expect("warp in heap must have a current op");
+
+            match op {
+                Op::Bar => {
+                    let b = self.warps[wi as usize].block as usize;
+                    self.blocks[b].barrier_arrived += 1;
+                    self.blocks[b].barrier_waiting.push(wi);
+                    self.end_time = self.end_time.max(t_iss + 1);
+                    if self.blocks[b].barrier_arrived == self.blocks[b].live {
+                        self.release_barrier(b, t_iss + 1);
+                    }
+                }
+                _ => {
+                    let done = self.completion_time(t_iss, op);
+                    self.end_time = self.end_time.max(done);
+                    let has_more = self.warps[wi as usize].advance();
+                    if has_more {
+                        self.heap.push(Reverse((done, wi)));
+                    } else {
+                        self.start_or_finish_warp(wi, done);
+                    }
+                }
+            }
+        }
+        debug_assert!(
+            self.pending_blocks.is_empty(),
+            "all blocks must have been dispatched"
+        );
+        debug_assert!(
+            self.warps.iter().all(|w| w.finished),
+            "all warps must retire"
+        );
+        Ok(TimingReport {
+            cycles: self.end_time,
+            sm_instructions: self.sm_instructions,
+            dram_busy_cycles: self.dram_busy,
+        })
+    }
+
+    fn completion_time(&mut self, t_iss: u64, op: Op) -> u64 {
+        let cfg = self.cfg;
+        match op {
+            Op::Alu { .. } => t_iss + cfg.alu_latency,
+            Op::LdGlobal { tx, .. } | Op::StGlobal { tx, .. } => {
+                self.dram_service(t_iss, tx as u64) + cfg.mem_latency
+            }
+            Op::LdCached { hits, misses, .. } => {
+                let hit_done = if hits > 0 {
+                    t_iss + cfg.l2_hit_latency
+                } else {
+                    t_iss
+                };
+                let miss_done = if misses > 0 {
+                    self.dram_service(t_iss, misses as u64) + cfg.mem_latency
+                } else {
+                    t_iss
+                };
+                hit_done.max(miss_done).max(t_iss + 1)
+            }
+            Op::Shared { cost, .. } => {
+                t_iss + cfg.shared_latency + (cost as u64).saturating_sub(1)
+            }
+            Op::Atomic { tx, replays, .. } => {
+                self.dram_service(t_iss, tx as u64)
+                    + cfg.mem_latency
+                    + replays as u64 * cfg.atomic_replay_cycles
+            }
+            Op::Bar => unreachable!("barriers handled by caller"),
+        }
+    }
+
+    /// Occupy the device-wide DRAM channel for `tx` transactions starting no
+    /// earlier than `t`; returns the service completion time.
+    fn dram_service(&mut self, t: u64, tx: u64) -> u64 {
+        let service = tx * self.cfg.dram_cycles_per_transaction;
+        self.dram_free = self.dram_free.max(t) + service;
+        self.dram_busy += service;
+        self.dram_free
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{BlockTrace, WarpTrace};
+
+    fn alu_trace(n: usize) -> WarpTrace {
+        WarpTrace {
+            ops: vec![Op::Alu { active: 32 }; n],
+        }
+    }
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::tiny_test()
+    }
+
+    fn one_block_input<'a>(warps: &'a [WarpTrace], threads: u32) -> TimingInput<'a> {
+        TimingInput {
+            blocks: vec![warps.iter().map(|w| vec![w]).collect()],
+            block_threads: threads,
+            shared_words_per_block: 0,
+            queue: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn empty_workload_is_zero_cycles() {
+        let input = TimingInput {
+            blocks: vec![],
+            block_threads: 32,
+            shared_words_per_block: 0,
+            queue: Vec::new(),
+        };
+        assert_eq!(simulate(&input, &cfg()).unwrap(), 0);
+    }
+
+    #[test]
+    fn single_warp_alu_chain_is_serial() {
+        let t = [alu_trace(10)];
+        let input = one_block_input(&t, 32);
+        // Each ALU op: issue then alu_latency (4) before the next; final op
+        // completes at ~10*4.
+        let cycles = simulate(&input, &cfg()).unwrap();
+        assert!(cycles >= 10 * 4 && cycles <= 10 * 4 + 10, "{cycles}");
+    }
+
+    #[test]
+    fn more_warps_hide_alu_latency() {
+        let one = [alu_trace(100)];
+        let four: Vec<WarpTrace> = (0..4).map(|_| alu_trace(100)).collect();
+        let c1 = simulate(&one_block_input(&one, 32), &cfg()).unwrap();
+        let c4 = simulate(&one_block_input(&four, 128), &cfg()).unwrap();
+        // 4 warps interleave in the latency shadow: far less than 4x slower.
+        assert!(c4 < c1 * 2, "c1={c1} c4={c4}");
+        assert!(c4 >= c1, "more total work cannot be faster: c1={c1} c4={c4}");
+    }
+
+    #[test]
+    fn memory_bound_workload_limited_by_dram() {
+        // One warp, 50 loads of 32 transactions each = 1600 tx at 2
+        // cycles/tx = 3200 cycles of pure DRAM service.
+        let t = [WarpTrace {
+            ops: vec![Op::LdGlobal { active: 32, tx: 32 }; 50],
+        }];
+        let cycles = simulate(&one_block_input(&t, 32), &cfg()).unwrap();
+        assert!(cycles >= 3200, "{cycles}");
+    }
+
+    #[test]
+    fn coalesced_loads_cheaper_than_scattered() {
+        let coalesced = [WarpTrace {
+            ops: vec![Op::LdGlobal { active: 32, tx: 1 }; 200],
+        }];
+        let scattered = [WarpTrace {
+            ops: vec![Op::LdGlobal { active: 32, tx: 32 }; 200],
+        }];
+        let cc = simulate(&one_block_input(&coalesced, 32), &cfg()).unwrap();
+        let cs = simulate(&one_block_input(&scattered, 32), &cfg()).unwrap();
+        assert!(cs > cc, "scattered {cs} must exceed coalesced {cc}");
+    }
+
+    #[test]
+    fn barrier_synchronizes_block() {
+        // Warp 0 does 100 ALU ops then hits the barrier; warp 1 hits it
+        // immediately. Both then do 1 op. Total must reflect warp 1 waiting.
+        let mut w0 = alu_trace(100);
+        w0.ops.push(Op::Bar);
+        w0.ops.push(Op::Alu { active: 32 });
+        let mut w1 = alu_trace(0);
+        w1.ops.push(Op::Bar);
+        w1.ops.push(Op::Alu { active: 32 });
+        let warps = [w0, w1];
+        let cycles = simulate(&one_block_input(&warps, 64), &cfg()).unwrap();
+        assert!(cycles > 100, "{cycles}");
+    }
+
+    #[test]
+    fn blocks_spread_across_sms() {
+        // tiny_test has 2 SMs. Two 1-warp blocks with identical heavy work
+        // should take about as long as one (they run on different SMs).
+        let w = [alu_trace(1000)];
+        let c1 = simulate(&one_block_input(&w, 32), &cfg()).unwrap();
+        let t0 = alu_trace(1000);
+        let t1 = alu_trace(1000);
+        let input2 = TimingInput {
+            blocks: vec![vec![vec![&t0]], vec![vec![&t1]]],
+            block_threads: 32,
+            shared_words_per_block: 0,
+            queue: Vec::new(),
+        };
+        let c2 = simulate(&input2, &cfg()).unwrap();
+        assert!(c2 <= c1 + c1 / 4, "c1={c1} c2={c2}");
+    }
+
+    #[test]
+    fn excess_blocks_queue_for_slots() {
+        // 2 SMs x 4 slots = 8 resident blocks; 16 blocks must take ~2x the
+        // time of 8.
+        let t = alu_trace(500);
+        let mk = |n: usize| TimingInput {
+            blocks: (0..n).map(|_| vec![vec![&t]]).collect(),
+            block_threads: 32,
+            shared_words_per_block: 0,
+            queue: Vec::new(),
+        };
+        let c8 = simulate(&mk(8), &cfg()).unwrap();
+        let c16 = simulate(&mk(16), &cfg()).unwrap();
+        assert!(c16 > c8, "c8={c8} c16={c16}");
+        assert!(c16 <= 2 * c8 + 100, "c8={c8} c16={c16}");
+    }
+
+    #[test]
+    fn zero_occupancy_is_error() {
+        let t = [alu_trace(1)];
+        let mut input = one_block_input(&t, 32);
+        input.shared_words_per_block = u32::MAX;
+        assert!(matches!(
+            simulate(&input, &cfg()),
+            Err(TimingError::ZeroOccupancy { .. })
+        ));
+    }
+
+    #[test]
+    fn barrier_in_queue_task_rejected() {
+        let task = WarpTrace {
+            ops: vec![Op::Bar],
+        };
+        let input = TimingInput {
+            blocks: vec![vec![vec![]]],
+            block_threads: 32,
+            shared_words_per_block: 0,
+            queue: vec![&task],
+        };
+        assert!(matches!(
+            simulate(&input, &cfg()),
+            Err(TimingError::BarrierInQueueTask)
+        ));
+    }
+
+    #[test]
+    fn dynamic_queue_is_drained_and_balances() {
+        // 8 imbalanced tasks; 2 resident warps pulling dynamically should
+        // finish faster than a static split that puts all heavy tasks on one
+        // warp.
+        let heavy = alu_trace(400);
+        let light = alu_trace(10);
+        let tasks: Vec<&WarpTrace> = vec![
+            &heavy, &heavy, &heavy, &heavy, &light, &light, &light, &light,
+        ];
+        let dynamic = TimingInput {
+            blocks: vec![vec![vec![], vec![]]],
+            block_threads: 64,
+            shared_words_per_block: 0,
+            queue: tasks.clone(),
+        };
+        let static_bad = TimingInput {
+            blocks: vec![vec![
+                vec![&heavy, &heavy, &heavy, &heavy],
+                vec![&light, &light, &light, &light],
+            ]],
+            block_threads: 64,
+            shared_words_per_block: 0,
+            queue: Vec::new(),
+        };
+        let cd = simulate(&dynamic, &cfg()).unwrap();
+        let cs = simulate(&static_bad, &cfg()).unwrap();
+        assert!(cd < cs, "dynamic {cd} should beat bad static {cs}");
+    }
+
+    #[test]
+    fn time_kernel_trace_wrapper() {
+        let kt = KernelTrace {
+            blocks: vec![BlockTrace {
+                warps: vec![alu_trace(5), alu_trace(5)],
+            }],
+            block_threads: 64,
+            shared_words_per_block: 0,
+        };
+        let cycles = time_kernel_trace(&kt, &cfg()).unwrap();
+        assert!(cycles > 0);
+    }
+
+    #[test]
+    fn monotone_in_work() {
+        let short = [alu_trace(10)];
+        let long = [alu_trace(20)];
+        let cs = simulate(&one_block_input(&short, 32), &cfg()).unwrap();
+        let cl = simulate(&one_block_input(&long, 32), &cfg()).unwrap();
+        assert!(cl > cs);
+    }
+
+    #[test]
+    fn report_conserves_instructions_and_dram() {
+        let t = WarpTrace {
+            ops: vec![
+                Op::Alu { active: 32 },
+                Op::LdGlobal { active: 32, tx: 4 },
+                Op::Atomic { active: 8, tx: 2, replays: 1 },
+                Op::Alu { active: 16 },
+            ],
+        };
+        let input = TimingInput {
+            blocks: (0..6).map(|_| vec![vec![&t], vec![&t]]).collect(),
+            block_threads: 64,
+            shared_words_per_block: 0,
+            queue: Vec::new(),
+        };
+        let cfg = cfg();
+        let report = simulate_report(&input, &cfg).unwrap();
+        let total: u64 = report.sm_instructions.iter().sum();
+        assert_eq!(total, 12 * 4, "every op issued exactly once");
+        // 12 warps x 6 tx each at 2 cycles/tx.
+        assert_eq!(report.dram_busy_cycles, 12 * 6 * 2);
+        assert!(report.dram_utilization() > 0.0 && report.dram_utilization() <= 1.0);
+        assert!(report.sm_imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn report_on_empty_workload() {
+        let input = TimingInput {
+            blocks: vec![],
+            block_threads: 32,
+            shared_words_per_block: 0,
+            queue: Vec::new(),
+        };
+        let r = simulate_report(&input, &cfg()).unwrap();
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.dram_utilization(), 0.0);
+        assert_eq!(r.sm_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn single_sm_takes_all_instructions() {
+        let mut one_sm = cfg();
+        one_sm.num_sms = 1;
+        let t = alu_trace(50);
+        let input = TimingInput {
+            blocks: vec![vec![vec![&t]]],
+            block_threads: 32,
+            shared_words_per_block: 0,
+            queue: Vec::new(),
+        };
+        let r = simulate_report(&input, &one_sm).unwrap();
+        assert_eq!(r.sm_instructions, vec![50]);
+    }
+
+    #[test]
+    fn cached_hits_are_faster_than_misses() {
+        let cfg = cfg();
+        let hit = WarpTrace {
+            ops: vec![Op::LdCached { active: 32, hits: 1, misses: 0 }; 50],
+        };
+        let miss = WarpTrace {
+            ops: vec![Op::LdCached { active: 32, hits: 0, misses: 1 }; 50],
+        };
+        let time = |t: &WarpTrace| {
+            simulate(&TimingInput {
+                blocks: vec![vec![vec![t]]],
+                block_threads: 32,
+                shared_words_per_block: 0,
+                queue: Vec::new(),
+            }, &cfg).unwrap()
+        };
+        assert!(time(&hit) < time(&miss), "hit {} vs miss {}", time(&hit), time(&miss));
+        // Misses consume DRAM bandwidth; hits must not.
+        let report = simulate_report(&TimingInput {
+            blocks: vec![vec![vec![&hit]]],
+            block_threads: 32,
+            shared_words_per_block: 0,
+            queue: Vec::new(),
+        }, &cfg).unwrap();
+        assert_eq!(report.dram_busy_cycles, 0);
+    }
+
+    #[test]
+    fn wider_issue_port_helps_issue_bound_workloads() {
+        // 8 warps of pure ALU work saturate a single-issue SM; doubling the
+        // issue width should cut the time nearly in half.
+        let t = alu_trace(500);
+        let mk_cfg = |w: u32| {
+            let mut c = cfg();
+            c.num_sms = 1;
+            c.max_warps_per_sm = 8;
+            c.issue_width = w;
+            c
+        };
+        let input = || TimingInput {
+            blocks: vec![(0..8).map(|_| vec![&t]).collect()],
+            block_threads: 256,
+            shared_words_per_block: 0,
+            queue: Vec::new(),
+        };
+        let c1 = simulate(&input(), &mk_cfg(1)).unwrap();
+        let c2 = simulate(&input(), &mk_cfg(2)).unwrap();
+        assert!(c2 < c1, "dual issue {c2} vs single {c1}");
+        assert!(c2 * 3 > c1, "speedup bounded by 2x: {c1} -> {c2}");
+    }
+
+    #[test]
+    fn empty_warp_streams_retire() {
+        // A block whose warps have nothing to do completes at cycle 0.
+        let input = TimingInput {
+            blocks: vec![vec![vec![], vec![]]],
+            block_threads: 64,
+            shared_words_per_block: 0,
+            queue: Vec::new(),
+        };
+        assert_eq!(simulate(&input, &cfg()).unwrap(), 0);
+    }
+}

@@ -1,0 +1,1036 @@
+//! The warp execution context.
+//!
+//! [`WarpCtx`] is what a kernel's per-warp code runs against. Every method
+//! that corresponds to a hardware instruction records one (or, for
+//! multi-step primitives like scans, several) [`Op`](crate::trace::Op) in the
+//! warp's trace, annotated with active lane count, coalesced transaction
+//! count, bank conflicts, or atomic replays. The timing engine later replays
+//! these traces.
+//!
+//! ## Programming model
+//!
+//! Kernels are written warp-synchronously: values are 32-wide
+//! [`Lanes`](crate::lanes::Lanes) registers, control flow is expressed by
+//! narrowing [`Mask`](crate::mask::Mask)s, and divergent loops are
+//! `while mask.any() { ... }` — exactly the execution the SIMT hardware
+//! performs. Costs are charged per *warp instruction*: a divergent loop that
+//! runs 100 iterations for one lane and 2 for the rest charges ~100
+//! iterations of instructions with mostly one active lane. That is the
+//! workload-imbalance pathology the paper studies.
+//!
+//! ## Cost-model conventions
+//!
+//! * Register moves, constants, and host-visible scalars (`u32` locals in
+//!   kernel code) are free — they model values the compiler keeps in
+//!   registers or immediates.
+//! * One `alu*` / comparison / ballot / shuffle call = one issued
+//!   instruction with the given active mask.
+//! * Reductions and scans cost `log2(width)` instructions, matching the
+//!   shuffle-tree implementations used on real hardware.
+
+use crate::cache::CacheModel;
+use crate::coalesce::transactions;
+use crate::config::GpuConfig;
+use crate::lanes::{DeviceWord, Lanes, WARP_SIZE};
+use crate::mask::Mask;
+use crate::mem::{DevPtr, DeviceMem};
+use crate::shared::{bank_conflict_cost, SharedMem, SharedPtr};
+use crate::trace::{Op, WarpTrace};
+
+/// Identification of a warp within its launch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WarpId {
+    /// Block index in the grid.
+    pub block: u32,
+    /// Warp index within the block.
+    pub warp_in_block: u32,
+    /// Warps per block at launch.
+    pub warps_per_block: u32,
+    /// Blocks in the grid.
+    pub num_blocks: u32,
+}
+
+impl WarpId {
+    /// Flat warp index across the whole grid.
+    #[inline]
+    pub fn global(&self) -> u32 {
+        self.block * self.warps_per_block + self.warp_in_block
+    }
+
+    /// Total warps in the grid.
+    #[inline]
+    pub fn total_warps(&self) -> u32 {
+        self.num_blocks * self.warps_per_block
+    }
+}
+
+/// Per-warp execution context handed to kernel code.
+pub struct WarpCtx<'a> {
+    mem: &'a mut DeviceMem,
+    shared: &'a mut SharedMem,
+    trace: &'a mut WarpTrace,
+    cache: &'a mut CacheModel,
+    segment_bytes: u32,
+    id: WarpId,
+}
+
+impl<'a> WarpCtx<'a> {
+    pub(crate) fn new(
+        mem: &'a mut DeviceMem,
+        shared: &'a mut SharedMem,
+        trace: &'a mut WarpTrace,
+        cache: &'a mut CacheModel,
+        cfg: &GpuConfig,
+        id: WarpId,
+    ) -> Self {
+        WarpCtx {
+            mem,
+            shared,
+            trace,
+            cache,
+            segment_bytes: cfg.segment_bytes,
+            id,
+        }
+    }
+
+    // ---------------------------------------------------------------- ids
+
+    /// This warp's identification.
+    #[inline]
+    pub fn id(&self) -> WarpId {
+        self.id
+    }
+
+    /// Lane-id register `[0, 1, .., 31]`.
+    #[inline]
+    pub fn lane_ids(&self) -> Lanes<u32> {
+        Lanes::lane_ids()
+    }
+
+    /// Global thread ids of this warp's lanes
+    /// (`global_warp * 32 + lane`).
+    #[inline]
+    pub fn global_thread_ids(&self) -> Lanes<u32> {
+        let base = self.id.global() * WARP_SIZE as u32;
+        Lanes::from_fn(|l| base + l as u32)
+    }
+
+    /// Total threads in the grid.
+    #[inline]
+    pub fn total_threads(&self) -> u32 {
+        self.id.total_warps() * WARP_SIZE as u32
+    }
+
+    // ---------------------------------------------------------------- ALU
+
+    /// Record an ALU instruction with the given active mask and no computed
+    /// result (control-flow overhead, address arithmetic the model can't
+    /// see, etc.).
+    #[inline]
+    pub fn alu_nop(&mut self, mask: Mask) {
+        self.push_alu(mask);
+    }
+
+    /// One ALU instruction computing a unary per-lane function.
+    #[inline]
+    pub fn alu1<T: Copy, U: Copy + Default>(
+        &mut self,
+        mask: Mask,
+        a: &Lanes<T>,
+        f: impl FnMut(T) -> U,
+    ) -> Lanes<U> {
+        self.push_alu(mask);
+        a.map(f)
+    }
+
+    /// One ALU instruction computing a binary per-lane function.
+    #[inline]
+    pub fn alu2<T: Copy, U: Copy, V: Copy + Default>(
+        &mut self,
+        mask: Mask,
+        a: &Lanes<T>,
+        b: &Lanes<U>,
+        f: impl FnMut(T, U) -> V,
+    ) -> Lanes<V> {
+        self.push_alu(mask);
+        a.zip(b, f)
+    }
+
+    /// One ALU instruction evaluating a per-lane predicate; the result mask
+    /// is the set of active lanes satisfying it (a compare + predicate
+    /// register write).
+    #[inline]
+    pub fn alu_pred<T: Copy>(
+        &mut self,
+        mask: Mask,
+        a: &Lanes<T>,
+        pred: impl FnMut(T) -> bool,
+    ) -> Mask {
+        self.push_alu(mask);
+        a.test(mask, pred)
+    }
+
+    /// Lane-wise `a + b` (one instruction).
+    #[inline]
+    pub fn add(&mut self, mask: Mask, a: &Lanes<u32>, b: &Lanes<u32>) -> Lanes<u32> {
+        self.alu2(mask, a, b, |x, y| x.wrapping_add(y))
+    }
+
+    /// Lane-wise `a + c` for scalar `c` (one instruction).
+    #[inline]
+    pub fn add_scalar(&mut self, mask: Mask, a: &Lanes<u32>, c: u32) -> Lanes<u32> {
+        self.alu1(mask, a, |x| x.wrapping_add(c))
+    }
+
+    /// Active lanes where `a < b` (one compare instruction).
+    #[inline]
+    pub fn lt(&mut self, mask: Mask, a: &Lanes<u32>, b: &Lanes<u32>) -> Mask {
+        self.push_alu(mask);
+        Mask::from_fn(|l| mask.get(l) && a.get(l) < b.get(l))
+    }
+
+    /// Active lanes where `a < c` (one compare instruction).
+    #[inline]
+    pub fn lt_scalar(&mut self, mask: Mask, a: &Lanes<u32>, c: u32) -> Mask {
+        self.alu_pred(mask, a, |x| x < c)
+    }
+
+    /// Active lanes where `a == c` (one compare instruction).
+    #[inline]
+    pub fn eq_scalar(&mut self, mask: Mask, a: &Lanes<u32>, c: u32) -> Mask {
+        self.alu_pred(mask, a, |x| x == c)
+    }
+
+    // ------------------------------------------------------ warp intrinsics
+
+    /// `__ballot`: one instruction; returns the predicate mask itself (the
+    /// predicate evaluation is the caller's compare instruction).
+    #[inline]
+    pub fn ballot(&mut self, mask: Mask, pred: Mask) -> Mask {
+        self.push_alu(mask);
+        pred & mask
+    }
+
+    /// `__any`: one instruction.
+    #[inline]
+    pub fn any(&mut self, mask: Mask, pred: Mask) -> bool {
+        self.push_alu(mask);
+        (pred & mask).any()
+    }
+
+    /// `__all`: one instruction.
+    #[inline]
+    pub fn all(&mut self, mask: Mask, pred: Mask) -> bool {
+        self.push_alu(mask);
+        (pred & mask) == mask
+    }
+
+    /// `__shfl`: each active lane reads the value of lane `src.get(lane)`
+    /// (one instruction). Reading from an out-of-range lane yields the
+    /// lane's own value, mirroring CUDA's clamping behaviour loosely.
+    #[inline]
+    pub fn shfl<T: Copy + Default>(
+        &mut self,
+        mask: Mask,
+        vals: &Lanes<T>,
+        src: &Lanes<u32>,
+    ) -> Lanes<T> {
+        self.push_alu(mask);
+        Lanes::from_fn(|l| {
+            let s = src.get(l) as usize;
+            if s < WARP_SIZE {
+                vals.get(s)
+            } else {
+                vals.get(l)
+            }
+        })
+    }
+
+    /// Broadcast lane `src_lane`'s value to all lanes (one shuffle).
+    #[inline]
+    pub fn shfl_bcast<T: Copy + Default>(
+        &mut self,
+        mask: Mask,
+        vals: &Lanes<T>,
+        src_lane: usize,
+    ) -> Lanes<T> {
+        self.push_alu(mask);
+        Lanes::splat(vals.get(src_lane))
+    }
+
+    /// Warp-wide sum reduction via a shuffle tree: `log2(32) = 5`
+    /// instructions. Returns the total of active lanes broadcast to all.
+    pub fn reduce_add(&mut self, mask: Mask, vals: &Lanes<u32>) -> u32 {
+        self.charge_tree(mask, WARP_SIZE);
+        vals.sum_active(mask) as u32
+    }
+
+    /// Warp-wide min reduction (5 instructions); `u32::MAX` if mask empty.
+    pub fn reduce_min(&mut self, mask: Mask, vals: &Lanes<u32>) -> u32 {
+        self.charge_tree(mask, WARP_SIZE);
+        vals.min_active(mask).unwrap_or(u32::MAX)
+    }
+
+    /// Warp-wide max reduction (5 instructions); 0 if mask empty.
+    pub fn reduce_max(&mut self, mask: Mask, vals: &Lanes<u32>) -> u32 {
+        self.charge_tree(mask, WARP_SIZE);
+        vals.max_active(mask).unwrap_or(0)
+    }
+
+    /// Exclusive prefix sum over active lanes (5 instructions). Inactive
+    /// lanes receive the running sum of active lanes below them, which is
+    /// what compaction code needs.
+    pub fn scan_add_exclusive(&mut self, mask: Mask, vals: &Lanes<u32>) -> Lanes<u32> {
+        self.charge_tree(mask, WARP_SIZE);
+        let mut acc = 0u32;
+        Lanes::from_fn(|l| {
+            let out = acc;
+            if mask.get(l) {
+                acc = acc.wrapping_add(vals.get(l));
+            }
+            out
+        })
+    }
+
+    // ----------------------------------------------- segmented (sub-warp) ops
+
+    /// Segmented sum reduction: the warp is split into aligned segments of
+    /// `width` lanes (a power of two ≤ 32 — the *virtual warp* width) and
+    /// each segment reduces independently. Costs `log2(width)`
+    /// instructions; every lane of a segment receives its segment's total.
+    pub fn seg_reduce_add(&mut self, mask: Mask, vals: &Lanes<u32>, width: usize) -> Lanes<u32> {
+        assert!(width.is_power_of_two() && width <= WARP_SIZE);
+        self.charge_tree(mask, width);
+        let mut out = Lanes::splat(0u32);
+        for seg in 0..WARP_SIZE / width {
+            let base = seg * width;
+            let mut sum = 0u32;
+            for l in base..base + width {
+                if mask.get(l) {
+                    sum = sum.wrapping_add(vals.get(l));
+                }
+            }
+            for l in base..base + width {
+                out.set(l, sum);
+            }
+        }
+        out
+    }
+
+    /// Segmented `f32` sum reduction — same shape and cost as
+    /// [`seg_reduce_add`](WarpCtx::seg_reduce_add). Lanes sum in ascending
+    /// lane order (deterministic despite float non-associativity).
+    pub fn seg_reduce_add_f32(&mut self, mask: Mask, vals: &Lanes<f32>, width: usize) -> Lanes<f32> {
+        assert!(width.is_power_of_two() && width <= WARP_SIZE);
+        self.charge_tree(mask, width);
+        let mut out = Lanes::splat(0.0f32);
+        for seg in 0..WARP_SIZE / width {
+            let base = seg * width;
+            let mut sum = 0.0f32;
+            for l in base..base + width {
+                if mask.get(l) {
+                    sum += vals.get(l);
+                }
+            }
+            for l in base..base + width {
+                out.set(l, sum);
+            }
+        }
+        out
+    }
+
+    /// Segmented broadcast: every lane receives the value of its segment's
+    /// first lane (one shuffle instruction).
+    pub fn seg_bcast<T: Copy + Default>(
+        &mut self,
+        mask: Mask,
+        vals: &Lanes<T>,
+        width: usize,
+    ) -> Lanes<T> {
+        assert!(width.is_power_of_two() && width <= WARP_SIZE);
+        self.push_alu(mask);
+        Lanes::from_fn(|l| vals.get(l / width * width))
+    }
+
+    /// Segmented ballot: for each aligned `width`-lane segment, true if any
+    /// active lane of the segment has its predicate bit set (one
+    /// instruction). Result replicated across the segment as a mask.
+    pub fn seg_any(&mut self, mask: Mask, pred: Mask, width: usize) -> Mask {
+        assert!(width.is_power_of_two() && width <= WARP_SIZE);
+        self.push_alu(mask);
+        let hits = pred & mask;
+        Mask::from_fn(|l| {
+            let base = l / width * width;
+            (base..base + width).any(|k| hits.get(k))
+        })
+    }
+
+    // ---------------------------------------------------------- global memory
+
+    /// Gather load: active lane `l` reads `ptr[idx.get(l)]`. One instruction;
+    /// transactions per the coalescing model.
+    pub fn ld<T: DeviceWord>(&mut self, mask: Mask, ptr: DevPtr<T>, idx: &Lanes<u32>) -> Lanes<T> {
+        let tx = self.mem_tx(mask, ptr, idx);
+        self.trace.ops.push(Op::LdGlobal {
+            active: mask.count() as u8,
+            tx,
+        });
+        let mut out = Lanes::splat(T::default());
+        for l in mask.iter() {
+            out.set(l, self.mem.read(ptr, idx.get(l)));
+        }
+        out
+    }
+
+    /// Scatter store: active lane `l` writes `vals.get(l)` to
+    /// `ptr[idx.get(l)]`. Lanes commit in ascending order, so on address
+    /// collisions the highest lane wins (CUDA leaves the winner undefined;
+    /// we pick a deterministic one).
+    pub fn st<T: DeviceWord>(
+        &mut self,
+        mask: Mask,
+        ptr: DevPtr<T>,
+        idx: &Lanes<u32>,
+        vals: &Lanes<T>,
+    ) {
+        let tx = self.mem_tx(mask, ptr, idx);
+        self.trace.ops.push(Op::StGlobal {
+            active: mask.count() as u8,
+            tx,
+        });
+        for l in mask.iter() {
+            self.mem.write(ptr, idx.get(l), vals.get(l));
+        }
+    }
+
+    /// Read-only-cached gather load (the texture-memory path of paper-era
+    /// kernels, or Fermi's L2): semantics of [`ld`](WarpCtx::ld), but each
+    /// distinct segment probes the device cache; hits skip DRAM.
+    pub fn ld_cached<T: DeviceWord>(
+        &mut self,
+        mask: Mask,
+        ptr: DevPtr<T>,
+        idx: &Lanes<u32>,
+    ) -> Lanes<T> {
+        // Distinct segments among the active lanes, like the coalescer.
+        let shift = self.segment_bytes.trailing_zeros();
+        let mut segs = [0u64; WARP_SIZE];
+        let mut n = 0usize;
+        'outer: for l in mask.iter() {
+            let seg = ptr.byte_addr(idx.get(l)) >> shift;
+            for &sv in &segs[..n] {
+                if sv == seg {
+                    continue 'outer;
+                }
+            }
+            segs[n] = seg;
+            n += 1;
+        }
+        let mut hits = 0u8;
+        let mut misses = 0u8;
+        for &seg in &segs[..n] {
+            if self.cache.access(seg << shift) {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+        }
+        self.trace.ops.push(Op::LdCached {
+            active: mask.count() as u8,
+            hits,
+            misses,
+        });
+        let mut out = Lanes::splat(T::default());
+        for l in mask.iter() {
+            out.set(l, self.mem.read(ptr, idx.get(l)));
+        }
+        out
+    }
+
+    /// Uniform load: all active lanes read the same element (one
+    /// instruction, one transaction). Models `ptr[c]` with scalar `c`.
+    pub fn ld_uniform<T: DeviceWord>(&mut self, mask: Mask, ptr: DevPtr<T>, idx: u32) -> T {
+        self.trace.ops.push(Op::LdGlobal {
+            active: mask.count() as u8,
+            tx: 1,
+        });
+        self.mem.read(ptr, idx)
+    }
+
+    /// Uniform store: the warp leader writes one element (one instruction,
+    /// one transaction). Models `if (lane == 0) ptr[c] = v`.
+    pub fn st_uniform<T: DeviceWord>(&mut self, mask: Mask, ptr: DevPtr<T>, idx: u32, v: T) {
+        self.trace.ops.push(Op::StGlobal {
+            active: mask.count().min(1) as u8,
+            tx: 1,
+        });
+        if mask.any() {
+            self.mem.write(ptr, idx, v);
+        }
+    }
+
+    // ---------------------------------------------------------------- atomics
+
+    /// `atomicAdd` per active lane; returns each lane's fetched (pre-add)
+    /// value. Lanes hitting the same address serialize; the replay count is
+    /// `max_multiplicity − 1`.
+    pub fn atomic_add<T: DeviceWord + AtomicArith>(
+        &mut self,
+        mask: Mask,
+        ptr: DevPtr<T>,
+        idx: &Lanes<u32>,
+        vals: &Lanes<T>,
+    ) -> Lanes<T> {
+        self.atomic_rmw(mask, ptr, idx, vals, |old, v| old.atomic_add(v))
+    }
+
+    /// `atomicMin` per active lane; returns fetched values.
+    pub fn atomic_min<T: DeviceWord + AtomicArith>(
+        &mut self,
+        mask: Mask,
+        ptr: DevPtr<T>,
+        idx: &Lanes<u32>,
+        vals: &Lanes<T>,
+    ) -> Lanes<T> {
+        self.atomic_rmw(mask, ptr, idx, vals, |old, v| old.atomic_min(v))
+    }
+
+    /// `atomicOr` per active lane; returns fetched values. The workhorse
+    /// of bitmask-frontier algorithms (multi-source BFS).
+    pub fn atomic_or(
+        &mut self,
+        mask: Mask,
+        ptr: DevPtr<u32>,
+        idx: &Lanes<u32>,
+        vals: &Lanes<u32>,
+    ) -> Lanes<u32> {
+        self.atomic_rmw(mask, ptr, idx, vals, |old, v| old | v)
+    }
+
+    /// `atomicAnd` per active lane; returns fetched values.
+    pub fn atomic_and(
+        &mut self,
+        mask: Mask,
+        ptr: DevPtr<u32>,
+        idx: &Lanes<u32>,
+        vals: &Lanes<u32>,
+    ) -> Lanes<u32> {
+        self.atomic_rmw(mask, ptr, idx, vals, |old, v| old & v)
+    }
+
+    /// `atomicExch` per active lane; returns fetched values.
+    pub fn atomic_exch<T: DeviceWord>(
+        &mut self,
+        mask: Mask,
+        ptr: DevPtr<T>,
+        idx: &Lanes<u32>,
+        vals: &Lanes<T>,
+    ) -> Lanes<T> {
+        self.atomic_rmw(mask, ptr, idx, vals, |_, v| v)
+    }
+
+    /// `atomicCAS` per active lane: if `ptr[idx] == cmp` store `new`;
+    /// returns fetched values.
+    pub fn atomic_cas<T: DeviceWord>(
+        &mut self,
+        mask: Mask,
+        ptr: DevPtr<T>,
+        idx: &Lanes<u32>,
+        cmp: &Lanes<T>,
+        new: &Lanes<T>,
+    ) -> Lanes<T> {
+        let tx = self.mem_tx(mask, ptr, idx);
+        let replays = self.atomic_replays(mask, idx);
+        self.trace.ops.push(Op::Atomic {
+            active: mask.count() as u8,
+            tx,
+            replays,
+        });
+        let mut out = Lanes::splat(T::default());
+        for l in mask.iter() {
+            let i = idx.get(l);
+            let old = self.mem.read(ptr, i);
+            out.set(l, old);
+            if old == cmp.get(l) {
+                self.mem.write(ptr, i, new.get(l));
+            }
+        }
+        out
+    }
+
+    /// Leader-only `atomicAdd` on a single counter, broadcast to the caller
+    /// as a scalar. One instruction, one transaction, no replays. This is
+    /// the work-queue fetch idiom from the paper's dynamic workload
+    /// distribution.
+    pub fn atomic_add_uniform(&mut self, mask: Mask, ptr: DevPtr<u32>, idx: u32, v: u32) -> u32 {
+        self.trace.ops.push(Op::Atomic {
+            active: mask.count().min(1) as u8,
+            tx: 1,
+            replays: 0,
+        });
+        let old = self.mem.read(ptr, idx);
+        if mask.any() {
+            self.mem.write(ptr, idx, old.wrapping_add(v));
+        }
+        old
+    }
+
+    fn atomic_rmw<T: DeviceWord>(
+        &mut self,
+        mask: Mask,
+        ptr: DevPtr<T>,
+        idx: &Lanes<u32>,
+        vals: &Lanes<T>,
+        mut f: impl FnMut(T, T) -> T,
+    ) -> Lanes<T> {
+        let tx = self.mem_tx(mask, ptr, idx);
+        let replays = self.atomic_replays(mask, idx);
+        self.trace.ops.push(Op::Atomic {
+            active: mask.count() as u8,
+            tx,
+            replays,
+        });
+        let mut out = Lanes::splat(T::default());
+        for l in mask.iter() {
+            let i = idx.get(l);
+            let old = self.mem.read(ptr, i);
+            out.set(l, old);
+            self.mem.write(ptr, i, f(old, vals.get(l)));
+        }
+        out
+    }
+
+    // ------------------------------------------------------------ shared mem
+
+    /// Shared-memory gather load with bank-conflict accounting.
+    pub fn sh_ld<T: DeviceWord>(
+        &mut self,
+        mask: Mask,
+        ptr: SharedPtr<T>,
+        idx: &Lanes<u32>,
+    ) -> Lanes<T> {
+        let cost = bank_conflict_cost(mask.iter().map(|l| ptr.word_of(idx.get(l)) as u32));
+        self.trace.ops.push(Op::Shared {
+            active: mask.count() as u8,
+            cost: cost.max(1) as u8,
+        });
+        let mut out = Lanes::splat(T::default());
+        for l in mask.iter() {
+            out.set(l, T::from_word(self.shared.word(ptr.word_of(idx.get(l)))));
+        }
+        out
+    }
+
+    /// Shared-memory scatter store with bank-conflict accounting. Ascending
+    /// lane order on collisions.
+    pub fn sh_st<T: DeviceWord>(
+        &mut self,
+        mask: Mask,
+        ptr: SharedPtr<T>,
+        idx: &Lanes<u32>,
+        vals: &Lanes<T>,
+    ) {
+        let cost = bank_conflict_cost(mask.iter().map(|l| ptr.word_of(idx.get(l)) as u32));
+        self.trace.ops.push(Op::Shared {
+            active: mask.count() as u8,
+            cost: cost.max(1) as u8,
+        });
+        for l in mask.iter() {
+            let w = ptr.word_of(idx.get(l));
+            self.shared.set_word(w, vals.get(l).to_word());
+        }
+    }
+
+    // ---------------------------------------------------------------- private
+
+    #[inline]
+    fn push_alu(&mut self, mask: Mask) {
+        self.trace.ops.push(Op::Alu {
+            active: mask.count() as u8,
+        });
+    }
+
+    /// Charge a `log2(width)` shuffle tree.
+    fn charge_tree(&mut self, mask: Mask, width: usize) {
+        for _ in 0..width.trailing_zeros() {
+            self.push_alu(mask);
+        }
+    }
+
+    fn mem_tx<T: DeviceWord>(&self, mask: Mask, ptr: DevPtr<T>, idx: &Lanes<u32>) -> u8 {
+        transactions(
+            mask.iter().map(|l| ptr.byte_addr(idx.get(l))),
+            self.segment_bytes,
+        ) as u8
+    }
+
+    fn atomic_replays(&self, mask: Mask, idx: &Lanes<u32>) -> u8 {
+        // Max same-address multiplicity − 1: the hardware serializes lanes
+        // that update the same location.
+        let mut addrs = [0u32; WARP_SIZE];
+        let mut counts = [0u8; WARP_SIZE];
+        let mut n = 0usize;
+        'outer: for l in mask.iter() {
+            let a = idx.get(l);
+            for k in 0..n {
+                if addrs[k] == a {
+                    counts[k] += 1;
+                    continue 'outer;
+                }
+            }
+            addrs[n] = a;
+            counts[n] = 1;
+            n += 1;
+        }
+        counts[..n].iter().copied().max().unwrap_or(1).saturating_sub(1)
+    }
+}
+
+/// Arithmetic used by atomic read-modify-write ops.
+pub trait AtomicArith: Copy {
+    /// `self + v` with wrapping semantics for integers.
+    fn atomic_add(self, v: Self) -> Self;
+    /// `min(self, v)`.
+    fn atomic_min(self, v: Self) -> Self;
+}
+
+impl AtomicArith for u32 {
+    #[inline]
+    fn atomic_add(self, v: Self) -> Self {
+        self.wrapping_add(v)
+    }
+    #[inline]
+    fn atomic_min(self, v: Self) -> Self {
+        self.min(v)
+    }
+}
+
+impl AtomicArith for i32 {
+    #[inline]
+    fn atomic_add(self, v: Self) -> Self {
+        self.wrapping_add(v)
+    }
+    #[inline]
+    fn atomic_min(self, v: Self) -> Self {
+        self.min(v)
+    }
+}
+
+impl AtomicArith for f32 {
+    #[inline]
+    fn atomic_add(self, v: Self) -> Self {
+        self + v
+    }
+    #[inline]
+    fn atomic_min(self, v: Self) -> Self {
+        self.min(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+
+    fn ctx_parts() -> (DeviceMem, SharedMem, WarpTrace, CacheModel, GpuConfig) {
+        let cfg = GpuConfig::fermi_c2050();
+        (
+            DeviceMem::new(),
+            SharedMem::new(1024),
+            WarpTrace::new(),
+            CacheModel::new(cfg.l2_lines, cfg.l2_ways, cfg.segment_bytes),
+            cfg,
+        )
+    }
+
+    fn wid() -> WarpId {
+        WarpId {
+            block: 1,
+            warp_in_block: 2,
+            warps_per_block: 4,
+            num_blocks: 3,
+        }
+    }
+
+    #[test]
+    fn warp_id_math() {
+        let id = wid();
+        assert_eq!(id.global(), 6);
+        assert_eq!(id.total_warps(), 12);
+    }
+
+    #[test]
+    fn global_thread_ids() {
+        let (mut m, mut s, mut t, mut ch, cfg) = ctx_parts();
+        let w = WarpCtx::new(&mut m, &mut s, &mut t, &mut ch, &cfg, wid());
+        assert_eq!(w.global_thread_ids().get(0), 6 * 32);
+        assert_eq!(w.global_thread_ids().get(31), 6 * 32 + 31);
+        assert_eq!(w.total_threads(), 12 * 32);
+    }
+
+    #[test]
+    fn coalesced_load_one_tx() {
+        let (mut m, mut s, mut t, mut ch, cfg) = ctx_parts();
+        let p = m.alloc_from(&(0..32u32).collect::<Vec<_>>());
+        let mut w = WarpCtx::new(&mut m, &mut s, &mut t, &mut ch, &cfg, wid());
+        let vals = w.ld(Mask::FULL, p, &Lanes::lane_ids());
+        assert_eq!(vals.get(17), 17);
+        assert_eq!(t.ops, vec![Op::LdGlobal { active: 32, tx: 1 }]);
+    }
+
+    #[test]
+    fn scattered_load_many_tx() {
+        let (mut m, mut s, mut t, mut ch, cfg) = ctx_parts();
+        let p = m.alloc::<u32>(32 * 32);
+        let mut w = WarpCtx::new(&mut m, &mut s, &mut t, &mut ch, &cfg, wid());
+        let idx = Lanes::from_fn(|l| (l * 32) as u32); // one segment per lane
+        let _ = w.ld(Mask::FULL, p, &idx);
+        assert_eq!(t.ops, vec![Op::LdGlobal { active: 32, tx: 32 }]);
+    }
+
+    #[test]
+    fn masked_store_only_writes_active() {
+        let (mut m, mut s, mut t, mut ch, cfg) = ctx_parts();
+        let p = m.alloc::<u32>(32);
+        {
+            let mut w = WarpCtx::new(&mut m, &mut s, &mut t, &mut ch, &cfg, wid());
+            w.st(Mask::first(4), p, &Lanes::lane_ids(), &Lanes::splat(9u32));
+        }
+        let host = m.download(p);
+        assert_eq!(&host[..6], &[9, 9, 9, 9, 0, 0]);
+    }
+
+    #[test]
+    fn store_collision_highest_lane_wins() {
+        let (mut m, mut s, mut t, mut ch, cfg) = ctx_parts();
+        let p = m.alloc::<u32>(4);
+        {
+            let mut w = WarpCtx::new(&mut m, &mut s, &mut t, &mut ch, &cfg, wid());
+            let idx = Lanes::splat(2u32);
+            let vals = Lanes::from_fn(|l| l as u32);
+            w.st(Mask::FULL, p, &idx, &vals);
+        }
+        assert_eq!(m.read(p, 2), 31);
+    }
+
+    #[test]
+    fn atomic_add_returns_old_and_counts_replays() {
+        let (mut m, mut s, mut t, mut ch, cfg) = ctx_parts();
+        let p = m.alloc::<u32>(4);
+        {
+            let mut w = WarpCtx::new(&mut m, &mut s, &mut t, &mut ch, &cfg, wid());
+            // All 32 lanes add 1 to the same counter: 31 replays.
+            let old = w.atomic_add(Mask::FULL, p, &Lanes::splat(0u32), &Lanes::splat(1u32));
+            assert_eq!(old.get(0), 0);
+            assert_eq!(old.get(31), 31);
+        }
+        assert_eq!(m.read(p, 0), 32);
+        match t.ops[0] {
+            Op::Atomic { replays, .. } => assert_eq!(replays, 31),
+            ref o => panic!("unexpected op {o:?}"),
+        }
+    }
+
+    #[test]
+    fn atomic_min_and_cas() {
+        let (mut m, mut s, mut t, mut ch, cfg) = ctx_parts();
+        let p = m.alloc_from(&[10u32, 20, 30, 40]);
+        {
+            let mut w = WarpCtx::new(&mut m, &mut s, &mut t, &mut ch, &cfg, wid());
+            let idx = Lanes::from_fn(|l| (l % 4) as u32);
+            let m4 = Mask::first(4);
+            let _ = w.atomic_min(m4, p, &idx, &Lanes::splat(25u32));
+            let old = w.atomic_cas(m4, p, &idx, &Lanes::splat(25u32), &Lanes::splat(0u32));
+            assert_eq!(old.get(0), 10);
+        }
+        assert_eq!(m.download(p), vec![10, 20, 0, 0]); // 25s CAS'd to 0
+    }
+
+    #[test]
+    fn atomic_or_and() {
+        let (mut m, mut s, mut t, mut ch, cfg) = ctx_parts();
+        let p = m.alloc::<u32>(2);
+        {
+            let mut w = WarpCtx::new(&mut m, &mut s, &mut t, &mut ch, &cfg, wid());
+            // Each lane ORs its own bit into word 0.
+            let bits = Lanes::from_fn(|l| 1u32 << l);
+            let old = w.atomic_or(Mask::FULL, p, &Lanes::splat(0u32), &bits);
+            assert_eq!(old.get(0), 0);
+            assert_eq!(old.get(1), 1); // saw lane 0's bit
+            let _ = w.atomic_and(Mask::first(1), p, &Lanes::splat(0u32), &Lanes::splat(0xFFu32));
+        }
+        assert_eq!(m.read(p, 0), 0xFF);
+    }
+
+    #[test]
+    fn atomic_add_uniform_fetches_once() {
+        let (mut m, mut s, mut t, mut ch, cfg) = ctx_parts();
+        let p = m.alloc::<u32>(1);
+        {
+            let mut w = WarpCtx::new(&mut m, &mut s, &mut t, &mut ch, &cfg, wid());
+            assert_eq!(w.atomic_add_uniform(Mask::FULL, p, 0, 128), 0);
+            assert_eq!(w.atomic_add_uniform(Mask::FULL, p, 0, 128), 128);
+        }
+        assert_eq!(m.read(p, 0), 256);
+        assert_eq!(t.ops.len(), 2);
+    }
+
+    #[test]
+    fn ballot_any_all() {
+        let (mut m, mut s, mut t, mut ch, cfg) = ctx_parts();
+        let mut w = WarpCtx::new(&mut m, &mut s, &mut t, &mut ch, &cfg, wid());
+        let pred = Mask::first(8);
+        assert_eq!(w.ballot(Mask::FULL, pred), pred);
+        assert!(w.any(Mask::FULL, pred));
+        assert!(!w.all(Mask::FULL, pred));
+        assert!(w.all(Mask::first(8), pred));
+        assert_eq!(t.ops.len(), 4);
+    }
+
+    #[test]
+    fn reductions_and_scan() {
+        let (mut m, mut s, mut t, mut ch, cfg) = ctx_parts();
+        let mut w = WarpCtx::new(&mut m, &mut s, &mut t, &mut ch, &cfg, wid());
+        let ids = Lanes::lane_ids();
+        assert_eq!(w.reduce_add(Mask::FULL, &ids), (0..32).sum::<u32>());
+        assert_eq!(w.reduce_min(Mask::first(8).not(), &ids), 8);
+        assert_eq!(w.reduce_max(Mask::first(8), &ids), 7);
+        let sc = w.scan_add_exclusive(Mask::FULL, &Lanes::splat(1u32));
+        assert_eq!(sc.get(0), 0);
+        assert_eq!(sc.get(31), 31);
+        // 4 tree primitives × 5 instructions each.
+        assert_eq!(t.ops.len(), 20);
+    }
+
+    #[test]
+    fn segmented_ops() {
+        let (mut m, mut s, mut t, mut ch, cfg) = ctx_parts();
+        let mut w = WarpCtx::new(&mut m, &mut s, &mut t, &mut ch, &cfg, wid());
+        let ids = Lanes::lane_ids();
+        // Segments of 8: segment k sums 8 consecutive lane ids.
+        let r = w.seg_reduce_add(Mask::FULL, &Lanes::splat(1u32), 8);
+        for l in 0..WARP_SIZE {
+            assert_eq!(r.get(l), 8);
+        }
+        let b = w.seg_bcast(Mask::FULL, &ids, 8);
+        assert_eq!(b.get(0), 0);
+        assert_eq!(b.get(7), 0);
+        assert_eq!(b.get(8), 8);
+        assert_eq!(b.get(31), 24);
+        let a = w.seg_any(Mask::FULL, Mask::lane(9), 8);
+        assert!(!a.get(0));
+        assert!(a.get(8) && a.get(15));
+        assert!(!a.get(16));
+        // seg_reduce over width 8 = 3 instrs; bcast 1; seg_any 1.
+        assert_eq!(t.ops.len(), 5);
+    }
+
+    #[test]
+    fn shfl_and_bcast() {
+        let (mut m, mut s, mut t, mut ch, cfg) = ctx_parts();
+        let mut w = WarpCtx::new(&mut m, &mut s, &mut t, &mut ch, &cfg, wid());
+        let ids = Lanes::lane_ids();
+        let rev = Lanes::from_fn(|l| 31 - l as u32);
+        let shuf = w.shfl(Mask::FULL, &ids, &rev);
+        assert_eq!(shuf.get(0), 31);
+        assert_eq!(shuf.get(31), 0);
+        let b = w.shfl_bcast(Mask::FULL, &ids, 5);
+        assert_eq!(b.get(0), 5);
+        assert_eq!(b.get(31), 5);
+    }
+
+    #[test]
+    fn shared_roundtrip_and_conflicts() {
+        let (mut m, mut s, mut t, mut ch, cfg) = ctx_parts();
+        let sp = s.alloc::<u32>(64);
+        {
+            let mut w = WarpCtx::new(&mut m, &mut s, &mut t, &mut ch, &cfg, wid());
+            let ids = Lanes::lane_ids();
+            w.sh_st(Mask::FULL, sp, &ids, &ids);
+            let v = w.sh_ld(Mask::FULL, sp, &ids);
+            assert_eq!(v.get(13), 13);
+            // Stride-2: two-way conflict.
+            let idx2 = Lanes::from_fn(|l| (l as u32 * 2) % 64);
+            let _ = w.sh_ld(Mask::FULL, sp, &idx2);
+        }
+        match (t.ops[0], t.ops[1], t.ops[2]) {
+            (
+                Op::Shared { cost: 1, .. },
+                Op::Shared { cost: 1, .. },
+                Op::Shared { cost: 2, .. },
+            ) => {}
+            other => panic!("unexpected ops {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ld_uniform_and_st_uniform() {
+        let (mut m, mut s, mut t, mut ch, cfg) = ctx_parts();
+        let p = m.alloc_from(&[7u32, 8]);
+        {
+            let mut w = WarpCtx::new(&mut m, &mut s, &mut t, &mut ch, &cfg, wid());
+            assert_eq!(w.ld_uniform(Mask::FULL, p, 1), 8);
+            w.st_uniform(Mask::first(3), p, 0, 99);
+            // Empty mask: no write.
+            w.st_uniform(Mask::NONE, p, 1, 1000);
+        }
+        assert_eq!(m.read(p, 0), 99);
+        assert_eq!(m.read(p, 1), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal device address")]
+    fn oob_load_panics() {
+        let (mut m, mut s, mut t, mut ch, cfg) = ctx_parts();
+        let p = m.alloc::<u32>(4);
+        let mut w = WarpCtx::new(&mut m, &mut s, &mut t, &mut ch, &cfg, wid());
+        let _ = w.ld(Mask::FULL, p, &Lanes::splat(4u32));
+    }
+
+    #[test]
+    fn alu_ops_record_active_counts() {
+        let (mut m, mut s, mut t, mut ch, cfg) = ctx_parts();
+        {
+            let mut w = WarpCtx::new(&mut m, &mut s, &mut t, &mut ch, &cfg, wid());
+            let ids = Lanes::lane_ids();
+            let _ = w.add_scalar(Mask::first(5), &ids, 1);
+            let _ = w.lt_scalar(Mask::first(10), &ids, 100);
+        }
+        assert_eq!(
+            t.ops,
+            vec![Op::Alu { active: 5 }, Op::Alu { active: 10 }]
+        );
+    }
+
+    #[test]
+    fn cached_load_hits_on_reuse() {
+        let (mut m, mut s, mut t, mut ch, cfg) = ctx_parts();
+        let p = m.alloc_from(&(0..64u32).collect::<Vec<_>>());
+        {
+            let mut w = WarpCtx::new(&mut m, &mut s, &mut t, &mut ch, &cfg, wid());
+            let v1 = w.ld_cached(Mask::FULL, p, &Lanes::lane_ids());
+            assert_eq!(v1.get(5), 5);
+            let _ = w.ld_cached(Mask::FULL, p, &Lanes::lane_ids());
+        }
+        match (t.ops[0], t.ops[1]) {
+            (
+                Op::LdCached { hits: 0, misses: 1, .. },
+                Op::LdCached { hits: 1, misses: 0, .. },
+            ) => {}
+            other => panic!("unexpected ops {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lt_and_eq_masks() {
+        let (mut m, mut s, mut t, mut ch, cfg) = ctx_parts();
+        let mut w = WarpCtx::new(&mut m, &mut s, &mut t, &mut ch, &cfg, wid());
+        let ids = Lanes::lane_ids();
+        let m1 = w.lt_scalar(Mask::FULL, &ids, 4);
+        assert_eq!(m1, Mask::first(4));
+        let m2 = w.eq_scalar(Mask::first(8), &ids, 9);
+        assert!(m2.none());
+        let m3 = w.lt(Mask::FULL, &ids, &Lanes::splat(2u32));
+        assert_eq!(m3, Mask::first(2));
+    }
+}

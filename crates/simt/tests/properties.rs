@@ -1,0 +1,248 @@
+//! Property-based tests of the simulator's core invariants.
+
+use maxwarp_simt::{
+    coalesce, shared, timing, Gpu, GpuConfig, Lanes, Mask, Op, TimingInput, WarpTrace,
+};
+use proptest::prelude::*;
+
+fn arb_mask() -> impl Strategy<Value = Mask> {
+    any::<u32>().prop_map(Mask)
+}
+
+proptest! {
+    // ------------------------------------------------------------- masks
+
+    #[test]
+    fn mask_de_morgan(a in arb_mask(), b in arb_mask()) {
+        prop_assert_eq!(!(a & b), (!a) | (!b));
+        prop_assert_eq!(!(a | b), (!a) & (!b));
+    }
+
+    #[test]
+    fn mask_andnot_is_intersection_with_complement(a in arb_mask(), b in arb_mask()) {
+        prop_assert_eq!(a.andnot(b), a & !b);
+    }
+
+    #[test]
+    fn mask_count_matches_iter(a in arb_mask()) {
+        prop_assert_eq!(a.count() as usize, a.iter().count());
+        let from_iter = a.iter().fold(Mask::NONE, |m, l| m.or(Mask::lane(l)));
+        prop_assert_eq!(from_iter, a);
+    }
+
+    #[test]
+    fn mask_rank_is_monotone(a in arb_mask()) {
+        let mut prev = 0;
+        for lane in 0..32 {
+            let r = a.rank(lane);
+            prop_assert!(r >= prev && r <= lane as u32);
+            prev = r;
+        }
+    }
+
+    // --------------------------------------------------------- coalescing
+
+    #[test]
+    fn transactions_bounded_by_active_count(addrs in proptest::collection::vec(any::<u32>(), 0..32)) {
+        let tx = coalesce::transactions(addrs.iter().map(|&a| a as u64), 128);
+        prop_assert!(tx as usize <= addrs.len());
+        if !addrs.is_empty() {
+            prop_assert!(tx >= 1);
+        }
+    }
+
+    #[test]
+    fn transactions_monotone_in_segment_size(addrs in proptest::collection::vec(any::<u32>(), 1..32)) {
+        let t128 = coalesce::transactions(addrs.iter().map(|&a| a as u64), 128);
+        let t32 = coalesce::transactions(addrs.iter().map(|&a| a as u64), 32);
+        prop_assert!(t32 >= t128, "smaller segments cannot merge more");
+    }
+
+    #[test]
+    fn transactions_invariant_under_duplication(addrs in proptest::collection::vec(any::<u32>(), 1..16)) {
+        let once = coalesce::transactions(addrs.iter().map(|&a| a as u64), 128);
+        let doubled = coalesce::transactions(
+            addrs.iter().chain(addrs.iter()).map(|&a| a as u64), 128);
+        prop_assert_eq!(once, doubled);
+    }
+
+    // ------------------------------------------------------ bank conflicts
+
+    #[test]
+    fn bank_cost_bounds(offsets in proptest::collection::vec(0u32..4096, 0..32)) {
+        let cost = shared::bank_conflict_cost(offsets.iter().copied());
+        prop_assert!(cost as usize <= offsets.len().max(1));
+        if !offsets.is_empty() {
+            prop_assert!(cost >= 1);
+        } else {
+            prop_assert_eq!(cost, 0);
+        }
+    }
+
+    // ----------------------------------------------------------- timing
+
+    #[test]
+    fn timing_monotone_in_trace_length(len_a in 1usize..200, extra in 1usize..200) {
+        let cfg = GpuConfig::tiny_test();
+        let mk = |n: usize| WarpTrace { ops: vec![Op::Alu { active: 32 }; n] };
+        let short = mk(len_a);
+        let long = mk(len_a + extra);
+        let time = |t: &WarpTrace| {
+            timing::simulate(&TimingInput {
+                blocks: vec![vec![vec![t]]],
+                block_threads: 32,
+                shared_words_per_block: 0,
+                queue: Vec::new(),
+            }, &cfg).unwrap()
+        };
+        prop_assert!(time(&long) > time(&short));
+    }
+
+    #[test]
+    fn timing_deterministic(ops in proptest::collection::vec(0u8..4, 1..100), warps in 1u32..8) {
+        let cfg = GpuConfig::tiny_test();
+        let trace = WarpTrace {
+            ops: ops.iter().map(|&k| match k {
+                0 => Op::Alu { active: 32 },
+                1 => Op::LdGlobal { active: 16, tx: 4 },
+                2 => Op::Shared { active: 32, cost: 2 },
+                _ => Op::Atomic { active: 8, tx: 2, replays: 1 },
+            }).collect(),
+        };
+        let run = || {
+            timing::simulate(&TimingInput {
+                blocks: vec![(0..warps).map(|_| vec![&trace]).collect()],
+                block_threads: warps * 32,
+                shared_words_per_block: 0,
+                queue: Vec::new(),
+            }, &cfg).unwrap()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn dynamic_queue_never_slower_than_worst_static(n_heavy in 1usize..6, n_light in 1usize..6) {
+        // All heavy tasks piled on one warp (worst static) must be at least
+        // as slow as dynamic distribution over 2 warps.
+        let cfg = GpuConfig::tiny_test();
+        let heavy = WarpTrace { ops: vec![Op::Alu { active: 32 }; 300] };
+        let light = WarpTrace { ops: vec![Op::Alu { active: 32 }; 5] };
+        let mut queue: Vec<&WarpTrace> = Vec::new();
+        for _ in 0..n_heavy { queue.push(&heavy); }
+        for _ in 0..n_light { queue.push(&light); }
+        let dynamic = timing::simulate(&TimingInput {
+            blocks: vec![vec![vec![], vec![]]],
+            block_threads: 64,
+            shared_words_per_block: 0,
+            queue: queue.clone(),
+        }, &cfg).unwrap();
+        let static_worst = timing::simulate(&TimingInput {
+            blocks: vec![vec![
+                (0..n_heavy).map(|_| &heavy).collect(),
+                (0..n_light).map(|_| &light).collect(),
+            ]],
+            block_threads: 64,
+            shared_words_per_block: 0,
+            queue: Vec::new(),
+        }, &cfg).unwrap();
+        prop_assert!(dynamic <= static_worst + 50, "dyn {dynamic} vs static {static_worst}");
+    }
+
+    #[test]
+    fn barrier_traces_terminate_and_are_deterministic(
+        seed_ops in proptest::collection::vec(proptest::collection::vec(1u8..20, 1..4), 1..5),
+        warps in 1u32..4,
+    ) {
+        // Build per-warp traces with identical barrier counts and random
+        // ALU runs between barriers; the engine must terminate, be
+        // deterministic, and respect the per-warp critical path.
+        let cfg = GpuConfig::tiny_test();
+        let phases = seed_ops.len();
+        let traces: Vec<WarpTrace> = (0..warps)
+            .map(|w| {
+                let mut ops = Vec::new();
+                for (p, lens) in seed_ops.iter().enumerate() {
+                    let len = lens[(w as usize + p) % lens.len()] as usize;
+                    ops.extend(std::iter::repeat(Op::Alu { active: 32 }).take(len));
+                    ops.push(Op::Bar);
+                }
+                WarpTrace { ops }
+            })
+            .collect();
+        let input = || TimingInput {
+            blocks: vec![traces.iter().map(|t| vec![t]).collect()],
+            block_threads: warps * 32,
+            shared_words_per_block: 0,
+            queue: Vec::new(),
+        };
+        let c1 = timing::simulate(&input(), &cfg).unwrap();
+        let c2 = timing::simulate(&input(), &cfg).unwrap();
+        prop_assert_eq!(c1, c2);
+        // Lower bound: at each barrier all warps wait for the slowest run,
+        // so total >= sum over phases of (max run length) * alu issue.
+        let mut lower = 0u64;
+        for (p, lens) in seed_ops.iter().enumerate() {
+            let max_len = (0..warps)
+                .map(|w| lens[(w as usize + p) % lens.len()] as u64)
+                .max()
+                .unwrap();
+            lower += max_len; // 1 issue slot per op at minimum
+        }
+        prop_assert!(c1 >= lower, "cycles {} below barrier lower bound {}", c1, lower);
+        prop_assert!(c1 < 1_000_000, "runaway simulation: {} cycles for {} phases", c1, phases);
+    }
+
+    // ------------------------------------------------- functional executor
+
+    #[test]
+    fn masked_store_touches_exactly_active_lanes(bits in any::<u32>()) {
+        let mask = Mask(bits);
+        let mut gpu = Gpu::new(GpuConfig::tiny_test());
+        let p = gpu.mem.alloc::<u32>(32);
+        gpu.launch(1, 32, &move |b: &mut maxwarp_simt::BlockCtx<'_>| {
+            b.phase(|w| {
+                let ids = w.lane_ids();
+                w.st(mask, p, &ids, &Lanes::splat(7u32));
+            });
+        }).unwrap();
+        let host = gpu.mem.download(p);
+        for lane in 0..32 {
+            prop_assert_eq!(host[lane], if mask.get(lane) { 7 } else { 0 });
+        }
+    }
+
+    #[test]
+    fn atomic_add_totals_match_active_count(bits in any::<u32>(), v in 1u32..100) {
+        let mask = Mask(bits);
+        let mut gpu = Gpu::new(GpuConfig::tiny_test());
+        let p = gpu.mem.alloc::<u32>(1);
+        gpu.launch(1, 32, &move |b: &mut maxwarp_simt::BlockCtx<'_>| {
+            b.phase(|w| {
+                let _ = w.atomic_add(mask, p, &Lanes::splat(0u32), &Lanes::splat(v));
+            });
+        }).unwrap();
+        prop_assert_eq!(gpu.mem.read(p, 0), mask.count() * v);
+    }
+
+    #[test]
+    fn scan_add_is_exclusive_prefix_sum(bits in any::<u32>(), vals in proptest::collection::vec(0u32..1000, 32)) {
+        let mask = Mask(bits);
+        let mut gpu = Gpu::new(GpuConfig::tiny_test());
+        let vals_l = Lanes::from_fn(|l| vals[l]);
+        let out = gpu.mem.alloc::<u32>(32);
+        gpu.launch(1, 32, &move |b: &mut maxwarp_simt::BlockCtx<'_>| {
+            b.phase(|w| {
+                let s = w.scan_add_exclusive(mask, &vals_l);
+                w.st(Mask::FULL, out, &w.lane_ids(), &s);
+            });
+        }).unwrap();
+        let host = gpu.mem.download(out);
+        let mut acc = 0u32;
+        for lane in 0..32 {
+            prop_assert_eq!(host[lane], acc, "lane {}", lane);
+            if mask.get(lane) {
+                acc += vals[lane];
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Writing your own virtual warp-centric kernel against the public API.
+//!
+//! This example implements a kernel the library does not ship: *neighbor
+//! degree sums* (for each vertex, the sum of its neighbors' out-degrees —
+//! the building block of assortativity measures). It shows the full
+//! warp-synchronous programming model: masks, virtual-warp layout, the
+//! memory-gathering SIMD phase, and segmented reductions.
+//!
+//! ```text
+//! cargo run --release --example custom_kernel
+//! ```
+
+use maxwarp::{DeviceGraph, VirtualWarp, VwLayout};
+use maxwarp_graph::{Dataset, Scale};
+use maxwarp_simt::{Gpu, GpuConfig, Lanes, Mask, TaskSchedule};
+
+fn main() {
+    let graph = Dataset::Rmat.build(Scale::Small);
+    let n = graph.num_vertices();
+    println!(
+        "computing neighbor-degree sums on {} vertices / {} edges",
+        n,
+        graph.num_edges()
+    );
+
+    let mut gpu = Gpu::new(GpuConfig::fermi_c2050());
+    let dg = DeviceGraph::upload(&mut gpu, &graph);
+    let out = gpu.mem.alloc::<u32>(n);
+
+    // One virtual warp of K=8 lanes per vertex; each warp-task processes a
+    // chunk of vertices, fetched dynamically from the global work counter.
+    let vw = VirtualWarp::new(8);
+    let layout = VwLayout::new(vw);
+    let vpp = vw.per_physical(); // vertices per warp pass
+    let chunk = 32u32;
+    let tasks = n.div_ceil(chunk);
+
+    let stats = gpu
+        .launch_warp_tasks(84, 256, tasks, TaskSchedule::Dynamic, |w, task| {
+            let chunk_base = task * chunk;
+            let chunk_end = (chunk_base + chunk).min(n);
+            let mut base = chunk_base;
+            while base < chunk_end {
+                // SISD phase: all K lanes of a virtual warp hold the same
+                // vertex (replicated execution, as in the paper).
+                let vids = layout.task_ids(base);
+                let m = w.lt_scalar(Mask::FULL, &vids, chunk_end);
+                if m.none() {
+                    break;
+                }
+                let start = w.ld(m, dg.row_offsets, &vids);
+                let vplus = w.add_scalar(m, &vids, 1);
+                let end = w.ld(m, dg.row_offsets, &vplus);
+
+                // SIMD phase: lanes stride the adjacency list together,
+                // gathering each neighbor's degree.
+                let mut acc = Lanes::splat(0u32);
+                let mut i = w.add(m, &start, &layout.lane_in_vw);
+                let mut act = w.lt(m, &i, &end);
+                while act.any() {
+                    let nbr = w.ld(act, dg.col_indices, &i);
+                    let ns = w.ld(act, dg.row_offsets, &nbr);
+                    let nplus = w.add_scalar(act, &nbr, 1);
+                    let ne = w.ld(act, dg.row_offsets, &nplus);
+                    let deg = w.alu2(act, &ne, &ns, |e, s| e - s);
+                    // Accumulate only on live lanes.
+                    let sum = w.add(act, &acc, &deg);
+                    acc = sum.select(act, &acc);
+                    i = w.add_scalar(act, &i, vw.k());
+                    act = w.lt(act, &i, &end);
+                }
+
+                // Segment-reduce the K partial sums of each virtual warp and
+                // let the leader lane write the result.
+                let total = w.seg_reduce_add(m, &acc, vw.k() as usize);
+                let leaders = m & layout.leaders;
+                w.st(leaders, out, &vids, &total);
+                base += vpp;
+            }
+        })
+        .expect("launch failed");
+
+    // Validate against a host-side computation.
+    let host = gpu.mem.download(out);
+    for v in 0..n {
+        let want: u32 = graph.neighbors(v).iter().map(|&u| graph.degree(u)).sum();
+        assert_eq!(host[v as usize], want, "vertex {v}");
+    }
+    println!(
+        "verified all {} sums | {} simulated cycles | lane-util {:.1}% | {:.2} tx/mem",
+        n,
+        stats.cycles,
+        stats.lane_utilization() * 100.0,
+        stats.tx_per_mem_instruction()
+    );
+    let top = (0..n).max_by_key(|&v| host[v as usize]).unwrap();
+    println!(
+        "highest neighbor-degree sum: vertex {} with {}",
+        top, host[top as usize]
+    );
+}

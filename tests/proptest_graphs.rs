@@ -1,0 +1,137 @@
+//! Property-based tests spanning the workspace: arbitrary graphs in, core
+//! invariants out.
+
+use maxwarp::{run_bfs, run_bfs_queue, run_cc, run_coloring, run_msbfs, DeviceGraph, ExecConfig, Method};
+use maxwarp_graph::{decode_csr, encode_csr, reference, Csr};
+use maxwarp_simt::{Gpu, GpuConfig};
+use proptest::prelude::*;
+
+/// Strategy: a small arbitrary directed graph as (n, edge list).
+fn arb_graph() -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (2u32..128).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..512);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csr_preserves_edge_multiset((n, edges) in arb_graph()) {
+        let g = Csr::from_edges(n, &edges);
+        prop_assert_eq!(g.num_edges(), edges.len() as u64);
+        let mut got: Vec<(u32, u32)> = g.edges().collect();
+        let mut want = edges.clone();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn csr_offsets_are_consistent((n, edges) in arb_graph()) {
+        let g = Csr::from_edges(n, &edges);
+        prop_assert_eq!(g.row_offsets().len() as u32, n + 1);
+        let total: u64 = (0..n).map(|v| g.degree(v) as u64).sum();
+        prop_assert_eq!(total, g.num_edges());
+    }
+
+    #[test]
+    fn binary_io_roundtrips((n, edges) in arb_graph()) {
+        let g = Csr::from_edges(n, &edges);
+        let bytes = encode_csr(&g);
+        let g2 = decode_csr(&bytes).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn reverse_is_involutive((n, edges) in arb_graph()) {
+        let mut g = Csr::from_edges(n, &edges);
+        g.sort_neighbors();
+        let mut rr = g.reverse().reverse();
+        rr.sort_neighbors();
+        prop_assert_eq!(g, rr);
+    }
+
+    #[test]
+    fn symmetrize_is_symmetric_and_idempotent((n, edges) in arb_graph()) {
+        let s = Csr::from_edges(n, &edges).symmetrize();
+        prop_assert!(s.is_symmetric());
+        prop_assert_eq!(s.symmetrize(), s.clone());
+    }
+
+    #[test]
+    fn gpu_bfs_matches_reference((n, edges) in arb_graph(), src_sel in 0u32..1000, k_sel in 0usize..6) {
+        let g = Csr::from_edges(n, &edges);
+        let src = src_sel % n;
+        let k = [1u32, 2, 4, 8, 16, 32][k_sel];
+        let want = reference::bfs_levels(&g, src);
+        let mut gpu = Gpu::new(GpuConfig::tiny_test());
+        let dg = DeviceGraph::upload(&mut gpu, &g);
+        let out = run_bfs(&mut gpu, &dg, src, Method::warp(k), &ExecConfig::default()).unwrap();
+        prop_assert_eq!(out.levels, want);
+    }
+
+    #[test]
+    fn gpu_baseline_bfs_matches_reference((n, edges) in arb_graph(), src_sel in 0u32..1000) {
+        let g = Csr::from_edges(n, &edges);
+        let src = src_sel % n;
+        let want = reference::bfs_levels(&g, src);
+        let mut gpu = Gpu::new(GpuConfig::tiny_test());
+        let dg = DeviceGraph::upload(&mut gpu, &g);
+        let out = run_bfs(&mut gpu, &dg, src, Method::Baseline, &ExecConfig::default()).unwrap();
+        prop_assert_eq!(out.levels, want);
+    }
+
+    #[test]
+    fn gpu_cc_matches_union_find_on_symmetric((n, edges) in arb_graph()) {
+        let g = Csr::from_edges(n, &edges).symmetrize();
+        let want = reference::connected_components(&g);
+        let mut gpu = Gpu::new(GpuConfig::tiny_test());
+        let dg = DeviceGraph::upload(&mut gpu, &g);
+        let out = run_cc(&mut gpu, &dg, Method::warp(4), &ExecConfig::default()).unwrap();
+        prop_assert_eq!(out.labels, want);
+    }
+
+    #[test]
+    fn queue_bfs_matches_scan_bfs((n, edges) in arb_graph(), src_sel in 0u32..1000) {
+        let g = Csr::from_edges(n, &edges);
+        let src = src_sel % n;
+        let mut gpu = Gpu::new(GpuConfig::tiny_test());
+        let dg = DeviceGraph::upload(&mut gpu, &g);
+        let scan = run_bfs(&mut gpu, &dg, src, Method::warp(4), &ExecConfig::default()).unwrap();
+        let queue = run_bfs_queue(&mut gpu, &dg, src, Method::warp(4), &ExecConfig::default()).unwrap();
+        prop_assert_eq!(scan.levels, queue.levels);
+    }
+
+    #[test]
+    fn msbfs_matches_independent_bfs((n, edges) in arb_graph(), s0 in 0u32..1000, s1 in 0u32..1000) {
+        let g = Csr::from_edges(n, &edges);
+        let sources = [s0 % n, s1 % n];
+        let mut gpu = Gpu::new(GpuConfig::tiny_test());
+        let dg = DeviceGraph::upload(&mut gpu, &g);
+        let out = run_msbfs(&mut gpu, &dg, &sources, Method::warp(8), &ExecConfig::default()).unwrap();
+        for (k, &s) in sources.iter().enumerate() {
+            prop_assert_eq!(&out.levels[k], &reference::bfs_levels(&g, s));
+        }
+    }
+
+    #[test]
+    fn coloring_always_proper((n, edges) in arb_graph()) {
+        let g = Csr::from_edges(n, &edges).symmetrize();
+        let mut gpu = Gpu::new(GpuConfig::tiny_test());
+        let dg = DeviceGraph::upload(&mut gpu, &g);
+        let out = run_coloring(&mut gpu, &dg, Method::warp(4), &ExecConfig::default()).unwrap();
+        prop_assert!(reference::is_proper_coloring(&g, &out.colors));
+    }
+
+    #[test]
+    fn cpu_parallel_bfs_matches_reference((n, edges) in arb_graph(), src_sel in 0u32..1000) {
+        let g = Csr::from_edges(n, &edges);
+        let src = src_sel % n;
+        prop_assert_eq!(
+            maxwarp_cpu::bfs_parallel(&g, src, 3),
+            reference::bfs_levels(&g, src)
+        );
+    }
+}
