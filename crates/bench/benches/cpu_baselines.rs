@@ -1,7 +1,9 @@
 //! Wall-clock performance of the CPU baselines (the F5 comparison points).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use maxwarp_cpu::{bfs_hybrid_symmetric, bfs_parallel, bfs_sequential, sssp_bellman_ford, HybridConfig};
+use maxwarp_cpu::{
+    bfs_hybrid_symmetric, bfs_parallel, bfs_sequential, sssp_bellman_ford, HybridConfig,
+};
 use maxwarp_graph::{random_weights, Dataset, Scale};
 
 fn bench_cpu_bfs(c: &mut Criterion) {
@@ -36,7 +38,9 @@ fn bench_cpu_sssp(c: &mut Criterion) {
     let g = Dataset::Random.build(Scale::Small);
     let w = random_weights(&g, 16, 5);
     let src = Dataset::Random.source(&g);
-    grp.bench_function("bellman_ford", |b| b.iter(|| sssp_bellman_ford(&g, &w, src)));
+    grp.bench_function("bellman_ford", |b| {
+        b.iter(|| sssp_bellman_ford(&g, &w, src))
+    });
     grp.finish();
 }
 

@@ -75,5 +75,10 @@ fn bench_kernel_launch(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_coalesce, bench_timing_engine, bench_kernel_launch);
+criterion_group!(
+    benches,
+    bench_coalesce,
+    bench_timing_engine,
+    bench_kernel_launch
+);
 criterion_main!(benches);

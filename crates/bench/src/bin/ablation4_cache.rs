@@ -1,5 +1,6 @@
 //! Regenerates ablation `ablation4` — see DESIGN.md's experiment index.
 fn main() {
     let scale = maxwarp_bench::util::scale_from_args();
-    maxwarp_bench::experiments::ablation4::run(scale);
+    let h = maxwarp_bench::harness::Harness::from_env();
+    maxwarp_bench::experiments::ablation4::run(scale, &h);
 }

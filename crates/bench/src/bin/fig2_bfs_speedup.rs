@@ -1,5 +1,6 @@
 //! Regenerates paper artifact `fig2` — see DESIGN.md's experiment index.
 fn main() {
     let scale = maxwarp_bench::util::scale_from_args();
-    let _ = maxwarp_bench::experiments::fig2::run(scale);
+    let h = maxwarp_bench::harness::Harness::from_env();
+    let _ = maxwarp_bench::experiments::fig2::run(scale, &h);
 }

@@ -1,26 +1,31 @@
 //! Regenerates every table and figure in one run. Pass `tiny`, `small`
-//! (default) or `medium` as the first argument.
+//! (default) or `medium` as the first argument, and `--jobs N` to fan the
+//! experiment cells out over N worker threads (default: available
+//! parallelism; the printed tables are byte-identical for any N).
 use maxwarp_bench::experiments as ex;
+use maxwarp_bench::harness::Harness;
 
 fn main() {
     let scale = maxwarp_bench::util::scale_from_args();
+    let h = Harness::from_env();
+    eprintln!("workers: {}", h.jobs());
     println!(
         "maxwarp reproduction of Hong et al., PPoPP 2011 — all experiments (scale: {})",
         maxwarp_bench::util::scale_name(scale)
     );
-    ex::table1::run(scale);
-    ex::fig1::run(scale);
-    let _ = ex::fig2::run(scale);
-    let _ = ex::fig3::run(scale);
-    ex::fig4::run(scale);
-    ex::fig5::run(scale);
-    ex::fig6::run(scale);
-    let _ = ex::fig7::run(scale);
-    ex::fig8::run(scale);
-    ex::ablation1::run(scale);
-    ex::ablation2::run(scale);
-    ex::ablation3::run(scale);
-    ex::ablation4::run(scale);
-    ex::ablation5::run(scale);
-    ex::ablation6::run(scale);
+    ex::table1::run(scale, &h);
+    ex::fig1::run(scale, &h);
+    let _ = ex::fig2::run(scale, &h);
+    let _ = ex::fig3::run(scale, &h);
+    ex::fig4::run(scale, &h);
+    ex::fig5::run(scale, &h);
+    ex::fig6::run(scale, &h);
+    let _ = ex::fig7::run(scale, &h);
+    ex::fig8::run(scale, &h);
+    ex::ablation1::run(scale, &h);
+    ex::ablation2::run(scale, &h);
+    ex::ablation3::run(scale, &h);
+    ex::ablation4::run(scale, &h);
+    ex::ablation5::run(scale, &h);
+    ex::ablation6::run(scale, &h);
 }

@@ -1,5 +1,6 @@
 //! Regenerates paper artifact `table1` — see DESIGN.md's experiment index.
 fn main() {
     let scale = maxwarp_bench::util::scale_from_args();
-    maxwarp_bench::experiments::table1::run(scale);
+    let h = maxwarp_bench::harness::Harness::from_env();
+    maxwarp_bench::experiments::table1::run(scale, &h);
 }

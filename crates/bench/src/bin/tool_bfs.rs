@@ -74,9 +74,14 @@ fn parse_method(s: &str, mean_degree: f64) -> Method {
     if s == "baseline" {
         return Method::Baseline;
     }
-    let Some(rest) = s.strip_prefix("vw") else { usage() };
+    let Some(rest) = s.strip_prefix("vw") else {
+        usage()
+    };
     let mut parts = rest.split('+');
-    let k: u32 = parts.next().and_then(|p| p.parse().ok()).unwrap_or_else(|| usage());
+    let k: u32 = parts
+        .next()
+        .and_then(|p| p.parse().ok())
+        .unwrap_or_else(|| usage());
     if !k.is_power_of_two() || k > 32 {
         eprintln!("error: virtual warp size must be a power of two <= 32");
         exit(2);
@@ -112,7 +117,11 @@ fn main() {
             }
             "--src" => {
                 i += 1;
-                src = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+                src = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
             }
             "--device" => {
                 i += 1;
@@ -124,9 +133,7 @@ fn main() {
             }
             "--cached" => cached = true,
             "--symmetrize" => symmetrize = true,
-            a if graph_spec.is_none() && !a.starts_with("--") => {
-                graph_spec = Some(a.to_string())
-            }
+            a if graph_spec.is_none() && !a.starts_with("--") => graph_spec = Some(a.to_string()),
             _ => usage(),
         }
         i += 1;
@@ -143,9 +150,7 @@ fn main() {
     }
     let stats = DegreeStats::of(&g);
     let method = parse_method(&method_str, stats.mean);
-    let src = src.unwrap_or_else(|| {
-        (0..g.num_vertices()).max_by_key(|&v| g.degree(v)).unwrap()
-    });
+    let src = src.unwrap_or_else(|| (0..g.num_vertices()).max_by_key(|&v| g.degree(v)).unwrap());
     if src >= g.num_vertices() {
         eprintln!("error: source {src} out of range (n={})", g.num_vertices());
         exit(1);
@@ -159,7 +164,11 @@ fn main() {
         stats.max,
         stats.cv
     );
-    println!("device: {} | method: {} | source: {src}", device.name, method.label());
+    println!(
+        "device: {} | method: {} | source: {src}",
+        device.name,
+        method.label()
+    );
 
     let clock = device.clock_hz;
     let mut gpu = Gpu::new(device);

@@ -7,14 +7,19 @@
 //! adjacency-list reads stay coalesced under any ordering — one of its
 //! structural advantages.
 
+use crate::harness::{Cell, Harness};
 use crate::util::{banner, bfs_fresh, f};
 use maxwarp::{ExecConfig, Method};
-use maxwarp_graph::{
-    apply_permutation, bfs_permutation, random_permutation, Dataset, Scale,
-};
+use maxwarp_graph::{apply_permutation, bfs_permutation, random_permutation, Csr, Dataset, Scale};
+
+struct Orderings {
+    d: Dataset,
+    /// (graph, source) per ordering: natural, random, bfs-order.
+    variants: [(Csr, u32); 3],
+}
 
 /// Print cycles under natural / random / BFS orderings.
-pub fn run(scale: Scale) {
+pub fn run(scale: Scale, h: &Harness) {
     banner(
         "A1",
         "vertex-ordering ablation: BFS cycles under relabelings",
@@ -25,22 +30,56 @@ pub fn run(scale: Scale) {
         "dataset", "method", "natural", "random", "bfs-order", "random/natural"
     );
     let exec = ExecConfig::default();
-    for d in [Dataset::Rmat, Dataset::LiveJournalLike, Dataset::RoadNet] {
-        let g = d.build(scale);
-        let src = d.source(&g);
-        let rand_perm = random_permutation(g.num_vertices(), 0xA1);
-        let g_rand = apply_permutation(&g, &rand_perm);
-        let bfs_perm = bfs_permutation(&g, src);
-        let g_bfs = apply_permutation(&g, &bfs_perm);
+    let datasets = [Dataset::Rmat, Dataset::LiveJournalLike, Dataset::RoadNet];
+
+    // Build stage: each dataset with its two relabeled variants.
+    let build_cells = datasets
+        .iter()
+        .map(|&d| {
+            Cell::new(format!("build {}", d.name()), move || {
+                let g = d.build(scale);
+                let src = d.source(&g);
+                let rand_perm = random_permutation(g.num_vertices(), 0xA1);
+                let g_rand = apply_permutation(&g, &rand_perm);
+                let bfs_perm = bfs_permutation(&g, src);
+                let g_bfs = apply_permutation(&g, &bfs_perm);
+                Orderings {
+                    d,
+                    variants: [
+                        (g, src),
+                        (g_rand, rand_perm[src as usize]),
+                        (g_bfs, bfs_perm[src as usize]),
+                    ],
+                }
+            })
+        })
+        .collect();
+    let built: Vec<Orderings> = h.run("A1:build", build_cells);
+
+    // Run stage: one cell per (dataset, method, ordering).
+    let mut cells = Vec::new();
+    for o in &built {
         for m in [Method::Baseline, Method::warp(8)] {
-            let nat = bfs_fresh(&g, src, m, &exec).run.cycles();
-            let rnd = bfs_fresh(&g_rand, rand_perm[src as usize], m, &exec)
-                .run
-                .cycles();
-            let bfo = bfs_fresh(&g_bfs, bfs_perm[src as usize], m, &exec).run.cycles();
+            for (tag, (g, src)) in ["natural", "random", "bfs-order"].iter().zip(&o.variants) {
+                let src = *src;
+                cells.push(Cell::new(
+                    format!("{} {} {tag}", o.d.name(), m.label()),
+                    move || bfs_fresh(g, src, m, &exec).run.cycles(),
+                ));
+            }
+        }
+    }
+    let outs = h.run("A1", cells);
+
+    let mut it = outs.into_iter();
+    for o in &built {
+        for m in [Method::Baseline, Method::warp(8)] {
+            let nat = it.next().unwrap();
+            let rnd = it.next().unwrap();
+            let bfo = it.next().unwrap();
             println!(
                 "{:<14} {:<9} {:>12} {:>12} {:>12} {:>13}x",
-                d.name(),
+                o.d.name(),
                 m.label(),
                 nat,
                 rnd,

@@ -6,13 +6,14 @@
 //! graphs (road networks: hundreds of levels, slim frontiers) queues win
 //! by multiples; on small-diameter graphs the formulations tie.
 
-use crate::util::{banner, built_datasets, device, f};
+use crate::harness::{Cell, Harness};
+use crate::util::{banner, built_datasets_par, device, f};
 use maxwarp::{run_bfs, run_bfs_queue, DeviceGraph, ExecConfig, Method};
 use maxwarp_graph::Scale;
 use maxwarp_simt::Gpu;
 
 /// Print scan-vs-queue cycles per dataset and method.
-pub fn run(scale: Scale) {
+pub fn run(scale: Scale, h: &Harness) {
     banner(
         "A2",
         "frontier representation: level-array scan vs warp-cooperative queue",
@@ -23,25 +24,34 @@ pub fn run(scale: Scale) {
         "dataset", "method", "scan-cyc", "queue-cyc", "levels", "scan/q"
     );
     let exec = ExecConfig::default();
-    for (d, g, src) in built_datasets(scale) {
+    let built = built_datasets_par(scale, h);
+    let mut cells = Vec::new();
+    for (d, g, src) in &built {
+        let src = *src;
         for m in [Method::Baseline, Method::warp(4)] {
-            let mut gpu = Gpu::new(device());
-            let dg = DeviceGraph::upload(&mut gpu, &g);
-            let scan = run_bfs(&mut gpu, &dg, src, m, &exec).unwrap();
-            let mut gpu2 = Gpu::new(device());
-            let dg2 = DeviceGraph::upload(&mut gpu2, &g);
-            let queue = run_bfs_queue(&mut gpu2, &dg2, src, m, &exec).unwrap();
-            assert_eq!(scan.levels, queue.levels, "{} {}", d.name(), m.label());
-            println!(
-                "{:<14} {:<9} {:>12} {:>12} {:>12} {:>7}x",
-                d.name(),
-                m.label(),
-                scan.run.cycles(),
-                queue.run.cycles(),
-                scan.run.iterations,
-                f(scan.run.cycles() as f64 / queue.run.cycles() as f64)
-            );
+            let name = d.name();
+            cells.push(Cell::new(format!("{name} {}", m.label()), move || {
+                let mut gpu = Gpu::new(device());
+                let dg = DeviceGraph::upload(&mut gpu, g);
+                let scan = run_bfs(&mut gpu, &dg, src, m, &exec).unwrap();
+                let mut gpu2 = Gpu::new(device());
+                let dg2 = DeviceGraph::upload(&mut gpu2, g);
+                let queue = run_bfs_queue(&mut gpu2, &dg2, src, m, &exec).unwrap();
+                assert_eq!(scan.levels, queue.levels, "{} {}", name, m.label());
+                format!(
+                    "{:<14} {:<9} {:>12} {:>12} {:>12} {:>7}x",
+                    name,
+                    m.label(),
+                    scan.run.cycles(),
+                    queue.run.cycles(),
+                    scan.run.iterations,
+                    f(scan.run.cycles() as f64 / queue.run.cycles() as f64)
+                )
+            }));
         }
+    }
+    for row in h.run("A2", cells) {
+        println!("{row}");
     }
     println!(
         "(expected shape: the queue wins where per-level scans dominate — RoadNet* at \

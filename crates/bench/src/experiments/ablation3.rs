@@ -2,7 +2,8 @@
 //! time goes inside one BFS. Shows the hub level dominating the baseline
 //! on skewed graphs, and the long tail of tiny levels on meshes.
 
-use crate::util::{banner, bfs_fresh, f};
+use crate::harness::{Cell, Harness};
+use crate::util::{banner, bfs_fresh, build_datasets_subset, f};
 use maxwarp::{BfsOutput, ExecConfig, Method};
 use maxwarp_graph::{Dataset, Scale};
 
@@ -24,15 +25,26 @@ fn frontier_sizes(out: &BfsOutput) -> Vec<u32> {
 }
 
 /// Print per-level frontier sizes and cycles for baseline vs vw32.
-pub fn run(scale: Scale) {
+pub fn run(scale: Scale, h: &Harness) {
     banner("A3", "level-by-level BFS profile: baseline vs vw32", scale);
     let exec = ExecConfig::default();
-    for d in [Dataset::WikiTalkLike, Dataset::RoadNet] {
-        let g = d.build(scale);
-        let src = d.source(&g);
-        let base = bfs_fresh(&g, src, Method::Baseline, &exec);
-        let warp = bfs_fresh(&g, src, Method::warp(32), &exec);
-        let sizes = frontier_sizes(&base);
+    let datasets = [Dataset::WikiTalkLike, Dataset::RoadNet];
+    let built = build_datasets_subset(scale, h, &datasets);
+    let mut cells = Vec::new();
+    for (d, g, src) in &built {
+        let src = *src;
+        cells.push(Cell::new(format!("{} baseline", d.name()), move || {
+            bfs_fresh(g, src, Method::Baseline, &exec)
+        }));
+        cells.push(Cell::new(format!("{} vw32", d.name()), move || {
+            bfs_fresh(g, src, Method::warp(32), &exec)
+        }));
+    }
+    let outs = h.run("A3", cells);
+
+    for ((d, _, _), chunk) in built.iter().zip(outs.chunks(2)) {
+        let (base, warp) = (&chunk[0], &chunk[1]);
+        let sizes = frontier_sizes(base);
         println!(
             "{} ({} levels):",
             d.name(),

@@ -7,13 +7,14 @@
 //! cache well; scattered column reads benefit only as far as the working
 //! set fits.
 
-use crate::util::{banner, built_datasets, device, f};
+use crate::harness::{Cell, Harness};
+use crate::util::{banner, built_datasets_par, device, f};
 use maxwarp::{run_bfs, DeviceGraph, ExecConfig, Method};
 use maxwarp_graph::Scale;
 use maxwarp_simt::Gpu;
 
 /// Print cycles and DRAM transactions with and without cached graph loads.
-pub fn run(scale: Scale) {
+pub fn run(scale: Scale, h: &Harness) {
     banner(
         "A4",
         "read-only cache: BFS with CSR arrays through the texture/L2 path",
@@ -23,34 +24,45 @@ pub fn run(scale: Scale) {
         "{:<14} {:<9} {:>12} {:>12} {:>8} {:>9} {:>10}",
         "dataset", "method", "uncached", "cached", "gain", "hit-rate", "tx-saved"
     );
-    for (d, g, src) in built_datasets(scale) {
+    let built = built_datasets_par(scale, h);
+    let mut cells = Vec::new();
+    for (d, g, src) in &built {
+        let src = *src;
         for m in [Method::Baseline, Method::warp(8)] {
-            let run_cfg = |cached: bool| {
-                let exec = ExecConfig {
-                    cached_graph_loads: cached,
-                    ..ExecConfig::default()
-                };
-                let mut gpu = Gpu::new(device());
-                let dg = DeviceGraph::upload(&mut gpu, &g);
-                run_bfs(&mut gpu, &dg, src, m, &exec).unwrap()
-            };
-            let plain = run_cfg(false);
-            let cached = run_cfg(true);
-            assert_eq!(plain.levels, cached.levels);
-            let tx_saved = 1.0
-                - cached.run.stats.mem_transactions as f64
-                    / plain.run.stats.mem_transactions.max(1) as f64;
-            println!(
-                "{:<14} {:<9} {:>12} {:>12} {:>7}x {:>8.1}% {:>9.1}%",
-                d.name(),
-                m.label(),
-                plain.run.cycles(),
-                cached.run.cycles(),
-                f(plain.run.cycles() as f64 / cached.run.cycles() as f64),
-                cached.run.stats.cache_hit_rate() * 100.0,
-                tx_saved * 100.0,
-            );
+            cells.push(Cell::new(
+                format!("{} {}", d.name(), m.label()),
+                move || {
+                    let run_cfg = |cached: bool| {
+                        let exec = ExecConfig {
+                            cached_graph_loads: cached,
+                            ..ExecConfig::default()
+                        };
+                        let mut gpu = Gpu::new(device());
+                        let dg = DeviceGraph::upload(&mut gpu, g);
+                        run_bfs(&mut gpu, &dg, src, m, &exec).unwrap()
+                    };
+                    let plain = run_cfg(false);
+                    let cached = run_cfg(true);
+                    assert_eq!(plain.levels, cached.levels);
+                    let tx_saved = 1.0
+                        - cached.run.stats.mem_transactions as f64
+                            / plain.run.stats.mem_transactions.max(1) as f64;
+                    format!(
+                        "{:<14} {:<9} {:>12} {:>12} {:>7}x {:>8.1}% {:>9.1}%",
+                        d.name(),
+                        m.label(),
+                        plain.run.cycles(),
+                        cached.run.cycles(),
+                        f(plain.run.cycles() as f64 / cached.run.cycles() as f64),
+                        cached.run.stats.cache_hit_rate() * 100.0,
+                        tx_saved * 100.0,
+                    )
+                },
+            ));
         }
+    }
+    for row in h.run("A4", cells) {
+        println!("{row}");
     }
     println!(
         "(expected shape: row-offset re-reads cache well, so both methods gain; the \

@@ -2,14 +2,19 @@
 //! under the warp-centric mapping (the workload classes the paper's
 //! authors took up in follow-on work).
 
-use crate::util::{banner, built_datasets, device, f};
+use crate::harness::{Cell, Harness};
+use crate::util::{banner, device, f};
 use maxwarp::{run_betweenness, run_coloring, run_triangles, DeviceGraph, ExecConfig, Method};
-use maxwarp_graph::{Dataset, Orientation, Scale};
+use maxwarp_graph::{Csr, Dataset, Orientation, Scale};
 use maxwarp_simt::Gpu;
+
+fn methods() -> [Method; 3] {
+    [Method::Baseline, Method::warp(8), Method::warp(32)]
+}
 
 /// Print baseline-vs-warp cycles for BC (sampled sources) and triangle
 /// counting.
-pub fn run(scale: Scale) {
+pub fn run(scale: Scale, h: &Harness) {
     banner(
         "A5",
         "betweenness centrality (4 sources), triangle counting, graph coloring",
@@ -26,46 +31,84 @@ pub fn run(scale: Scale) {
         Dataset::WikiTalkLike,
         Dataset::RoadNet,
     ];
-    for (d, g, src) in built_datasets(scale) {
-        if !subset.contains(&d) {
-            continue;
-        }
+
+    // Build stage: each dataset plus its symmetric view.
+    let build_cells = subset
+        .iter()
+        .map(|&d| {
+            Cell::new(format!("build {}", d.name()), move || {
+                let g = d.build(scale);
+                let src = d.source(&g);
+                let gs = if g.is_symmetric() {
+                    g.clone()
+                } else {
+                    g.symmetrize()
+                };
+                (d, g, src, gs)
+            })
+        })
+        .collect();
+    let built: Vec<(Dataset, Csr, u32, Csr)> = h.run("A5:build", build_cells);
+
+    // Run stage: one cell per (dataset, workload, method).
+    let mut keys = Vec::new();
+    let mut cells = Vec::new();
+    for (d, g, src, gs) in &built {
         // --- BC on a small source sample (full BC is O(nm)). The
         //     ~1000-level mesh at Medium scale needs thousands of
         //     per-level launches per source — pathological for any
         //     level-synchronous GPU Brandes — so it is skipped there. ---
-        let skip_bc = d == Dataset::RoadNet && scale == Scale::Medium;
-        let sources = [src, 1, g.num_vertices() / 2, g.num_vertices() - 1];
-        let bc_cycles = |m: Method| {
-            let mut gpu = Gpu::new(device());
-            let dg = DeviceGraph::upload(&mut gpu, &g);
-            run_betweenness(&mut gpu, &dg, &sources, m, &exec)
-                .unwrap()
-                .run
-                .cycles()
-        };
+        let skip_bc = *d == Dataset::RoadNet && scale == Scale::Medium;
         if !skip_bc {
-            report("bc", d.name(), bc_cycles);
+            let sources = [*src, 1, g.num_vertices() / 2, g.num_vertices() - 1];
+            for m in methods() {
+                cells.push(Cell::new(
+                    format!("{} bc {}", d.name(), m.label()),
+                    move || {
+                        let mut gpu = Gpu::new(device());
+                        let dg = DeviceGraph::upload(&mut gpu, g);
+                        run_betweenness(&mut gpu, &dg, &sources, m, &exec)
+                            .unwrap()
+                            .run
+                            .cycles()
+                    },
+                ));
+            }
+            keys.push(("bc", d.name()));
         }
 
         // --- Triangles need symmetric input. ---
-        let gs = if g.is_symmetric() { g.clone() } else { g.symmetrize() };
-        let tri_cycles = |m: Method| {
-            let mut gpu = Gpu::new(device());
-            run_triangles(&mut gpu, &gs, m, &exec, Orientation::ByDegree)
-                .unwrap()
-                .run
-                .cycles()
-        };
-        report("triangles", d.name(), tri_cycles);
+        for m in methods() {
+            cells.push(Cell::new(
+                format!("{} triangles {}", d.name(), m.label()),
+                move || {
+                    let mut gpu = Gpu::new(device());
+                    run_triangles(&mut gpu, gs, m, &exec, Orientation::ByDegree)
+                        .unwrap()
+                        .run
+                        .cycles()
+                },
+            ));
+        }
+        keys.push(("triangles", d.name()));
 
         // --- Luby-round coloring (also on the symmetric view). ---
-        let col_cycles = |m: Method| {
-            let mut gpu = Gpu::new(device());
-            let dg = DeviceGraph::upload(&mut gpu, &gs);
-            run_coloring(&mut gpu, &dg, m, &exec).unwrap().run.cycles()
-        };
-        report("coloring", d.name(), col_cycles);
+        for m in methods() {
+            cells.push(Cell::new(
+                format!("{} coloring {}", d.name(), m.label()),
+                move || {
+                    let mut gpu = Gpu::new(device());
+                    let dg = DeviceGraph::upload(&mut gpu, gs);
+                    run_coloring(&mut gpu, &dg, m, &exec).unwrap().run.cycles()
+                },
+            ));
+        }
+        keys.push(("coloring", d.name()));
+    }
+    let outs = h.run("A5", cells);
+
+    for ((workload, dataset), chunk) in keys.iter().zip(outs.chunks(methods().len())) {
+        report(workload, dataset, chunk);
     }
     println!(
         "(expected shape: both workloads inherit BFS's pattern — warp-centric wins on the \
@@ -73,13 +116,13 @@ pub fn run(scale: Scale) {
     );
 }
 
-fn report(workload: &str, dataset: &str, cycles: impl Fn(Method) -> u64) {
-    let base = cycles(Method::Baseline);
+/// `cycles` holds one entry per [`methods`] row: baseline, then K=8, 32.
+fn report(workload: &str, dataset: &str, cycles: &[u64]) {
+    let base = cycles[0];
     let mut best = (0u32, u64::MAX);
-    for k in [8u32, 32] {
-        let c = cycles(Method::warp(k));
+    for (k, &c) in [8u32, 32].iter().zip(&cycles[1..]) {
         if c < best.1 {
-            best = (k, c);
+            best = (*k, c);
         }
     }
     println!(

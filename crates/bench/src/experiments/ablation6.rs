@@ -3,13 +3,14 @@
 //! the paper's authors (MS-BFS) motivates this; the per-edge work is the
 //! same irregular loop, so the warp-centric mapping composes with it.
 
-use crate::util::{banner, built_datasets, device, f};
+use crate::harness::{Cell, Harness};
+use crate::util::{banner, build_datasets_subset, device, f};
 use maxwarp::{run_bfs, run_msbfs, DeviceGraph, ExecConfig, Method};
 use maxwarp_graph::{Dataset, Scale};
 use maxwarp_simt::Gpu;
 
 /// Print batched vs sequential cycles for an 8-source batch.
-pub fn run(scale: Scale) {
+pub fn run(scale: Scale, h: &Harness) {
     banner(
         "A6",
         "multi-source BFS: one 8-source bitmask sweep vs 8 separate runs (vw8)",
@@ -21,28 +22,39 @@ pub fn run(scale: Scale) {
     );
     let exec = ExecConfig::default();
     let subset = [Dataset::Rmat, Dataset::WikiTalkLike, Dataset::SmallWorld];
-    for (d, g, src) in built_datasets(scale) {
-        if !subset.contains(&d) {
-            continue;
-        }
+    let built = build_datasets_subset(scale, h, &subset);
+
+    // One batched cell plus one cell per individual source.
+    let mut cells = Vec::new();
+    for (d, g, src) in &built {
         let sources: Vec<u32> = (0..8u32)
             .map(|s| (src + s * (g.num_vertices() / 9).max(1)) % g.num_vertices())
             .collect();
-        let mut gpu = Gpu::new(device());
-        let dg = DeviceGraph::upload(&mut gpu, &g);
-        let batched = run_msbfs(&mut gpu, &dg, &sources, Method::warp(8), &exec)
-            .unwrap()
-            .run
-            .cycles();
-        let mut sequential = 0u64;
-        for &s in &sources {
+        let batch_sources = sources.clone();
+        cells.push(Cell::new(format!("{} batched", d.name()), move || {
             let mut gpu = Gpu::new(device());
-            let dg = DeviceGraph::upload(&mut gpu, &g);
-            sequential += run_bfs(&mut gpu, &dg, s, Method::warp(8), &exec)
+            let dg = DeviceGraph::upload(&mut gpu, g);
+            run_msbfs(&mut gpu, &dg, &batch_sources, Method::warp(8), &exec)
                 .unwrap()
                 .run
-                .cycles();
+                .cycles()
+        }));
+        for (i, s) in sources.into_iter().enumerate() {
+            cells.push(Cell::new(format!("{} src{i}", d.name()), move || {
+                let mut gpu = Gpu::new(device());
+                let dg = DeviceGraph::upload(&mut gpu, g);
+                run_bfs(&mut gpu, &dg, s, Method::warp(8), &exec)
+                    .unwrap()
+                    .run
+                    .cycles()
+            }));
         }
+    }
+    let outs = h.run("A6", cells);
+
+    for ((d, _, _), chunk) in built.iter().zip(outs.chunks(9)) {
+        let batched = chunk[0];
+        let sequential: u64 = chunk[1..].iter().sum();
         println!(
             "{:<14} {:>14} {:>14} {:>8}x",
             d.name(),

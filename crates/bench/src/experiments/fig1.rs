@@ -5,12 +5,13 @@
 //! the baseline kernel's warps are dominated by their slowest lane, so
 //! lane utilization collapses and per-warp work varies wildly.
 
-use crate::util::{banner, bfs_fresh, built_datasets, f};
+use crate::harness::{Cell, Harness};
+use crate::util::{banner, bfs_fresh, f};
 use maxwarp::{ExecConfig, Method};
-use maxwarp_graph::Scale;
+use maxwarp_graph::{Dataset, Scale};
 
 /// Print per-dataset imbalance metrics of baseline BFS.
-pub fn run(scale: Scale) {
+pub fn run(scale: Scale, h: &Harness) {
     banner(
         "F1",
         "baseline BFS: lane utilization and warp imbalance",
@@ -20,22 +21,32 @@ pub fn run(scale: Scale) {
         "{:<14} {:>9} {:>10} {:>12} {:>12} {:>12}",
         "dataset", "lane-util", "warp-cv", "max/mean", "p99-instr", "max-instr"
     );
-    for (d, g, src) in built_datasets(scale) {
-        let out = bfs_fresh(&g, src, Method::Baseline, &ExecConfig::default());
-        let s = &out.run.stats;
-        let mut per_warp = s.per_warp_instructions.clone();
-        per_warp.sort_unstable();
-        let p99 = per_warp[((per_warp.len() as f64 - 1.0) * 0.99) as usize];
-        let max = *per_warp.last().unwrap_or(&0);
-        println!(
-            "{:<14} {:>8.1}% {:>10} {:>12} {:>12} {:>12}",
-            d.name(),
-            s.lane_utilization() * 100.0,
-            f(s.warp_imbalance_cv()),
-            f(s.warp_imbalance_max_over_mean()),
-            p99,
-            max,
-        );
+    let cells = Dataset::ALL
+        .iter()
+        .map(|&d| {
+            Cell::new(d.name(), move || {
+                let g = d.build(scale);
+                let src = d.source(&g);
+                let out = bfs_fresh(&g, src, Method::Baseline, &ExecConfig::default());
+                let s = &out.run.stats;
+                let mut per_warp = s.per_warp_instructions.clone();
+                per_warp.sort_unstable();
+                let p99 = per_warp[((per_warp.len() as f64 - 1.0) * 0.99) as usize];
+                let max = *per_warp.last().unwrap_or(&0);
+                format!(
+                    "{:<14} {:>8.1}% {:>10} {:>12} {:>12} {:>12}",
+                    d.name(),
+                    s.lane_utilization() * 100.0,
+                    f(s.warp_imbalance_cv()),
+                    f(s.warp_imbalance_max_over_mean()),
+                    p99,
+                    max,
+                )
+            })
+        })
+        .collect();
+    for row in h.run("F1", cells) {
+        println!("{row}");
     }
     println!(
         "(expected shape: heavy-tailed graphs — RMAT, LiveJournal*, WikiTalk* — show low \

@@ -1,13 +1,14 @@
 //! F2 — the headline result: BFS speedup of the virtual warp-centric
 //! method (best K per graph) over the baseline thread-per-vertex kernel.
 
-use crate::util::{banner, bfs_fresh, built_datasets, f};
+use crate::harness::{Cell, Harness};
+use crate::util::{banner, bfs_fresh, built_datasets_par, f};
 use maxwarp::{geomean, ExecConfig, Method, VirtualWarp};
 use maxwarp_graph::Scale;
 
 /// Print baseline-vs-warp-centric cycles and speedups; returns the rows as
 /// `(dataset, best_k, speedup)` for downstream assertions.
-pub fn run(scale: Scale) -> Vec<(String, u32, f64)> {
+pub fn run(scale: Scale, h: &Harness) -> Vec<(String, u32, f64)> {
     banner(
         "F2",
         "BFS speedup: virtual warp-centric (best K) vs baseline",
@@ -18,14 +19,29 @@ pub fn run(scale: Scale) -> Vec<(String, u32, f64)> {
         "dataset", "baseline-cyc", "warp-cyc", "best-K", "speedup"
     );
     let exec = ExecConfig::default();
+    let built = built_datasets_par(scale, h);
+    let mut cells = Vec::new();
+    for (d, g, src) in &built {
+        let src = *src;
+        cells.push(Cell::new(format!("{} baseline", d.name()), move || {
+            bfs_fresh(g, src, Method::Baseline, &exec)
+        }));
+        for vw in VirtualWarp::PAPER_SWEEP {
+            cells.push(Cell::new(format!("{} {vw}", d.name()), move || {
+                bfs_fresh(g, src, Method::warp(vw.k()), &exec)
+            }));
+        }
+    }
+    let outs = h.run("F2", cells);
+
+    let stride = 1 + VirtualWarp::PAPER_SWEEP.len();
     let mut rows = Vec::new();
     let mut heavy = Vec::new();
     let mut light = Vec::new();
-    for (d, g, src) in built_datasets(scale) {
-        let base = bfs_fresh(&g, src, Method::Baseline, &exec);
+    for ((d, _, _), chunk) in built.iter().zip(outs.chunks(stride)) {
+        let base = &chunk[0];
         let mut best: Option<(u32, u64)> = None;
-        for vw in VirtualWarp::PAPER_SWEEP {
-            let out = bfs_fresh(&g, src, Method::warp(vw.k()), &exec);
+        for (vw, out) in VirtualWarp::PAPER_SWEEP.iter().zip(&chunk[1..]) {
             let c = out.run.cycles();
             assert_eq!(out.levels, base.levels, "level mismatch at {vw}");
             if best.is_none_or(|(_, bc)| c < bc) {

@@ -3,12 +3,13 @@
 //! -underutilization trade-off figure: the optimum K grows with degree
 //! variance.
 
-use crate::util::{banner, bfs_fresh, built_datasets};
+use crate::harness::{Cell, Harness};
+use crate::util::{banner, bfs_fresh, built_datasets_par};
 use maxwarp::{ExecConfig, Method, VirtualWarp};
 use maxwarp_graph::Scale;
 
 /// Print normalized time per K; returns `(dataset, best_k)` pairs.
-pub fn run(scale: Scale) -> Vec<(String, u32)> {
+pub fn run(scale: Scale, h: &Harness) -> Vec<(String, u32)> {
     banner(
         "F3",
         "BFS time vs virtual warp size (normalized to baseline; <1 = faster)",
@@ -20,13 +21,28 @@ pub fn run(scale: Scale) -> Vec<(String, u32)> {
     }
     println!(" {:>7}", "best-K");
     let exec = ExecConfig::default();
+    let built = built_datasets_par(scale, h);
+    let mut cells = Vec::new();
+    for (d, g, src) in &built {
+        let src = *src;
+        cells.push(Cell::new(format!("{} baseline", d.name()), move || {
+            bfs_fresh(g, src, Method::Baseline, &exec).run.cycles()
+        }));
+        for vw in VirtualWarp::ALL {
+            cells.push(Cell::new(format!("{} {vw}", d.name()), move || {
+                bfs_fresh(g, src, Method::warp(vw.k()), &exec).run.cycles()
+            }));
+        }
+    }
+    let outs = h.run("F3", cells);
+
+    let stride = 1 + VirtualWarp::ALL.len();
     let mut bests = Vec::new();
-    for (d, g, src) in built_datasets(scale) {
-        let base = bfs_fresh(&g, src, Method::Baseline, &exec).run.cycles();
+    for ((d, _, _), chunk) in built.iter().zip(outs.chunks(stride)) {
+        let base = chunk[0];
         print!("{:<14} {:>10}", d.name(), base);
         let mut best = (0u32, u64::MAX);
-        for vw in VirtualWarp::ALL {
-            let c = bfs_fresh(&g, src, Method::warp(vw.k()), &exec).run.cycles();
+        for (vw, &c) in VirtualWarp::ALL.iter().zip(&chunk[1..]) {
             if c < best.1 {
                 best = (vw.k(), c);
             }

@@ -2,12 +2,13 @@
 //! and *dynamic workload distribution*, applied on top of the warp-centric
 //! kernel.
 
-use crate::util::{banner, bfs_fresh, built_datasets, defer_threshold, f};
+use crate::harness::{Cell, Harness};
+use crate::util::{banner, bfs_fresh, built_datasets_par, defer_threshold, f};
 use maxwarp::{ExecConfig, Method, VirtualWarp, WarpCentricOpts};
 use maxwarp_graph::Scale;
 
 /// Print cycles for {static, +dynamic, +defer, +both} at K ∈ {8, 32}.
-pub fn run(scale: Scale) {
+pub fn run(scale: Scale, h: &Harness) {
     banner(
         "F4",
         "techniques: dynamic workload distribution and outlier deferral (cycles, and x vs static)",
@@ -18,19 +19,41 @@ pub fn run(scale: Scale) {
         "{:<14} {:>4} {:>12} {:>10} {:>10} {:>10}",
         "dataset", "K", "static", "+dynamic", "+defer", "+both"
     );
-    for (d, g, src) in built_datasets(scale) {
-        let thresh = defer_threshold(&g);
+    let built = built_datasets_par(scale, h);
+    let mut cells = Vec::new();
+    for (d, g, src) in &built {
+        let src = *src;
+        let thresh = defer_threshold(g);
         for k in [8u32, 32] {
             let vw = VirtualWarp::new(k);
-            let cyc = |opts: WarpCentricOpts| {
-                bfs_fresh(&g, src, Method::WarpCentric(opts), &exec)
-                    .run
-                    .cycles()
-            };
-            let st = cyc(WarpCentricOpts::plain(vw));
-            let dy = cyc(WarpCentricOpts::plain(vw).with_dynamic());
-            let de = cyc(WarpCentricOpts::plain(vw).with_defer(thresh));
-            let bo = cyc(WarpCentricOpts::plain(vw).with_dynamic().with_defer(thresh));
+            let variants = [
+                ("static", WarpCentricOpts::plain(vw)),
+                ("+dynamic", WarpCentricOpts::plain(vw).with_dynamic()),
+                ("+defer", WarpCentricOpts::plain(vw).with_defer(thresh)),
+                (
+                    "+both",
+                    WarpCentricOpts::plain(vw).with_dynamic().with_defer(thresh),
+                ),
+            ];
+            for (tag, opts) in variants {
+                cells.push(Cell::new(format!("{} K={k} {tag}", d.name()), move || {
+                    bfs_fresh(g, src, Method::WarpCentric(opts), &exec)
+                        .run
+                        .cycles()
+                }));
+            }
+        }
+    }
+    let outs = h.run("F4", cells);
+
+    // 2 K values × 4 variants per dataset, in cell order.
+    let mut it = outs.into_iter();
+    for (d, _, _) in &built {
+        for k in [8u32, 32] {
+            let st = it.next().unwrap();
+            let dy = it.next().unwrap();
+            let de = it.next().unwrap();
+            let bo = it.next().unwrap();
             let rel = |c: u64| format!("{}x", f(st as f64 / c as f64));
             println!(
                 "{:<14} {:>4} {:>12} {:>10} {:>10} {:>10}",

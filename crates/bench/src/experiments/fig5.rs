@@ -4,15 +4,25 @@
 //! simulated cycles at the device clock. The paper's shape: on large
 //! heavy-tailed graphs the warp-centric GPU beats the multicore CPU, which
 //! beats one core; on road networks the CPU is competitive.
+//!
+//! The simulated GPU cells run on the harness; the CPU wall-clock
+//! measurements run serially *after* the workers have quiesced, so the
+//! timings are not perturbed by harness threads (they are inherently
+//! machine-dependent either way).
 
-use crate::util::{banner, bfs_fresh, built_datasets, device, f, reachable_edges};
+use crate::harness::{Cell, Harness};
+use crate::util::{banner, bfs_fresh, built_datasets_par, device, f, reachable_edges};
 use maxwarp::{ExecConfig, Method, VirtualWarp};
 use maxwarp_cpu::{bfs_parallel_default, bfs_sequential, default_threads, time_median};
 use maxwarp_graph::Scale;
 
 /// Print MTEPS for CPU-1, CPU-N, GPU-baseline, GPU-warp-centric.
-pub fn run(scale: Scale) {
-    banner("F5", "BFS throughput: CPU (measured) vs simulated GPU", scale);
+pub fn run(scale: Scale, h: &Harness) {
+    banner(
+        "F5",
+        "BFS throughput: CPU (measured) vs simulated GPU",
+        scale,
+    );
     let clock = device().clock_hz;
     println!(
         "{:<14} {:>10} {:>10} {:>12} {:>12}  (MTEPS; cpu-par uses {} threads)",
@@ -24,24 +34,37 @@ pub fn run(scale: Scale) {
         default_threads()
     );
     let exec = ExecConfig::default();
-    for (d, g, src) in built_datasets(scale) {
-        let (levels, t_seq) = time_median(3, || bfs_sequential(&g, src));
-        let (_, t_par) = time_median(3, || bfs_parallel_default(&g, src));
-        let edges = reachable_edges(&g, &levels);
+    let built = built_datasets_par(scale, h);
+    let mut cells = Vec::new();
+    for (d, g, src) in &built {
+        let src = *src;
+        cells.push(Cell::new(format!("{} baseline", d.name()), move || {
+            bfs_fresh(g, src, Method::Baseline, &exec).run.cycles()
+        }));
+        for vw in VirtualWarp::PAPER_SWEEP {
+            cells.push(Cell::new(format!("{} {vw}", d.name()), move || {
+                bfs_fresh(g, src, Method::warp(vw.k()), &exec).run.cycles()
+            }));
+        }
+    }
+    let outs = h.run("F5:gpu", cells);
+
+    let stride = 1 + VirtualWarp::PAPER_SWEEP.len();
+    for ((d, g, src), chunk) in built.iter().zip(outs.chunks(stride)) {
+        let (levels, t_seq) = time_median(3, || bfs_sequential(g, *src));
+        let (_, t_par) = time_median(3, || bfs_parallel_default(g, *src));
+        let edges = reachable_edges(g, &levels);
         let mteps = |secs: f64| edges as f64 / secs / 1e6;
 
-        let base = bfs_fresh(&g, src, Method::Baseline, &exec);
-        let mut best = u64::MAX;
-        for vw in VirtualWarp::PAPER_SWEEP {
-            best = best.min(bfs_fresh(&g, src, Method::warp(vw.k()), &exec).run.cycles());
-        }
+        let base = chunk[0];
+        let best = *chunk[1..].iter().min().unwrap();
         let gpu_mteps = |cycles: u64| edges as f64 / (cycles as f64 / clock as f64) / 1e6;
         println!(
             "{:<14} {:>10} {:>10} {:>12} {:>12}",
             d.name(),
             f(mteps(t_seq.as_secs_f64())),
             f(mteps(t_par.as_secs_f64())),
-            f(gpu_mteps(base.run.cycles())),
+            f(gpu_mteps(base)),
             f(gpu_mteps(best)),
         );
     }

@@ -1,11 +1,10 @@
 //! F6 — beyond BFS: the warp-centric method applied to SSSP
 //! (Bellman-Ford), connected components (label propagation), and PageRank.
 
-use crate::util::{banner, built_datasets, device, f};
-use maxwarp::{
-    run_cc, run_pagerank, run_sssp, DeviceGraph, ExecConfig, Method,
-};
-use maxwarp_graph::{random_weights, Csr, Scale};
+use crate::harness::{Cell, Harness};
+use crate::util::{banner, device, f};
+use maxwarp::{run_cc, run_pagerank, run_sssp, DeviceGraph, ExecConfig, Method};
+use maxwarp_graph::{random_weights, Csr, Dataset, Scale};
 use maxwarp_simt::Gpu;
 
 fn fresh(g: &Csr, weights: Option<&[u32]>) -> (Gpu, DeviceGraph) {
@@ -17,8 +16,16 @@ fn fresh(g: &Csr, weights: Option<&[u32]>) -> (Gpu, DeviceGraph) {
     (gpu, dg)
 }
 
+fn methods() -> [(&'static str, Method); 3] {
+    [
+        ("baseline", Method::Baseline),
+        ("vw8", Method::warp(8)),
+        ("vw32", Method::warp(32)),
+    ]
+}
+
 /// Print per-algorithm baseline vs warp-centric cycles and speedups.
-pub fn run(scale: Scale) {
+pub fn run(scale: Scale, h: &Harness) {
     banner(
         "F6",
         "other algorithms: baseline vs warp-centric (best of K=8,32)",
@@ -29,42 +36,74 @@ pub fn run(scale: Scale) {
         "{:<14} {:<9} {:>12} {:>12} {:>7} {:>9}",
         "dataset", "algo", "baseline-cyc", "warp-cyc", "best-K", "speedup"
     );
-    for (d, g, src) in built_datasets(scale) {
-        // Round-synchronous relaxation (Bellman-Ford, label propagation)
-        // needs O(diameter) full-graph rounds: on the ~1000-diameter mesh
-        // that is pathological on real GPUs too, so the mesh is excluded
-        // from those two workloads (BFS/A2 cover it).
-        let high_diameter = matches!(d, maxwarp_graph::Dataset::RoadNet);
 
-        // --- SSSP ---
-        if !high_diameter {
-            let wts = random_weights(&g, 16, 0xBEEF);
-            let sssp_cycles = |m: Method| {
-                let (mut gpu, dg) = fresh(&g, Some(&wts));
-                run_sssp(&mut gpu, &dg, src, m, &exec).unwrap().run.cycles()
-            };
-            report(d.name(), "sssp", sssp_cycles);
+    // Build stage: graph plus the derived inputs each algorithm needs.
+    // Round-synchronous relaxation (Bellman-Ford, label propagation) needs
+    // O(diameter) full-graph rounds: on the ~1000-diameter mesh that is
+    // pathological on real GPUs too, so the mesh is excluded from those
+    // two workloads (BFS/A2 cover it).
+    let build_cells = Dataset::ALL
+        .iter()
+        .map(|&d| {
+            Cell::new(format!("build {}", d.name()), move || {
+                let g = d.build(scale);
+                let src = d.source(&g);
+                let high_diameter = matches!(d, Dataset::RoadNet);
+                let wts = (!high_diameter).then(|| random_weights(&g, 16, 0xBEEF));
+                let gs = (!high_diameter).then(|| {
+                    if g.is_symmetric() {
+                        g.clone()
+                    } else {
+                        g.symmetrize()
+                    }
+                });
+                (d, g, src, wts, gs)
+            })
+        })
+        .collect();
+    let built = h.run("F6:build", build_cells);
+
+    // Run stage: one cell per (dataset, algorithm, method).
+    let mut keys = Vec::new();
+    let mut cells = Vec::new();
+    for (d, g, src, wts, gs) in &built {
+        let src = *src;
+        if let Some(wts) = wts {
+            for (label, m) in methods() {
+                cells.push(Cell::new(format!("{} sssp {label}", d.name()), move || {
+                    let (mut gpu, dg) = fresh(g, Some(wts));
+                    run_sssp(&mut gpu, &dg, src, m, &exec).unwrap().run.cycles()
+                }));
+            }
+            keys.push((d.name(), "sssp"));
         }
-
-        // --- CC (needs symmetric input for component semantics) ---
-        if !high_diameter {
-            let gs = if g.is_symmetric() { g.clone() } else { g.symmetrize() };
-            let cc_cycles = |m: Method| {
-                let (mut gpu, dg) = fresh(&gs, None);
-                run_cc(&mut gpu, &dg, m, &exec).unwrap().run.cycles()
-            };
-            report(d.name(), "cc", cc_cycles);
+        if let Some(gs) = gs {
+            for (label, m) in methods() {
+                cells.push(Cell::new(format!("{} cc {label}", d.name()), move || {
+                    let (mut gpu, dg) = fresh(gs, None);
+                    run_cc(&mut gpu, &dg, m, &exec).unwrap().run.cycles()
+                }));
+            }
+            keys.push((d.name(), "cc"));
         }
+        for (label, m) in methods() {
+            cells.push(Cell::new(
+                format!("{} pagerank {label}", d.name()),
+                move || {
+                    let (mut gpu, dg) = fresh(g, None);
+                    run_pagerank(&mut gpu, &dg, 10, 0.85, m, &exec)
+                        .unwrap()
+                        .run
+                        .cycles()
+                },
+            ));
+        }
+        keys.push((d.name(), "pagerank"));
+    }
+    let outs = h.run("F6", cells);
 
-        // --- PageRank (10 iterations) ---
-        let pr_cycles = |m: Method| {
-            let (mut gpu, dg) = fresh(&g, None);
-            run_pagerank(&mut gpu, &dg, 10, 0.85, m, &exec)
-                .unwrap()
-                .run
-                .cycles()
-        };
-        report(d.name(), "pagerank", pr_cycles);
+    for ((dataset, algo), chunk) in keys.iter().zip(outs.chunks(methods().len())) {
+        report(dataset, algo, chunk);
     }
     println!(
         "(expected shape: same as BFS — warp-centric wins where degree variance is high, \
@@ -72,13 +111,13 @@ pub fn run(scale: Scale) {
     );
 }
 
-fn report(dataset: &str, algo: &str, cycles: impl Fn(Method) -> u64) {
-    let base = cycles(Method::Baseline);
+/// `cycles` holds one entry per [`methods`] row: baseline, then K=8, 32.
+fn report(dataset: &str, algo: &str, cycles: &[u64]) {
+    let base = cycles[0];
     let mut best = (0u32, u64::MAX);
-    for k in [8u32, 32] {
-        let c = cycles(Method::warp(k));
+    for (k, &c) in [8u32, 32].iter().zip(&cycles[1..]) {
         if c < best.1 {
-            best = (k, c);
+            best = (*k, c);
         }
     }
     println!(

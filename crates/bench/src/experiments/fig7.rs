@@ -5,13 +5,14 @@
 //! phase turns each adjacency list into consecutive per-lane addresses, so
 //! the same traversal issues a fraction of the DRAM transactions.
 
-use crate::util::{banner, bfs_fresh, built_datasets, f, reachable_edges};
+use crate::harness::{Cell, Harness};
+use crate::util::{banner, bfs_fresh, built_datasets_par, f, reachable_edges};
 use maxwarp::{ExecConfig, Method};
 use maxwarp_graph::Scale;
 
 /// Print transaction statistics; returns `(dataset, baseline_tx_per_edge,
 /// warp_tx_per_edge)` rows.
-pub fn run(scale: Scale) -> Vec<(String, f64, f64)> {
+pub fn run(scale: Scale, h: &Harness) -> Vec<(String, f64, f64)> {
     banner(
         "F7",
         "memory coalescing: DRAM transactions, baseline vs vw32",
@@ -22,11 +23,23 @@ pub fn run(scale: Scale) -> Vec<(String, f64, f64)> {
         "dataset", "base-tx/mem", "warp-tx/mem", "base-tx/edge", "warp-tx/edge", "ratio"
     );
     let exec = ExecConfig::default();
+    let built = built_datasets_par(scale, h);
+    let mut cells = Vec::new();
+    for (d, g, src) in &built {
+        let src = *src;
+        cells.push(Cell::new(format!("{} baseline", d.name()), move || {
+            bfs_fresh(g, src, Method::Baseline, &exec)
+        }));
+        cells.push(Cell::new(format!("{} vw32", d.name()), move || {
+            bfs_fresh(g, src, Method::warp(32), &exec)
+        }));
+    }
+    let outs = h.run("F7", cells);
+
     let mut rows = Vec::new();
-    for (d, g, src) in built_datasets(scale) {
-        let base = bfs_fresh(&g, src, Method::Baseline, &exec);
-        let warp = bfs_fresh(&g, src, Method::warp(32), &exec);
-        let edges = reachable_edges(&g, &base.levels).max(1) as f64;
+    for ((d, g, _), chunk) in built.iter().zip(outs.chunks(2)) {
+        let (base, warp) = (&chunk[0], &chunk[1]);
+        let edges = reachable_edges(g, &base.levels).max(1) as f64;
         let bt = base.run.stats.mem_transactions as f64 / edges;
         let wt = warp.run.stats.mem_transactions as f64 / edges;
         println!(

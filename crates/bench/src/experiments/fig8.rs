@@ -2,36 +2,45 @@
 //! latency hiding depends on resident warps per SM, which the block size
 //! controls through the occupancy rules.
 
-use crate::util::{banner, bfs_fresh, built_datasets, device};
+use crate::harness::{Cell, Harness};
+use crate::util::{banner, bfs_fresh, build_datasets_subset, device};
 use maxwarp::{ExecConfig, Method};
 use maxwarp_graph::{Dataset, Scale};
 
 /// Print BFS cycles at vw8 across block sizes.
-pub fn run(scale: Scale) {
-    banner("F8", "block-size / occupancy sweep (BFS, vw8; cycles)", scale);
+pub fn run(scale: Scale, h: &Harness) {
+    banner(
+        "F8",
+        "block-size / occupancy sweep (BFS, vw8; cycles)",
+        scale,
+    );
     let blocks = [64u32, 128, 256, 512];
     let cfg = device();
     print!("{:<14}", "dataset");
     for b in blocks {
-        print!(
-            " {:>7}(o={:>2})",
-            b,
-            cfg.occupancy_warps(b, 0)
-        );
+        print!(" {:>7}(o={:>2})", b, cfg.occupancy_warps(b, 0));
     }
     println!();
     let subset = [Dataset::Rmat, Dataset::WikiTalkLike, Dataset::RoadNet];
-    for (d, g, src) in built_datasets(scale) {
-        if !subset.contains(&d) {
-            continue;
-        }
-        print!("{:<14}", d.name());
+    let built = build_datasets_subset(scale, h, &subset);
+    let mut cells = Vec::new();
+    for (d, g, src) in &built {
+        let src = *src;
         for b in blocks {
-            let exec = ExecConfig {
-                block_threads: b,
-                ..ExecConfig::default()
-            };
-            let c = bfs_fresh(&g, src, Method::warp(8), &exec).run.cycles();
+            cells.push(Cell::new(format!("{} block={b}", d.name()), move || {
+                let exec = ExecConfig {
+                    block_threads: b,
+                    ..ExecConfig::default()
+                };
+                bfs_fresh(g, src, Method::warp(8), &exec).run.cycles()
+            }));
+        }
+    }
+    let outs = h.run("F8", cells);
+
+    for ((d, _, _), chunk) in built.iter().zip(outs.chunks(blocks.len())) {
+        print!("{:<14}", d.name());
+        for c in chunk {
             print!(" {:>13}", c);
         }
         println!();

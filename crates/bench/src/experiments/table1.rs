@@ -1,29 +1,39 @@
 //! T1 — the dataset table: per-graph size and degree-distribution
 //! statistics (the paper's graph-instances table).
 
-use crate::util::{banner, built_datasets, f};
-use maxwarp_graph::{DegreeStats, Scale};
+use crate::harness::{Cell, Harness};
+use crate::util::{banner, f};
+use maxwarp_graph::{Dataset, DegreeStats, Scale};
 
 /// Print the dataset table.
-pub fn run(scale: Scale) {
+pub fn run(scale: Scale, h: &Harness) {
     banner("T1", "graph datasets and degree statistics", scale);
     println!(
         "{:<14} {:>9} {:>9} {:>8} {:>8} {:>7} {:>7} {:>9}  class",
         "dataset", "|V|", "|E|", "avg-deg", "max-deg", "cv", "p99", "top1%edg"
     );
-    for (d, g, _src) in built_datasets(scale) {
-        let s = DegreeStats::of(&g);
-        println!(
-            "{:<14} {:>9} {:>9} {:>8} {:>8} {:>7} {:>7} {:>8.1}%  {}",
-            d.name(),
-            g.num_vertices(),
-            g.num_edges(),
-            f(s.mean),
-            s.max,
-            f(s.cv),
-            s.p99,
-            s.top1pct_edge_share * 100.0,
-            d.description(),
-        );
+    let cells = Dataset::ALL
+        .iter()
+        .map(|&d| {
+            Cell::new(d.name(), move || {
+                let g = d.build(scale);
+                let s = DegreeStats::of(&g);
+                format!(
+                    "{:<14} {:>9} {:>9} {:>8} {:>8} {:>7} {:>7} {:>8.1}%  {}",
+                    d.name(),
+                    g.num_vertices(),
+                    g.num_edges(),
+                    f(s.mean),
+                    s.max,
+                    f(s.cv),
+                    s.p99,
+                    s.top1pct_edge_share * 100.0,
+                    d.description(),
+                )
+            })
+        })
+        .collect();
+    for row in h.run("T1", cells) {
+        println!("{row}");
     }
 }

@@ -1,0 +1,248 @@
+//! The parallel experiment harness.
+//!
+//! Experiments declare their measurements as a flat list of [`Cell`]s —
+//! one independent unit of work each, typically one (dataset, method,
+//! config) point owning its own `Gpu` and `DeviceGraph` — and hand them to
+//! [`Harness::run`], which fans the cells out over worker threads and
+//! returns the results **in input order**. Because every cell is
+//! hermetic (fresh device, no shared mutable state) and all table
+//! printing happens after collection, the stdout of every experiment is
+//! byte-identical whatever the worker count: `--jobs 1` reproduces
+//! today's serial output exactly, and `--jobs N` merely reproduces it
+//! faster.
+//!
+//! Per-cell progress and timing go to **stderr** so they never perturb
+//! the tables.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One independent unit of experiment work: a label (for progress
+/// reporting) and a closure producing the cell's measurement. The closure
+/// may borrow graphs and configs from the caller's stack (`'a`).
+pub struct Cell<'a, T> {
+    label: String,
+    run: Box<dyn FnOnce() -> T + Send + 'a>,
+}
+
+impl<'a, T> Cell<'a, T> {
+    /// A cell computing `run()`, reported as `label` in progress output.
+    pub fn new(label: impl Into<String>, run: impl FnOnce() -> T + Send + 'a) -> Self {
+        Cell {
+            label: label.into(),
+            run: Box::new(run),
+        }
+    }
+
+    /// The cell's progress label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Runs cell lists across a fixed number of worker threads.
+#[derive(Clone, Copy, Debug)]
+pub struct Harness {
+    jobs: usize,
+}
+
+impl Harness {
+    /// Worker count from the environment: `--jobs N` (or `--jobs=N`) on
+    /// the command line, else `MAXWARP_JOBS`, else the machine's available
+    /// parallelism.
+    pub fn from_env() -> Self {
+        Harness::with_jobs(jobs_from_env())
+    }
+
+    /// Fixed worker count (clamped to at least 1).
+    pub fn with_jobs(jobs: usize) -> Self {
+        Harness { jobs: jobs.max(1) }
+    }
+
+    /// The worker count this harness fans out to.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Execute every cell and return their results in input order.
+    ///
+    /// With one job (or one cell) the cells run serially on the calling
+    /// thread, in order — exactly the pre-harness behaviour. Otherwise
+    /// `min(jobs, cells)` scoped workers pull cells from a shared index
+    /// and the results are merged back into input order afterwards, so
+    /// the returned `Vec` is identical either way.
+    ///
+    /// `what` names the experiment in progress lines (stderr):
+    /// `[F2] 3/40 rmat vw8: 412 ms`.
+    pub fn run<T: Send>(&self, what: &str, cells: Vec<Cell<'_, T>>) -> Vec<T> {
+        let total = cells.len();
+        if self.jobs == 1 || total <= 1 {
+            return cells
+                .into_iter()
+                .enumerate()
+                .map(|(i, cell)| {
+                    let Cell { label, run } = cell;
+                    let t0 = Instant::now();
+                    let out = run();
+                    progress(what, i + 1, total, &label, t0);
+                    out
+                })
+                .collect();
+        }
+
+        let slots: Vec<Mutex<Option<Cell<'_, T>>>> =
+            cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let workers = self.jobs.min(total);
+
+        let per_worker: Vec<Vec<(usize, T)>> = crossbeam::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (slots, next, done) = (&slots, &next, &done);
+                    s.spawn(move |_| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= total {
+                                break;
+                            }
+                            let cell = slots[i]
+                                .lock()
+                                .expect("cell slot poisoned")
+                                .take()
+                                .expect("cell taken twice");
+                            let Cell { label, run } = cell;
+                            let t0 = Instant::now();
+                            let v = run();
+                            let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                            progress(what, n, total, &label, t0);
+                            out.push((i, v));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("harness worker panicked"))
+                .collect()
+        })
+        .expect("harness scope panicked");
+
+        let mut merged: Vec<Option<T>> = (0..total).map(|_| None).collect();
+        for chunk in per_worker {
+            for (i, v) in chunk {
+                merged[i] = Some(v);
+            }
+        }
+        merged
+            .into_iter()
+            .map(|r| r.expect("cell produced no result"))
+            .collect()
+    }
+}
+
+fn progress(what: &str, n: usize, total: usize, label: &str, t0: Instant) {
+    eprintln!(
+        "[{what}] {n}/{total} {label}: {} ms",
+        t0.elapsed().as_millis()
+    );
+}
+
+/// Resolve the worker count: `--jobs N` / `--jobs=N` argument, then the
+/// `MAXWARP_JOBS` variable, then available parallelism.
+pub fn jobs_from_env() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let v = if a == "--jobs" {
+            args.next()
+        } else {
+            a.strip_prefix("--jobs=").map(str::to_string)
+        };
+        if let Some(n) = v.and_then(|v| v.parse::<usize>().ok()) {
+            return n.max(1);
+        }
+    }
+    if let Some(n) = std::env::var("MAXWARP_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn squares(h: &Harness, n: usize) -> Vec<usize> {
+        let cells = (0..n)
+            .map(|i| Cell::new(format!("cell{i}"), move || i * i))
+            .collect();
+        h.run("test", cells)
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_in_input_order() {
+        let expect: Vec<usize> = (0..37).map(|i| i * i).collect();
+        assert_eq!(squares(&Harness::with_jobs(1), 37), expect);
+        assert_eq!(squares(&Harness::with_jobs(4), 37), expect);
+        assert_eq!(
+            squares(&Harness::with_jobs(64), 37),
+            expect,
+            "more jobs than cells"
+        );
+    }
+
+    #[test]
+    fn cells_borrow_the_callers_stack() {
+        let data: Vec<u64> = (0..100).collect();
+        let cells = data
+            .chunks(7)
+            .map(|c| Cell::new("chunk", move || c.iter().sum::<u64>()))
+            .collect();
+        let parts = Harness::with_jobs(3).run("borrow", cells);
+        assert_eq!(parts.iter().sum::<u64>(), (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn single_job_runs_on_calling_thread() {
+        let main_id = std::thread::current().id();
+        let cells = vec![Cell::new("id", move || std::thread::current().id())];
+        let ids = Harness::with_jobs(1).run("serial", cells);
+        assert_eq!(ids[0], main_id);
+    }
+
+    #[test]
+    fn empty_cell_list_is_fine() {
+        let out: Vec<u32> = Harness::with_jobs(8).run("none", Vec::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn jobs_clamped_to_one() {
+        assert_eq!(Harness::with_jobs(0).jobs(), 1);
+    }
+
+    #[test]
+    fn heterogeneous_durations_still_merge_in_order() {
+        // Reverse-staggered sleeps: late cells finish first under
+        // parallelism, so a naive completion-order collection would
+        // reverse the list.
+        let cells: Vec<Cell<'_, usize>> = (0..8)
+            .map(|i| {
+                Cell::new(format!("sleep{i}"), move || {
+                    std::thread::sleep(std::time::Duration::from_millis(8 * (8 - i) as u64));
+                    i
+                })
+            })
+            .collect();
+        let out = Harness::with_jobs(8).run("stagger", cells);
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+}

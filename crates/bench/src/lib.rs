@@ -4,12 +4,18 @@
 //! index), plus `repro_all`, which regenerates everything in one run:
 //!
 //! ```text
-//! cargo run --release -p maxwarp-bench --bin repro_all [tiny|small|medium]
+//! cargo run --release -p maxwarp-bench --bin repro_all [tiny|small|medium] [--jobs N]
 //! ```
+//!
+//! Every experiment expresses its measurements as independent cells run
+//! through [`harness::Harness`], so `--jobs N` fans them out over N
+//! worker threads while keeping the printed tables byte-identical to a
+//! serial (`--jobs 1`) run.
 //!
 //! Criterion benches (in `benches/`) measure the *host* performance of the
 //! simulator and baselines; the figure binaries report *simulated* GPU
 //! cycles.
 
 pub mod experiments;
+pub mod harness;
 pub mod util;

@@ -1,13 +1,15 @@
 //! Shared harness utilities: scale parsing, fresh-device runs, and table
 //! printing.
 
+use crate::harness::{Cell, Harness};
 use maxwarp::{run_bfs, BfsOutput, DeviceGraph, ExecConfig, Method};
 use maxwarp_graph::{Csr, Dataset, Scale};
 use maxwarp_simt::{Gpu, GpuConfig};
 
-/// Parse the experiment scale from argv/env. Priority: first CLI arg, then
-/// `MAXWARP_SCALE`, then the default (`Small` — figures at `Medium` match
-/// the paper's shapes best but take minutes).
+/// Parse the experiment scale from argv/env. Priority: first positional
+/// CLI arg (`--jobs` and its value are skipped), then `MAXWARP_SCALE`,
+/// then the default (`Small` — figures at `Medium` match the paper's
+/// shapes best but take minutes).
 pub fn scale_from_args() -> Scale {
     let pick = |s: &str| match s.to_ascii_lowercase().as_str() {
         "tiny" => Some(Scale::Tiny),
@@ -15,7 +17,15 @@ pub fn scale_from_args() -> Scale {
         "medium" => Some(Scale::Medium),
         _ => None,
     };
-    if let Some(arg) = std::env::args().nth(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            args.next(); // its value
+            continue;
+        }
+        if arg.starts_with("--jobs=") {
+            continue;
+        }
         if let Some(s) = pick(&arg) {
             return s;
         }
@@ -96,6 +106,31 @@ pub fn built_datasets(scale: Scale) -> Vec<(Dataset, Csr, u32)> {
         .collect()
 }
 
+/// [`built_datasets`] with the graph generation fanned out over the
+/// harness workers (one build cell per dataset).
+pub fn built_datasets_par(scale: Scale, h: &Harness) -> Vec<(Dataset, Csr, u32)> {
+    build_datasets_subset(scale, h, &Dataset::ALL)
+}
+
+/// Build only the named datasets (in the given order) on the harness.
+pub fn build_datasets_subset(
+    scale: Scale,
+    h: &Harness,
+    subset: &[Dataset],
+) -> Vec<(Dataset, Csr, u32)> {
+    let cells = subset
+        .iter()
+        .map(|&d| {
+            Cell::new(format!("build {}", d.name()), move || {
+                let g = d.build(scale);
+                let src = d.source(&g);
+                (d, g, src)
+            })
+        })
+        .collect();
+    h.run("build", cells)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,8 +178,18 @@ mod tests {
     #[test]
     fn bfs_fresh_is_deterministic() {
         let g = Dataset::Regular.build(Scale::Tiny);
-        let a = bfs_fresh(&g, 0, maxwarp::Method::warp(8), &maxwarp::ExecConfig::default());
-        let b = bfs_fresh(&g, 0, maxwarp::Method::warp(8), &maxwarp::ExecConfig::default());
+        let a = bfs_fresh(
+            &g,
+            0,
+            maxwarp::Method::warp(8),
+            &maxwarp::ExecConfig::default(),
+        );
+        let b = bfs_fresh(
+            &g,
+            0,
+            maxwarp::Method::warp(8),
+            &maxwarp::ExecConfig::default(),
+        );
         assert_eq!(a.run.cycles(), b.run.cycles());
         assert_eq!(a.levels, b.levels);
     }

@@ -12,7 +12,9 @@
 //! takes an explicit *source sample*.
 
 use crate::device_graph::DeviceGraph;
-use crate::kernels::common::{load_row_range, scalar_neighbor_loop, vertices_per_pass, vw_neighbor_loop};
+use crate::kernels::common::{
+    load_row_range, scalar_neighbor_loop, vertices_per_pass, vw_neighbor_loop,
+};
 use crate::method::{ExecConfig, Method, WarpCentricOpts};
 use crate::runner::{check_iteration_bound, AlgoRun};
 use crate::vwarp::VwLayout;
@@ -162,7 +164,11 @@ fn launch_forward(
                     scalar_neighbor_loop(w, mf, &s, &e, body);
                 });
             };
-            gpu.launch(n.div_ceil(exec.block_threads).max(1), exec.block_threads, &kernel)
+            gpu.launch(
+                n.div_ceil(exec.block_threads).max(1),
+                exec.block_threads,
+                &kernel,
+            )
         }
         Method::WarpCentric(opts) => {
             launch_warp_sweep(gpu, g, opts, exec, move |w, layout, vids, m| {
@@ -213,7 +219,11 @@ fn launch_backward(
                     w.st(mf, delta, &vid, &acc);
                 });
             };
-            gpu.launch(n.div_ceil(exec.block_threads).max(1), exec.block_threads, &kernel)
+            gpu.launch(
+                n.div_ceil(exec.block_threads).max(1),
+                exec.block_threads,
+                &kernel,
+            )
         }
         Method::WarpCentric(opts) => {
             launch_warp_sweep(gpu, g, opts, exec, move |w, layout, vids, m| {
@@ -260,7 +270,12 @@ fn backward_edge(
     }
     let s_nbr = w.ld(m_succ, sigma, &nbr);
     let d_nbr = w.ld(m_succ, delta, &nbr);
-    let ratio = w.alu2(m_succ, sv_f, &s_nbr, |s, n| if n > 0.0 { s / n } else { 0.0 });
+    let ratio = w.alu2(
+        m_succ,
+        sv_f,
+        &s_nbr,
+        |s, n| if n > 0.0 { s / n } else { 0.0 },
+    );
     let contrib = w.alu2(m_succ, &ratio, &d_nbr, |r, dl| r * (1.0 + dl));
     let acc2 = w.alu2(m_succ, acc, &contrib, |a, c| a + c);
     *acc = acc2.select(m_succ, acc);
@@ -295,7 +310,11 @@ fn launch_accumulate(
             w.st(not_src, bc, &vid, &sum);
         });
     };
-    gpu.launch(n.div_ceil(exec.block_threads).max(1), exec.block_threads, &kernel)
+    gpu.launch(
+        n.div_ceil(exec.block_threads).max(1),
+        exec.block_threads,
+        &kernel,
+    )
 }
 
 /// Shared warp-task chunking loop for the BC sweeps.
@@ -348,8 +367,7 @@ mod tests {
             let dg = DeviceGraph::upload(&mut gpu, g);
             let out =
                 run_betweenness(&mut gpu, &dg, sources, method, &ExecConfig::default()).unwrap();
-            for v in 0..g.num_vertices() as usize {
-                let w = want[v];
+            for (v, &w) in want.iter().enumerate() {
                 let got = out.bc[v] as f64;
                 let err = (got - w).abs() / w.abs().max(1.0);
                 assert!(
@@ -407,8 +425,7 @@ mod tests {
         let mut gpu = Gpu::new(GpuConfig::tiny_test());
         let dg = DeviceGraph::upload(&mut gpu, &g);
         let out =
-            run_betweenness(&mut gpu, &dg, &[5], Method::warp(4), &ExecConfig::default())
-                .unwrap();
+            run_betweenness(&mut gpu, &dg, &[5], Method::warp(4), &ExecConfig::default()).unwrap();
         assert!(out.bc.iter().all(|&b| b == 0.0));
     }
 

@@ -198,9 +198,7 @@ fn launch_warp_level(
                 if mf.any() {
                     let (s, e) = load_row_range_opt(w, &g, mf, &vids, cached);
                     let mwork = match opts.defer_threshold {
-                        Some(t) => {
-                            defer_outliers(w, &layout, mf, &vids, &s, &e, t, queue, qcount)
-                        }
+                        Some(t) => defer_outliers(w, &layout, mf, &vids, &s, &e, t, queue, qcount),
                         None => mf,
                     };
                     if mwork.any() {
@@ -248,13 +246,7 @@ mod tests {
             let mut gpu = Gpu::new(GpuConfig::tiny_test());
             let dg = DeviceGraph::upload(&mut gpu, &g);
             let out = run_bfs(&mut gpu, &dg, src, method, &ExecConfig::default()).unwrap();
-            assert_eq!(
-                out.levels,
-                want,
-                "{} / {}",
-                d.name(),
-                method.label()
-            );
+            assert_eq!(out.levels, want, "{} / {}", d.name(), method.label());
             assert!(out.run.cycles() > 0, "{}", method.label());
         }
     }
@@ -333,12 +325,17 @@ mod tests {
         let src = Dataset::Rmat.source(&g);
         let mut gpu = Gpu::new(GpuConfig::fermi_c2050());
         let dg = DeviceGraph::upload(&mut gpu, &g);
-        let base = run_bfs(&mut gpu, &dg, src, Method::Baseline, &ExecConfig::default())
-            .unwrap();
+        let base = run_bfs(&mut gpu, &dg, src, Method::Baseline, &ExecConfig::default()).unwrap();
         let mut gpu2 = Gpu::new(GpuConfig::fermi_c2050());
         let dg2 = DeviceGraph::upload(&mut gpu2, &g);
-        let warp = run_bfs(&mut gpu2, &dg2, src, Method::warp(32), &ExecConfig::default())
-            .unwrap();
+        let warp = run_bfs(
+            &mut gpu2,
+            &dg2,
+            src,
+            Method::warp(32),
+            &ExecConfig::default(),
+        )
+        .unwrap();
         assert!(
             base.run.stats.lane_utilization() < warp.run.stats.lane_utilization(),
             "baseline {} vs warp {}",
@@ -353,12 +350,17 @@ mod tests {
         let src = Dataset::WikiTalkLike.source(&g);
         let mut gpu = Gpu::new(GpuConfig::fermi_c2050());
         let dg = DeviceGraph::upload(&mut gpu, &g);
-        let base = run_bfs(&mut gpu, &dg, src, Method::Baseline, &ExecConfig::default())
-            .unwrap();
+        let base = run_bfs(&mut gpu, &dg, src, Method::Baseline, &ExecConfig::default()).unwrap();
         let mut gpu2 = Gpu::new(GpuConfig::fermi_c2050());
         let dg2 = DeviceGraph::upload(&mut gpu2, &g);
-        let warp = run_bfs(&mut gpu2, &dg2, src, Method::warp(32), &ExecConfig::default())
-            .unwrap();
+        let warp = run_bfs(
+            &mut gpu2,
+            &dg2,
+            src,
+            Method::warp(32),
+            &ExecConfig::default(),
+        )
+        .unwrap();
         assert!(
             warp.run.stats.tx_per_mem_instruction() < base.run.stats.tx_per_mem_instruction(),
             "warp {} vs baseline {}",

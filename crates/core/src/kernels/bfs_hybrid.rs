@@ -41,7 +41,10 @@ pub struct GpuHybridConfig {
 
 impl Default for GpuHybridConfig {
     fn default() -> Self {
-        GpuHybridConfig { alpha: 14, beta: 24 }
+        GpuHybridConfig {
+            alpha: 14,
+            beta: 24,
+        }
     }
 }
 
@@ -177,7 +180,11 @@ fn launch_top_down(
                     scalar_neighbor_loop(w, mf, &s, &e, body);
                 });
             };
-            gpu.launch(n.div_ceil(exec.block_threads).max(1), exec.block_threads, &kernel)
+            gpu.launch(
+                n.div_ceil(exec.block_threads).max(1),
+                exec.block_threads,
+                &kernel,
+            )
         }
         Method::WarpCentric(opts) => warp_sweep(gpu, exec, opts, n, move |w, layout, vids, m| {
             let lv = w.ld(m, levels, vids);
@@ -239,7 +246,11 @@ fn launch_bottom_up(
                     }
                 });
             };
-            gpu.launch(n.div_ceil(exec.block_threads).max(1), exec.block_threads, &kernel)
+            gpu.launch(
+                n.div_ceil(exec.block_threads).max(1),
+                exec.block_threads,
+                &kernel,
+            )
         }
         Method::WarpCentric(opts) => warp_sweep(gpu, exec, opts, n, move |w, layout, vids, m| {
             let lv = w.ld(m, levels, vids);
@@ -327,13 +338,25 @@ mod tests {
         } else {
             DeviceGraph::upload(&mut gpu, &g.reverse())
         };
-        run_bfs_hybrid(&mut gpu, &dg, &rev, src, method, &ExecConfig::default(), hybrid)
-            .unwrap()
+        run_bfs_hybrid(
+            &mut gpu,
+            &dg,
+            &rev,
+            src,
+            method,
+            &ExecConfig::default(),
+            hybrid,
+        )
+        .unwrap()
     }
 
     #[test]
     fn correct_on_symmetric_datasets() {
-        for d in [Dataset::SmallWorld, Dataset::RoadNet, Dataset::LiveJournalLike] {
+        for d in [
+            Dataset::SmallWorld,
+            Dataset::RoadNet,
+            Dataset::LiveJournalLike,
+        ] {
             let g = d.build(Scale::Tiny);
             let src = d.source(&g);
             let want = bfs_levels(&g, src);
@@ -368,7 +391,10 @@ mod tests {
         let out = run_on(&g, src, Method::warp(4), &hybrid);
         assert_eq!(out.bfs.levels, want);
         assert!(
-            out.directions.iter().skip(1).any(|&d| d == Direction::BottomUp),
+            out.directions
+                .iter()
+                .skip(1)
+                .any(|&d| d == Direction::BottomUp),
             "{:?}",
             out.directions
         );
@@ -405,7 +431,12 @@ mod tests {
         let g = Dataset::Random.build(Scale::Tiny).symmetrize();
         let src = 0u32;
         // beta = 1 requires frontier > n, which never holds: pure top-down.
-        let pure = run_on(&g, src, Method::warp(8), &GpuHybridConfig { alpha: 14, beta: 1 });
+        let pure = run_on(
+            &g,
+            src,
+            Method::warp(8),
+            &GpuHybridConfig { alpha: 14, beta: 1 },
+        );
         assert!(pure.directions.iter().all(|&d| d == Direction::TopDown));
         let hybrid = run_on(&g, src, Method::warp(8), &GpuHybridConfig::default());
         assert_eq!(pure.bfs.levels, hybrid.bfs.levels);

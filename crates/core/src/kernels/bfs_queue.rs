@@ -238,8 +238,8 @@ mod tests {
         let g = maxwarp_graph::grid2d(12, 1); // path of 12 vertices
         let mut gpu = Gpu::new(GpuConfig::tiny_test());
         let dg = DeviceGraph::upload(&mut gpu, &g);
-        let out = run_bfs_queue(&mut gpu, &dg, 0, Method::Baseline, &ExecConfig::default())
-            .unwrap();
+        let out =
+            run_bfs_queue(&mut gpu, &dg, 0, Method::Baseline, &ExecConfig::default()).unwrap();
         // 11 expansion levels plus the final empty-frontier check.
         assert_eq!(out.run.iterations, 12);
         assert_eq!(out.levels[11], 11);
@@ -266,9 +266,14 @@ mod tests {
         .unwrap();
         let mut gpu2 = Gpu::new(GpuConfig::fermi_c2050());
         let dg2 = DeviceGraph::upload(&mut gpu2, &g);
-        let queue =
-            run_bfs_queue(&mut gpu2, &dg2, src, Method::Baseline, &ExecConfig::default())
-                .unwrap();
+        let queue = run_bfs_queue(
+            &mut gpu2,
+            &dg2,
+            src,
+            Method::Baseline,
+            &ExecConfig::default(),
+        )
+        .unwrap();
         assert_eq!(scan.levels, queue.levels);
         assert!(
             queue.run.stats.instructions * 2 < scan.run.stats.instructions,
@@ -307,8 +312,8 @@ mod tests {
         let depth = want.iter().filter(|&&l| l != INF).max().copied().unwrap();
         let mut gpu = Gpu::new(GpuConfig::tiny_test());
         let dg = DeviceGraph::upload(&mut gpu, &g);
-        let out = run_bfs_queue(&mut gpu, &dg, src, Method::warp(8), &ExecConfig::default())
-            .unwrap();
+        let out =
+            run_bfs_queue(&mut gpu, &dg, src, Method::warp(8), &ExecConfig::default()).unwrap();
         assert_eq!(out.levels, want);
         assert_eq!(out.run.iterations, depth + 1);
     }

@@ -12,7 +12,9 @@
 //! variants compute *identical* colorings, which the tests exploit.
 
 use crate::device_graph::DeviceGraph;
-use crate::kernels::common::{load_row_range, scalar_neighbor_loop, vertices_per_pass, vw_neighbor_loop};
+use crate::kernels::common::{
+    load_row_range, scalar_neighbor_loop, vertices_per_pass, vw_neighbor_loop,
+};
 use crate::method::{ExecConfig, Method};
 use crate::runner::{check_iteration_bound, AlgoRun};
 use crate::vwarp::VwLayout;
@@ -113,7 +115,7 @@ fn select_body(
         let ncol = w.ld(act, colors, &nbr);
         let m_uncolored = w.alu_pred(act, &ncol, |c| c == UNCOLORED);
         // One compare instruction evaluating the beats relation.
-        
+
         {
             let vv = vids;
             let mut mask = Mask::NONE;
@@ -168,7 +170,11 @@ fn launch_select(
                     }
                 });
             };
-            gpu.launch(n.div_ceil(exec.block_threads).max(1), exec.block_threads, &kernel)
+            gpu.launch(
+                n.div_ceil(exec.block_threads).max(1),
+                exec.block_threads,
+                &kernel,
+            )
         }
         Method::WarpCentric(opts) => {
             let layout = VwLayout::new(opts.vw);
@@ -250,7 +256,11 @@ fn launch_commit(
             }
         });
     };
-    gpu.launch(n.div_ceil(exec.block_threads).max(1), exec.block_threads, &kernel)
+    gpu.launch(
+        n.div_ceil(exec.block_threads).max(1),
+        exec.block_threads,
+        &kernel,
+    )
 }
 
 #[cfg(test)]
@@ -268,7 +278,11 @@ mod tests {
 
     #[test]
     fn proper_on_all_symmetric_datasets() {
-        for d in [Dataset::RoadNet, Dataset::SmallWorld, Dataset::LiveJournalLike] {
+        for d in [
+            Dataset::RoadNet,
+            Dataset::SmallWorld,
+            Dataset::LiveJournalLike,
+        ] {
             let g = d.build(Scale::Tiny);
             for m in [Method::Baseline, Method::warp(8), Method::warp(32)] {
                 let out = color(&g, m);

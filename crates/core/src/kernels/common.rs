@@ -306,7 +306,7 @@ mod tests {
         .unwrap();
         assert_eq!(gpu.mem.read(qcount, 0), 1);
         assert_eq!(gpu.mem.read(queue, 0), 0); // vertex 0 deferred
-        // 8 lanes of vw 0 removed from a 32-lane valid mask over 4 vertices.
+                                               // 8 lanes of vw 0 removed from a 32-lane valid mask over 4 vertices.
         assert_eq!(gpu.mem.read(kept_out, 0), 24);
     }
 

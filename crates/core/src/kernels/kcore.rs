@@ -13,7 +13,9 @@
 //! graph classes; the tests use those.
 
 use crate::device_graph::DeviceGraph;
-use crate::kernels::common::{load_row_range, scalar_neighbor_loop, vertices_per_pass, vw_neighbor_loop};
+use crate::kernels::common::{
+    load_row_range, scalar_neighbor_loop, vertices_per_pass, vw_neighbor_loop,
+};
 use crate::method::{ExecConfig, Method};
 use crate::runner::{check_iteration_bound, AlgoRun};
 use crate::vwarp::VwLayout;
@@ -162,7 +164,11 @@ fn launch_mark(
             }
         });
     };
-    gpu.launch(n.div_ceil(exec.block_threads).max(1), exec.block_threads, &kernel)
+    gpu.launch(
+        n.div_ceil(exec.block_threads).max(1),
+        exec.block_threads,
+        &kernel,
+    )
 }
 
 /// Decrement alive neighbors of pending vertices; clears the pending
@@ -212,7 +218,11 @@ fn launch_decrement(
                     scalar_neighbor_loop(w, mp, &s, &e, body);
                 });
             };
-            gpu.launch(n.div_ceil(exec.block_threads).max(1), exec.block_threads, &kernel)?
+            gpu.launch(
+                n.div_ceil(exec.block_threads).max(1),
+                exec.block_threads,
+                &kernel,
+            )?
         }
         Method::WarpCentric(opts) => {
             let layout = VwLayout::new(opts.vw);
@@ -280,7 +290,16 @@ mod tests {
         // A triangle with a tail: triangle vertices are 2-core, tail 1.
         let g = maxwarp_graph::Csr::from_edges(
             4,
-            &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 0), (0, 2), (2, 3), (3, 2)],
+            &[
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 1),
+                (2, 0),
+                (0, 2),
+                (2, 3),
+                (3, 2),
+            ],
         );
         assert_eq!(kcore_reference(&g), vec![2, 2, 2, 1]);
         // K5: everyone is 4-core.

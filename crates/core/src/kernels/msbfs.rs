@@ -13,7 +13,9 @@
 //! independent reference BFS runs.
 
 use crate::device_graph::DeviceGraph;
-use crate::kernels::common::{load_row_range, scalar_neighbor_loop, vertices_per_pass, vw_neighbor_loop};
+use crate::kernels::common::{
+    load_row_range, scalar_neighbor_loop, vertices_per_pass, vw_neighbor_loop,
+};
 use crate::method::{ExecConfig, Method};
 use crate::runner::{check_iteration_bound, AlgoRun};
 use crate::vwarp::VwLayout;
@@ -197,7 +199,11 @@ fn launch_level(
                     scalar_neighbor_loop(w, mf, &s, &e, body);
                 });
             };
-            gpu.launch(n.div_ceil(exec.block_threads).max(1), exec.block_threads, &kernel)
+            gpu.launch(
+                n.div_ceil(exec.block_threads).max(1),
+                exec.block_threads,
+                &kernel,
+            )
         }
         Method::WarpCentric(opts) => {
             let layout = VwLayout::new(opts.vw);
@@ -250,7 +256,14 @@ mod tests {
         let out = run_msbfs(&mut gpu, &dg, sources, method, &ExecConfig::default()).unwrap();
         for (s, &src) in sources.iter().enumerate() {
             let want = bfs_levels(&g, src);
-            assert_eq!(out.levels[s], want, "{} source {} ({})", d.name(), src, method.label());
+            assert_eq!(
+                out.levels[s],
+                want,
+                "{} source {} ({})",
+                d.name(),
+                src,
+                method.label()
+            );
         }
     }
 
@@ -279,8 +292,14 @@ mod tests {
         let g = Dataset::SmallWorld.build(Scale::Tiny);
         let mut gpu = Gpu::new(GpuConfig::tiny_test());
         let dg = DeviceGraph::upload(&mut gpu, &g);
-        let out = run_msbfs(&mut gpu, &dg, &[7, 7], Method::Baseline, &ExecConfig::default())
-            .unwrap();
+        let out = run_msbfs(
+            &mut gpu,
+            &dg,
+            &[7, 7],
+            Method::Baseline,
+            &ExecConfig::default(),
+        )
+        .unwrap();
         assert_eq!(out.levels[0], out.levels[1]);
     }
 
@@ -293,10 +312,16 @@ mod tests {
         let sources: Vec<u32> = (0..16u32).map(|s| s * 100).collect();
         let mut gpu = Gpu::new(GpuConfig::fermi_c2050());
         let dg = DeviceGraph::upload(&mut gpu, &g);
-        let batched = run_msbfs(&mut gpu, &dg, &sources, Method::warp(8), &ExecConfig::default())
-            .unwrap()
-            .run
-            .cycles();
+        let batched = run_msbfs(
+            &mut gpu,
+            &dg,
+            &sources,
+            Method::warp(8),
+            &ExecConfig::default(),
+        )
+        .unwrap()
+        .run
+        .cycles();
         let mut sequential = 0u64;
         for &src in &sources {
             let mut gpu = Gpu::new(GpuConfig::fermi_c2050());
@@ -325,6 +350,12 @@ mod tests {
         let mut gpu = Gpu::new(GpuConfig::tiny_test());
         let dg = DeviceGraph::upload(&mut gpu, &g);
         let sources: Vec<u32> = (0..33).collect();
-        let _ = run_msbfs(&mut gpu, &dg, &sources, Method::Baseline, &ExecConfig::default());
+        let _ = run_msbfs(
+            &mut gpu,
+            &dg,
+            &sources,
+            Method::Baseline,
+            &ExecConfig::default(),
+        );
     }
 }

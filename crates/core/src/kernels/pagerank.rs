@@ -97,7 +97,12 @@ fn shares(
     let r = w.ld(m, rank, vids);
     let m_dangling = w.alu_pred(m, &deg, |d| d == 0);
     let m_push = m.andnot(m_dangling);
-    let share = w.alu2(m_push, &r, &deg, |r, d| if d > 0 { r / d as f32 } else { 0.0 });
+    let share = w.alu2(
+        m_push,
+        &r,
+        &deg,
+        |r, d| if d > 0 { r / d as f32 } else { 0.0 },
+    );
     (share, m_dangling, m_push)
 }
 
@@ -264,8 +269,15 @@ mod tests {
         let g = Dataset::SmallWorld.build(Scale::Tiny);
         let mut gpu = Gpu::new(GpuConfig::tiny_test());
         let dg = DeviceGraph::upload(&mut gpu, &g);
-        let out =
-            run_pagerank(&mut gpu, &dg, 8, 0.85, Method::warp(8), &ExecConfig::default()).unwrap();
+        let out = run_pagerank(
+            &mut gpu,
+            &dg,
+            8,
+            0.85,
+            Method::warp(8),
+            &ExecConfig::default(),
+        )
+        .unwrap();
         let sum: f32 = out.ranks.iter().sum();
         assert!((sum - 1.0).abs() < 1e-3, "sum={sum}");
     }
@@ -277,8 +289,15 @@ mod tests {
         let g = maxwarp_graph::Csr::from_edges(40, &edges);
         let mut gpu = Gpu::new(GpuConfig::tiny_test());
         let dg = DeviceGraph::upload(&mut gpu, &g);
-        let out = run_pagerank(&mut gpu, &dg, 20, 0.85, Method::Baseline, &ExecConfig::default())
-            .unwrap();
+        let out = run_pagerank(
+            &mut gpu,
+            &dg,
+            20,
+            0.85,
+            Method::Baseline,
+            &ExecConfig::default(),
+        )
+        .unwrap();
         for v in 1..40 {
             assert!(out.ranks[0] > out.ranks[v as usize]);
         }
@@ -290,6 +309,13 @@ mod tests {
         let g = maxwarp_graph::Csr::empty(0);
         let mut gpu = Gpu::new(GpuConfig::tiny_test());
         let dg = DeviceGraph::upload(&mut gpu, &g);
-        let _ = run_pagerank(&mut gpu, &dg, 5, 0.85, Method::Baseline, &ExecConfig::default());
+        let _ = run_pagerank(
+            &mut gpu,
+            &dg,
+            5,
+            0.85,
+            Method::Baseline,
+            &ExecConfig::default(),
+        );
     }
 }

@@ -113,7 +113,11 @@ fn launch_scalar(
             w.st(m, y, &row, &acc);
         });
     };
-    gpu.launch(n.div_ceil(exec.block_threads).max(1), exec.block_threads, &kernel)
+    gpu.launch(
+        n.div_ceil(exec.block_threads).max(1),
+        exec.block_threads,
+        &kernel,
+    )
 }
 
 /// Vector CSR: virtual warp per row, segmented reduction, leader store.
@@ -182,7 +186,9 @@ mod tests {
             .into_iter()
             .map(|w| w as f32 * 0.25)
             .collect();
-        let x: Vec<f32> = (0..g.num_vertices()).map(|v| (v % 7) as f32 - 3.0).collect();
+        let x: Vec<f32> = (0..g.num_vertices())
+            .map(|v| (v % 7) as f32 - 3.0)
+            .collect();
         (vals, x)
     }
 
@@ -194,9 +200,16 @@ mod tests {
             let mut gpu = Gpu::new(GpuConfig::tiny_test());
             let dg = crate::DeviceGraph::upload(&mut gpu, &g);
             let out = run_spmv(&mut gpu, &dg, &vals, &x, m, &ExecConfig::default()).unwrap();
-            for r in 0..g.num_vertices() as usize {
-                let err = (out.y[r] - want[r]).abs() / want[r].abs().max(1.0);
-                assert!(err < tol, "{} / {} row {r}: {} vs {}", d.name(), m.label(), out.y[r], want[r]);
+            for (r, &w) in want.iter().enumerate() {
+                let err = (out.y[r] - w).abs() / w.abs().max(1.0);
+                assert!(
+                    err < tol,
+                    "{} / {} row {r}: {} vs {}",
+                    d.name(),
+                    m.label(),
+                    out.y[r],
+                    w
+                );
             }
         }
     }
@@ -221,8 +234,15 @@ mod tests {
         let g = maxwarp_graph::Csr::from_edges(4, &[(0, 1)]);
         let mut gpu = Gpu::new(GpuConfig::tiny_test());
         let dg = crate::DeviceGraph::upload(&mut gpu, &g);
-        let out = run_spmv(&mut gpu, &dg, &[2.0], &[1.0, 5.0, 0.0, 0.0], Method::warp(8),
-                           &ExecConfig::default()).unwrap();
+        let out = run_spmv(
+            &mut gpu,
+            &dg,
+            &[2.0],
+            &[1.0, 5.0, 0.0, 0.0],
+            Method::warp(8),
+            &ExecConfig::default(),
+        )
+        .unwrap();
         assert_eq!(out.y, vec![10.0, 0.0, 0.0, 0.0]);
     }
 
@@ -232,14 +252,32 @@ mod tests {
         let (vals, x) = inputs(&g, 7);
         let mut gpu = Gpu::new(GpuConfig::fermi_c2050());
         let dg = crate::DeviceGraph::upload(&mut gpu, &g);
-        let base = run_spmv(&mut gpu, &dg, &vals, &x, Method::Baseline, &ExecConfig::default())
-            .unwrap();
+        let base = run_spmv(
+            &mut gpu,
+            &dg,
+            &vals,
+            &x,
+            Method::Baseline,
+            &ExecConfig::default(),
+        )
+        .unwrap();
         let mut gpu2 = Gpu::new(GpuConfig::fermi_c2050());
         let dg2 = crate::DeviceGraph::upload(&mut gpu2, &g);
-        let warp = run_spmv(&mut gpu2, &dg2, &vals, &x, Method::warp(16), &ExecConfig::default())
-            .unwrap();
-        assert!(warp.run.cycles() < base.run.cycles(), "warp {} vs base {}",
-                warp.run.cycles(), base.run.cycles());
+        let warp = run_spmv(
+            &mut gpu2,
+            &dg2,
+            &vals,
+            &x,
+            Method::warp(16),
+            &ExecConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            warp.run.cycles() < base.run.cycles(),
+            "warp {} vs base {}",
+            warp.run.cycles(),
+            base.run.cycles()
+        );
         assert!(warp.run.stats.lane_utilization() > base.run.stats.lane_utilization());
     }
 
@@ -249,7 +287,13 @@ mod tests {
         let g = maxwarp_graph::Csr::from_edges(2, &[(0, 1)]);
         let mut gpu = Gpu::new(GpuConfig::tiny_test());
         let dg = crate::DeviceGraph::upload(&mut gpu, &g);
-        let _ = run_spmv(&mut gpu, &dg, &[1.0, 2.0], &[0.0, 0.0], Method::Baseline,
-                         &ExecConfig::default());
+        let _ = run_spmv(
+            &mut gpu,
+            &dg,
+            &[1.0, 2.0],
+            &[0.0, 0.0],
+            Method::Baseline,
+            &ExecConfig::default(),
+        );
     }
 }

@@ -192,9 +192,7 @@ fn launch_warp_round(
                 if mf.any() {
                     let (s, e) = load_row_range(w, &g, mf, &vids);
                     let mwork = match opts.defer_threshold {
-                        Some(t) => {
-                            defer_outliers(w, &layout, mf, &vids, &s, &e, t, queue, qcount)
-                        }
+                        Some(t) => defer_outliers(w, &layout, mf, &vids, &s, &e, t, queue, qcount),
                         None => mf,
                     };
                     if mwork.any() {

@@ -258,9 +258,8 @@ mod tests {
         for method in methods() {
             for orientation in [Orientation::ById, Orientation::ByDegree] {
                 let mut gpu = Gpu::new(GpuConfig::tiny_test());
-                let out =
-                    run_triangles(&mut gpu, g, method, &ExecConfig::default(), orientation)
-                        .unwrap();
+                let out = run_triangles(&mut gpu, g, method, &ExecConfig::default(), orientation)
+                    .unwrap();
                 assert_eq!(
                     out.count,
                     want,

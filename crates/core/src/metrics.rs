@@ -66,12 +66,13 @@ mod tests {
     use maxwarp_simt::KernelStats;
 
     fn run_with_cycles(c: u64) -> AlgoRun {
-        let mut r = AlgoRun::default();
-        r.stats = KernelStats {
-            cycles: c,
+        AlgoRun {
+            stats: KernelStats {
+                cycles: c,
+                ..Default::default()
+            },
             ..Default::default()
-        };
-        r
+        }
     }
 
     #[test]

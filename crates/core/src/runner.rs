@@ -15,12 +15,27 @@ pub struct AlgoRun {
 
 impl AlgoRun {
     /// Fold one launch's stats into the run, attributing its cycles to the
-    /// current iteration.
+    /// current iteration. A launch absorbed before any [`begin_iteration`]
+    /// (setup kernels, single-shot algorithms) implicitly opens iteration 0
+    /// rather than dropping its cycles from the per-iteration profile.
+    ///
+    /// [`begin_iteration`]: AlgoRun::begin_iteration
     pub fn absorb(&mut self, launch: &KernelStats) {
-        if let Some(last) = self.cycles_per_iteration.last_mut() {
-            *last += launch.cycles;
+        if self.cycles_per_iteration.is_empty() {
+            self.begin_iteration();
         }
+        *self.cycles_per_iteration.last_mut().unwrap() += launch.cycles;
         self.stats.accumulate(launch);
+    }
+
+    /// Fold another run into this one: stats accumulate, iteration profiles
+    /// concatenate. Lets per-cell results from parallel experiment workers
+    /// combine into one aggregate run.
+    pub fn merge(&mut self, other: &AlgoRun) {
+        self.stats.accumulate(&other.stats);
+        self.iterations += other.iterations;
+        self.cycles_per_iteration
+            .extend_from_slice(&other.cycles_per_iteration);
     }
 
     /// Begin a new iteration.
@@ -61,9 +76,11 @@ mod tests {
     fn absorb_accumulates_per_iteration() {
         let mut run = AlgoRun::default();
         run.begin_iteration();
-        let mut s = KernelStats::default();
-        s.cycles = 100;
-        s.instructions = 10;
+        let s = KernelStats {
+            cycles: 100,
+            instructions: 10,
+            ..Default::default()
+        };
         run.absorb(&s);
         run.absorb(&s);
         run.begin_iteration();
@@ -72,6 +89,47 @@ mod tests {
         assert_eq!(run.cycles_per_iteration, vec![200, 100]);
         assert_eq!(run.cycles(), 300);
         assert_eq!(run.stats.instructions, 30);
+    }
+
+    #[test]
+    fn absorb_before_begin_opens_iteration_zero() {
+        let mut run = AlgoRun::default();
+        let s = KernelStats {
+            cycles: 40,
+            ..Default::default()
+        };
+        run.absorb(&s); // no begin_iteration yet: must not lose these cycles
+        assert_eq!(run.iterations, 1);
+        assert_eq!(run.cycles_per_iteration, vec![40]);
+        run.begin_iteration();
+        run.absorb(&s);
+        assert_eq!(run.cycles_per_iteration, vec![40, 40]);
+        assert_eq!(
+            run.cycles_per_iteration.iter().sum::<u64>(),
+            run.stats.cycles,
+            "per-iteration profile must account for every absorbed cycle"
+        );
+    }
+
+    #[test]
+    fn merge_concatenates_profiles() {
+        let mut a = AlgoRun::default();
+        let mut b = AlgoRun::default();
+        let s = KernelStats {
+            cycles: 10,
+            instructions: 2,
+            ..Default::default()
+        };
+        a.begin_iteration();
+        a.absorb(&s);
+        b.begin_iteration();
+        b.absorb(&s);
+        b.absorb(&s);
+        a.merge(&b);
+        assert_eq!(a.iterations, 2);
+        assert_eq!(a.cycles_per_iteration, vec![10, 20]);
+        assert_eq!(a.stats.instructions, 6);
+        assert_eq!(a.cycles(), 30);
     }
 
     #[test]

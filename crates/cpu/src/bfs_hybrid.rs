@@ -26,7 +26,10 @@ pub struct HybridConfig {
 
 impl Default for HybridConfig {
     fn default() -> Self {
-        HybridConfig { alpha: 14, beta: 24 }
+        HybridConfig {
+            alpha: 14,
+            beta: 24,
+        }
     }
 }
 
@@ -40,12 +43,7 @@ pub struct HybridStats {
 /// Direction-optimizing BFS. `rev` must be the transpose of `g` (pass `g`
 /// itself for symmetric graphs); bottom-up steps scan `rev` to find
 /// parents.
-pub fn bfs_hybrid(
-    g: &Csr,
-    rev: &Csr,
-    src: u32,
-    cfg: &HybridConfig,
-) -> (Vec<u32>, HybridStats) {
+pub fn bfs_hybrid(g: &Csr, rev: &Csr, src: u32, cfg: &HybridConfig) -> (Vec<u32>, HybridStats) {
     assert_eq!(
         g.num_vertices(),
         rev.num_vertices(),

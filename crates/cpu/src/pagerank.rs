@@ -51,10 +51,7 @@ pub fn pagerank_parallel(g: &Csr, iters: u32, d: f32, threads: usize) -> Vec<f32
     let mut rank = vec![1.0f32 / n as f32; n];
     let mut next = vec![0.0f32; n];
     for _ in 0..iters {
-        let dangling: f32 = (0..n)
-            .filter(|&u| out_deg[u] == 0)
-            .map(|u| rank[u])
-            .sum();
+        let dangling: f32 = (0..n).filter(|&u| out_deg[u] == 0).map(|u| rank[u]).sum();
         let base = (1.0 - d) / n as f32 + d * dangling / n as f32;
         let cursor = AtomicUsize::new(0);
         let chunk = (n / (threads * 8)).max(256);
@@ -141,7 +138,11 @@ mod tests {
         let a = pagerank_push(&g, 15, 0.85);
         for threads in [1, 2, 4] {
             let b = pagerank_parallel(&g, 15, 0.85, threads);
-            assert!(rank_linf(&a, &b) < 1e-5, "x{threads}: {}", rank_linf(&a, &b));
+            assert!(
+                rank_linf(&a, &b) < 1e-5,
+                "x{threads}: {}",
+                rank_linf(&a, &b)
+            );
         }
     }
 

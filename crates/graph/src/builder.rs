@@ -163,10 +163,7 @@ mod tests {
     fn largest_component_extracts_giant() {
         // Component A: 0-1-2 (3 vertices); component B: 3-4 (2 vertices);
         // isolated: 5.
-        let g = Csr::from_edges(
-            6,
-            &[(0, 1), (1, 0), (1, 2), (2, 1), (3, 4), (4, 3)],
-        );
+        let g = Csr::from_edges(6, &[(0, 1), (1, 0), (1, 2), (2, 1), (3, 4), (4, 3)]);
         let (sub, map) = largest_component(&g);
         assert_eq!(sub.num_vertices(), 3);
         assert_eq!(sub.num_edges(), 4);
@@ -192,6 +189,9 @@ mod tests {
         let g = Csr::from_edges(10, &[(0, 1), (1, 0), (5, 6), (6, 5), (6, 7), (7, 6)]);
         let (sub, _) = largest_component(&g);
         let lv = bfs_levels(&sub, 0);
-        assert!(lv.iter().all(|&l| l != u32::MAX), "giant component is connected");
+        assert!(
+            lv.iter().all(|&l| l != u32::MAX),
+            "giant component is connected"
+        );
     }
 }

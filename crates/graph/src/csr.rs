@@ -126,8 +126,7 @@ impl Csr {
 
     /// Iterate all directed edges as `(src, dst)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
-        (0..self.num_vertices())
-            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+        (0..self.num_vertices()).flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
     }
 
     /// The transpose (all edges reversed).

@@ -71,7 +71,11 @@ impl DegreeStats {
             p50: pct(0.50),
             p90: pct(0.90),
             p99: pct(0.99),
-            top1pct_edge_share: if m > 0 { top_edges as f64 / m as f64 } else { 0.0 },
+            top1pct_edge_share: if m > 0 {
+                top_edges as f64 / m as f64
+            } else {
+                0.0
+            },
         }
     }
 }

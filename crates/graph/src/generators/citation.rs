@@ -16,7 +16,8 @@ pub fn citation_graph(n: u32, citations_per_vertex: u32, preferential: f64, seed
     assert!(n >= 2);
     assert!((0.0..=1.0).contains(&preferential));
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut edges: Vec<(u32, u32)> = Vec::with_capacity((n as usize) * citations_per_vertex as usize);
+    let mut edges: Vec<(u32, u32)> =
+        Vec::with_capacity((n as usize) * citations_per_vertex as usize);
     for u in 1..n {
         let c = citations_per_vertex.min(u);
         for _ in 0..c {
@@ -58,7 +59,12 @@ mod tests {
         // Out-degrees are tight; the tail lives on in-degrees.
         let rin = g.reverse();
         let sin = DegreeStats::of(&rin);
-        assert!(sin.max > 3 * sin.mean as u32, "in-deg max={} mean={}", sin.max, sin.mean);
+        assert!(
+            sin.max > 3 * sin.mean as u32,
+            "in-deg max={} mean={}",
+            sin.max,
+            sin.mean
+        );
     }
 
     #[test]

@@ -49,7 +49,12 @@ mod tests {
         let s = DegreeStats::of(&g);
         // Binomial with mean 16: CV ≈ 1/4, max well under 4x mean.
         assert!(s.cv < 0.5, "cv={}", s.cv);
-        assert!((s.max as f64) < 4.0 * s.mean, "max={} mean={}", s.max, s.mean);
+        assert!(
+            (s.max as f64) < 4.0 * s.mean,
+            "max={} mean={}",
+            s.max,
+            s.mean
+        );
     }
 
     #[test]

@@ -15,9 +15,10 @@ pub fn hub_graph(n: u32, num_hubs: u32, hub_degree: u32, base_degree: u32, seed:
     assert!(num_hubs <= n, "more hubs than vertices");
     assert!(hub_degree < n, "hub degree must be below n");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut edges =
-        Vec::with_capacity((num_hubs as usize) * (hub_degree as usize)
-            + ((n - num_hubs) as usize) * (base_degree as usize));
+    let mut edges = Vec::with_capacity(
+        (num_hubs as usize) * (hub_degree as usize)
+            + ((n - num_hubs) as usize) * (base_degree as usize),
+    );
     // Hubs are spread across the id space (not clustered at 0) so that a
     // warp of consecutive vertex ids usually contains at most one hub —
     // the worst case for intra-warp imbalance.
@@ -27,7 +28,11 @@ pub fn hub_graph(n: u32, num_hubs: u32, hub_degree: u32, base_degree: u32, seed:
         is_hub[(h * stride) as usize % n as usize] = true;
     }
     for u in 0..n {
-        let d = if is_hub[u as usize] { hub_degree } else { base_degree };
+        let d = if is_hub[u as usize] {
+            hub_degree
+        } else {
+            base_degree
+        };
         for _ in 0..d {
             let mut v = rng.gen_range(0..n);
             while v == u {

@@ -31,7 +31,9 @@ use rand::{Rng, SeedableRng};
 pub fn random_weights(g: &Csr, max_weight: u32, seed: u64) -> Vec<u32> {
     assert!(max_weight >= 1);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x77e1_u64);
-    (0..g.num_edges()).map(|_| rng.gen_range(1..=max_weight)).collect()
+    (0..g.num_edges())
+        .map(|_| rng.gen_range(1..=max_weight))
+        .collect()
 }
 
 #[cfg(test)]

@@ -42,7 +42,12 @@ impl From<io::Error> for GraphIoError {
 
 /// Write a SNAP-style edge list: one `src dst` pair per line, `#` comments.
 pub fn write_edge_list<W: Write>(g: &Csr, mut w: W) -> io::Result<()> {
-    writeln!(w, "# maxwarp edge list: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# maxwarp edge list: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v) in g.edges() {
         writeln!(w, "{u}\t{v}")?;
     }
@@ -97,8 +102,7 @@ pub fn read_edge_list<R: BufRead>(r: R, min_vertices: u32) -> Result<Csr, GraphI
 pub fn encode_csr(g: &Csr) -> Bytes {
     let n = g.num_vertices();
     let m = g.num_edges();
-    let mut buf =
-        BytesMut::with_capacity(MAGIC.len() + 12 + 4 * (n as usize + 1) + 4 * m as usize);
+    let mut buf = BytesMut::with_capacity(MAGIC.len() + 12 + 4 * (n as usize + 1) + 4 * m as usize);
     buf.put_slice(MAGIC);
     buf.put_u32_le(n);
     buf.put_u64_le(m);

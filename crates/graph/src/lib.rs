@@ -41,6 +41,5 @@ pub use permute::{
     is_permutation, random_permutation,
 };
 pub use triangles::{
-    count_triangles, count_triangles_forward, forward_graph, sorted_intersection_size,
-    Orientation,
+    count_triangles, count_triangles_forward, forward_graph, sorted_intersection_size, Orientation,
 };

@@ -147,7 +147,6 @@ pub fn betweenness(g: &Csr, sources: &[u32]) -> Vec<f64> {
                 if level[v as usize] == next {
                     sigma[v as usize] += sigma[u as usize];
                 }
-
             }
         }
         // Backward phase: dependency accumulation in reverse BFS order.
@@ -301,8 +300,8 @@ mod tests {
         let edges: Vec<(u32, u32)> = (0..8u32).map(|v| (v, (v + 1) % 8)).collect();
         let g = Csr::from_edges(8, &edges);
         let pr = pagerank(&g, 50, 0.85);
-        for v in 0..8 {
-            assert!((pr[v] - 0.125).abs() < 1e-9);
+        for p in &pr {
+            assert!((p - 0.125).abs() < 1e-9);
         }
     }
 
@@ -350,8 +349,8 @@ mod tests {
         let bc = betweenness(&g, &sources);
         // Center mediates all 5*4 ordered leaf pairs.
         assert!((bc[0] - 20.0).abs() < 1e-9, "{}", bc[0]);
-        for v in 1..6 {
-            assert_eq!(bc[v], 0.0);
+        for b in &bc[1..6] {
+            assert_eq!(*b, 0.0);
         }
     }
 

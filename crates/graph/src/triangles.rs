@@ -99,7 +99,16 @@ mod tests {
         // A 4-cycle has no triangles.
         let c4 = Csr::from_edges(
             4,
-            &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2), (3, 0), (0, 3)],
+            &[
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 1),
+                (2, 3),
+                (3, 2),
+                (3, 0),
+                (0, 3),
+            ],
         );
         assert_eq!(count_triangles(&c4), 0);
     }
@@ -117,7 +126,16 @@ mod tests {
     fn single_triangle_plus_tail() {
         let g = Csr::from_edges(
             4,
-            &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 0), (0, 2), (2, 3), (3, 2)],
+            &[
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 1),
+                (2, 0),
+                (0, 2),
+                (2, 3),
+                (3, 2),
+            ],
         );
         assert_eq!(count_triangles(&g), 1);
     }

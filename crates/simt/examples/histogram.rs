@@ -63,8 +63,7 @@ fn main() {
                     let mut newv = Lanes::splat(0u32);
                     for l in m.iter() {
                         let bin = v.get(l);
-                        let group: Vec<usize> =
-                            m.iter().filter(|&k| v.get(k) == bin).collect();
+                        let group: Vec<usize> = m.iter().filter(|&k| v.get(k) == bin).collect();
                         if *group.last().unwrap() == l {
                             writers = writers.with(l, true);
                             newv.set(l, cur.get(l) + group.len() as u32);

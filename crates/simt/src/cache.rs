@@ -157,7 +157,11 @@ mod tests {
                 thrash.access(seg * 128);
             }
         }
-        assert_eq!(thrash.hits(), 0, "32-segment sweep over 16 direct-mapped lines");
+        assert_eq!(
+            thrash.hits(),
+            0,
+            "32-segment sweep over 16 direct-mapped lines"
+        );
     }
 
     #[test]

@@ -80,7 +80,7 @@ mod tests {
 
     #[test]
     fn broadcast_is_one() {
-        let addrs = std::iter::repeat(4096u64).take(32);
+        let addrs = std::iter::repeat_n(4096u64, 32);
         assert_eq!(transactions(addrs, 128), 1);
     }
 

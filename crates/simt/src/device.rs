@@ -176,8 +176,14 @@ impl Gpu {
                 warps_per_block: 1,
                 num_blocks: num_tasks.max(1),
             };
-            let mut ctx =
-                WarpCtx::new(&mut self.mem, &mut shared, &mut wt, &mut cache, &self.cfg, id);
+            let mut ctx = WarpCtx::new(
+                &mut self.mem,
+                &mut shared,
+                &mut wt,
+                &mut cache,
+                &self.cfg,
+                id,
+            );
             f(&mut ctx, task);
             tasks.push(wt);
         }
@@ -193,15 +199,13 @@ impl Gpu {
                 let per = (num_tasks as usize).div_ceil(resident_warps as usize);
                 for (t, wt) in tasks.iter().enumerate() {
                     let w = (t / per) as u32;
-                    blocks[(w / warps_per_block) as usize][(w % warps_per_block) as usize]
-                        .push(wt);
+                    blocks[(w / warps_per_block) as usize][(w % warps_per_block) as usize].push(wt);
                 }
             }
             TaskSchedule::StaticCyclic => {
                 for (t, wt) in tasks.iter().enumerate() {
                     let w = (t as u32) % resident_warps;
-                    blocks[(w / warps_per_block) as usize][(w % warps_per_block) as usize]
-                        .push(wt);
+                    blocks[(w / warps_per_block) as usize][(w % warps_per_block) as usize].push(wt);
                 }
             }
             TaskSchedule::Dynamic => {

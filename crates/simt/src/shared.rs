@@ -145,7 +145,7 @@ mod tests {
 
     #[test]
     fn conflict_free_stride_one() {
-        assert_eq!(bank_conflict_cost((0..32u32).map(|l| l)), 1);
+        assert_eq!(bank_conflict_cost(0..32u32), 1);
     }
 
     #[test]
@@ -160,7 +160,7 @@ mod tests {
 
     #[test]
     fn broadcast_is_free() {
-        assert_eq!(bank_conflict_cost(std::iter::repeat(7u32).take(32)), 1);
+        assert_eq!(bank_conflict_cost(std::iter::repeat_n(7u32, 32)), 1);
     }
 
     #[test]

@@ -109,8 +109,12 @@ impl KernelStats {
         if n == 0 {
             return 0.0;
         }
-        let mean =
-            self.per_warp_instructions.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        let mean = self
+            .per_warp_instructions
+            .iter()
+            .map(|&x| x as f64)
+            .sum::<f64>()
+            / n as f64;
         if mean == 0.0 {
             return 0.0;
         }
@@ -188,7 +192,7 @@ impl std::fmt::Display for KernelStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} cycles | {} instr (alu {}, mem {}, atomic {}, shared {}) |              lane-util {:.1}% | {} tx",
+            "{} cycles | {} instr (alu {}, mem {}, atomic {}, shared {}) | lane-util {:.1}% | {} tx",
             self.cycles,
             self.instructions,
             self.alu_instructions,
@@ -214,8 +218,15 @@ mod tests {
                         ops: vec![
                             Op::Alu { active: 32 },
                             Op::LdGlobal { active: 16, tx: 16 },
-                            Op::Atomic { active: 4, tx: 2, replays: 3 },
-                            Op::Shared { active: 32, cost: 4 },
+                            Op::Atomic {
+                                active: 4,
+                                tx: 2,
+                                replays: 3,
+                            },
+                            Op::Shared {
+                                active: 32,
+                                cost: 4,
+                            },
                             Op::Bar,
                         ],
                     },
@@ -295,8 +306,16 @@ mod tests {
             blocks: vec![BlockTrace {
                 warps: vec![WarpTrace {
                     ops: vec![
-                        Op::LdCached { active: 32, hits: 3, misses: 1 },
-                        Op::LdCached { active: 16, hits: 0, misses: 2 },
+                        Op::LdCached {
+                            active: 32,
+                            hits: 3,
+                            misses: 1,
+                        },
+                        Op::LdCached {
+                            active: 16,
+                            hits: 0,
+                            misses: 2,
+                        },
                     ],
                 }],
             }],
@@ -326,6 +345,10 @@ mod tests {
         assert!(line.contains("instr"));
         assert!(line.contains("lane-util"));
         assert!(line.contains("tx"));
+        assert!(
+            !line.contains("  "),
+            "summary has a run of spaces: {line:?}"
+        );
     }
 
     #[test]

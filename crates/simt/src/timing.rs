@@ -292,23 +292,38 @@ impl<'a> Engine<'a> {
     }
 
     /// Give warp `wi` something to run at time `t`, pulling from the dynamic
-    /// queue if its fixed stream is exhausted; otherwise retire it.
+    /// queue if its fixed stream is exhausted; otherwise retire it. A queue
+    /// pull models the global-counter `atomicAdd` fetch of the paper's
+    /// dynamic workload distribution, so it costs one DRAM transaction plus
+    /// the round-trip memory latency before the pulled task can issue.
     fn start_or_finish_warp(&mut self, wi: u32, t: u64) {
-        let has_work = {
+        enum Next {
+            Resume,
+            Pulled,
+            Done,
+        }
+        let next = {
             let w = &mut self.warps[wi as usize];
             if w.normalize() {
-                true
+                Next::Resume
             } else if let Some(task) = self.queue.pop_front() {
                 w.stream.push(task);
-                w.normalize()
+                if w.normalize() {
+                    Next::Pulled
+                } else {
+                    Next::Done
+                }
             } else {
-                false
+                Next::Done
             }
         };
-        if has_work {
-            self.heap.push(Reverse((t, wi)));
-        } else {
-            self.finish_warp(wi, t);
+        match next {
+            Next::Resume => self.heap.push(Reverse((t, wi))),
+            Next::Pulled => {
+                let ready = self.dram_service(t, 1) + self.cfg.mem_latency;
+                self.heap.push(Reverse((ready, wi)));
+            }
+            Next::Done => self.finish_warp(wi, t),
         }
     }
 
@@ -353,9 +368,7 @@ impl<'a> Engine<'a> {
             let sm = self.blocks[self.warps[wi as usize].block as usize].sm as usize;
             // Enforce the SM issue port: `issue_width` issues per cycle.
             let mut t_iss = t.max(self.sm_cycle[sm]);
-            if t_iss == self.sm_cycle[sm]
-                && self.sm_issued_in_cycle[sm] >= self.cfg.issue_width
-            {
+            if t_iss == self.sm_cycle[sm] && self.sm_issued_in_cycle[sm] >= self.cfg.issue_width {
                 t_iss += 1;
             }
             if t_iss > t {
@@ -431,9 +444,7 @@ impl<'a> Engine<'a> {
                 };
                 hit_done.max(miss_done).max(t_iss + 1)
             }
-            Op::Shared { cost, .. } => {
-                t_iss + cfg.shared_latency + (cost as u64).saturating_sub(1)
-            }
+            Op::Shared { cost, .. } => t_iss + cfg.shared_latency + (cost as u64).saturating_sub(1),
             Op::Atomic { tx, replays, .. } => {
                 self.dram_service(t_iss, tx as u64)
                     + cfg.mem_latency
@@ -495,7 +506,7 @@ mod tests {
         // Each ALU op: issue then alu_latency (4) before the next; final op
         // completes at ~10*4.
         let cycles = simulate(&input, &cfg()).unwrap();
-        assert!(cycles >= 10 * 4 && cycles <= 10 * 4 + 10, "{cycles}");
+        assert!((10 * 4..=10 * 4 + 10).contains(&cycles), "{cycles}");
     }
 
     #[test]
@@ -506,7 +517,10 @@ mod tests {
         let c4 = simulate(&one_block_input(&four, 128), &cfg()).unwrap();
         // 4 warps interleave in the latency shadow: far less than 4x slower.
         assert!(c4 < c1 * 2, "c1={c1} c4={c4}");
-        assert!(c4 >= c1, "more total work cannot be faster: c1={c1} c4={c4}");
+        assert!(
+            c4 >= c1,
+            "more total work cannot be faster: c1={c1} c4={c4}"
+        );
     }
 
     #[test]
@@ -596,9 +610,7 @@ mod tests {
 
     #[test]
     fn barrier_in_queue_task_rejected() {
-        let task = WarpTrace {
-            ops: vec![Op::Bar],
-        };
+        let task = WarpTrace { ops: vec![Op::Bar] };
         let input = TimingInput {
             blocks: vec![vec![vec![]]],
             block_threads: 32,
@@ -639,6 +651,34 @@ mod tests {
         let cd = simulate(&dynamic, &cfg()).unwrap();
         let cs = simulate(&static_bad, &cfg()).unwrap();
         assert!(cd < cs, "dynamic {cd} should beat bad static {cs}");
+        // Pulling is not free: the 8 pulls split across 2 warps, so one
+        // warp serializes at least 4 counter fetches into its chain.
+        let fetch = cfg().mem_latency;
+        assert!(
+            cd >= 4 * fetch,
+            "dynamic {cd} must include queue-fetch cost"
+        );
+    }
+
+    #[test]
+    fn queue_pull_charges_memory_fetch() {
+        // One warp, empty fixed stream, 8 one-op tasks: every task arrives
+        // via a queue pull, and each pull is a global atomicAdd fetch that
+        // costs a DRAM transaction plus the full memory round-trip. The
+        // compute itself (~8 ALU ops) is noise next to 8 fetches.
+        let task = alu_trace(1);
+        let input = TimingInput {
+            blocks: vec![vec![vec![]]],
+            block_threads: 32,
+            shared_words_per_block: 0,
+            queue: vec![&task; 8],
+        };
+        let c = cfg();
+        let cycles = simulate(&input, &c).unwrap();
+        assert!(
+            cycles >= 8 * c.mem_latency,
+            "8 queue pulls must cost at least 8 memory fetches: {cycles}"
+        );
     }
 
     #[test]
@@ -669,7 +709,11 @@ mod tests {
             ops: vec![
                 Op::Alu { active: 32 },
                 Op::LdGlobal { active: 32, tx: 4 },
-                Op::Atomic { active: 8, tx: 2, replays: 1 },
+                Op::Atomic {
+                    active: 8,
+                    tx: 2,
+                    replays: 1,
+                },
                 Op::Alu { active: 16 },
             ],
         };
@@ -722,27 +766,54 @@ mod tests {
     fn cached_hits_are_faster_than_misses() {
         let cfg = cfg();
         let hit = WarpTrace {
-            ops: vec![Op::LdCached { active: 32, hits: 1, misses: 0 }; 50],
+            ops: vec![
+                Op::LdCached {
+                    active: 32,
+                    hits: 1,
+                    misses: 0
+                };
+                50
+            ],
         };
         let miss = WarpTrace {
-            ops: vec![Op::LdCached { active: 32, hits: 0, misses: 1 }; 50],
+            ops: vec![
+                Op::LdCached {
+                    active: 32,
+                    hits: 0,
+                    misses: 1
+                };
+                50
+            ],
         };
         let time = |t: &WarpTrace| {
-            simulate(&TimingInput {
-                blocks: vec![vec![vec![t]]],
+            simulate(
+                &TimingInput {
+                    blocks: vec![vec![vec![t]]],
+                    block_threads: 32,
+                    shared_words_per_block: 0,
+                    queue: Vec::new(),
+                },
+                &cfg,
+            )
+            .unwrap()
+        };
+        assert!(
+            time(&hit) < time(&miss),
+            "hit {} vs miss {}",
+            time(&hit),
+            time(&miss)
+        );
+        // Misses consume DRAM bandwidth; hits must not.
+        let report = simulate_report(
+            &TimingInput {
+                blocks: vec![vec![vec![&hit]]],
                 block_threads: 32,
                 shared_words_per_block: 0,
                 queue: Vec::new(),
-            }, &cfg).unwrap()
-        };
-        assert!(time(&hit) < time(&miss), "hit {} vs miss {}", time(&hit), time(&miss));
-        // Misses consume DRAM bandwidth; hits must not.
-        let report = simulate_report(&TimingInput {
-            blocks: vec![vec![vec![&hit]]],
-            block_threads: 32,
-            shared_words_per_block: 0,
-            queue: Vec::new(),
-        }, &cfg).unwrap();
+            },
+            &cfg,
+        )
+        .unwrap();
         assert_eq!(report.dram_busy_cycles, 0);
     }
 

@@ -226,8 +226,8 @@ impl<'a> WarpCtx<'a> {
     }
 
     /// `__shfl`: each active lane reads the value of lane `src.get(lane)`
-    /// (one instruction). Reading from an out-of-range lane yields the
-    /// lane's own value, mirroring CUDA's clamping behaviour loosely.
+    /// (one instruction). An out-of-range source wraps modulo the warp
+    /// width, matching CUDA's `srcLane % width` semantics.
     #[inline]
     pub fn shfl<T: Copy + Default>(
         &mut self,
@@ -236,14 +236,7 @@ impl<'a> WarpCtx<'a> {
         src: &Lanes<u32>,
     ) -> Lanes<T> {
         self.push_alu(mask);
-        Lanes::from_fn(|l| {
-            let s = src.get(l) as usize;
-            if s < WARP_SIZE {
-                vals.get(s)
-            } else {
-                vals.get(l)
-            }
-        })
+        Lanes::from_fn(|l| vals.get(src.get(l) as usize % WARP_SIZE))
     }
 
     /// Broadcast lane `src_lane`'s value to all lanes (one shuffle).
@@ -320,7 +313,12 @@ impl<'a> WarpCtx<'a> {
     /// Segmented `f32` sum reduction — same shape and cost as
     /// [`seg_reduce_add`](WarpCtx::seg_reduce_add). Lanes sum in ascending
     /// lane order (deterministic despite float non-associativity).
-    pub fn seg_reduce_add_f32(&mut self, mask: Mask, vals: &Lanes<f32>, width: usize) -> Lanes<f32> {
+    pub fn seg_reduce_add_f32(
+        &mut self,
+        mask: Mask,
+        vals: &Lanes<f32>,
+        width: usize,
+    ) -> Lanes<f32> {
         assert!(width.is_power_of_two() && width <= WARP_SIZE);
         self.charge_tree(mask, width);
         let mut out = Lanes::splat(0.0f32);
@@ -460,13 +458,11 @@ impl<'a> WarpCtx<'a> {
     /// Uniform store: the warp leader writes one element (one instruction,
     /// one transaction). Models `if (lane == 0) ptr[c] = v`.
     pub fn st_uniform<T: DeviceWord>(&mut self, mask: Mask, ptr: DevPtr<T>, idx: u32, v: T) {
-        self.trace.ops.push(Op::StGlobal {
-            active: mask.count().min(1) as u8,
-            tx: 1,
-        });
-        if mask.any() {
-            self.mem.write(ptr, idx, v);
+        if !mask.any() {
+            return;
         }
+        self.trace.ops.push(Op::StGlobal { active: 1, tx: 1 });
+        self.mem.write(ptr, idx, v);
     }
 
     // ---------------------------------------------------------------- atomics
@@ -563,15 +559,16 @@ impl<'a> WarpCtx<'a> {
     /// the work-queue fetch idiom from the paper's dynamic workload
     /// distribution.
     pub fn atomic_add_uniform(&mut self, mask: Mask, ptr: DevPtr<u32>, idx: u32, v: u32) -> u32 {
+        if !mask.any() {
+            return 0;
+        }
         self.trace.ops.push(Op::Atomic {
-            active: mask.count().min(1) as u8,
+            active: 1,
             tx: 1,
             replays: 0,
         });
         let old = self.mem.read(ptr, idx);
-        if mask.any() {
-            self.mem.write(ptr, idx, old.wrapping_add(v));
-        }
+        self.mem.write(ptr, idx, old.wrapping_add(v));
         old
     }
 
@@ -682,7 +679,12 @@ impl<'a> WarpCtx<'a> {
             counts[n] = 1;
             n += 1;
         }
-        counts[..n].iter().copied().max().unwrap_or(1).saturating_sub(1)
+        counts[..n]
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(1)
+            .saturating_sub(1)
     }
 }
 
@@ -857,7 +859,12 @@ mod tests {
             let old = w.atomic_or(Mask::FULL, p, &Lanes::splat(0u32), &bits);
             assert_eq!(old.get(0), 0);
             assert_eq!(old.get(1), 1); // saw lane 0's bit
-            let _ = w.atomic_and(Mask::first(1), p, &Lanes::splat(0u32), &Lanes::splat(0xFFu32));
+            let _ = w.atomic_and(
+                Mask::first(1),
+                p,
+                &Lanes::splat(0u32),
+                &Lanes::splat(0xFFu32),
+            );
         }
         assert_eq!(m.read(p, 0), 0xFF);
     }
@@ -979,6 +986,42 @@ mod tests {
     }
 
     #[test]
+    fn shfl_wraps_out_of_range_src() {
+        let (mut m, mut s, mut t, mut ch, cfg) = ctx_parts();
+        let mut w = WarpCtx::new(&mut m, &mut s, &mut t, &mut ch, &cfg, wid());
+        let ids = Lanes::lane_ids();
+        // CUDA __shfl reads srcLane % width, so 32 wraps to lane 0,
+        // 33 to lane 1, and so on — not the reading lane's own value.
+        let src = Lanes::from_fn(|l| (l as u32) + 32);
+        let shuf = w.shfl(Mask::FULL, &ids, &src);
+        for l in 0..WARP_SIZE {
+            assert_eq!(shuf.get(l), l as u32, "lane {l} must wrap to {l}");
+        }
+        let far = w.shfl(Mask::FULL, &ids, &Lanes::splat(97u32)); // 97 % 32 = 1
+        assert_eq!(far.get(0), 1);
+        assert_eq!(far.get(31), 1);
+    }
+
+    #[test]
+    fn empty_mask_uniform_ops_trace_nothing() {
+        let (mut m, mut s, mut t, mut ch, cfg) = ctx_parts();
+        let p = m.alloc_from(&[41u32, 7]);
+        {
+            let mut w = WarpCtx::new(&mut m, &mut s, &mut t, &mut ch, &cfg, wid());
+            w.st_uniform(Mask::NONE, p, 0, 1000);
+            assert_eq!(w.atomic_add_uniform(Mask::NONE, p, 0, 5), 0);
+        }
+        // A fully predicated-off uniform op must not reach the device:
+        // no trace entries, no transactions, and memory untouched.
+        assert!(
+            t.ops.is_empty(),
+            "empty-mask uniform ops traced {:?}",
+            t.ops
+        );
+        assert_eq!(m.read(p, 0), 41);
+    }
+
+    #[test]
     #[should_panic(expected = "illegal device address")]
     fn oob_load_panics() {
         let (mut m, mut s, mut t, mut ch, cfg) = ctx_parts();
@@ -996,10 +1039,7 @@ mod tests {
             let _ = w.add_scalar(Mask::first(5), &ids, 1);
             let _ = w.lt_scalar(Mask::first(10), &ids, 100);
         }
-        assert_eq!(
-            t.ops,
-            vec![Op::Alu { active: 5 }, Op::Alu { active: 10 }]
-        );
+        assert_eq!(t.ops, vec![Op::Alu { active: 5 }, Op::Alu { active: 10 }]);
     }
 
     #[test]
@@ -1014,8 +1054,12 @@ mod tests {
         }
         match (t.ops[0], t.ops[1]) {
             (
-                Op::LdCached { hits: 0, misses: 1, .. },
-                Op::LdCached { hits: 1, misses: 0, .. },
+                Op::LdCached {
+                    hits: 0, misses: 1, ..
+                },
+                Op::LdCached {
+                    hits: 1, misses: 0, ..
+                },
             ) => {}
             other => panic!("unexpected ops {other:?}"),
         }

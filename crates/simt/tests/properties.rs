@@ -145,7 +145,15 @@ proptest! {
             shared_words_per_block: 0,
             queue: Vec::new(),
         }, &cfg).unwrap();
-        prop_assert!(dynamic <= static_worst + 50, "dyn {dynamic} vs static {static_worst}");
+        // Dynamic distribution pays a counter-fetch (DRAM tx + memory
+        // round-trip) per queue pull that the static split does not; in the
+        // worst case every pull lands on the critical-path warp.
+        let pulls = (n_heavy + n_light) as u64;
+        let fetch_slack = pulls * (cfg.mem_latency + cfg.dram_cycles_per_transaction);
+        prop_assert!(
+            dynamic <= static_worst + fetch_slack + 50,
+            "dyn {dynamic} vs static {static_worst} (+{fetch_slack} fetch slack)"
+        );
     }
 
     #[test]
@@ -163,7 +171,7 @@ proptest! {
                 let mut ops = Vec::new();
                 for (p, lens) in seed_ops.iter().enumerate() {
                     let len = lens[(w as usize + p) % lens.len()] as usize;
-                    ops.extend(std::iter::repeat(Op::Alu { active: 32 }).take(len));
+                    ops.extend(std::iter::repeat_n(Op::Alu { active: 32 }, len));
                     ops.push(Op::Bar);
                 }
                 WarpTrace { ops }
@@ -206,8 +214,8 @@ proptest! {
             });
         }).unwrap();
         let host = gpu.mem.download(p);
-        for lane in 0..32 {
-            prop_assert_eq!(host[lane], if mask.get(lane) { 7 } else { 0 });
+        for (lane, &v) in host.iter().enumerate().take(32) {
+            prop_assert_eq!(v, if mask.get(lane) { 7 } else { 0 });
         }
     }
 

@@ -66,5 +66,8 @@ fn main() {
     let dg = DeviceGraph::upload(&mut gpu, &grid);
     let bfs = run_bfs(&mut gpu, &dg, depot, method, &exec).unwrap();
     assert_eq!(bfs.levels[far as usize], 159 + 159);
-    println!("hop distance check passed: {} hops", bfs.levels[far as usize]);
+    println!(
+        "hop distance check passed: {} hops",
+        bfs.levels[far as usize]
+    );
 }

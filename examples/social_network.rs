@@ -25,9 +25,11 @@ fn main() {
     //     tune for their graph. ---
     println!("\nBFS warp-size sweep:");
     let mut best = (Method::Baseline, u64::MAX);
-    for method in std::iter::once(Method::Baseline)
-        .chain(VirtualWarp::PAPER_SWEEP.iter().map(|vw| Method::warp(vw.k())))
-    {
+    for method in std::iter::once(Method::Baseline).chain(
+        VirtualWarp::PAPER_SWEEP
+            .iter()
+            .map(|vw| Method::warp(vw.k())),
+    ) {
         let mut gpu = Gpu::new(GpuConfig::fermi_c2050());
         let dg = DeviceGraph::upload(&mut gpu, &graph);
         let out = run_bfs(&mut gpu, &dg, src, method, &exec).unwrap();
@@ -71,6 +73,11 @@ fn main() {
         pr.run.cycles()
     );
     for (v, r) in ranked.iter().take(5) {
-        println!("  member {:>6}: rank {:.5} (degree {})", v, r, graph.degree(*v));
+        println!(
+            "  member {:>6}: rank {:.5} (degree {})",
+            v,
+            r,
+            graph.degree(*v)
+        );
     }
 }

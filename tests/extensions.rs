@@ -7,8 +7,7 @@ use maxwarp::{
 };
 use maxwarp_cpu::{bfs_hybrid, HybridConfig};
 use maxwarp_graph::{
-    apply_permutation, count_triangles, random_permutation, reference, Dataset, Orientation,
-    Scale,
+    apply_permutation, count_triangles, random_permutation, reference, Dataset, Orientation, Scale,
 };
 use maxwarp_simt::{Gpu, GpuConfig};
 
@@ -110,12 +109,17 @@ fn betweenness_agrees_with_reference_cross_crate() {
     let want = reference::betweenness(&g, &sources);
     let mut gpu = Gpu::new(GpuConfig::tiny_test());
     let dg = DeviceGraph::upload(&mut gpu, &g);
-    let out =
-        run_betweenness(&mut gpu, &dg, &sources, Method::warp(16), &ExecConfig::default())
-            .unwrap();
-    for v in 0..g.num_vertices() as usize {
-        let err = (out.bc[v] as f64 - want[v]).abs() / want[v].abs().max(1.0);
-        assert!(err < 1e-3, "vertex {v}: {} vs {}", out.bc[v], want[v]);
+    let out = run_betweenness(
+        &mut gpu,
+        &dg,
+        &sources,
+        Method::warp(16),
+        &ExecConfig::default(),
+    )
+    .unwrap();
+    for (v, w) in want.iter().enumerate() {
+        let err = (out.bc[v] as f64 - w).abs() / w.abs().max(1.0);
+        assert!(err < 1e-3, "vertex {v}: {} vs {}", out.bc[v], w);
     }
 }
 
@@ -142,7 +146,7 @@ fn bfs_levels_invariant_under_relabeling_on_device() {
     )
     .unwrap();
 
-    for v in 0..g.num_vertices() as usize {
-        assert_eq!(a.levels[v], b.levels[perm[v] as usize], "vertex {v}");
+    for (v, &p) in perm.iter().enumerate() {
+        assert_eq!(a.levels[v], b.levels[p as usize], "vertex {v}");
     }
 }

@@ -11,7 +11,12 @@ const METHODS: [u32; 3] = [1, 8, 32];
 
 #[test]
 fn sssp_three_way_agreement() {
-    for d in [Dataset::Random, Dataset::Rmat, Dataset::RoadNet, Dataset::WikiTalkLike] {
+    for d in [
+        Dataset::Random,
+        Dataset::Rmat,
+        Dataset::RoadNet,
+        Dataset::WikiTalkLike,
+    ] {
         let g = d.build(Scale::Tiny);
         let w = random_weights(&g, 12, 99);
         let src = d.source(&g);
@@ -20,8 +25,8 @@ fn sssp_three_way_agreement() {
         for k in METHODS {
             let mut gpu = Gpu::new(GpuConfig::tiny_test());
             let dg = DeviceGraph::upload_weighted(&mut gpu, &g, &w);
-            let out = run_sssp(&mut gpu, &dg, src, Method::warp(k), &ExecConfig::default())
-                .unwrap();
+            let out =
+                run_sssp(&mut gpu, &dg, src, Method::warp(k), &ExecConfig::default()).unwrap();
             assert_eq!(out.dist, want, "{}: vw{}", d.name(), k);
         }
     }
@@ -82,7 +87,11 @@ fn cc_on_symmetrized_directed_graphs() {
 
 #[test]
 fn pagerank_three_way_agreement() {
-    for d in [Dataset::Random, Dataset::LiveJournalLike, Dataset::PatentsLike] {
+    for d in [
+        Dataset::Random,
+        Dataset::LiveJournalLike,
+        Dataset::PatentsLike,
+    ] {
         let g = d.build(Scale::Tiny);
         let cpu = pagerank_push(&g, 12, 0.85);
         let cpu_f64 = reference::pagerank(&g, 12, 0.85);
@@ -92,9 +101,15 @@ fn pagerank_three_way_agreement() {
         for k in METHODS {
             let mut gpu = Gpu::new(GpuConfig::tiny_test());
             let dg = DeviceGraph::upload(&mut gpu, &g);
-            let out =
-                run_pagerank(&mut gpu, &dg, 12, 0.85, Method::warp(k), &ExecConfig::default())
-                    .unwrap();
+            let out = run_pagerank(
+                &mut gpu,
+                &dg,
+                12,
+                0.85,
+                Method::warp(k),
+                &ExecConfig::default(),
+            )
+            .unwrap();
             let err = rank_linf(&out.ranks, &cpu);
             assert!(err < 1e-4, "{}: vw{} linf={}", d.name(), k, err);
         }

@@ -13,7 +13,9 @@ fn every_method() -> Vec<Method> {
         ms.push(Method::WarpCentric(
             WarpCentricOpts::plain(vw).with_dynamic(),
         ));
-        ms.push(Method::WarpCentric(WarpCentricOpts::plain(vw).with_defer(48)));
+        ms.push(Method::WarpCentric(
+            WarpCentricOpts::plain(vw).with_defer(48),
+        ));
         ms.push(Method::WarpCentric(
             WarpCentricOpts::plain(vw).with_dynamic().with_defer(48),
         ));
@@ -95,7 +97,10 @@ fn exec_config_variants_are_correct() {
             let mut gpu = Gpu::new(GpuConfig::tiny_test());
             let dg = DeviceGraph::upload(&mut gpu, &g);
             let out = run_bfs(&mut gpu, &dg, src, Method::warp(4), &exec).unwrap();
-            assert_eq!(out.levels, want, "block={block_threads} chunk={chunk_vertices}");
+            assert_eq!(
+                out.levels, want,
+                "block={block_threads} chunk={chunk_vertices}"
+            );
         }
     }
 }
@@ -127,7 +132,10 @@ fn levels_are_structurally_valid() {
     for (u, v) in g.edges() {
         let (lu, lv) = (out.levels[u as usize], out.levels[v as usize]);
         if lu != u32::MAX {
-            assert!(lv != u32::MAX, "reached vertex {u} has unreached neighbor {v}");
+            assert!(
+                lv != u32::MAX,
+                "reached vertex {u} has unreached neighbor {v}"
+            );
             assert!(lv <= lu + 1, "edge ({u},{v}) skips levels: {lu} -> {lv}");
         }
     }

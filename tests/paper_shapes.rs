@@ -55,7 +55,10 @@ fn road_graph_win_is_small_and_large_k_hurts() {
     );
     // K=32 on a degree-<=4 mesh wastes 28+ lanes: it must lose to baseline.
     let k32 = bfs(&road, road_src, Method::warp(32)).run.cycles();
-    assert!(k32 > road_base, "vw32 {k32} should lose to baseline {road_base} on a mesh");
+    assert!(
+        k32 > road_base,
+        "vw32 {k32} should lose to baseline {road_base} on a mesh"
+    );
 }
 
 /// F3: the optimal K grows with degree variance — large for hub graphs,
@@ -124,7 +127,10 @@ fn techniques_are_cheap_on_uniform_graphs() {
     .run
     .cycles();
     let overhead = both as f64 / plain as f64;
-    assert!(overhead < 1.15, "technique overhead {overhead:.2} on uniform graph");
+    assert!(
+        overhead < 1.15,
+        "technique overhead {overhead:.2} on uniform graph"
+    );
 }
 
 /// F7: memory gathering reduces total DRAM transactions on graphs dense

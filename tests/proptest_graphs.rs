@@ -1,7 +1,9 @@
 //! Property-based tests spanning the workspace: arbitrary graphs in, core
 //! invariants out.
 
-use maxwarp::{run_bfs, run_bfs_queue, run_cc, run_coloring, run_msbfs, DeviceGraph, ExecConfig, Method};
+use maxwarp::{
+    run_bfs, run_bfs_queue, run_cc, run_coloring, run_msbfs, DeviceGraph, ExecConfig, Method,
+};
 use maxwarp_graph::{decode_csr, encode_csr, reference, Csr};
 use maxwarp_simt::{Gpu, GpuConfig};
 use proptest::prelude::*;

@@ -1,0 +1,154 @@
+//! Offline stand-in for `criterion`.
+//!
+//! API-compatible with the subset the workspace's bench targets use, but
+//! instead of statistical sampling it runs each routine a handful of times
+//! and prints the median wall-clock time. Good enough to keep `cargo bench`
+//! working (and the bench targets compiling) without the real dependency.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const RUNS: usize = 5;
+
+/// Benchmark driver. One per `criterion_group!`-generated function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.as_ref();
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+        };
+        let mut times = Vec::with_capacity(RUNS);
+        for _ in 0..RUNS {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            times.push(b.elapsed);
+        }
+        times.sort();
+        println!("bench {:<40} median {:?}", id, times[times.len() / 2]);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { parent: self }
+    }
+}
+
+/// A named collection of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sampling-count hint; ignored by this stub.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        self.parent.bench_function(id, f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// How much setup output to batch per timing run; irrelevant here since
+/// the stub times each routine call individually.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Times routines handed to it by a benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` (setup-free).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+    }
+
+    /// Time `routine` on a fresh `setup()` output; setup is untimed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Bundle benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut hits = 0u32;
+        Criterion::default().bench_function("t", |b| b.iter(|| hits += 1));
+        assert!(hits >= RUNS as u32);
+    }
+
+    #[test]
+    fn group_and_batched_compile_and_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u32; 8],
+                |v| v.iter().sum::<u32>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,119 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the `crossbeam::scope` API (the only part this workspace uses)
+//! implemented on top of `std::thread::scope`, which has offered the same
+//! borrow-the-stack guarantee since Rust 1.63. The shim keeps crossbeam's
+//! calling convention: spawned closures receive a [`thread::Scope`]
+//! argument, handles return [`thread::Result`], and `scope` itself returns
+//! `Err` when a spawned thread panicked without being joined.
+
+pub use thread::scope;
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of joining a scoped thread (the payload is the panic value).
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// Handle to spawn further threads within a scope. Mirrors
+    /// `crossbeam_utils::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread and return its result (`Err` on panic).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread scoped to `'env` borrows. The closure receives
+        /// this scope so workers can spawn further workers.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing threads can be spawned; all
+    /// are joined before this returns. A panic escaping the scope (an
+    /// unjoined panicking thread, or a panic in `f`) is returned as `Err`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn workers_borrow_the_stack() {
+        let data: Vec<u32> = (0..100).collect();
+        let total = AtomicU32::new(0);
+        super::scope(|s| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(30) {
+                let total = &total;
+                handles.push(s.spawn(move |_| {
+                    total.fetch_add(chunk.iter().sum::<u32>(), Ordering::Relaxed);
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+        .unwrap();
+        assert_eq!(total.into_inner(), (0..100).sum::<u32>());
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let out = super::scope(|s| {
+            let h = s.spawn(|_| 40 + 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn panic_in_worker_is_err_on_join() {
+        super::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            assert!(h.join().is_err());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let out = super::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+    }
+}

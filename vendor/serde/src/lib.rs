@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes `Serialize`/`Deserialize` as marker traits together with no-op
+//! derive macros of the same names, which is all this workspace needs: the
+//! types are annotated for future serialization but no format crate
+//! (serde_json etc.) is in the dependency tree.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
