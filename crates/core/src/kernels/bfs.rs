@@ -368,4 +368,37 @@ mod tests {
             base.run.stats.tx_per_mem_instruction()
         );
     }
+
+    /// The warp-hazard sanitizer is observational: a fig2-style BFS run with
+    /// it enabled must report the exact same levels, per-launch stats, and
+    /// cycle counts as a plain run — for every method.
+    #[test]
+    fn sanitized_runs_report_identical_stats() {
+        let g = Dataset::Rmat.build(Scale::Tiny);
+        let src = Dataset::Rmat.source(&g);
+        for method in all_methods() {
+            let run = |sanitize: bool| {
+                let mut cfg = GpuConfig::fermi_c2050();
+                cfg.sanitize = sanitize;
+                let mut gpu = Gpu::new(cfg);
+                let dg = DeviceGraph::upload(&mut gpu, &g);
+                run_bfs(&mut gpu, &dg, src, method, &ExecConfig::default()).unwrap()
+            };
+            let plain = run(false);
+            let sanitized = run(true);
+            assert_eq!(
+                plain.levels,
+                sanitized.levels,
+                "{}: results differ",
+                method.label()
+            );
+            assert_eq!(
+                plain.run.stats,
+                sanitized.run.stats,
+                "{}: KernelStats differ under the sanitizer",
+                method.label()
+            );
+            assert_eq!(plain.run.iterations, sanitized.run.iterations);
+        }
+    }
 }

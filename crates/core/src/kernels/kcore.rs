@@ -97,6 +97,9 @@ pub fn run_kcore(
         changed: gpu.mem.alloc::<u32>(1),
     };
     gpu.mem.fill(st.core, PENDING);
+    // Real cudaMalloc memory is uninitialized; the peel loop reads
+    // `pending` before the first mark kernel writes it.
+    gpu.mem.fill(st.pending, 0u32);
 
     let mut run = AlgoRun::default();
     let mut k = 0u32;

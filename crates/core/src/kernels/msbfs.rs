@@ -132,6 +132,10 @@ pub fn run_msbfs(
         changed: gpu.mem.alloc::<u32>(1),
     };
     gpu.mem.fill(st.disc, INF);
+    // Real cudaMalloc memory is uninitialized; `seen`/`frontier` are read
+    // (host-side below, device-side in the first level) before any store.
+    gpu.mem.fill(st.seen, 0u32);
+    gpu.mem.fill(st.frontier, 0u32);
     for (s, &v) in sources.iter().enumerate() {
         assert!(v < n, "source {v} out of range for n={n}");
         let bit = 1u32 << s;

@@ -52,6 +52,10 @@ pub struct GpuConfig {
     /// Instructions the SM can issue per cycle. The model issues from one
     /// warp per slot (round-robin among ready warps).
     pub issue_width: u32,
+    /// Enable the warp-hazard sanitizer (racecheck/memcheck shadow state).
+    /// Also switched on by `MAXWARP_SANITIZE=1` in the environment. Purely
+    /// observational: results and `KernelStats` are identical either way.
+    pub sanitize: bool,
 }
 
 impl GpuConfig {
@@ -77,6 +81,7 @@ impl GpuConfig {
             l2_ways: 8,
             l2_hit_latency: 120,
             issue_width: 1,
+            sanitize: false,
         }
     }
 
@@ -103,6 +108,7 @@ impl GpuConfig {
             l2_ways: 4,
             l2_hit_latency: 90,
             issue_width: 1,
+            sanitize: false,
         }
     }
 
@@ -127,6 +133,7 @@ impl GpuConfig {
             l2_ways: 2,
             l2_hit_latency: 10,
             issue_width: 1,
+            sanitize: false,
         }
     }
 

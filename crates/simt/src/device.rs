@@ -5,11 +5,12 @@ use crate::config::GpuConfig;
 use crate::kernel::{BlockCtx, Kernel};
 use crate::lanes::WARP_SIZE;
 use crate::mem::DeviceMem;
+use crate::sanitize::{BlockShadow, Sanitizer};
 use crate::shared::SharedMem;
 use crate::stats::KernelStats;
 use crate::timing::{self, TimingError, TimingInput};
 use crate::trace::{KernelTrace, Op, WarpTrace};
-use crate::warp::{WarpCtx, WarpId};
+use crate::warp::{SanScope, WarpCtx, WarpId};
 
 /// Launch-time errors (the simulator's `cudaGetLastError`).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -84,14 +85,37 @@ pub struct Gpu {
     pub cfg: GpuConfig,
     /// Global device memory.
     pub mem: DeviceMem,
+    /// Warp-hazard sanitizer shadow state, present when `cfg.sanitize` (or
+    /// `MAXWARP_SANITIZE=1`) turned checking on at construction.
+    san: Option<Box<Sanitizer>>,
 }
 
 impl Gpu {
-    /// A device with the given configuration and empty memory.
-    pub fn new(cfg: GpuConfig) -> Self {
+    /// A device with the given configuration and empty memory. Setting the
+    /// environment variable `MAXWARP_SANITIZE=1` forces the sanitizer on
+    /// regardless of `cfg.sanitize`.
+    pub fn new(mut cfg: GpuConfig) -> Self {
+        if std::env::var("MAXWARP_SANITIZE").is_ok_and(|v| v == "1") {
+            cfg.sanitize = true;
+        }
+        let san = cfg.sanitize.then(|| Box::new(Sanitizer::new()));
         Gpu {
             cfg,
             mem: DeviceMem::new(),
+            san,
+        }
+    }
+
+    /// The sanitizer's accumulated diagnostics, if sanitizing.
+    pub fn sanitizer(&self) -> Option<&Sanitizer> {
+        self.san.as_deref()
+    }
+
+    /// Label subsequent launches with a kernel name for sanitizer reports.
+    /// No-op when the sanitizer is off.
+    pub fn set_sanitize_context(&mut self, name: &str) {
+        if let Some(san) = &mut self.san {
+            san.set_context(name);
         }
     }
 
@@ -114,6 +138,10 @@ impl Gpu {
         };
         let mut cache =
             CacheModel::new(self.cfg.l2_lines, self.cfg.l2_ways, self.cfg.segment_bytes);
+        let mut san = self.san.take();
+        if let Some(s) = &mut san {
+            s.begin_launch(self.mem.allocated_words());
+        }
         for b in 0..grid_blocks {
             let mut ctx = BlockCtx::new(
                 &mut self.mem,
@@ -122,12 +150,17 @@ impl Gpu {
                 b,
                 grid_blocks,
                 warps_per_block,
+                san.as_deref_mut(),
             );
             kernel.run_block(&mut ctx);
             let (bt, shared_used) = ctx.into_trace();
             trace.shared_words_per_block = trace.shared_words_per_block.max(shared_used);
             trace.blocks.push(bt);
         }
+        if let Some(s) = &mut san {
+            s.finish_launch();
+        }
+        self.san = san;
 
         let mut stats = KernelStats::from_trace(&trace);
         stats.cycles = timing::time_kernel_trace(&trace, &self.cfg)?;
@@ -158,6 +191,10 @@ impl Gpu {
         // scratch (warp-private), sized by the per-SM budget.
         let mut cache =
             CacheModel::new(self.cfg.l2_lines, self.cfg.l2_ways, self.cfg.segment_bytes);
+        let mut san = self.san.take();
+        if let Some(s) = &mut san {
+            s.begin_launch(self.mem.allocated_words());
+        }
         let mut tasks: Vec<WarpTrace> = Vec::with_capacity(num_tasks as usize);
         for task in 0..num_tasks {
             let mut wt = WarpTrace::new();
@@ -176,17 +213,29 @@ impl Gpu {
                 warps_per_block: 1,
                 num_blocks: num_tasks.max(1),
             };
-            let mut ctx = WarpCtx::new(
+            // Each task's shared scratch is warp-private, so a fresh shadow
+            // per task is the right race-detection scope.
+            let mut shadow = BlockShadow::default();
+            let scope = san.as_deref_mut().map(|san| SanScope {
+                san,
+                shadow: &mut shadow,
+            });
+            let mut ctx = WarpCtx::new_sanitized(
                 &mut self.mem,
                 &mut shared,
                 &mut wt,
                 &mut cache,
                 &self.cfg,
                 id,
+                scope,
             );
             f(&mut ctx, task);
             tasks.push(wt);
         }
+        if let Some(s) = &mut san {
+            s.finish_launch();
+        }
+        self.san = san;
 
         // Timing phase: build per-warp streams (static) or a queue (dynamic).
         let n_blocks = grid_blocks.max(1);

@@ -12,9 +12,10 @@ use crate::cache::CacheModel;
 use crate::config::GpuConfig;
 use crate::lanes::{DeviceWord, WARP_SIZE};
 use crate::mem::DeviceMem;
+use crate::sanitize::{BlockShadow, Sanitizer};
 use crate::shared::{SharedMem, SharedPtr};
 use crate::trace::{BlockTrace, Op, WarpTrace};
-use crate::warp::{WarpCtx, WarpId};
+use crate::warp::{SanScope, WarpCtx, WarpId};
 
 /// A device kernel: the code one thread block runs.
 pub trait Kernel {
@@ -38,6 +39,8 @@ pub struct BlockCtx<'a> {
     block_id: u32,
     num_blocks: u32,
     warps_per_block: u32,
+    san: Option<&'a mut Sanitizer>,
+    shadow: BlockShadow,
 }
 
 impl<'a> BlockCtx<'a> {
@@ -48,6 +51,7 @@ impl<'a> BlockCtx<'a> {
         block_id: u32,
         num_blocks: u32,
         warps_per_block: u32,
+        san: Option<&'a mut Sanitizer>,
     ) -> Self {
         BlockCtx {
             mem,
@@ -60,6 +64,8 @@ impl<'a> BlockCtx<'a> {
             block_id,
             num_blocks,
             warps_per_block,
+            san,
+            shadow: BlockShadow::default(),
         }
     }
 
@@ -107,13 +113,18 @@ impl<'a> BlockCtx<'a> {
                 warps_per_block: self.warps_per_block,
                 num_blocks: self.num_blocks,
             };
-            let mut ctx = WarpCtx::new(
+            let scope = self.san.as_deref_mut().map(|san| SanScope {
+                san,
+                shadow: &mut self.shadow,
+            });
+            let mut ctx = WarpCtx::new_sanitized(
                 self.mem,
                 &mut self.shared,
                 &mut self.trace.warps[w as usize],
                 self.cache,
                 self.cfg,
                 id,
+                scope,
             );
             f(&mut ctx);
         }
@@ -124,6 +135,7 @@ impl<'a> BlockCtx<'a> {
         for w in &mut self.trace.warps {
             w.ops.push(Op::Bar);
         }
+        self.shadow.advance_epoch();
     }
 
     /// Shared-memory words this block has allocated so far.
@@ -148,7 +160,7 @@ mod tests {
         let mut mem = DeviceMem::new();
         let cfg = GpuConfig::tiny_test();
         let mut cache = CacheModel::new(0, 1, 128);
-        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 3, 5, 4);
+        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 3, 5, 4, None);
         let mut seen = Vec::new();
         block.phase(|w| seen.push((w.id().block, w.id().warp_in_block)));
         assert_eq!(seen, vec![(3, 0), (3, 1), (3, 2), (3, 3)]);
@@ -159,7 +171,7 @@ mod tests {
         let mut mem = DeviceMem::new();
         let cfg = GpuConfig::tiny_test();
         let mut cache = CacheModel::new(0, 1, 128);
-        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 0, 1, 2);
+        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 0, 1, 2, None);
         block.phase(|w| w.alu_nop(Mask::FULL));
         block.barrier();
         let (trace, _) = block.into_trace();
@@ -174,7 +186,7 @@ mod tests {
         let mut mem = DeviceMem::new();
         let cfg = GpuConfig::tiny_test();
         let mut cache = CacheModel::new(0, 1, 128);
-        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 0, 1, 2);
+        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 0, 1, 2, None);
         let sp = block.shared_alloc::<u32>(64);
         block.phase(|w| {
             if w.id().warp_in_block == 0 {
@@ -199,7 +211,7 @@ mod tests {
         let mut mem = DeviceMem::new();
         let cfg = GpuConfig::tiny_test();
         let mut cache = CacheModel::new(0, 1, 128);
-        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 0, 1, 1);
+        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 0, 1, 1, None);
         k.run_block(&mut block);
         let (trace, used) = block.into_trace();
         assert_eq!(trace.warps[0].ops.len(), 1);
@@ -212,7 +224,7 @@ mod tests {
         let p = mem.alloc::<u32>(64);
         let cfg = GpuConfig::tiny_test();
         let mut cache = CacheModel::new(0, 1, 128);
-        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 0, 1, 2);
+        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 0, 1, 2, None);
         block.phase(|w| {
             let ids = w.global_thread_ids();
             w.st(Mask::FULL, p, &ids, &ids);

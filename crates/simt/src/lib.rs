@@ -58,6 +58,7 @@ pub mod kernel;
 pub mod lanes;
 pub mod mask;
 pub mod mem;
+pub mod sanitize;
 pub mod shared;
 pub mod stats;
 pub mod timing;
@@ -71,6 +72,7 @@ pub use kernel::{BlockCtx, Kernel};
 pub use lanes::{DeviceWord, Lanes, LOG_WARP_SIZE, WARP_SIZE};
 pub use mask::Mask;
 pub use mem::{DevPtr, DeviceMem};
+pub use sanitize::{DiagKind, Diagnostic, Sanitizer, Severity};
 pub use shared::{SharedMem, SharedPtr};
 pub use stats::KernelStats;
 pub use timing::{TimingError, TimingInput};

@@ -57,6 +57,12 @@ impl<T: DeviceWord> DevPtr<T> {
         (self.word as u64 + idx as u64) * 4
     }
 
+    /// First word of the allocation (for shadow-state indexing).
+    #[inline]
+    pub(crate) fn base(&self) -> u32 {
+        self.word
+    }
+
     /// Word offset of element `idx` within the device array.
     #[inline]
     pub(crate) fn word_of(&self, idx: u32) -> usize {
@@ -89,6 +95,12 @@ pub struct DeviceMem {
     words: Vec<u32>,
     /// High-water mark of the bump allocator, in words.
     top: u32,
+    /// Valid-bit shadow, one bit per word: set once the word has been
+    /// written (host upload/fill/write or any device store/atomic). The
+    /// simulator zero-initializes allocations for determinism, but real
+    /// `cudaMalloc` does not — the sanitizer's uninitialized-read check
+    /// reads this shadow.
+    valid: Vec<u64>,
 }
 
 impl DeviceMem {
@@ -106,6 +118,7 @@ impl DeviceMem {
             .checked_add(padded.max(ALLOC_ALIGN_WORDS))
             .expect("device memory address space exhausted");
         self.words.resize(self.top as usize, 0);
+        self.valid.resize((self.top as usize).div_ceil(64), 0);
         DevPtr {
             word,
             len,
@@ -131,6 +144,7 @@ impl DeviceMem {
         for (i, v) in data.iter().enumerate() {
             self.words[ptr.word as usize + i] = v.to_word();
         }
+        self.mark_valid_range(ptr.word, data.len() as u32);
     }
 
     /// Copy an allocation back to the host.
@@ -151,6 +165,7 @@ impl DeviceMem {
     pub fn write<T: DeviceWord>(&mut self, ptr: DevPtr<T>, idx: u32, v: T) {
         let w = ptr.word_of(idx);
         self.words[w] = v.to_word();
+        self.mark_word_valid(w as u32);
     }
 
     /// Fill an entire allocation with a value.
@@ -158,6 +173,29 @@ impl DeviceMem {
         let w = v.to_word();
         let start = ptr.word as usize;
         self.words[start..start + ptr.len as usize].fill(w);
+        self.mark_valid_range(ptr.word, ptr.len);
+    }
+
+    /// True if word `w` has been written since allocation.
+    #[inline]
+    pub(crate) fn word_valid(&self, w: u32) -> bool {
+        self.valid
+            .get(w as usize / 64)
+            .is_some_and(|&bits| bits >> (w % 64) & 1 == 1)
+    }
+
+    /// Mark word `w` as initialized.
+    #[inline]
+    pub(crate) fn mark_word_valid(&mut self, w: u32) {
+        if let Some(bits) = self.valid.get_mut(w as usize / 64) {
+            *bits |= 1 << (w % 64);
+        }
+    }
+
+    fn mark_valid_range(&mut self, start: u32, len: u32) {
+        for w in start..start + len {
+            self.mark_word_valid(w);
+        }
     }
 
     /// Total allocated words (high-water mark).
@@ -169,6 +207,7 @@ impl DeviceMem {
     /// only used between independent experiments.
     pub fn reset(&mut self) {
         self.words.clear();
+        self.valid.clear();
         self.top = 0;
     }
 }
@@ -239,6 +278,22 @@ mod tests {
         let mut m = DeviceMem::new();
         let p = m.alloc::<u32>(4);
         let _ = m.read(p, 4);
+    }
+
+    #[test]
+    fn valid_bits_track_writes() {
+        let mut m = DeviceMem::new();
+        let p = m.alloc::<u32>(5);
+        assert!(!m.word_valid(p.base()));
+        m.write(p, 0, 7u32);
+        assert!(m.word_valid(p.base()));
+        assert!(!m.word_valid(p.base() + 1));
+        m.fill(p, 0u32);
+        assert!((0..5).all(|i| m.word_valid(p.base() + i)));
+        let q = m.alloc_from(&[1u32, 2]);
+        assert!(m.word_valid(q.base()) && m.word_valid(q.base() + 1));
+        m.reset();
+        assert!(!m.word_valid(p.base()));
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Structured sanitizer diagnostics.
+//!
+//! Every hazard the sanitizer detects becomes a [`Diagnostic`]: what went
+//! wrong ([`DiagKind`]), how bad it is ([`Severity`]), where in the launch
+//! it happened (kernel context, launch index, block/warp/lane), and where in
+//! the *source* the offending operation lives (the `#[track_caller]` call
+//! site of the `WarpCtx` method). Diagnostics deduplicate on
+//! `(kind, call site)` — a racy store in a loop produces one diagnostic with
+//! an occurrence count, not millions.
+
+use std::panic::Location;
+
+/// How serious a finding is.
+///
+/// `Error` findings are undefined behavior on real CUDA hardware (races with
+/// observable divergence, reads of undefined data, illegal addresses) and
+/// fail `tool_sanitize`. `Warning` findings are either benign-by-construction
+/// patterns that deserve a look (same-value racy stores, cross-block
+/// read/write overlap of monotone updates) or performance lints; they are
+/// reported but do not fail the build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but tolerated; reported, does not fail `tool_sanitize`.
+    Warning,
+    /// Undefined on real hardware; fails `tool_sanitize`.
+    Error,
+}
+
+/// The hazard classes the sanitizer distinguishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DiagKind {
+    /// Conflicting same-word shared-memory accesses from different warps of
+    /// a block with no `barrier()` between them.
+    SharedRace,
+    /// Conflicting non-atomic global writes of *different* values from
+    /// agents with no ordering between them in this launch.
+    GlobalRace,
+    /// A non-atomic read and a write (or atomic) touch the same global word
+    /// from unordered agents. Common benign shape: level-synchronous
+    /// kernels re-reading monotone state; hence a warning.
+    ReadWriteOverlap,
+    /// The same global word is updated both atomically and with a plain
+    /// store in one launch — the plain store can be lost on real hardware.
+    MixedAtomic,
+    /// `shfl`/`shfl_bcast`/`seg_bcast` reading a source lane outside the
+    /// active mask (CUDA returns undefined data).
+    DivergentShfl,
+    /// A warp collective (`ballot`/`any`/`all`/reductions/scans) executed
+    /// under an empty active mask.
+    EmptyMaskCollective,
+    /// Read of memory never written since allocation (valid-bit shadow).
+    UninitRead,
+    /// Access outside the bounds of an allocation.
+    OutOfBounds,
+    /// Lanes of one warp store different values to the same address in one
+    /// instruction (the simulator deterministically lets the highest lane
+    /// win; CUDA leaves the winner undefined).
+    StoreCollision,
+    /// Perf lint: shared-memory access serialized into more than 4 bank
+    /// passes.
+    BankConflictLint,
+    /// Perf lint: a global-memory op site with coalescing efficiency below
+    /// 25% (ideal vs actual transactions).
+    CoalescingLint,
+}
+
+impl DiagKind {
+    /// Short kebab-case label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DiagKind::SharedRace => "shared-race",
+            DiagKind::GlobalRace => "global-race",
+            DiagKind::ReadWriteOverlap => "read-write-overlap",
+            DiagKind::MixedAtomic => "mixed-atomic",
+            DiagKind::DivergentShfl => "divergent-shfl",
+            DiagKind::EmptyMaskCollective => "empty-mask-collective",
+            DiagKind::UninitRead => "uninit-read",
+            DiagKind::OutOfBounds => "out-of-bounds",
+            DiagKind::StoreCollision => "store-collision",
+            DiagKind::BankConflictLint => "bank-conflict-lint",
+            DiagKind::CoalescingLint => "coalescing-lint",
+        }
+    }
+}
+
+/// One deduplicated sanitizer finding.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// Hazard class.
+    pub kind: DiagKind,
+    /// Kernel context label active when the finding first fired (set via
+    /// `Gpu::set_sanitize_context`; empty if never set).
+    pub kernel: String,
+    /// 1-based launch index (within the `Gpu`'s lifetime) of the first
+    /// occurrence.
+    pub launch: u32,
+    /// Block of the first occurrence (task index for warp-task launches).
+    pub block: u32,
+    /// Warp-in-block of the first occurrence.
+    pub warp: u32,
+    /// Faulting lane of the first occurrence, when lane-attributable.
+    pub lane: Option<u32>,
+    /// `WarpCtx` method that detected the hazard (`"ld"`, `"st"`, ...).
+    pub op: &'static str,
+    /// Source location of the offending call (`#[track_caller]`).
+    pub site: &'static Location<'static>,
+    /// Human-readable description of the first occurrence.
+    pub message: String,
+    /// Occurrences folded into this diagnostic.
+    pub count: u64,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "ERROR",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{sev} [{}] {}", self.kind.label(), self.message)?;
+        write!(f, "\n    at {} (op `{}`)", self.site, self.op)?;
+        write!(f, "\n    first: ")?;
+        if !self.kernel.is_empty() {
+            write!(f, "kernel `{}` ", self.kernel)?;
+        }
+        write!(
+            f,
+            "launch {} block {} warp {}",
+            self.launch, self.block, self.warp
+        )?;
+        if let Some(l) = self.lane {
+            write!(f, " lane {l}")?;
+        }
+        if self.count > 1 {
+            write!(f, "\n    occurrences: {}", self.count)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_error_above_warning() {
+        assert!(Severity::Error > Severity::Warning);
+    }
+
+    #[test]
+    fn display_includes_attribution() {
+        let d = Diagnostic {
+            severity: Severity::Error,
+            kind: DiagKind::SharedRace,
+            kernel: "bfs".to_string(),
+            launch: 3,
+            block: 1,
+            warp: 2,
+            lane: Some(7),
+            op: "sh_st",
+            site: Location::caller(),
+            message: "conflicting access".to_string(),
+            count: 42,
+        };
+        let s = d.to_string();
+        assert!(s.contains("ERROR"));
+        assert!(s.contains("shared-race"));
+        assert!(s.contains("kernel `bfs`"));
+        assert!(s.contains("launch 3 block 1 warp 2 lane 7"));
+        assert!(s.contains("occurrences: 42"));
+        assert!(s.contains("diag.rs"));
+    }
+}

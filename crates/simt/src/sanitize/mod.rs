@@ -1,0 +1,886 @@
+//! Warp-hazard sanitizer: a racecheck/memcheck layer for the simulator.
+//!
+//! Enabled via [`GpuConfig::sanitize`](crate::GpuConfig) or the
+//! `MAXWARP_SANITIZE=1` environment variable, the sanitizer shadows every
+//! warp-level operation the functional executor routes through
+//! `WarpCtx`/`BlockCtx` and reports structured [`Diagnostic`]s instead of
+//! silently executing code that would be racy or undefined on real CUDA
+//! hardware. It checks:
+//!
+//! 1. **Shared-memory races** — conflicting same-word accesses from
+//!    different warps of a block with no intervening `barrier()`
+//!    (epoch-per-barrier shadow cells).
+//! 2. **Global-memory races** — non-atomic conflicting accesses to the same
+//!    device word from unordered agents within one launch, plus
+//!    atomic/non-atomic mixing.
+//! 3. **Divergence hazards** — `shfl`/`shfl_bcast`/`seg_bcast` whose source
+//!    lane is outside the active mask; collectives under an empty mask.
+//! 4. **Uninitialized reads** — valid-bit shadow for device and shared
+//!    memory.
+//! 5. **Out-of-bounds** — structured diagnostics (with block/warp/lane,
+//!    index, allocation length, bank) instead of bare panics.
+//!
+//! Plus two warn-only performance lints per static op site: bank-conflict
+//! cost > 4 and coalescing efficiency < 25%.
+//!
+//! The sanitizer is observational: it never changes kernel results, and its
+//! bookkeeping trace markers (`Op::San`) are excluded from statistics and
+//! timing, so a sanitized run reports byte-identical `KernelStats` to an
+//! unsanitized run.
+
+mod diag;
+mod shadow;
+
+pub use diag::{DiagKind, Diagnostic, Severity};
+pub use shadow::BlockShadow;
+pub(crate) use shadow::{Agent, GlobalCell};
+
+use crate::warp::WarpId;
+use std::collections::HashMap;
+use std::panic::Location;
+
+/// Cap on distinct diagnostics retained; further new sites are counted but
+/// dropped (`suppressed`).
+const MAX_DIAGS: usize = 1024;
+
+/// Minimum sampled ops before a coalescing lint can fire for a site.
+const COALESCE_MIN_OPS: u64 = 8;
+
+/// Per-site accumulator for the coalescing lint.
+#[derive(Clone, Copy, Debug)]
+struct CoalesceSite {
+    op: &'static str,
+    ops: u64,
+    /// Transactions actually issued.
+    actual: u64,
+    /// Minimum transactions a perfectly coalesced access pattern needs.
+    ideal: u64,
+    /// `(block, warp)` of the first sampled op, for attribution.
+    who: (u32, u32),
+}
+
+/// The shadow-state checker. One per [`Gpu`](crate::Gpu); accumulates
+/// deduplicated diagnostics across launches.
+#[derive(Debug, Default)]
+pub struct Sanitizer {
+    /// Kernel context label (set by the host between launches).
+    context: String,
+    /// 1-based launch counter.
+    launch: u32,
+    diags: Vec<Diagnostic>,
+    index: HashMap<(DiagKind, &'static Location<'static>), usize>,
+    /// Global-memory shadow for the current launch, one cell per word.
+    global: Vec<GlobalCell>,
+    /// Coalescing-lint accumulators for the current launch.
+    coalesce: HashMap<&'static Location<'static>, CoalesceSite>,
+    errors: u64,
+    warnings: u64,
+    /// Occurrences dropped after `MAX_DIAGS` distinct sites.
+    suppressed: u64,
+}
+
+impl Sanitizer {
+    /// Fresh sanitizer with no findings.
+    pub fn new() -> Self {
+        Sanitizer::default()
+    }
+
+    /// Label subsequent launches with a kernel/context name for reports.
+    pub fn set_context(&mut self, name: &str) {
+        self.context = name.to_string();
+    }
+
+    /// Begin a launch: reset per-launch shadow state. `words` is the device
+    /// heap size in words.
+    pub fn begin_launch(&mut self, words: u32) {
+        self.launch += 1;
+        self.global.clear();
+        self.global.resize(words as usize, GlobalCell::default());
+        self.coalesce.clear();
+    }
+
+    /// End a launch: flush per-site coalescing lints.
+    pub fn finish_launch(&mut self) {
+        let mut sites: Vec<(&'static Location<'static>, CoalesceSite)> =
+            self.coalesce.drain().collect();
+        sites.sort_by_key(|(loc, _)| (loc.file(), loc.line(), loc.column()));
+        let context = self.context.clone();
+        let launch = self.launch;
+        for (site, c) in sites {
+            if c.ops < COALESCE_MIN_OPS || c.actual == 0 {
+                continue;
+            }
+            let efficiency = c.ideal as f64 / c.actual as f64;
+            if efficiency < 0.25 {
+                self.record(
+                    Severity::Warning,
+                    DiagKind::CoalescingLint,
+                    &context,
+                    launch,
+                    c.who.0,
+                    c.who.1,
+                    None,
+                    c.op,
+                    site,
+                    format!(
+                        "coalescing efficiency {:.0}% over {} ops ({} transactions issued, \
+                         {} ideal)",
+                        efficiency * 100.0,
+                        c.ops,
+                        c.actual,
+                        c.ideal
+                    ),
+                );
+            }
+        }
+    }
+
+    /// True if any error-severity finding was recorded.
+    pub fn has_errors(&self) -> bool {
+        self.errors > 0
+    }
+
+    /// Total error-severity occurrences.
+    pub fn error_count(&self) -> u64 {
+        self.errors
+    }
+
+    /// Total warning-severity occurrences.
+    pub fn warning_count(&self) -> u64 {
+        self.warnings
+    }
+
+    /// True if nothing at all was recorded.
+    pub fn is_clean(&self) -> bool {
+        self.errors == 0 && self.warnings == 0
+    }
+
+    /// All deduplicated findings, in first-occurrence order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Human-readable report of all findings (errors first).
+    pub fn report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let mut ordered: Vec<&Diagnostic> = self.diags.iter().collect();
+        ordered.sort_by_key(|d| std::cmp::Reverse(d.severity));
+        for d in ordered {
+            let _ = writeln!(out, "{d}");
+        }
+        let _ = writeln!(
+            out,
+            "sanitizer: {} error(s), {} warning(s), {} distinct site(s){}",
+            self.errors,
+            self.warnings,
+            self.diags.len(),
+            if self.suppressed > 0 {
+                format!(", {} suppressed after cap", self.suppressed)
+            } else {
+                String::new()
+            }
+        );
+        out
+    }
+
+    /// Record one occurrence; returns 1 if a *new* diagnostic was created
+    /// (the caller pushes one `Op::San` trace marker per new diagnostic),
+    /// 0 if it folded into an existing one or was suppressed.
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &mut self,
+        severity: Severity,
+        kind: DiagKind,
+        kernel: &str,
+        launch: u32,
+        block: u32,
+        warp: u32,
+        lane: Option<u32>,
+        op: &'static str,
+        site: &'static Location<'static>,
+        message: String,
+    ) -> u32 {
+        match severity {
+            Severity::Error => self.errors += 1,
+            Severity::Warning => self.warnings += 1,
+        }
+        if let Some(&i) = self.index.get(&(kind, site)) {
+            self.diags[i].count += 1;
+            return 0;
+        }
+        if self.diags.len() >= MAX_DIAGS {
+            self.suppressed += 1;
+            return 0;
+        }
+        self.index.insert((kind, site), self.diags.len());
+        self.diags.push(Diagnostic {
+            severity,
+            kind,
+            kernel: kernel.to_string(),
+            launch,
+            block,
+            warp,
+            lane,
+            op,
+            site,
+            message,
+            count: 1,
+        });
+        1
+    }
+
+    /// Like [`record`] but fills kernel/launch from the sanitizer's own
+    /// state — the shape every hook uses.
+    #[allow(clippy::too_many_arguments)]
+    fn hit(
+        &mut self,
+        severity: Severity,
+        kind: DiagKind,
+        id: WarpId,
+        lane: Option<u32>,
+        op: &'static str,
+        site: &'static Location<'static>,
+        message: String,
+    ) -> u32 {
+        let context = std::mem::take(&mut self.context);
+        let n = self.record(
+            severity,
+            kind,
+            &context,
+            self.launch,
+            id.block,
+            id.warp_in_block,
+            lane,
+            op,
+            site,
+            message,
+        );
+        self.context = context;
+        n
+    }
+
+    // ---- hooks called from WarpCtx / BlockCtx -------------------------------
+
+    /// Out-of-bounds global access.
+    pub(crate) fn oob_global(
+        &mut self,
+        id: WarpId,
+        lane: u32,
+        idx: u32,
+        len: u32,
+        op: &'static str,
+        site: &'static Location<'static>,
+    ) -> u32 {
+        self.hit(
+            Severity::Error,
+            DiagKind::OutOfBounds,
+            id,
+            Some(lane),
+            op,
+            site,
+            format!(
+                "illegal device address: index {idx} out of bounds for allocation of {len} \
+                 (block {}, warp {}, lane {lane})",
+                id.block, id.warp_in_block
+            ),
+        )
+    }
+
+    /// Out-of-bounds shared-memory access.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn oob_shared(
+        &mut self,
+        id: WarpId,
+        lane: u32,
+        idx: u32,
+        len: u32,
+        bank: u32,
+        op: &'static str,
+        site: &'static Location<'static>,
+    ) -> u32 {
+        self.hit(
+            Severity::Error,
+            DiagKind::OutOfBounds,
+            id,
+            Some(lane),
+            op,
+            site,
+            format!(
+                "illegal shared-memory address: index {idx} out of bounds for allocation of \
+                 {len} (block {}, warp {}, lane {lane}, bank {bank})",
+                id.block, id.warp_in_block
+            ),
+        )
+    }
+
+    /// Non-atomic global read of `word`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn global_read(
+        &mut self,
+        id: WarpId,
+        epoch: u32,
+        lane: u32,
+        word: u32,
+        valid: bool,
+        op: &'static str,
+        site: &'static Location<'static>,
+    ) -> u32 {
+        let me = Agent {
+            block: id.block,
+            warp: id.warp_in_block,
+            epoch,
+        };
+        let mut new = 0;
+        if !valid {
+            new += self.hit(
+                Severity::Warning,
+                DiagKind::UninitRead,
+                id,
+                Some(lane),
+                op,
+                site,
+                format!("read of uninitialized device word {word}"),
+            );
+        }
+        let Some(cell) = self.global.get_mut(word as usize) else {
+            return new;
+        };
+        let writer = cell.writer;
+        let atomic = cell.atomic;
+        cell.reader = Some(me);
+        if let Some(w) = writer {
+            if w.conflicts(&me) {
+                new += self.hit(
+                    Severity::Warning,
+                    DiagKind::ReadWriteOverlap,
+                    id,
+                    Some(lane),
+                    op,
+                    site,
+                    format!(
+                        "word {word} read while unordered store from block {} warp {} is in \
+                         flight this launch",
+                        w.block, w.warp
+                    ),
+                );
+            }
+        }
+        if let Some(a) = atomic {
+            if a.conflicts(&me) {
+                new += self.hit(
+                    Severity::Warning,
+                    DiagKind::ReadWriteOverlap,
+                    id,
+                    Some(lane),
+                    op,
+                    site,
+                    format!(
+                        "word {word} read non-atomically while block {} warp {} updates it \
+                         atomically this launch",
+                        a.block, a.warp
+                    ),
+                );
+            }
+        }
+        new
+    }
+
+    /// Non-atomic global store of `value` to `word`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn global_write(
+        &mut self,
+        id: WarpId,
+        epoch: u32,
+        lane: u32,
+        word: u32,
+        value: u32,
+        op: &'static str,
+        site: &'static Location<'static>,
+    ) -> u32 {
+        let me = Agent {
+            block: id.block,
+            warp: id.warp_in_block,
+            epoch,
+        };
+        let Some(cell) = self.global.get_mut(word as usize) else {
+            return 0;
+        };
+        let prev_writer = cell.writer;
+        let prev_value = cell.value;
+        let atomic = cell.atomic;
+        let reader = cell.reader;
+        cell.writer = Some(me);
+        cell.value = value;
+        let mut new = 0;
+        if let Some(w) = prev_writer {
+            if w.conflicts(&me) && prev_value != value {
+                new += self.hit(
+                    Severity::Error,
+                    DiagKind::GlobalRace,
+                    id,
+                    Some(lane),
+                    op,
+                    site,
+                    format!(
+                        "word {word}: unordered stores of different values ({prev_value} from \
+                         block {} warp {}, {value} from block {} warp {})",
+                        w.block, w.warp, id.block, id.warp_in_block
+                    ),
+                );
+            }
+        }
+        if let Some(a) = atomic {
+            if a.conflicts(&me) {
+                new += self.hit(
+                    Severity::Error,
+                    DiagKind::MixedAtomic,
+                    id,
+                    Some(lane),
+                    op,
+                    site,
+                    format!(
+                        "word {word} stored non-atomically while block {} warp {} updates it \
+                         atomically this launch",
+                        a.block, a.warp
+                    ),
+                );
+            }
+        }
+        if let Some(r) = reader {
+            if r.conflicts(&me) {
+                new += self.hit(
+                    Severity::Warning,
+                    DiagKind::ReadWriteOverlap,
+                    id,
+                    Some(lane),
+                    op,
+                    site,
+                    format!(
+                        "word {word} stored while unordered read from block {} warp {} exists \
+                         this launch",
+                        r.block, r.warp
+                    ),
+                );
+            }
+        }
+        new
+    }
+
+    /// Atomic update of `word`.
+    pub(crate) fn global_atomic(
+        &mut self,
+        id: WarpId,
+        epoch: u32,
+        lane: u32,
+        word: u32,
+        op: &'static str,
+        site: &'static Location<'static>,
+    ) -> u32 {
+        let me = Agent {
+            block: id.block,
+            warp: id.warp_in_block,
+            epoch,
+        };
+        let Some(cell) = self.global.get_mut(word as usize) else {
+            return 0;
+        };
+        let writer = cell.writer;
+        cell.atomic = Some(me);
+        let mut new = 0;
+        if let Some(w) = writer {
+            if w.conflicts(&me) {
+                new += self.hit(
+                    Severity::Error,
+                    DiagKind::MixedAtomic,
+                    id,
+                    Some(lane),
+                    op,
+                    site,
+                    format!(
+                        "word {word} updated atomically while unordered plain store from \
+                         block {} warp {} exists this launch",
+                        w.block, w.warp
+                    ),
+                );
+            }
+        }
+        new
+    }
+
+    /// Shared-memory read of `word` by `id`'s warp.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn shared_read(
+        &mut self,
+        shadow: &mut BlockShadow,
+        id: WarpId,
+        lane: u32,
+        word: u32,
+        op: &'static str,
+        site: &'static Location<'static>,
+    ) -> u32 {
+        let bit = 1u32 << (id.warp_in_block % 32);
+        let cell = shadow.cell_mut(word);
+        let valid = cell.valid;
+        let writers = cell.writers;
+        cell.readers |= bit;
+        let mut new = 0;
+        if !valid {
+            new += self.hit(
+                Severity::Error,
+                DiagKind::UninitRead,
+                id,
+                Some(lane),
+                op,
+                site,
+                format!("read of uninitialized shared word {word}"),
+            );
+        }
+        if writers & !bit != 0 {
+            let other = (writers & !bit).trailing_zeros();
+            new += self.hit(
+                Severity::Error,
+                DiagKind::SharedRace,
+                id,
+                Some(lane),
+                op,
+                site,
+                format!(
+                    "shared word {word}: read by warp {} races with write by warp {other} \
+                     (no barrier between them, block {})",
+                    id.warp_in_block, id.block
+                ),
+            );
+        }
+        new
+    }
+
+    /// Shared-memory write of `word` by `id`'s warp.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn shared_write(
+        &mut self,
+        shadow: &mut BlockShadow,
+        id: WarpId,
+        lane: u32,
+        word: u32,
+        op: &'static str,
+        site: &'static Location<'static>,
+    ) -> u32 {
+        let bit = 1u32 << (id.warp_in_block % 32);
+        let cell = shadow.cell_mut(word);
+        let readers = cell.readers;
+        let writers = cell.writers;
+        cell.writers |= bit;
+        cell.valid = true;
+        let mut new = 0;
+        if writers & !bit != 0 {
+            let other = (writers & !bit).trailing_zeros();
+            new += self.hit(
+                Severity::Error,
+                DiagKind::SharedRace,
+                id,
+                Some(lane),
+                op,
+                site,
+                format!(
+                    "shared word {word}: writes by warps {} and {other} with no barrier \
+                     between them (block {})",
+                    id.warp_in_block, id.block
+                ),
+            );
+        }
+        if readers & !bit != 0 {
+            let other = (readers & !bit).trailing_zeros();
+            new += self.hit(
+                Severity::Error,
+                DiagKind::SharedRace,
+                id,
+                Some(lane),
+                op,
+                site,
+                format!(
+                    "shared word {word}: write by warp {} races with read by warp {other} \
+                     (no barrier between them, block {})",
+                    id.warp_in_block, id.block
+                ),
+            );
+        }
+        new
+    }
+
+    /// Warp collective executed under an empty active mask.
+    pub(crate) fn empty_mask(
+        &mut self,
+        id: WarpId,
+        op: &'static str,
+        site: &'static Location<'static>,
+    ) -> u32 {
+        self.hit(
+            Severity::Warning,
+            DiagKind::EmptyMaskCollective,
+            id,
+            None,
+            op,
+            site,
+            format!("collective `{op}` executed under an empty active mask"),
+        )
+    }
+
+    /// Shuffle reading a source lane outside the active mask.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn divergent_shfl(
+        &mut self,
+        id: WarpId,
+        lane: u32,
+        src_lane: u32,
+        op: &'static str,
+        site: &'static Location<'static>,
+    ) -> u32 {
+        self.hit(
+            Severity::Error,
+            DiagKind::DivergentShfl,
+            id,
+            Some(lane),
+            op,
+            site,
+            format!(
+                "lane {lane} shuffles from lane {src_lane}, which is outside the active mask \
+                 (undefined data on hardware; simulator substitutes the default value)"
+            ),
+        )
+    }
+
+    /// Lanes of one warp stored different values to the same index in one
+    /// instruction.
+    pub(crate) fn store_collision(
+        &mut self,
+        id: WarpId,
+        lane: u32,
+        idx: u32,
+        op: &'static str,
+        site: &'static Location<'static>,
+    ) -> u32 {
+        self.hit(
+            Severity::Warning,
+            DiagKind::StoreCollision,
+            id,
+            Some(lane),
+            op,
+            site,
+            format!(
+                "intra-warp store collision at index {idx}: lanes store different values in \
+                 one instruction (highest lane wins deterministically here; undefined on \
+                 hardware)"
+            ),
+        )
+    }
+
+    /// Shared access serialized into more than 4 bank passes.
+    pub(crate) fn bank_conflict(
+        &mut self,
+        id: WarpId,
+        cost: u32,
+        op: &'static str,
+        site: &'static Location<'static>,
+    ) -> u32 {
+        self.hit(
+            Severity::Warning,
+            DiagKind::BankConflictLint,
+            id,
+            None,
+            op,
+            site,
+            format!("shared-memory access serialized into {cost} bank passes (> 4)"),
+        )
+    }
+
+    /// Sample one global-memory op for the per-site coalescing lint.
+    pub(crate) fn coalesce_sample(
+        &mut self,
+        id: WarpId,
+        op: &'static str,
+        site: &'static Location<'static>,
+        active: u32,
+        tx: u32,
+        segment_words: u32,
+    ) {
+        if active == 0 {
+            return;
+        }
+        let ideal = (active as u64).div_ceil(segment_words.max(1) as u64).max(1);
+        let entry = self.coalesce.entry(site).or_insert(CoalesceSite {
+            op,
+            ops: 0,
+            actual: 0,
+            ideal: 0,
+            who: (id.block, id.warp_in_block),
+        });
+        entry.ops += 1;
+        entry.actual += tx as u64;
+        entry.ideal += ideal;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(block: u32, warp: u32) -> WarpId {
+        WarpId {
+            block,
+            warp_in_block: warp,
+            warps_per_block: 2,
+            num_blocks: 4,
+        }
+    }
+
+    fn san() -> Sanitizer {
+        let mut s = Sanitizer::new();
+        s.begin_launch(64);
+        s
+    }
+
+    #[test]
+    fn dedup_folds_repeat_occurrences() {
+        let mut s = san();
+        let site = Location::caller();
+        assert_eq!(s.oob_global(id(0, 0), 3, 99, 10, "ld", site), 1);
+        assert_eq!(s.oob_global(id(0, 1), 4, 100, 10, "ld", site), 0);
+        assert_eq!(s.diagnostics().len(), 1);
+        assert_eq!(s.diagnostics()[0].count, 2);
+        assert_eq!(s.error_count(), 2);
+        assert!(s.has_errors());
+    }
+
+    #[test]
+    fn global_race_needs_differing_values() {
+        let mut s = san();
+        let site = Location::caller();
+        s.global_write(id(0, 0), 0, 0, 5, 7, "st", site);
+        // Same value from another block: benign splat, no error.
+        s.global_write(id(1, 0), 0, 0, 5, 7, "st", site);
+        assert!(!s.has_errors());
+        // Different value: race.
+        s.global_write(id(2, 0), 0, 0, 5, 9, "st", site);
+        assert!(s.has_errors());
+        assert_eq!(s.diagnostics()[0].kind, DiagKind::GlobalRace);
+    }
+
+    #[test]
+    fn same_block_stores_ordered_across_epochs() {
+        let mut s = san();
+        let site = Location::caller();
+        s.global_write(id(0, 0), 0, 0, 5, 7, "st", site);
+        s.global_write(id(0, 1), 1, 0, 5, 9, "st", site);
+        assert!(!s.has_errors());
+    }
+
+    #[test]
+    fn mixed_atomic_and_store_is_error() {
+        let mut s = san();
+        let site = Location::caller();
+        s.global_atomic(id(0, 0), 0, 0, 5, "atomic_add", site);
+        s.global_write(id(1, 0), 0, 0, 5, 1, "st", site);
+        assert!(s.has_errors());
+        assert_eq!(s.diagnostics()[0].kind, DiagKind::MixedAtomic);
+    }
+
+    #[test]
+    fn read_of_atomic_word_is_warning_only() {
+        let mut s = san();
+        let site = Location::caller();
+        s.global_atomic(id(0, 0), 0, 0, 5, "atomic_min", site);
+        s.global_read(id(1, 0), 0, 0, 5, true, "ld", site);
+        assert!(!s.has_errors());
+        assert_eq!(s.warning_count(), 1);
+    }
+
+    #[test]
+    fn shared_race_cross_warp_same_epoch() {
+        let mut s = san();
+        let mut shadow = BlockShadow::default();
+        let site = Location::caller();
+        s.shared_write(&mut shadow, id(0, 0), 0, 3, "sh_st", site);
+        s.shared_read(&mut shadow, id(0, 1), 0, 3, "sh_ld", site);
+        assert!(s.has_errors());
+        assert_eq!(s.diagnostics()[0].kind, DiagKind::SharedRace);
+    }
+
+    #[test]
+    fn shared_race_suppressed_by_barrier() {
+        let mut s = san();
+        let mut shadow = BlockShadow::default();
+        let site = Location::caller();
+        s.shared_write(&mut shadow, id(0, 0), 0, 3, "sh_st", site);
+        shadow.advance_epoch();
+        s.shared_read(&mut shadow, id(0, 1), 0, 3, "sh_ld", site);
+        assert!(!s.has_errors());
+        assert_eq!(s.warning_count(), 0);
+    }
+
+    #[test]
+    fn shared_uninit_read_is_error() {
+        let mut s = san();
+        let mut shadow = BlockShadow::default();
+        s.shared_read(&mut shadow, id(0, 0), 2, 7, "sh_ld", Location::caller());
+        assert!(s.has_errors());
+        assert_eq!(s.diagnostics()[0].kind, DiagKind::UninitRead);
+    }
+
+    #[test]
+    fn device_uninit_read_is_warning() {
+        let mut s = san();
+        s.global_read(id(0, 0), 0, 0, 5, false, "ld", Location::caller());
+        assert!(!s.has_errors());
+        assert_eq!(s.warning_count(), 1);
+        assert_eq!(s.diagnostics()[0].kind, DiagKind::UninitRead);
+    }
+
+    #[test]
+    fn begin_launch_resets_global_shadow() {
+        let mut s = san();
+        let site = Location::caller();
+        s.global_write(id(0, 0), 0, 0, 5, 7, "st", site);
+        s.begin_launch(64);
+        s.global_write(id(1, 0), 0, 0, 5, 9, "st", site);
+        assert!(!s.has_errors());
+    }
+
+    #[test]
+    fn coalesce_lint_fires_on_bad_sites_only() {
+        let mut s = san();
+        let bad = Location::caller();
+        // 32 active lanes spread over 32 transactions, ideal 1 → efficiency ~3%.
+        for _ in 0..10 {
+            s.coalesce_sample(id(0, 0), "ld", bad, 32, 32, 32);
+        }
+        // Perfectly coalesced site.
+        let good = Location::caller();
+        for _ in 0..10 {
+            s.coalesce_sample(id(0, 0), "ld", good, 32, 1, 32);
+        }
+        s.finish_launch();
+        assert_eq!(s.warning_count(), 1);
+        assert_eq!(s.diagnostics()[0].kind, DiagKind::CoalescingLint);
+        assert_eq!(s.diagnostics()[0].site, bad);
+    }
+
+    #[test]
+    fn coalesce_lint_needs_min_ops() {
+        let mut s = san();
+        s.coalesce_sample(id(0, 0), "ld", Location::caller(), 32, 32, 32);
+        s.finish_launch();
+        assert!(s.is_clean());
+    }
+
+    #[test]
+    fn report_mentions_totals() {
+        let mut s = san();
+        s.set_context("fixture");
+        s.oob_global(id(1, 0), 2, 9, 4, "st", Location::caller());
+        let r = s.report();
+        assert!(r.contains("1 error(s)"));
+        assert!(r.contains("kernel `fixture`"));
+        assert!(r.contains("block 1 warp 0 lane 2"));
+    }
+}

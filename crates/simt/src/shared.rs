@@ -39,6 +39,12 @@ impl<T: DeviceWord> SharedPtr<T> {
         self.len == 0
     }
 
+    /// First word of the allocation (for shadow-state and bank indexing).
+    #[inline]
+    pub(crate) fn base(&self) -> u32 {
+        self.word
+    }
+
     #[inline]
     pub(crate) fn word_of(&self, idx: u32) -> usize {
         assert!(

@@ -156,23 +156,15 @@ impl<'a> WarpRt<'a> {
             .copied()
     }
 
-    /// Advance past the current op; skips empty traces. Returns true if
-    /// another op exists in the fixed stream.
+    /// Advance past the current op; skips empty traces and sanitizer
+    /// markers. Returns true if another op exists in the fixed stream.
     fn advance(&mut self) -> bool {
         self.cur_op += 1;
-        loop {
-            match self.stream.get(self.cur_trace) {
-                None => return false,
-                Some(t) if self.cur_op >= t.ops.len() => {
-                    self.cur_trace += 1;
-                    self.cur_op = 0;
-                }
-                Some(_) => return true,
-            }
-        }
+        self.normalize()
     }
 
-    /// Position at the first op, skipping empty traces; false if none.
+    /// Position at the first real op, skipping empty traces and sanitizer
+    /// markers (which cost nothing); false if none.
     fn normalize(&mut self) -> bool {
         loop {
             match self.stream.get(self.cur_trace) {
@@ -181,6 +173,7 @@ impl<'a> WarpRt<'a> {
                     self.cur_trace += 1;
                     self.cur_op = 0;
                 }
+                Some(t) if matches!(t.ops[self.cur_op], Op::San) => self.cur_op += 1,
                 Some(_) => return true,
             }
         }
@@ -451,6 +444,7 @@ impl<'a> Engine<'a> {
                     + replays as u64 * cfg.atomic_replay_cycles
             }
             Op::Bar => unreachable!("barriers handled by caller"),
+            Op::San => unreachable!("sanitizer markers are skipped by normalize()"),
         }
     }
 
@@ -839,6 +833,26 @@ mod tests {
         let c2 = simulate(&input(), &mk_cfg(2)).unwrap();
         assert!(c2 < c1, "dual issue {c2} vs single {c1}");
         assert!(c2 * 3 > c1, "speedup bounded by 2x: {c1} -> {c2}");
+    }
+
+    #[test]
+    fn san_markers_cost_zero_cycles() {
+        let plain = [alu_trace(10)];
+        let mut marked = alu_trace(10);
+        marked.ops.insert(0, Op::San);
+        marked.ops.insert(5, Op::San);
+        marked.ops.push(Op::San);
+        let m = [marked];
+        let cfg = cfg();
+        assert_eq!(
+            simulate(&one_block_input(&m, 32), &cfg).unwrap(),
+            simulate(&one_block_input(&plain, 32), &cfg).unwrap()
+        );
+        // A trace of only markers retires immediately.
+        let only = [WarpTrace {
+            ops: vec![Op::San; 3],
+        }];
+        assert_eq!(simulate(&one_block_input(&only, 32), &cfg).unwrap(), 0);
     }
 
     #[test]

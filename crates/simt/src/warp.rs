@@ -34,8 +34,10 @@ use crate::config::GpuConfig;
 use crate::lanes::{DeviceWord, Lanes, WARP_SIZE};
 use crate::mask::Mask;
 use crate::mem::{DevPtr, DeviceMem};
-use crate::shared::{bank_conflict_cost, SharedMem, SharedPtr};
+use crate::sanitize::{BlockShadow, Sanitizer};
+use crate::shared::{bank_conflict_cost, SharedMem, SharedPtr, NUM_BANKS};
 use crate::trace::{Op, WarpTrace};
+use std::panic::Location;
 
 /// Identification of a warp within its launch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -64,6 +66,13 @@ impl WarpId {
     }
 }
 
+/// Borrowed sanitizer state a warp checks against: the launch-wide
+/// [`Sanitizer`] plus this block's shared-memory shadow.
+pub(crate) struct SanScope<'a> {
+    pub(crate) san: &'a mut Sanitizer,
+    pub(crate) shadow: &'a mut BlockShadow,
+}
+
 /// Per-warp execution context handed to kernel code.
 pub struct WarpCtx<'a> {
     mem: &'a mut DeviceMem,
@@ -72,9 +81,11 @@ pub struct WarpCtx<'a> {
     cache: &'a mut CacheModel,
     segment_bytes: u32,
     id: WarpId,
+    san: Option<SanScope<'a>>,
 }
 
 impl<'a> WarpCtx<'a> {
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn new(
         mem: &'a mut DeviceMem,
         shared: &'a mut SharedMem,
@@ -83,6 +94,18 @@ impl<'a> WarpCtx<'a> {
         cfg: &GpuConfig,
         id: WarpId,
     ) -> Self {
+        Self::new_sanitized(mem, shared, trace, cache, cfg, id, None)
+    }
+
+    pub(crate) fn new_sanitized(
+        mem: &'a mut DeviceMem,
+        shared: &'a mut SharedMem,
+        trace: &'a mut WarpTrace,
+        cache: &'a mut CacheModel,
+        cfg: &GpuConfig,
+        id: WarpId,
+        san: Option<SanScope<'a>>,
+    ) -> Self {
         WarpCtx {
             mem,
             shared,
@@ -90,6 +113,7 @@ impl<'a> WarpCtx<'a> {
             cache,
             segment_bytes: cfg.segment_bytes,
             id,
+            san,
         }
     }
 
@@ -206,66 +230,125 @@ impl<'a> WarpCtx<'a> {
     /// `__ballot`: one instruction; returns the predicate mask itself (the
     /// predicate evaluation is the caller's compare instruction).
     #[inline]
+    #[track_caller]
     pub fn ballot(&mut self, mask: Mask, pred: Mask) -> Mask {
+        self.check_empty_mask(mask, "ballot", Location::caller());
         self.push_alu(mask);
         pred & mask
     }
 
     /// `__any`: one instruction.
     #[inline]
+    #[track_caller]
     pub fn any(&mut self, mask: Mask, pred: Mask) -> bool {
+        self.check_empty_mask(mask, "any", Location::caller());
         self.push_alu(mask);
         (pred & mask).any()
     }
 
     /// `__all`: one instruction.
     #[inline]
+    #[track_caller]
     pub fn all(&mut self, mask: Mask, pred: Mask) -> bool {
+        self.check_empty_mask(mask, "all", Location::caller());
         self.push_alu(mask);
         (pred & mask) == mask
     }
 
     /// `__shfl`: each active lane reads the value of lane `src.get(lane)`
     /// (one instruction). An out-of-range source wraps modulo the warp
-    /// width, matching CUDA's `srcLane % width` semantics.
+    /// width, matching CUDA's `srcLane % width` semantics. A source lane
+    /// outside the active mask yields undefined data on hardware; here it
+    /// deterministically yields `T::default()`, and the sanitizer flags it
+    /// as a divergence hazard.
     #[inline]
+    #[track_caller]
     pub fn shfl<T: Copy + Default>(
         &mut self,
         mask: Mask,
         vals: &Lanes<T>,
         src: &Lanes<u32>,
     ) -> Lanes<T> {
+        let site = Location::caller();
         self.push_alu(mask);
-        Lanes::from_fn(|l| vals.get(src.get(l) as usize % WARP_SIZE))
+        if let Some(scope) = &mut self.san {
+            let mut new = 0;
+            for l in mask.iter() {
+                let s = src.get(l) as usize % WARP_SIZE;
+                if !mask.get(s) {
+                    new += scope
+                        .san
+                        .divergent_shfl(self.id, l as u32, s as u32, "shfl", site);
+                }
+            }
+            for _ in 0..new {
+                self.trace.ops.push(Op::San);
+            }
+        }
+        Lanes::from_fn(|l| {
+            let s = src.get(l) as usize % WARP_SIZE;
+            if mask.get(s) {
+                vals.get(s)
+            } else {
+                T::default()
+            }
+        })
     }
 
-    /// Broadcast lane `src_lane`'s value to all lanes (one shuffle).
+    /// Broadcast lane `src_lane % 32`'s value to all lanes (one shuffle).
+    /// Same inactive-source semantics as [`shfl`](WarpCtx::shfl): the
+    /// sanitizer flags it and the result is `T::default()`.
     #[inline]
+    #[track_caller]
     pub fn shfl_bcast<T: Copy + Default>(
         &mut self,
         mask: Mask,
         vals: &Lanes<T>,
         src_lane: usize,
     ) -> Lanes<T> {
+        let site = Location::caller();
         self.push_alu(mask);
-        Lanes::splat(vals.get(src_lane))
+        let s = src_lane % WARP_SIZE;
+        if mask.get(s) {
+            return Lanes::splat(vals.get(s));
+        }
+        if let Some(scope) = &mut self.san {
+            let new = match mask.leader() {
+                Some(l) => {
+                    scope
+                        .san
+                        .divergent_shfl(self.id, l as u32, s as u32, "shfl_bcast", site)
+                }
+                None => scope.san.empty_mask(self.id, "shfl_bcast", site),
+            };
+            for _ in 0..new {
+                self.trace.ops.push(Op::San);
+            }
+        }
+        Lanes::splat(T::default())
     }
 
     /// Warp-wide sum reduction via a shuffle tree: `log2(32) = 5`
     /// instructions. Returns the total of active lanes broadcast to all.
+    #[track_caller]
     pub fn reduce_add(&mut self, mask: Mask, vals: &Lanes<u32>) -> u32 {
+        self.check_empty_mask(mask, "reduce_add", Location::caller());
         self.charge_tree(mask, WARP_SIZE);
         vals.sum_active(mask) as u32
     }
 
     /// Warp-wide min reduction (5 instructions); `u32::MAX` if mask empty.
+    #[track_caller]
     pub fn reduce_min(&mut self, mask: Mask, vals: &Lanes<u32>) -> u32 {
+        self.check_empty_mask(mask, "reduce_min", Location::caller());
         self.charge_tree(mask, WARP_SIZE);
         vals.min_active(mask).unwrap_or(u32::MAX)
     }
 
     /// Warp-wide max reduction (5 instructions); 0 if mask empty.
+    #[track_caller]
     pub fn reduce_max(&mut self, mask: Mask, vals: &Lanes<u32>) -> u32 {
+        self.check_empty_mask(mask, "reduce_max", Location::caller());
         self.charge_tree(mask, WARP_SIZE);
         vals.max_active(mask).unwrap_or(0)
     }
@@ -273,7 +356,9 @@ impl<'a> WarpCtx<'a> {
     /// Exclusive prefix sum over active lanes (5 instructions). Inactive
     /// lanes receive the running sum of active lanes below them, which is
     /// what compaction code needs.
+    #[track_caller]
     pub fn scan_add_exclusive(&mut self, mask: Mask, vals: &Lanes<u32>) -> Lanes<u32> {
+        self.check_empty_mask(mask, "scan_add_exclusive", Location::caller());
         self.charge_tree(mask, WARP_SIZE);
         let mut acc = 0u32;
         Lanes::from_fn(|l| {
@@ -291,8 +376,10 @@ impl<'a> WarpCtx<'a> {
     /// `width` lanes (a power of two ≤ 32 — the *virtual warp* width) and
     /// each segment reduces independently. Costs `log2(width)`
     /// instructions; every lane of a segment receives its segment's total.
+    #[track_caller]
     pub fn seg_reduce_add(&mut self, mask: Mask, vals: &Lanes<u32>, width: usize) -> Lanes<u32> {
         assert!(width.is_power_of_two() && width <= WARP_SIZE);
+        self.check_empty_mask(mask, "seg_reduce_add", Location::caller());
         self.charge_tree(mask, width);
         let mut out = Lanes::splat(0u32);
         for seg in 0..WARP_SIZE / width {
@@ -313,6 +400,7 @@ impl<'a> WarpCtx<'a> {
     /// Segmented `f32` sum reduction — same shape and cost as
     /// [`seg_reduce_add`](WarpCtx::seg_reduce_add). Lanes sum in ascending
     /// lane order (deterministic despite float non-associativity).
+    #[track_caller]
     pub fn seg_reduce_add_f32(
         &mut self,
         mask: Mask,
@@ -320,6 +408,7 @@ impl<'a> WarpCtx<'a> {
         width: usize,
     ) -> Lanes<f32> {
         assert!(width.is_power_of_two() && width <= WARP_SIZE);
+        self.check_empty_mask(mask, "seg_reduce_add_f32", Location::caller());
         self.charge_tree(mask, width);
         let mut out = Lanes::splat(0.0f32);
         for seg in 0..WARP_SIZE / width {
@@ -338,7 +427,11 @@ impl<'a> WarpCtx<'a> {
     }
 
     /// Segmented broadcast: every lane receives the value of its segment's
-    /// first lane (one shuffle instruction).
+    /// first lane (one shuffle instruction). If a segment's base lane is
+    /// outside the active mask, that segment's lanes receive `T::default()`
+    /// (undefined data on hardware) and, when a lane of the segment was
+    /// active, the sanitizer flags the divergence hazard.
+    #[track_caller]
     pub fn seg_bcast<T: Copy + Default>(
         &mut self,
         mask: Mask,
@@ -346,15 +439,43 @@ impl<'a> WarpCtx<'a> {
         width: usize,
     ) -> Lanes<T> {
         assert!(width.is_power_of_two() && width <= WARP_SIZE);
+        let site = Location::caller();
         self.push_alu(mask);
-        Lanes::from_fn(|l| vals.get(l / width * width))
+        if let Some(scope) = &mut self.san {
+            let mut new = 0;
+            for seg in 0..WARP_SIZE / width {
+                let base = seg * width;
+                if mask.get(base) {
+                    continue;
+                }
+                if let Some(l) = (base..base + width).find(|&l| mask.get(l)) {
+                    new +=
+                        scope
+                            .san
+                            .divergent_shfl(self.id, l as u32, base as u32, "seg_bcast", site);
+                }
+            }
+            for _ in 0..new {
+                self.trace.ops.push(Op::San);
+            }
+        }
+        Lanes::from_fn(|l| {
+            let base = l / width * width;
+            if mask.get(base) {
+                vals.get(base)
+            } else {
+                T::default()
+            }
+        })
     }
 
     /// Segmented ballot: for each aligned `width`-lane segment, true if any
     /// active lane of the segment has its predicate bit set (one
     /// instruction). Result replicated across the segment as a mask.
+    #[track_caller]
     pub fn seg_any(&mut self, mask: Mask, pred: Mask, width: usize) -> Mask {
         assert!(width.is_power_of_two() && width <= WARP_SIZE);
+        self.check_empty_mask(mask, "seg_any", Location::caller());
         self.push_alu(mask);
         let hits = pred & mask;
         Mask::from_fn(|l| {
@@ -367,12 +488,37 @@ impl<'a> WarpCtx<'a> {
 
     /// Gather load: active lane `l` reads `ptr[idx.get(l)]`. One instruction;
     /// transactions per the coalescing model.
+    #[track_caller]
     pub fn ld<T: DeviceWord>(&mut self, mask: Mask, ptr: DevPtr<T>, idx: &Lanes<u32>) -> Lanes<T> {
+        let site = Location::caller();
+        let mask = self.guard_global(mask, ptr, idx, "ld", site);
         let tx = self.mem_tx(mask, ptr, idx);
         self.trace.ops.push(Op::LdGlobal {
             active: mask.count() as u8,
             tx,
         });
+        if let Some(scope) = &mut self.san {
+            let epoch = scope.shadow.epoch;
+            scope.san.coalesce_sample(
+                self.id,
+                "ld",
+                site,
+                mask.count(),
+                tx as u32,
+                self.segment_bytes / 4,
+            );
+            let mut new = 0;
+            for l in mask.iter() {
+                let w = ptr.base() + idx.get(l);
+                let valid = self.mem.word_valid(w);
+                new += scope
+                    .san
+                    .global_read(self.id, epoch, l as u32, w, valid, "ld", site);
+            }
+            for _ in 0..new {
+                self.trace.ops.push(Op::San);
+            }
+        }
         let mut out = Lanes::splat(T::default());
         for l in mask.iter() {
             out.set(l, self.mem.read(ptr, idx.get(l)));
@@ -384,6 +530,7 @@ impl<'a> WarpCtx<'a> {
     /// `ptr[idx.get(l)]`. Lanes commit in ascending order, so on address
     /// collisions the highest lane wins (CUDA leaves the winner undefined;
     /// we pick a deterministic one).
+    #[track_caller]
     pub fn st<T: DeviceWord>(
         &mut self,
         mask: Mask,
@@ -391,11 +538,48 @@ impl<'a> WarpCtx<'a> {
         idx: &Lanes<u32>,
         vals: &Lanes<T>,
     ) {
+        let site = Location::caller();
+        let mask = self.guard_global(mask, ptr, idx, "st", site);
         let tx = self.mem_tx(mask, ptr, idx);
         self.trace.ops.push(Op::StGlobal {
             active: mask.count() as u8,
             tx,
         });
+        if let Some(scope) = &mut self.san {
+            let epoch = scope.shadow.epoch;
+            scope.san.coalesce_sample(
+                self.id,
+                "st",
+                site,
+                mask.count(),
+                tx as u32,
+                self.segment_bytes / 4,
+            );
+            let mut new = 0;
+            for l in mask.iter() {
+                let i = idx.get(l);
+                new += scope.san.global_write(
+                    self.id,
+                    epoch,
+                    l as u32,
+                    ptr.base() + i,
+                    vals.get(l).to_word(),
+                    "st",
+                    site,
+                );
+                // Intra-warp collision: a lower lane already targeted this
+                // index with a different value in this same instruction.
+                for k in mask.iter().take_while(|&k| k < l) {
+                    if idx.get(k) == i && vals.get(k).to_word() != vals.get(l).to_word() {
+                        new += scope.san.store_collision(self.id, l as u32, i, "st", site);
+                        break;
+                    }
+                }
+            }
+            for _ in 0..new {
+                self.trace.ops.push(Op::San);
+            }
+        }
         for l in mask.iter() {
             self.mem.write(ptr, idx.get(l), vals.get(l));
         }
@@ -404,12 +588,15 @@ impl<'a> WarpCtx<'a> {
     /// Read-only-cached gather load (the texture-memory path of paper-era
     /// kernels, or Fermi's L2): semantics of [`ld`](WarpCtx::ld), but each
     /// distinct segment probes the device cache; hits skip DRAM.
+    #[track_caller]
     pub fn ld_cached<T: DeviceWord>(
         &mut self,
         mask: Mask,
         ptr: DevPtr<T>,
         idx: &Lanes<u32>,
     ) -> Lanes<T> {
+        let site = Location::caller();
+        let mask = self.guard_global(mask, ptr, idx, "ld_cached", site);
         // Distinct segments among the active lanes, like the coalescer.
         let shift = self.segment_bytes.trailing_zeros();
         let mut segs = [0u64; WARP_SIZE];
@@ -438,6 +625,20 @@ impl<'a> WarpCtx<'a> {
             hits,
             misses,
         });
+        if let Some(scope) = &mut self.san {
+            let epoch = scope.shadow.epoch;
+            let mut new = 0;
+            for l in mask.iter() {
+                let w = ptr.base() + idx.get(l);
+                let valid = self.mem.word_valid(w);
+                new += scope
+                    .san
+                    .global_read(self.id, epoch, l as u32, w, valid, "ld_cached", site);
+            }
+            for _ in 0..new {
+                self.trace.ops.push(Op::San);
+            }
+        }
         let mut out = Lanes::splat(T::default());
         for l in mask.iter() {
             out.set(l, self.mem.read(ptr, idx.get(l)));
@@ -447,21 +648,59 @@ impl<'a> WarpCtx<'a> {
 
     /// Uniform load: all active lanes read the same element (one
     /// instruction, one transaction). Models `ptr[c]` with scalar `c`.
+    #[track_caller]
     pub fn ld_uniform<T: DeviceWord>(&mut self, mask: Mask, ptr: DevPtr<T>, idx: u32) -> T {
+        let site = Location::caller();
         self.trace.ops.push(Op::LdGlobal {
             active: mask.count() as u8,
             tx: 1,
         });
+        if !self.guard_global_scalar(mask, ptr, idx, "ld_uniform", site) {
+            return T::default();
+        }
+        if let Some(scope) = &mut self.san {
+            let epoch = scope.shadow.epoch;
+            let lane = mask.leader().unwrap_or(0) as u32;
+            let w = ptr.base() + idx;
+            let valid = self.mem.word_valid(w);
+            let new = scope
+                .san
+                .global_read(self.id, epoch, lane, w, valid, "ld_uniform", site);
+            for _ in 0..new {
+                self.trace.ops.push(Op::San);
+            }
+        }
         self.mem.read(ptr, idx)
     }
 
     /// Uniform store: the warp leader writes one element (one instruction,
     /// one transaction). Models `if (lane == 0) ptr[c] = v`.
+    #[track_caller]
     pub fn st_uniform<T: DeviceWord>(&mut self, mask: Mask, ptr: DevPtr<T>, idx: u32, v: T) {
         if !mask.any() {
             return;
         }
+        let site = Location::caller();
         self.trace.ops.push(Op::StGlobal { active: 1, tx: 1 });
+        if !self.guard_global_scalar(mask, ptr, idx, "st_uniform", site) {
+            return;
+        }
+        if let Some(scope) = &mut self.san {
+            let epoch = scope.shadow.epoch;
+            let lane = mask.leader().unwrap_or(0) as u32;
+            let new = scope.san.global_write(
+                self.id,
+                epoch,
+                lane,
+                ptr.base() + idx,
+                v.to_word(),
+                "st_uniform",
+                site,
+            );
+            for _ in 0..new {
+                self.trace.ops.push(Op::San);
+            }
+        }
         self.mem.write(ptr, idx, v);
     }
 
@@ -470,6 +709,7 @@ impl<'a> WarpCtx<'a> {
     /// `atomicAdd` per active lane; returns each lane's fetched (pre-add)
     /// value. Lanes hitting the same address serialize; the replay count is
     /// `max_multiplicity − 1`.
+    #[track_caller]
     pub fn atomic_add<T: DeviceWord + AtomicArith>(
         &mut self,
         mask: Mask,
@@ -477,10 +717,14 @@ impl<'a> WarpCtx<'a> {
         idx: &Lanes<u32>,
         vals: &Lanes<T>,
     ) -> Lanes<T> {
-        self.atomic_rmw(mask, ptr, idx, vals, |old, v| old.atomic_add(v))
+        let site = Location::caller();
+        self.atomic_rmw(mask, ptr, idx, vals, "atomic_add", site, |old, v| {
+            old.atomic_add(v)
+        })
     }
 
     /// `atomicMin` per active lane; returns fetched values.
+    #[track_caller]
     pub fn atomic_min<T: DeviceWord + AtomicArith>(
         &mut self,
         mask: Mask,
@@ -488,11 +732,15 @@ impl<'a> WarpCtx<'a> {
         idx: &Lanes<u32>,
         vals: &Lanes<T>,
     ) -> Lanes<T> {
-        self.atomic_rmw(mask, ptr, idx, vals, |old, v| old.atomic_min(v))
+        let site = Location::caller();
+        self.atomic_rmw(mask, ptr, idx, vals, "atomic_min", site, |old, v| {
+            old.atomic_min(v)
+        })
     }
 
     /// `atomicOr` per active lane; returns fetched values. The workhorse
     /// of bitmask-frontier algorithms (multi-source BFS).
+    #[track_caller]
     pub fn atomic_or(
         &mut self,
         mask: Mask,
@@ -500,10 +748,12 @@ impl<'a> WarpCtx<'a> {
         idx: &Lanes<u32>,
         vals: &Lanes<u32>,
     ) -> Lanes<u32> {
-        self.atomic_rmw(mask, ptr, idx, vals, |old, v| old | v)
+        let site = Location::caller();
+        self.atomic_rmw(mask, ptr, idx, vals, "atomic_or", site, |old, v| old | v)
     }
 
     /// `atomicAnd` per active lane; returns fetched values.
+    #[track_caller]
     pub fn atomic_and(
         &mut self,
         mask: Mask,
@@ -511,10 +761,12 @@ impl<'a> WarpCtx<'a> {
         idx: &Lanes<u32>,
         vals: &Lanes<u32>,
     ) -> Lanes<u32> {
-        self.atomic_rmw(mask, ptr, idx, vals, |old, v| old & v)
+        let site = Location::caller();
+        self.atomic_rmw(mask, ptr, idx, vals, "atomic_and", site, |old, v| old & v)
     }
 
     /// `atomicExch` per active lane; returns fetched values.
+    #[track_caller]
     pub fn atomic_exch<T: DeviceWord>(
         &mut self,
         mask: Mask,
@@ -522,11 +774,13 @@ impl<'a> WarpCtx<'a> {
         idx: &Lanes<u32>,
         vals: &Lanes<T>,
     ) -> Lanes<T> {
-        self.atomic_rmw(mask, ptr, idx, vals, |_, v| v)
+        let site = Location::caller();
+        self.atomic_rmw(mask, ptr, idx, vals, "atomic_exch", site, |_, v| v)
     }
 
     /// `atomicCAS` per active lane: if `ptr[idx] == cmp` store `new`;
     /// returns fetched values.
+    #[track_caller]
     pub fn atomic_cas<T: DeviceWord>(
         &mut self,
         mask: Mask,
@@ -535,6 +789,8 @@ impl<'a> WarpCtx<'a> {
         cmp: &Lanes<T>,
         new: &Lanes<T>,
     ) -> Lanes<T> {
+        let site = Location::caller();
+        let mask = self.guard_global(mask, ptr, idx, "atomic_cas", site);
         let tx = self.mem_tx(mask, ptr, idx);
         let replays = self.atomic_replays(mask, idx);
         self.trace.ops.push(Op::Atomic {
@@ -542,6 +798,7 @@ impl<'a> WarpCtx<'a> {
             tx,
             replays,
         });
+        self.note_atomics(mask, ptr, idx, "atomic_cas", site, tx);
         let mut out = Lanes::splat(T::default());
         for l in mask.iter() {
             let i = idx.get(l);
@@ -558,28 +815,52 @@ impl<'a> WarpCtx<'a> {
     /// as a scalar. One instruction, one transaction, no replays. This is
     /// the work-queue fetch idiom from the paper's dynamic workload
     /// distribution.
+    #[track_caller]
     pub fn atomic_add_uniform(&mut self, mask: Mask, ptr: DevPtr<u32>, idx: u32, v: u32) -> u32 {
         if !mask.any() {
             return 0;
         }
+        let site = Location::caller();
         self.trace.ops.push(Op::Atomic {
             active: 1,
             tx: 1,
             replays: 0,
         });
+        if !self.guard_global_scalar(mask, ptr, idx, "atomic_add_uniform", site) {
+            return 0;
+        }
+        if let Some(scope) = &mut self.san {
+            let epoch = scope.shadow.epoch;
+            let lane = mask.leader().unwrap_or(0) as u32;
+            let new = scope.san.global_atomic(
+                self.id,
+                epoch,
+                lane,
+                ptr.base() + idx,
+                "atomic_add_uniform",
+                site,
+            );
+            for _ in 0..new {
+                self.trace.ops.push(Op::San);
+            }
+        }
         let old = self.mem.read(ptr, idx);
         self.mem.write(ptr, idx, old.wrapping_add(v));
         old
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn atomic_rmw<T: DeviceWord>(
         &mut self,
         mask: Mask,
         ptr: DevPtr<T>,
         idx: &Lanes<u32>,
         vals: &Lanes<T>,
+        op: &'static str,
+        site: &'static Location<'static>,
         mut f: impl FnMut(T, T) -> T,
     ) -> Lanes<T> {
+        let mask = self.guard_global(mask, ptr, idx, op, site);
         let tx = self.mem_tx(mask, ptr, idx);
         let replays = self.atomic_replays(mask, idx);
         self.trace.ops.push(Op::Atomic {
@@ -587,6 +868,7 @@ impl<'a> WarpCtx<'a> {
             tx,
             replays,
         });
+        self.note_atomics(mask, ptr, idx, op, site, tx);
         let mut out = Lanes::splat(T::default());
         for l in mask.iter() {
             let i = idx.get(l);
@@ -597,20 +879,76 @@ impl<'a> WarpCtx<'a> {
         out
     }
 
+    /// Sanitizer bookkeeping shared by the lane-wise atomic ops: coalescing
+    /// sample plus per-lane atomic shadow updates.
+    fn note_atomics<T: DeviceWord>(
+        &mut self,
+        mask: Mask,
+        ptr: DevPtr<T>,
+        idx: &Lanes<u32>,
+        op: &'static str,
+        site: &'static Location<'static>,
+        tx: u8,
+    ) {
+        if let Some(scope) = &mut self.san {
+            let epoch = scope.shadow.epoch;
+            scope.san.coalesce_sample(
+                self.id,
+                op,
+                site,
+                mask.count(),
+                tx as u32,
+                self.segment_bytes / 4,
+            );
+            let mut new = 0;
+            for l in mask.iter() {
+                new += scope.san.global_atomic(
+                    self.id,
+                    epoch,
+                    l as u32,
+                    ptr.base() + idx.get(l),
+                    op,
+                    site,
+                );
+            }
+            for _ in 0..new {
+                self.trace.ops.push(Op::San);
+            }
+        }
+    }
+
     // ------------------------------------------------------------ shared mem
 
     /// Shared-memory gather load with bank-conflict accounting.
+    #[track_caller]
     pub fn sh_ld<T: DeviceWord>(
         &mut self,
         mask: Mask,
         ptr: SharedPtr<T>,
         idx: &Lanes<u32>,
     ) -> Lanes<T> {
+        let site = Location::caller();
+        let mask = self.guard_shared(mask, ptr, idx, "sh_ld", site);
         let cost = bank_conflict_cost(mask.iter().map(|l| ptr.word_of(idx.get(l)) as u32));
         self.trace.ops.push(Op::Shared {
             active: mask.count() as u8,
             cost: cost.max(1) as u8,
         });
+        if let Some(scope) = &mut self.san {
+            let mut new = 0;
+            if cost > 4 {
+                new += scope.san.bank_conflict(self.id, cost, "sh_ld", site);
+            }
+            for l in mask.iter() {
+                let w = ptr.base() + idx.get(l);
+                new += scope
+                    .san
+                    .shared_read(scope.shadow, self.id, l as u32, w, "sh_ld", site);
+            }
+            for _ in 0..new {
+                self.trace.ops.push(Op::San);
+            }
+        }
         let mut out = Lanes::splat(T::default());
         for l in mask.iter() {
             out.set(l, T::from_word(self.shared.word(ptr.word_of(idx.get(l)))));
@@ -620,6 +958,7 @@ impl<'a> WarpCtx<'a> {
 
     /// Shared-memory scatter store with bank-conflict accounting. Ascending
     /// lane order on collisions.
+    #[track_caller]
     pub fn sh_st<T: DeviceWord>(
         &mut self,
         mask: Mask,
@@ -627,11 +966,28 @@ impl<'a> WarpCtx<'a> {
         idx: &Lanes<u32>,
         vals: &Lanes<T>,
     ) {
+        let site = Location::caller();
+        let mask = self.guard_shared(mask, ptr, idx, "sh_st", site);
         let cost = bank_conflict_cost(mask.iter().map(|l| ptr.word_of(idx.get(l)) as u32));
         self.trace.ops.push(Op::Shared {
             active: mask.count() as u8,
             cost: cost.max(1) as u8,
         });
+        if let Some(scope) = &mut self.san {
+            let mut new = 0;
+            if cost > 4 {
+                new += scope.san.bank_conflict(self.id, cost, "sh_st", site);
+            }
+            for l in mask.iter() {
+                let w = ptr.base() + idx.get(l);
+                new += scope
+                    .san
+                    .shared_write(scope.shadow, self.id, l as u32, w, "sh_st", site);
+            }
+            for _ in 0..new {
+                self.trace.ops.push(Op::San);
+            }
+        }
         for l in mask.iter() {
             let w = ptr.word_of(idx.get(l));
             self.shared.set_word(w, vals.get(l).to_word());
@@ -645,6 +1001,133 @@ impl<'a> WarpCtx<'a> {
         self.trace.ops.push(Op::Alu {
             active: mask.count() as u8,
         });
+    }
+
+    /// Warn on a warp collective executed under an empty active mask.
+    fn check_empty_mask(&mut self, mask: Mask, op: &'static str, site: &'static Location<'static>) {
+        if !mask.none() {
+            return;
+        }
+        if let Some(scope) = &mut self.san {
+            let new = scope.san.empty_mask(self.id, op, site);
+            for _ in 0..new {
+                self.trace.ops.push(Op::San);
+            }
+        }
+    }
+
+    /// Bounds-check a lane-wise global access. With the sanitizer on,
+    /// out-of-bounds lanes are reported as structured diagnostics and
+    /// dropped from the returned mask; with it off, the access panics like
+    /// `cudaErrorIllegalAddress`.
+    fn guard_global<T: DeviceWord>(
+        &mut self,
+        mask: Mask,
+        ptr: DevPtr<T>,
+        idx: &Lanes<u32>,
+        op: &'static str,
+        site: &'static Location<'static>,
+    ) -> Mask {
+        let mut ok = mask;
+        for l in mask.iter() {
+            let i = idx.get(l);
+            if i < ptr.len() {
+                continue;
+            }
+            match &mut self.san {
+                Some(scope) => {
+                    let new = scope
+                        .san
+                        .oob_global(self.id, l as u32, i, ptr.len(), op, site);
+                    for _ in 0..new {
+                        self.trace.ops.push(Op::San);
+                    }
+                    ok = ok.with(l, false);
+                }
+                None => panic!(
+                    "illegal device address: index {i} out of bounds for allocation of {} \
+                     (block {}, warp {}, lane {l}, op `{op}`)",
+                    ptr.len(),
+                    self.id.block,
+                    self.id.warp_in_block
+                ),
+            }
+        }
+        ok
+    }
+
+    /// Bounds-check a uniform (scalar-index) global access; false means the
+    /// access was out of bounds and suppressed (sanitizer on).
+    fn guard_global_scalar<T: DeviceWord>(
+        &mut self,
+        mask: Mask,
+        ptr: DevPtr<T>,
+        idx: u32,
+        op: &'static str,
+        site: &'static Location<'static>,
+    ) -> bool {
+        if idx < ptr.len() {
+            return true;
+        }
+        let lane = mask.leader().unwrap_or(0);
+        match &mut self.san {
+            Some(scope) => {
+                let new = scope
+                    .san
+                    .oob_global(self.id, lane as u32, idx, ptr.len(), op, site);
+                for _ in 0..new {
+                    self.trace.ops.push(Op::San);
+                }
+                false
+            }
+            None => panic!(
+                "illegal device address: index {idx} out of bounds for allocation of {} \
+                 (block {}, warp {}, lane {lane}, op `{op}`)",
+                ptr.len(),
+                self.id.block,
+                self.id.warp_in_block
+            ),
+        }
+    }
+
+    /// Bounds-check a lane-wise shared-memory access (same policy as
+    /// [`guard_global`](WarpCtx::guard_global), with the faulting bank in
+    /// the message).
+    fn guard_shared<T: DeviceWord>(
+        &mut self,
+        mask: Mask,
+        ptr: SharedPtr<T>,
+        idx: &Lanes<u32>,
+        op: &'static str,
+        site: &'static Location<'static>,
+    ) -> Mask {
+        let mut ok = mask;
+        for l in mask.iter() {
+            let i = idx.get(l);
+            if i < ptr.len() {
+                continue;
+            }
+            let bank = (ptr.base().wrapping_add(i)) % NUM_BANKS as u32;
+            match &mut self.san {
+                Some(scope) => {
+                    let new = scope
+                        .san
+                        .oob_shared(self.id, l as u32, i, ptr.len(), bank, op, site);
+                    for _ in 0..new {
+                        self.trace.ops.push(Op::San);
+                    }
+                    ok = ok.with(l, false);
+                }
+                None => panic!(
+                    "illegal shared-memory address: index {i} out of bounds for allocation of \
+                     {} (block {}, warp {}, lane {l}, bank {bank}, op `{op}`)",
+                    ptr.len(),
+                    self.id.block,
+                    self.id.warp_in_block
+                ),
+            }
+        }
+        ok
     }
 
     /// Charge a `log2(width)` shuffle tree.

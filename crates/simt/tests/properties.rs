@@ -200,6 +200,134 @@ proptest! {
         prop_assert!(c1 < 1_000_000, "runaway simulation: {} cycles for {} phases", c1, phases);
     }
 
+    // -------------------------------------------- divergence / reconvergence
+
+    #[test]
+    fn branch_both_ways_reconverges(active in arb_mask(), taken in arb_mask()) {
+        // Simulate an if/else: the taken side runs under `active & taken`,
+        // the else side under `active & !taken`; after reconvergence the two
+        // sides' effects must partition the active lanes exactly — even when
+        // one (or both) sides have an empty mask.
+        let mut gpu = Gpu::new(GpuConfig::tiny_test());
+        let out = gpu.mem.alloc::<u32>(32);
+        gpu.launch(1, 32, &move |b: &mut maxwarp_simt::BlockCtx<'_>| {
+            b.phase(|w| {
+                let then_m = active & taken;
+                let else_m = active.andnot(taken);
+                let ids = w.lane_ids();
+                w.st(then_m, out, &ids, &Lanes::splat(1u32));
+                w.st(else_m, out, &ids, &Lanes::splat(2u32));
+                // Reconverged: a full-active op over the original mask.
+                let ones = w.alu1(active, &ids, |_| 10u32);
+                let _ = ones;
+            });
+        }).unwrap();
+        let host = gpu.mem.download(out);
+        for (lane, &got) in host.iter().enumerate().take(32) {
+            let expect = match (active.get(lane), taken.get(lane)) {
+                (false, _) => 0,
+                (true, true) => 1,
+                (true, false) => 2,
+            };
+            prop_assert_eq!(got, expect, "lane {}", lane);
+        }
+    }
+
+    #[test]
+    fn nested_divergence_reenters_outer_mask(active in arb_mask(), inner in arb_mask(), deeper in arb_mask()) {
+        // Two levels of nesting: masks only ever narrow, and popping a level
+        // restores the enclosing mask exactly.
+        let outer = active;
+        let level1 = outer & inner;
+        let level2 = level1 & deeper;
+        prop_assert_eq!(level2 & outer, level2, "nested mask must be a subset");
+        prop_assert_eq!(level1 | level1.andnot(outer), level1);
+        // Re-entry: (taken ∪ not-taken) at each level restores the parent.
+        prop_assert_eq!((level1 & deeper) | level1.andnot(deeper), level1);
+        prop_assert_eq!((outer & inner) | outer.andnot(inner), outer);
+    }
+
+    #[test]
+    fn ballot_respects_disjoint_predicate_and_active_mask(active in arb_mask(), pred in arb_mask()) {
+        // ballot() must only report lanes that are BOTH active and
+        // predicated — inactive lanes never vote, even if their (stale)
+        // predicate bit is set.
+        let mut gpu = Gpu::new(GpuConfig::tiny_test());
+        let got = std::cell::Cell::new(Mask::NONE);
+        let got_ref = &got;
+        gpu.launch(1, 32, &|b: &mut maxwarp_simt::BlockCtx<'_>| {
+            b.phase(|w| {
+                if !active.none() {
+                    got_ref.set(w.ballot(active, pred));
+                }
+            });
+        }).unwrap();
+        if !active.none() {
+            prop_assert_eq!(got.get(), active & pred);
+            prop_assert_eq!(got.get() & !active, Mask::NONE, "inactive lanes voted");
+        }
+    }
+
+    // --------------------------------------------------- sanitizer cleanness
+
+    #[test]
+    fn barrier_correct_two_phase_kernel_never_flagged(
+        bits in any::<u32>(),
+        vals in proptest::collection::vec(any::<u32>(), 32),
+        warps in 1u32..4,
+    ) {
+        // Property (no false positives): a two-phase kernel in which every
+        // warp writes its own shared slice, barriers, then reads a
+        // neighbouring warp's slice is hazard-free — the sanitizer must
+        // stay completely clean for every mask and every input.
+        let mask = Mask(bits);
+        let mut cfg = GpuConfig::tiny_test();
+        cfg.sanitize = true;
+        let mut gpu = Gpu::new(cfg);
+        let vals_l = Lanes::from_fn(|l| vals[l]);
+        let n = warps * 32;
+        let out = gpu.mem.alloc::<u32>(n);
+        gpu.mem.fill(out, 0u32);
+        gpu.launch(1, n, &move |b: &mut maxwarp_simt::BlockCtx<'_>| {
+            let tile = b.shared_alloc::<u32>(n);
+            // Phase 1: each warp fills its own 32-word slice (fully, so the
+            // later read never touches an uninitialized word).
+            b.phase(|w| {
+                let wid = w.id().warp_in_block;
+                let ids = w.lane_ids();
+                let local = w.alu1(Mask::FULL, &ids, |l| wid * 32 + l);
+                w.sh_st(Mask::FULL, tile, &local, &vals_l);
+            });
+            b.barrier();
+            // Phase 2: each warp reads the *next* warp's slice under the
+            // random mask — cross-warp, but barrier-ordered.
+            b.phase(|w| {
+                let wid = w.id().warp_in_block;
+                let next = (wid + 1) % w.id().warps_per_block;
+                let ids = w.lane_ids();
+                let remote = w.alu1(mask, &ids, |l| next * 32 + l);
+                let v = w.sh_ld(mask, tile, &remote);
+                let gid = w.global_thread_ids();
+                w.st(mask, out, &gid, &v);
+            });
+        }).unwrap();
+        let san = gpu.sanitizer().unwrap();
+        prop_assert!(
+            san.is_clean(),
+            "false positive on barrier-correct kernel:\n{}",
+            san.report()
+        );
+        // And the data really moved: masked lanes hold the neighbour's value.
+        let host = gpu.mem.download(out);
+        for w in 0..warps as usize {
+            for lane in 0..32usize {
+                if mask.get(lane) {
+                    prop_assert_eq!(host[w * 32 + lane], vals[lane]);
+                }
+            }
+        }
+    }
+
     // ------------------------------------------------- functional executor
 
     #[test]
