@@ -1,9 +1,10 @@
-//! Quick interactive probe: cycles per method per dataset at a chosen
-//! scale. Not part of the paper-figure set; useful for calibration.
+//! Quick interactive probe: cycles, lane utilization, and transactions
+//! per memory instruction, per method per dataset at a chosen scale. Not
+//! part of the paper-figure set; useful for calibration.
 
-use maxwarp::{run_bfs, DeviceGraph, ExecConfig, Method};
+use maxwarp::{run_bfs, ExecConfig, Method};
+use maxwarp_bench::util::upload_fresh;
 use maxwarp_graph::{Dataset, DegreeStats, Scale};
-use maxwarp_simt::{Gpu, GpuConfig};
 
 fn main() {
     let scale = match std::env::args().nth(1).as_deref() {
@@ -36,12 +37,18 @@ fn main() {
         let g = d.build(scale);
         let src = d.source(&g);
         let cv = DegreeStats::of(&g).cv;
-        let mut cells = Vec::new();
+        let mut cycles = Vec::new();
+        let mut lane = Vec::new();
+        let mut txm = Vec::new();
         for m in methods {
-            let mut gpu = Gpu::new(GpuConfig::fermi_c2050());
-            let dg = DeviceGraph::upload(&mut gpu, &g);
+            let (mut gpu, dg) = upload_fresh(&g);
             let out = run_bfs(&mut gpu, &dg, src, m, &ExecConfig::default()).unwrap();
-            cells.push(format!("{:>12}", out.run.cycles()));
+            cycles.push(format!("{:>12}", out.run.cycles()));
+            lane.push(format!(
+                "{:>11.1}%",
+                out.run.stats.lane_utilization() * 100.0
+            ));
+            txm.push(format!("{:>12.2}", out.run.stats.tx_per_mem_instruction()));
         }
         println!(
             "{:<14} {:>9} {:>9} {:>6.2} | {}",
@@ -49,7 +56,9 @@ fn main() {
             g.num_vertices(),
             g.num_edges(),
             cv,
-            cells.join(" ")
+            cycles.join(" ")
         );
+        println!("{:<41} | {}", "  lane-util", lane.join(" "));
+        println!("{:<41} | {}", "  tx/mem-instr", txm.join(" "));
     }
 }

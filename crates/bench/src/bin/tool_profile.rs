@@ -1,0 +1,104 @@
+//! `tool_profile` — cycle-attribution profile of BFS under the simulator.
+//!
+//! Runs BFS with the profiler (`GpuConfig::profile`) on, prints the
+//! ranked per-site hotspot table with the per-SM stall breakdown, and
+//! writes machine-readable artifacts into `results/`:
+//!
+//! - `profile_<kernel>_<dataset>_<method>.json` — the full report
+//!   (sites, per-SM cycle buckets, launches),
+//! - `profile_<kernel>_<dataset>_<method>_trace.json` — a Chrome
+//!   trace-event timeline (open in `chrome://tracing` / Perfetto) with
+//!   one track per SM and one row per warp slot.
+//!
+//! ```text
+//! tool_profile [tiny|small|medium] [--dataset NAME] [--top N]
+//! ```
+
+use maxwarp::{run_bfs, DeviceGraph, ExecConfig, Method};
+use maxwarp_bench::util::{device, scale_name, write_results};
+use maxwarp_graph::{Dataset, Scale};
+use maxwarp_simt::Gpu;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: tool_profile [tiny|small|medium] [--dataset NAME] [--top N]");
+    exit(2);
+}
+
+fn main() {
+    let mut scale = Scale::Tiny;
+    let mut dataset = Dataset::Rmat;
+    let mut top = 12usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "tiny" => scale = Scale::Tiny,
+            "small" => scale = Scale::Small,
+            "medium" => scale = Scale::Medium,
+            "--dataset" => {
+                i += 1;
+                let name = args.get(i).map(String::as_str).unwrap_or_else(|| usage());
+                dataset = *Dataset::ALL
+                    .iter()
+                    .find(|d| d.name().eq_ignore_ascii_case(name))
+                    .unwrap_or_else(|| usage());
+            }
+            "--top" => {
+                i += 1;
+                top = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let g = dataset.build(scale);
+    let src = dataset.source(&g);
+    let exec = ExecConfig::default();
+    let methods = [("baseline", Method::Baseline), ("vw8", Method::warp(8))];
+
+    println!(
+        "profiling bfs on {} [{}]: {} vertices, {} edges, source {src}",
+        dataset.name(),
+        scale_name(scale),
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    for (label, method) in methods {
+        let mut cfg = device();
+        cfg.profile = true;
+        let mut gpu = Gpu::new(cfg);
+        let dg = DeviceGraph::upload(&mut gpu, &g);
+        gpu.set_profile_context(&format!("bfs/{} [{label}]", dataset.name()));
+        run_bfs(&mut gpu, &dg, src, method, &exec).expect("launch failed");
+        let report = gpu.profile_report().expect("profiler must be on");
+
+        // The stall attribution is an exact partition: per-SM buckets must
+        // sum to the total cycle count, or the report is lying.
+        assert_eq!(
+            report.timing.breakdown_total().total(),
+            report.total_cycles * report.timing.sm_breakdown.len() as u64,
+            "per-SM stall buckets must partition total cycles"
+        );
+        for l in &report.launches {
+            assert_eq!(
+                l.timing.breakdown_total().total(),
+                l.cycles * l.timing.sm_breakdown.len() as u64,
+                "launch {} buckets must partition its cycles",
+                l.index
+            );
+        }
+
+        println!("{}", report.hotspot_table(top));
+
+        let stem = format!("profile_bfs_{}_{label}", dataset.name());
+        let p1 = write_results(&format!("{stem}.json"), &report.to_json());
+        let p2 = write_results(&format!("{stem}_trace.json"), &report.chrome_trace());
+        println!("wrote {} and {}", p1.display(), p2.display());
+    }
+}

@@ -7,10 +7,9 @@
 //! by multiples; on small-diameter graphs the formulations tie.
 
 use crate::harness::{Cell, Harness};
-use crate::util::{banner, built_datasets_par, device, f};
-use maxwarp::{run_bfs, run_bfs_queue, DeviceGraph, ExecConfig, Method};
+use crate::util::{banner, built_datasets_par, f, upload_fresh};
+use maxwarp::{run_bfs, run_bfs_queue, ExecConfig, Method};
 use maxwarp_graph::Scale;
-use maxwarp_simt::Gpu;
 
 /// Print scan-vs-queue cycles per dataset and method.
 pub fn run(scale: Scale, h: &Harness) {
@@ -31,11 +30,9 @@ pub fn run(scale: Scale, h: &Harness) {
         for m in [Method::Baseline, Method::warp(4)] {
             let name = d.name();
             cells.push(Cell::new(format!("{name} {}", m.label()), move || {
-                let mut gpu = Gpu::new(device());
-                let dg = DeviceGraph::upload(&mut gpu, g);
+                let (mut gpu, dg) = upload_fresh(g);
                 let scan = run_bfs(&mut gpu, &dg, src, m, &exec).unwrap();
-                let mut gpu2 = Gpu::new(device());
-                let dg2 = DeviceGraph::upload(&mut gpu2, g);
+                let (mut gpu2, dg2) = upload_fresh(g);
                 let queue = run_bfs_queue(&mut gpu2, &dg2, src, m, &exec).unwrap();
                 assert_eq!(scan.levels, queue.levels, "{} {}", name, m.label());
                 format!(

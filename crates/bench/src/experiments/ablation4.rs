@@ -8,10 +8,9 @@
 //! set fits.
 
 use crate::harness::{Cell, Harness};
-use crate::util::{banner, built_datasets_par, device, f};
-use maxwarp::{run_bfs, DeviceGraph, ExecConfig, Method};
+use crate::util::{banner, built_datasets_par, f, upload_fresh};
+use maxwarp::{run_bfs, ExecConfig, Method};
 use maxwarp_graph::Scale;
-use maxwarp_simt::Gpu;
 
 /// Print cycles and DRAM transactions with and without cached graph loads.
 pub fn run(scale: Scale, h: &Harness) {
@@ -37,8 +36,7 @@ pub fn run(scale: Scale, h: &Harness) {
                             cached_graph_loads: cached,
                             ..ExecConfig::default()
                         };
-                        let mut gpu = Gpu::new(device());
-                        let dg = DeviceGraph::upload(&mut gpu, g);
+                        let (mut gpu, dg) = upload_fresh(g);
                         run_bfs(&mut gpu, &dg, src, m, &exec).unwrap()
                     };
                     let plain = run_cfg(false);

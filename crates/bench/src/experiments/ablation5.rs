@@ -3,10 +3,9 @@
 //! authors took up in follow-on work).
 
 use crate::harness::{Cell, Harness};
-use crate::util::{banner, device, f};
-use maxwarp::{run_betweenness, run_coloring, run_triangles, DeviceGraph, ExecConfig, Method};
+use crate::util::{banner, f, fresh_gpu, upload_fresh};
+use maxwarp::{run_betweenness, run_coloring, run_triangles, ExecConfig, Method};
 use maxwarp_graph::{Csr, Dataset, Orientation, Scale};
-use maxwarp_simt::Gpu;
 
 fn methods() -> [Method; 3] {
     [Method::Baseline, Method::warp(8), Method::warp(32)]
@@ -65,8 +64,7 @@ pub fn run(scale: Scale, h: &Harness) {
                 cells.push(Cell::new(
                     format!("{} bc {}", d.name(), m.label()),
                     move || {
-                        let mut gpu = Gpu::new(device());
-                        let dg = DeviceGraph::upload(&mut gpu, g);
+                        let (mut gpu, dg) = upload_fresh(g);
                         run_betweenness(&mut gpu, &dg, &sources, m, &exec)
                             .unwrap()
                             .run
@@ -82,7 +80,7 @@ pub fn run(scale: Scale, h: &Harness) {
             cells.push(Cell::new(
                 format!("{} triangles {}", d.name(), m.label()),
                 move || {
-                    let mut gpu = Gpu::new(device());
+                    let mut gpu = fresh_gpu();
                     run_triangles(&mut gpu, gs, m, &exec, Orientation::ByDegree)
                         .unwrap()
                         .run
@@ -97,8 +95,7 @@ pub fn run(scale: Scale, h: &Harness) {
             cells.push(Cell::new(
                 format!("{} coloring {}", d.name(), m.label()),
                 move || {
-                    let mut gpu = Gpu::new(device());
-                    let dg = DeviceGraph::upload(&mut gpu, gs);
+                    let (mut gpu, dg) = upload_fresh(gs);
                     run_coloring(&mut gpu, &dg, m, &exec).unwrap().run.cycles()
                 },
             ));

@@ -4,10 +4,9 @@
 //! same irregular loop, so the warp-centric mapping composes with it.
 
 use crate::harness::{Cell, Harness};
-use crate::util::{banner, build_datasets_subset, device, f};
-use maxwarp::{run_bfs, run_msbfs, DeviceGraph, ExecConfig, Method};
+use crate::util::{banner, build_datasets_subset, f, upload_fresh};
+use maxwarp::{run_bfs, run_msbfs, ExecConfig, Method};
 use maxwarp_graph::{Dataset, Scale};
-use maxwarp_simt::Gpu;
 
 /// Print batched vs sequential cycles for an 8-source batch.
 pub fn run(scale: Scale, h: &Harness) {
@@ -32,8 +31,7 @@ pub fn run(scale: Scale, h: &Harness) {
             .collect();
         let batch_sources = sources.clone();
         cells.push(Cell::new(format!("{} batched", d.name()), move || {
-            let mut gpu = Gpu::new(device());
-            let dg = DeviceGraph::upload(&mut gpu, g);
+            let (mut gpu, dg) = upload_fresh(g);
             run_msbfs(&mut gpu, &dg, &batch_sources, Method::warp(8), &exec)
                 .unwrap()
                 .run
@@ -41,8 +39,7 @@ pub fn run(scale: Scale, h: &Harness) {
         }));
         for (i, s) in sources.into_iter().enumerate() {
             cells.push(Cell::new(format!("{} src{i}", d.name()), move || {
-                let mut gpu = Gpu::new(device());
-                let dg = DeviceGraph::upload(&mut gpu, g);
+                let (mut gpu, dg) = upload_fresh(g);
                 run_bfs(&mut gpu, &dg, s, Method::warp(8), &exec)
                     .unwrap()
                     .run

@@ -2,12 +2,16 @@
 //! method (best K per graph) over the baseline thread-per-vertex kernel.
 
 use crate::harness::{Cell, Harness};
-use crate::util::{banner, bfs_fresh, built_datasets_par, f};
-use maxwarp::{geomean, ExecConfig, Method, VirtualWarp};
+use crate::util::{
+    banner, bfs_fresh_timed, built_datasets_par, device, f, reachable_edges, write_results,
+};
+use maxwarp::{geomean, rows_to_json, ExecConfig, Method, RunRow, VirtualWarp};
 use maxwarp_graph::Scale;
 
 /// Print baseline-vs-warp-centric cycles and speedups; returns the rows as
-/// `(dataset, best_k, speedup)` for downstream assertions.
+/// `(dataset, best_k, speedup)` for downstream assertions. Also writes all
+/// measured configurations (with DRAM utilization and SM imbalance from
+/// the timing engine) to `results/fig2_<scale>.json`.
 pub fn run(scale: Scale, h: &Harness) -> Vec<(String, u32, f64)> {
     banner(
         "F2",
@@ -19,16 +23,17 @@ pub fn run(scale: Scale, h: &Harness) -> Vec<(String, u32, f64)> {
         "dataset", "baseline-cyc", "warp-cyc", "best-K", "speedup"
     );
     let exec = ExecConfig::default();
+    let clock_hz = device().clock_hz;
     let built = built_datasets_par(scale, h);
     let mut cells = Vec::new();
     for (d, g, src) in &built {
         let src = *src;
         cells.push(Cell::new(format!("{} baseline", d.name()), move || {
-            bfs_fresh(g, src, Method::Baseline, &exec)
+            bfs_fresh_timed(g, src, Method::Baseline, &exec)
         }));
         for vw in VirtualWarp::PAPER_SWEEP {
             cells.push(Cell::new(format!("{} {vw}", d.name()), move || {
-                bfs_fresh(g, src, Method::warp(vw.k()), &exec)
+                bfs_fresh_timed(g, src, Method::warp(vw.k()), &exec)
             }));
         }
     }
@@ -36,14 +41,29 @@ pub fn run(scale: Scale, h: &Harness) -> Vec<(String, u32, f64)> {
 
     let stride = 1 + VirtualWarp::PAPER_SWEEP.len();
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
     let mut heavy = Vec::new();
     let mut light = Vec::new();
-    for ((d, _, _), chunk) in built.iter().zip(outs.chunks(stride)) {
-        let base = &chunk[0];
+    for ((d, g, _), chunk) in built.iter().zip(outs.chunks(stride)) {
+        let (base, base_timing) = &chunk[0];
+        let edges = reachable_edges(g, &base.levels);
+        json_rows.push(
+            RunRow::new(d.name(), "baseline", &base.run, edges, clock_hz).with_timing(base_timing),
+        );
         let mut best: Option<(u32, u64)> = None;
-        for (vw, out) in VirtualWarp::PAPER_SWEEP.iter().zip(&chunk[1..]) {
+        for (vw, (out, timing)) in VirtualWarp::PAPER_SWEEP.iter().zip(&chunk[1..]) {
             let c = out.run.cycles();
             assert_eq!(out.levels, base.levels, "level mismatch at {vw}");
+            json_rows.push(
+                RunRow::new(
+                    d.name(),
+                    &format!("vw{}", vw.k()),
+                    &out.run,
+                    edges,
+                    clock_hz,
+                )
+                .with_timing(timing),
+            );
             if best.is_none_or(|(_, bc)| c < bc) {
                 best = Some((vw.k(), c));
             }
@@ -74,5 +94,10 @@ pub fn run(scale: Scale, h: &Harness) -> Vec<(String, u32, f64)> {
         "(expected shape: heavy-tailed group speeds up by several x — the paper reports up \
          to ~9x; low-variance graphs hover near or below 1x)"
     );
+    let path = write_results(
+        &format!("fig2_{}.json", crate::util::scale_name(scale)),
+        &rows_to_json(&json_rows),
+    );
+    println!("wrote {}", path.display());
     rows
 }

@@ -2,18 +2,20 @@
 //! (Bellman-Ford), connected components (label propagation), and PageRank.
 
 use crate::harness::{Cell, Harness};
-use crate::util::{banner, device, f};
+use crate::util::{banner, f, fresh_gpu, upload_fresh};
 use maxwarp::{run_cc, run_pagerank, run_sssp, DeviceGraph, ExecConfig, Method};
 use maxwarp_graph::{random_weights, Csr, Dataset, Scale};
 use maxwarp_simt::Gpu;
 
 fn fresh(g: &Csr, weights: Option<&[u32]>) -> (Gpu, DeviceGraph) {
-    let mut gpu = Gpu::new(device());
-    let dg = match weights {
-        Some(w) => DeviceGraph::upload_weighted(&mut gpu, g, w),
-        None => DeviceGraph::upload(&mut gpu, g),
-    };
-    (gpu, dg)
+    match weights {
+        Some(w) => {
+            let mut gpu = fresh_gpu();
+            let dg = DeviceGraph::upload_weighted(&mut gpu, g, w);
+            (gpu, dg)
+        }
+        None => upload_fresh(g),
+    }
 }
 
 fn methods() -> [(&'static str, Method); 3] {

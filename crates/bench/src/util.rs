@@ -4,7 +4,8 @@
 use crate::harness::{Cell, Harness};
 use maxwarp::{run_bfs, BfsOutput, DeviceGraph, ExecConfig, Method};
 use maxwarp_graph::{Csr, Dataset, Scale};
-use maxwarp_simt::{Gpu, GpuConfig};
+use maxwarp_simt::{Gpu, GpuConfig, TimingReport};
+use std::path::PathBuf;
 
 /// Parse the experiment scale from argv/env. Priority: first positional
 /// CLI arg (`--jobs` and its value are skipped), then `MAXWARP_SCALE`,
@@ -52,12 +53,50 @@ pub fn device() -> GpuConfig {
     GpuConfig::fermi_c2050()
 }
 
+/// A fresh simulated device with the figure configuration. `Gpu::new`
+/// itself honors `MAXWARP_SANITIZE=1` / `MAXWARP_PROFILE=1`, so every
+/// tool built on this helper picks up the sanitizer and profiler opt-ins
+/// for free.
+pub fn fresh_gpu() -> Gpu {
+    Gpu::new(device())
+}
+
+/// A fresh device with `g` already uploaded — the shared setup every
+/// bench tool used to hand-roll.
+pub fn upload_fresh(g: &Csr) -> (Gpu, DeviceGraph) {
+    let mut gpu = fresh_gpu();
+    let dg = DeviceGraph::upload(&mut gpu, g);
+    (gpu, dg)
+}
+
 /// Run BFS on a fresh device (so each measurement's memory layout is
 /// identical and device memory does not accumulate across runs).
 pub fn bfs_fresh(g: &Csr, src: u32, method: Method, exec: &ExecConfig) -> BfsOutput {
-    let mut gpu = Gpu::new(device());
-    let dg = DeviceGraph::upload(&mut gpu, g);
-    run_bfs(&mut gpu, &dg, src, method, exec).expect("bfs launch failed")
+    bfs_fresh_timed(g, src, method, exec).0
+}
+
+/// [`bfs_fresh`] that also returns the device's accumulated timing
+/// detail (DRAM utilization, per-SM stall breakdown) for JSON output.
+pub fn bfs_fresh_timed(
+    g: &Csr,
+    src: u32,
+    method: Method,
+    exec: &ExecConfig,
+) -> (BfsOutput, TimingReport) {
+    let (mut gpu, dg) = upload_fresh(g);
+    let out = run_bfs(&mut gpu, &dg, src, method, exec).expect("bfs launch failed");
+    let timing = gpu.timing_total().clone();
+    (out, timing)
+}
+
+/// Write `content` to `results/<name>` (creating `results/` if needed)
+/// and return the path.
+pub fn write_results(name: &str, content: &str) -> PathBuf {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(name);
+    std::fs::write(&path, content).expect("write results file");
+    path
 }
 
 /// Default outlier-deferral threshold for a graph: well above the mean
@@ -173,6 +212,27 @@ mod tests {
         // Vertex 3 unreachable from 0.
         let levels = vec![0, 1, 2, u32::MAX];
         assert_eq!(reachable_edges(&g, &levels), 2);
+    }
+
+    #[test]
+    fn bfs_fresh_timed_reports_device_cycles() {
+        let g = Dataset::Regular.build(Scale::Tiny);
+        let (out, timing) = bfs_fresh_timed(
+            &g,
+            0,
+            maxwarp::Method::Baseline,
+            &maxwarp::ExecConfig::default(),
+        );
+        // The accumulated timing covers every launch of the run, so its
+        // cycle sum matches the run's cycle count and its utilization
+        // metrics are well-formed.
+        assert_eq!(timing.cycles, out.run.cycles());
+        assert!(timing.dram_utilization() > 0.0);
+        assert!(timing.sm_imbalance() >= 1.0);
+        assert_eq!(
+            timing.breakdown_total().total(),
+            timing.cycles * timing.sm_breakdown.len() as u64
+        );
     }
 
     #[test]

@@ -94,6 +94,9 @@ pub fn run_bfs(
         gpu.mem.write(st.changed, 0, 0u32);
         gpu.mem.write(st.qcount, 0, 0u32);
 
+        if gpu.profiling() {
+            gpu.set_profile_label(&format!("bfs level {cur}"));
+        }
         let stats = match method {
             Method::Baseline => launch_baseline_level(gpu, g, &st, cur, exec)?,
             Method::WarpCentric(opts) => launch_warp_level(gpu, g, &st, cur, opts, exec)?,
@@ -109,6 +112,9 @@ pub fn run_bfs(
                         bfs_edge_body(*g, st.levels, st.changed, cur + 1, exec.cached_graph_loads);
                     let k = outlier_kernel(*g, st.queue, qc, body);
                     let grid = qc.min(exec.resident_grid(&gpu.cfg));
+                    if gpu.profiling() {
+                        gpu.set_profile_label(&format!("bfs level {cur} outliers"));
+                    }
                     let s = gpu.launch(grid, exec.block_threads, &k)?;
                     run.absorb(&s);
                 }

@@ -107,6 +107,10 @@ pub fn run_bfs_hybrid(
         let bottom_up = frontier_edges > remaining_edges / hybrid.alpha as f64
             && frontier_size > (n as u64) / hybrid.beta as u64;
 
+        if gpu.profiling() {
+            let dir = if bottom_up { "bottom-up" } else { "top-down" };
+            gpu.set_profile_label(&format!("bfs_hybrid level {cur} {dir}"));
+        }
         let stats = if bottom_up {
             directions.push(Direction::BottomUp);
             launch_bottom_up(gpu, rev, &st, cur, method, exec)?

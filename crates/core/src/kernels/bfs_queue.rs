@@ -92,6 +92,9 @@ pub fn run_bfs_queue(
         run.begin_iteration();
         gpu.mem.write(st.count_out, 0, 0u32);
 
+        if gpu.profiling() {
+            gpu.set_profile_label(&format!("bfs_queue level {cur}"));
+        }
         let stats = match method {
             Method::Baseline => launch_baseline_level(gpu, g, &st, frontier_len, cur, exec)?,
             Method::WarpCentric(opts) => {

@@ -55,11 +55,14 @@ pub fn run_pagerank(
     gpu.mem.fill(rank, 1.0f32 / n as f32);
 
     let mut run = AlgoRun::default();
-    for _ in 0..iters {
+    for it in 0..iters {
         run.begin_iteration();
         gpu.mem.fill(next, 0.0f32);
         gpu.mem.write(dangling, 0, 0.0f32);
 
+        if gpu.profiling() {
+            gpu.set_profile_label(&format!("pagerank iter {it}"));
+        }
         let stats = match method {
             Method::Baseline => launch_baseline_push(gpu, g, rank, next, dangling, exec)?,
             Method::WarpCentric(opts) => {

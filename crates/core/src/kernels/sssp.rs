@@ -97,6 +97,9 @@ pub fn run_sssp(
         gpu.mem.write(st.changed, 0, 0u32);
         gpu.mem.write(st.qcount, 0, 0u32);
 
+        if gpu.profiling() {
+            gpu.set_profile_label(&format!("sssp round {round}"));
+        }
         let stats = match method {
             Method::Baseline => launch_baseline_round(gpu, g, weights, &st, exec)?,
             Method::WarpCentric(opts) => launch_warp_round(gpu, g, weights, &st, opts, exec)?,

@@ -80,6 +80,6 @@ pub use kernels::spmv::{run_spmv, spmv_reference, SpmvOutput};
 pub use kernels::sssp::{run_sssp, SsspOutput, INF as SSSP_INF};
 pub use kernels::triangles::{run_triangles, TriangleOutput};
 pub use method::{ExecConfig, Method, WarpCentricOpts};
-pub use metrics::{geomean, RunRow};
+pub use metrics::{geomean, rows_to_json, RunRow};
 pub use runner::AlgoRun;
 pub use vwarp::{VirtualWarp, VwLayout};

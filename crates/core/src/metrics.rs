@@ -1,9 +1,11 @@
 //! Derived metrics and table rows for the experiment harness.
 
 use crate::runner::AlgoRun;
+use maxwarp_simt::TimingReport;
 use serde::{Deserialize, Serialize};
 
-/// One measured configuration: the row format the figure harnesses print.
+/// One measured configuration: the row format the figure harnesses print
+/// and serialize into `results/*.json`.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RunRow {
     /// Dataset name.
@@ -20,6 +22,12 @@ pub struct RunRow {
     pub tx_per_mem: f64,
     /// Iterations (levels / rounds).
     pub iterations: u32,
+    /// Fraction of cycles the DRAM channel was busy, from the timing
+    /// engine's [`TimingReport`] (0 when timing detail wasn't captured).
+    pub dram_utilization: f64,
+    /// Busiest-over-mean SM instruction ratio — inter-SM workload
+    /// imbalance (0 when timing detail wasn't captured).
+    pub sm_imbalance: f64,
 }
 
 impl RunRow {
@@ -39,7 +47,17 @@ impl RunRow {
             lane_utilization: run.stats.lane_utilization(),
             tx_per_mem: run.stats.tx_per_mem_instruction(),
             iterations: run.iterations,
+            dram_utilization: 0.0,
+            sm_imbalance: 0.0,
         }
+    }
+
+    /// Attach timing-engine detail (DRAM utilization, SM imbalance) from
+    /// the device's accumulated [`TimingReport`].
+    pub fn with_timing(mut self, timing: &TimingReport) -> RunRow {
+        self.dram_utilization = timing.dram_utilization();
+        self.sm_imbalance = timing.sm_imbalance();
+        self
     }
 
     /// Speedup of this row relative to `base` (cycle ratio).
@@ -49,6 +67,47 @@ impl RunRow {
         }
         base.cycles as f64 / self.cycles as f64
     }
+
+    /// This row as a JSON object (hand-rolled: the vendored serde derives
+    /// are markers without codegen).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"dataset\": \"{}\", \"method\": \"{}\", \"cycles\": {}, \"mteps\": {:.3}, \
+             \"lane_utilization\": {:.6}, \"tx_per_mem\": {:.6}, \"iterations\": {}, \
+             \"dram_utilization\": {:.6}, \"sm_imbalance\": {:.6}}}",
+            json_escape(&self.dataset),
+            json_escape(&self.method),
+            self.cycles,
+            self.mteps,
+            self.lane_utilization,
+            self.tx_per_mem,
+            self.iterations,
+            self.dram_utilization,
+            self.sm_imbalance,
+        )
+    }
+}
+
+/// Serialize rows as a JSON array (one object per line).
+pub fn rows_to_json(rows: &[RunRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&r.to_json());
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 /// Geometric mean of a set of positive values (0 if empty).
@@ -90,6 +149,41 @@ mod tests {
         assert!((geomean(&[4.0]) - 4.0).abs() < 1e-12);
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
         assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_round_structure() {
+        let mut row = RunRow::new("rmat", "vw8", &run_with_cycles(100), 50, 1_000_000_000);
+        row.dram_utilization = 0.5;
+        row.sm_imbalance = 1.25;
+        let j = row.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"dataset\": \"rmat\""));
+        assert!(j.contains("\"dram_utilization\": 0.500000"));
+        assert!(j.contains("\"sm_imbalance\": 1.250000"));
+        let arr = rows_to_json(&[row.clone(), row]);
+        assert!(arr.starts_with("[\n") && arr.ends_with("]\n"));
+        assert_eq!(arr.matches("\"dataset\"").count(), 2);
+    }
+
+    #[test]
+    fn json_escapes_quotes_in_labels() {
+        let row = RunRow::new("g", "vw32 [\"dyn\"]", &run_with_cycles(1), 1, 1);
+        assert!(row.to_json().contains("vw32 [\\\"dyn\\\"]"));
+    }
+
+    #[test]
+    fn with_timing_fills_utilization() {
+        use maxwarp_simt::TimingReport;
+        let t = TimingReport {
+            cycles: 100,
+            dram_busy_cycles: 40,
+            sm_instructions: vec![10, 30],
+            ..Default::default()
+        };
+        let row = RunRow::new("g", "a", &run_with_cycles(100), 1, 1).with_timing(&t);
+        assert!((row.dram_utilization - 0.4).abs() < 1e-12);
+        assert!((row.sm_imbalance - 1.5).abs() < 1e-12);
     }
 
     #[test]

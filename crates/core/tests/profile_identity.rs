@@ -1,0 +1,121 @@
+//! Profiling must be a pure observer: for every kernel in the sweep
+//! matrix, a profiled run must report byte-identical `KernelStats` (and
+//! therefore identical cycles) to an unprofiled run. The profiler only
+//! reads the ops the functional executor already traced — it never adds,
+//! reorders, or re-times work.
+
+use maxwarp::AlgoRun;
+use maxwarp::{
+    run_betweenness, run_bfs, run_bfs_hybrid, run_bfs_queue, run_cc, run_coloring, run_kcore,
+    run_msbfs, run_pagerank, run_spmv, run_sssp, run_triangles, DeviceGraph, ExecConfig,
+    GpuHybridConfig, Method,
+};
+use maxwarp_graph::{random_weights, Csr, Dataset, Orientation, Scale};
+use maxwarp_simt::{Gpu, GpuConfig};
+
+fn gpu(profile: bool) -> Gpu {
+    let mut cfg = GpuConfig::tiny_test();
+    cfg.profile = profile;
+    Gpu::new(cfg)
+}
+
+/// Run `f` once plain and once profiled; the stats must match exactly.
+fn assert_identical(label: &str, f: impl Fn(&mut Gpu) -> AlgoRun) {
+    let plain = f(&mut gpu(false));
+    let mut profiled_gpu = gpu(true);
+    profiled_gpu.set_profile_context(label);
+    let profiled = f(&mut profiled_gpu);
+    assert_eq!(
+        plain.stats, profiled.stats,
+        "{label}: profiling changed KernelStats"
+    );
+    assert_eq!(
+        plain.iterations, profiled.iterations,
+        "{label}: profiling changed iteration count"
+    );
+    // And the profiler actually observed the run.
+    let report = profiled_gpu.profile_report().expect("profiler on");
+    assert!(!report.sites.is_empty(), "{label}: no sites recorded");
+    assert_eq!(
+        report.total_cycles, plain.stats.cycles,
+        "{label}: profile cycle total disagrees with the run"
+    );
+}
+
+#[test]
+fn every_kernel_profiles_byte_identically() {
+    let g = Dataset::Rmat.build(Scale::Tiny);
+    let src = (0..g.num_vertices())
+        .max_by_key(|&v| g.degree(v))
+        .unwrap_or(0);
+    let sym = g.symmetrize();
+    let rev = g.reverse();
+    let weights = random_weights(&g, 15, 11);
+    let values: Vec<f32> = weights.iter().map(|&w| w as f32).collect();
+    let x = vec![1.0f32; g.num_vertices() as usize];
+    let bc_sources: Vec<u32> = (0..4).collect();
+    let ms_sources: Vec<u32> = (0..32).collect();
+    let exec = ExecConfig::default();
+
+    for method in [Method::Baseline, Method::warp(8)] {
+        let m = method;
+        let tag = |k: &str| format!("{k}/rmat [{}]", m.label());
+        let up = |gpu: &mut Gpu, g: &Csr| DeviceGraph::upload(gpu, g);
+
+        assert_identical(&tag("bfs"), |gpu| {
+            let dg = up(gpu, &g);
+            run_bfs(gpu, &dg, src, m, &exec).unwrap().run
+        });
+        assert_identical(&tag("bfs_queue"), |gpu| {
+            let dg = up(gpu, &g);
+            run_bfs_queue(gpu, &dg, src, m, &exec).unwrap().run
+        });
+        assert_identical(&tag("bfs_hybrid"), |gpu| {
+            let dg = up(gpu, &g);
+            let drev = up(gpu, &rev);
+            run_bfs_hybrid(gpu, &dg, &drev, src, m, &exec, &GpuHybridConfig::default())
+                .unwrap()
+                .bfs
+                .run
+        });
+        assert_identical(&tag("sssp"), |gpu| {
+            let dg = DeviceGraph::upload_weighted(gpu, &g, &weights);
+            run_sssp(gpu, &dg, src, m, &exec).unwrap().run
+        });
+        assert_identical(&tag("cc"), |gpu| {
+            let dg = up(gpu, &sym);
+            run_cc(gpu, &dg, m, &exec).unwrap().run
+        });
+        assert_identical(&tag("pagerank"), |gpu| {
+            let dg = up(gpu, &g);
+            run_pagerank(gpu, &dg, 3, 0.85, m, &exec).unwrap().run
+        });
+        assert_identical(&tag("betweenness"), |gpu| {
+            let dg = up(gpu, &g);
+            run_betweenness(gpu, &dg, &bc_sources, m, &exec)
+                .unwrap()
+                .run
+        });
+        assert_identical(&tag("triangles"), |gpu| {
+            run_triangles(gpu, &sym, m, &exec, Orientation::ByDegree)
+                .unwrap()
+                .run
+        });
+        assert_identical(&tag("coloring"), |gpu| {
+            let dg = up(gpu, &sym);
+            run_coloring(gpu, &dg, m, &exec).unwrap().run
+        });
+        assert_identical(&tag("kcore"), |gpu| {
+            let dg = up(gpu, &sym);
+            run_kcore(gpu, &dg, m, &exec).unwrap().run
+        });
+        assert_identical(&tag("msbfs"), |gpu| {
+            let dg = up(gpu, &g);
+            run_msbfs(gpu, &dg, &ms_sources, m, &exec).unwrap().run
+        });
+        assert_identical(&tag("spmv"), |gpu| {
+            let dg = up(gpu, &g);
+            run_spmv(gpu, &dg, &values, &x, m, &exec).unwrap().run
+        });
+    }
+}

@@ -56,6 +56,11 @@ pub struct GpuConfig {
     /// Also switched on by `MAXWARP_SANITIZE=1` in the environment. Purely
     /// observational: results and `KernelStats` are identical either way.
     pub sanitize: bool,
+    /// Enable the cycle-attribution profiler (per-call-site hotspot table,
+    /// per-SM stall breakdown, warp timeline). Also switched on by
+    /// `MAXWARP_PROFILE=1` in the environment. Purely observational: results,
+    /// `KernelStats`, and simulated cycles are identical either way.
+    pub profile: bool,
 }
 
 impl GpuConfig {
@@ -82,6 +87,7 @@ impl GpuConfig {
             l2_hit_latency: 120,
             issue_width: 1,
             sanitize: false,
+            profile: false,
         }
     }
 
@@ -109,6 +115,7 @@ impl GpuConfig {
             l2_hit_latency: 90,
             issue_width: 1,
             sanitize: false,
+            profile: false,
         }
     }
 
@@ -134,6 +141,7 @@ impl GpuConfig {
             l2_hit_latency: 10,
             issue_width: 1,
             sanitize: false,
+            profile: false,
         }
     }
 

@@ -5,12 +5,14 @@ use crate::config::GpuConfig;
 use crate::kernel::{BlockCtx, Kernel};
 use crate::lanes::WARP_SIZE;
 use crate::mem::DeviceMem;
+use crate::profile::{ProfileReport, Profiler};
 use crate::sanitize::{BlockShadow, Sanitizer};
 use crate::shared::SharedMem;
 use crate::stats::KernelStats;
-use crate::timing::{self, TimingError, TimingInput};
+use crate::timing::{self, TimingError, TimingInput, TimingReport, WarpSpan};
 use crate::trace::{KernelTrace, Op, WarpTrace};
 use crate::warp::{SanScope, WarpCtx, WarpId};
+use std::panic::Location;
 
 /// Launch-time errors (the simulator's `cudaGetLastError`).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -88,21 +90,36 @@ pub struct Gpu {
     /// Warp-hazard sanitizer shadow state, present when `cfg.sanitize` (or
     /// `MAXWARP_SANITIZE=1`) turned checking on at construction.
     san: Option<Box<Sanitizer>>,
+    /// Cycle-attribution profiler, present when `cfg.profile` (or
+    /// `MAXWARP_PROFILE=1`) turned profiling on at construction.
+    prof: Option<Box<Profiler>>,
+    /// Timing detail accumulated across every launch on this device.
+    timing_total: TimingReport,
+    /// Timing detail of the most recent launch.
+    last_timing: Option<TimingReport>,
 }
 
 impl Gpu {
     /// A device with the given configuration and empty memory. Setting the
     /// environment variable `MAXWARP_SANITIZE=1` forces the sanitizer on
-    /// regardless of `cfg.sanitize`.
+    /// regardless of `cfg.sanitize`; `MAXWARP_PROFILE=1` likewise forces
+    /// the profiler on.
     pub fn new(mut cfg: GpuConfig) -> Self {
         if std::env::var("MAXWARP_SANITIZE").is_ok_and(|v| v == "1") {
             cfg.sanitize = true;
         }
+        if std::env::var("MAXWARP_PROFILE").is_ok_and(|v| v == "1") {
+            cfg.profile = true;
+        }
         let san = cfg.sanitize.then(|| Box::new(Sanitizer::new()));
+        let prof = cfg.profile.then(|| Box::new(Profiler::new(&cfg)));
         Gpu {
             cfg,
             mem: DeviceMem::new(),
             san,
+            prof,
+            timing_total: TimingReport::default(),
+            last_timing: None,
         }
     }
 
@@ -116,6 +133,62 @@ impl Gpu {
     pub fn set_sanitize_context(&mut self, name: &str) {
         if let Some(san) = &mut self.san {
             san.set_context(name);
+        }
+    }
+
+    /// Whether the cycle-attribution profiler is on. Drivers can use this
+    /// to skip building launch labels when nobody will read them.
+    pub fn profiling(&self) -> bool {
+        self.prof.is_some()
+    }
+
+    /// The profiler, if profiling.
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.prof.as_deref()
+    }
+
+    /// Label the whole profile (kernel/dataset/method). No-op when the
+    /// profiler is off.
+    pub fn set_profile_context(&mut self, name: &str) {
+        if let Some(prof) = &mut self.prof {
+            prof.set_context(name);
+        }
+    }
+
+    /// Label the next launch in the profile timeline (e.g. `bfs level 3`).
+    /// No-op when the profiler is off.
+    pub fn set_profile_label(&mut self, label: &str) {
+        if let Some(prof) = &mut self.prof {
+            prof.set_launch_label(label);
+        }
+    }
+
+    /// Snapshot the accumulated profile, if profiling.
+    pub fn profile_report(&self) -> Option<ProfileReport> {
+        self.prof.as_deref().map(Profiler::report)
+    }
+
+    /// Timing detail accumulated across every launch on this device
+    /// (per-SM stall buckets sum to the total of all launch cycles).
+    /// Available regardless of profiling.
+    pub fn timing_total(&self) -> &TimingReport {
+        &self.timing_total
+    }
+
+    /// Timing detail of the most recent launch, if any launch has run.
+    pub fn last_timing(&self) -> Option<&TimingReport> {
+        self.last_timing.as_ref()
+    }
+
+    /// Fold one launch's timing into the device totals and, when profiling,
+    /// into the per-launch timeline.
+    fn record_timing(&mut self, report: TimingReport, spans: Vec<WarpSpan>) {
+        self.timing_total.accumulate(&report);
+        if let Some(prof) = &mut self.prof {
+            self.last_timing = Some(report.clone());
+            prof.finish_launch(report, spans);
+        } else {
+            self.last_timing = Some(report);
         }
     }
 
@@ -151,6 +224,7 @@ impl Gpu {
                 grid_blocks,
                 warps_per_block,
                 san.as_deref_mut(),
+                self.prof.as_deref_mut(),
             );
             kernel.run_block(&mut ctx);
             let (bt, shared_used) = ctx.into_trace();
@@ -163,7 +237,9 @@ impl Gpu {
         self.san = san;
 
         let mut stats = KernelStats::from_trace(&trace);
-        stats.cycles = timing::time_kernel_trace(&trace, &self.cfg)?;
+        let (report, spans) = timing::time_kernel_trace_spans(&trace, &self.cfg)?;
+        stats.cycles = report.cycles;
+        self.record_timing(report, spans);
         Ok(stats)
     }
 
@@ -175,6 +251,7 @@ impl Gpu {
     /// This is the vehicle for the paper's *dynamic workload distribution*
     /// study: the same functional work, scheduled statically or via an
     /// atomic work counter.
+    #[track_caller]
     pub fn launch_warp_tasks(
         &mut self,
         grid_blocks: u32,
@@ -183,6 +260,9 @@ impl Gpu {
         schedule: TaskSchedule,
         mut f: impl FnMut(&mut WarpCtx<'_>, u32),
     ) -> Result<KernelStats, LaunchError> {
+        // Attribute the dynamic queue-fetch atomics to whoever launched the
+        // task loop — kernel drivers, not this file.
+        let launch_site = Location::caller();
         self.validate_block(block_threads)?;
         let warps_per_block = block_threads / WARP_SIZE as u32;
         let resident_warps = (grid_blocks * warps_per_block).max(1);
@@ -200,11 +280,15 @@ impl Gpu {
             let mut wt = WarpTrace::new();
             if schedule == TaskSchedule::Dynamic {
                 // The chunk fetch: one-lane atomicAdd on the work counter.
-                wt.ops.push(Op::Atomic {
+                let fetch = Op::Atomic {
                     active: 1,
                     tx: 1,
                     replays: 0,
-                });
+                };
+                wt.ops.push(fetch);
+                if let Some(prof) = self.prof.as_deref_mut() {
+                    prof.note(launch_site, "queue_fetch", fetch, self.cfg.segment_words());
+                }
             }
             let mut shared = SharedMem::new(self.cfg.shared_words_per_sm);
             let id = WarpId {
@@ -220,7 +304,7 @@ impl Gpu {
                 san,
                 shadow: &mut shadow,
             });
-            let mut ctx = WarpCtx::new_sanitized(
+            let mut ctx = WarpCtx::new_instrumented(
                 &mut self.mem,
                 &mut shared,
                 &mut wt,
@@ -228,6 +312,7 @@ impl Gpu {
                 &self.cfg,
                 id,
                 scope,
+                self.prof.as_deref_mut(),
             );
             f(&mut ctx, task);
             tasks.push(wt);
@@ -262,7 +347,7 @@ impl Gpu {
             }
         }
 
-        let cycles = timing::simulate(
+        let (report, spans) = timing::simulate_spans(
             &TimingInput {
                 blocks,
                 block_threads,
@@ -288,7 +373,8 @@ impl Gpu {
         agg.per_warp_instructions = stats.per_warp_instructions;
         agg.warps = stats.warps;
         agg.blocks = grid_blocks as u64;
-        agg.cycles = cycles;
+        agg.cycles = report.cycles;
+        self.record_timing(report, spans);
         Ok(agg)
     }
 
@@ -454,6 +540,150 @@ mod tests {
             .unwrap();
         assert_eq!(stats.warps, 0);
         assert_eq!(stats.cycles, 0);
+    }
+
+    fn profiled_gpu() -> Gpu {
+        let mut cfg = GpuConfig::tiny_test();
+        cfg.profile = true;
+        Gpu::new(cfg)
+    }
+
+    fn imbalanced_kernel(b: &mut BlockCtx<'_>) {
+        let n = 64u32;
+        b.phase(|w| {
+            let tid = w.global_thread_ids();
+            let m = w.lt_scalar(Mask::FULL, &tid, n);
+            // Divergent loop: lane l of warp w spins tid%7 times.
+            let mut iters = w.alu1(m, &tid, |x| x % 7);
+            let mut live = w.alu_pred(m, &iters, |x| x > 0);
+            while live.any() {
+                w.alu_nop(live);
+                iters = w.alu1(live, &iters, |x| x.saturating_sub(1));
+                live = w.alu_pred(live, &iters, |x| x > 0);
+            }
+        });
+        b.barrier();
+        b.phase(|w| {
+            let tid = w.global_thread_ids();
+            let m = w.lt_scalar(Mask::FULL, &tid, n);
+            w.alu_nop(m);
+        });
+    }
+
+    #[test]
+    fn profiling_leaves_stats_byte_identical() {
+        let run = |mut g: Gpu| {
+            let out = g.mem.alloc::<u32>(64);
+            let stats = g
+                .launch(2, 32, &|b: &mut BlockCtx<'_>| {
+                    imbalanced_kernel(b);
+                    b.phase(|w| {
+                        let tid = w.global_thread_ids();
+                        let m = w.lt_scalar(Mask::FULL, &tid, 64);
+                        w.st(m, out, &tid, &tid);
+                        w.atomic_add(m, out, &Lanes::splat(0), &Lanes::splat(1u32));
+                    });
+                })
+                .unwrap();
+            (stats, g.mem.download(out))
+        };
+        let (plain, mem_plain) = run(gpu());
+        let (profiled, mem_prof) = run(profiled_gpu());
+        assert_eq!(plain, profiled, "profiling must not perturb KernelStats");
+        assert_eq!(mem_plain, mem_prof, "profiling must not perturb memory");
+    }
+
+    #[test]
+    fn profile_report_attributes_sites_and_launches() {
+        let mut g = profiled_gpu();
+        g.set_profile_context("unit/imbalanced");
+        g.set_profile_label("first");
+        let s1 = g.launch(2, 32, &imbalanced_kernel).unwrap();
+        let s2 = g.launch(2, 32, &imbalanced_kernel).unwrap();
+        assert!(g.profiling());
+        let r = g.profile_report().unwrap();
+        assert_eq!(r.context, "unit/imbalanced");
+        assert_eq!(r.launches.len(), 2);
+        assert_eq!(r.launches[0].label, "first");
+        assert_eq!(r.launches[1].label, "launch 1");
+        assert_eq!(r.total_cycles, s1.cycles + s2.cycles);
+        // Sites resolve to this test file, not to warp.rs internals.
+        assert!(!r.sites.is_empty());
+        for s in &r.sites {
+            assert!(
+                s.file.ends_with("device.rs"),
+                "site {} must attribute to kernel code",
+                s.location()
+            );
+        }
+        // The divergent spin shows up as a low-lane-utilization alu site.
+        assert!(r
+            .sites
+            .iter()
+            .any(|s| s.op == "alu" && s.lane_utilization() < 0.9));
+        assert!(r.sites.iter().any(|s| s.op == "barrier"));
+        // Per-SM buckets sum to the accumulated cycles.
+        for b in &r.timing.sm_breakdown {
+            assert_eq!(b.total(), r.total_cycles);
+        }
+        // Spans live within their launch.
+        for l in &r.launches {
+            assert!(!l.spans.is_empty());
+            for sp in &l.spans {
+                assert!(sp.end <= l.cycles.max(sp.start + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn warp_tasks_profiled_identically_and_fetches_attributed() {
+        let run = |mut g: Gpu| {
+            let out = g.mem.alloc::<u32>(64);
+            g.launch_warp_tasks(2, 64, 64, TaskSchedule::Dynamic, |w, task| {
+                w.st_uniform(Mask::FULL, out, task, task);
+            })
+            .unwrap()
+        };
+        let plain = run(gpu());
+        let mut g = profiled_gpu();
+        let profiled = run({
+            g.set_profile_context("unit/tasks");
+            g
+        });
+        assert_eq!(plain, profiled);
+    }
+
+    #[test]
+    fn queue_fetch_atomics_show_in_profile() {
+        let mut g = profiled_gpu();
+        let out = g.mem.alloc::<u32>(8);
+        g.launch_warp_tasks(1, 32, 8, TaskSchedule::Dynamic, |w, t| {
+            w.st_uniform(Mask::FULL, out, t, 1);
+        })
+        .unwrap();
+        let r = g.profile_report().unwrap();
+        let fetch = r.sites.iter().find(|s| s.op == "queue_fetch").unwrap();
+        assert_eq!(fetch.instructions, 8);
+        assert!(fetch.file.ends_with("device.rs"));
+        assert_eq!(r.launches.len(), 1);
+        assert!(!r.launches[0].spans.is_empty());
+    }
+
+    #[test]
+    fn timing_totals_available_without_profiling() {
+        let mut g = gpu();
+        assert!(g.last_timing().is_none());
+        let s = g.launch(1, 32, &imbalanced_kernel).unwrap();
+        assert!(!g.profiling());
+        assert!(g.profile_report().is_none());
+        let last = g.last_timing().unwrap();
+        assert_eq!(last.cycles, s.cycles);
+        assert_eq!(g.timing_total().cycles, s.cycles);
+        let s2 = g.launch(1, 32, &imbalanced_kernel).unwrap();
+        assert_eq!(g.timing_total().cycles, s.cycles + s2.cycles);
+        for b in &g.timing_total().sm_breakdown {
+            assert_eq!(b.total(), g.timing_total().cycles);
+        }
     }
 
     #[test]

@@ -12,10 +12,12 @@ use crate::cache::CacheModel;
 use crate::config::GpuConfig;
 use crate::lanes::{DeviceWord, WARP_SIZE};
 use crate::mem::DeviceMem;
+use crate::profile::Profiler;
 use crate::sanitize::{BlockShadow, Sanitizer};
 use crate::shared::{SharedMem, SharedPtr};
 use crate::trace::{BlockTrace, Op, WarpTrace};
 use crate::warp::{SanScope, WarpCtx, WarpId};
+use std::panic::Location;
 
 /// A device kernel: the code one thread block runs.
 pub trait Kernel {
@@ -40,10 +42,12 @@ pub struct BlockCtx<'a> {
     num_blocks: u32,
     warps_per_block: u32,
     san: Option<&'a mut Sanitizer>,
+    prof: Option<&'a mut Profiler>,
     shadow: BlockShadow,
 }
 
 impl<'a> BlockCtx<'a> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         mem: &'a mut DeviceMem,
         cache: &'a mut CacheModel,
@@ -52,6 +56,7 @@ impl<'a> BlockCtx<'a> {
         num_blocks: u32,
         warps_per_block: u32,
         san: Option<&'a mut Sanitizer>,
+        prof: Option<&'a mut Profiler>,
     ) -> Self {
         BlockCtx {
             mem,
@@ -65,6 +70,7 @@ impl<'a> BlockCtx<'a> {
             num_blocks,
             warps_per_block,
             san,
+            prof,
             shadow: BlockShadow::default(),
         }
     }
@@ -117,7 +123,7 @@ impl<'a> BlockCtx<'a> {
                 san,
                 shadow: &mut self.shadow,
             });
-            let mut ctx = WarpCtx::new_sanitized(
+            let mut ctx = WarpCtx::new_instrumented(
                 self.mem,
                 &mut self.shared,
                 &mut self.trace.warps[w as usize],
@@ -125,15 +131,21 @@ impl<'a> BlockCtx<'a> {
                 self.cfg,
                 id,
                 scope,
+                self.prof.as_deref_mut(),
             );
             f(&mut ctx);
         }
     }
 
     /// `__syncthreads()`: every warp of the block rendezvouses here.
+    #[track_caller]
     pub fn barrier(&mut self) {
+        let site = Location::caller();
         for w in &mut self.trace.warps {
             w.ops.push(Op::Bar);
+            if let Some(prof) = self.prof.as_deref_mut() {
+                prof.note(site, "barrier", Op::Bar, self.cfg.segment_words());
+            }
         }
         self.shadow.advance_epoch();
     }
@@ -160,7 +172,7 @@ mod tests {
         let mut mem = DeviceMem::new();
         let cfg = GpuConfig::tiny_test();
         let mut cache = CacheModel::new(0, 1, 128);
-        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 3, 5, 4, None);
+        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 3, 5, 4, None, None);
         let mut seen = Vec::new();
         block.phase(|w| seen.push((w.id().block, w.id().warp_in_block)));
         assert_eq!(seen, vec![(3, 0), (3, 1), (3, 2), (3, 3)]);
@@ -171,7 +183,7 @@ mod tests {
         let mut mem = DeviceMem::new();
         let cfg = GpuConfig::tiny_test();
         let mut cache = CacheModel::new(0, 1, 128);
-        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 0, 1, 2, None);
+        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 0, 1, 2, None, None);
         block.phase(|w| w.alu_nop(Mask::FULL));
         block.barrier();
         let (trace, _) = block.into_trace();
@@ -186,7 +198,7 @@ mod tests {
         let mut mem = DeviceMem::new();
         let cfg = GpuConfig::tiny_test();
         let mut cache = CacheModel::new(0, 1, 128);
-        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 0, 1, 2, None);
+        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 0, 1, 2, None, None);
         let sp = block.shared_alloc::<u32>(64);
         block.phase(|w| {
             if w.id().warp_in_block == 0 {
@@ -211,7 +223,7 @@ mod tests {
         let mut mem = DeviceMem::new();
         let cfg = GpuConfig::tiny_test();
         let mut cache = CacheModel::new(0, 1, 128);
-        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 0, 1, 1, None);
+        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 0, 1, 1, None, None);
         k.run_block(&mut block);
         let (trace, used) = block.into_trace();
         assert_eq!(trace.warps[0].ops.len(), 1);
@@ -224,7 +236,7 @@ mod tests {
         let p = mem.alloc::<u32>(64);
         let cfg = GpuConfig::tiny_test();
         let mut cache = CacheModel::new(0, 1, 128);
-        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 0, 1, 2, None);
+        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 0, 1, 2, None, None);
         block.phase(|w| {
             let ids = w.global_thread_ids();
             w.st(Mask::FULL, p, &ids, &ids);

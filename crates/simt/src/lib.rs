@@ -58,6 +58,7 @@ pub mod kernel;
 pub mod lanes;
 pub mod mask;
 pub mod mem;
+pub mod profile;
 pub mod sanitize;
 pub mod shared;
 pub mod stats;
@@ -72,9 +73,10 @@ pub use kernel::{BlockCtx, Kernel};
 pub use lanes::{DeviceWord, Lanes, LOG_WARP_SIZE, WARP_SIZE};
 pub use mask::Mask;
 pub use mem::{DevPtr, DeviceMem};
+pub use profile::{LaunchProfile, ProfileReport, Profiler, SiteReport};
 pub use sanitize::{DiagKind, Diagnostic, Sanitizer, Severity};
 pub use shared::{SharedMem, SharedPtr};
 pub use stats::KernelStats;
-pub use timing::{TimingError, TimingInput};
+pub use timing::{StallBreakdown, TimingError, TimingInput, TimingReport, WarpSpan};
 pub use trace::{BlockTrace, KernelTrace, Op, WarpTrace};
 pub use warp::{AtomicArith, WarpCtx, WarpId};

@@ -1,0 +1,415 @@
+//! Profile exporters: ranked hotspot table (human-readable), profile JSON,
+//! and Chrome trace-event JSON (`chrome://tracing` / Perfetto).
+//!
+//! JSON is emitted by hand: the reports are small, the schema is flat, and
+//! the repo's serde is a facade without derive codegen.
+
+use super::ProfileReport;
+use std::fmt::Write as _;
+
+/// Escape a string for inclusion in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl ProfileReport {
+    /// The human-readable ranked hotspot report: top `top` call sites by
+    /// estimated cycle cost, followed by the per-SM stall breakdown and
+    /// per-launch summary.
+    pub fn hotspot_table(&self, top: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "profile: {} on {}", self.context, self.device);
+        let _ = writeln!(
+            out,
+            "total: {} cycles, {} instructions, {} launches",
+            self.total_cycles,
+            self.total_instructions(),
+            self.launches.len()
+        );
+        let _ = writeln!(
+            out,
+            "dram utilization {:.1}%  sm imbalance {:.2}x",
+            self.timing.dram_utilization() * 100.0,
+            self.timing.sm_imbalance()
+        );
+
+        let b = self.timing.breakdown_total();
+        let denom = (b.total().max(1)) as f64;
+        let pct = |v: u64| 100.0 * v as f64 / denom;
+        let _ = writeln!(
+            out,
+            "cycle breakdown (chip avg): issue/compute {:.1}%  mem {:.1}%  atomic {:.1}%  \
+             bank {:.1}%  barrier {:.1}%  idle/tail {:.1}%",
+            pct(b.issue),
+            pct(b.mem_stall),
+            pct(b.atomic_stall),
+            pct(b.bank_stall),
+            pct(b.barrier_stall),
+            pct(b.idle),
+        );
+
+        let _ = writeln!(
+            out,
+            "\n{:>4} {:>12} {:>7} {:>10} {:>8} {:>8} {:>8}  {:<12} site",
+            "rank", "est.cycles", "%", "instr", "lane%", "coal%", "replays", "op"
+        );
+        let total_est: u64 = self.sites.iter().map(|s| s.est_cycles).sum();
+        for (i, s) in self.sites.iter().take(top).enumerate() {
+            let coal = match s.coalescing_efficiency() {
+                Some(e) => format!("{:.1}", e * 100.0),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{:>4} {:>12} {:>6.1} {:>10} {:>8.1} {:>8} {:>8}  {:<12} {}",
+                i + 1,
+                s.est_cycles,
+                100.0 * s.est_cycles as f64 / total_est.max(1) as f64,
+                s.instructions,
+                s.lane_utilization() * 100.0,
+                coal,
+                s.atomic_replays,
+                s.op,
+                s.location()
+            );
+        }
+        if self.sites.len() > top {
+            let _ = writeln!(out, "  ... {} more sites", self.sites.len() - top);
+        }
+
+        if self.launches.len() > 1 {
+            let _ = writeln!(out, "\nlaunches:");
+            for l in &self.launches {
+                let _ = writeln!(
+                    out,
+                    "  {:>4}  {:>10} cycles  {:>10} instr  {}",
+                    l.index, l.cycles, l.instructions, l.label
+                );
+            }
+        }
+        out
+    }
+
+    /// The machine-readable profile: totals, per-SM stall breakdown, and
+    /// the ranked site table (everything but the warp spans, which go to
+    /// the Chrome trace).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"device\": \"{}\",", esc(&self.device));
+        let _ = writeln!(out, "  \"context\": \"{}\",", esc(&self.context));
+        let _ = writeln!(out, "  \"total_cycles\": {},", self.total_cycles);
+        let _ = writeln!(
+            out,
+            "  \"total_instructions\": {},",
+            self.total_instructions()
+        );
+        let _ = writeln!(
+            out,
+            "  \"dram_utilization\": {},",
+            fmt_f64(self.timing.dram_utilization())
+        );
+        let _ = writeln!(
+            out,
+            "  \"sm_imbalance\": {},",
+            fmt_f64(self.timing.sm_imbalance())
+        );
+        let _ = writeln!(
+            out,
+            "  \"dram_busy_cycles\": {},",
+            self.timing.dram_busy_cycles
+        );
+        let _ = writeln!(
+            out,
+            "  \"sm_instructions\": [{}],",
+            join(self.timing.sm_instructions.iter())
+        );
+        out.push_str("  \"sm_breakdown\": [\n");
+        for (i, b) in self.timing.sm_breakdown.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"issue\": {}, \"mem_stall\": {}, \"atomic_stall\": {}, \
+                 \"bank_stall\": {}, \"barrier_stall\": {}, \"idle\": {}}}",
+                b.issue, b.mem_stall, b.atomic_stall, b.bank_stall, b.barrier_stall, b.idle
+            );
+            out.push_str(if i + 1 < self.timing.sm_breakdown.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"sites\": [\n");
+        for (i, s) in self.sites.iter().enumerate() {
+            let coal = match s.coalescing_efficiency() {
+                Some(e) => fmt_f64(e),
+                None => "null".to_string(),
+            };
+            let _ = write!(
+                out,
+                "    {{\"file\": \"{}\", \"line\": {}, \"column\": {}, \"op\": \"{}\", \
+                 \"instructions\": {}, \"active_lane_sum\": {}, \"lane_utilization\": {}, \
+                 \"transactions\": {}, \"ideal_transactions\": {}, \
+                 \"coalescing_efficiency\": {}, \"atomic_replays\": {}, \"bank_passes\": {}, \
+                 \"cache_hits\": {}, \"cache_misses\": {}, \"est_cycles\": {}}}",
+                esc(&s.file),
+                s.line,
+                s.column,
+                esc(&s.op),
+                s.instructions,
+                s.active_lane_sum,
+                fmt_f64(s.lane_utilization()),
+                s.transactions,
+                s.ideal_transactions,
+                coal,
+                s.atomic_replays,
+                s.bank_passes,
+                s.cache_hits,
+                s.cache_misses,
+                s.est_cycles
+            );
+            out.push_str(if i + 1 < self.sites.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"launches\": [\n");
+        for (i, l) in self.launches.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"index\": {}, \"label\": \"{}\", \"cycles\": {}, \"instructions\": {}, \
+                 \"warps\": {}}}",
+                l.index,
+                esc(&l.label),
+                l.cycles,
+                l.instructions,
+                l.spans.len()
+            );
+            out.push_str(if i + 1 < self.launches.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Chrome trace-event JSON: one `X` (complete) event per warp per
+    /// launch, on a process per SM, with launches laid out back-to-back on
+    /// a shared timebase (1 simulated cycle = 1 µs in the viewer). A
+    /// `launches` track (pid 0) shows one event per launch. Load into
+    /// `chrome://tracing` or <https://ui.perfetto.dev>.
+    pub fn chrome_trace(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"traceEvents\":[\n");
+        let mut first = true;
+        let mut push = |out: &mut String, ev: String| {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&ev);
+        };
+        push(
+            &mut out,
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+             \"args\":{\"name\":\"launches\"}}"
+                .to_string(),
+        );
+        let num_sms = self.timing.sm_instructions.len() as u32;
+        for sm in 0..num_sms {
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
+                     \"args\":{{\"name\":\"SM {}\"}}}}",
+                    sm + 1,
+                    sm
+                ),
+            );
+        }
+        let mut offset = 0u64;
+        for l in &self.launches {
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"launch\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                     \"pid\":0,\"tid\":0,\"args\":{{\"cycles\":{},\"instructions\":{}}}}}",
+                    esc(&l.label),
+                    offset,
+                    l.cycles.max(1),
+                    l.cycles,
+                    l.instructions
+                ),
+            );
+            for s in &l.spans {
+                // One trace "thread" per warp slot; a warp has exactly one
+                // span per launch and launches are disjoint in time, so
+                // spans on a tid never overlap.
+                let tid = s.block * crate::lanes::WARP_SIZE as u32 + s.warp_in_block + 1;
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"name\":\"b{}.w{}\",\"cat\":\"warp\",\"ph\":\"X\",\"ts\":{},\
+                         \"dur\":{},\"pid\":{},\"tid\":{},\"args\":{{\"instructions\":{}}}}}",
+                        s.block,
+                        s.warp_in_block,
+                        offset + s.start,
+                        (s.end - s.start).max(1),
+                        s.sm + 1,
+                        tid,
+                        s.instructions
+                    ),
+                );
+            }
+            offset += l.cycles.max(1);
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+        out
+    }
+}
+
+fn join<'a>(vals: impl Iterator<Item = &'a u64>) -> String {
+    vals.map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{LaunchProfile, ProfileReport, SiteReport};
+    use crate::timing::{StallBreakdown, TimingReport, WarpSpan};
+
+    fn sample() -> ProfileReport {
+        let timing = TimingReport {
+            cycles: 120,
+            sm_instructions: vec![30, 10],
+            dram_busy_cycles: 40,
+            sm_breakdown: vec![
+                StallBreakdown {
+                    issue: 40,
+                    mem_stall: 80,
+                    ..Default::default()
+                },
+                StallBreakdown {
+                    issue: 10,
+                    idle: 110,
+                    ..Default::default()
+                },
+            ],
+        };
+        ProfileReport {
+            device: "tiny-test".to_string(),
+            context: "bfs/rmat [\"warp(8)\"]".to_string(),
+            total_cycles: 120,
+            timing: timing.clone(),
+            sites: vec![SiteReport {
+                file: "kernels/bfs.rs".to_string(),
+                line: 42,
+                column: 17,
+                op: "ld".to_string(),
+                instructions: 10,
+                active_lane_sum: 200,
+                transactions: 64,
+                ideal_transactions: 10,
+                atomic_replays: 0,
+                bank_passes: 0,
+                cache_hits: 0,
+                cache_misses: 0,
+                est_cycles: 74,
+            }],
+            launches: vec![LaunchProfile {
+                index: 0,
+                label: "level 0".to_string(),
+                cycles: 120,
+                instructions: 40,
+                timing,
+                spans: vec![WarpSpan {
+                    sm: 0,
+                    block: 2,
+                    warp_in_block: 1,
+                    start: 5,
+                    end: 100,
+                    instructions: 20,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn hotspot_table_mentions_site_and_buckets() {
+        let t = sample().hotspot_table(10);
+        assert!(t.contains("kernels/bfs.rs:42:17"), "{t}");
+        assert!(t.contains("mem"), "{t}");
+        assert!(t.contains("120 cycles"), "{t}");
+    }
+
+    #[test]
+    fn json_escapes_and_balances() {
+        let j = sample().to_json();
+        // The context contains quotes that must be escaped.
+        assert!(j.contains("bfs/rmat [\\\"warp(8)\\\"]"), "{j}");
+        assert_balanced(&j);
+        assert!(j.contains("\"mem_stall\": 80"));
+    }
+
+    #[test]
+    fn chrome_trace_has_events_and_balances() {
+        let c = sample().chrome_trace();
+        assert!(c.contains("\"traceEvents\""));
+        assert!(c.contains("b2.w1"));
+        assert!(c.contains("\"SM 0\""));
+        assert!(c.contains("level 0"));
+        assert_balanced(&c);
+    }
+
+    /// Structural JSON sanity: balanced braces/brackets outside strings.
+    fn assert_balanced(s: &str) {
+        let (mut brace, mut bracket) = (0i64, 0i64);
+        let mut in_str = false;
+        let mut escape = false;
+        for c in s.chars() {
+            if escape {
+                escape = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => escape = true,
+                '"' => in_str = !in_str,
+                '{' if !in_str => brace += 1,
+                '}' if !in_str => brace -= 1,
+                '[' if !in_str => bracket += 1,
+                ']' if !in_str => bracket -= 1,
+                _ => {}
+            }
+            assert!(brace >= 0 && bracket >= 0);
+        }
+        assert_eq!(brace, 0);
+        assert_eq!(bracket, 0);
+        assert!(!in_str);
+    }
+}

@@ -23,6 +23,7 @@
 
 use crate::config::GpuConfig;
 use crate::trace::{KernelTrace, Op, WarpTrace};
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -75,8 +76,76 @@ pub struct TimingInput<'a> {
     pub queue: Vec<&'a WarpTrace>,
 }
 
+/// Where one SM's cycles went, partitioned exactly: the six buckets of any
+/// SM sum to the launch's total cycles. Every cycle of the launch interval
+/// is either an issue cycle (the SM issued at least one instruction), a
+/// *stall* gap between two issues — attributed to whatever latency the
+/// gap-ending warp was waiting out — or idle time before the SM's first /
+/// after its last issue (dispatch wait, drain, and chip-level imbalance:
+/// SMs that run out of work sit in `idle` until the slowest SM finishes,
+/// which is the paper's Figure-1 inter-warp/inter-SM imbalance made
+/// visible).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallBreakdown {
+    /// Cycles with at least one instruction issued, plus gaps spent waiting
+    /// on ALU pipeline latency (issue/compute-bound time).
+    pub issue: u64,
+    /// Gaps ended by a warp returning from a global-memory access (DRAM
+    /// service + round-trip latency), including dynamic-queue task fetches.
+    pub mem_stall: u64,
+    /// Gaps ended by a warp serializing same-address atomic replays.
+    pub atomic_stall: u64,
+    /// Gaps ended by a warp replaying shared-memory bank conflicts.
+    pub bank_stall: u64,
+    /// Gaps ended by a warp released from a block-wide barrier.
+    pub barrier_stall: u64,
+    /// Cycles before the SM's first issue and after its last: block
+    /// dispatch wait, final-latency drain, and tail/imbalance idling.
+    pub idle: u64,
+}
+
+impl StallBreakdown {
+    /// Sum of all buckets — equals the launch's total cycles for every SM.
+    pub fn total(&self) -> u64 {
+        self.issue
+            + self.mem_stall
+            + self.atomic_stall
+            + self.bank_stall
+            + self.barrier_stall
+            + self.idle
+    }
+
+    /// Bucket-wise addition (for accumulating reports across launches).
+    pub fn add(&mut self, other: &StallBreakdown) {
+        self.issue += other.issue;
+        self.mem_stall += other.mem_stall;
+        self.atomic_stall += other.atomic_stall;
+        self.bank_stall += other.bank_stall;
+        self.barrier_stall += other.barrier_stall;
+        self.idle += other.idle;
+    }
+}
+
+/// One warp's lifetime within a launch, for timeline (Chrome-trace) export:
+/// first issue to retirement, with the instructions it issued.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WarpSpan {
+    /// SM the warp's block ran on.
+    pub sm: u32,
+    /// Block index in the grid.
+    pub block: u32,
+    /// Warp index within the block.
+    pub warp_in_block: u32,
+    /// Cycle of the warp's first instruction issue.
+    pub start: u64,
+    /// Cycle the warp retired (last completion it contributed).
+    pub end: u64,
+    /// Instructions the warp issued.
+    pub instructions: u64,
+}
+
 /// Detailed output of a timing simulation.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TimingReport {
     /// Total execution cycles (max completion over all warps).
     pub cycles: u64,
@@ -84,6 +153,8 @@ pub struct TimingReport {
     pub sm_instructions: Vec<u64>,
     /// Cycles the DRAM channel spent servicing transactions.
     pub dram_busy_cycles: u64,
+    /// Per-SM cycle attribution; each entry's buckets sum to `cycles`.
+    pub sm_breakdown: Vec<StallBreakdown>,
 }
 
 impl TimingReport {
@@ -107,6 +178,39 @@ impl TimingReport {
         let mean = total as f64 / busy.len() as f64;
         *busy.iter().max().unwrap() as f64 / mean
     }
+
+    /// Bucket-wise sum of every SM's stall breakdown. Totals
+    /// `cycles × num_sms` (each SM's buckets partition the launch interval).
+    pub fn breakdown_total(&self) -> StallBreakdown {
+        let mut total = StallBreakdown::default();
+        for b in &self.sm_breakdown {
+            total.add(b);
+        }
+        total
+    }
+
+    /// Fold another launch's report into this one: cycles and DRAM busy
+    /// time add up, per-SM instruction counts and stall buckets add
+    /// element-wise. This is the multi-launch (e.g. one BFS level per
+    /// launch) aggregation; the buckets-sum-to-cycles invariant holds for
+    /// the accumulated report too.
+    pub fn accumulate(&mut self, other: &TimingReport) {
+        self.cycles += other.cycles;
+        self.dram_busy_cycles += other.dram_busy_cycles;
+        if self.sm_instructions.len() < other.sm_instructions.len() {
+            self.sm_instructions.resize(other.sm_instructions.len(), 0);
+        }
+        for (a, b) in self.sm_instructions.iter_mut().zip(&other.sm_instructions) {
+            *a += b;
+        }
+        if self.sm_breakdown.len() < other.sm_breakdown.len() {
+            self.sm_breakdown
+                .resize(other.sm_breakdown.len(), StallBreakdown::default());
+        }
+        for (a, b) in self.sm_breakdown.iter_mut().zip(&other.sm_breakdown) {
+            a.add(b);
+        }
+    }
 }
 
 /// Simulate the workload; returns total execution cycles.
@@ -119,17 +223,35 @@ pub fn simulate_report(
     input: &TimingInput<'_>,
     cfg: &GpuConfig,
 ) -> Result<TimingReport, TimingError> {
+    Ok(simulate_spans(input, cfg)?.0)
+}
+
+/// Simulate the workload and return the report plus one [`WarpSpan`] per
+/// resident warp that issued at least one instruction — the timeline view.
+pub fn simulate_spans(
+    input: &TimingInput<'_>,
+    cfg: &GpuConfig,
+) -> Result<(TimingReport, Vec<WarpSpan>), TimingError> {
     Engine::new(input, cfg)?.run()
 }
 
 /// Convenience wrapper: time an ordinary kernel launch trace.
 pub fn time_kernel_trace(trace: &KernelTrace, cfg: &GpuConfig) -> Result<u64, TimingError> {
+    Ok(time_kernel_trace_spans(trace, cfg)?.0.cycles)
+}
+
+/// Time an ordinary kernel launch trace, returning the detailed report and
+/// per-warp timeline spans.
+pub fn time_kernel_trace_spans(
+    trace: &KernelTrace,
+    cfg: &GpuConfig,
+) -> Result<(TimingReport, Vec<WarpSpan>), TimingError> {
     let blocks = trace
         .blocks
         .iter()
         .map(|b| b.warps.iter().map(|w| vec![w]).collect())
         .collect();
-    simulate(
+    simulate_spans(
         &TimingInput {
             blocks,
             block_threads: trace.block_threads,
@@ -140,12 +262,52 @@ pub fn time_kernel_trace(trace: &KernelTrace, cfg: &GpuConfig) -> Result<u64, Ti
     )
 }
 
+/// What a warp that is not ready to issue is waiting on. Set when the warp
+/// is pushed onto the ready heap; read when it next issues, to attribute
+/// the preceding no-issue gap on its SM to a stall bucket.
+#[derive(Clone, Copy, Debug)]
+enum Wait {
+    /// Waiting for its block to be dispatched to an SM.
+    Dispatch,
+    /// ALU pipeline latency.
+    Compute,
+    /// Global-memory round trip (loads, stores, cached-load misses, and
+    /// dynamic-queue task fetches).
+    Mem,
+    /// Atomic DRAM access plus same-address replay serialization.
+    Atomic,
+    /// Shared-memory latency and bank-conflict replay passes.
+    Shared,
+    /// Block-wide barrier rendezvous.
+    Barrier,
+}
+
+impl Wait {
+    fn of_op(op: Op) -> Wait {
+        match op {
+            Op::Alu { .. } => Wait::Compute,
+            Op::LdGlobal { .. } | Op::StGlobal { .. } | Op::LdCached { .. } => Wait::Mem,
+            Op::Atomic { .. } => Wait::Atomic,
+            Op::Shared { .. } => Wait::Shared,
+            Op::Bar | Op::San => Wait::Compute,
+        }
+    }
+}
+
 struct WarpRt<'a> {
     stream: Vec<&'a WarpTrace>,
     cur_trace: usize,
     cur_op: usize,
     block: u32,
     finished: bool,
+    /// Why the warp is not ready (attribution for the gap its next issue ends).
+    wait: Wait,
+    /// Cycle of the warp's first instruction issue, if any.
+    first_issue: Option<u64>,
+    /// Latest completion time the warp contributed.
+    last_time: u64,
+    /// Instructions the warp issued.
+    instructions: u64,
 }
 
 impl<'a> WarpRt<'a> {
@@ -203,6 +365,10 @@ struct Engine<'a> {
     dram_busy: u64,
     end_time: u64,
     sm_instructions: Vec<u64>,
+    /// Per-SM cycle of the most recent issue, if any — the gap-attribution
+    /// anchor.
+    sm_last_issue: Vec<Option<u64>>,
+    sm_breakdown: Vec<StallBreakdown>,
 }
 
 impl<'a> Engine<'a> {
@@ -232,6 +398,10 @@ impl<'a> Engine<'a> {
                     cur_op: 0,
                     block: b as u32,
                     finished: false,
+                    wait: Wait::Dispatch,
+                    first_issue: None,
+                    last_time: 0,
+                    instructions: 0,
                 });
             }
             blocks.push(BlockRt {
@@ -257,6 +427,8 @@ impl<'a> Engine<'a> {
             dram_busy: 0,
             end_time: 0,
             sm_instructions: vec![0; cfg.num_sms as usize],
+            sm_last_issue: vec![None; cfg.num_sms as usize],
+            sm_breakdown: vec![StallBreakdown::default(); cfg.num_sms as usize],
         };
 
         // Initial dispatch: fill SMs round-robin at t = 0.
@@ -313,6 +485,8 @@ impl<'a> Engine<'a> {
         match next {
             Next::Resume => self.heap.push(Reverse((t, wi))),
             Next::Pulled => {
+                // The task fetch is a global-memory round trip.
+                self.warps[wi as usize].wait = Wait::Mem;
                 let ready = self.dram_service(t, 1) + self.cfg.mem_latency;
                 self.heap.push(Reverse((ready, wi)));
             }
@@ -324,6 +498,7 @@ impl<'a> Engine<'a> {
         let w = &mut self.warps[wi as usize];
         debug_assert!(!w.finished);
         w.finished = true;
+        w.last_time = w.last_time.max(t);
         let b = w.block as usize;
         self.end_time = self.end_time.max(t);
         let block = &mut self.blocks[b];
@@ -347,6 +522,7 @@ impl<'a> Engine<'a> {
         let waiting = std::mem::take(&mut self.blocks[b].barrier_waiting);
         self.blocks[b].barrier_arrived = 0;
         for wi in waiting {
+            self.warps[wi as usize].wait = Wait::Barrier;
             let has_more = self.warps[wi as usize].advance();
             if has_more {
                 self.heap.push(Reverse((t, wi)));
@@ -356,7 +532,7 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn run(mut self) -> Result<TimingReport, TimingError> {
+    fn run(mut self) -> Result<(TimingReport, Vec<WarpSpan>), TimingError> {
         while let Some(Reverse((t, wi))) = self.heap.pop() {
             let sm = self.blocks[self.warps[wi as usize].block as usize].sm as usize;
             // Enforce the SM issue port: `issue_width` issues per cycle.
@@ -369,6 +545,45 @@ impl<'a> Engine<'a> {
                 self.heap.push(Reverse((t_iss, wi)));
                 continue;
             }
+            let op = self.warps[wi as usize]
+                .current_op()
+                .expect("warp in heap must have a current op");
+            // Cycle attribution: the first issue of an SM cycle closes the
+            // preceding no-issue gap. During that gap every resident warp
+            // was waiting out some latency (had one been ready, it would
+            // have issued — the port was free), so charge the whole gap to
+            // what the gap-ending warp was waiting on. One refinement: if
+            // the gap ends with a straggler arriving at a barrier that
+            // already has warps parked, the gap is barrier imbalance — the
+            // early arrivers were done and waiting; the straggler's exposed
+            // latency is the rendezvous cost (the paper's inter-warp
+            // imbalance at synchronization points).
+            let first_in_cycle = t_iss > self.sm_cycle[sm] || self.sm_issued_in_cycle[sm] == 0;
+            if first_in_cycle {
+                let gap = match self.sm_last_issue[sm] {
+                    Some(prev) => t_iss - prev - 1,
+                    None => t_iss,
+                };
+                if gap > 0 {
+                    let straggler_bar = matches!(op, Op::Bar)
+                        && self.blocks[self.warps[wi as usize].block as usize].barrier_arrived > 0;
+                    let bucket = &mut self.sm_breakdown[sm];
+                    if straggler_bar {
+                        bucket.barrier_stall += gap;
+                    } else {
+                        match self.warps[wi as usize].wait {
+                            Wait::Dispatch => bucket.idle += gap,
+                            Wait::Compute => bucket.issue += gap,
+                            Wait::Mem => bucket.mem_stall += gap,
+                            Wait::Atomic => bucket.atomic_stall += gap,
+                            Wait::Shared => bucket.bank_stall += gap,
+                            Wait::Barrier => bucket.barrier_stall += gap,
+                        }
+                    }
+                }
+                self.sm_breakdown[sm].issue += 1;
+                self.sm_last_issue[sm] = Some(t_iss);
+            }
             if t_iss > self.sm_cycle[sm] {
                 self.sm_cycle[sm] = t_iss;
                 self.sm_issued_in_cycle[sm] = 0;
@@ -376,9 +591,14 @@ impl<'a> Engine<'a> {
             self.sm_issued_in_cycle[sm] += 1;
             self.sm_instructions[sm] += 1;
 
-            let op = self.warps[wi as usize]
-                .current_op()
-                .expect("warp in heap must have a current op");
+            {
+                let w = &mut self.warps[wi as usize];
+                if w.first_issue.is_none() {
+                    w.first_issue = Some(t_iss);
+                }
+                w.instructions += 1;
+                w.wait = Wait::of_op(op);
+            }
 
             match op {
                 Op::Bar => {
@@ -386,6 +606,7 @@ impl<'a> Engine<'a> {
                     self.blocks[b].barrier_arrived += 1;
                     self.blocks[b].barrier_waiting.push(wi);
                     self.end_time = self.end_time.max(t_iss + 1);
+                    self.warps[wi as usize].last_time = t_iss + 1;
                     if self.blocks[b].barrier_arrived == self.blocks[b].live {
                         self.release_barrier(b, t_iss + 1);
                     }
@@ -393,6 +614,7 @@ impl<'a> Engine<'a> {
                 _ => {
                     let done = self.completion_time(t_iss, op);
                     self.end_time = self.end_time.max(done);
+                    self.warps[wi as usize].last_time = done;
                     let has_more = self.warps[wi as usize].advance();
                     if has_more {
                         self.heap.push(Reverse((done, wi)));
@@ -410,11 +632,41 @@ impl<'a> Engine<'a> {
             self.warps.iter().all(|w| w.finished),
             "all warps must retire"
         );
-        Ok(TimingReport {
-            cycles: self.end_time,
-            sm_instructions: self.sm_instructions,
-            dram_busy_cycles: self.dram_busy,
-        })
+        // Close each SM's books: everything after its last issue (or the
+        // whole launch, if it never issued) is drain/imbalance idle time.
+        for sm in 0..self.sm_breakdown.len() {
+            let tail = match self.sm_last_issue[sm] {
+                Some(prev) => self.end_time.saturating_sub(prev + 1),
+                None => self.end_time,
+            };
+            self.sm_breakdown[sm].idle += tail;
+        }
+        let spans = self
+            .warps
+            .iter()
+            .enumerate()
+            .filter_map(|(wi, w)| {
+                let start = w.first_issue?;
+                let block = &self.blocks[w.block as usize];
+                Some(WarpSpan {
+                    sm: block.sm,
+                    block: w.block,
+                    warp_in_block: wi as u32 - block.warps[0],
+                    start,
+                    end: w.last_time.max(start + 1),
+                    instructions: w.instructions,
+                })
+            })
+            .collect();
+        Ok((
+            TimingReport {
+                cycles: self.end_time,
+                sm_instructions: self.sm_instructions,
+                dram_busy_cycles: self.dram_busy,
+                sm_breakdown: self.sm_breakdown,
+            },
+            spans,
+        ))
     }
 
     fn completion_time(&mut self, t_iss: u64, op: Op) -> u64 {
@@ -853,6 +1105,148 @@ mod tests {
             ops: vec![Op::San; 3],
         }];
         assert_eq!(simulate(&one_block_input(&only, 32), &cfg).unwrap(), 0);
+    }
+
+    /// Every SM's stall buckets must sum exactly to the reported cycles.
+    fn assert_buckets_partition(report: &TimingReport) {
+        assert_eq!(
+            report.sm_breakdown.len(),
+            report.sm_instructions.len(),
+            "one breakdown per SM"
+        );
+        for (sm, b) in report.sm_breakdown.iter().enumerate() {
+            assert_eq!(
+                b.total(),
+                report.cycles,
+                "SM {sm} buckets {b:?} must sum to {} cycles",
+                report.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn stall_buckets_partition_cycles_across_workloads() {
+        let cfg = cfg();
+        // A mixed trace exercising every bucket source: ALU, global loads,
+        // atomics with replays, shared-memory conflicts, and a barrier.
+        let mut w0 = WarpTrace {
+            ops: vec![
+                Op::Alu { active: 32 },
+                Op::LdGlobal { active: 32, tx: 8 },
+                Op::Atomic {
+                    active: 16,
+                    tx: 4,
+                    replays: 6,
+                },
+                Op::Shared {
+                    active: 32,
+                    cost: 7,
+                },
+            ],
+        };
+        w0.ops.push(Op::Bar);
+        w0.ops.push(Op::Alu { active: 32 });
+        let mut w1 = alu_trace(3);
+        w1.ops.push(Op::Bar);
+        w1.ops.push(Op::LdGlobal { active: 32, tx: 2 });
+        let warps = [w0, w1];
+        let report = simulate_report(&one_block_input(&warps, 64), &cfg).unwrap();
+        assert_buckets_partition(&report);
+        let total = report.breakdown_total();
+        assert!(total.mem_stall > 0, "loads must show up as memory stalls");
+        assert!(total.barrier_stall > 0, "barrier wait must be attributed");
+        // The idle bucket absorbs the other SM (no block to run) entirely.
+        assert!(total.idle >= report.cycles, "second SM idles the whole run");
+    }
+
+    #[test]
+    fn stall_buckets_partition_with_dynamic_queue() {
+        let heavy = alu_trace(400);
+        let light = alu_trace(10);
+        let tasks: Vec<&WarpTrace> = vec![&heavy, &heavy, &light, &light, &light];
+        let input = TimingInput {
+            blocks: vec![vec![vec![], vec![]]],
+            block_threads: 64,
+            shared_words_per_block: 0,
+            queue: tasks,
+        };
+        let report = simulate_report(&input, &cfg()).unwrap();
+        assert_buckets_partition(&report);
+        // Queue pulls are memory fetches: they must be attributed.
+        assert!(report.breakdown_total().mem_stall > 0);
+    }
+
+    #[test]
+    fn stall_buckets_partition_on_empty_workload() {
+        let input = TimingInput {
+            blocks: vec![],
+            block_threads: 32,
+            shared_words_per_block: 0,
+            queue: Vec::new(),
+        };
+        let report = simulate_report(&input, &cfg()).unwrap();
+        assert_buckets_partition(&report);
+        assert_eq!(report.breakdown_total(), StallBreakdown::default());
+    }
+
+    #[test]
+    fn memory_bound_run_attributes_mem_stalls() {
+        let t = [WarpTrace {
+            ops: vec![Op::LdGlobal { active: 32, tx: 32 }; 20],
+        }];
+        let report = simulate_report(&one_block_input(&t, 32), &cfg()).unwrap();
+        assert_buckets_partition(&report);
+        let b = &report.sm_breakdown[0];
+        assert!(
+            b.mem_stall > b.issue,
+            "a single-warp load chain is memory-stalled, not issue-bound: {b:?}"
+        );
+    }
+
+    #[test]
+    fn spans_cover_issuing_warps() {
+        let warps = [alu_trace(10), alu_trace(30)];
+        let (report, spans) = simulate_spans(&one_block_input(&warps, 64), &cfg()).unwrap();
+        assert_eq!(spans.len(), 2);
+        for s in &spans {
+            assert_eq!(s.block, 0);
+            assert!(s.start < s.end);
+            assert!(s.end <= report.cycles);
+        }
+        assert_eq!(spans[0].warp_in_block, 0);
+        assert_eq!(spans[1].warp_in_block, 1);
+        assert_eq!(
+            spans.iter().map(|s| s.instructions).sum::<u64>(),
+            40,
+            "span instruction counts cover the whole trace"
+        );
+        // Empty warps produce no span.
+        let input = TimingInput {
+            blocks: vec![vec![vec![], vec![]]],
+            block_threads: 64,
+            shared_words_per_block: 0,
+            queue: Vec::new(),
+        };
+        let (_, none) = simulate_spans(&input, &cfg()).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn accumulate_folds_reports() {
+        let t = [alu_trace(10)];
+        let r1 = simulate_report(&one_block_input(&t, 32), &cfg()).unwrap();
+        let mut acc = TimingReport::default();
+        acc.accumulate(&r1);
+        acc.accumulate(&r1);
+        assert_eq!(acc.cycles, 2 * r1.cycles);
+        assert_eq!(
+            acc.sm_instructions.iter().sum::<u64>(),
+            2 * r1.sm_instructions.iter().sum::<u64>()
+        );
+        // The buckets-sum-to-cycles invariant survives accumulation.
+        for b in &acc.sm_breakdown {
+            assert_eq!(b.total(), acc.cycles);
+        }
     }
 
     #[test]

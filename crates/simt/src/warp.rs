@@ -34,6 +34,7 @@ use crate::config::GpuConfig;
 use crate::lanes::{DeviceWord, Lanes, WARP_SIZE};
 use crate::mask::Mask;
 use crate::mem::{DevPtr, DeviceMem};
+use crate::profile::Profiler;
 use crate::sanitize::{BlockShadow, Sanitizer};
 use crate::shared::{bank_conflict_cost, SharedMem, SharedPtr, NUM_BANKS};
 use crate::trace::{Op, WarpTrace};
@@ -82,6 +83,7 @@ pub struct WarpCtx<'a> {
     segment_bytes: u32,
     id: WarpId,
     san: Option<SanScope<'a>>,
+    prof: Option<&'a mut Profiler>,
 }
 
 impl<'a> WarpCtx<'a> {
@@ -94,10 +96,11 @@ impl<'a> WarpCtx<'a> {
         cfg: &GpuConfig,
         id: WarpId,
     ) -> Self {
-        Self::new_sanitized(mem, shared, trace, cache, cfg, id, None)
+        Self::new_instrumented(mem, shared, trace, cache, cfg, id, None, None)
     }
 
-    pub(crate) fn new_sanitized(
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new_instrumented(
         mem: &'a mut DeviceMem,
         shared: &'a mut SharedMem,
         trace: &'a mut WarpTrace,
@@ -105,6 +108,7 @@ impl<'a> WarpCtx<'a> {
         cfg: &GpuConfig,
         id: WarpId,
         san: Option<SanScope<'a>>,
+        prof: Option<&'a mut Profiler>,
     ) -> Self {
         WarpCtx {
             mem,
@@ -114,6 +118,7 @@ impl<'a> WarpCtx<'a> {
             segment_bytes: cfg.segment_bytes,
             id,
             san,
+            prof,
         }
     }
 
@@ -151,12 +156,14 @@ impl<'a> WarpCtx<'a> {
     /// result (control-flow overhead, address arithmetic the model can't
     /// see, etc.).
     #[inline]
+    #[track_caller]
     pub fn alu_nop(&mut self, mask: Mask) {
         self.push_alu(mask);
     }
 
     /// One ALU instruction computing a unary per-lane function.
     #[inline]
+    #[track_caller]
     pub fn alu1<T: Copy, U: Copy + Default>(
         &mut self,
         mask: Mask,
@@ -169,6 +176,7 @@ impl<'a> WarpCtx<'a> {
 
     /// One ALU instruction computing a binary per-lane function.
     #[inline]
+    #[track_caller]
     pub fn alu2<T: Copy, U: Copy, V: Copy + Default>(
         &mut self,
         mask: Mask,
@@ -184,6 +192,7 @@ impl<'a> WarpCtx<'a> {
     /// is the set of active lanes satisfying it (a compare + predicate
     /// register write).
     #[inline]
+    #[track_caller]
     pub fn alu_pred<T: Copy>(
         &mut self,
         mask: Mask,
@@ -196,18 +205,21 @@ impl<'a> WarpCtx<'a> {
 
     /// Lane-wise `a + b` (one instruction).
     #[inline]
+    #[track_caller]
     pub fn add(&mut self, mask: Mask, a: &Lanes<u32>, b: &Lanes<u32>) -> Lanes<u32> {
         self.alu2(mask, a, b, |x, y| x.wrapping_add(y))
     }
 
     /// Lane-wise `a + c` for scalar `c` (one instruction).
     #[inline]
+    #[track_caller]
     pub fn add_scalar(&mut self, mask: Mask, a: &Lanes<u32>, c: u32) -> Lanes<u32> {
         self.alu1(mask, a, |x| x.wrapping_add(c))
     }
 
     /// Active lanes where `a < b` (one compare instruction).
     #[inline]
+    #[track_caller]
     pub fn lt(&mut self, mask: Mask, a: &Lanes<u32>, b: &Lanes<u32>) -> Mask {
         self.push_alu(mask);
         Mask::from_fn(|l| mask.get(l) && a.get(l) < b.get(l))
@@ -215,12 +227,14 @@ impl<'a> WarpCtx<'a> {
 
     /// Active lanes where `a < c` (one compare instruction).
     #[inline]
+    #[track_caller]
     pub fn lt_scalar(&mut self, mask: Mask, a: &Lanes<u32>, c: u32) -> Mask {
         self.alu_pred(mask, a, |x| x < c)
     }
 
     /// Active lanes where `a == c` (one compare instruction).
     #[inline]
+    #[track_caller]
     pub fn eq_scalar(&mut self, mask: Mask, a: &Lanes<u32>, c: u32) -> Mask {
         self.alu_pred(mask, a, |x| x == c)
     }
@@ -493,10 +507,12 @@ impl<'a> WarpCtx<'a> {
         let site = Location::caller();
         let mask = self.guard_global(mask, ptr, idx, "ld", site);
         let tx = self.mem_tx(mask, ptr, idx);
-        self.trace.ops.push(Op::LdGlobal {
+        let op = Op::LdGlobal {
             active: mask.count() as u8,
             tx,
-        });
+        };
+        self.trace.ops.push(op);
+        self.prof_note(site, "ld", op);
         if let Some(scope) = &mut self.san {
             let epoch = scope.shadow.epoch;
             scope.san.coalesce_sample(
@@ -541,10 +557,12 @@ impl<'a> WarpCtx<'a> {
         let site = Location::caller();
         let mask = self.guard_global(mask, ptr, idx, "st", site);
         let tx = self.mem_tx(mask, ptr, idx);
-        self.trace.ops.push(Op::StGlobal {
+        let op = Op::StGlobal {
             active: mask.count() as u8,
             tx,
-        });
+        };
+        self.trace.ops.push(op);
+        self.prof_note(site, "st", op);
         if let Some(scope) = &mut self.san {
             let epoch = scope.shadow.epoch;
             scope.san.coalesce_sample(
@@ -620,11 +638,13 @@ impl<'a> WarpCtx<'a> {
                 misses += 1;
             }
         }
-        self.trace.ops.push(Op::LdCached {
+        let op = Op::LdCached {
             active: mask.count() as u8,
             hits,
             misses,
-        });
+        };
+        self.trace.ops.push(op);
+        self.prof_note(site, "ld_cached", op);
         if let Some(scope) = &mut self.san {
             let epoch = scope.shadow.epoch;
             let mut new = 0;
@@ -651,10 +671,12 @@ impl<'a> WarpCtx<'a> {
     #[track_caller]
     pub fn ld_uniform<T: DeviceWord>(&mut self, mask: Mask, ptr: DevPtr<T>, idx: u32) -> T {
         let site = Location::caller();
-        self.trace.ops.push(Op::LdGlobal {
+        let op = Op::LdGlobal {
             active: mask.count() as u8,
             tx: 1,
-        });
+        };
+        self.trace.ops.push(op);
+        self.prof_note(site, "ld_uniform", op);
         if !self.guard_global_scalar(mask, ptr, idx, "ld_uniform", site) {
             return T::default();
         }
@@ -681,7 +703,9 @@ impl<'a> WarpCtx<'a> {
             return;
         }
         let site = Location::caller();
-        self.trace.ops.push(Op::StGlobal { active: 1, tx: 1 });
+        let op = Op::StGlobal { active: 1, tx: 1 };
+        self.trace.ops.push(op);
+        self.prof_note(site, "st_uniform", op);
         if !self.guard_global_scalar(mask, ptr, idx, "st_uniform", site) {
             return;
         }
@@ -793,11 +817,13 @@ impl<'a> WarpCtx<'a> {
         let mask = self.guard_global(mask, ptr, idx, "atomic_cas", site);
         let tx = self.mem_tx(mask, ptr, idx);
         let replays = self.atomic_replays(mask, idx);
-        self.trace.ops.push(Op::Atomic {
+        let op = Op::Atomic {
             active: mask.count() as u8,
             tx,
             replays,
-        });
+        };
+        self.trace.ops.push(op);
+        self.prof_note(site, "atomic_cas", op);
         self.note_atomics(mask, ptr, idx, "atomic_cas", site, tx);
         let mut out = Lanes::splat(T::default());
         for l in mask.iter() {
@@ -821,11 +847,13 @@ impl<'a> WarpCtx<'a> {
             return 0;
         }
         let site = Location::caller();
-        self.trace.ops.push(Op::Atomic {
+        let op = Op::Atomic {
             active: 1,
             tx: 1,
             replays: 0,
-        });
+        };
+        self.trace.ops.push(op);
+        self.prof_note(site, "atomic_add_uniform", op);
         if !self.guard_global_scalar(mask, ptr, idx, "atomic_add_uniform", site) {
             return 0;
         }
@@ -863,11 +891,13 @@ impl<'a> WarpCtx<'a> {
         let mask = self.guard_global(mask, ptr, idx, op, site);
         let tx = self.mem_tx(mask, ptr, idx);
         let replays = self.atomic_replays(mask, idx);
-        self.trace.ops.push(Op::Atomic {
+        let traced = Op::Atomic {
             active: mask.count() as u8,
             tx,
             replays,
-        });
+        };
+        self.trace.ops.push(traced);
+        self.prof_note(site, op, traced);
         self.note_atomics(mask, ptr, idx, op, site, tx);
         let mut out = Lanes::splat(T::default());
         for l in mask.iter() {
@@ -930,10 +960,12 @@ impl<'a> WarpCtx<'a> {
         let site = Location::caller();
         let mask = self.guard_shared(mask, ptr, idx, "sh_ld", site);
         let cost = bank_conflict_cost(mask.iter().map(|l| ptr.word_of(idx.get(l)) as u32));
-        self.trace.ops.push(Op::Shared {
+        let op = Op::Shared {
             active: mask.count() as u8,
             cost: cost.max(1) as u8,
-        });
+        };
+        self.trace.ops.push(op);
+        self.prof_note(site, "sh_ld", op);
         if let Some(scope) = &mut self.san {
             let mut new = 0;
             if cost > 4 {
@@ -969,10 +1001,12 @@ impl<'a> WarpCtx<'a> {
         let site = Location::caller();
         let mask = self.guard_shared(mask, ptr, idx, "sh_st", site);
         let cost = bank_conflict_cost(mask.iter().map(|l| ptr.word_of(idx.get(l)) as u32));
-        self.trace.ops.push(Op::Shared {
+        let op = Op::Shared {
             active: mask.count() as u8,
             cost: cost.max(1) as u8,
-        });
+        };
+        self.trace.ops.push(op);
+        self.prof_note(site, "sh_st", op);
         if let Some(scope) = &mut self.san {
             let mut new = 0;
             if cost > 4 {
@@ -997,10 +1031,24 @@ impl<'a> WarpCtx<'a> {
     // ---------------------------------------------------------------- private
 
     #[inline]
+    #[track_caller]
     fn push_alu(&mut self, mask: Mask) {
-        self.trace.ops.push(Op::Alu {
+        let op = Op::Alu {
             active: mask.count() as u8,
-        });
+        };
+        self.trace.ops.push(op);
+        if self.prof.is_some() {
+            self.prof_note(Location::caller(), "alu", op);
+        }
+    }
+
+    /// Record one traced op against its kernel call site in the profiler
+    /// (no-op when profiling is off; pushes nothing into the trace).
+    #[inline]
+    fn prof_note(&mut self, site: &'static Location<'static>, op_name: &'static str, op: Op) {
+        if let Some(prof) = self.prof.as_deref_mut() {
+            prof.note(site, op_name, op, self.segment_bytes / 4);
+        }
     }
 
     /// Warn on a warp collective executed under an empty active mask.
@@ -1131,6 +1179,7 @@ impl<'a> WarpCtx<'a> {
     }
 
     /// Charge a `log2(width)` shuffle tree.
+    #[track_caller]
     fn charge_tree(&mut self, mask: Mask, width: usize) {
         for _ in 0..width.trailing_zeros() {
             self.push_alu(mask);

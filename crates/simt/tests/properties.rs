@@ -1,12 +1,40 @@
 //! Property-based tests of the simulator's core invariants.
 
 use maxwarp_simt::{
-    coalesce, shared, timing, Gpu, GpuConfig, Lanes, Mask, Op, TimingInput, WarpTrace,
+    coalesce, shared, timing, Gpu, GpuConfig, KernelStats, Lanes, Mask, Op, TimingInput, WarpTrace,
 };
 use proptest::prelude::*;
 
 fn arb_mask() -> impl Strategy<Value = Mask> {
     any::<u32>().prop_map(Mask)
+}
+
+/// Arbitrary launch statistics. Counter values are u32-sized so summing a
+/// handful can never overflow the u64 fields.
+fn arb_stats() -> impl Strategy<Value = KernelStats> {
+    (
+        proptest::collection::vec(any::<u32>(), 16),
+        proptest::collection::vec(any::<u32>(), 0..6),
+    )
+        .prop_map(|(v, per_warp)| KernelStats {
+            cycles: v[0] as u64,
+            instructions: v[1] as u64,
+            alu_instructions: v[2] as u64,
+            mem_instructions: v[3] as u64,
+            atomic_instructions: v[4] as u64,
+            shared_instructions: v[5] as u64,
+            barriers: v[6] as u64,
+            mem_transactions: v[7] as u64,
+            cached_load_instructions: v[8] as u64,
+            cache_hit_segments: v[9] as u64,
+            cache_miss_segments: v[10] as u64,
+            atomic_replays: v[11] as u64,
+            shared_replay_passes: v[12] as u64,
+            active_lane_sum: v[13] as u64,
+            warps: v[14] as u64,
+            blocks: v[15] as u64,
+            per_warp_instructions: per_warp,
+        })
 }
 
 proptest! {
@@ -326,6 +354,26 @@ proptest! {
                 }
             }
         }
+    }
+
+    // ----------------------------------------------------- stats algebra
+
+    #[test]
+    fn stats_accumulate_is_associative(a in arb_stats(), b in arb_stats(), c in arb_stats()) {
+        // (a + b) + c == a + (b + c): multi-launch aggregation must not
+        // depend on how drivers group their absorb calls.
+        let mut left = a.clone();
+        left.accumulate(&b);
+        left.accumulate(&c);
+        let mut bc = b.clone();
+        bc.accumulate(&c);
+        let mut right = a.clone();
+        right.accumulate(&bc);
+        prop_assert_eq!(&left, &right);
+        // Identity: accumulating the default is a no-op.
+        let mut with_zero = left.clone();
+        with_zero.accumulate(&KernelStats::default());
+        prop_assert_eq!(&with_zero, &left);
     }
 
     // ------------------------------------------------- functional executor
