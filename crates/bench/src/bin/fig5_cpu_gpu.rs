@@ -3,4 +3,5 @@ fn main() {
     let scale = maxwarp_bench::util::scale_from_args();
     let h = maxwarp_bench::harness::Harness::from_env();
     maxwarp_bench::experiments::fig5::run(scale, &h);
+    std::process::exit(maxwarp_bench::harness::exit_code());
 }

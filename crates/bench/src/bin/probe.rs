@@ -42,7 +42,17 @@ fn main() {
         let mut txm = Vec::new();
         for m in methods {
             let (mut gpu, dg) = upload_fresh(&g);
-            let out = run_bfs(&mut gpu, &dg, src, m, &ExecConfig::default()).unwrap();
+            let out = match run_bfs(&mut gpu, &dg, src, m, &ExecConfig::default()) {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!(
+                        "probe: bfs on {} [{}]: launch error: {e}",
+                        d.name(),
+                        m.label()
+                    );
+                    std::process::exit(1);
+                }
+            };
             cycles.push(format!("{:>12}", out.run.cycles()));
             lane.push(format!(
                 "{:>11.1}%",

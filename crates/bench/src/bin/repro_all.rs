@@ -28,4 +28,5 @@ fn main() {
     ex::ablation4::run(scale, &h);
     ex::ablation5::run(scale, &h);
     ex::ablation6::run(scale, &h);
+    std::process::exit(maxwarp_bench::harness::exit_code());
 }

@@ -177,7 +177,13 @@ fn main() {
         cached_graph_loads: cached,
         ..ExecConfig::default()
     };
-    let out = run_bfs(&mut gpu, &dg, src, method, &exec).expect("launch failed");
+    let out = match run_bfs(&mut gpu, &dg, src, method, &exec) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("launch failed: {e}");
+            exit(1);
+        }
+    };
 
     let reached = out.levels.iter().filter(|&&l| l != u32::MAX).count();
     let depth = out

@@ -69,13 +69,18 @@ fn main() {
         g.num_edges()
     );
 
+    let mut failures = 0u32;
     for (label, method) in methods {
         let mut cfg = device();
         cfg.profile = true;
         let mut gpu = Gpu::new(cfg);
         let dg = DeviceGraph::upload(&mut gpu, &g);
         gpu.set_profile_context(&format!("bfs/{} [{label}]", dataset.name()));
-        run_bfs(&mut gpu, &dg, src, method, &exec).expect("launch failed");
+        if let Err(e) = run_bfs(&mut gpu, &dg, src, method, &exec) {
+            eprintln!("bfs [{label}]: launch error: {e}; skipping profile");
+            failures += 1;
+            continue;
+        }
         let report = gpu.profile_report().expect("profiler must be on");
 
         // The stall attribution is an exact partition: per-SM buckets must
@@ -100,5 +105,9 @@ fn main() {
         let p1 = write_results(&format!("{stem}.json"), &report.to_json());
         let p2 = write_results(&format!("{stem}_trace.json"), &report.chrome_trace());
         println!("wrote {} and {}", p1.display(), p2.display());
+    }
+    if failures > 0 {
+        eprintln!("{failures} method(s) failed to launch");
+        exit(1);
     }
 }

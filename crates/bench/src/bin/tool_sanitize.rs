@@ -18,7 +18,7 @@ use maxwarp::{
     GpuHybridConfig, Method, VirtualWarp, WarpCentricOpts,
 };
 use maxwarp_graph::{hub_graph, random_weights, Csr, Dataset, Orientation, Scale};
-use maxwarp_simt::{Gpu, GpuConfig, Severity};
+use maxwarp_simt::{Gpu, GpuConfig, LaunchError, Severity};
 use std::process::exit;
 
 /// Methods every kernel is checked under (deferral added where supported).
@@ -44,18 +44,23 @@ struct Outcome {
 }
 
 /// Run one `(kernel, method)` combo on a fresh sanitized device, print its
-/// findings, and return the counts.
+/// findings, and return the counts. A combo whose launch itself errors
+/// (watchdog, fault) is reported and skipped rather than aborting the
+/// sweep: the remaining combos still get checked.
 fn check(
     cfg: &GpuConfig,
     verbose: bool,
     label: &str,
     method: Method,
-    f: impl FnOnce(&mut Gpu),
-) -> Outcome {
+    f: impl FnOnce(&mut Gpu) -> Result<(), LaunchError>,
+) -> Result<Outcome, LaunchError> {
     let mut gpu = Gpu::new(cfg.clone());
     let context = format!("{label} [{}]", method.label());
     gpu.set_sanitize_context(&context);
-    f(&mut gpu);
+    if let Err(e) = f(&mut gpu) {
+        println!("FAIL  {context}: launch error: {e}");
+        return Err(e);
+    }
     let san = gpu.sanitizer().expect("sanitizer must be on");
     let out = Outcome {
         errors: san.error_count(),
@@ -83,7 +88,7 @@ fn check(
     } else {
         println!("ok    {context}");
     }
-    out
+    Ok(out)
 }
 
 fn main() {
@@ -149,24 +154,30 @@ fn main() {
             let deferral = matches!(m, Method::WarpCentric(o) if o.defer_threshold.is_some());
             let dynamic = matches!(m, Method::WarpCentric(o) if o.dynamic);
 
-            let mut run = |kernel: &str, f: &mut dyn FnMut(&mut Gpu)| {
-                let o = check(&cfg, verbose, &format!("{kernel}/{gname}"), m, |gpu| f(gpu));
+            let mut run = |kernel: &str, f: &mut dyn FnMut(&mut Gpu) -> Result<(), LaunchError>| {
                 combos += 1;
-                errors += o.errors;
-                warnings += o.warnings;
-                if o.errors > 0 {
-                    failed.push(format!("{kernel}/{gname} [{}]", m.label()));
+                match check(&cfg, verbose, &format!("{kernel}/{gname}"), m, |gpu| f(gpu)) {
+                    Ok(o) => {
+                        errors += o.errors;
+                        warnings += o.warnings;
+                        if o.errors > 0 {
+                            failed.push(format!("{kernel}/{gname} [{}]", m.label()));
+                        }
+                    }
+                    Err(_) => {
+                        failed.push(format!("{kernel}/{gname} [{}] (launch error)", m.label()));
+                    }
                 }
             };
 
             run("bfs", &mut |gpu| {
                 let dg = DeviceGraph::upload(gpu, g);
-                run_bfs(gpu, &dg, src, m, &exec).expect("launch failed");
+                run_bfs(gpu, &dg, src, m, &exec).map(|_| ())
             });
             if !deferral {
                 run("bfs_queue", &mut |gpu| {
                     let dg = DeviceGraph::upload(gpu, g);
-                    run_bfs_queue(gpu, &dg, src, m, &exec).expect("launch failed");
+                    run_bfs_queue(gpu, &dg, src, m, &exec).map(|_| ())
                 });
             }
             if !deferral {
@@ -174,47 +185,46 @@ fn main() {
                     let dg = DeviceGraph::upload(gpu, g);
                     let drev = DeviceGraph::upload(gpu, &rev);
                     run_bfs_hybrid(gpu, &dg, &drev, src, m, &exec, &GpuHybridConfig::default())
-                        .expect("launch failed");
+                        .map(|_| ())
                 });
             }
             run("sssp", &mut |gpu| {
                 let dg = DeviceGraph::upload_weighted(gpu, g, &weights);
-                run_sssp(gpu, &dg, src, m, &exec).expect("launch failed");
+                run_sssp(gpu, &dg, src, m, &exec).map(|_| ())
             });
             run("cc", &mut |gpu| {
                 let dg = DeviceGraph::upload(gpu, &sym);
-                run_cc(gpu, &dg, m, &exec).expect("launch failed");
+                run_cc(gpu, &dg, m, &exec).map(|_| ())
             });
             run("pagerank", &mut |gpu| {
                 let dg = DeviceGraph::upload(gpu, g);
-                run_pagerank(gpu, &dg, 5, 0.85, m, &exec).expect("launch failed");
+                run_pagerank(gpu, &dg, 5, 0.85, m, &exec).map(|_| ())
             });
             if !deferral {
                 run("betweenness", &mut |gpu| {
                     let dg = DeviceGraph::upload(gpu, g);
-                    run_betweenness(gpu, &dg, &bc_sources, m, &exec).expect("launch failed");
+                    run_betweenness(gpu, &dg, &bc_sources, m, &exec).map(|_| ())
                 });
                 run("triangles", &mut |gpu| {
-                    run_triangles(gpu, &sym, m, &exec, Orientation::ByDegree)
-                        .expect("launch failed");
+                    run_triangles(gpu, &sym, m, &exec, Orientation::ByDegree).map(|_| ())
                 });
                 run("coloring", &mut |gpu| {
                     let dg = DeviceGraph::upload(gpu, &sym);
-                    run_coloring(gpu, &dg, m, &exec).expect("launch failed");
+                    run_coloring(gpu, &dg, m, &exec).map(|_| ())
                 });
                 run("kcore", &mut |gpu| {
                     let dg = DeviceGraph::upload(gpu, &sym);
-                    run_kcore(gpu, &dg, m, &exec).expect("launch failed");
+                    run_kcore(gpu, &dg, m, &exec).map(|_| ())
                 });
                 run("msbfs", &mut |gpu| {
                     let dg = DeviceGraph::upload(gpu, g);
-                    run_msbfs(gpu, &dg, &ms_sources, m, &exec).expect("launch failed");
+                    run_msbfs(gpu, &dg, &ms_sources, m, &exec).map(|_| ())
                 });
             }
             if !deferral && !dynamic {
                 run("spmv", &mut |gpu| {
                     let dg = DeviceGraph::upload(gpu, g);
-                    run_spmv(gpu, &dg, &values, &x, m, &exec).expect("launch failed");
+                    run_spmv(gpu, &dg, &values, &x, m, &exec).map(|_| ())
                 });
             }
         }

@@ -54,7 +54,11 @@ pub fn run(scale: Scale, h: &Harness) {
             })
         })
         .collect();
-    let built: Vec<Orderings> = h.run("A1:build", build_cells);
+    let built: Vec<Orderings> = h
+        .run("A1:build", build_cells)
+        .into_iter()
+        .flatten()
+        .collect();
 
     // Run stage: one cell per (dataset, method, ordering).
     let mut cells = Vec::new();
@@ -74,9 +78,15 @@ pub fn run(scale: Scale, h: &Harness) {
     let mut it = outs.into_iter();
     for o in &built {
         for m in [Method::Baseline, Method::warp(8)] {
-            let nat = it.next().unwrap();
-            let rnd = it.next().unwrap();
-            let bfo = it.next().unwrap();
+            let vals = [(); 3].map(|()| it.next().unwrap());
+            let [Some(nat), Some(rnd), Some(bfo)] = vals else {
+                eprintln!(
+                    "[A1] {} {}: skipping row — a cell failed",
+                    o.d.name(),
+                    m.label()
+                );
+                continue;
+            };
             println!(
                 "{:<14} {:<9} {:>12} {:>12} {:>12} {:>13}x",
                 o.d.name(),

@@ -47,7 +47,7 @@ pub fn run(scale: Scale, h: &Harness) {
             }));
         }
     }
-    for row in h.run("A2", cells) {
+    for row in h.run("A2", cells).into_iter().flatten() {
         println!("{row}");
     }
     println!(

@@ -2,7 +2,7 @@
 //! time goes inside one BFS. Shows the hub level dominating the baseline
 //! on skewed graphs, and the long tail of tiny levels on meshes.
 
-use crate::harness::{Cell, Harness};
+use crate::harness::{row, Cell, Harness};
 use crate::util::{banner, bfs_fresh, build_datasets_subset, f};
 use maxwarp::{BfsOutput, ExecConfig, Method};
 use maxwarp_graph::{Dataset, Scale};
@@ -43,7 +43,10 @@ pub fn run(scale: Scale, h: &Harness) {
     let outs = h.run("A3", cells);
 
     for ((d, _, _), chunk) in built.iter().zip(outs.chunks(2)) {
-        let (base, warp) = (&chunk[0], &chunk[1]);
+        let Some(chunk) = row("A3", d.name(), chunk) else {
+            continue;
+        };
+        let (base, warp) = (chunk[0], chunk[1]);
         let sizes = frontier_sizes(base);
         println!(
             "{} ({} levels):",

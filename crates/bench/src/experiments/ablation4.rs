@@ -59,7 +59,7 @@ pub fn run(scale: Scale, h: &Harness) {
             ));
         }
     }
-    for row in h.run("A4", cells) {
+    for row in h.run("A4", cells).into_iter().flatten() {
         println!("{row}");
     }
     println!(

@@ -2,7 +2,7 @@
 //! under the warp-centric mapping (the workload classes the paper's
 //! authors took up in follow-on work).
 
-use crate::harness::{Cell, Harness};
+use crate::harness::{row, Cell, Harness};
 use crate::util::{banner, f, fresh_gpu, upload_fresh};
 use maxwarp::{run_betweenness, run_coloring, run_triangles, ExecConfig, Method};
 use maxwarp_graph::{Csr, Dataset, Orientation, Scale};
@@ -47,7 +47,11 @@ pub fn run(scale: Scale, h: &Harness) {
             })
         })
         .collect();
-    let built: Vec<(Dataset, Csr, u32, Csr)> = h.run("A5:build", build_cells);
+    let built: Vec<(Dataset, Csr, u32, Csr)> = h
+        .run("A5:build", build_cells)
+        .into_iter()
+        .flatten()
+        .collect();
 
     // Run stage: one cell per (dataset, workload, method).
     let mut keys = Vec::new();
@@ -105,7 +109,14 @@ pub fn run(scale: Scale, h: &Harness) {
     let outs = h.run("A5", cells);
 
     for ((workload, dataset), chunk) in keys.iter().zip(outs.chunks(methods().len())) {
-        report(workload, dataset, chunk);
+        let Some(chunk) = row("A5", &format!("{dataset} {workload}"), chunk) else {
+            continue;
+        };
+        report(
+            workload,
+            dataset,
+            &chunk.into_iter().copied().collect::<Vec<_>>(),
+        );
     }
     println!(
         "(expected shape: both workloads inherit BFS's pattern — warp-centric wins on the \

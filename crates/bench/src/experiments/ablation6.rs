@@ -3,7 +3,7 @@
 //! the paper's authors (MS-BFS) motivates this; the per-edge work is the
 //! same irregular loop, so the warp-centric mapping composes with it.
 
-use crate::harness::{Cell, Harness};
+use crate::harness::{row, Cell, Harness};
 use crate::util::{banner, build_datasets_subset, f, upload_fresh};
 use maxwarp::{run_bfs, run_msbfs, ExecConfig, Method};
 use maxwarp_graph::{Dataset, Scale};
@@ -50,8 +50,11 @@ pub fn run(scale: Scale, h: &Harness) {
     let outs = h.run("A6", cells);
 
     for ((d, _, _), chunk) in built.iter().zip(outs.chunks(9)) {
-        let batched = chunk[0];
-        let sequential: u64 = chunk[1..].iter().sum();
+        let Some(chunk) = row("A6", d.name(), chunk) else {
+            continue;
+        };
+        let batched = *chunk[0];
+        let sequential: u64 = chunk[1..].iter().copied().sum();
         println!(
             "{:<14} {:>14} {:>14} {:>8}x",
             d.name(),

@@ -45,7 +45,7 @@ pub fn run(scale: Scale, h: &Harness) {
             })
         })
         .collect();
-    for row in h.run("F1", cells) {
+    for row in h.run("F1", cells).into_iter().flatten() {
         println!("{row}");
     }
     println!(

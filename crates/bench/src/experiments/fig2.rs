@@ -1,7 +1,7 @@
 //! F2 — the headline result: BFS speedup of the virtual warp-centric
 //! method (best K per graph) over the baseline thread-per-vertex kernel.
 
-use crate::harness::{Cell, Harness};
+use crate::harness::{row, Cell, Harness};
 use crate::util::{
     banner, bfs_fresh_timed, built_datasets_par, device, f, reachable_edges, write_results,
 };
@@ -45,7 +45,10 @@ pub fn run(scale: Scale, h: &Harness) -> Vec<(String, u32, f64)> {
     let mut heavy = Vec::new();
     let mut light = Vec::new();
     for ((d, g, _), chunk) in built.iter().zip(outs.chunks(stride)) {
-        let (base, base_timing) = &chunk[0];
+        let Some(chunk) = row("F2", d.name(), chunk) else {
+            continue;
+        };
+        let (base, base_timing) = chunk[0];
         let edges = reachable_edges(g, &base.levels);
         json_rows.push(
             RunRow::new(d.name(), "baseline", &base.run, edges, clock_hz).with_timing(base_timing),

@@ -3,7 +3,7 @@
 //! -underutilization trade-off figure: the optimum K grows with degree
 //! variance.
 
-use crate::harness::{Cell, Harness};
+use crate::harness::{row, Cell, Harness};
 use crate::util::{banner, bfs_fresh, built_datasets_par};
 use maxwarp::{ExecConfig, Method, VirtualWarp};
 use maxwarp_graph::Scale;
@@ -39,10 +39,13 @@ pub fn run(scale: Scale, h: &Harness) -> Vec<(String, u32)> {
     let stride = 1 + VirtualWarp::ALL.len();
     let mut bests = Vec::new();
     for ((d, _, _), chunk) in built.iter().zip(outs.chunks(stride)) {
-        let base = chunk[0];
+        let Some(chunk) = row("F3", d.name(), chunk) else {
+            continue;
+        };
+        let base = *chunk[0];
         print!("{:<14} {:>10}", d.name(), base);
         let mut best = (0u32, u64::MAX);
-        for (vw, &c) in VirtualWarp::ALL.iter().zip(&chunk[1..]) {
+        for (vw, &&c) in VirtualWarp::ALL.iter().zip(&chunk[1..]) {
             if c < best.1 {
                 best = (vw.k(), c);
             }

@@ -50,10 +50,11 @@ pub fn run(scale: Scale, h: &Harness) {
     let mut it = outs.into_iter();
     for (d, _, _) in &built {
         for k in [8u32, 32] {
-            let st = it.next().unwrap();
-            let dy = it.next().unwrap();
-            let de = it.next().unwrap();
-            let bo = it.next().unwrap();
+            let vals = [(); 4].map(|()| it.next().unwrap());
+            let [Some(st), Some(dy), Some(de), Some(bo)] = vals else {
+                eprintln!("[F4] {} K={k}: skipping row — a cell failed", d.name());
+                continue;
+            };
             let rel = |c: u64| format!("{}x", f(st as f64 / c as f64));
             println!(
                 "{:<14} {:>4} {:>12} {:>10} {:>10} {:>10}",

@@ -10,7 +10,7 @@
 //! timings are not perturbed by harness threads (they are inherently
 //! machine-dependent either way).
 
-use crate::harness::{Cell, Harness};
+use crate::harness::{row, Cell, Harness};
 use crate::util::{banner, bfs_fresh, built_datasets_par, device, f, reachable_edges};
 use maxwarp::{ExecConfig, Method, VirtualWarp};
 use maxwarp_cpu::{bfs_parallel_default, bfs_sequential, default_threads, time_median};
@@ -51,13 +51,16 @@ pub fn run(scale: Scale, h: &Harness) {
 
     let stride = 1 + VirtualWarp::PAPER_SWEEP.len();
     for ((d, g, src), chunk) in built.iter().zip(outs.chunks(stride)) {
+        let Some(chunk) = row("F5", d.name(), chunk) else {
+            continue;
+        };
         let (levels, t_seq) = time_median(3, || bfs_sequential(g, *src));
         let (_, t_par) = time_median(3, || bfs_parallel_default(g, *src));
         let edges = reachable_edges(g, &levels);
         let mteps = |secs: f64| edges as f64 / secs / 1e6;
 
-        let base = chunk[0];
-        let best = *chunk[1..].iter().min().unwrap();
+        let base = *chunk[0];
+        let best = **chunk[1..].iter().min().unwrap();
         let gpu_mteps = |cycles: u64| edges as f64 / (cycles as f64 / clock as f64) / 1e6;
         println!(
             "{:<14} {:>10} {:>10} {:>12} {:>12}",

@@ -1,7 +1,7 @@
 //! F6 — beyond BFS: the warp-centric method applied to SSSP
 //! (Bellman-Ford), connected components (label propagation), and PageRank.
 
-use crate::harness::{Cell, Harness};
+use crate::harness::{row, Cell, Harness};
 use crate::util::{banner, f, fresh_gpu, upload_fresh};
 use maxwarp::{run_cc, run_pagerank, run_sssp, DeviceGraph, ExecConfig, Method};
 use maxwarp_graph::{random_weights, Csr, Dataset, Scale};
@@ -63,7 +63,11 @@ pub fn run(scale: Scale, h: &Harness) {
             })
         })
         .collect();
-    let built = h.run("F6:build", build_cells);
+    let built: Vec<_> = h
+        .run("F6:build", build_cells)
+        .into_iter()
+        .flatten()
+        .collect();
 
     // Run stage: one cell per (dataset, algorithm, method).
     let mut keys = Vec::new();
@@ -105,7 +109,14 @@ pub fn run(scale: Scale, h: &Harness) {
     let outs = h.run("F6", cells);
 
     for ((dataset, algo), chunk) in keys.iter().zip(outs.chunks(methods().len())) {
-        report(dataset, algo, chunk);
+        let Some(chunk) = row("F6", &format!("{dataset} {algo}"), chunk) else {
+            continue;
+        };
+        report(
+            dataset,
+            algo,
+            &chunk.into_iter().copied().collect::<Vec<_>>(),
+        );
     }
     println!(
         "(expected shape: same as BFS — warp-centric wins where degree variance is high, \

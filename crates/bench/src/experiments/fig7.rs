@@ -5,7 +5,7 @@
 //! phase turns each adjacency list into consecutive per-lane addresses, so
 //! the same traversal issues a fraction of the DRAM transactions.
 
-use crate::harness::{Cell, Harness};
+use crate::harness::{row, Cell, Harness};
 use crate::util::{banner, bfs_fresh, built_datasets_par, f, reachable_edges};
 use maxwarp::{ExecConfig, Method};
 use maxwarp_graph::Scale;
@@ -38,7 +38,10 @@ pub fn run(scale: Scale, h: &Harness) -> Vec<(String, f64, f64)> {
 
     let mut rows = Vec::new();
     for ((d, g, _), chunk) in built.iter().zip(outs.chunks(2)) {
-        let (base, warp) = (&chunk[0], &chunk[1]);
+        let Some(chunk) = row("F7", d.name(), chunk) else {
+            continue;
+        };
+        let (base, warp) = (chunk[0], chunk[1]);
         let edges = reachable_edges(g, &base.levels).max(1) as f64;
         let bt = base.run.stats.mem_transactions as f64 / edges;
         let wt = warp.run.stats.mem_transactions as f64 / edges;

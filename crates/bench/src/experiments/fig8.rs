@@ -2,7 +2,7 @@
 //! latency hiding depends on resident warps per SM, which the block size
 //! controls through the occupancy rules.
 
-use crate::harness::{Cell, Harness};
+use crate::harness::{row, Cell, Harness};
 use crate::util::{banner, bfs_fresh, build_datasets_subset, device};
 use maxwarp::{ExecConfig, Method};
 use maxwarp_graph::{Dataset, Scale};
@@ -39,6 +39,9 @@ pub fn run(scale: Scale, h: &Harness) {
     let outs = h.run("F8", cells);
 
     for ((d, _, _), chunk) in built.iter().zip(outs.chunks(blocks.len())) {
+        let Some(chunk) = row("F8", d.name(), chunk) else {
+            continue;
+        };
         print!("{:<14}", d.name());
         for c in chunk {
             print!(" {:>13}", c);

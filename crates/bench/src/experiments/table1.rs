@@ -33,7 +33,7 @@ pub fn run(scale: Scale, h: &Harness) {
             })
         })
         .collect();
-    for row in h.run("T1", cells) {
+    for row in h.run("T1", cells).into_iter().flatten() {
         println!("{row}");
     }
 }

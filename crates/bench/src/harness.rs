@@ -13,22 +13,43 @@
 //!
 //! Per-cell progress and timing go to **stderr** so they never perturb
 //! the tables.
+//!
+//! Cells are **panic-isolated**: a cell that panics is retried once (host
+//! failures like allocation pressure are transient; deterministic panics
+//! just fail again cheaply), then reported to stderr and returned as
+//! `None` in its input-order slot. The other cells' results survive, and
+//! [`exit_code`] turns nonzero so batch drivers still fail loudly.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+/// Set when any cell in this process failed both attempts.
+static FAILED: AtomicBool = AtomicBool::new(false);
+
+/// Process exit code for experiment binaries: 1 if any harness cell
+/// failed (after its retry) since the process started, else 0.
+pub fn exit_code() -> i32 {
+    if FAILED.load(Ordering::Relaxed) {
+        1
+    } else {
+        0
+    }
+}
+
 /// One independent unit of experiment work: a label (for progress
 /// reporting) and a closure producing the cell's measurement. The closure
-/// may borrow graphs and configs from the caller's stack (`'a`).
+/// may borrow graphs and configs from the caller's stack (`'a`); it is
+/// `FnMut` so the harness can re-invoke it once after a panic.
 pub struct Cell<'a, T> {
     label: String,
-    run: Box<dyn FnOnce() -> T + Send + 'a>,
+    run: Box<dyn FnMut() -> T + Send + 'a>,
 }
 
 impl<'a, T> Cell<'a, T> {
     /// A cell computing `run()`, reported as `label` in progress output.
-    pub fn new(label: impl Into<String>, run: impl FnOnce() -> T + Send + 'a) -> Self {
+    pub fn new(label: impl Into<String>, run: impl FnMut() -> T + Send + 'a) -> Self {
         Cell {
             label: label.into(),
             run: Box::new(run),
@@ -39,6 +60,37 @@ impl<'a, T> Cell<'a, T> {
     pub fn label(&self) -> &str {
         &self.label
     }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one cell with panic isolation and a single retry. `None` = the
+/// cell failed both attempts (already reported to stderr).
+fn run_cell<T>(what: &str, label: &str, run: &mut Box<dyn FnMut() -> T + Send + '_>) -> Option<T> {
+    for attempt in 0..2 {
+        match catch_unwind(AssertUnwindSafe(&mut *run)) {
+            Ok(v) => return Some(v),
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                let msg = msg.lines().next().unwrap_or("");
+                if attempt == 0 {
+                    eprintln!("[{what}] {label}: FAILED ({msg}); retrying once");
+                } else {
+                    eprintln!("[{what}] {label}: FAILED twice ({msg}); dropping cell");
+                    FAILED.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+    None
 }
 
 /// Runs cell lists across a fixed number of worker threads.
@@ -65,7 +117,9 @@ impl Harness {
         self.jobs
     }
 
-    /// Execute every cell and return their results in input order.
+    /// Execute every cell and return their results in input order, `None`
+    /// for cells that failed both attempts (see the module docs on panic
+    /// isolation).
     ///
     /// With one job (or one cell) the cells run serially on the calling
     /// thread, in order — exactly the pre-harness behaviour. Otherwise
@@ -75,17 +129,16 @@ impl Harness {
     ///
     /// `what` names the experiment in progress lines (stderr):
     /// `[F2] 3/40 rmat vw8: 412 ms`.
-    pub fn run<T: Send>(&self, what: &str, cells: Vec<Cell<'_, T>>) -> Vec<T> {
+    pub fn run<T: Send>(&self, what: &str, cells: Vec<Cell<'_, T>>) -> Vec<Option<T>> {
         let total = cells.len();
         if self.jobs == 1 || total <= 1 {
             return cells
                 .into_iter()
                 .enumerate()
-                .map(|(i, cell)| {
-                    let Cell { label, run } = cell;
+                .map(|(i, mut cell)| {
                     let t0 = Instant::now();
-                    let out = run();
-                    progress(what, i + 1, total, &label, t0);
+                    let out = run_cell(what, &cell.label, &mut cell.run);
+                    progress(what, i + 1, total, &cell.label, t0);
                     out
                 })
                 .collect();
@@ -97,7 +150,7 @@ impl Harness {
         let done = AtomicUsize::new(0);
         let workers = self.jobs.min(total);
 
-        let per_worker: Vec<Vec<(usize, T)>> = crossbeam::scope(|s| {
+        let per_worker: Vec<Vec<(usize, Option<T>)>> = crossbeam::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let (slots, next, done) = (&slots, &next, &done);
@@ -108,16 +161,15 @@ impl Harness {
                             if i >= total {
                                 break;
                             }
-                            let cell = slots[i]
+                            let mut cell = slots[i]
                                 .lock()
                                 .expect("cell slot poisoned")
                                 .take()
                                 .expect("cell taken twice");
-                            let Cell { label, run } = cell;
                             let t0 = Instant::now();
-                            let v = run();
+                            let v = run_cell(what, &cell.label, &mut cell.run);
                             let n = done.fetch_add(1, Ordering::Relaxed) + 1;
-                            progress(what, n, total, &label, t0);
+                            progress(what, n, total, &cell.label, t0);
                             out.push((i, v));
                         }
                         out
@@ -134,13 +186,28 @@ impl Harness {
         let mut merged: Vec<Option<T>> = (0..total).map(|_| None).collect();
         for chunk in per_worker {
             for (i, v) in chunk {
-                merged[i] = Some(v);
+                merged[i] = v;
             }
         }
         merged
-            .into_iter()
-            .map(|r| r.expect("cell produced no result"))
-            .collect()
+    }
+}
+
+/// Unwrap one table row's worth of per-cell results. Returns the row's
+/// values if every cell succeeded; otherwise reports to stderr and returns
+/// `None` so the printer can skip the row while the remaining rows stay
+/// chunk-aligned (failed cells keep their slots in the flat result list).
+pub fn row<'c, T>(what: &str, label: &str, chunk: &'c [Option<T>]) -> Option<Vec<&'c T>> {
+    let vals: Vec<&T> = chunk.iter().flatten().collect();
+    if vals.len() == chunk.len() {
+        Some(vals)
+    } else {
+        eprintln!(
+            "[{what}] {label}: skipping row — {} of {} cells failed",
+            chunk.len() - vals.len(),
+            chunk.len()
+        );
+        None
     }
 }
 
@@ -180,7 +247,7 @@ pub fn jobs_from_env() -> usize {
 mod tests {
     use super::*;
 
-    fn squares(h: &Harness, n: usize) -> Vec<usize> {
+    fn squares(h: &Harness, n: usize) -> Vec<Option<usize>> {
         let cells = (0..n)
             .map(|i| Cell::new(format!("cell{i}"), move || i * i))
             .collect();
@@ -189,7 +256,7 @@ mod tests {
 
     #[test]
     fn serial_and_parallel_agree_in_input_order() {
-        let expect: Vec<usize> = (0..37).map(|i| i * i).collect();
+        let expect: Vec<Option<usize>> = (0..37).map(|i| Some(i * i)).collect();
         assert_eq!(squares(&Harness::with_jobs(1), 37), expect);
         assert_eq!(squares(&Harness::with_jobs(4), 37), expect);
         assert_eq!(
@@ -207,7 +274,10 @@ mod tests {
             .map(|c| Cell::new("chunk", move || c.iter().sum::<u64>()))
             .collect();
         let parts = Harness::with_jobs(3).run("borrow", cells);
-        assert_eq!(parts.iter().sum::<u64>(), (0..100).sum::<u64>());
+        assert_eq!(
+            parts.into_iter().flatten().sum::<u64>(),
+            (0..100).sum::<u64>()
+        );
     }
 
     #[test]
@@ -215,12 +285,50 @@ mod tests {
         let main_id = std::thread::current().id();
         let cells = vec![Cell::new("id", move || std::thread::current().id())];
         let ids = Harness::with_jobs(1).run("serial", cells);
-        assert_eq!(ids[0], main_id);
+        assert_eq!(ids[0], Some(main_id));
+    }
+
+    #[test]
+    fn panicking_cell_yields_partial_results_and_failure_exit() {
+        // One poisoned cell among nine: the harness must keep the other
+        // results in their input-order slots, report the failure, and
+        // flip the process exit code — without tearing down the workers.
+        for jobs in [1usize, 4] {
+            let cells: Vec<Cell<'_, usize>> = (0..9)
+                .map(|i| {
+                    Cell::new(format!("cell{i}"), move || {
+                        assert!(i != 4, "deterministic failure in cell 4");
+                        i * 10
+                    })
+                })
+                .collect();
+            let out = Harness::with_jobs(jobs).run("panic", cells);
+            let expect: Vec<Option<usize>> = (0..9)
+                .map(|i| if i == 4 { None } else { Some(i * 10) })
+                .collect();
+            assert_eq!(out, expect, "jobs={jobs}");
+        }
+        assert_eq!(exit_code(), 1, "a failed cell must fail the process");
+    }
+
+    #[test]
+    fn transient_panic_is_retried_and_succeeds() {
+        use std::sync::atomic::AtomicU32;
+        let attempts = AtomicU32::new(0);
+        let cells = vec![Cell::new("flaky", || {
+            if attempts.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("transient host failure");
+            }
+            7u32
+        })];
+        let out = Harness::with_jobs(1).run("retry", cells);
+        assert_eq!(out, vec![Some(7)]);
+        assert_eq!(attempts.load(Ordering::Relaxed), 2);
     }
 
     #[test]
     fn empty_cell_list_is_fine() {
-        let out: Vec<u32> = Harness::with_jobs(8).run("none", Vec::new());
+        let out: Vec<Option<u32>> = Harness::with_jobs(8).run("none", Vec::new());
         assert!(out.is_empty());
     }
 
@@ -243,6 +351,6 @@ mod tests {
             })
             .collect();
         let out = Harness::with_jobs(8).run("stagger", cells);
-        assert_eq!(out, (0..8).collect::<Vec<_>>());
+        assert_eq!(out, (0..8).map(Some).collect::<Vec<_>>());
     }
 }

@@ -167,7 +167,10 @@ pub fn build_datasets_subset(
             })
         })
         .collect();
-    h.run("build", cells)
+    // A dataset whose build cell failed is dropped entirely: downstream
+    // cells are generated from this list, so the remaining datasets stay
+    // aligned with their measurement chunks.
+    h.run("build", cells).into_iter().flatten().collect()
 }
 
 #[cfg(test)]

@@ -84,7 +84,7 @@ pub fn run_betweenness(
                 break;
             }
             depth += 1;
-            check_iteration_bound("bc-forward", depth, g.n);
+            check_iteration_bound(gpu, "bc-forward", depth, g.n)?;
         }
 
         // ---- backward sweep (deepest level first; level `depth` has no

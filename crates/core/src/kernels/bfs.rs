@@ -125,7 +125,7 @@ pub fn run_bfs(
             break;
         }
         cur += 1;
-        check_iteration_bound("bfs", cur, g.n);
+        check_iteration_bound(gpu, "bfs", cur, g.n)?;
     }
     Ok(BfsOutput {
         levels: gpu.mem.download(st.levels),
@@ -291,6 +291,31 @@ mod tests {
         assert_eq!(out.levels[0], 0);
         assert!(out.levels[1..].iter().all(|&l| l == INF));
         assert_eq!(out.run.iterations, 1);
+    }
+
+    #[test]
+    fn iteration_cap_zero_returns_watchdog_error() {
+        // A chain needs several BFS levels; with the iteration watchdog
+        // capped at 0 the driver must surface a structured error (with
+        // algorithm attribution) instead of looping or panicking.
+        let g = maxwarp_graph::Csr::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut cfg = GpuConfig::tiny_test();
+        cfg.watchdog.max_iterations = Some(0);
+        let mut gpu = Gpu::new(cfg);
+        let dg = DeviceGraph::upload(&mut gpu, &g);
+        let err = run_bfs(&mut gpu, &dg, 0, Method::Baseline, &ExecConfig::default()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("watchdog"), "{msg}");
+        assert!(msg.contains("bfs"), "{msg}");
+        assert!(
+            matches!(
+                err,
+                maxwarp_simt::LaunchError::Fault(maxwarp_simt::SimtError::Watchdog(
+                    maxwarp_simt::WatchdogKind::IterationBudget { budget: 0, .. }
+                ))
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]

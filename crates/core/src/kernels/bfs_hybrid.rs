@@ -129,7 +129,7 @@ pub fn run_bfs_hybrid(
         seen = (seen + nf).min(n as u64);
         frontier_size = nf;
         cur += 1;
-        check_iteration_bound("bfs-hybrid", cur, n);
+        check_iteration_bound(gpu, "bfs-hybrid", cur, n)?;
     }
 
     Ok(HybridBfsOutput {

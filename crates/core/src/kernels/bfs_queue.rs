@@ -107,7 +107,7 @@ pub fn run_bfs_queue(
         assert!(frontier_len <= g.n, "queue overflow: {frontier_len}");
         std::mem::swap(&mut st.f_in, &mut st.f_out);
         cur += 1;
-        check_iteration_bound("bfs-queue", cur, g.n);
+        check_iteration_bound(gpu, "bfs-queue", cur, g.n)?;
     }
     Ok(BfsOutput {
         levels: gpu.mem.download(st.levels),

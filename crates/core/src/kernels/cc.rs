@@ -95,7 +95,7 @@ pub fn run_cc(
             break;
         }
         round += 1;
-        check_iteration_bound("cc", round, g.n);
+        check_iteration_bound(gpu, "cc", round, g.n)?;
     }
     Ok(CcOutput {
         labels: gpu.mem.download(st.labels),

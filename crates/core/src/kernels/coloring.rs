@@ -87,7 +87,7 @@ pub fn run_coloring(
             break;
         }
         round += 1;
-        check_iteration_bound("coloring", round, g.n);
+        check_iteration_bound(gpu, "coloring", round, g.n)?;
     }
 
     let host = gpu.mem.download(colors);

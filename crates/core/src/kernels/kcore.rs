@@ -120,10 +120,10 @@ pub fn run_kcore(
             run.absorb(&s2);
             peeled_total += peeled;
             guard += 1;
-            check_iteration_bound("kcore", guard, 4 * n);
+            check_iteration_bound(gpu, "kcore", guard, 4 * n)?;
         }
         k += 1;
-        check_iteration_bound("kcore-k", k, n);
+        check_iteration_bound(gpu, "kcore-k", k, n)?;
     }
 
     let core = gpu.mem.download(st.core);

@@ -162,7 +162,7 @@ pub fn run_msbfs(
         }
         std::mem::swap(&mut st.frontier, &mut st.next);
         level += 1;
-        check_iteration_bound("msbfs", level, n);
+        check_iteration_bound(gpu, "msbfs", level, n)?;
     }
 
     let disc = gpu.mem.download(st.disc);

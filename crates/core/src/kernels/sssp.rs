@@ -120,7 +120,7 @@ pub fn run_sssp(
             break;
         }
         round += 1;
-        check_iteration_bound("sssp", round, g.n);
+        check_iteration_bound(gpu, "sssp", round, g.n)?;
     }
     Ok(SsspOutput {
         dist: gpu.mem.download(st.dist),

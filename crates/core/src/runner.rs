@@ -1,6 +1,7 @@
 //! Shared driver machinery: the level-synchronous loop and run results.
 
-use maxwarp_simt::KernelStats;
+use maxwarp_simt::{Gpu, KernelStats, LaunchError, SimtError, WatchdogKind};
+use std::panic::Location;
 
 /// Result of running one algorithm end-to-end on the simulated GPU.
 #[derive(Clone, Debug, Default)]
@@ -59,13 +60,32 @@ impl AlgoRun {
     }
 }
 
-/// Guard against runaway fixpoint loops in drivers: panics (with the
-/// algorithm name) if iterations exceed the theoretical bound.
-pub(crate) fn check_iteration_bound(algo: &str, iterations: u32, bound: u32) {
-    assert!(
-        iterations <= bound.saturating_add(2),
-        "{algo}: {iterations} iterations exceeds bound {bound} — kernel not converging"
-    );
+/// Guard against runaway fixpoint loops in drivers: errors (with the
+/// algorithm name and call site) if iterations exceed the theoretical bound
+/// or the device's `watchdog.max_iterations` budget, whichever is tighter.
+#[track_caller]
+pub(crate) fn check_iteration_bound(
+    gpu: &Gpu,
+    algo: &str,
+    iterations: u32,
+    bound: u32,
+) -> Result<(), LaunchError> {
+    let site = Location::caller();
+    let effective = match gpu.cfg.watchdog.max_iterations {
+        Some(cap) => cap.min(bound.saturating_add(2)),
+        None => bound.saturating_add(2),
+    };
+    if iterations > effective {
+        return Err(LaunchError::Fault(SimtError::Watchdog(
+            WatchdogKind::IterationBudget {
+                algo: algo.to_string(),
+                iterations,
+                budget: effective,
+                site,
+            },
+        )));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -144,8 +164,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not converging")]
-    fn iteration_bound_panics() {
-        check_iteration_bound("bfs", 100, 10);
+    fn iteration_bound_errors() {
+        let gpu = Gpu::new(maxwarp_simt::GpuConfig::tiny_test());
+        assert!(check_iteration_bound(&gpu, "bfs", 10, 10).is_ok());
+        let err = check_iteration_bound(&gpu, "bfs", 100, 10).unwrap_err();
+        assert!(err.to_string().contains("not converging"), "{err}");
+        assert!(matches!(
+            err,
+            LaunchError::Fault(SimtError::Watchdog(WatchdogKind::IterationBudget {
+                budget: 12,
+                ..
+            }))
+        ));
+    }
+
+    #[test]
+    fn iteration_bound_respects_watchdog_cap() {
+        let mut cfg = maxwarp_simt::GpuConfig::tiny_test();
+        cfg.watchdog.max_iterations = Some(0);
+        let gpu = Gpu::new(cfg);
+        // An iteration cap of 0 trips on the very first iteration.
+        let err = check_iteration_bound(&gpu, "bfs", 1, 1000).unwrap_err();
+        assert!(matches!(
+            err,
+            LaunchError::Fault(SimtError::Watchdog(WatchdogKind::IterationBudget {
+                budget: 0,
+                ..
+            }))
+        ));
     }
 }

@@ -73,7 +73,7 @@ impl CacheModel {
             }
         }
         // Miss: evict LRU way.
-        let victim = (0..self.ways).min_by_key(|&w| stamps[w]).unwrap();
+        let victim = (0..self.ways).min_by_key(|&w| stamps[w]).unwrap_or(0);
         tags[victim] = seg;
         stamps[victim] = self.clock;
         self.misses += 1;

@@ -61,6 +61,15 @@ pub struct GpuConfig {
     /// `MAXWARP_PROFILE=1` in the environment. Purely observational: results,
     /// `KernelStats`, and simulated cycles are identical either way.
     pub profile: bool,
+    /// Watchdog budgets (cycles / instructions / driver iterations). All
+    /// `None` by default — existing runs are byte-identical. Env overrides:
+    /// `MAXWARP_MAX_CYCLES`, `MAXWARP_MAX_ITERS`.
+    #[serde(default)]
+    pub watchdog: crate::fault::WatchdogConfig,
+    /// Deterministic fault injection (chaos mode). `None` (the default)
+    /// injects nothing; `MAXWARP_FAULTS=seed` enables every fault class.
+    #[serde(default)]
+    pub faults: Option<crate::fault::FaultConfig>,
 }
 
 impl GpuConfig {
@@ -88,6 +97,8 @@ impl GpuConfig {
             issue_width: 1,
             sanitize: false,
             profile: false,
+            watchdog: crate::fault::WatchdogConfig::default(),
+            faults: None,
         }
     }
 
@@ -116,6 +127,8 @@ impl GpuConfig {
             issue_width: 1,
             sanitize: false,
             profile: false,
+            watchdog: crate::fault::WatchdogConfig::default(),
+            faults: None,
         }
     }
 
@@ -142,6 +155,8 @@ impl GpuConfig {
             issue_width: 1,
             sanitize: false,
             profile: false,
+            watchdog: crate::fault::WatchdogConfig::default(),
+            faults: None,
         }
     }
 

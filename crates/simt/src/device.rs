@@ -2,6 +2,7 @@
 
 use crate::cache::CacheModel;
 use crate::config::GpuConfig;
+use crate::fault::{AtomicDropPlan, ChaosState, FaultConfig, SimtError, WatchdogKind};
 use crate::kernel::{BlockCtx, Kernel};
 use crate::lanes::WARP_SIZE;
 use crate::mem::DeviceMem;
@@ -22,6 +23,9 @@ pub enum LaunchError {
     InvalidBlockSize { threads: u32, max: u32 },
     /// Timing-model rejection (occupancy or malformed dynamic tasks).
     Timing(TimingError),
+    /// The kernel faulted: an illegal access, resource exhaustion, or a
+    /// tripped watchdog, with device-side attribution.
+    Fault(SimtError),
 }
 
 impl std::fmt::Display for LaunchError {
@@ -32,6 +36,7 @@ impl std::fmt::Display for LaunchError {
                 "invalid block size {threads}: must be a positive multiple of 32 and <= {max}"
             ),
             LaunchError::Timing(e) => write!(f, "{e}"),
+            LaunchError::Fault(e) => write!(f, "{e}"),
         }
     }
 }
@@ -40,7 +45,26 @@ impl std::error::Error for LaunchError {}
 
 impl From<TimingError> for LaunchError {
     fn from(e: TimingError) -> Self {
-        LaunchError::Timing(e)
+        // A barrier deadlock is a device fault (watchdog class), not a
+        // launch-configuration problem — surface it as such.
+        match e {
+            TimingError::BarrierDeadlock {
+                block,
+                parked_warps,
+                retired_warps,
+            } => LaunchError::Fault(SimtError::Watchdog(WatchdogKind::BarrierDeadlock {
+                block,
+                parked_warps,
+                retired_warps,
+            })),
+            other => LaunchError::Timing(other),
+        }
+    }
+}
+
+impl From<SimtError> for LaunchError {
+    fn from(e: SimtError) -> Self {
+        LaunchError::Fault(e)
     }
 }
 
@@ -97,6 +121,9 @@ pub struct Gpu {
     timing_total: TimingReport,
     /// Timing detail of the most recent launch.
     last_timing: Option<TimingReport>,
+    /// Deterministic fault-injection state, present when `cfg.faults` (or
+    /// `MAXWARP_FAULTS=seed`) turned chaos mode on at construction.
+    chaos: Option<ChaosState>,
 }
 
 impl Gpu {
@@ -111,8 +138,27 @@ impl Gpu {
         if std::env::var("MAXWARP_PROFILE").is_ok_and(|v| v == "1") {
             cfg.profile = true;
         }
+        if let Ok(v) = std::env::var("MAXWARP_FAULTS") {
+            match v.parse::<u64>() {
+                Ok(seed) => cfg.faults = Some(FaultConfig::all(seed)),
+                Err(_) => eprintln!("MAXWARP_FAULTS={v}: not a u64 seed, ignoring"),
+            }
+        }
+        if let Ok(v) = std::env::var("MAXWARP_MAX_CYCLES") {
+            match v.parse::<u64>() {
+                Ok(n) => cfg.watchdog.max_cycles = Some(n),
+                Err(_) => eprintln!("MAXWARP_MAX_CYCLES={v}: not a u64, ignoring"),
+            }
+        }
+        if let Ok(v) = std::env::var("MAXWARP_MAX_ITERS") {
+            match v.parse::<u32>() {
+                Ok(n) => cfg.watchdog.max_iterations = Some(n),
+                Err(_) => eprintln!("MAXWARP_MAX_ITERS={v}: not a u32, ignoring"),
+            }
+        }
         let san = cfg.sanitize.then(|| Box::new(Sanitizer::new()));
         let prof = cfg.profile.then(|| Box::new(Profiler::new(&cfg)));
+        let chaos = cfg.faults.map(ChaosState::new);
         Gpu {
             cfg,
             mem: DeviceMem::new(),
@@ -120,12 +166,18 @@ impl Gpu {
             prof,
             timing_total: TimingReport::default(),
             last_timing: None,
+            chaos,
         }
     }
 
     /// The sanitizer's accumulated diagnostics, if sanitizing.
     pub fn sanitizer(&self) -> Option<&Sanitizer> {
         self.san.as_deref()
+    }
+
+    /// Chaos-injection bookkeeping, present when fault injection is on.
+    pub fn chaos(&self) -> Option<&ChaosState> {
+        self.chaos.as_ref()
     }
 
     /// Label subsequent launches with a kernel name for sanitizer reports.
@@ -192,6 +244,66 @@ impl Gpu {
         }
     }
 
+    /// Per-launch chaos injection at the launch boundary: flip one bit of a
+    /// valid device-memory word and/or arm a dropped-atomic plan, per the
+    /// enabled fault classes. No-op (and no RNG draws) when chaos is off.
+    fn chaos_prelaunch(&mut self) -> Option<AtomicDropPlan> {
+        let chaos = self.chaos.as_mut()?;
+        chaos.launches += 1;
+        if chaos.cfg.bit_flips && self.mem.chaos_flip_bit(&mut chaos.rng).is_some() {
+            chaos.bit_flips_injected += 1;
+        }
+        if chaos.cfg.dropped_atomics {
+            Some(AtomicDropPlan::new(chaos.rng.below(64)))
+        } else {
+            None
+        }
+    }
+
+    /// Account a dropped-atomic plan that actually fired during the launch.
+    fn chaos_postlaunch(&mut self, plan: Option<&AtomicDropPlan>) {
+        if let (Some(chaos), Some(plan)) = (self.chaos.as_mut(), plan) {
+            if plan.dropped {
+                chaos.atomics_dropped += 1;
+            }
+        }
+    }
+
+    /// Scheduling perturbation: rotate each block's warp streams before the
+    /// timing phase. Functional results are already computed, so a correct
+    /// kernel tolerates this by construction; only cycle counts may move.
+    fn chaos_perturb_schedule(&mut self, trace: &mut KernelTrace) {
+        let Some(chaos) = self.chaos.as_mut() else {
+            return;
+        };
+        if !chaos.cfg.sched_perturb {
+            return;
+        }
+        for bt in &mut trace.blocks {
+            let n = bt.warps.len();
+            if n > 1 {
+                let r = chaos.rng.below(n as u64) as usize;
+                if r > 0 {
+                    bt.warps.rotate_left(r);
+                    chaos.sched_perturbations += 1;
+                }
+            }
+        }
+    }
+
+    /// Trip the cumulative cycle watchdog, if one is configured.
+    fn check_cycle_budget(&self) -> Result<(), LaunchError> {
+        if let Some(budget) = self.cfg.watchdog.max_cycles {
+            let cycles = self.timing_total.cycles;
+            if cycles > budget {
+                return Err(
+                    SimtError::Watchdog(WatchdogKind::CycleBudget { cycles, budget }).into(),
+                );
+            }
+        }
+        Ok(())
+    }
+
     /// Launch `kernel` on a grid of `grid_blocks` blocks of `block_threads`
     /// threads. Runs the functional phase (actual memory effects + traces),
     /// then the timing phase; returns combined statistics.
@@ -215,6 +327,8 @@ impl Gpu {
         if let Some(s) = &mut san {
             s.begin_launch(self.mem.allocated_words());
         }
+        let mut fault: Option<SimtError> = None;
+        let mut chaos_plan = self.chaos_prelaunch();
         for b in 0..grid_blocks {
             let mut ctx = BlockCtx::new(
                 &mut self.mem,
@@ -225,6 +339,8 @@ impl Gpu {
                 warps_per_block,
                 san.as_deref_mut(),
                 self.prof.as_deref_mut(),
+                Some(&mut fault),
+                chaos_plan.as_mut(),
             );
             kernel.run_block(&mut ctx);
             let (bt, shared_used) = ctx.into_trace();
@@ -235,11 +351,17 @@ impl Gpu {
             s.finish_launch();
         }
         self.san = san;
+        self.chaos_postlaunch(chaos_plan.as_ref());
+        if let Some(e) = fault.take() {
+            return Err(e.into());
+        }
 
         let mut stats = KernelStats::from_trace(&trace);
+        self.chaos_perturb_schedule(&mut trace);
         let (report, spans) = timing::time_kernel_trace_spans(&trace, &self.cfg)?;
         stats.cycles = report.cycles;
         self.record_timing(report, spans);
+        self.check_cycle_budget()?;
         Ok(stats)
     }
 
@@ -275,6 +397,8 @@ impl Gpu {
         if let Some(s) = &mut san {
             s.begin_launch(self.mem.allocated_words());
         }
+        let mut fault: Option<SimtError> = None;
+        let mut chaos_plan = self.chaos_prelaunch();
         let mut tasks: Vec<WarpTrace> = Vec::with_capacity(num_tasks as usize);
         for task in 0..num_tasks {
             let mut wt = WarpTrace::new();
@@ -313,6 +437,8 @@ impl Gpu {
                 id,
                 scope,
                 self.prof.as_deref_mut(),
+                Some(&mut fault),
+                chaos_plan.as_mut(),
             );
             f(&mut ctx, task);
             tasks.push(wt);
@@ -321,6 +447,23 @@ impl Gpu {
             s.finish_launch();
         }
         self.san = san;
+        self.chaos_postlaunch(chaos_plan.as_ref());
+        if let Some(e) = fault.take() {
+            return Err(e.into());
+        }
+
+        // Scheduling perturbation rotates the task→warp assignment (static)
+        // or the fetch order (dynamic); functional work already ran above.
+        let sched_off = match self.chaos.as_mut() {
+            Some(chaos) if chaos.cfg.sched_perturb && resident_warps > 1 => {
+                let r = chaos.rng.below(resident_warps as u64) as u32;
+                if r > 0 {
+                    chaos.sched_perturbations += 1;
+                }
+                r
+            }
+            _ => 0,
+        };
 
         // Timing phase: build per-warp streams (static) or a queue (dynamic).
         let n_blocks = grid_blocks.max(1);
@@ -332,18 +475,22 @@ impl Gpu {
             TaskSchedule::StaticBlocked => {
                 let per = (num_tasks as usize).div_ceil(resident_warps as usize);
                 for (t, wt) in tasks.iter().enumerate() {
-                    let w = (t / per) as u32;
+                    let w = ((t / per) as u32 + sched_off) % resident_warps;
                     blocks[(w / warps_per_block) as usize][(w % warps_per_block) as usize].push(wt);
                 }
             }
             TaskSchedule::StaticCyclic => {
                 for (t, wt) in tasks.iter().enumerate() {
-                    let w = (t as u32) % resident_warps;
+                    let w = ((t as u32) + sched_off) % resident_warps;
                     blocks[(w / warps_per_block) as usize][(w % warps_per_block) as usize].push(wt);
                 }
             }
             TaskSchedule::Dynamic => {
                 queue = tasks.iter().collect();
+                if !queue.is_empty() {
+                    let r = sched_off as usize % queue.len();
+                    queue.rotate_left(r);
+                }
             }
         }
 
@@ -375,6 +522,7 @@ impl Gpu {
         agg.blocks = grid_blocks as u64;
         agg.cycles = report.cycles;
         self.record_timing(report, spans);
+        self.check_cycle_budget()?;
         Ok(agg)
     }
 
@@ -684,6 +832,175 @@ mod tests {
         for b in &g.timing_total().sm_breakdown {
             assert_eq!(b.total(), g.timing_total().cycles);
         }
+    }
+
+    #[test]
+    fn instruction_watchdog_trips_runaway_loop() {
+        let mut cfg = GpuConfig::tiny_test();
+        cfg.watchdog.max_instructions = Some(500);
+        let mut g = Gpu::new(cfg);
+        let err = g
+            .launch(1, 32, &|b: &mut BlockCtx<'_>| {
+                b.phase(|w| {
+                    let x = w.lane_ids();
+                    let mut live = Mask::FULL;
+                    while live.any() {
+                        w.alu_nop(live);
+                        live = w.alu_pred(live, &x, |_| true); // never converges
+                    }
+                });
+            })
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("watchdog"), "{msg}");
+        match err {
+            LaunchError::Fault(SimtError::Watchdog(WatchdogKind::InstructionBudget {
+                budget,
+                block,
+                warp,
+                ..
+            })) => {
+                assert_eq!(budget, 500);
+                assert_eq!((block, warp), (0, 0));
+            }
+            other => panic!("expected instruction watchdog, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cycle_watchdog_trips_cumulative_budget() {
+        let mut cfg = GpuConfig::tiny_test();
+        cfg.watchdog.max_cycles = Some(1);
+        let mut g = Gpu::new(cfg);
+        let err = g
+            .launch(1, 32, &|b: &mut BlockCtx<'_>| {
+                b.phase(|w| {
+                    for _ in 0..100 {
+                        w.alu_nop(Mask::FULL);
+                    }
+                });
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            LaunchError::Fault(SimtError::Watchdog(WatchdogKind::CycleBudget {
+                budget: 1,
+                ..
+            }))
+        ));
+    }
+
+    #[test]
+    fn oob_store_faults_without_sanitizer() {
+        let mut g = gpu();
+        let buf = g.mem.alloc::<u32>(4);
+        let r = g.launch(1, 32, &|b: &mut BlockCtx<'_>| {
+            b.phase(|w| {
+                let idx = w.lane_ids(); // lanes 4..32 address past the end
+                w.st(Mask::FULL, buf, &idx, &idx);
+            });
+        });
+        if g.sanitizer().is_some() {
+            // Sanitizer mode diagnoses and drops the lanes; the launch runs on.
+            assert!(r.is_ok());
+        } else {
+            let err = r.unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("illegal device address"), "{msg}");
+            assert!(matches!(
+                err,
+                LaunchError::Fault(SimtError::OutOfBounds {
+                    lane: Some(4),
+                    index: 4,
+                    len: 4,
+                    ..
+                })
+            ));
+        }
+        // In both modes the in-bounds lanes landed and nothing panicked.
+        assert_eq!(g.mem.download(buf), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn shared_overflow_faults_with_attribution() {
+        let mut g = gpu();
+        let err = g
+            .launch(1, 32, &|b: &mut BlockCtx<'_>| {
+                let huge = b.shared_alloc::<u32>(u32::MAX);
+                b.phase(|w| {
+                    let ids = w.lane_ids();
+                    let _ = w.sh_ld(Mask::FULL, huge, &ids);
+                });
+            })
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("shared memory exhausted"), "{msg}");
+        assert!(matches!(
+            err,
+            LaunchError::Fault(SimtError::SharedMemoryOverflow { block: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn barrier_deadlock_surfaces_as_watchdog_fault() {
+        // Hand-built traces: warp 0 parks at a barrier warp 1 never reaches.
+        let mut parked = WarpTrace::new();
+        parked.ops.push(Op::Bar);
+        let mut retiring = WarpTrace::new();
+        retiring.ops.push(Op::Alu { active: 32 });
+        let err = timing::simulate(
+            &TimingInput {
+                blocks: vec![vec![vec![&parked], vec![&retiring]]],
+                block_threads: 64,
+                shared_words_per_block: 0,
+                queue: vec![],
+            },
+            &GpuConfig::tiny_test(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            TimingError::BarrierDeadlock {
+                block: 0,
+                parked_warps: vec![0],
+                retired_warps: 1,
+            }
+        );
+        let mapped = LaunchError::from(err);
+        assert!(mapped.to_string().contains("barrier deadlock"));
+        assert!(matches!(
+            mapped,
+            LaunchError::Fault(SimtError::Watchdog(WatchdogKind::BarrierDeadlock { .. }))
+        ));
+    }
+
+    #[test]
+    fn chaos_injection_is_deterministic() {
+        let run = || {
+            let mut cfg = GpuConfig::tiny_test();
+            cfg.faults = Some(FaultConfig::all(42));
+            let mut g = Gpu::new(cfg);
+            let buf = g.mem.alloc_from(&[7u32; 256]);
+            let _ = g.launch(2, 64, &|b: &mut BlockCtx<'_>| {
+                b.phase(|w| {
+                    let ids = w.global_thread_ids();
+                    let m = w.lt_scalar(Mask::FULL, &ids, 256);
+                    let _ = w.atomic_add(m, buf, &ids, &Lanes::splat(1u32));
+                });
+            });
+            let chaos = g.chaos().unwrap();
+            (
+                g.mem.download(buf),
+                chaos.launches,
+                chaos.bit_flips_injected,
+                chaos.atomics_dropped,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed, same program => same injections");
+        assert_eq!(a.1, 1);
+        assert!(a.2 >= 1, "bit flip must have landed in allocated memory");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::cache::CacheModel;
 use crate::config::GpuConfig;
+use crate::fault::{self, AtomicDropPlan, SimtError};
 use crate::lanes::{DeviceWord, WARP_SIZE};
 use crate::mem::DeviceMem;
 use crate::profile::Profiler;
@@ -44,6 +45,8 @@ pub struct BlockCtx<'a> {
     san: Option<&'a mut Sanitizer>,
     prof: Option<&'a mut Profiler>,
     shadow: BlockShadow,
+    fault: Option<&'a mut Option<SimtError>>,
+    chaos: Option<&'a mut AtomicDropPlan>,
 }
 
 impl<'a> BlockCtx<'a> {
@@ -57,6 +60,8 @@ impl<'a> BlockCtx<'a> {
         warps_per_block: u32,
         san: Option<&'a mut Sanitizer>,
         prof: Option<&'a mut Profiler>,
+        fault: Option<&'a mut Option<SimtError>>,
+        chaos: Option<&'a mut AtomicDropPlan>,
     ) -> Self {
         BlockCtx {
             mem,
@@ -72,6 +77,8 @@ impl<'a> BlockCtx<'a> {
             san,
             prof,
             shadow: BlockShadow::default(),
+            fault,
+            chaos,
         }
     }
 
@@ -101,8 +108,33 @@ impl<'a> BlockCtx<'a> {
 
     /// Allocate zero-initialized block shared memory. Must be called outside
     /// phases (at block scope), like a `__shared__` declaration.
+    ///
+    /// Overflowing the block's shared-memory budget records a
+    /// [`SimtError::SharedMemoryOverflow`] fault (failing the launch) and
+    /// hands back a zero-length placeholder so the kernel can keep executing;
+    /// outside a launch it panics, as CUDA would fail the launch outright.
+    #[track_caller]
     pub fn shared_alloc<T: DeviceWord>(&mut self, len: u32) -> SharedPtr<T> {
-        self.shared.alloc(len)
+        let site = Location::caller();
+        match self.shared.try_alloc(len) {
+            Ok(p) => p,
+            Err((requested_words, used_words, capacity_words)) => {
+                let err = SimtError::SharedMemoryOverflow {
+                    requested_words,
+                    used_words,
+                    capacity_words,
+                    block: self.block_id,
+                    site,
+                };
+                match self.fault.as_deref_mut() {
+                    Some(slot) => {
+                        fault::record(slot, err);
+                        SharedMem::null_ptr()
+                    }
+                    None => panic!("{err}"),
+                }
+            }
+        }
     }
 
     /// Run a phase: `f` is invoked once per warp of the block, in warp-id
@@ -132,6 +164,8 @@ impl<'a> BlockCtx<'a> {
                 id,
                 scope,
                 self.prof.as_deref_mut(),
+                self.fault.as_deref_mut(),
+                self.chaos.as_deref_mut(),
             );
             f(&mut ctx);
         }
@@ -172,7 +206,7 @@ mod tests {
         let mut mem = DeviceMem::new();
         let cfg = GpuConfig::tiny_test();
         let mut cache = CacheModel::new(0, 1, 128);
-        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 3, 5, 4, None, None);
+        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 3, 5, 4, None, None, None, None);
         let mut seen = Vec::new();
         block.phase(|w| seen.push((w.id().block, w.id().warp_in_block)));
         assert_eq!(seen, vec![(3, 0), (3, 1), (3, 2), (3, 3)]);
@@ -183,7 +217,7 @@ mod tests {
         let mut mem = DeviceMem::new();
         let cfg = GpuConfig::tiny_test();
         let mut cache = CacheModel::new(0, 1, 128);
-        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 0, 1, 2, None, None);
+        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 0, 1, 2, None, None, None, None);
         block.phase(|w| w.alu_nop(Mask::FULL));
         block.barrier();
         let (trace, _) = block.into_trace();
@@ -198,7 +232,7 @@ mod tests {
         let mut mem = DeviceMem::new();
         let cfg = GpuConfig::tiny_test();
         let mut cache = CacheModel::new(0, 1, 128);
-        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 0, 1, 2, None, None);
+        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 0, 1, 2, None, None, None, None);
         let sp = block.shared_alloc::<u32>(64);
         block.phase(|w| {
             if w.id().warp_in_block == 0 {
@@ -223,7 +257,7 @@ mod tests {
         let mut mem = DeviceMem::new();
         let cfg = GpuConfig::tiny_test();
         let mut cache = CacheModel::new(0, 1, 128);
-        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 0, 1, 1, None, None);
+        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 0, 1, 1, None, None, None, None);
         k.run_block(&mut block);
         let (trace, used) = block.into_trace();
         assert_eq!(trace.warps[0].ops.len(), 1);
@@ -236,7 +270,7 @@ mod tests {
         let p = mem.alloc::<u32>(64);
         let cfg = GpuConfig::tiny_test();
         let mut cache = CacheModel::new(0, 1, 128);
-        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 0, 1, 2, None, None);
+        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 0, 1, 2, None, None, None, None);
         block.phase(|w| {
             let ids = w.global_thread_ids();
             w.st(Mask::FULL, p, &ids, &ids);

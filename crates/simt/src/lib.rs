@@ -54,6 +54,7 @@ pub mod cache;
 pub mod coalesce;
 pub mod config;
 pub mod device;
+pub mod fault;
 pub mod kernel;
 pub mod lanes;
 pub mod mask;
@@ -69,6 +70,9 @@ pub mod warp;
 pub use cache::CacheModel;
 pub use config::GpuConfig;
 pub use device::{Gpu, LaunchError, TaskSchedule};
+pub use fault::{
+    AddressSpace, ChaosState, FaultConfig, SimtError, WatchdogConfig, WatchdogKind, XorShift64,
+};
 pub use kernel::{BlockCtx, Kernel};
 pub use lanes::{DeviceWord, Lanes, LOG_WARP_SIZE, WARP_SIZE};
 pub use mask::Mask;

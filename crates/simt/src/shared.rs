@@ -75,20 +75,42 @@ impl SharedMem {
     }
 
     /// Allocate `len` elements, zero-initialized. Panics if the block's
-    /// shared-memory budget is exceeded (CUDA would fail the launch).
+    /// shared-memory budget is exceeded (CUDA would fail the launch); use
+    /// [`SharedMem::try_alloc`] (via `BlockCtx::shared_alloc`, which records
+    /// a structured fault) for the recoverable path.
     pub fn alloc<T: DeviceWord>(&mut self, len: u32) -> SharedPtr<T> {
-        assert!(
-            self.top + len <= self.capacity,
-            "shared memory exhausted: requested {len} words, {} of {} in use",
-            self.top,
-            self.capacity
-        );
+        self.try_alloc(len).unwrap_or_else(|(req, used, cap)| {
+            panic!("shared memory exhausted: requested {req} words, {used} of {cap} in use")
+        })
+    }
+
+    /// Allocate `len` elements, zero-initialized; on overflow returns the
+    /// `(requested, used, capacity)` word counts for error reporting.
+    pub fn try_alloc<T: DeviceWord>(&mut self, len: u32) -> Result<SharedPtr<T>, (u32, u32, u32)> {
+        if self
+            .top
+            .checked_add(len)
+            .is_none_or(|end| end > self.capacity)
+        {
+            return Err((len, self.top, self.capacity));
+        }
         let word = self.top;
         self.top += len;
         self.words.resize(self.top as usize, 0);
-        SharedPtr {
+        Ok(SharedPtr {
             word,
             len,
+            _ty: PhantomData,
+        })
+    }
+
+    /// A zero-length placeholder pointer, handed out after a failed
+    /// `try_alloc` so the kernel can keep executing (every access through it
+    /// is out of bounds and gets dropped/diagnosed like any other OOB).
+    pub(crate) fn null_ptr<T: DeviceWord>() -> SharedPtr<T> {
+        SharedPtr {
+            word: 0,
+            len: 0,
             _ty: PhantomData,
         }
     }

@@ -135,18 +135,22 @@ impl KernelStats {
     }
 
     /// Max-over-mean of per-warp instruction counts: how much longer the
-    /// busiest warp ran than the average one (≥ 1; 1 = perfectly balanced).
+    /// busiest warp ran than the average one (≥ 1; 1 = perfectly balanced;
+    /// 0.0 for a kernel that ran no warps at all).
     pub fn warp_imbalance_max_over_mean(&self) -> f64 {
         let n = self.per_warp_instructions.len();
         if n == 0 {
-            return 1.0;
+            return 0.0;
         }
         let sum: u64 = self.per_warp_instructions.iter().map(|&x| x as u64).sum();
         let mean = sum as f64 / n as f64;
         if mean == 0.0 {
             return 1.0;
         }
-        let max = *self.per_warp_instructions.iter().max().unwrap() as f64;
+        let max = match self.per_warp_instructions.iter().max() {
+            Some(&m) => m as f64,
+            None => return 0.0,
+        };
         max / mean
     }
 
@@ -351,6 +355,16 @@ mod tests {
     #[test]
     fn empty_cache_hit_rate_is_zero() {
         assert_eq!(KernelStats::default().cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn imbalance_of_zero_warp_kernel_is_zero() {
+        // Regression: a launch that ran no warps (empty `KernelStats`) must
+        // report 0.0 imbalance, not pretend to be perfectly balanced.
+        let empty = KernelStats::default();
+        assert!(empty.per_warp_instructions.is_empty());
+        assert_eq!(empty.warp_imbalance_max_over_mean(), 0.0);
+        assert_eq!(empty.warp_imbalance_cv(), 0.0);
     }
 
     #[test]

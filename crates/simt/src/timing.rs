@@ -39,6 +39,15 @@ pub enum TimingError {
     /// A dynamic-queue task trace contains a barrier, which has no defined
     /// semantics for warp-level tasks.
     BarrierInQueueTask,
+    /// Some warps of a block parked at a `__syncthreads` that the block's
+    /// other warps retired without ever reaching — on hardware the block
+    /// hangs until the driver's watchdog kills it. `parked_warps` are
+    /// in-block warp ids.
+    BarrierDeadlock {
+        block: u32,
+        parked_warps: Vec<u32>,
+        retired_warps: u32,
+    },
 }
 
 impl std::fmt::Display for TimingError {
@@ -54,6 +63,15 @@ impl std::fmt::Display for TimingError {
             TimingError::BarrierInQueueTask => {
                 write!(f, "dynamic-queue task traces must not contain barriers")
             }
+            TimingError::BarrierDeadlock {
+                block,
+                parked_warps,
+                retired_warps,
+            } => write!(
+                f,
+                "barrier deadlock in block {block}: warps {parked_warps:?} parked at a barrier \
+                 {retired_warps} other warp(s) retired without reaching"
+            ),
         }
     }
 }
@@ -176,7 +194,7 @@ impl TimingReport {
             return 1.0;
         }
         let mean = total as f64 / busy.len() as f64;
-        *busy.iter().max().unwrap() as f64 / mean
+        busy.iter().max().copied().unwrap_or(0) as f64 / mean
     }
 
     /// Bucket-wise sum of every SM's stall breakdown. Totals
@@ -369,6 +387,9 @@ struct Engine<'a> {
     /// anchor.
     sm_last_issue: Vec<Option<u64>>,
     sm_breakdown: Vec<StallBreakdown>,
+    /// First barrier deadlock observed, if any. The engine releases the
+    /// stuck barrier so the event loop can drain, then `run` reports this.
+    deadlock: Option<TimingError>,
 }
 
 impl<'a> Engine<'a> {
@@ -429,6 +450,7 @@ impl<'a> Engine<'a> {
             sm_instructions: vec![0; cfg.num_sms as usize],
             sm_last_issue: vec![None; cfg.num_sms as usize],
             sm_breakdown: vec![StallBreakdown::default(); cfg.num_sms as usize],
+            deadlock: None,
         };
 
         // Initial dispatch: fill SMs round-robin at t = 0.
@@ -436,7 +458,9 @@ impl<'a> Engine<'a> {
         let mut scanned_full_round = 0;
         while !eng.pending_blocks.is_empty() && scanned_full_round < cfg.num_sms {
             if eng.sm_free_slots[sm as usize] > 0 {
-                let b = eng.pending_blocks.pop_front().unwrap();
+                let Some(b) = eng.pending_blocks.pop_front() else {
+                    break;
+                };
                 eng.dispatch_block(b, sm, 0);
                 scanned_full_round = 0;
             } else {
@@ -511,9 +535,19 @@ impl<'a> Engine<'a> {
                 self.dispatch_block(nb, sm, t);
             }
         } else if block.barrier_arrived == block.live && block.barrier_arrived > 0 {
-            // The finished warp was the last one others were waiting on —
-            // malformed kernel (barrier not executed by all warps), but
-            // release rather than deadlock.
+            // The finished warp was the last one others were waiting on:
+            // the parked warps would wait forever. Record the deadlock,
+            // then release the barrier so the event loop can drain.
+            if self.deadlock.is_none() {
+                let first = block.warps[0];
+                let parked_warps = block.barrier_waiting.iter().map(|&wi| wi - first).collect();
+                let retired_warps = block.warps.len() as u32 - block.live;
+                self.deadlock = Some(TimingError::BarrierDeadlock {
+                    block: b as u32,
+                    parked_warps,
+                    retired_warps,
+                });
+            }
             self.release_barrier(b, t);
         }
     }
@@ -545,9 +579,13 @@ impl<'a> Engine<'a> {
                 self.heap.push(Reverse((t_iss, wi)));
                 continue;
             }
-            let op = self.warps[wi as usize]
-                .current_op()
-                .expect("warp in heap must have a current op");
+            // A warp in the heap always has a current op; a depleted warp
+            // would have been retired instead of re-pushed. Drop it if the
+            // invariant is ever violated rather than poisoning the engine.
+            let Some(op) = self.warps[wi as usize].current_op() else {
+                debug_assert!(false, "warp in heap must have a current op");
+                continue;
+            };
             // Cycle attribution: the first issue of an SM cycle closes the
             // preceding no-issue gap. During that gap every resident warp
             // was waiting out some latency (had one been ready, it would
@@ -623,6 +661,9 @@ impl<'a> Engine<'a> {
                     }
                 }
             }
+        }
+        if let Some(e) = self.deadlock.take() {
+            return Err(e);
         }
         debug_assert!(
             self.pending_blocks.is_empty(),

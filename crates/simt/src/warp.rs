@@ -31,6 +31,7 @@
 use crate::cache::CacheModel;
 use crate::coalesce::transactions;
 use crate::config::GpuConfig;
+use crate::fault::{self, AddressSpace, AtomicDropPlan, SimtError, WatchdogKind};
 use crate::lanes::{DeviceWord, Lanes, WARP_SIZE};
 use crate::mask::Mask;
 use crate::mem::{DevPtr, DeviceMem};
@@ -84,6 +85,16 @@ pub struct WarpCtx<'a> {
     id: WarpId,
     san: Option<SanScope<'a>>,
     prof: Option<&'a mut Profiler>,
+    /// Launch-wide fault slot. `Some` on the `Gpu::launch` path: the first
+    /// fault is recorded, the offending lanes are dropped, and the launch
+    /// returns `Err`. `None` for bare (test-harness) contexts, which keep
+    /// the historical panic-on-fault behavior.
+    fault: Option<&'a mut Option<SimtError>>,
+    /// Per-warp functional instruction budget (`watchdog.max_instructions`).
+    budget: Option<u64>,
+    /// Chaos mode: the launch's dropped-atomic plan, if that fault class is
+    /// enabled.
+    chaos: Option<&'a mut AtomicDropPlan>,
 }
 
 impl<'a> WarpCtx<'a> {
@@ -96,7 +107,7 @@ impl<'a> WarpCtx<'a> {
         cfg: &GpuConfig,
         id: WarpId,
     ) -> Self {
-        Self::new_instrumented(mem, shared, trace, cache, cfg, id, None, None)
+        Self::new_instrumented(mem, shared, trace, cache, cfg, id, None, None, None, None)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -109,6 +120,8 @@ impl<'a> WarpCtx<'a> {
         id: WarpId,
         san: Option<SanScope<'a>>,
         prof: Option<&'a mut Profiler>,
+        fault: Option<&'a mut Option<SimtError>>,
+        chaos: Option<&'a mut AtomicDropPlan>,
     ) -> Self {
         WarpCtx {
             mem,
@@ -119,6 +132,9 @@ impl<'a> WarpCtx<'a> {
             id,
             san,
             prof,
+            fault,
+            budget: cfg.watchdog.max_instructions,
+            chaos,
         }
     }
 
@@ -199,6 +215,9 @@ impl<'a> WarpCtx<'a> {
         a: &Lanes<T>,
         pred: impl FnMut(T) -> bool,
     ) -> Mask {
+        if self.tripped(Location::caller()) {
+            return Mask::NONE;
+        }
         self.push_alu(mask);
         a.test(mask, pred)
     }
@@ -221,6 +240,9 @@ impl<'a> WarpCtx<'a> {
     #[inline]
     #[track_caller]
     pub fn lt(&mut self, mask: Mask, a: &Lanes<u32>, b: &Lanes<u32>) -> Mask {
+        if self.tripped(Location::caller()) {
+            return Mask::NONE;
+        }
         self.push_alu(mask);
         Mask::from_fn(|l| mask.get(l) && a.get(l) < b.get(l))
     }
@@ -246,7 +268,11 @@ impl<'a> WarpCtx<'a> {
     #[inline]
     #[track_caller]
     pub fn ballot(&mut self, mask: Mask, pred: Mask) -> Mask {
-        self.check_empty_mask(mask, "ballot", Location::caller());
+        let site = Location::caller();
+        if self.tripped(site) {
+            return Mask::NONE;
+        }
+        self.check_empty_mask(mask, "ballot", site);
         self.push_alu(mask);
         pred & mask
     }
@@ -255,7 +281,11 @@ impl<'a> WarpCtx<'a> {
     #[inline]
     #[track_caller]
     pub fn any(&mut self, mask: Mask, pred: Mask) -> bool {
-        self.check_empty_mask(mask, "any", Location::caller());
+        let site = Location::caller();
+        if self.tripped(site) {
+            return false;
+        }
+        self.check_empty_mask(mask, "any", site);
         self.push_alu(mask);
         (pred & mask).any()
     }
@@ -264,7 +294,11 @@ impl<'a> WarpCtx<'a> {
     #[inline]
     #[track_caller]
     pub fn all(&mut self, mask: Mask, pred: Mask) -> bool {
-        self.check_empty_mask(mask, "all", Location::caller());
+        let site = Location::caller();
+        if self.tripped(site) {
+            return false;
+        }
+        self.check_empty_mask(mask, "all", site);
         self.push_alu(mask);
         (pred & mask) == mask
     }
@@ -392,8 +426,11 @@ impl<'a> WarpCtx<'a> {
     /// instructions; every lane of a segment receives its segment's total.
     #[track_caller]
     pub fn seg_reduce_add(&mut self, mask: Mask, vals: &Lanes<u32>, width: usize) -> Lanes<u32> {
-        assert!(width.is_power_of_two() && width <= WARP_SIZE);
-        self.check_empty_mask(mask, "seg_reduce_add", Location::caller());
+        let site = Location::caller();
+        if self.tripped(site) || !self.check_width(width, "seg_reduce_add", site) {
+            return Lanes::splat(0u32);
+        }
+        self.check_empty_mask(mask, "seg_reduce_add", site);
         self.charge_tree(mask, width);
         let mut out = Lanes::splat(0u32);
         for seg in 0..WARP_SIZE / width {
@@ -421,8 +458,11 @@ impl<'a> WarpCtx<'a> {
         vals: &Lanes<f32>,
         width: usize,
     ) -> Lanes<f32> {
-        assert!(width.is_power_of_two() && width <= WARP_SIZE);
-        self.check_empty_mask(mask, "seg_reduce_add_f32", Location::caller());
+        let site = Location::caller();
+        if self.tripped(site) || !self.check_width(width, "seg_reduce_add_f32", site) {
+            return Lanes::splat(0.0f32);
+        }
+        self.check_empty_mask(mask, "seg_reduce_add_f32", site);
         self.charge_tree(mask, width);
         let mut out = Lanes::splat(0.0f32);
         for seg in 0..WARP_SIZE / width {
@@ -452,8 +492,10 @@ impl<'a> WarpCtx<'a> {
         vals: &Lanes<T>,
         width: usize,
     ) -> Lanes<T> {
-        assert!(width.is_power_of_two() && width <= WARP_SIZE);
         let site = Location::caller();
+        if self.tripped(site) || !self.check_width(width, "seg_bcast", site) {
+            return Lanes::splat(T::default());
+        }
         self.push_alu(mask);
         if let Some(scope) = &mut self.san {
             let mut new = 0;
@@ -488,8 +530,11 @@ impl<'a> WarpCtx<'a> {
     /// instruction). Result replicated across the segment as a mask.
     #[track_caller]
     pub fn seg_any(&mut self, mask: Mask, pred: Mask, width: usize) -> Mask {
-        assert!(width.is_power_of_two() && width <= WARP_SIZE);
-        self.check_empty_mask(mask, "seg_any", Location::caller());
+        let site = Location::caller();
+        if self.tripped(site) || !self.check_width(width, "seg_any", site) {
+            return Mask::NONE;
+        }
+        self.check_empty_mask(mask, "seg_any", site);
         self.push_alu(mask);
         let hits = pred & mask;
         Mask::from_fn(|l| {
@@ -505,6 +550,9 @@ impl<'a> WarpCtx<'a> {
     #[track_caller]
     pub fn ld<T: DeviceWord>(&mut self, mask: Mask, ptr: DevPtr<T>, idx: &Lanes<u32>) -> Lanes<T> {
         let site = Location::caller();
+        if self.tripped(site) {
+            return Lanes::splat(T::default());
+        }
         let mask = self.guard_global(mask, ptr, idx, "ld", site);
         let tx = self.mem_tx(mask, ptr, idx);
         let op = Op::LdGlobal {
@@ -555,6 +603,9 @@ impl<'a> WarpCtx<'a> {
         vals: &Lanes<T>,
     ) {
         let site = Location::caller();
+        if self.tripped(site) {
+            return;
+        }
         let mask = self.guard_global(mask, ptr, idx, "st", site);
         let tx = self.mem_tx(mask, ptr, idx);
         let op = Op::StGlobal {
@@ -614,6 +665,9 @@ impl<'a> WarpCtx<'a> {
         idx: &Lanes<u32>,
     ) -> Lanes<T> {
         let site = Location::caller();
+        if self.tripped(site) {
+            return Lanes::splat(T::default());
+        }
         let mask = self.guard_global(mask, ptr, idx, "ld_cached", site);
         // Distinct segments among the active lanes, like the coalescer.
         let shift = self.segment_bytes.trailing_zeros();
@@ -671,6 +725,9 @@ impl<'a> WarpCtx<'a> {
     #[track_caller]
     pub fn ld_uniform<T: DeviceWord>(&mut self, mask: Mask, ptr: DevPtr<T>, idx: u32) -> T {
         let site = Location::caller();
+        if self.tripped(site) {
+            return T::default();
+        }
         let op = Op::LdGlobal {
             active: mask.count() as u8,
             tx: 1,
@@ -703,6 +760,9 @@ impl<'a> WarpCtx<'a> {
             return;
         }
         let site = Location::caller();
+        if self.tripped(site) {
+            return;
+        }
         let op = Op::StGlobal { active: 1, tx: 1 };
         self.trace.ops.push(op);
         self.prof_note(site, "st_uniform", op);
@@ -814,6 +874,9 @@ impl<'a> WarpCtx<'a> {
         new: &Lanes<T>,
     ) -> Lanes<T> {
         let site = Location::caller();
+        if self.tripped(site) {
+            return Lanes::splat(T::default());
+        }
         let mask = self.guard_global(mask, ptr, idx, "atomic_cas", site);
         let tx = self.mem_tx(mask, ptr, idx);
         let replays = self.atomic_replays(mask, idx);
@@ -825,12 +888,16 @@ impl<'a> WarpCtx<'a> {
         self.trace.ops.push(op);
         self.prof_note(site, "atomic_cas", op);
         self.note_atomics(mask, ptr, idx, "atomic_cas", site, tx);
+        let dropped_lane = match self.chaos.as_mut() {
+            Some(plan) => plan.should_drop().then(|| mask.leader()).flatten(),
+            None => None,
+        };
         let mut out = Lanes::splat(T::default());
         for l in mask.iter() {
             let i = idx.get(l);
             let old = self.mem.read(ptr, i);
             out.set(l, old);
-            if old == cmp.get(l) {
+            if old == cmp.get(l) && dropped_lane != Some(l) {
                 self.mem.write(ptr, i, new.get(l));
             }
         }
@@ -847,6 +914,9 @@ impl<'a> WarpCtx<'a> {
             return 0;
         }
         let site = Location::caller();
+        if self.tripped(site) {
+            return 0;
+        }
         let op = Op::Atomic {
             active: 1,
             tx: 1,
@@ -873,7 +943,10 @@ impl<'a> WarpCtx<'a> {
             }
         }
         let old = self.mem.read(ptr, idx);
-        self.mem.write(ptr, idx, old.wrapping_add(v));
+        let dropped = self.chaos.as_mut().is_some_and(|plan| plan.should_drop());
+        if !dropped {
+            self.mem.write(ptr, idx, old.wrapping_add(v));
+        }
         old
     }
 
@@ -888,6 +961,9 @@ impl<'a> WarpCtx<'a> {
         site: &'static Location<'static>,
         mut f: impl FnMut(T, T) -> T,
     ) -> Lanes<T> {
+        if self.tripped(site) {
+            return Lanes::splat(T::default());
+        }
         let mask = self.guard_global(mask, ptr, idx, op, site);
         let tx = self.mem_tx(mask, ptr, idx);
         let replays = self.atomic_replays(mask, idx);
@@ -899,12 +975,18 @@ impl<'a> WarpCtx<'a> {
         self.trace.ops.push(traced);
         self.prof_note(site, op, traced);
         self.note_atomics(mask, ptr, idx, op, site, tx);
+        let dropped_lane = match self.chaos.as_mut() {
+            Some(plan) => plan.should_drop().then(|| mask.leader()).flatten(),
+            None => None,
+        };
         let mut out = Lanes::splat(T::default());
         for l in mask.iter() {
             let i = idx.get(l);
             let old = self.mem.read(ptr, i);
             out.set(l, old);
-            self.mem.write(ptr, i, f(old, vals.get(l)));
+            if dropped_lane != Some(l) {
+                self.mem.write(ptr, i, f(old, vals.get(l)));
+            }
         }
         out
     }
@@ -958,6 +1040,9 @@ impl<'a> WarpCtx<'a> {
         idx: &Lanes<u32>,
     ) -> Lanes<T> {
         let site = Location::caller();
+        if self.tripped(site) {
+            return Lanes::splat(T::default());
+        }
         let mask = self.guard_shared(mask, ptr, idx, "sh_ld", site);
         let cost = bank_conflict_cost(mask.iter().map(|l| ptr.word_of(idx.get(l)) as u32));
         let op = Op::Shared {
@@ -999,6 +1084,9 @@ impl<'a> WarpCtx<'a> {
         vals: &Lanes<T>,
     ) {
         let site = Location::caller();
+        if self.tripped(site) {
+            return;
+        }
         let mask = self.guard_shared(mask, ptr, idx, "sh_st", site);
         let cost = bank_conflict_cost(mask.iter().map(|l| ptr.word_of(idx.get(l)) as u32));
         let op = Op::Shared {
@@ -1030,9 +1118,68 @@ impl<'a> WarpCtx<'a> {
 
     // ---------------------------------------------------------------- private
 
+    /// Route a fault to the launch's fault slot (keeping the first), or —
+    /// for bare test contexts with no slot — abort like the hardware would.
+    fn record_fault(&mut self, e: SimtError) {
+        match &mut self.fault {
+            Some(slot) => fault::record(slot, e),
+            None => panic!("{e}"),
+        }
+    }
+
+    /// Watchdog: true once this warp's trace has hit its instruction budget.
+    /// Records the trip as a fault the first time; afterwards every op is
+    /// suppressed and mask-producing ops return empty results, so kernel
+    /// `while mask.any()` loops unwind instead of spinning forever.
+    #[inline]
+    fn tripped(&mut self, site: &'static Location<'static>) -> bool {
+        let Some(budget) = self.budget else {
+            return false;
+        };
+        let n = self.trace.ops.len() as u64;
+        if n < budget {
+            return false;
+        }
+        let e = SimtError::Watchdog(WatchdogKind::InstructionBudget {
+            instructions: n,
+            budget,
+            block: self.id.block,
+            warp: self.id.warp_in_block,
+            site,
+        });
+        self.record_fault(e);
+        true
+    }
+
+    /// Validate a virtual-warp width; on failure records
+    /// [`SimtError::InvalidShuffle`] and tells the caller to bail out with a
+    /// neutral result.
+    fn check_width(
+        &mut self,
+        width: usize,
+        op: &'static str,
+        site: &'static Location<'static>,
+    ) -> bool {
+        if width.is_power_of_two() && width <= WARP_SIZE {
+            return true;
+        }
+        let e = SimtError::InvalidShuffle {
+            width: width as u32,
+            block: self.id.block,
+            warp: self.id.warp_in_block,
+            op,
+            site,
+        };
+        self.record_fault(e);
+        false
+    }
+
     #[inline]
     #[track_caller]
     fn push_alu(&mut self, mask: Mask) {
+        if self.tripped(Location::caller()) {
+            return;
+        }
         let op = Op::Alu {
             active: mask.count() as u8,
         };
@@ -1066,8 +1213,9 @@ impl<'a> WarpCtx<'a> {
 
     /// Bounds-check a lane-wise global access. With the sanitizer on,
     /// out-of-bounds lanes are reported as structured diagnostics and
-    /// dropped from the returned mask; with it off, the access panics like
-    /// `cudaErrorIllegalAddress`.
+    /// dropped from the returned mask; with it off, the first offender is
+    /// recorded as a [`SimtError::OutOfBounds`] launch fault (the moral
+    /// equivalent of `cudaErrorIllegalAddress`) and the lane is dropped.
     fn guard_global<T: DeviceWord>(
         &mut self,
         mask: Mask,
@@ -1090,22 +1238,26 @@ impl<'a> WarpCtx<'a> {
                     for _ in 0..new {
                         self.trace.ops.push(Op::San);
                     }
-                    ok = ok.with(l, false);
                 }
-                None => panic!(
-                    "illegal device address: index {i} out of bounds for allocation of {} \
-                     (block {}, warp {}, lane {l}, op `{op}`)",
-                    ptr.len(),
-                    self.id.block,
-                    self.id.warp_in_block
-                ),
+                None => self.record_fault(SimtError::OutOfBounds {
+                    space: AddressSpace::Global,
+                    block: self.id.block,
+                    warp: self.id.warp_in_block,
+                    lane: Some(l as u32),
+                    index: i as u64,
+                    len: ptr.len() as u64,
+                    op,
+                    site,
+                }),
             }
+            ok = ok.with(l, false);
         }
         ok
     }
 
     /// Bounds-check a uniform (scalar-index) global access; false means the
-    /// access was out of bounds and suppressed (sanitizer on).
+    /// access was out of bounds and suppressed (diagnosed by the sanitizer
+    /// when it is on, recorded as a launch fault otherwise).
     fn guard_global_scalar<T: DeviceWord>(
         &mut self,
         mask: Mask,
@@ -1126,16 +1278,19 @@ impl<'a> WarpCtx<'a> {
                 for _ in 0..new {
                     self.trace.ops.push(Op::San);
                 }
-                false
             }
-            None => panic!(
-                "illegal device address: index {idx} out of bounds for allocation of {} \
-                 (block {}, warp {}, lane {lane}, op `{op}`)",
-                ptr.len(),
-                self.id.block,
-                self.id.warp_in_block
-            ),
+            None => self.record_fault(SimtError::OutOfBounds {
+                space: AddressSpace::Global,
+                block: self.id.block,
+                warp: self.id.warp_in_block,
+                lane: Some(lane as u32),
+                index: idx as u64,
+                len: ptr.len() as u64,
+                op,
+                site,
+            }),
         }
+        false
     }
 
     /// Bounds-check a lane-wise shared-memory access (same policy as
@@ -1164,16 +1319,19 @@ impl<'a> WarpCtx<'a> {
                     for _ in 0..new {
                         self.trace.ops.push(Op::San);
                     }
-                    ok = ok.with(l, false);
                 }
-                None => panic!(
-                    "illegal shared-memory address: index {i} out of bounds for allocation of \
-                     {} (block {}, warp {}, lane {l}, bank {bank}, op `{op}`)",
-                    ptr.len(),
-                    self.id.block,
-                    self.id.warp_in_block
-                ),
+                None => self.record_fault(SimtError::OutOfBounds {
+                    space: AddressSpace::Shared,
+                    block: self.id.block,
+                    warp: self.id.warp_in_block,
+                    lane: Some(l as u32),
+                    index: i as u64,
+                    len: ptr.len() as u64,
+                    op,
+                    site,
+                }),
             }
+            ok = ok.with(l, false);
         }
         ok
     }

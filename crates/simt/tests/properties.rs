@@ -430,3 +430,77 @@ proptest! {
         }
     }
 }
+
+// ------------------------------------------------------ fault containment
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn no_panic_escapes_launch(
+        ops in proptest::collection::vec((any::<u8>(), any::<u32>()), 0..10),
+        buf_len in 1u32..64,
+        budget_raw in 0u64..600,
+        has_budget in any::<bool>(),
+        chaos_seed in any::<u64>(),
+        has_chaos in any::<bool>(),
+    ) {
+        // Whatever a kernel does — wild out-of-bounds accesses, absurd
+        // shared allocations, busy loops against a zero instruction
+        // budget, seeded chaos injection — the failure must surface as a
+        // structured `LaunchError`, never as a panic unwinding out of
+        // `Gpu::launch`.
+        let ops_owned = ops.clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut cfg = GpuConfig::tiny_test();
+            if has_budget {
+                cfg.watchdog.max_instructions = Some(budget_raw);
+            }
+            if has_chaos {
+                cfg.faults = Some(maxwarp_simt::FaultConfig::all(chaos_seed));
+            }
+            let mut gpu = Gpu::new(cfg);
+            let buf = gpu.mem.alloc::<u32>(buf_len);
+            let ops = ops_owned.clone();
+            gpu.launch(1, 32, &move |b: &mut maxwarp_simt::BlockCtx<'_>| {
+                for &(kind, val) in &ops {
+                    if kind % 6 == 4 {
+                        let _ = b.shared_alloc::<u32>(val);
+                    }
+                }
+                let ops = ops.clone();
+                b.phase(move |w| {
+                    for &(kind, val) in &ops {
+                        let idx = Lanes::splat(val);
+                        match kind % 6 {
+                            0 => {
+                                let _ = w.ld(Mask::FULL, buf, &idx);
+                            }
+                            1 => w.st(Mask::FULL, buf, &idx, &Lanes::splat(7u32)),
+                            2 => {
+                                let _ = w.atomic_add(Mask::FULL, buf, &idx, &Lanes::splat(1u32));
+                            }
+                            3 => {
+                                let _ = w.ld_uniform(Mask::FULL, buf, val);
+                            }
+                            4 => {} // shared_alloc, handled at block level
+                            _ => {
+                                for _ in 0..(val % 64) {
+                                    w.alu_nop(Mask::FULL);
+                                }
+                            }
+                        }
+                    }
+                });
+            })
+        }));
+        match result {
+            Ok(launch) => {
+                if let Err(e) = launch {
+                    prop_assert!(!e.to_string().is_empty(), "error must render a message");
+                }
+            }
+            Err(_) => prop_assert!(false, "panic escaped Gpu::launch"),
+        }
+    }
+}
