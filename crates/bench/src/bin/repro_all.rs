@@ -2,31 +2,84 @@
 //! (default) or `medium` as the first argument, and `--jobs N` to fan the
 //! experiment cells out over N worker threads (default: available
 //! parallelism; the printed tables are byte-identical for any N).
+//!
+//! Subset selection:
+//!   repro_all --list                 print every experiment name + title
+//!   repro_all --only fig3            run just F3
+//!   repro_all --only fig3,fig4 tiny  comma-separated, combinable with scale
 use maxwarp_bench::experiments as ex;
 use maxwarp_bench::harness::Harness;
 
+/// Parse `--only a,b` / `--only=a,b` (repeatable) and `--list` out of argv.
+/// Returns `(list, only)`; exits with code 2 on an unknown name.
+fn parse_selection() -> (bool, Vec<&'static ex::Experiment>) {
+    let mut list = false;
+    let mut only = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let names = if arg == "--list" {
+            list = true;
+            continue;
+        } else if arg == "--only" {
+            args.next().unwrap_or_else(|| {
+                eprintln!("--only needs a comma-separated experiment list");
+                std::process::exit(2);
+            })
+        } else if let Some(rest) = arg.strip_prefix("--only=") {
+            rest.to_string()
+        } else {
+            continue;
+        };
+        for name in names.split(',').filter(|s| !s.is_empty()) {
+            match ex::find(name) {
+                Some(e) => only.push(e),
+                None => {
+                    eprintln!("unknown experiment `{name}`; available:");
+                    for e in ex::ALL {
+                        eprintln!("  {:<10} {}", e.name, e.title);
+                    }
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    (list, only)
+}
+
 fn main() {
+    let (list, only) = parse_selection();
+    if list {
+        for e in ex::ALL {
+            println!("{:<10} {}", e.name, e.title);
+        }
+        return;
+    }
     let scale = maxwarp_bench::util::scale_from_args();
     let h = Harness::from_env();
     eprintln!("workers: {}", h.jobs());
+    let selected: Vec<_> = if only.is_empty() {
+        ex::ALL.iter().collect()
+    } else {
+        only
+    };
     println!(
-        "maxwarp reproduction of Hong et al., PPoPP 2011 — all experiments (scale: {})",
+        "maxwarp reproduction of Hong et al., PPoPP 2011 — {} (scale: {})",
+        if selected.len() == ex::ALL.len() {
+            "all experiments".to_string()
+        } else {
+            format!(
+                "experiments: {}",
+                selected
+                    .iter()
+                    .map(|e| e.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        },
         maxwarp_bench::util::scale_name(scale)
     );
-    ex::table1::run(scale, &h);
-    ex::fig1::run(scale, &h);
-    let _ = ex::fig2::run(scale, &h);
-    let _ = ex::fig3::run(scale, &h);
-    ex::fig4::run(scale, &h);
-    ex::fig5::run(scale, &h);
-    ex::fig6::run(scale, &h);
-    let _ = ex::fig7::run(scale, &h);
-    ex::fig8::run(scale, &h);
-    ex::ablation1::run(scale, &h);
-    ex::ablation2::run(scale, &h);
-    ex::ablation3::run(scale, &h);
-    ex::ablation4::run(scale, &h);
-    ex::ablation5::run(scale, &h);
-    ex::ablation6::run(scale, &h);
+    for e in &selected {
+        (e.run)(scale, &h);
+    }
     std::process::exit(maxwarp_bench::harness::exit_code());
 }

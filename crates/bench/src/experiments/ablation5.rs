@@ -8,7 +8,7 @@ use maxwarp::{run_betweenness, run_coloring, run_triangles, ExecConfig, Method};
 use maxwarp_graph::{Csr, Dataset, Orientation, Scale};
 
 fn methods() -> [Method; 3] {
-    [Method::Baseline, Method::warp(8), Method::warp(32)]
+    maxwarp::method_table::comparison_trio().map(|(_, m)| m)
 }
 
 /// Print baseline-vs-warp cycles for BC (sampled sources) and triangle

@@ -2,11 +2,17 @@
 //! normalized to the baseline. This is the paper's imbalance-vs-ALU
 //! -underutilization trade-off figure: the optimum K grows with degree
 //! variance.
+//!
+//! The sweep is [`method_table::k_sweep`] measured through the serving
+//! layer's [`probe_one`] — the same code path the online autotuner uses —
+//! so the "best K" printed here is definitionally the method the tuner
+//! would pick for BFS when probing without sampling.
 
 use crate::harness::{row, Cell, Harness};
-use crate::util::{banner, bfs_fresh, built_datasets_par};
-use maxwarp::{ExecConfig, Method, VirtualWarp};
+use crate::util::{banner, built_datasets_par, device};
+use maxwarp::{method_table, ExecConfig, Method};
 use maxwarp_graph::Scale;
+use maxwarp_serve::{probe_one, Algo, GraphEntry};
 
 /// Print normalized time per K; returns `(dataset, best_k)` pairs.
 pub fn run(scale: Scale, h: &Harness) -> Vec<(String, u32)> {
@@ -15,28 +21,31 @@ pub fn run(scale: Scale, h: &Harness) -> Vec<(String, u32)> {
         "BFS time vs virtual warp size (normalized to baseline; <1 = faster)",
         scale,
     );
+    let methods = method_table::k_sweep();
     print!("{:<14} {:>10}", "dataset", "baseline");
-    for vw in VirtualWarp::ALL {
-        print!(" {:>8}", vw.to_string());
+    for m in &methods[1..] {
+        print!(" {:>8}", m.spec());
     }
     println!(" {:>7}", "best-K");
     let exec = ExecConfig::default();
+    let gpu = device();
     let built = built_datasets_par(scale, h);
+    let entries: Vec<GraphEntry> = built
+        .iter()
+        .map(|(d, g, _)| GraphEntry::new(d.name(), g.clone()))
+        .collect();
+    let (gpu, exec, methods) = (&gpu, &exec, &methods);
     let mut cells = Vec::new();
-    for (d, g, src) in &built {
-        let src = *src;
-        cells.push(Cell::new(format!("{} baseline", d.name()), move || {
-            bfs_fresh(g, src, Method::Baseline, &exec).run.cycles()
-        }));
-        for vw in VirtualWarp::ALL {
-            cells.push(Cell::new(format!("{} {vw}", d.name()), move || {
-                bfs_fresh(g, src, Method::warp(vw.k()), &exec).run.cycles()
+    for ((d, _, _), entry) in built.iter().zip(&entries) {
+        for &m in methods.iter() {
+            cells.push(Cell::new(format!("{} {}", d.name(), m.spec()), move || {
+                probe_one(gpu, exec, entry, Algo::Bfs, m).expect("probe failed")
             }));
         }
     }
     let outs = h.run("F3", cells);
 
-    let stride = 1 + VirtualWarp::ALL.len();
+    let stride = methods.len();
     let mut bests = Vec::new();
     for ((d, _, _), chunk) in built.iter().zip(outs.chunks(stride)) {
         let Some(chunk) = row("F3", d.name(), chunk) else {
@@ -45,9 +54,13 @@ pub fn run(scale: Scale, h: &Harness) -> Vec<(String, u32)> {
         let base = *chunk[0];
         print!("{:<14} {:>10}", d.name(), base);
         let mut best = (0u32, u64::MAX);
-        for (vw, &&c) in VirtualWarp::ALL.iter().zip(&chunk[1..]) {
+        for (m, &&c) in methods[1..].iter().zip(&chunk[1..]) {
+            let k = match m {
+                Method::WarpCentric(o) => o.vw.k(),
+                Method::Baseline => unreachable!("k_sweep tail is warp-centric"),
+            };
             if c < best.1 {
-                best = (vw.k(), c);
+                best = (k, c);
             }
             print!(" {:>8.3}", c as f64 / base as f64);
         }

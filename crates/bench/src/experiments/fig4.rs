@@ -4,7 +4,7 @@
 
 use crate::harness::{Cell, Harness};
 use crate::util::{banner, bfs_fresh, built_datasets_par, defer_threshold, f};
-use maxwarp::{ExecConfig, Method, VirtualWarp, WarpCentricOpts};
+use maxwarp::{method_table, ExecConfig, VirtualWarp};
 use maxwarp_graph::Scale;
 
 /// Print cycles for {static, +dynamic, +defer, +both} at K ∈ {8, 32}.
@@ -25,21 +25,10 @@ pub fn run(scale: Scale, h: &Harness) {
         let src = *src;
         let thresh = defer_threshold(g);
         for k in [8u32, 32] {
-            let vw = VirtualWarp::new(k);
-            let variants = [
-                ("static", WarpCentricOpts::plain(vw)),
-                ("+dynamic", WarpCentricOpts::plain(vw).with_dynamic()),
-                ("+defer", WarpCentricOpts::plain(vw).with_defer(thresh)),
-                (
-                    "+both",
-                    WarpCentricOpts::plain(vw).with_dynamic().with_defer(thresh),
-                ),
-            ];
-            for (tag, opts) in variants {
+            let variants = method_table::technique_variants(VirtualWarp::new(k), thresh);
+            for (tag, method) in variants {
                 cells.push(Cell::new(format!("{} K={k} {tag}", d.name()), move || {
-                    bfs_fresh(g, src, Method::WarpCentric(opts), &exec)
-                        .run
-                        .cycles()
+                    bfs_fresh(g, src, method, &exec).run.cycles()
                 }));
             }
         }

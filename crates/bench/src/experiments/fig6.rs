@@ -19,11 +19,7 @@ fn fresh(g: &Csr, weights: Option<&[u32]>) -> (Gpu, DeviceGraph) {
 }
 
 fn methods() -> [(&'static str, Method); 3] {
-    [
-        ("baseline", Method::Baseline),
-        ("vw8", Method::warp(8)),
-        ("vw32", Method::warp(32)),
-    ]
+    maxwarp::method_table::comparison_trio()
 }
 
 /// Print per-algorithm baseline vs warp-centric cycles and speedups.

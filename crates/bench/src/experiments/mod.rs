@@ -1,4 +1,5 @@
-//! One module per paper artifact (see DESIGN.md's experiment index).
+//! One module per paper artifact (see DESIGN.md's experiment index),
+//! plus the [`ALL`] registry that `repro_all --only/--list` selects from.
 
 pub mod ablation1;
 pub mod ablation2;
@@ -15,3 +16,136 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod table1;
+
+use crate::harness::Harness;
+use maxwarp_graph::Scale;
+
+/// A named, runnable experiment. Runners that return per-row data for
+/// downstream consumers (F2/F3/F7) are wrapped so the registry signature
+/// is uniform; callers that need the returned data call the module's
+/// `run` directly.
+pub struct Experiment {
+    /// Stable CLI name (`repro_all --only <name>`).
+    pub name: &'static str,
+    /// One-line description, shown by `repro_all --list`.
+    pub title: &'static str,
+    pub run: fn(Scale, &Harness),
+}
+
+/// Every experiment, in the order `repro_all` runs them.
+pub const ALL: &[Experiment] = &[
+    Experiment {
+        name: "table1",
+        title: "graph datasets and degree statistics",
+        run: table1::run,
+    },
+    Experiment {
+        name: "fig1",
+        title: "baseline BFS: lane utilization and warp imbalance",
+        run: fig1::run,
+    },
+    Experiment {
+        name: "fig2",
+        title: "BFS speedup: virtual warp-centric (best K) vs baseline",
+        run: |scale, h| {
+            let _ = fig2::run(scale, h);
+        },
+    },
+    Experiment {
+        name: "fig3",
+        title: "BFS time vs virtual warp size (autotuner probe path)",
+        run: |scale, h| {
+            let _ = fig3::run(scale, h);
+        },
+    },
+    Experiment {
+        name: "fig4",
+        title: "techniques: dynamic workload distribution and outlier deferral",
+        run: fig4::run,
+    },
+    Experiment {
+        name: "fig5",
+        title: "BFS throughput: CPU (measured) vs simulated GPU",
+        run: fig5::run,
+    },
+    Experiment {
+        name: "fig6",
+        title: "other algorithms: baseline vs warp-centric",
+        run: fig6::run,
+    },
+    Experiment {
+        name: "fig7",
+        title: "memory coalescing: DRAM transactions, baseline vs vw32",
+        run: |scale, h| {
+            let _ = fig7::run(scale, h);
+        },
+    },
+    Experiment {
+        name: "fig8",
+        title: "block-size / occupancy sweep (BFS, vw8)",
+        run: fig8::run,
+    },
+    Experiment {
+        name: "ablation1",
+        title: "vertex-ordering ablation: BFS cycles under relabelings",
+        run: ablation1::run,
+    },
+    Experiment {
+        name: "ablation2",
+        title: "frontier representation: level-array scan vs warp-cooperative queue",
+        run: ablation2::run,
+    },
+    Experiment {
+        name: "ablation3",
+        title: "level-by-level BFS profile: baseline vs vw32",
+        run: ablation3::run,
+    },
+    Experiment {
+        name: "ablation4",
+        title: "read-only cache: BFS with CSR arrays through the texture/L2 path",
+        run: ablation4::run,
+    },
+    Experiment {
+        name: "ablation5",
+        title: "betweenness centrality, triangle counting, graph coloring",
+        run: ablation5::run,
+    },
+    Experiment {
+        name: "ablation6",
+        title: "multi-source BFS: one 8-source bitmask sweep vs separate runs",
+        run: ablation6::run,
+    },
+];
+
+/// Look up an experiment by CLI name (case-insensitive).
+pub fn find(name: &str) -> Option<&'static Experiment> {
+    ALL.iter().find(|e| e.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let mut seen = std::collections::HashSet::new();
+        for e in ALL {
+            assert!(seen.insert(e.name), "duplicate experiment name {}", e.name);
+            assert!(find(e.name).is_some());
+            assert!(
+                find(&e.name.to_uppercase()).is_some(),
+                "lookup is case-insensitive"
+            );
+        }
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn names_never_collide_with_scale_keywords() {
+        // `scale_from_args` scans the same argv; an experiment named like a
+        // scale would make `repro_all tiny --only tiny` ambiguous.
+        for e in ALL {
+            assert!(!matches!(e.name, "tiny" | "small" | "medium"));
+        }
+    }
+}

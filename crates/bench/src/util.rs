@@ -133,12 +133,14 @@ pub fn reachable_edges(g: &Csr, levels: &[u32]) -> u64 {
         .sum()
 }
 
-/// All datasets with their built graphs and sources at a scale.
+/// All datasets with their built graphs and sources at a scale. Builds go
+/// through the on-disk graph cache (`MAXWARP_GRAPH_CACHE`), so repeated
+/// harness runs skip generation.
 pub fn built_datasets(scale: Scale) -> Vec<(Dataset, Csr, u32)> {
     Dataset::ALL
         .iter()
         .map(|&d| {
-            let g = d.build(scale);
+            let g = d.build_cached(scale);
             let src = d.source(&g);
             (d, g, src)
         })
@@ -161,7 +163,7 @@ pub fn build_datasets_subset(
         .iter()
         .map(|&d| {
             Cell::new(format!("build {}", d.name()), move || {
-                let g = d.build(scale);
+                let g = d.build_cached(scale);
                 let src = d.source(&g);
                 (d, g, src)
             })

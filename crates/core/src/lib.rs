@@ -79,7 +79,7 @@ pub use kernels::pagerank::{run_pagerank, PagerankOutput};
 pub use kernels::spmv::{run_spmv, spmv_reference, SpmvOutput};
 pub use kernels::sssp::{run_sssp, SsspOutput, INF as SSSP_INF};
 pub use kernels::triangles::{run_triangles, TriangleOutput};
-pub use method::{ExecConfig, Method, WarpCentricOpts};
+pub use method::{table as method_table, ExecConfig, Method, WarpCentricOpts};
 pub use metrics::{geomean, rows_to_json, RunRow};
 pub use runner::AlgoRun;
 pub use vwarp::{VirtualWarp, VwLayout};

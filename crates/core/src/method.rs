@@ -64,6 +64,55 @@ impl Method {
         Method::WarpCentric(WarpCentricOpts::plain(VirtualWarp::new(k)))
     }
 
+    /// Unambiguous round-trippable form: like [`label`](Method::label) but
+    /// deferral carries its threshold (`vw8+defer:512`). This is what the
+    /// tuning table persists and what `MAXWARP_METHOD` accepts.
+    pub fn spec(&self) -> String {
+        match self {
+            Method::Baseline => "baseline".to_string(),
+            Method::WarpCentric(o) => {
+                let mut s = o.vw.to_string();
+                if o.dynamic {
+                    s.push_str("+dyn");
+                }
+                if let Some(t) = o.defer_threshold {
+                    s.push_str(&format!("+defer:{t}"));
+                }
+                s
+            }
+        }
+    }
+
+    /// Parse a method spec: `baseline`, `vwK`, with optional `+dyn` and
+    /// `+defer:N` (or bare `+defer`, threshold 64) suffixes in any order.
+    /// Accepts everything [`spec`](Method::spec) emits plus the
+    /// threshold-less [`label`](Method::label) form.
+    pub fn parse(s: &str) -> Option<Method> {
+        let s = s.trim();
+        if s == "baseline" {
+            return Some(Method::Baseline);
+        }
+        let mut parts = s.split('+');
+        let head = parts.next()?;
+        let k: u32 = head.strip_prefix("vw")?.parse().ok()?;
+        if !(k.is_power_of_two() && k <= 32) {
+            return None;
+        }
+        let mut opts = WarpCentricOpts::plain(VirtualWarp::new(k));
+        for p in parts {
+            if p == "dyn" {
+                opts.dynamic = true;
+            } else if p == "defer" {
+                opts.defer_threshold = Some(64);
+            } else if let Some(t) = p.strip_prefix("defer:") {
+                opts.defer_threshold = Some(t.parse().ok()?);
+            } else {
+                return None;
+            }
+        }
+        Some(Method::WarpCentric(opts))
+    }
+
     /// Short label for tables ("baseline", "vw8", "vw32+dyn+defer", ...).
     pub fn label(&self) -> String {
         match self {
@@ -79,6 +128,78 @@ impl Method {
                 s
             }
         }
+    }
+}
+
+/// The canonical method-candidate table. One definition serves every
+/// consumer that used to hand-roll its own list: the figure/ablation
+/// experiments and the serving layer's online autotuner all sweep the same
+/// candidates, so "best method" means the same thing everywhere.
+pub mod table {
+    use super::*;
+
+    /// The full candidate set the autotuner probes on first sight of a
+    /// `(graph, algorithm)` pair: the GPU baseline, the paper's virtual-warp
+    /// sizes, plus its two refinements (outlier deferral at `defer_threshold`
+    /// and dynamic workload distribution).
+    pub fn candidates(defer_threshold: u32) -> Vec<Method> {
+        vec![
+            Method::Baseline,
+            Method::warp(4),
+            Method::warp(8),
+            Method::warp(16),
+            Method::warp(32),
+            Method::WarpCentric(
+                WarpCentricOpts::plain(VirtualWarp::new(8)).with_defer(defer_threshold),
+            ),
+            Method::WarpCentric(WarpCentricOpts::plain(VirtualWarp::new(32)).with_dynamic()),
+        ]
+    }
+
+    /// The Fig. 3 sweep: baseline plus every legal virtual warp size. The
+    /// fig3 experiment and the fig3-vs-autotuner acceptance check both use
+    /// exactly this list.
+    pub fn k_sweep() -> Vec<Method> {
+        let mut v = vec![Method::Baseline];
+        v.extend(VirtualWarp::ALL.iter().map(|vw| Method::warp(vw.k())));
+        v
+    }
+
+    /// The three-way comparison used by the per-algorithm tables (F6, A5):
+    /// baseline vs a mid K vs the full-warp K.
+    pub fn comparison_trio() -> [(&'static str, Method); 3] {
+        [
+            ("baseline", Method::Baseline),
+            ("vw8", Method::warp(8)),
+            ("vw32", Method::warp(32)),
+        ]
+    }
+
+    /// The Fig. 4 technique ladder at one K: static partitioning, then each
+    /// refinement alone, then both together.
+    pub fn technique_variants(
+        vw: VirtualWarp,
+        defer_threshold: u32,
+    ) -> [(&'static str, Method); 4] {
+        [
+            ("static", Method::WarpCentric(WarpCentricOpts::plain(vw))),
+            (
+                "+dynamic",
+                Method::WarpCentric(WarpCentricOpts::plain(vw).with_dynamic()),
+            ),
+            (
+                "+defer",
+                Method::WarpCentric(WarpCentricOpts::plain(vw).with_defer(defer_threshold)),
+            ),
+            (
+                "+both",
+                Method::WarpCentric(
+                    WarpCentricOpts::plain(vw)
+                        .with_dynamic()
+                        .with_defer(defer_threshold),
+                ),
+            ),
+        ]
     }
 }
 
@@ -144,6 +265,55 @@ mod tests {
                 .schedule(),
             TaskSchedule::Dynamic
         );
+    }
+
+    #[test]
+    fn spec_parse_round_trips() {
+        let t = 512;
+        for m in table::candidates(t).into_iter().chain(table::k_sweep()) {
+            assert_eq!(Method::parse(&m.spec()), Some(m), "spec {}", m.spec());
+        }
+        for (_, m) in table::technique_variants(VirtualWarp::new(8), 100) {
+            assert_eq!(Method::parse(&m.spec()), Some(m));
+        }
+    }
+
+    #[test]
+    fn parse_accepts_label_forms_and_rejects_junk() {
+        assert_eq!(Method::parse("baseline"), Some(Method::Baseline));
+        assert_eq!(Method::parse(" vw16 "), Some(Method::warp(16)));
+        let defer = Method::parse("vw8+defer").unwrap();
+        assert!(matches!(
+            defer,
+            Method::WarpCentric(o) if o.defer_threshold == Some(64)
+        ));
+        let both = Method::parse("vw32+dyn+defer:9").unwrap();
+        assert!(matches!(
+            both,
+            Method::WarpCentric(o) if o.dynamic && o.defer_threshold == Some(9)
+        ));
+        for bad in ["", "vw3", "vw64", "vw8+turbo", "warp8", "vw8+defer:x"] {
+            assert_eq!(Method::parse(bad), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn candidate_table_shape() {
+        let c = table::candidates(64);
+        assert_eq!(c.len(), 7);
+        assert_eq!(c[0], Method::Baseline);
+        assert!(c.iter().any(
+            |m| matches!(m, Method::WarpCentric(o) if o.defer_threshold == Some(64) && !o.dynamic)
+        ));
+        assert!(c
+            .iter()
+            .any(|m| matches!(m, Method::WarpCentric(o) if o.dynamic)));
+        // Specs are unique — the tuning table keys probes by spec.
+        let mut specs: Vec<String> = c.iter().map(|m| m.spec()).collect();
+        specs.sort();
+        specs.dedup();
+        assert_eq!(specs.len(), 7);
+        assert_eq!(table::k_sweep().len(), 1 + VirtualWarp::ALL.len());
     }
 
     #[test]

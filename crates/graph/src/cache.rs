@@ -1,0 +1,144 @@
+//! On-disk cache for generated graphs.
+//!
+//! The experiment bins and the serving layer all build the same synthetic
+//! datasets — sixteen binaries regenerating an identical medium-scale RMAT
+//! is pure waste. This cache stores built graphs as binary CSR files keyed
+//! by the *generator recipe* (generator name, scale, seed, degree knobs):
+//! the key must be a pure function of everything that determines the
+//! output, so a recipe change can never serve a stale graph.
+//!
+//! Layout: `<dir>/<slug>-<fnv64(key)>.csr`, written atomically (temp file +
+//! rename) so concurrent builders — harness workers, parallel CI jobs —
+//! race benignly: both write identical bytes, last rename wins.
+//!
+//! The directory is resolved from `MAXWARP_GRAPH_CACHE`:
+//! * unset → `target/graph-cache` under the current directory;
+//! * a path → that directory;
+//! * `0` / `off` → caching disabled (every build runs the generator).
+//!
+//! Every failure mode (unreadable file, corrupt bytes, read-only disk)
+//! degrades to regenerating the graph; the cache is never load-bearing for
+//! correctness.
+
+use crate::csr::Csr;
+use crate::digest::Fnv64;
+use crate::io::{load_csr, save_csr};
+use std::path::{Path, PathBuf};
+
+/// Resolve the cache directory from the environment (see module docs).
+pub fn cache_dir() -> Option<PathBuf> {
+    match std::env::var("MAXWARP_GRAPH_CACHE") {
+        Ok(v) if v == "0" || v.eq_ignore_ascii_case("off") => None,
+        Ok(v) if !v.is_empty() => Some(PathBuf::from(v)),
+        _ => Some(PathBuf::from("target/graph-cache")),
+    }
+}
+
+/// File name for a recipe key: a readable slug plus the full key's hash.
+fn file_name(key: &str) -> String {
+    let slug: String = key
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .take(48)
+        .collect();
+    format!("{slug}-{:016x}.csr", Fnv64::new().str(key).finish())
+}
+
+/// Fetch the graph for `key` from `dir`, or build and store it.
+pub fn cached_or_build_in(dir: &Path, key: &str, build: impl FnOnce() -> Csr) -> Csr {
+    let path = dir.join(file_name(key));
+    if let Ok(g) = load_csr(&path) {
+        return g;
+    }
+    let g = build();
+    if std::fs::create_dir_all(dir).is_ok() {
+        // Atomic publish: write under a process-unique temp name, rename.
+        let tmp = dir.join(format!(".tmp-{}-{}", std::process::id(), file_name(key)));
+        if save_csr(&g, &tmp).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+    g
+}
+
+/// Fetch the graph for `key` from the environment-resolved cache directory,
+/// or build it (and store it unless caching is disabled).
+pub fn cached_or_build(key: &str, build: impl FnOnce() -> Csr) -> Csr {
+    match cache_dir() {
+        Some(dir) => cached_or_build_in(&dir, key, build),
+        None => build(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("maxwarp-graph-cache-test-{tag}"));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn second_lookup_skips_the_builder() {
+        let dir = tmpdir("hit");
+        let builds = AtomicU32::new(0);
+        let mk = || {
+            builds.fetch_add(1, Ordering::Relaxed);
+            Csr::from_edges(3, &[(0, 1), (1, 2)])
+        };
+        let a = cached_or_build_in(&dir, "k1", mk);
+        let b = cached_or_build_in(&dir, "k1", mk);
+        assert_eq!(a, b);
+        assert_eq!(builds.load(Ordering::Relaxed), 1, "second call was a hit");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn different_keys_do_not_collide() {
+        let dir = tmpdir("keys");
+        let a = cached_or_build_in(&dir, "ka", || Csr::from_edges(2, &[(0, 1)]));
+        let b = cached_or_build_in(&dir, "kb", || Csr::from_edges(2, &[(1, 0)]));
+        assert_ne!(a, b);
+        // And each key still returns its own graph.
+        let a2 = cached_or_build_in(&dir, "ka", || unreachable!("must hit"));
+        assert_eq!(a, a2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_file_falls_back_to_rebuild() {
+        let dir = tmpdir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(file_name("kc")), b"not a csr file").unwrap();
+        let g = cached_or_build_in(&dir, "kc", || Csr::from_edges(2, &[(0, 1)]));
+        assert_eq!(g.num_edges(), 1);
+        // The rebuild repaired the cache entry.
+        let again = cached_or_build_in(&dir, "kc", || unreachable!("must hit"));
+        assert_eq!(again, g);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_dir_still_builds() {
+        // A path that cannot be a directory (a file stands in the way).
+        let base = tmpdir("blocked");
+        std::fs::create_dir_all(&base).unwrap();
+        let blocked = base.join("file");
+        std::fs::write(&blocked, b"x").unwrap();
+        let g = cached_or_build_in(&blocked.join("sub"), "k", || Csr::from_edges(2, &[(0, 1)]));
+        assert_eq!(g.num_edges(), 1);
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn file_names_are_filesystem_safe() {
+        let n = file_name("RMAT scale=14 seed=0xC0FFEE deg=8/weird:chars");
+        assert!(n.ends_with(".csr"));
+        assert!(n
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '.'));
+    }
+}

@@ -170,6 +170,22 @@ impl Dataset {
         }
     }
 
+    /// Cache key for [`build`](Dataset::build): spells out the generator,
+    /// its parameters, the seed, and the scale — everything the output is a
+    /// function of. The trailing version tag must be bumped whenever any
+    /// generator's algorithm changes, or stale cached graphs would survive.
+    pub fn cache_key(&self, scale: Scale) -> String {
+        let seed = 0xC0FFEE ^ (*self as u64);
+        format!("{:?}-{:?}-seed{seed:x}-v1", self, scale)
+    }
+
+    /// [`build`](Dataset::build) through the on-disk graph cache (see
+    /// [`crate::cache`]): the first build at a given scale writes the CSR to
+    /// disk, every later build — in this process or any other — loads it.
+    pub fn build_cached(&self, scale: Scale) -> Csr {
+        crate::cache::cached_or_build(&self.cache_key(scale), || self.build(scale))
+    }
+
     /// A good BFS/SSSP source for this dataset: a vertex of near-maximal
     /// degree (the paper picks sources inside the giant component; a
     /// max-degree vertex always is).

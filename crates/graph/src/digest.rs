@@ -1,0 +1,140 @@
+//! Stable content digests for graphs.
+//!
+//! The serving layer keys its result cache and tuning table by *graph
+//! content*, not by handle or name: two `Csr`s with identical topology must
+//! collide, and any edit to the topology must change the key. A 64-bit
+//! FNV-1a over the raw CSR arrays is enough — the digest guards cache
+//! identity inside one trusted process, not an adversary.
+
+use crate::csr::Csr;
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental 64-bit FNV-1a hasher shared by all digest-style keys in the
+/// workspace (graph content, query params, device fingerprints).
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Fold one byte.
+    #[inline]
+    pub fn byte(&mut self, b: u8) -> &mut Self {
+        self.0 = (self.0 ^ b as u64).wrapping_mul(FNV_PRIME);
+        self
+    }
+
+    /// Fold a byte slice.
+    pub fn bytes(&mut self, bs: &[u8]) -> &mut Self {
+        for &b in bs {
+            self.byte(b);
+        }
+        self
+    }
+
+    /// Fold a `u32` (little-endian bytes).
+    #[inline]
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Fold a `u64` (little-endian bytes).
+    #[inline]
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Fold an `f32` by bit pattern (total, deterministic — NaNs included).
+    #[inline]
+    pub fn f32(&mut self, v: f32) -> &mut Self {
+        self.u32(v.to_bits())
+    }
+
+    /// Fold an `f64` by bit pattern.
+    #[inline]
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Fold a string (length-prefixed so "ab"+"c" ≠ "a"+"bc").
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes())
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// Content digest of a graph: a pure function of `(n, m, row_offsets,
+/// col_indices)`. Isomorphic but differently-labeled graphs get different
+/// digests by design — device kernels are sensitive to labeling.
+pub fn csr_digest(g: &Csr) -> u64 {
+    let mut h = Fnv64::new();
+    h.u32(g.num_vertices());
+    h.u64(g.num_edges());
+    for &o in g.row_offsets() {
+        h.u32(o);
+    }
+    for &c in g.col_indices() {
+        h.u32(c);
+    }
+    h.finish()
+}
+
+impl Csr {
+    /// Stable content digest of this graph (see [`csr_digest`]).
+    pub fn digest(&self) -> u64 {
+        csr_digest(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        let a = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let b = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(a.digest(), b.digest(), "same content, same digest");
+        let c = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 0)]);
+        assert_ne!(a.digest(), c.digest(), "one edge differs");
+        let d = Csr::from_edges(5, &[(0, 1), (1, 2), (2, 3)]);
+        assert_ne!(a.digest(), d.digest(), "extra isolated vertex differs");
+    }
+
+    #[test]
+    fn empty_graphs_distinguished_by_size() {
+        assert_ne!(Csr::empty(1).digest(), Csr::empty(2).digest());
+    }
+
+    #[test]
+    fn fnv_primitives_feed_distinctly() {
+        let mut a = Fnv64::new();
+        a.str("ab").str("c");
+        let mut b = Fnv64::new();
+        b.str("a").str("bc");
+        assert_ne!(a.finish(), b.finish(), "length prefix separates strings");
+        let mut f = Fnv64::new();
+        f.f32(0.85);
+        let mut g = Fnv64::new();
+        g.f32(0.850001);
+        assert_ne!(f.finish(), g.finish());
+    }
+}

@@ -16,19 +16,24 @@
 //! ```
 
 pub mod builder;
+pub mod cache;
 pub mod csr;
 pub mod datasets;
 pub mod degree;
+pub mod digest;
 pub mod generators;
 pub mod io;
 pub mod permute;
 pub mod reference;
+pub mod sample;
 pub mod triangles;
 
 pub use builder::{largest_component, GraphBuilder};
+pub use cache::{cached_or_build, cached_or_build_in};
 pub use csr::{Csr, VertexId};
 pub use datasets::{Dataset, Scale};
 pub use degree::{degree_histogram_log2, DegreeStats};
+pub use digest::{csr_digest, Fnv64};
 pub use generators::{
     citation_graph, erdos_renyi, grid2d, hub_graph, random_weights, regular_graph, rmat,
     small_world, RmatConfig,
@@ -36,6 +41,8 @@ pub use generators::{
 pub use io::{
     decode_csr, encode_csr, load_csr, read_edge_list, save_csr, write_edge_list, GraphIoError,
 };
+pub use sample::induced_sample;
+
 pub use permute::{
     apply_permutation, bfs_permutation, degree_sort_permutation, inverse_permutation,
     is_permutation, random_permutation,

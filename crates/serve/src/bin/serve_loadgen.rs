@@ -1,0 +1,333 @@
+//! `serve_loadgen` — zipf-mix load generator for the graph-query service.
+//!
+//! Builds a catalog of distinct queries (graphs × algorithms × source
+//! variants), draws a zipf-distributed request stream over it (hot queries
+//! repeat, tail queries stay cold — the distribution that makes a result
+//! cache earn its keep), submits everything through the bounded queue with
+//! retry-on-backpressure, and reports throughput, p50/p95/p99 latency,
+//! cache hit rate, and the tuner's decisions.
+//!
+//! ```text
+//! serve_loadgen [--requests N] [--seed S] [--scale tiny|small|medium]
+//!               [--workers W] [--queue D] [--batch B] [--cache-cap C]
+//!               [--theta T] [--out PATH]
+//! ```
+//!
+//! Defaults: 500 requests, seed 1, tiny scale, 2 workers, queue 64,
+//! batch 8, cache 256, zipf theta 1.1, output
+//! `results/serve_load_<seed>.json`. Exits nonzero on any dropped or
+//! failed request.
+
+use maxwarp_graph::{Dataset, Scale};
+use maxwarp_serve::json;
+use maxwarp_serve::{
+    Algo, LatencyHistogram, Query, Request, Response, ServeError, Server, ServerConfig, Ticket,
+};
+use maxwarp_simt::GpuConfig;
+use std::time::{Duration, Instant};
+
+/// SplitMix64 — enough RNG for a request stream, no dependency needed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Zipf sampler over ranks `0..n`: P(rank) ∝ 1/(rank+1)^theta.
+struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, theta: f64) -> Zipf {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(theta);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    fn draw(&self, rng: &mut Rng) -> usize {
+        let u = rng.f64();
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+struct Args {
+    requests: usize,
+    seed: u64,
+    scale: Scale,
+    workers: usize,
+    queue: usize,
+    batch: usize,
+    cache_cap: usize,
+    theta: f64,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        requests: 500,
+        seed: 1,
+        scale: Scale::Tiny,
+        workers: 2,
+        queue: 64,
+        batch: 8,
+        cache_cap: 256,
+        theta: 1.1,
+        out: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut val = || {
+            argv.next()
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--requests" => a.requests = parse(&val(), &flag),
+            "--seed" => a.seed = parse(&val(), &flag),
+            "--workers" => a.workers = parse(&val(), &flag),
+            "--queue" => a.queue = parse(&val(), &flag),
+            "--batch" => a.batch = parse(&val(), &flag),
+            "--cache-cap" => a.cache_cap = parse(&val(), &flag),
+            "--theta" => a.theta = parse(&val(), &flag),
+            "--out" => a.out = Some(val()),
+            "--scale" => {
+                a.scale = match val().to_ascii_lowercase().as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "medium" => Scale::Medium,
+                    other => die(&format!("unknown scale {other}")),
+                }
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    a
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("bad value {s} for {flag}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("serve_loadgen: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    let datasets = [
+        Dataset::Rmat,
+        Dataset::Random,
+        Dataset::WikiTalkLike,
+        Dataset::LiveJournalLike,
+    ];
+    let algos = [
+        Algo::Bfs,
+        Algo::BfsQueue,
+        Algo::Sssp,
+        Algo::Pagerank,
+        Algo::Cc,
+        Algo::Kcore,
+    ];
+
+    let mut cfg = ServerConfig::new(GpuConfig::fermi_c2050());
+    cfg.workers = args.workers;
+    cfg.queue_capacity = args.queue;
+    cfg.batch_max = args.batch;
+    cfg.cache_capacity = args.cache_cap;
+    let server = Server::start(cfg);
+
+    // Graph builds go through the on-disk graph cache (`MAXWARP_GRAPH_CACHE`)
+    // — the second loadgen run skips generation entirely.
+    let build_start = Instant::now();
+    let handles: Vec<_> = datasets
+        .iter()
+        .map(|d| server.register_graph(d.name(), d.build_cached(args.scale)))
+        .collect();
+    let build_time = build_start.elapsed();
+
+    // Distinct-query catalog: graphs × algorithms × 3 source variants.
+    // Zipf over a shuffled catalog makes the hot set span graphs and algos.
+    let mut catalog = Vec::new();
+    for (&h, d) in handles.iter().zip(&datasets) {
+        let n = server.graph(h).expect("registered").csr.num_vertices();
+        for algo in algos {
+            for variant in 0..3u32 {
+                let src = match variant {
+                    0 => None,
+                    _ => Some((variant * 97) % n.max(1)),
+                };
+                let query = match algo {
+                    Algo::Bfs => Query::Bfs { src },
+                    Algo::BfsQueue => Query::BfsQueue { src },
+                    Algo::Sssp => Query::Sssp { src },
+                    Algo::Pagerank => Query::Pagerank {
+                        iters: 3 + variant,
+                        damping: 0.85,
+                    },
+                    Algo::Cc => Query::Cc,
+                    Algo::Kcore => Query::Kcore,
+                    _ => unreachable!("not in the loadgen mix"),
+                };
+                catalog.push((h, d.name(), query));
+            }
+        }
+    }
+    // Parameterless algos produced duplicate variants; collapse them so the
+    // catalog counts distinct queries only.
+    catalog.dedup_by(|a, b| a.0 == b.0 && a.2 == b.2);
+
+    let mut rng = Rng(args.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
+    // Deterministic shuffle so zipf rank doesn't correlate with catalog order.
+    for i in (1..catalog.len()).rev() {
+        let j = (rng.next() % (i as u64 + 1)) as usize;
+        catalog.swap(i, j);
+    }
+    let zipf = Zipf::new(catalog.len(), args.theta);
+
+    println!(
+        "== serve_loadgen: {} requests, zipf(theta={}) over {} distinct queries \
+         ({} graphs x {} algos), seed {} ==",
+        args.requests,
+        args.theta,
+        catalog.len(),
+        datasets.len(),
+        algos.len(),
+        args.seed
+    );
+
+    let wall_start = Instant::now();
+    let mut tickets: Vec<(usize, Ticket)> = Vec::with_capacity(args.requests);
+    let mut retries = 0u64;
+    for _ in 0..args.requests {
+        let idx = zipf.draw(&mut rng);
+        let (h, name, query) = &catalog[idx];
+        let mut req = Request::new(*h, query.clone());
+        req.tenant = Some(name.to_string());
+        loop {
+            match server.submit(req.clone()) {
+                Ok(t) => {
+                    tickets.push((idx, t));
+                    break;
+                }
+                Err(ServeError::QueueFull { .. }) => {
+                    // Structured backpressure: back off and retry — the
+                    // request is never dropped.
+                    retries += 1;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                Err(e) => die(&format!("unexpected admission error: {e}")),
+            }
+        }
+    }
+
+    let mut latency = LatencyHistogram::new();
+    let mut wait_hist = LatencyHistogram::new();
+    let mut completed = 0u64;
+    let mut cached = 0u64;
+    let mut errors: Vec<String> = Vec::new();
+    let responses: Vec<(usize, Result<Response, ServeError>)> = tickets
+        .into_iter()
+        .map(|(idx, t)| (idx, t.wait()))
+        .collect();
+    let wall = wall_start.elapsed();
+
+    for (idx, outcome) in &responses {
+        match outcome {
+            Ok(r) => {
+                completed += 1;
+                cached += r.cached as u64;
+                latency.record(r.queue_wait + r.service);
+                wait_hist.record(r.queue_wait);
+            }
+            Err(e) => errors.push(format!("{}: {e}", catalog[*idx].1)),
+        }
+    }
+
+    let snap = server.snapshot();
+    let lat = latency.summary();
+    let wait = wait_hist.summary();
+    let throughput = completed as f64 / wall.as_secs_f64().max(1e-9);
+
+    println!("graph build (disk-cached): {} ms", build_time.as_millis());
+    println!(
+        "completed {completed}/{} in {:.2}s ({throughput:.1} req/s), {retries} \
+         backpressure retries, 0 drops",
+        args.requests,
+        wall.as_secs_f64()
+    );
+    println!("latency (queue+service): {lat}");
+    println!("queue wait:              {wait}");
+    println!(
+        "cache: {:.1}% hit rate ({} hits / {} lookups); tuner: {} decisions, {} probes",
+        snap.cache.hit_rate() * 100.0,
+        snap.cache.hits,
+        snap.cache.hits + snap.cache.misses,
+        snap.tuner_decisions,
+        snap.tuner_probes
+    );
+    println!(
+        "batches: {} ({} requests shared a batch); templates built: {}",
+        snap.batches, snap.batched_requests, snap.templates_built
+    );
+    if !errors.is_empty() {
+        println!("{} FAILED requests:", errors.len());
+        for e in errors.iter().take(10) {
+            println!("  {e}");
+        }
+    }
+
+    let report = json::obj(vec![
+        ("seed", json::n(args.seed as f64)),
+        ("requests", json::n(args.requests as f64)),
+        ("distinct_queries", json::n(catalog.len() as f64)),
+        ("theta", json::n(args.theta)),
+        ("completed", json::n(completed as f64)),
+        ("errors", json::n(errors.len() as f64)),
+        ("retries", json::n(retries as f64)),
+        ("drops", json::n(0u32)),
+        ("wall_seconds", json::n(wall.as_secs_f64())),
+        ("throughput_rps", json::n(throughput)),
+        ("latency", lat.to_json()),
+        ("queue_wait", wait.to_json()),
+        ("cached_responses", json::n(cached as f64)),
+        ("server", snap.to_json()),
+    ]);
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("results/serve_load_{}.json", args.seed));
+    let path = std::path::PathBuf::from(&out);
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, report.to_json()) {
+        Ok(()) => println!("report -> {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+
+    server.shutdown();
+    if !errors.is_empty() || completed != args.requests as u64 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,112 @@
+//! `tool_serve` — demo driver for the graph-query service.
+//!
+//! Registers the standard datasets, runs a representative query mix twice
+//! (cold, then cached), and prints what the serving stack did: the method
+//! the autotuner picked per `(graph, algorithm)`, cycle counts, cache
+//! behavior, and the server counters. A JSON snapshot lands in
+//! `results/serve_demo.json`.
+//!
+//! Usage: `tool_serve [tiny|small|medium]` (default tiny; also honors
+//! `MAXWARP_SCALE`). Method resolution honors `MAXWARP_METHOD`; the tuning
+//! table honors `MAXWARP_TUNING`.
+
+use maxwarp_graph::{Dataset, Scale};
+use maxwarp_serve::{Algo, Query, Request, Server, ServerConfig};
+use maxwarp_simt::GpuConfig;
+
+fn scale_from_args() -> Scale {
+    let pick = |s: &str| match s.to_ascii_lowercase().as_str() {
+        "tiny" => Some(Scale::Tiny),
+        "small" => Some(Scale::Small),
+        "medium" => Some(Scale::Medium),
+        _ => None,
+    };
+    for arg in std::env::args().skip(1) {
+        if let Some(s) = pick(&arg) {
+            return s;
+        }
+    }
+    std::env::var("MAXWARP_SCALE")
+        .ok()
+        .and_then(|v| pick(&v))
+        .unwrap_or(Scale::Tiny)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let server = Server::start(ServerConfig::new(GpuConfig::fermi_c2050()));
+
+    let datasets = [Dataset::Rmat, Dataset::WikiTalkLike, Dataset::Random];
+    let handles: Vec<_> = datasets
+        .iter()
+        .map(|d| server.register_graph(d.name(), d.build_cached(scale)))
+        .collect();
+
+    let algos = [Algo::Bfs, Algo::Sssp, Algo::Pagerank, Algo::Cc];
+    println!(
+        "== serve demo: {} graphs x {} algorithms, two passes (cold, cached) ==",
+        datasets.len(),
+        algos.len()
+    );
+    println!(
+        "{:<16} {:<10} {:<14} {:>12} {:>6} {:>7} {:>10} {:>10}",
+        "graph", "algo", "method", "cycles", "iters", "cached", "wait_us", "svc_us"
+    );
+
+    for pass in 0..2 {
+        for (d, &h) in datasets.iter().zip(&handles) {
+            for algo in algos {
+                let req = Request::new(h, Query::canonical(algo));
+                match server.call(req) {
+                    Ok(r) => println!(
+                        "{:<16} {:<10} {:<14} {:>12} {:>6} {:>7} {:>10} {:>10}",
+                        d.name(),
+                        algo,
+                        r.method.spec(),
+                        r.stats.cycles,
+                        r.iterations,
+                        if r.cached { "hit" } else { "miss" },
+                        r.queue_wait.as_micros(),
+                        r.service.as_micros()
+                    ),
+                    Err(e) => println!("{:<16} {:<10} ERROR: {e}", d.name(), algo),
+                }
+            }
+        }
+        if pass == 0 {
+            println!("-- second pass (every query should now hit the cache) --");
+        }
+    }
+
+    let snap = server.snapshot();
+    println!();
+    println!(
+        "cache: {} hits / {} misses (rate {:.2}), {} entries, ~{} bytes",
+        snap.cache.hits,
+        snap.cache.misses,
+        snap.cache.hit_rate(),
+        snap.cache.entries,
+        snap.cache.bytes
+    );
+    println!(
+        "tuner: {} decisions on record, {} probes run this process",
+        snap.tuner_decisions, snap.tuner_probes
+    );
+    println!(
+        "server: {} completed, {} failed, {} batches ({} requests rode a shared batch)",
+        snap.completed, snap.failed, snap.batches, snap.batched_requests
+    );
+    println!("latency: service {}", snap.service);
+
+    let json = snap.to_json().to_json();
+    let path = std::path::Path::new("results").join("serve_demo.json");
+    if std::fs::create_dir_all("results").is_ok() && std::fs::write(&path, &json).is_ok() {
+        println!("snapshot -> {}", path.display());
+    }
+
+    let failed = snap.failed;
+    server.shutdown();
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,300 @@
+//! The result cache.
+//!
+//! Keyed by everything that influences a response byte-for-byte: graph
+//! content digest, query digest (algo + params), *resolved* method spec, and
+//! a fingerprint of the simulated device. Because the scheduler executes
+//! every request on a fresh `Gpu` whose memory image is cloned from the
+//! graph's device template, a cache hit really is byte-identical to the cold
+//! run it replaced — the same `KernelStats`, the same payload — so hits can
+//! be replayed without re-simulating.
+//!
+//! Eviction is LRU over a monotonic touch tick. Hit/miss/eviction counters
+//! feed the server's JSON stats export.
+
+use crate::json::{self, Value};
+use crate::request::ResultData;
+use maxwarp_simt::{GpuConfig, KernelStats};
+use std::collections::HashMap;
+
+/// Full identity of a cacheable response.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Graph content digest ([`maxwarp_graph::csr_digest`]).
+    pub graph: u64,
+    /// Query digest: algorithm plus every parameter.
+    pub query: u64,
+    /// Resolved method spec (`Method::spec()`), never a wildcard.
+    pub method: String,
+    /// Device fingerprint ([`gpu_fingerprint`]).
+    pub device: u64,
+}
+
+/// Fingerprint of the parts of a [`GpuConfig`] that can change results or
+/// cycle counts.
+///
+/// Included: every functional/timing parameter and the fault-injection plan
+/// (faults change payloads and stats). Excluded: `sanitize` and `profile`
+/// (purely observational — the simt crate asserts byte-identical stats with
+/// them on) and the watchdog (it only decides *whether* a run completes;
+/// failed runs are never cached and hits consume no budget).
+pub fn gpu_fingerprint(cfg: &GpuConfig) -> u64 {
+    let mut h = maxwarp_graph::Fnv64::new();
+    h.str(&cfg.name);
+    for v in [
+        cfg.num_sms,
+        cfg.max_warps_per_sm,
+        cfg.max_blocks_per_sm,
+        cfg.max_threads_per_block,
+        cfg.shared_words_per_sm,
+        cfg.segment_bytes,
+        cfg.l2_lines,
+        cfg.l2_ways,
+        cfg.issue_width,
+    ] {
+        h.u32(v);
+    }
+    for v in [
+        cfg.clock_hz,
+        cfg.alu_latency,
+        cfg.mem_latency,
+        cfg.shared_latency,
+        cfg.dram_cycles_per_transaction,
+        cfg.atomic_replay_cycles,
+        cfg.l2_hit_latency,
+    ] {
+        h.u64(v);
+    }
+    match &cfg.faults {
+        None => {
+            h.byte(0);
+        }
+        Some(f) => {
+            h.byte(1);
+            h.u64(f.seed);
+            h.byte(f.bit_flips as u8);
+            h.byte(f.dropped_atomics as u8);
+            h.byte(f.sched_perturb as u8);
+        }
+    }
+    h.finish()
+}
+
+/// A cached response body.
+#[derive(Clone, Debug)]
+pub struct CachedResult {
+    pub data: ResultData,
+    pub stats: KernelStats,
+    pub iterations: u32,
+    /// Resolved method spec the result was produced with.
+    pub method: String,
+}
+
+struct Entry {
+    value: CachedResult,
+    bytes: usize,
+    touched: u64,
+}
+
+/// Running counters, exported in the server's stats JSON.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub evictions: u64,
+    /// Current number of cached entries.
+    pub entries: u64,
+    /// Approximate payload bytes currently held.
+    pub bytes: u64,
+}
+
+impl CacheStats {
+    /// Hits / (hits + misses); 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    pub fn to_json(&self) -> Value {
+        json::obj(vec![
+            ("hits", json::n(self.hits as f64)),
+            ("misses", json::n(self.misses as f64)),
+            ("insertions", json::n(self.insertions as f64)),
+            ("evictions", json::n(self.evictions as f64)),
+            ("entries", json::n(self.entries as f64)),
+            ("approx_bytes", json::n(self.bytes as f64)),
+            ("hit_rate", json::n(self.hit_rate())),
+        ])
+    }
+}
+
+/// LRU map from [`CacheKey`] to [`CachedResult`], bounded by entry count.
+pub struct ResultCache {
+    map: HashMap<CacheKey, Entry>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` entries. Capacity 0 disables
+    /// caching (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            map: HashMap::new(),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            insertions: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Look `key` up, refreshing its LRU position on hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<CachedResult> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(e) => {
+                e.touched = self.tick;
+                self.hits += 1;
+                Some(e.value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a result, evicting the least-recently-touched entry if full.
+    pub fn insert(&mut self, key: CacheKey, value: CachedResult) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.touched)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        let bytes = value.data.approx_bytes();
+        self.insertions += 1;
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                bytes,
+                touched: self.tick,
+            },
+        );
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            insertions: self.insertions,
+            evictions: self.evictions,
+            entries: self.map.len() as u64,
+            bytes: self.map.values().map(|e| e.bytes as u64).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(q: u64) -> CacheKey {
+        CacheKey {
+            graph: 1,
+            query: q,
+            method: "vw8".into(),
+            device: 2,
+        }
+    }
+
+    fn result(iter: u32) -> CachedResult {
+        CachedResult {
+            data: ResultData::Count(iter as u64),
+            stats: KernelStats::default(),
+            iterations: iter,
+            method: "vw8".into(),
+        }
+    }
+
+    #[test]
+    fn hit_returns_inserted_value_and_counts() {
+        let mut c = ResultCache::new(4);
+        assert!(c.get(&key(1)).is_none());
+        c.insert(key(1), result(7));
+        let hit = c.get(&key(1)).unwrap();
+        assert_eq!(hit.iterations, 7);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(1), result(1));
+        c.insert(key(2), result(2));
+        c.get(&key(1)); // 2 is now LRU
+        c.insert(key(3), result(3));
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(2)).is_none(), "LRU entry evicted");
+        assert!(c.get(&key(3)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().entries, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        c.insert(key(1), result(1));
+        assert!(c.get(&key(1)).is_none());
+        assert_eq!(c.stats().entries, 0);
+    }
+
+    #[test]
+    fn fingerprint_separates_timing_and_faults_but_not_observers() {
+        let base = GpuConfig::fermi_c2050();
+        let f0 = gpu_fingerprint(&base);
+
+        let mut observed = base.clone();
+        observed.sanitize = true;
+        observed.profile = true;
+        observed.watchdog.max_cycles = Some(1);
+        assert_eq!(
+            gpu_fingerprint(&observed),
+            f0,
+            "observers and watchdog budgets don't change results"
+        );
+
+        let mut slower = base.clone();
+        slower.mem_latency += 1;
+        assert_ne!(gpu_fingerprint(&slower), f0);
+
+        let mut faulty = base.clone();
+        faulty.faults = Some(maxwarp_simt::FaultConfig::all(42));
+        assert_ne!(gpu_fingerprint(&faulty), f0);
+
+        assert_ne!(gpu_fingerprint(&GpuConfig::gtx280()), f0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Request execution against device templates.
+//!
+//! The cost the scheduler amortizes by batching is the *upload*: building the
+//! device image of a graph (CSR arrays + weights, plus the transpose for
+//! direction-optimizing BFS). A [`DeviceTemplate`] is that image, built once
+//! per `(graph, reverse?)` pair; each request then runs on a **fresh** `Gpu`
+//! whose memory is a clone of the template.
+//!
+//! The fresh-device-per-request rule is what makes the rest of the system
+//! sound:
+//!
+//! * **Cache correctness** — allocations are segment-aligned and the L2 set
+//!   index depends on absolute addresses, so cycle counts are only
+//!   reproducible when the memory layout is identical. Cloning the template
+//!   gives every request the exact layout a cold standalone run would see,
+//!   which is why a cache hit can legally claim byte-identical stats.
+//! * **Per-request deadlines** — the watchdog's cycle budget is cumulative
+//!   per device; a fresh device scopes it to one request.
+
+use crate::request::{Algo, Query, ResultData, ServeError};
+use crate::store::GraphEntry;
+use maxwarp::{
+    run_betweenness, run_bfs, run_bfs_hybrid, run_bfs_queue, run_cc, run_coloring, run_kcore,
+    run_msbfs, run_pagerank, run_spmv, run_sssp, run_triangles, AlgoRun, DeviceGraph, ExecConfig,
+    GpuHybridConfig, Method,
+};
+use maxwarp_graph::Orientation;
+use maxwarp_simt::{DeviceMem, Gpu, GpuConfig};
+
+/// A graph uploaded to a device once, cloned per request.
+pub struct DeviceTemplate {
+    /// Device memory image after the upload(s).
+    mem: DeviceMem,
+    /// The forward graph (weights always uploaded — SSSP/SpMV need them,
+    /// the rest ignore them).
+    dg: DeviceGraph,
+    /// The transposed graph, present when built with `needs_reverse`.
+    rev: Option<DeviceGraph>,
+}
+
+impl DeviceTemplate {
+    /// Upload `entry` (and its transpose if `needs_reverse`) on a fresh
+    /// device built from `cfg`.
+    pub fn build(cfg: &GpuConfig, entry: &GraphEntry, needs_reverse: bool) -> DeviceTemplate {
+        let mut gpu = Gpu::new(cfg.clone());
+        let dg = DeviceGraph::upload_weighted(&mut gpu, &entry.csr, &entry.weights);
+        let rev = needs_reverse.then(|| DeviceGraph::upload(&mut gpu, entry.reverse()));
+        DeviceTemplate {
+            mem: gpu.mem.clone(),
+            dg,
+            rev,
+        }
+    }
+
+    /// True if this template can serve `algo` (hybrid BFS needs the
+    /// transpose).
+    pub fn covers(&self, algo: Algo) -> bool {
+        !algo.needs_reverse() || self.rev.is_some()
+    }
+}
+
+/// Resolve a query's source vertex, validating explicit ones.
+fn resolve_src(entry: &GraphEntry, src: Option<u32>) -> Result<u32, ServeError> {
+    let n = entry.csr.num_vertices();
+    if n == 0 {
+        return Err(ServeError::BadRequest("graph has no vertices".into()));
+    }
+    match src {
+        None => Ok(entry.source()),
+        Some(s) if s < n => Ok(s),
+        Some(s) => Err(ServeError::BadRequest(format!(
+            "source {s} out of range (n = {n})"
+        ))),
+    }
+}
+
+fn resolve_sources(entry: &GraphEntry, k: u32, max: u32) -> Result<Vec<u32>, ServeError> {
+    if k == 0 {
+        return Err(ServeError::BadRequest("num_sources must be >= 1".into()));
+    }
+    if k > max {
+        return Err(ServeError::BadRequest(format!(
+            "num_sources {k} exceeds limit {max}"
+        )));
+    }
+    let top = entry.top_sources(k);
+    if top.is_empty() {
+        return Err(ServeError::BadRequest("graph has no vertices".into()));
+    }
+    Ok(top.to_vec())
+}
+
+/// Run one query on a fresh device cloned from `template`.
+///
+/// `deadline_cycles` is enforced through the device watchdog, composed (by
+/// `min`) with any budget the config or environment already set.
+pub fn execute(
+    cfg: &GpuConfig,
+    exec: &ExecConfig,
+    entry: &GraphEntry,
+    template: &DeviceTemplate,
+    query: &Query,
+    method: Method,
+    deadline_cycles: Option<u64>,
+) -> Result<(ResultData, AlgoRun), ServeError> {
+    let algo = query.algo();
+    if !algo.supports(method) {
+        return Err(ServeError::Unsupported {
+            algo,
+            method: method.spec(),
+        });
+    }
+    assert!(template.covers(algo), "scheduler built the wrong template");
+
+    let mut gpu = Gpu::new(cfg.clone());
+    // Compose the per-request deadline with config/env budgets: tightest wins.
+    gpu.cfg.watchdog.max_cycles = match (gpu.cfg.watchdog.max_cycles, deadline_cycles) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+
+    // Triangle counting re-orients the graph on the host and uploads its own
+    // forward graph — it runs templateless on the fresh device. Everything
+    // else starts from the template's memory image.
+    if algo != Algo::Triangles {
+        gpu.mem = template.mem.clone();
+    }
+    let dg = &template.dg;
+
+    let (data, run) = match query {
+        Query::Bfs { src } => {
+            let s = resolve_src(entry, *src)?;
+            let out = run_bfs(&mut gpu, dg, s, method, exec)?;
+            (ResultData::U32s(out.levels), out.run)
+        }
+        Query::BfsQueue { src } => {
+            let s = resolve_src(entry, *src)?;
+            let out = run_bfs_queue(&mut gpu, dg, s, method, exec)?;
+            (ResultData::U32s(out.levels), out.run)
+        }
+        Query::BfsHybrid { src } => {
+            let s = resolve_src(entry, *src)?;
+            let rev = template.rev.as_ref().expect("covers() checked above");
+            let out = run_bfs_hybrid(
+                &mut gpu,
+                dg,
+                rev,
+                s,
+                method,
+                exec,
+                &GpuHybridConfig::default(),
+            )?;
+            (ResultData::U32s(out.bfs.levels), out.bfs.run)
+        }
+        Query::Sssp { src } => {
+            let s = resolve_src(entry, *src)?;
+            let out = run_sssp(&mut gpu, dg, s, method, exec)?;
+            (ResultData::U32s(out.dist), out.run)
+        }
+        Query::Cc => {
+            let out = run_cc(&mut gpu, dg, method, exec)?;
+            (ResultData::U32s(out.labels), out.run)
+        }
+        Query::Pagerank { iters, damping } => {
+            if *iters == 0 {
+                return Err(ServeError::BadRequest("pagerank iters must be >= 1".into()));
+            }
+            let out = run_pagerank(&mut gpu, dg, *iters, *damping, method, exec)?;
+            (ResultData::F32s(out.ranks), out.run)
+        }
+        Query::Betweenness { num_sources } => {
+            let sources = resolve_sources(entry, *num_sources, 256)?;
+            let out = run_betweenness(&mut gpu, dg, &sources, method, exec)?;
+            (ResultData::F32s(out.bc), out.run)
+        }
+        Query::Triangles => {
+            let out = run_triangles(&mut gpu, &entry.csr, method, exec, Orientation::ByDegree)?;
+            (ResultData::Count(out.count), out.run)
+        }
+        Query::Coloring => {
+            let out = run_coloring(&mut gpu, dg, method, exec)?;
+            (ResultData::U32s(out.colors), out.run)
+        }
+        Query::Kcore => {
+            let out = run_kcore(&mut gpu, dg, method, exec)?;
+            (ResultData::U32s(out.core), out.run)
+        }
+        Query::MsBfs { num_sources } => {
+            let sources = resolve_sources(entry, *num_sources, 32)?;
+            let out = run_msbfs(&mut gpu, dg, &sources, method, exec)?;
+            (ResultData::U32Rows(out.levels), out.run)
+        }
+        Query::Spmv => {
+            let values: Vec<f32> = entry.weights.iter().map(|&w| w as f32).collect();
+            let x = vec![1.0f32; entry.csr.num_vertices() as usize];
+            let out = run_spmv(&mut gpu, dg, &values, &x, method, exec)?;
+            (ResultData::F32s(out.y), out.run)
+        }
+    };
+    Ok((data, run))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxwarp_graph::hub_graph;
+
+    fn entry() -> GraphEntry {
+        GraphEntry::new("hub", hub_graph(400, 2, 64, 3, 11))
+    }
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::tiny_test()
+    }
+
+    #[test]
+    fn template_runs_are_identical_to_cold_runs() {
+        let e = entry();
+        let exec = ExecConfig::default();
+        let t = DeviceTemplate::build(&cfg(), &e, false);
+        let q = Query::Bfs { src: None };
+
+        // Cold run: its own device, its own upload.
+        let mut cold_gpu = Gpu::new(cfg());
+        let cold_dg = DeviceGraph::upload_weighted(&mut cold_gpu, &e.csr, &e.weights);
+        let cold = run_bfs(&mut cold_gpu, &cold_dg, e.source(), Method::warp(8), &exec).unwrap();
+
+        // Two template runs in a row (as a batch of 2 would execute).
+        for _ in 0..2 {
+            let (data, run) = execute(&cfg(), &exec, &e, &t, &q, Method::warp(8), None).unwrap();
+            assert_eq!(data, ResultData::U32s(cold.levels.clone()));
+            assert_eq!(run.stats, cold.run.stats, "byte-identical stats");
+            assert_eq!(run.iterations, cold.run.iterations);
+        }
+    }
+
+    #[test]
+    fn every_algo_executes_on_a_covering_template() {
+        let e = entry();
+        let exec = ExecConfig::default();
+        let t = DeviceTemplate::build(&cfg(), &e, true);
+        for algo in Algo::ALL {
+            let q = Query::canonical(algo);
+            let (data, run) = execute(&cfg(), &exec, &e, &t, &q, Method::Baseline, None).unwrap();
+            assert!(run.cycles() > 0, "{algo}: no cycles simulated");
+            assert!(v_len(&data) > 0, "{algo}: empty payload");
+        }
+    }
+
+    fn v_len(d: &ResultData) -> usize {
+        match d {
+            ResultData::U32s(v) => v.len(),
+            ResultData::F32s(v) => v.len(),
+            ResultData::U32Rows(r) => r.len(),
+            ResultData::Count(_) => 1,
+        }
+    }
+
+    #[test]
+    fn deadline_trips_watchdog() {
+        let e = entry();
+        let exec = ExecConfig::default();
+        let t = DeviceTemplate::build(&cfg(), &e, false);
+        let q = Query::Cc;
+        let err = execute(&cfg(), &exec, &e, &t, &q, Method::Baseline, Some(10)).unwrap_err();
+        assert!(matches!(err, ServeError::Launch(_)), "got {err:?}");
+        // A generous deadline does not trip.
+        execute(&cfg(), &exec, &e, &t, &q, Method::Baseline, Some(u64::MAX)).unwrap();
+    }
+
+    #[test]
+    fn unsupported_and_bad_params_are_structured_errors() {
+        let e = entry();
+        let exec = ExecConfig::default();
+        let t = DeviceTemplate::build(&cfg(), &e, false);
+        let defer = Method::parse("vw8+defer:64").unwrap();
+        assert!(matches!(
+            execute(&cfg(), &exec, &e, &t, &Query::Triangles, defer, None),
+            Err(ServeError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            execute(
+                &cfg(),
+                &exec,
+                &e,
+                &t,
+                &Query::Bfs { src: Some(9999) },
+                Method::Baseline,
+                None
+            ),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            execute(
+                &cfg(),
+                &exec,
+                &e,
+                &t,
+                &Query::MsBfs { num_sources: 33 },
+                Method::Baseline,
+                None
+            ),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+}

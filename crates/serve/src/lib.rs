@@ -1,0 +1,68 @@
+//! # maxwarp-serve — a batched graph-query service over the SIMT simulator
+//!
+//! The paper benchmarks one kernel at a time; this crate asks what the
+//! production shape of those kernels looks like: a **multi-tenant query
+//! service**. Clients register graphs, then submit `(graph, algorithm,
+//! params)` requests. A pool of workers — each driving its own simulated
+//! GPU — executes them, and three mechanisms keep the service fast and
+//! predictable:
+//!
+//! * **Scheduler** ([`scheduler`]) — a bounded submission queue with
+//!   structured backpressure ([`ServeError::QueueFull`]), per-request
+//!   cycle deadlines enforced through the simulator's watchdog, and
+//!   batching of same-graph requests so the device upload is amortized.
+//! * **Result cache** ([`cache`]) — keyed by graph digest × query digest ×
+//!   method × device fingerprint. Because every execution runs on a fresh
+//!   device cloned from a per-graph template (identical memory layout),
+//!   cache hits are *byte-identical* to the cold runs they replace — stats
+//!   included.
+//! * **Online autotuner** ([`autotune`]) — first sight of a `(graph,
+//!   algorithm)` pair probes the candidate methods from
+//!   [`maxwarp::method_table`] on an induced subgraph sample, persists the
+//!   evidence to `results/tuning.json`, and serves the winner thereafter.
+//!   `MAXWARP_METHOD` pins a method globally.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use maxwarp_serve::{Query, Request, Server, ServerConfig};
+//! use maxwarp_graph::{Dataset, Scale};
+//! use maxwarp_simt::GpuConfig;
+//!
+//! let server = Server::start(ServerConfig::for_tests(GpuConfig::tiny_test()));
+//! let g = server.register_graph("rmat", Dataset::Rmat.build(Scale::Tiny));
+//!
+//! let cold = server.call(Request::new(g, Query::Bfs { src: None })).unwrap();
+//! let warm = server.call(Request::new(g, Query::Bfs { src: None })).unwrap();
+//! assert!(!cold.cached && warm.cached);
+//! assert_eq!(cold.data, warm.data); // byte-identical payload…
+//! assert_eq!(cold.stats, warm.stats); // …and byte-identical stats.
+//! server.shutdown();
+//! ```
+//!
+//! ## Environment knobs
+//!
+//! | variable | effect |
+//! |---|---|
+//! | `MAXWARP_METHOD` | pin every request's method (`baseline`, `vw8`, `vw32+dyn`, `vw8+defer:512`, …) |
+//! | `MAXWARP_TUNING` | tuning-table path (default `results/tuning.json`; `0`/`off` disables) |
+//! | `MAXWARP_QUEUE_DEPTH` | submission-queue capacity (default 64) |
+//! | `MAXWARP_CACHE_CAP` | result-cache entries (default 256; `0` disables) |
+//! | `MAXWARP_GRAPH_CACHE` | generated-graph disk cache dir (default `target/graph-cache`; `0`/`off` disables) |
+
+pub mod autotune;
+pub mod cache;
+pub mod exec;
+pub mod json;
+pub mod request;
+pub mod scheduler;
+pub mod stats;
+pub mod store;
+
+pub use autotune::{probe_methods, probe_one, Choice, ChoiceSource, TuneEntry, Tuner};
+pub use cache::{gpu_fingerprint, CacheKey, CacheStats, CachedResult, ResultCache};
+pub use exec::{execute, DeviceTemplate};
+pub use request::{Algo, Query, Request, Response, ResultData, ServeError};
+pub use scheduler::{Server, ServerConfig, ServerSnapshot, Ticket};
+pub use stats::{LatencyHistogram, LatencySummary};
+pub use store::{GraphEntry, GraphHandle, GraphStore};

@@ -1,0 +1,578 @@
+//! The request scheduler: bounded admission queue, worker pool, same-graph
+//! batching, and the glue between cache, tuner, and executor.
+//!
+//! Life of a request:
+//!
+//! 1. **Admission** — `submit` validates the graph handle and any pinned
+//!    method, then tries to enqueue. A full queue is a structured
+//!    [`ServeError::QueueFull`] *before* anything is enqueued: callers get
+//!    backpressure they can retry on, never silent dropping.
+//! 2. **Batching** — a worker pops the oldest request, then pulls up to
+//!    `batch_max - 1` more requests *for the same graph* out of the queue
+//!    (preserving arrival order for everyone else). The batch shares one
+//!    device template, so the graph upload is paid once per graph rather
+//!    than once per request.
+//! 3. **Resolution** — the method comes from the request pin, the
+//!    `MAXWARP_METHOD` override, the tuning table, or a fresh probe (in
+//!    that order; see [`crate::autotune`]).
+//! 4. **Cache** — the resolved `(graph, query, method, device)` key is
+//!    looked up; hits replay the recorded payload and `KernelStats`
+//!    (byte-identical by the template-layout argument in [`crate::exec`]).
+//! 5. **Execution** — misses run on a fresh device with the request's
+//!    deadline wired into the watchdog. Panics are caught per request; a
+//!    poisoned request fails alone, the worker and its batch survive.
+
+use crate::autotune::Tuner;
+use crate::cache::{gpu_fingerprint, CacheKey, CacheStats, CachedResult, ResultCache};
+use crate::exec::{execute, DeviceTemplate};
+use crate::json::{self, Value};
+use crate::request::{Request, Response, ServeError};
+use crate::stats::{LatencyHistogram, LatencySummary};
+use crate::store::{GraphEntry, GraphHandle, GraphStore};
+use maxwarp::{ExecConfig, Method};
+use maxwarp_graph::Csr;
+use maxwarp_simt::GpuConfig;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Server construction parameters. `ServerConfig::new` reads the
+/// environment knobs; tests use [`ServerConfig::for_tests`] to stay
+/// hermetic.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads (simulated GPUs served concurrently).
+    pub workers: usize,
+    /// Bounded submission-queue depth (`MAXWARP_QUEUE_DEPTH`).
+    pub queue_capacity: usize,
+    /// Maximum same-graph requests served per batch.
+    pub batch_max: usize,
+    /// Simulated device preset every worker runs.
+    pub gpu: GpuConfig,
+    /// Kernel launch geometry.
+    pub exec: ExecConfig,
+    /// Result-cache capacity in entries (`MAXWARP_CACHE_CAP`); 0 disables.
+    pub cache_capacity: usize,
+    /// Persistent tuning-table path (`MAXWARP_TUNING`; `0`/`off` disables).
+    pub tuning_path: Option<PathBuf>,
+    /// Probe-sample size for the autotuner (vertices).
+    pub tuner_sample: u32,
+    /// Method override applied to every request (`MAXWARP_METHOD`).
+    pub method_pin: Option<Method>,
+    /// Start with workers paused (deterministic queue tests); call
+    /// [`Server::resume`] to begin draining.
+    pub paused: bool,
+    /// Deadline in simulated cycles for requests that don't carry one.
+    pub default_deadline: Option<u64>,
+}
+
+impl ServerConfig {
+    /// Defaults plus environment overrides.
+    pub fn new(gpu: GpuConfig) -> ServerConfig {
+        let mut cfg = ServerConfig::for_tests(gpu);
+        cfg.tuning_path = match std::env::var("MAXWARP_TUNING") {
+            Ok(v) if v == "0" || v.eq_ignore_ascii_case("off") => None,
+            Ok(v) => Some(PathBuf::from(v)),
+            Err(_) => Some(PathBuf::from("results/tuning.json")),
+        };
+        if let Ok(v) = std::env::var("MAXWARP_QUEUE_DEPTH") {
+            if let Ok(d) = v.parse() {
+                cfg.queue_capacity = d;
+            }
+        }
+        if let Ok(v) = std::env::var("MAXWARP_CACHE_CAP") {
+            if let Ok(c) = v.parse() {
+                cfg.cache_capacity = c;
+            }
+        }
+        if let Ok(v) = std::env::var("MAXWARP_METHOD") {
+            match Method::parse(&v) {
+                Some(m) => cfg.method_pin = Some(m),
+                None => eprintln!("[serve] ignoring unparseable MAXWARP_METHOD={v}"),
+            }
+        }
+        cfg
+    }
+
+    /// Defaults with **no** environment reads and no tuning persistence.
+    pub fn for_tests(gpu: GpuConfig) -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 64,
+            batch_max: 8,
+            gpu,
+            exec: ExecConfig::default(),
+            cache_capacity: 256,
+            tuning_path: None,
+            tuner_sample: 4096,
+            method_pin: None,
+            paused: false,
+            default_deadline: None,
+        }
+    }
+}
+
+/// Running server counters (behind the stats mutex).
+#[derive(Default)]
+struct Counters {
+    submitted: u64,
+    rejected_full: u64,
+    rejected_invalid: u64,
+    completed: u64,
+    failed: u64,
+    batches: u64,
+    batched_requests: u64,
+    templates_built: u64,
+    queue_wait: LatencyHistogram,
+    service: LatencyHistogram,
+    per_tenant: BTreeMap<String, u64>,
+}
+
+/// Point-in-time view of everything the server counts.
+#[derive(Clone, Debug)]
+pub struct ServerSnapshot {
+    pub submitted: u64,
+    pub rejected_full: u64,
+    pub rejected_invalid: u64,
+    pub completed: u64,
+    pub failed: u64,
+    /// Batches served (each covers ≥ 1 request).
+    pub batches: u64,
+    /// Requests that shared a batch with at least one other request.
+    pub batched_requests: u64,
+    pub templates_built: u64,
+    pub queue_wait: LatencySummary,
+    pub service: LatencySummary,
+    pub cache: CacheStats,
+    pub tuner_decisions: u64,
+    pub tuner_probes: u64,
+    pub per_tenant: Vec<(String, u64)>,
+}
+
+impl ServerSnapshot {
+    pub fn to_json(&self) -> Value {
+        json::obj(vec![
+            ("submitted", json::n(self.submitted as f64)),
+            ("rejected_full", json::n(self.rejected_full as f64)),
+            ("rejected_invalid", json::n(self.rejected_invalid as f64)),
+            ("completed", json::n(self.completed as f64)),
+            ("failed", json::n(self.failed as f64)),
+            ("batches", json::n(self.batches as f64)),
+            ("batched_requests", json::n(self.batched_requests as f64)),
+            ("templates_built", json::n(self.templates_built as f64)),
+            ("queue_wait", self.queue_wait.to_json()),
+            ("service", self.service.to_json()),
+            ("cache", self.cache.to_json()),
+            ("tuner_decisions", json::n(self.tuner_decisions as f64)),
+            ("tuner_probes", json::n(self.tuner_probes as f64)),
+            (
+                "per_tenant",
+                Value::Obj(
+                    self.per_tenant
+                        .iter()
+                        .map(|(t, c)| (t.clone(), json::n(*c as f64)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+struct Job {
+    req: Request,
+    enqueued: Instant,
+    tx: mpsc::Sender<Result<Response, ServeError>>,
+}
+
+/// A submitted request's receipt; [`Ticket::wait`] blocks for the response.
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Response, ServeError>>,
+}
+
+impl Ticket {
+    /// Block until the request completes (or the server drops it).
+    pub fn wait(self) -> Result<Response, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::WorkerLost))
+    }
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Ticket { .. }")
+    }
+}
+
+struct Inner {
+    cfg: ServerConfig,
+    store: GraphStore,
+    queue: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    cache: Mutex<ResultCache>,
+    tuner: Mutex<Tuner>,
+    /// Device templates keyed by `(handle, with_reverse)`.
+    templates: Mutex<HashMap<(u32, bool), Arc<DeviceTemplate>>>,
+    counters: Mutex<Counters>,
+    shutdown: AtomicBool,
+    paused: AtomicBool,
+    /// Fingerprint of `cfg.gpu` — the device half of every cache key.
+    device_fp: u64,
+}
+
+/// The graph-query service: a [`GraphStore`], a bounded queue, and a pool
+/// of workers each driving a simulated GPU.
+pub struct Server {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start the worker pool.
+    pub fn start(cfg: ServerConfig) -> Server {
+        let device_fp = gpu_fingerprint(&cfg.gpu);
+        let inner = Arc::new(Inner {
+            cache: Mutex::new(ResultCache::new(cfg.cache_capacity)),
+            tuner: Mutex::new(Tuner::new(
+                cfg.tuning_path.clone(),
+                cfg.tuner_sample,
+                cfg.method_pin,
+            )),
+            store: GraphStore::new(),
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            templates: Mutex::new(HashMap::new()),
+            counters: Mutex::new(Counters::default()),
+            shutdown: AtomicBool::new(false),
+            paused: AtomicBool::new(cfg.paused),
+            device_fp,
+            cfg,
+        });
+        let workers = (0..inner.cfg.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Server { inner, workers }
+    }
+
+    /// Register a graph for querying.
+    pub fn register_graph(&self, name: impl Into<String>, csr: Csr) -> GraphHandle {
+        self.inner.store.register(name, csr)
+    }
+
+    /// Look up a registered graph.
+    pub fn graph(&self, h: GraphHandle) -> Option<Arc<GraphEntry>> {
+        self.inner.store.get(h)
+    }
+
+    /// Admit a request. Errors here mean nothing was enqueued.
+    pub fn submit(&self, req: Request) -> Result<Ticket, ServeError> {
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        // Validate before taking a queue slot: a request that can never
+        // execute should not consume capacity.
+        if self.inner.store.get(req.graph).is_none() {
+            self.count(|c| c.rejected_invalid += 1);
+            return Err(ServeError::UnknownGraph(req.graph));
+        }
+        if let Some(m) = req.method {
+            if !req.query.algo().supports(m) {
+                self.count(|c| c.rejected_invalid += 1);
+                return Err(ServeError::Unsupported {
+                    algo: req.query.algo(),
+                    method: m.spec(),
+                });
+            }
+        }
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = self.inner.queue.lock().expect("queue poisoned");
+            if q.len() >= self.inner.cfg.queue_capacity {
+                drop(q);
+                self.count(|c| c.rejected_full += 1);
+                return Err(ServeError::QueueFull {
+                    capacity: self.inner.cfg.queue_capacity,
+                });
+            }
+            q.push_back(Job {
+                req,
+                enqueued: Instant::now(),
+                tx,
+            });
+        }
+        self.count(|c| c.submitted += 1);
+        self.inner.cv.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// Submit and block for the response.
+    pub fn call(&self, req: Request) -> Result<Response, ServeError> {
+        self.submit(req)?.wait()
+    }
+
+    /// Unpause a server started with `paused: true`.
+    pub fn resume(&self) {
+        self.inner.paused.store(false, Ordering::SeqCst);
+        self.inner.cv.notify_all();
+    }
+
+    /// Requests currently queued (not yet picked up by a worker).
+    pub fn queue_len(&self) -> usize {
+        self.inner.queue.lock().expect("queue poisoned").len()
+    }
+
+    /// The device fingerprint used in this server's cache keys.
+    pub fn device_fingerprint(&self) -> u64 {
+        self.inner.device_fp
+    }
+
+    /// The cache key this server would use for `(graph, query, method)` —
+    /// exposed for tests that reason about hit/miss identity.
+    pub fn cache_key(&self, req: &Request, method: Method) -> Option<CacheKey> {
+        let entry = self.inner.store.get(req.graph)?;
+        Some(CacheKey {
+            graph: entry.digest,
+            query: req.query.digest(),
+            method: method.spec(),
+            device: self.inner.device_fp,
+        })
+    }
+
+    /// Counters, cache, and tuner state in one snapshot.
+    pub fn snapshot(&self) -> ServerSnapshot {
+        let c = self.inner.counters.lock().expect("stats poisoned");
+        let cache = self.inner.cache.lock().expect("cache poisoned").stats();
+        let tuner = self.inner.tuner.lock().expect("tuner poisoned");
+        ServerSnapshot {
+            submitted: c.submitted,
+            rejected_full: c.rejected_full,
+            rejected_invalid: c.rejected_invalid,
+            completed: c.completed,
+            failed: c.failed,
+            batches: c.batches,
+            batched_requests: c.batched_requests,
+            templates_built: c.templates_built,
+            queue_wait: c.queue_wait.summary(),
+            service: c.service.summary(),
+            cache,
+            tuner_decisions: tuner.decisions() as u64,
+            tuner_probes: tuner.probes_run(),
+            per_tenant: c.per_tenant.iter().map(|(t, n)| (t.clone(), *n)).collect(),
+        }
+    }
+
+    /// Stop accepting work, finish in-flight batches, fail queued requests
+    /// with [`ServeError::ShuttingDown`], and join the workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let mut q = self.inner.queue.lock().expect("queue poisoned");
+        while let Some(job) = q.pop_front() {
+            let _ = job.tx.send(Err(ServeError::ShuttingDown));
+        }
+    }
+
+    fn count(&self, f: impl FnOnce(&mut Counters)) {
+        f(&mut self.inner.counters.lock().expect("stats poisoned"));
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.shutdown_impl();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let batch = {
+            let mut q = inner.queue.lock().expect("queue poisoned");
+            loop {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if !inner.paused.load(Ordering::SeqCst) {
+                    if let Some(first) = q.pop_front() {
+                        break extract_batch(&mut q, first, inner.cfg.batch_max);
+                    }
+                }
+                q = inner.cv.wait(q).expect("queue poisoned");
+            }
+        };
+        serve_batch(inner, batch);
+    }
+}
+
+/// Pull up to `batch_max - 1` additional same-graph jobs out of the queue,
+/// preserving the relative order of everything left behind.
+fn extract_batch(q: &mut VecDeque<Job>, first: Job, batch_max: usize) -> Vec<Job> {
+    let handle = first.req.graph;
+    let mut batch = vec![first];
+    let mut i = 0;
+    while i < q.len() && batch.len() < batch_max.max(1) {
+        if q[i].req.graph == handle {
+            batch.push(q.remove(i).expect("index checked"));
+        } else {
+            i += 1;
+        }
+    }
+    batch
+}
+
+fn serve_batch(inner: &Inner, batch: Vec<Job>) {
+    let batch_size = batch.len() as u32;
+    {
+        let mut c = inner.counters.lock().expect("stats poisoned");
+        c.batches += 1;
+        if batch_size > 1 {
+            c.batched_requests += batch_size as u64;
+        }
+    }
+    for job in batch {
+        let queue_wait = job.enqueued.elapsed();
+        let started = Instant::now();
+        let outcome = serve_one(inner, &job.req);
+        let service = started.elapsed();
+        {
+            let mut c = inner.counters.lock().expect("stats poisoned");
+            c.queue_wait.record(queue_wait);
+            c.service.record(service);
+            match &outcome {
+                Ok(_) => c.completed += 1,
+                Err(_) => c.failed += 1,
+            }
+            if let Some(t) = &job.req.tenant {
+                *c.per_tenant.entry(t.clone()).or_insert(0) += 1;
+            }
+        }
+        let response = outcome.map(|(data, stats, iterations, method, cached)| Response {
+            data,
+            stats,
+            iterations,
+            method,
+            cached,
+            queue_wait,
+            service,
+            batch_size,
+        });
+        let _ = job.tx.send(response);
+    }
+}
+
+type Served = (
+    crate::request::ResultData,
+    maxwarp_simt::KernelStats,
+    u32,
+    Method,
+    bool,
+);
+
+fn serve_one(inner: &Inner, req: &Request) -> Result<Served, ServeError> {
+    let entry = inner
+        .store
+        .get(req.graph)
+        .ok_or(ServeError::UnknownGraph(req.graph))?;
+    let algo = req.query.algo();
+
+    // Resolve the method: request pin beats the tuner (including the env
+    // pin, which the tuner itself applies).
+    let method = match req.method {
+        Some(m) => m,
+        None => {
+            let mut tuner = inner.tuner.lock().expect("tuner poisoned");
+            tuner
+                .choose(&inner.cfg.gpu, &inner.cfg.exec, &entry, algo)
+                .method
+        }
+    };
+    if !algo.supports(method) {
+        return Err(ServeError::Unsupported {
+            algo,
+            method: method.spec(),
+        });
+    }
+
+    let key = CacheKey {
+        graph: entry.digest,
+        query: req.query.digest(),
+        method: method.spec(),
+        device: inner.device_fp,
+    };
+    if let Some(hit) = inner.cache.lock().expect("cache poisoned").get(&key) {
+        return Ok((hit.data, hit.stats, hit.iterations, method, true));
+    }
+
+    let template = get_template(inner, req.graph, &entry, algo.needs_reverse());
+    let deadline = req.deadline_cycles.or(inner.cfg.default_deadline);
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        execute(
+            &inner.cfg.gpu,
+            &inner.cfg.exec,
+            &entry,
+            &template,
+            &req.query,
+            method,
+            deadline,
+        )
+    }))
+    .map_err(|p| ServeError::Panicked(panic_message(&p)))??;
+
+    let (data, algo_run) = run;
+    inner.cache.lock().expect("cache poisoned").insert(
+        key,
+        CachedResult {
+            data: data.clone(),
+            stats: algo_run.stats.clone(),
+            iterations: algo_run.iterations,
+            method: method.spec(),
+        },
+    );
+    Ok((data, algo_run.stats, algo_run.iterations, method, false))
+}
+
+fn get_template(
+    inner: &Inner,
+    handle: GraphHandle,
+    entry: &GraphEntry,
+    needs_reverse: bool,
+) -> Arc<DeviceTemplate> {
+    let mut templates = inner.templates.lock().expect("templates poisoned");
+    if let Some(t) = templates.get(&(handle.0, needs_reverse)) {
+        return Arc::clone(t);
+    }
+    let t = Arc::new(DeviceTemplate::build(&inner.cfg.gpu, entry, needs_reverse));
+    templates.insert((handle.0, needs_reverse), Arc::clone(&t));
+    inner
+        .counters
+        .lock()
+        .expect("stats poisoned")
+        .templates_built += 1;
+    t
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

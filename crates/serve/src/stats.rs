@@ -1,0 +1,133 @@
+//! Latency accounting: percentile summaries for the server and loadgen.
+
+use crate::json::{self, Value};
+use std::time::Duration;
+
+/// A set of observed durations with percentile queries. Samples are stored
+/// raw (microseconds) — the workloads here are tens of thousands of
+/// requests at most, so exact percentiles are affordable and reproducible.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyHistogram {
+    samples_us: Vec<u64>,
+}
+
+impl LatencyHistogram {
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    pub fn record(&mut self, d: Duration) {
+        self.samples_us.push(d.as_micros() as u64);
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    /// Exact percentile (nearest-rank); 0 when empty.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        if self.samples_us.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    pub fn mean_us(&self) -> u64 {
+        if self.samples_us.is_empty() {
+            0
+        } else {
+            self.samples_us.iter().sum::<u64>() / self.samples_us.len() as u64
+        }
+    }
+
+    pub fn max_us(&self) -> u64 {
+        self.samples_us.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Summary with the standard serving percentiles.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.len() as u64,
+            p50_us: self.percentile_us(50.0),
+            p95_us: self.percentile_us(95.0),
+            p99_us: self.percentile_us(99.0),
+            mean_us: self.mean_us(),
+            max_us: self.max_us(),
+        }
+    }
+}
+
+/// Point-in-time percentile summary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    pub count: u64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    pub mean_us: u64,
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    pub fn to_json(&self) -> Value {
+        json::obj(vec![
+            ("count", json::n(self.count as f64)),
+            ("p50_us", json::n(self.p50_us as f64)),
+            ("p95_us", json::n(self.p95_us as f64)),
+            ("p99_us", json::n(self.p99_us as f64)),
+            ("mean_us", json::n(self.mean_us as f64)),
+            ("max_us", json::n(self.max_us as f64)),
+        ])
+    }
+}
+
+impl std::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "p50={}us p95={}us p99={}us mean={}us max={}us (n={})",
+            self.p50_us, self.p95_us, self.p99_us, self.mean_us, self.max_us, self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..=100u64 {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.percentile_us(50.0), 50);
+        assert_eq!(h.percentile_us(95.0), 95);
+        assert_eq!(h.percentile_us(99.0), 99);
+        assert_eq!(h.percentile_us(100.0), 100);
+        assert_eq!(h.mean_us(), 50); // (5050 / 100) truncated
+        assert_eq!(h.max_us(), 100);
+        assert_eq!(h.summary().count, 100);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(7));
+        let s = h.summary();
+        assert_eq!((s.p50_us, s.p99_us, s.max_us), (7, 7, 7));
+    }
+}

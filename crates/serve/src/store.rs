@@ -1,0 +1,176 @@
+//! The multi-tenant graph registry.
+//!
+//! Graphs are registered once and shared by every request that names their
+//! handle. Registration precomputes everything queries may need — content
+//! digest, seeded edge weights, the degree-sorted source list — so the hot
+//! path never mutates an entry (the reverse graph, which only
+//! direction-optimizing BFS wants, is built lazily but memoized behind a
+//! `OnceLock`).
+
+use maxwarp_graph::{random_weights, Csr};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Opaque handle to a registered graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GraphHandle(pub(crate) u32);
+
+/// A registered graph and its derived data.
+pub struct GraphEntry {
+    /// Human name given at registration.
+    pub name: String,
+    /// The graph itself.
+    pub csr: Csr,
+    /// Stable content digest — cache and tuning-table key component.
+    pub digest: u64,
+    /// Deterministic edge weights (seeded from the digest) for SSSP/SpMV.
+    pub weights: Vec<u32>,
+    /// Vertex ids sorted by descending degree (ties by ascending id):
+    /// `by_degree[0]` is the default BFS source, prefixes are the default
+    /// betweenness / MS-BFS source sets.
+    pub by_degree: Vec<u32>,
+    reverse: OnceLock<Csr>,
+}
+
+impl GraphEntry {
+    /// Build an entry (outside any store — the tuner uses free-standing
+    /// entries for sampled subgraphs).
+    pub fn new(name: impl Into<String>, csr: Csr) -> GraphEntry {
+        let digest = csr.digest();
+        let weights = random_weights_or_empty(&csr, digest);
+        let mut by_degree: Vec<u32> = (0..csr.num_vertices()).collect();
+        by_degree.sort_by_key(|&v| (std::cmp::Reverse(csr.degree(v)), v));
+        GraphEntry {
+            name: name.into(),
+            csr,
+            digest,
+            weights,
+            by_degree,
+            reverse: OnceLock::new(),
+        }
+    }
+
+    /// Default source: the highest-degree vertex (always inside the giant
+    /// component on the paper's graph classes).
+    pub fn source(&self) -> u32 {
+        self.by_degree.first().copied().unwrap_or(0)
+    }
+
+    /// The first `k` highest-degree vertices.
+    pub fn top_sources(&self, k: u32) -> &[u32] {
+        &self.by_degree[..(k as usize).min(self.by_degree.len())]
+    }
+
+    /// The transposed graph, built on first use.
+    pub fn reverse(&self) -> &Csr {
+        self.reverse.get_or_init(|| self.csr.reverse())
+    }
+}
+
+fn random_weights_or_empty(g: &Csr, seed: u64) -> Vec<u32> {
+    if g.num_edges() == 0 {
+        Vec::new()
+    } else {
+        random_weights(g, 15, seed)
+    }
+}
+
+/// Registry of graphs, shared across worker threads.
+#[derive(Default)]
+pub struct GraphStore {
+    entries: RwLock<Vec<Arc<GraphEntry>>>,
+}
+
+impl GraphStore {
+    /// An empty store.
+    pub fn new() -> GraphStore {
+        GraphStore::default()
+    }
+
+    /// Register a graph, returning its handle. Registering the same graph
+    /// twice yields two handles over the same content digest — cache and
+    /// tuner state are keyed by digest, so the duplicates share results.
+    pub fn register(&self, name: impl Into<String>, csr: Csr) -> GraphHandle {
+        let mut entries = self.entries.write().expect("graph store poisoned");
+        entries.push(Arc::new(GraphEntry::new(name, csr)));
+        GraphHandle((entries.len() - 1) as u32)
+    }
+
+    /// Look a handle up.
+    pub fn get(&self, h: GraphHandle) -> Option<Arc<GraphEntry>> {
+        self.entries
+            .read()
+            .expect("graph store poisoned")
+            .get(h.0 as usize)
+            .cloned()
+    }
+
+    /// Number of registered graphs.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("graph store poisoned").len()
+    }
+
+    /// True when no graph has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All handles in registration order.
+    pub fn handles(&self) -> Vec<GraphHandle> {
+        (0..self.len() as u32).map(GraphHandle).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxwarp_graph::hub_graph;
+
+    #[test]
+    fn register_and_lookup() {
+        let store = GraphStore::new();
+        assert!(store.is_empty());
+        let g = hub_graph(200, 2, 50, 2, 3);
+        let h = store.register("hub", g.clone());
+        let entry = store.get(h).unwrap();
+        assert_eq!(entry.name, "hub");
+        assert_eq!(entry.digest, g.digest());
+        assert_eq!(entry.weights.len() as u64, g.num_edges());
+        assert!(store.get(GraphHandle(7)).is_none());
+        assert_eq!(store.handles(), vec![h]);
+    }
+
+    #[test]
+    fn source_is_max_degree_and_top_sources_sorted() {
+        let g = hub_graph(300, 3, 80, 2, 5);
+        let entry = GraphEntry::new("g", g.clone());
+        assert_eq!(g.degree(entry.source()), g.max_degree());
+        let top = entry.top_sources(4);
+        assert_eq!(top.len(), 4);
+        for w in top.windows(2) {
+            assert!(
+                g.degree(w[0]) > g.degree(w[1])
+                    || (g.degree(w[0]) == g.degree(w[1]) && w[0] < w[1])
+            );
+        }
+        // Request for more sources than vertices is clamped.
+        assert_eq!(entry.top_sources(10_000).len(), 300);
+    }
+
+    #[test]
+    fn reverse_is_memoized_transpose() {
+        let g = Csr::from_edges(3, &[(0, 1), (1, 2)]);
+        let entry = GraphEntry::new("g", g.clone());
+        let r1 = entry.reverse() as *const Csr;
+        let r2 = entry.reverse() as *const Csr;
+        assert_eq!(r1, r2, "built once");
+        assert_eq!(entry.reverse(), &g.reverse());
+    }
+
+    #[test]
+    fn weights_are_digest_seeded_and_stable() {
+        let g = hub_graph(100, 1, 30, 2, 9);
+        let a = GraphEntry::new("a", g.clone());
+        let b = GraphEntry::new("b", g);
+        assert_eq!(a.weights, b.weights, "same content, same weights");
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests of the result cache's core contract: a cache hit is
+//! byte-identical — payload *and* kernel stats — to the cold run it
+//! replaces, and any change to the graph, the query parameters, or the
+//! device configuration misses.
+
+use maxwarp::Method;
+use maxwarp_graph::Csr;
+use maxwarp_serve::{Query, Request, Server, ServerConfig};
+use maxwarp_simt::GpuConfig;
+use proptest::prelude::*;
+
+/// A small arbitrary digraph: a vertex count plus a non-empty edge list.
+fn arb_graph() -> impl Strategy<Value = Csr> {
+    (2u32..64).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 1..128)
+            .prop_map(move |edges| Csr::from_edges(n, &edges))
+    })
+}
+
+/// One of the always-supported methods, picked by index.
+fn arb_method() -> impl Strategy<Value = Method> {
+    (0usize..4).prop_map(|i| {
+        [
+            Method::Baseline,
+            Method::warp(4),
+            Method::warp(8),
+            Method::warp(32),
+        ][i]
+    })
+}
+
+/// One-worker hermetic server so every case is deterministic and cheap.
+fn test_server() -> Server {
+    let mut cfg = ServerConfig::for_tests(GpuConfig::tiny_test());
+    cfg.workers = 1;
+    Server::start(cfg)
+}
+
+fn pinned(h: maxwarp_serve::GraphHandle, q: &Query, m: Method) -> Request {
+    let mut r = Request::new(h, q.clone());
+    r.method = Some(m);
+    r
+}
+
+/// Hit ≡ cold run, for both BFS (u32 payload) and PageRank (f32 payload),
+/// across methods; and a *fresh* server's cold run produces the same bytes
+/// the first server cached.
+fn check_hit_identical(g: Csr, method: Method, use_pagerank: bool, src_pick: u32, iters: u32) {
+    let query = if use_pagerank {
+        Query::Pagerank {
+            iters,
+            damping: 0.85,
+        }
+    } else {
+        Query::Bfs {
+            src: Some(src_pick % g.num_vertices()),
+        }
+    };
+
+    let a = test_server();
+    let ha = a.register_graph("g", g.clone());
+    let cold = a.call(pinned(ha, &query, method)).unwrap();
+    let warm = a.call(pinned(ha, &query, method)).unwrap();
+    prop_assert!(!cold.cached);
+    prop_assert!(warm.cached);
+    prop_assert_eq!(&cold.data, &warm.data);
+    prop_assert_eq!(&cold.stats, &warm.stats);
+    prop_assert_eq!(cold.iterations, warm.iterations);
+
+    // A different server instance, same graph + query + device: its cold
+    // run must equal what server A's cache replays.
+    let b = test_server();
+    let hb = b.register_graph("g", g);
+    let cold_b = b.call(pinned(hb, &query, method)).unwrap();
+    prop_assert!(!cold_b.cached);
+    prop_assert_eq!(&cold_b.data, &warm.data);
+    prop_assert_eq!(&cold_b.stats, &warm.stats);
+
+    a.shutdown();
+    b.shutdown();
+}
+
+/// Changing any key component — query parameters, the algorithm, the
+/// method, or the graph itself — must miss; only the exact key hits.
+fn check_key_changes_miss(g: Csr, method: Method, src_pick: u32) {
+    let n = g.num_vertices();
+    let src = src_pick % n;
+    let server = test_server();
+    let h = server.register_graph("g", g.clone());
+    let bfs = |src| Query::Bfs { src: Some(src) };
+
+    let first = server.call(pinned(h, &bfs(src), method)).unwrap();
+    prop_assert!(!first.cached);
+
+    // Same key: hit.
+    prop_assert!(server.call(pinned(h, &bfs(src), method)).unwrap().cached);
+
+    // Different source parameter: miss.
+    let other_src = (src + 1) % n;
+    prop_assert!(
+        !server
+            .call(pinned(h, &bfs(other_src), method))
+            .unwrap()
+            .cached
+    );
+
+    // Different algorithm, same parameters: miss.
+    let queue = Query::BfsQueue { src: Some(src) };
+    prop_assert!(!server.call(pinned(h, &queue, method)).unwrap().cached);
+
+    // Different method: miss.
+    let other = if method == Method::warp(8) {
+        Method::warp(16)
+    } else {
+        Method::warp(8)
+    };
+    prop_assert!(!server.call(pinned(h, &bfs(src), other)).unwrap().cached);
+
+    // A mutated graph (one extra vertex shifts the digest): miss, even
+    // though the query and method are identical.
+    let edges: Vec<(u32, u32)> = g.edges().collect();
+    let mutated = Csr::from_edges(n + 1, &edges);
+    let hm = server.register_graph("g-mut", mutated);
+    prop_assert!(!server.call(pinned(hm, &bfs(src), method)).unwrap().cached);
+
+    server.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn hit_is_byte_identical_to_cold_run(
+        g in arb_graph(),
+        method in arb_method(),
+        pr in 0u32..2,
+        src_pick in any::<u32>(),
+        iters in 1u32..4,
+    ) {
+        check_hit_identical(g, method, pr == 1, src_pick, iters);
+    }
+
+    #[test]
+    fn key_changes_always_miss(
+        g in arb_graph(),
+        method in arb_method(),
+        src_pick in any::<u32>(),
+    ) {
+        check_key_changes_miss(g, method, src_pick);
+    }
+}
+
+/// The device fingerprint is the fourth key component: two servers that
+/// differ only in `GpuConfig` compute different keys for the same request.
+#[test]
+fn device_config_separates_cache_keys() {
+    let g = maxwarp_graph::hub_graph(64, 1, 16, 2, 7);
+    let tiny = Server::start(ServerConfig::for_tests(GpuConfig::tiny_test()));
+    let fermi = Server::start(ServerConfig::for_tests(GpuConfig::fermi_c2050()));
+    let ht = tiny.register_graph("g", g.clone());
+    let hf = fermi.register_graph("g", g);
+
+    let req = Request::new(ht, Query::Bfs { src: Some(0) });
+    let kt = tiny.cache_key(&req, Method::warp(8)).unwrap();
+    let req_f = Request::new(hf, Query::Bfs { src: Some(0) });
+    let kf = fermi.cache_key(&req_f, Method::warp(8)).unwrap();
+
+    assert_eq!(kt.graph, kf.graph, "same graph digest");
+    assert_eq!(kt.query, kf.query, "same query digest");
+    assert_eq!(kt.method, kf.method);
+    assert_ne!(kt.device, kf.device, "device fingerprint must differ");
+    assert_ne!(kt, kf);
+
+    tiny.shutdown();
+    fermi.shutdown();
+}
