@@ -78,7 +78,10 @@ pub fn run(scale: Scale, h: &Harness) {
     let mut it = outs.into_iter();
     for o in &built {
         for m in [Method::Baseline, Method::warp(8)] {
-            let vals = [(); 3].map(|()| it.next().unwrap());
+            let vals = [(); 3].map(|()| match it.next() {
+                Some(v) => v,
+                None => unreachable!("cell count mismatch"),
+            });
             let [Some(nat), Some(rnd), Some(bfo)] = vals else {
                 eprintln!(
                     "[A1] {} {}: skipping row — a cell failed",

@@ -7,7 +7,7 @@
 //! by multiples; on small-diameter graphs the formulations tie.
 
 use crate::harness::{Cell, Harness};
-use crate::util::{banner, built_datasets_par, f, upload_fresh};
+use crate::util::{banner, built_datasets_par, f, launch_ok, upload_fresh};
 use maxwarp::{run_bfs, run_bfs_queue, ExecConfig, Method};
 use maxwarp_graph::Scale;
 
@@ -31,9 +31,9 @@ pub fn run(scale: Scale, h: &Harness) {
             let name = d.name();
             cells.push(Cell::new(format!("{name} {}", m.label()), move || {
                 let (mut gpu, dg) = upload_fresh(g);
-                let scan = run_bfs(&mut gpu, &dg, src, m, &exec).unwrap();
+                let scan = launch_ok(run_bfs(&mut gpu, &dg, src, m, &exec));
                 let (mut gpu2, dg2) = upload_fresh(g);
-                let queue = run_bfs_queue(&mut gpu2, &dg2, src, m, &exec).unwrap();
+                let queue = launch_ok(run_bfs_queue(&mut gpu2, &dg2, src, m, &exec));
                 assert_eq!(scan.levels, queue.levels, "{} {}", name, m.label());
                 format!(
                     "{:<14} {:<9} {:>12} {:>12} {:>12} {:>7}x",

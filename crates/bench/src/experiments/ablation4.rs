@@ -8,7 +8,7 @@
 //! set fits.
 
 use crate::harness::{Cell, Harness};
-use crate::util::{banner, built_datasets_par, f, upload_fresh};
+use crate::util::{banner, built_datasets_par, f, launch_ok, upload_fresh};
 use maxwarp::{run_bfs, ExecConfig, Method};
 use maxwarp_graph::Scale;
 
@@ -37,7 +37,7 @@ pub fn run(scale: Scale, h: &Harness) {
                             ..ExecConfig::default()
                         };
                         let (mut gpu, dg) = upload_fresh(g);
-                        run_bfs(&mut gpu, &dg, src, m, &exec).unwrap()
+                        launch_ok(run_bfs(&mut gpu, &dg, src, m, &exec))
                     };
                     let plain = run_cfg(false);
                     let cached = run_cfg(true);

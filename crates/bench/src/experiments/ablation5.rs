@@ -3,7 +3,7 @@
 //! authors took up in follow-on work).
 
 use crate::harness::{row, Cell, Harness};
-use crate::util::{banner, f, fresh_gpu, upload_fresh};
+use crate::util::{banner, f, fresh_gpu, launch_ok, upload_fresh};
 use maxwarp::{run_betweenness, run_coloring, run_triangles, ExecConfig, Method};
 use maxwarp_graph::{Csr, Dataset, Orientation, Scale};
 
@@ -69,8 +69,7 @@ pub fn run(scale: Scale, h: &Harness) {
                     format!("{} bc {}", d.name(), m.label()),
                     move || {
                         let (mut gpu, dg) = upload_fresh(g);
-                        run_betweenness(&mut gpu, &dg, &sources, m, &exec)
-                            .unwrap()
+                        launch_ok(run_betweenness(&mut gpu, &dg, &sources, m, &exec))
                             .run
                             .cycles()
                     },
@@ -85,8 +84,7 @@ pub fn run(scale: Scale, h: &Harness) {
                 format!("{} triangles {}", d.name(), m.label()),
                 move || {
                     let mut gpu = fresh_gpu();
-                    run_triangles(&mut gpu, gs, m, &exec, Orientation::ByDegree)
-                        .unwrap()
+                    launch_ok(run_triangles(&mut gpu, gs, m, &exec, Orientation::ByDegree))
                         .run
                         .cycles()
                 },
@@ -100,7 +98,9 @@ pub fn run(scale: Scale, h: &Harness) {
                 format!("{} coloring {}", d.name(), m.label()),
                 move || {
                     let (mut gpu, dg) = upload_fresh(gs);
-                    run_coloring(&mut gpu, &dg, m, &exec).unwrap().run.cycles()
+                    launch_ok(run_coloring(&mut gpu, &dg, m, &exec))
+                        .run
+                        .cycles()
                 },
             ));
         }

@@ -4,7 +4,7 @@
 //! same irregular loop, so the warp-centric mapping composes with it.
 
 use crate::harness::{row, Cell, Harness};
-use crate::util::{banner, build_datasets_subset, f, upload_fresh};
+use crate::util::{banner, build_datasets_subset, f, launch_ok, upload_fresh};
 use maxwarp::{run_bfs, run_msbfs, ExecConfig, Method};
 use maxwarp_graph::{Dataset, Scale};
 
@@ -32,16 +32,20 @@ pub fn run(scale: Scale, h: &Harness) {
         let batch_sources = sources.clone();
         cells.push(Cell::new(format!("{} batched", d.name()), move || {
             let (mut gpu, dg) = upload_fresh(g);
-            run_msbfs(&mut gpu, &dg, &batch_sources, Method::warp(8), &exec)
-                .unwrap()
-                .run
-                .cycles()
+            launch_ok(run_msbfs(
+                &mut gpu,
+                &dg,
+                &batch_sources,
+                Method::warp(8),
+                &exec,
+            ))
+            .run
+            .cycles()
         }));
         for (i, s) in sources.into_iter().enumerate() {
             cells.push(Cell::new(format!("{} src{i}", d.name()), move || {
                 let (mut gpu, dg) = upload_fresh(g);
-                run_bfs(&mut gpu, &dg, s, Method::warp(8), &exec)
-                    .unwrap()
+                launch_ok(run_bfs(&mut gpu, &dg, s, Method::warp(8), &exec))
                     .run
                     .cycles()
             }));

@@ -71,7 +71,9 @@ pub fn run(scale: Scale, h: &Harness) -> Vec<(String, u32, f64)> {
                 best = Some((vw.k(), c));
             }
         }
-        let (k, wc) = best.unwrap();
+        let Some((k, wc)) = best else {
+            unreachable!("at least one virtual-warp width is always measured");
+        };
         let speedup = base.run.cycles() as f64 / wc as f64;
         println!(
             "{:<14} {:>12} {:>12} {:>7} {:>8}x",

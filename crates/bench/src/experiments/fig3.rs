@@ -9,7 +9,7 @@
 //! would pick for BFS when probing without sampling.
 
 use crate::harness::{row, Cell, Harness};
-use crate::util::{banner, built_datasets_par, device};
+use crate::util::{banner, built_datasets_par, device, launch_ok};
 use maxwarp::{method_table, ExecConfig, Method};
 use maxwarp_graph::Scale;
 use maxwarp_serve::{probe_one, Algo, GraphEntry};
@@ -39,7 +39,7 @@ pub fn run(scale: Scale, h: &Harness) -> Vec<(String, u32)> {
     for ((d, _, _), entry) in built.iter().zip(&entries) {
         for &m in methods.iter() {
             cells.push(Cell::new(format!("{} {}", d.name(), m.spec()), move || {
-                probe_one(gpu, exec, entry, Algo::Bfs, m).expect("probe failed")
+                launch_ok(probe_one(gpu, exec, entry, Algo::Bfs, m))
             }));
         }
     }

@@ -39,7 +39,10 @@ pub fn run(scale: Scale, h: &Harness) {
     let mut it = outs.into_iter();
     for (d, _, _) in &built {
         for k in [8u32, 32] {
-            let vals = [(); 4].map(|()| it.next().unwrap());
+            let vals = [(); 4].map(|()| match it.next() {
+                Some(v) => v,
+                None => unreachable!("cell count mismatch"),
+            });
             let [Some(st), Some(dy), Some(de), Some(bo)] = vals else {
                 eprintln!("[F4] {} K={k}: skipping row — a cell failed", d.name());
                 continue;

@@ -60,7 +60,10 @@ pub fn run(scale: Scale, h: &Harness) {
         let mteps = |secs: f64| edges as f64 / secs / 1e6;
 
         let base = *chunk[0];
-        let best = **chunk[1..].iter().min().unwrap();
+        let best = match chunk[1..].iter().min() {
+            Some(b) => **b,
+            None => unreachable!("each chunk carries the per-method cycle counts"),
+        };
         let gpu_mteps = |cycles: u64| edges as f64 / (cycles as f64 / clock as f64) / 1e6;
         println!(
             "{:<14} {:>10} {:>10} {:>12} {:>12}",

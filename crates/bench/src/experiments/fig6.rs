@@ -2,7 +2,7 @@
 //! (Bellman-Ford), connected components (label propagation), and PageRank.
 
 use crate::harness::{row, Cell, Harness};
-use crate::util::{banner, f, fresh_gpu, upload_fresh};
+use crate::util::{banner, f, fresh_gpu, launch_ok, upload_fresh};
 use maxwarp::{run_cc, run_pagerank, run_sssp, DeviceGraph, ExecConfig, Method};
 use maxwarp_graph::{random_weights, Csr, Dataset, Scale};
 use maxwarp_simt::Gpu;
@@ -74,7 +74,9 @@ pub fn run(scale: Scale, h: &Harness) {
             for (label, m) in methods() {
                 cells.push(Cell::new(format!("{} sssp {label}", d.name()), move || {
                     let (mut gpu, dg) = fresh(g, Some(wts));
-                    run_sssp(&mut gpu, &dg, src, m, &exec).unwrap().run.cycles()
+                    launch_ok(run_sssp(&mut gpu, &dg, src, m, &exec))
+                        .run
+                        .cycles()
                 }));
             }
             keys.push((d.name(), "sssp"));
@@ -83,7 +85,7 @@ pub fn run(scale: Scale, h: &Harness) {
             for (label, m) in methods() {
                 cells.push(Cell::new(format!("{} cc {label}", d.name()), move || {
                     let (mut gpu, dg) = fresh(gs, None);
-                    run_cc(&mut gpu, &dg, m, &exec).unwrap().run.cycles()
+                    launch_ok(run_cc(&mut gpu, &dg, m, &exec)).run.cycles()
                 }));
             }
             keys.push((d.name(), "cc"));
@@ -93,8 +95,7 @@ pub fn run(scale: Scale, h: &Harness) {
                 format!("{} pagerank {label}", d.name()),
                 move || {
                     let (mut gpu, dg) = fresh(g, None);
-                    run_pagerank(&mut gpu, &dg, 10, 0.85, m, &exec)
-                        .unwrap()
+                    launch_ok(run_pagerank(&mut gpu, &dg, 10, 0.85, m, &exec))
                         .run
                         .cycles()
                 },

@@ -150,7 +150,7 @@ impl Harness {
         let done = AtomicUsize::new(0);
         let workers = self.jobs.min(total);
 
-        let per_worker: Vec<Vec<(usize, Option<T>)>> = crossbeam::scope(|s| {
+        let per_worker = crossbeam::scope(|s| -> Vec<Vec<(usize, Option<T>)>> {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let (slots, next, done) = (&slots, &next, &done);
@@ -161,11 +161,14 @@ impl Harness {
                             if i >= total {
                                 break;
                             }
-                            let mut cell = slots[i]
-                                .lock()
-                                .expect("cell slot poisoned")
-                                .take()
-                                .expect("cell taken twice");
+                            let mut slot = match slots[i].lock() {
+                                Ok(g) => g,
+                                Err(_) => panic!("cell slot poisoned"),
+                            };
+                            let Some(mut cell) = slot.take() else {
+                                panic!("cell taken twice");
+                            };
+                            drop(slot);
                             let t0 = Instant::now();
                             let v = run_cell(what, &cell.label, &mut cell.run);
                             let n = done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -178,10 +181,16 @@ impl Harness {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("harness worker panicked"))
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(_) => panic!("harness worker panicked"),
+                })
                 .collect()
-        })
-        .expect("harness scope panicked");
+        });
+        let per_worker = match per_worker {
+            Ok(v) => v,
+            Err(_) => panic!("harness scope panicked"),
+        };
 
         let mut merged: Vec<Option<T>> = (0..total).map(|_| None).collect();
         for chunk in per_worker {

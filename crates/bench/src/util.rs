@@ -69,6 +69,15 @@ pub fn upload_fresh(g: &Csr) -> (Gpu, DeviceGraph) {
     (gpu, dg)
 }
 
+/// Unwrap a launch (or other experiment-fatal) result. Experiment cells
+/// have no recovery path: any failure invalidates the whole figure.
+pub fn launch_ok<T, E: std::fmt::Debug>(r: Result<T, E>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => panic!("experiment launch failed: {e:?}"),
+    }
+}
+
 /// Run BFS on a fresh device (so each measurement's memory layout is
 /// identical and device memory does not accumulate across runs).
 pub fn bfs_fresh(g: &Csr, src: u32, method: Method, exec: &ExecConfig) -> BfsOutput {
@@ -84,7 +93,7 @@ pub fn bfs_fresh_timed(
     exec: &ExecConfig,
 ) -> (BfsOutput, TimingReport) {
     let (mut gpu, dg) = upload_fresh(g);
-    let out = run_bfs(&mut gpu, &dg, src, method, exec).expect("bfs launch failed");
+    let out = launch_ok(run_bfs(&mut gpu, &dg, src, method, exec));
     let timing = gpu.timing_total().clone();
     (out, timing)
 }
@@ -93,9 +102,13 @@ pub fn bfs_fresh_timed(
 /// and return the path.
 pub fn write_results(name: &str, content: &str) -> PathBuf {
     let dir = PathBuf::from("results");
-    std::fs::create_dir_all(&dir).expect("create results dir");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        panic!("create results dir: {e}");
+    }
     let path = dir.join(name);
-    std::fs::write(&path, content).expect("write results file");
+    if let Err(e) = std::fs::write(&path, content) {
+        panic!("write results file {}: {e}", path.display());
+    }
     path
 }
 

@@ -128,7 +128,10 @@ pub fn run_msbfs(
         next: gpu.mem.alloc::<u32>(n),
         disc: gpu
             .mem
-            .alloc::<u32>(n.checked_mul(sources.len() as u32).expect("disc too large")),
+            .alloc::<u32>(match n.checked_mul(sources.len() as u32) {
+                Some(words) => words,
+                None => panic!("disc too large"),
+            }),
         changed: gpu.mem.alloc::<u32>(1),
     };
     gpu.mem.fill(st.disc, INF);

@@ -76,9 +76,9 @@ pub fn run_sssp(
     method: Method,
     exec: &ExecConfig,
 ) -> Result<SsspOutput, LaunchError> {
-    let weights = g
-        .weights
-        .expect("run_sssp requires a weighted device graph");
+    let Some(weights) = g.weights else {
+        panic!("run_sssp requires a weighted device graph");
+    };
     assert!(src < g.n, "source {src} out of range for n={}", g.n);
     let dist = gpu.mem.alloc::<u32>(g.n);
     gpu.mem.fill(dist, INF);

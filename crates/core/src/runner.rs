@@ -25,7 +25,9 @@ impl AlgoRun {
         if self.cycles_per_iteration.is_empty() {
             self.begin_iteration();
         }
-        *self.cycles_per_iteration.last_mut().unwrap() += launch.cycles;
+        if let Some(cur) = self.cycles_per_iteration.last_mut() {
+            *cur += launch.cycles;
+        }
         self.stats.accumulate(launch);
     }
 

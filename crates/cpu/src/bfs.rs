@@ -56,7 +56,7 @@ pub fn bfs_parallel(g: &Csr, src: u32, threads: usize) -> Vec<u32> {
         let chunk = (frontier.len() / (threads * 8)).max(64);
         let mut next_parts: Vec<Vec<u32>> = Vec::with_capacity(threads);
 
-        crossbeam::scope(|scope| {
+        let scope_result = crossbeam::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for _ in 0..threads {
                 let frontier = &frontier;
@@ -91,10 +91,15 @@ pub fn bfs_parallel(g: &Csr, src: u32, threads: usize) -> Vec<u32> {
                 }));
             }
             for h in handles {
-                next_parts.push(h.join().expect("bfs worker panicked"));
+                match h.join() {
+                    Ok(p) => next_parts.push(p),
+                    Err(_) => panic!("bfs worker panicked"),
+                }
             }
-        })
-        .expect("bfs scope panicked");
+        });
+        if scope_result.is_err() {
+            panic!("bfs scope panicked");
+        }
 
         frontier.clear();
         for mut p in next_parts {

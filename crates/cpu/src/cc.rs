@@ -61,7 +61,7 @@ pub fn cc_parallel(g: &Csr, threads: usize) -> Vec<u32> {
         let changed = AtomicBool::new(false);
         let cursor = AtomicUsize::new(0);
         let chunk = (n / (threads * 8)).max(256);
-        crossbeam::scope(|scope| {
+        let scope_result = crossbeam::scope(|scope| {
             for _ in 0..threads {
                 let label = &label;
                 let changed = &changed;
@@ -84,8 +84,10 @@ pub fn cc_parallel(g: &Csr, threads: usize) -> Vec<u32> {
                     }
                 });
             }
-        })
-        .expect("cc scope panicked");
+        });
+        if scope_result.is_err() {
+            panic!("cc scope panicked");
+        }
         if !changed.load(Ordering::Relaxed) {
             break;
         }

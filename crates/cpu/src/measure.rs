@@ -21,7 +21,10 @@ pub fn time_median<R>(reps: usize, mut f: impl FnMut() -> R) -> (R, Duration) {
         out = Some(r);
     }
     times.sort_unstable();
-    (out.unwrap(), times[times.len() / 2])
+    let Some(r) = out else {
+        unreachable!("reps >= 1, the loop body ran at least once");
+    };
+    (r, times[times.len() / 2])
 }
 
 /// Throughput in edges traversed per second.

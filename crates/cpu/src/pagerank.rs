@@ -56,7 +56,7 @@ pub fn pagerank_parallel(g: &Csr, iters: u32, d: f32, threads: usize) -> Vec<f32
         let cursor = AtomicUsize::new(0);
         let chunk = (n / (threads * 8)).max(256);
         let rank_ref = &rank;
-        let next_chunks: Vec<(usize, Vec<f32>)> = crossbeam::scope(|scope| {
+        let next_chunks = crossbeam::scope(|scope| -> Vec<(usize, Vec<f32>)> {
             let mut handles = Vec::new();
             for _ in 0..threads {
                 let rev = &rev;
@@ -85,10 +85,16 @@ pub fn pagerank_parallel(g: &Csr, iters: u32, d: f32, threads: usize) -> Vec<f32
             }
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("pagerank worker panicked"))
+                .flat_map(|h| match h.join() {
+                    Ok(parts) => parts,
+                    Err(_) => panic!("pagerank worker panicked"),
+                })
                 .collect()
-        })
-        .expect("pagerank scope panicked");
+        });
+        let next_chunks = match next_chunks {
+            Ok(v) => v,
+            Err(_) => panic!("pagerank scope panicked"),
+        };
         for (start, local) in next_chunks {
             next[start..start + local.len()].copy_from_slice(&local);
         }

@@ -54,7 +54,7 @@ pub fn sssp_parallel(g: &Csr, weights: &[u32], src: u32, threads: usize) -> Vec<
         let changed = AtomicBool::new(false);
         let cursor = AtomicUsize::new(0);
         let chunk = (n / (threads * 8)).max(256);
-        crossbeam::scope(|scope| {
+        let scope_result = crossbeam::scope(|scope| {
             for _ in 0..threads {
                 let dist = &dist;
                 let changed = &changed;
@@ -93,8 +93,10 @@ pub fn sssp_parallel(g: &Csr, weights: &[u32], src: u32, threads: usize) -> Vec<
                     }
                 });
             }
-        })
-        .expect("sssp scope panicked");
+        });
+        if scope_result.is_err() {
+            panic!("sssp scope panicked");
+        }
         if !changed.load(Ordering::Relaxed) {
             return dist.into_iter().map(|a| a.into_inner()).collect();
         }

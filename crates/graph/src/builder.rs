@@ -102,10 +102,13 @@ pub fn largest_component(g: &Csr) -> (Csr, Vec<Option<u32>>) {
     for &l in &labels {
         *counts.entry(l).or_insert(0u32) += 1;
     }
-    let (&giant, _) = counts
+    let Some((&giant, _)) = counts
         .iter()
         .max_by_key(|&(&l, &c)| (c, std::cmp::Reverse(l)))
-        .expect("graph has at least one vertex");
+    else {
+        // Zero-vertex graph: the largest component is itself empty.
+        return (Csr::from_edges(0, &[]), Vec::new());
+    };
     // Dense renumbering of the giant component.
     let mut map = vec![None; g.num_vertices() as usize];
     let mut next = 0u32;

@@ -33,7 +33,7 @@ impl Csr {
             "row_offsets must be monotone"
         );
         assert_eq!(
-            *row_offsets.last().unwrap() as usize,
+            row_offsets[row_offsets.len() - 1] as usize,
             col_indices.len(),
             "last offset must equal edge count"
         );
@@ -60,9 +60,10 @@ impl Csr {
         let mut acc = 0u32;
         row_offsets.push(0);
         for d in &deg {
-            acc = acc
-                .checked_add(*d)
-                .expect("edge count overflows u32 CSR offsets");
+            acc = match acc.checked_add(*d) {
+                Some(next) => next,
+                None => panic!("edge count overflows u32 CSR offsets"),
+            };
             row_offsets.push(acc);
         }
         let mut col_indices = vec![0u32; edges.len()];

@@ -64,7 +64,7 @@ impl DegreeStats {
             .sum();
         DegreeStats {
             min: degs[0],
-            max: *degs.last().unwrap(),
+            max: degs.last().copied().unwrap_or(0),
             mean,
             std_dev,
             cv: if mean > 0.0 { std_dev / mean } else { 0.0 },
@@ -94,7 +94,7 @@ pub fn degree_histogram_log2(g: &Csr) -> Vec<u64> {
         };
         buckets[b.min(33)] += 1;
     }
-    while buckets.len() > 1 && *buckets.last().unwrap() == 0 {
+    while buckets.len() > 1 && buckets.last() == Some(&0) {
         buckets.pop();
     }
     buckets

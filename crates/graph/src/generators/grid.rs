@@ -9,9 +9,10 @@ use crate::csr::Csr;
 /// both directions). Vertex `(x, y)` has id `y * width + x`.
 pub fn grid2d(width: u32, height: u32) -> Csr {
     assert!(width >= 1 && height >= 1);
-    let n = width
-        .checked_mul(height)
-        .expect("grid dimensions overflow u32");
+    let n = match width.checked_mul(height) {
+        Some(n) => n,
+        None => panic!("grid dimensions overflow u32"),
+    };
     let mut edges = Vec::with_capacity(4 * n as usize);
     for y in 0..height {
         for x in 0..width {

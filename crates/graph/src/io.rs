@@ -144,7 +144,7 @@ pub fn decode_csr(mut data: &[u8]) -> Result<Csr, GraphIoError> {
     // Re-validate invariants; corrupt files must not panic later.
     if offsets.first() != Some(&0)
         || !offsets.windows(2).all(|w| w[0] <= w[1])
-        || *offsets.last().unwrap() as usize != m
+        || offsets.last().map(|&o| o as usize) != Some(m)
         || cols.iter().any(|&c| c as usize >= n)
     {
         return Err(GraphIoError::Format("CSR invariants violated".into()));

@@ -66,10 +66,10 @@ pub fn probe_one(
     algo: Algo,
     method: Method,
 ) -> Result<u64, ServeError> {
-    probe_methods(cfg, exec, entry, algo, &[method])
-        .pop()
-        .expect("one probe in, one result out")
-        .1
+    let Some((_, result)) = probe_methods(cfg, exec, entry, algo, &[method]).pop() else {
+        unreachable!("one probe in, one result out");
+    };
+    result
 }
 
 /// One tuning decision: the winning method and the evidence behind it.
@@ -229,7 +229,9 @@ impl Tuner {
                 source: ChoiceSource::Fallback,
             },
             Some(spec) => {
-                let method = Method::parse(&spec).expect("specs round-trip");
+                let Some(method) = Method::parse(&spec) else {
+                    unreachable!("winner specs come from Method::spec() and round-trip");
+                };
                 self.table.insert(
                     (entry.digest, algo.label().to_string()),
                     TuneEntry {

@@ -140,7 +140,9 @@ pub fn execute(
         }
         Query::BfsHybrid { src } => {
             let s = resolve_src(entry, *src)?;
-            let rev = template.rev.as_ref().expect("covers() checked above");
+            let Some(rev) = template.rev.as_ref() else {
+                unreachable!("covers() checked above: hybrid templates carry a reverse graph");
+            };
             let out = run_bfs_hybrid(
                 &mut gpu,
                 dg,

@@ -297,7 +297,9 @@ impl<'a> Parser<'a> {
                     while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xc0) == 0x80 {
                         self.pos += 1;
                     }
-                    s.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                    if let Ok(frag) = std::str::from_utf8(&self.bytes[start..self.pos]) {
+                        s.push_str(frag);
+                    }
                 }
             }
         }
@@ -313,7 +315,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         std::str::from_utf8(&self.bytes[start..self.pos])
-            .unwrap()
+            .map_err(|e| format!("bad number at byte {start}: {e}"))?
             .parse::<f64>()
             .map(Value::Num)
             .map_err(|e| format!("bad number at byte {start}: {e}"))

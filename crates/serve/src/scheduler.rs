@@ -36,9 +36,18 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Lock a mutex, panicking on poisoning. A poisoned server lock means a
+/// worker died outside the per-request `catch_unwind` — unrecoverable.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(_) => panic!("server lock poisoned"),
+    }
+}
 
 /// Server construction parameters. `ServerConfig::new` reads the
 /// environment knobs; tests use [`ServerConfig::for_tests`] to stay
@@ -253,10 +262,13 @@ impl Server {
         let workers = (0..inner.cfg.workers.max(1))
             .map(|i| {
                 let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
-                    .expect("spawn worker")
+                    .spawn(move || worker_loop(&inner));
+                match spawned {
+                    Ok(h) => h,
+                    Err(e) => panic!("spawn worker: {e}"),
+                }
             })
             .collect();
         Server { inner, workers }
@@ -294,7 +306,7 @@ impl Server {
         }
         let (tx, rx) = mpsc::channel();
         {
-            let mut q = self.inner.queue.lock().expect("queue poisoned");
+            let mut q = lock(&self.inner.queue);
             if q.len() >= self.inner.cfg.queue_capacity {
                 drop(q);
                 self.count(|c| c.rejected_full += 1);
@@ -326,7 +338,7 @@ impl Server {
 
     /// Requests currently queued (not yet picked up by a worker).
     pub fn queue_len(&self) -> usize {
-        self.inner.queue.lock().expect("queue poisoned").len()
+        lock(&self.inner.queue).len()
     }
 
     /// The device fingerprint used in this server's cache keys.
@@ -348,9 +360,9 @@ impl Server {
 
     /// Counters, cache, and tuner state in one snapshot.
     pub fn snapshot(&self) -> ServerSnapshot {
-        let c = self.inner.counters.lock().expect("stats poisoned");
-        let cache = self.inner.cache.lock().expect("cache poisoned").stats();
-        let tuner = self.inner.tuner.lock().expect("tuner poisoned");
+        let c = lock(&self.inner.counters);
+        let cache = lock(&self.inner.cache).stats();
+        let tuner = lock(&self.inner.tuner);
         ServerSnapshot {
             submitted: c.submitted,
             rejected_full: c.rejected_full,
@@ -381,14 +393,14 @@ impl Server {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
-        let mut q = self.inner.queue.lock().expect("queue poisoned");
+        let mut q = lock(&self.inner.queue);
         while let Some(job) = q.pop_front() {
             let _ = job.tx.send(Err(ServeError::ShuttingDown));
         }
     }
 
     fn count(&self, f: impl FnOnce(&mut Counters)) {
-        f(&mut self.inner.counters.lock().expect("stats poisoned"));
+        f(&mut lock(&self.inner.counters));
     }
 }
 
@@ -403,7 +415,7 @@ impl Drop for Server {
 fn worker_loop(inner: &Inner) {
     loop {
         let batch = {
-            let mut q = inner.queue.lock().expect("queue poisoned");
+            let mut q = lock(&inner.queue);
             loop {
                 if inner.shutdown.load(Ordering::SeqCst) {
                     return;
@@ -413,7 +425,10 @@ fn worker_loop(inner: &Inner) {
                         break extract_batch(&mut q, first, inner.cfg.batch_max);
                     }
                 }
-                q = inner.cv.wait(q).expect("queue poisoned");
+                q = match inner.cv.wait(q) {
+                    Ok(g) => g,
+                    Err(_) => panic!("server lock poisoned"),
+                };
             }
         };
         serve_batch(inner, batch);
@@ -428,7 +443,9 @@ fn extract_batch(q: &mut VecDeque<Job>, first: Job, batch_max: usize) -> Vec<Job
     let mut i = 0;
     while i < q.len() && batch.len() < batch_max.max(1) {
         if q[i].req.graph == handle {
-            batch.push(q.remove(i).expect("index checked"));
+            if let Some(job) = q.remove(i) {
+                batch.push(job);
+            }
         } else {
             i += 1;
         }
@@ -439,7 +456,7 @@ fn extract_batch(q: &mut VecDeque<Job>, first: Job, batch_max: usize) -> Vec<Job
 fn serve_batch(inner: &Inner, batch: Vec<Job>) {
     let batch_size = batch.len() as u32;
     {
-        let mut c = inner.counters.lock().expect("stats poisoned");
+        let mut c = lock(&inner.counters);
         c.batches += 1;
         if batch_size > 1 {
             c.batched_requests += batch_size as u64;
@@ -451,7 +468,7 @@ fn serve_batch(inner: &Inner, batch: Vec<Job>) {
         let outcome = serve_one(inner, &job.req);
         let service = started.elapsed();
         {
-            let mut c = inner.counters.lock().expect("stats poisoned");
+            let mut c = lock(&inner.counters);
             c.queue_wait.record(queue_wait);
             c.service.record(service);
             match &outcome {
@@ -496,7 +513,7 @@ fn serve_one(inner: &Inner, req: &Request) -> Result<Served, ServeError> {
     let method = match req.method {
         Some(m) => m,
         None => {
-            let mut tuner = inner.tuner.lock().expect("tuner poisoned");
+            let mut tuner = lock(&inner.tuner);
             tuner
                 .choose(&inner.cfg.gpu, &inner.cfg.exec, &entry, algo)
                 .method
@@ -515,7 +532,7 @@ fn serve_one(inner: &Inner, req: &Request) -> Result<Served, ServeError> {
         method: method.spec(),
         device: inner.device_fp,
     };
-    if let Some(hit) = inner.cache.lock().expect("cache poisoned").get(&key) {
+    if let Some(hit) = lock(&inner.cache).get(&key) {
         return Ok((hit.data, hit.stats, hit.iterations, method, true));
     }
 
@@ -535,7 +552,7 @@ fn serve_one(inner: &Inner, req: &Request) -> Result<Served, ServeError> {
     .map_err(|p| ServeError::Panicked(panic_message(&p)))??;
 
     let (data, algo_run) = run;
-    inner.cache.lock().expect("cache poisoned").insert(
+    lock(&inner.cache).insert(
         key,
         CachedResult {
             data: data.clone(),
@@ -553,17 +570,13 @@ fn get_template(
     entry: &GraphEntry,
     needs_reverse: bool,
 ) -> Arc<DeviceTemplate> {
-    let mut templates = inner.templates.lock().expect("templates poisoned");
+    let mut templates = lock(&inner.templates);
     if let Some(t) = templates.get(&(handle.0, needs_reverse)) {
         return Arc::clone(t);
     }
     let t = Arc::new(DeviceTemplate::build(&inner.cfg.gpu, entry, needs_reverse));
     templates.insert((handle.0, needs_reverse), Arc::clone(&t));
-    inner
-        .counters
-        .lock()
-        .expect("stats poisoned")
-        .templates_built += 1;
+    lock(&inner.counters).templates_built += 1;
     t
 }
 

@@ -90,23 +90,28 @@ impl GraphStore {
     /// twice yields two handles over the same content digest — cache and
     /// tuner state are keyed by digest, so the duplicates share results.
     pub fn register(&self, name: impl Into<String>, csr: Csr) -> GraphHandle {
-        let mut entries = self.entries.write().expect("graph store poisoned");
+        let mut entries = match self.entries.write() {
+            Ok(g) => g,
+            Err(_) => panic!("graph store poisoned"),
+        };
         entries.push(Arc::new(GraphEntry::new(name, csr)));
         GraphHandle((entries.len() - 1) as u32)
     }
 
     /// Look a handle up.
     pub fn get(&self, h: GraphHandle) -> Option<Arc<GraphEntry>> {
-        self.entries
-            .read()
-            .expect("graph store poisoned")
-            .get(h.0 as usize)
-            .cloned()
+        match self.entries.read() {
+            Ok(g) => g.get(h.0 as usize).cloned(),
+            Err(_) => panic!("graph store poisoned"),
+        }
     }
 
     /// Number of registered graphs.
     pub fn len(&self) -> usize {
-        self.entries.read().expect("graph store poisoned").len()
+        match self.entries.read() {
+            Ok(g) => g.len(),
+            Err(_) => panic!("graph store poisoned"),
+        }
     }
 
     /// True when no graph has been registered.

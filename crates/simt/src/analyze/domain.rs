@@ -1,0 +1,515 @@
+//! Abstract domains for the static kernel analyzer.
+//!
+//! The analyzer observes each instrumented warp operation once per concrete
+//! execution and *abstracts* the 32 lane values into two domains:
+//!
+//! * **Lane-affine forms** — `v(lane) = base + stride·lane` fitted exactly
+//!   over the active lanes of one observation. Graph kernels are dominated
+//!   by such patterns (`tid = warp·32 + lane`, CSR offsets, strided
+//!   scratch).
+//! * **Intervals** — the `[lo, hi]` hull of observed values, the fallback
+//!   when no affine form fits (data-dependent gather addresses).
+//!
+//! Observations of the same call site from different warps and blocks are
+//! *joined*: if every observation fits the same lane stride and the bases
+//! themselves are affine in the warp/block coordinates, the site is
+//! summarized by a [`SiteAffine`] `c0 + c_lane·lane + c_warp·warp +
+//! c_block·block` — an exact closed form for everything the launch executed,
+//! from which the pass pipeline proves footprint disjointness, predicts
+//! coalescing, and separates *definite* hazards from *may* hazards. Any
+//! observation that breaks the form demotes the site to its interval hull,
+//! which is still a sound over-approximation of the executed accesses.
+
+/// A closed integer interval `[lo, hi]`. The hull of observed values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interval {
+    pub lo: i64,
+    pub hi: i64,
+}
+
+impl Interval {
+    /// Degenerate interval holding a single point.
+    pub fn point(v: i64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// Smallest interval containing both operands.
+    pub fn join(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Widen to include `v`.
+    pub fn include(self, v: i64) -> Interval {
+        Interval {
+            lo: self.lo.min(v),
+            hi: self.hi.max(v),
+        }
+    }
+
+    /// True if `v` lies inside.
+    pub fn contains(self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// True if the two intervals share at least one point.
+    pub fn intersects(self, other: Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Number of integers covered.
+    pub fn width(self) -> u64 {
+        (self.hi - self.lo) as u64 + 1
+    }
+}
+
+/// One observation's exact lane-affine fit: `v(lane) = base + stride·lane`
+/// over the active lanes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaneAffine {
+    pub base: i64,
+    pub stride: i64,
+}
+
+impl LaneAffine {
+    /// Fit `base + stride·lane` exactly through the `(lane, value)` pairs.
+    /// Returns `None` when no single affine form matches every pair, or when
+    /// the set is empty. A single active lane fits with stride 0.
+    pub fn fit(points: impl IntoIterator<Item = (usize, i64)>) -> Option<LaneAffine> {
+        let mut it = points.into_iter();
+        let (l0, v0) = it.next()?;
+        let mut stride: Option<i64> = None;
+        for (l, v) in it {
+            let dl = l as i64 - l0 as i64;
+            let dv = v - v0;
+            if dl == 0 {
+                if dv != 0 {
+                    return None;
+                }
+                continue;
+            }
+            if dv % dl != 0 {
+                return None;
+            }
+            let s = dv / dl;
+            match stride {
+                None => stride = Some(s),
+                Some(prev) if prev != s => return None,
+                Some(_) => {}
+            }
+        }
+        let stride = stride.unwrap_or(0);
+        Some(LaneAffine {
+            base: v0 - stride * l0 as i64,
+            stride,
+        })
+    }
+
+    /// Value at `lane`.
+    pub fn at(self, lane: usize) -> i64 {
+        self.base + self.stride * lane as i64
+    }
+}
+
+/// A site's joined affine summary: `v = c0 + lane·l + warp·w + block·b`,
+/// exact for every observation folded into it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SiteAffine {
+    pub c0: i64,
+    pub lane: i64,
+    pub warp: i64,
+    pub block: i64,
+}
+
+impl SiteAffine {
+    /// True if the per-agent footprint is identical for every warp and block
+    /// (the value does not depend on who executes it).
+    pub fn agent_invariant(&self) -> bool {
+        self.warp == 0 && self.block == 0
+    }
+
+    /// True if the value provably differs between at least two observed
+    /// agents at the same lane position.
+    pub fn agent_varying(&self) -> bool {
+        self.warp != 0 || self.block != 0
+    }
+}
+
+/// Joined abstract value of one site dimension (address or stored value).
+///
+/// `Affine` is exact for everything observed; `Range` is the interval hull
+/// fallback. Both carry the hull so bounds queries never lose precision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbsVal {
+    Affine(SiteAffine),
+    Range(Interval),
+}
+
+impl AbsVal {
+    /// The interval hull is tracked separately in [`AbsJoin`]; this helper
+    /// answers "is the form still exact".
+    pub fn affine(&self) -> Option<SiteAffine> {
+        match self {
+            AbsVal::Affine(a) => Some(*a),
+            AbsVal::Range(_) => None,
+        }
+    }
+}
+
+/// Incremental join of per-observation affine fits into an [`AbsVal`].
+///
+/// Coefficients for the warp and block dimensions are solved lazily from the
+/// first observations that vary in exactly one coordinate; an observation
+/// that contradicts the solved form demotes the join to the interval hull.
+#[derive(Clone, Copy, Debug)]
+pub struct AbsJoin {
+    state: JoinState,
+    /// Hull of all observed values, maintained regardless of state.
+    pub hull: Interval,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum JoinState {
+    Empty,
+    /// Still affine: anchor observation plus (possibly unsolved)
+    /// warp/block coefficients.
+    Affine {
+        stride: i64,
+        anchor_base: i64,
+        anchor_warp: i64,
+        anchor_block: i64,
+        c_warp: Option<i64>,
+        c_block: Option<i64>,
+    },
+    /// Demoted: only the hull is maintained.
+    Hull,
+}
+
+impl Default for AbsJoin {
+    fn default() -> Self {
+        AbsJoin {
+            state: JoinState::Empty,
+            hull: Interval {
+                lo: i64::MAX,
+                hi: i64::MIN,
+            },
+        }
+    }
+}
+
+impl AbsJoin {
+    /// True if no observation has been folded in yet.
+    pub fn is_empty(&self) -> bool {
+        matches!(self.state, JoinState::Empty)
+    }
+
+    /// Fold one observation: the exact lane fit (`None` if the observation
+    /// itself was not affine), its value hull, and the observing agent.
+    pub fn observe(&mut self, fit: Option<LaneAffine>, obs_hull: Interval, warp: u32, block: u32) {
+        self.hull = if matches!(self.state, JoinState::Empty) {
+            obs_hull
+        } else {
+            self.hull.join(obs_hull)
+        };
+        let Some(fit) = fit else {
+            self.state = JoinState::Hull;
+            return;
+        };
+        match self.state {
+            JoinState::Empty => {
+                self.state = JoinState::Affine {
+                    stride: fit.stride,
+                    anchor_base: fit.base,
+                    anchor_warp: warp as i64,
+                    anchor_block: block as i64,
+                    c_warp: None,
+                    c_block: None,
+                };
+            }
+            JoinState::Affine {
+                stride,
+                anchor_base,
+                anchor_warp,
+                anchor_block,
+                mut c_warp,
+                mut c_block,
+            } => {
+                // A single-lane observation fits with stride 0, which is
+                // ambiguous against a strided site: we no longer know which
+                // lane produced it, so the form cannot absorb it exactly.
+                // Demoting to the hull is the sound resolution.
+                if fit.stride != stride {
+                    self.state = JoinState::Hull;
+                    return;
+                }
+                let dw = warp as i64 - anchor_warp;
+                let db = block as i64 - anchor_block;
+                let base = fit.base;
+                let delta = base - anchor_base;
+                let expect = c_warp.unwrap_or(0) * dw + c_block.unwrap_or(0) * db;
+                if delta == expect {
+                    // Consistent with current coefficients.
+                } else if dw != 0 && db == 0 && c_warp.is_none() && delta % dw == 0 {
+                    c_warp = Some(delta / dw);
+                } else if db != 0 && dw == 0 && c_block.is_none() && delta % db == 0 {
+                    c_block = Some(delta / db);
+                } else if dw != 0
+                    && db != 0
+                    && c_warp.is_none()
+                    && c_block.is_none()
+                    && delta % db == 0
+                    && dw == db
+                {
+                    // Warp and block moved together (e.g. warp-task launches
+                    // where block == task and warp == 0): attribute to block.
+                    c_block = Some(delta / db);
+                } else {
+                    self.state = JoinState::Hull;
+                    return;
+                }
+                self.state = JoinState::Affine {
+                    stride,
+                    anchor_base,
+                    anchor_warp,
+                    anchor_block,
+                    c_warp,
+                    c_block,
+                };
+            }
+            JoinState::Hull => {}
+        }
+    }
+
+    /// The joined abstract value, or `None` before any observation.
+    pub fn value(&self) -> Option<AbsVal> {
+        match self.state {
+            JoinState::Empty => None,
+            JoinState::Affine {
+                stride,
+                anchor_base,
+                anchor_warp,
+                anchor_block,
+                c_warp,
+                c_block,
+            } => {
+                let cw = c_warp.unwrap_or(0);
+                let cb = c_block.unwrap_or(0);
+                Some(AbsVal::Affine(SiteAffine {
+                    c0: anchor_base - cw * anchor_warp - cb * anchor_block,
+                    lane: stride,
+                    warp: cw,
+                    block: cb,
+                }))
+            }
+            JoinState::Hull => Some(AbsVal::Range(self.hull)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_algebra() {
+        let a = Interval { lo: 2, hi: 5 };
+        let b = Interval { lo: 4, hi: 9 };
+        assert_eq!(a.join(b), Interval { lo: 2, hi: 9 });
+        assert!(a.intersects(b));
+        assert!(!a.intersects(Interval { lo: 6, hi: 7 }));
+        assert!(a.contains(5));
+        assert!(!a.contains(6));
+        assert_eq!(a.width(), 4);
+        assert_eq!(Interval::point(3).include(7), Interval { lo: 3, hi: 7 });
+    }
+
+    #[test]
+    fn lane_affine_fit_exact() {
+        let f = LaneAffine::fit((0..32).map(|l| (l, 100 + 3 * l as i64))).unwrap();
+        assert_eq!(
+            f,
+            LaneAffine {
+                base: 100,
+                stride: 3
+            }
+        );
+        assert_eq!(f.at(7), 121);
+    }
+
+    #[test]
+    fn lane_affine_fit_partial_mask() {
+        // Only odd lanes active, still affine in the lane index.
+        let f = LaneAffine::fit(
+            (0..32)
+                .filter(|l| l % 2 == 1)
+                .map(|l| (l, 8 + 2 * l as i64)),
+        )
+        .unwrap();
+        assert_eq!(f, LaneAffine { base: 8, stride: 2 });
+    }
+
+    #[test]
+    fn lane_affine_fit_rejects_nonlinear() {
+        assert!(LaneAffine::fit((0..32).map(|l| (l, (l * l) as i64))).is_none());
+        assert!(LaneAffine::fit(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn lane_affine_single_lane_is_constant() {
+        let f = LaneAffine::fit([(5usize, 42i64)]).unwrap();
+        assert_eq!(
+            f,
+            LaneAffine {
+                base: 42,
+                stride: 0
+            }
+        );
+    }
+
+    #[test]
+    fn join_solves_warp_coefficient() {
+        // addr = 1000 + 32*warp + lane, observed from warps 0..4 of block 0.
+        let mut j = AbsJoin::default();
+        for w in 0..4u32 {
+            let base = 1000 + 32 * w as i64;
+            j.observe(
+                Some(LaneAffine { base, stride: 1 }),
+                Interval {
+                    lo: base,
+                    hi: base + 31,
+                },
+                w,
+                0,
+            );
+        }
+        let AbsVal::Affine(a) = j.value().unwrap() else {
+            panic!("expected affine");
+        };
+        assert_eq!(
+            a,
+            SiteAffine {
+                c0: 1000,
+                lane: 1,
+                warp: 32,
+                block: 0
+            }
+        );
+        assert!(!a.agent_invariant());
+        assert_eq!(
+            j.hull,
+            Interval {
+                lo: 1000,
+                hi: 1000 + 96 + 31
+            }
+        );
+    }
+
+    #[test]
+    fn join_solves_block_coefficient_for_warp_tasks() {
+        // st_uniform(out, 0, task): addr constant, value = task. Warp-task
+        // launches use block == task, warp == 0.
+        let mut addr = AbsJoin::default();
+        let mut val = AbsJoin::default();
+        for task in 0..8u32 {
+            addr.observe(
+                Some(LaneAffine { base: 0, stride: 0 }),
+                Interval::point(0),
+                0,
+                task,
+            );
+            val.observe(
+                Some(LaneAffine {
+                    base: task as i64,
+                    stride: 0,
+                }),
+                Interval::point(task as i64),
+                0,
+                task,
+            );
+        }
+        let AbsVal::Affine(a) = addr.value().unwrap() else {
+            panic!()
+        };
+        assert!(a.agent_invariant());
+        let AbsVal::Affine(v) = val.value().unwrap() else {
+            panic!()
+        };
+        assert_eq!(v.block, 1);
+        assert!(v.agent_varying());
+    }
+
+    #[test]
+    fn join_demotes_on_contradiction() {
+        let mut j = AbsJoin::default();
+        j.observe(
+            Some(LaneAffine { base: 0, stride: 1 }),
+            Interval { lo: 0, hi: 31 },
+            0,
+            0,
+        );
+        j.observe(
+            Some(LaneAffine { base: 7, stride: 5 }),
+            Interval { lo: 7, hi: 162 },
+            1,
+            0,
+        );
+        assert_eq!(
+            j.value().unwrap(),
+            AbsVal::Range(Interval { lo: 0, hi: 162 })
+        );
+    }
+
+    #[test]
+    fn join_demotes_on_nonaffine_observation() {
+        let mut j = AbsJoin::default();
+        j.observe(None, Interval { lo: 3, hi: 900 }, 0, 0);
+        assert_eq!(
+            j.value().unwrap(),
+            AbsVal::Range(Interval { lo: 3, hi: 900 })
+        );
+        // Later affine observations cannot resurrect exactness.
+        j.observe(
+            Some(LaneAffine { base: 0, stride: 1 }),
+            Interval { lo: 0, hi: 31 },
+            1,
+            0,
+        );
+        assert_eq!(
+            j.value().unwrap(),
+            AbsVal::Range(Interval { lo: 0, hi: 900 })
+        );
+    }
+
+    #[test]
+    fn join_constant_across_agents_stays_invariant() {
+        let mut j = AbsJoin::default();
+        for b in 0..3u32 {
+            for w in 0..2u32 {
+                j.observe(
+                    Some(LaneAffine {
+                        base: 64,
+                        stride: 0,
+                    }),
+                    Interval::point(64),
+                    w,
+                    b,
+                );
+            }
+        }
+        let AbsVal::Affine(a) = j.value().unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            a,
+            SiteAffine {
+                c0: 64,
+                lane: 0,
+                warp: 0,
+                block: 0
+            }
+        );
+        assert!(a.agent_invariant());
+    }
+}

@@ -1,0 +1,215 @@
+//! Pure analysis passes over the analyzer's abstract per-site summaries.
+//!
+//! Everything here is a function of abstract state only — no simulator
+//! handles — so each pass is unit-testable with synthesized inputs,
+//! including states the public kernel API cannot produce (e.g. divergent
+//! barrier sequences, which [`crate::kernel::BlockCtx::barrier`] rules out
+//! by construction but the analyzer still guards against).
+
+use super::domain::SiteAffine;
+use super::Site;
+
+/// A barrier-convergence violation: `warp` diverges from `other_warp` at
+/// barrier-sequence position `step`.
+#[derive(Clone, Copy, Debug)]
+pub struct Divergence {
+    pub warp: usize,
+    pub other_warp: usize,
+    pub step: usize,
+    pub site: Site,
+    pub other_site: Option<Site>,
+}
+
+/// Check that every warp of a block reached the same sequence of barrier
+/// sites. Returns the first divergence found, or `None` if the sequences
+/// converge. An empty or single-warp input is trivially convergent.
+pub fn check_barrier_convergence(seqs: &[&[Site]]) -> Option<Divergence> {
+    let base = *seqs.first()?;
+    for (w, s) in seqs.iter().enumerate().skip(1) {
+        let n = base.len().min(s.len());
+        for i in 0..n {
+            if base[i] != s[i] {
+                return Some(Divergence {
+                    warp: w,
+                    other_warp: 0,
+                    step: i,
+                    site: s[i],
+                    other_site: Some(base[i]),
+                });
+            }
+        }
+        if base.len() != s.len() {
+            // One warp executes extra barriers the other never reaches —
+            // on hardware the block deadlocks.
+            let site = if s.len() > n { s[n] } else { base[n] };
+            return Some(Divergence {
+                warp: w,
+                other_warp: 0,
+                step: n,
+                site,
+                other_site: None,
+            });
+        }
+    }
+    None
+}
+
+/// Predict the transactions per access of a site whose address is the exact
+/// affine form `a`, materialized over the active-lane span for the anchor
+/// agent `(warp, block)` and pushed through the simulator's own coalescing
+/// model. Addresses are word indices; the model works in bytes.
+pub fn predict_transactions(
+    a: SiteAffine,
+    span: (usize, usize),
+    anchor: (i64, i64),
+    segment_bytes: u32,
+) -> u32 {
+    let (warp, block) = anchor;
+    let words = (span.0..=span.1).map(move |l| {
+        let w = a.c0 + a.lane * l as i64 + a.warp * warp + a.block * block;
+        w.max(0) as u64 * 4
+    });
+    crate::coalesce::transactions(words, segment_bytes)
+}
+
+/// Predict the bank serialization cost of a shared-memory site with exact
+/// affine address form `a`, through the simulator's own bank model.
+pub fn predict_bank_cost(a: SiteAffine, span: (usize, usize), anchor: (i64, i64)) -> u32 {
+    let (warp, block) = anchor;
+    let words = (span.0..=span.1).map(move |l| {
+        let w = a.c0 + a.lane * l as i64 + a.warp * warp + a.block * block;
+        w.max(0) as u32
+    });
+    crate::shared::bank_conflict_cost(words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::Location;
+
+    #[track_caller]
+    fn site() -> Site {
+        Location::caller()
+    }
+
+    #[test]
+    fn convergent_sequences_pass() {
+        let (a, b) = (site(), site());
+        let w0 = [a, b];
+        let w1 = [a, b];
+        assert!(check_barrier_convergence(&[&w0, &w1]).is_none());
+        assert!(check_barrier_convergence(&[]).is_none());
+        assert!(check_barrier_convergence(&[&w0]).is_none());
+    }
+
+    #[test]
+    fn divergent_site_detected() {
+        let (a, b, c) = (site(), site(), site());
+        let w0 = [a, b];
+        let w1 = [a, c];
+        let d = check_barrier_convergence(&[&w0, &w1]).expect("must diverge");
+        assert_eq!((d.warp, d.other_warp, d.step), (1, 0, 1));
+        assert_eq!(d.site, c);
+        assert_eq!(d.other_site, Some(b));
+    }
+
+    #[test]
+    fn missing_barrier_detected() {
+        let (a, b) = (site(), site());
+        let w0 = [a, b];
+        let w1 = [a];
+        let d = check_barrier_convergence(&[&w0, &w1]).expect("must diverge");
+        assert_eq!(d.step, 1);
+        assert_eq!(d.site, b);
+        assert!(d.other_site.is_none());
+        // Symmetric: the longer sequence may be the later warp's.
+        let d2 = check_barrier_convergence(&[&w1, &w0]).expect("must diverge");
+        assert_eq!(d2.site, b);
+    }
+
+    #[test]
+    fn nested_divergence_found_at_first_mismatch() {
+        let (a, b, c) = (site(), site(), site());
+        let w0 = [a, b, c];
+        let w1 = [a, c, b];
+        let d = check_barrier_convergence(&[&w0, &w1]).expect("must diverge");
+        assert_eq!(d.step, 1);
+    }
+
+    #[test]
+    fn unit_stride_predicts_one_transaction() {
+        // addr = 4096 + lane over a full warp, 128 B segments.
+        let a = SiteAffine {
+            c0: 4096,
+            lane: 1,
+            warp: 0,
+            block: 0,
+        };
+        assert_eq!(predict_transactions(a, (0, 31), (0, 0), 128), 1);
+    }
+
+    #[test]
+    fn segment_stride_predicts_per_lane_transactions() {
+        // addr = 32·lane: each lane in its own 128 B segment.
+        let a = SiteAffine {
+            c0: 0,
+            lane: 32,
+            warp: 0,
+            block: 0,
+        };
+        assert_eq!(predict_transactions(a, (0, 31), (0, 0), 128), 32);
+        // A half-warp span costs half.
+        assert_eq!(predict_transactions(a, (0, 15), (0, 0), 128), 16);
+    }
+
+    #[test]
+    fn warp_coefficient_shifts_the_window() {
+        // addr = 32·warp + lane: warp 3 accesses words 96..128 — still one
+        // segment, regardless of the anchor chosen.
+        let a = SiteAffine {
+            c0: 0,
+            lane: 1,
+            warp: 32,
+            block: 0,
+        };
+        assert_eq!(predict_transactions(a, (0, 31), (0, 0), 128), 1);
+        assert_eq!(predict_transactions(a, (0, 31), (3, 0), 128), 1);
+    }
+
+    #[test]
+    fn bank_cost_prediction_matches_model() {
+        // Unit stride: one word per bank.
+        let unit = SiteAffine {
+            c0: 0,
+            lane: 1,
+            warp: 0,
+            block: 0,
+        };
+        assert_eq!(predict_bank_cost(unit, (0, 31), (0, 0)), 1);
+        // Stride 32: all lanes hit bank 0 with distinct words.
+        let stride32 = SiteAffine {
+            c0: 0,
+            lane: 32,
+            warp: 0,
+            block: 0,
+        };
+        assert_eq!(predict_bank_cost(stride32, (0, 31), (0, 0)), 32);
+        // Broadcast: distinct-word dedup makes it free.
+        let bcast = SiteAffine {
+            c0: 7,
+            lane: 0,
+            warp: 0,
+            block: 0,
+        };
+        assert_eq!(predict_bank_cost(bcast, (0, 31), (0, 0)), 1);
+        // Stride 2: pairs of lanes share banks.
+        let stride2 = SiteAffine {
+            c0: 0,
+            lane: 2,
+            warp: 0,
+            block: 0,
+        };
+        assert_eq!(predict_bank_cost(stride2, (0, 31), (0, 0)), 2);
+    }
+}

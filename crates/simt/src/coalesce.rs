@@ -35,6 +35,38 @@ pub fn transactions(addrs: impl IntoIterator<Item = u64>, segment_bytes: u32) ->
     n as u32
 }
 
+/// Count the *distinct* addresses in an access pattern (duplicates merged,
+/// the broadcast behaviour). This is the footprint a perfectly coalesced
+/// layout of the same data would have to touch — the numerator of the
+/// coalescing-efficiency lint shared by the sanitizer and the static
+/// analyzer.
+pub fn distinct_addrs(addrs: impl IntoIterator<Item = u64>) -> u32 {
+    let mut seen = [0u64; WARP_SIZE];
+    let mut n = 0usize;
+    'outer: for a in addrs {
+        for &s in &seen[..n] {
+            if s == a {
+                continue 'outer;
+            }
+        }
+        seen[n] = a;
+        n += 1;
+    }
+    n as u32
+}
+
+/// Minimum transactions needed to service `distinct` distinct words if they
+/// were packed contiguously into segments of `segment_words`: the "ideal"
+/// denominator of the coalescing-efficiency lint. An access that touches any
+/// words at all costs at least one transaction; a broadcast (1 distinct
+/// word) is already ideal at 1.
+pub fn ideal_transactions(distinct: u32, segment_words: u32) -> u32 {
+    if distinct == 0 {
+        return 0;
+    }
+    distinct.div_ceil(segment_words.max(1)).max(1)
+}
+
 /// Transactions for a warp accessing `base + idx*4` for each active index —
 /// the common case of indexing a word array.
 pub fn transactions_words(
@@ -90,6 +122,44 @@ mod tests {
         assert_eq!(transactions(addrs.iter().copied(), 128), 1);
         assert_eq!(transactions(addrs.iter().copied(), 64), 2);
         assert_eq!(transactions(addrs.iter().copied(), 32), 4);
+    }
+
+    #[test]
+    fn distinct_addrs_merges_duplicates() {
+        assert_eq!(distinct_addrs(std::iter::empty()), 0);
+        assert_eq!(distinct_addrs(std::iter::repeat_n(4096u64, 32)), 1);
+        assert_eq!(distinct_addrs((0..32u64).map(|i| 4 * i)), 32);
+        assert_eq!(distinct_addrs([8u64, 8, 12, 8, 12]), 2);
+    }
+
+    #[test]
+    fn ideal_transactions_from_distinct_footprint() {
+        assert_eq!(ideal_transactions(0, 32), 0);
+        // A broadcast's footprint is one word: ideal is one transaction, not
+        // ceil(active/segment_words).
+        assert_eq!(ideal_transactions(1, 32), 1);
+        assert_eq!(ideal_transactions(32, 32), 1);
+        assert_eq!(ideal_transactions(33, 32), 2);
+        assert_eq!(ideal_transactions(32, 8), 4);
+        // Degenerate segment size.
+        assert_eq!(ideal_transactions(5, 0), 5);
+    }
+
+    #[test]
+    fn ideal_never_exceeds_actual_for_same_pattern() {
+        // For any pattern, the ideal (distinct words packed contiguously)
+        // costs at most what the actual layout costs.
+        let patterns: [&[u64]; 4] = [
+            &[4096; 8],
+            &[0, 4, 8, 12, 1024, 1028],
+            &[0, 512, 1024, 1536],
+            &[128, 132, 136, 128, 132],
+        ];
+        for p in patterns {
+            let actual = transactions(p.iter().copied(), 128);
+            let ideal = ideal_transactions(distinct_addrs(p.iter().copied()), 32);
+            assert!(ideal <= actual, "{p:?}: ideal {ideal} > actual {actual}");
+        }
     }
 
     #[test]

@@ -61,6 +61,13 @@ pub struct GpuConfig {
     /// `MAXWARP_PROFILE=1` in the environment. Purely observational: results,
     /// `KernelStats`, and simulated cycles are identical either way.
     pub profile: bool,
+    /// Enable the static abstract-interpretation analyzer (affine access
+    /// forms, barrier convergence, may-happen-in-parallel races, coalescing
+    /// and bank-conflict prediction). Also switched on by `MAXWARP_ANALYZE=1`
+    /// in the environment. Purely observational: results and `KernelStats`
+    /// are identical either way.
+    #[serde(default)]
+    pub analyze: bool,
     /// Watchdog budgets (cycles / instructions / driver iterations). All
     /// `None` by default — existing runs are byte-identical. Env overrides:
     /// `MAXWARP_MAX_CYCLES`, `MAXWARP_MAX_ITERS`.
@@ -97,6 +104,7 @@ impl GpuConfig {
             issue_width: 1,
             sanitize: false,
             profile: false,
+            analyze: false,
             watchdog: crate::fault::WatchdogConfig::default(),
             faults: None,
         }
@@ -127,6 +135,7 @@ impl GpuConfig {
             issue_width: 1,
             sanitize: false,
             profile: false,
+            analyze: false,
             watchdog: crate::fault::WatchdogConfig::default(),
             faults: None,
         }
@@ -155,6 +164,7 @@ impl GpuConfig {
             issue_width: 1,
             sanitize: false,
             profile: false,
+            analyze: false,
             watchdog: crate::fault::WatchdogConfig::default(),
             faults: None,
         }

@@ -1,5 +1,6 @@
 //! The simulated device: memory + kernel launches.
 
+use crate::analyze::Analyzer;
 use crate::cache::CacheModel;
 use crate::config::GpuConfig;
 use crate::fault::{AtomicDropPlan, ChaosState, FaultConfig, SimtError, WatchdogKind};
@@ -117,6 +118,9 @@ pub struct Gpu {
     /// Cycle-attribution profiler, present when `cfg.profile` (or
     /// `MAXWARP_PROFILE=1`) turned profiling on at construction.
     prof: Option<Box<Profiler>>,
+    /// Static abstract-interpretation analyzer, present when `cfg.analyze`
+    /// (or `MAXWARP_ANALYZE=1`) turned analysis on at construction.
+    anl: Option<Box<Analyzer>>,
     /// Timing detail accumulated across every launch on this device.
     timing_total: TimingReport,
     /// Timing detail of the most recent launch.
@@ -138,6 +142,9 @@ impl Gpu {
         if std::env::var("MAXWARP_PROFILE").is_ok_and(|v| v == "1") {
             cfg.profile = true;
         }
+        if std::env::var("MAXWARP_ANALYZE").is_ok_and(|v| v == "1") {
+            cfg.analyze = true;
+        }
         if let Ok(v) = std::env::var("MAXWARP_FAULTS") {
             match v.parse::<u64>() {
                 Ok(seed) => cfg.faults = Some(FaultConfig::all(seed)),
@@ -158,12 +165,14 @@ impl Gpu {
         }
         let san = cfg.sanitize.then(|| Box::new(Sanitizer::new()));
         let prof = cfg.profile.then(|| Box::new(Profiler::new(&cfg)));
+        let anl = cfg.analyze.then(|| Box::new(Analyzer::new()));
         let chaos = cfg.faults.map(ChaosState::new);
         Gpu {
             cfg,
             mem: DeviceMem::new(),
             san,
             prof,
+            anl,
             timing_total: TimingReport::default(),
             last_timing: None,
             chaos,
@@ -185,6 +194,19 @@ impl Gpu {
     pub fn set_sanitize_context(&mut self, name: &str) {
         if let Some(san) = &mut self.san {
             san.set_context(name);
+        }
+    }
+
+    /// The static analyzer's accumulated findings, if analyzing.
+    pub fn analyzer(&self) -> Option<&Analyzer> {
+        self.anl.as_deref()
+    }
+
+    /// Label subsequent launches with a kernel name for analyzer reports.
+    /// No-op when the analyzer is off.
+    pub fn set_analyze_context(&mut self, name: &str) {
+        if let Some(anl) = &mut self.anl {
+            anl.set_context(name);
         }
     }
 
@@ -327,6 +349,10 @@ impl Gpu {
         if let Some(s) = &mut san {
             s.begin_launch(self.mem.allocated_words());
         }
+        let mut anl = self.anl.take();
+        if let Some(a) = &mut anl {
+            a.begin_launch();
+        }
         let mut fault: Option<SimtError> = None;
         let mut chaos_plan = self.chaos_prelaunch();
         for b in 0..grid_blocks {
@@ -339,6 +365,7 @@ impl Gpu {
                 warps_per_block,
                 san.as_deref_mut(),
                 self.prof.as_deref_mut(),
+                anl.as_deref_mut(),
                 Some(&mut fault),
                 chaos_plan.as_mut(),
             );
@@ -350,7 +377,11 @@ impl Gpu {
         if let Some(s) = &mut san {
             s.finish_launch();
         }
+        if let Some(a) = &mut anl {
+            a.finish_launch();
+        }
         self.san = san;
+        self.anl = anl;
         self.chaos_postlaunch(chaos_plan.as_ref());
         if let Some(e) = fault.take() {
             return Err(e.into());
@@ -397,6 +428,10 @@ impl Gpu {
         if let Some(s) = &mut san {
             s.begin_launch(self.mem.allocated_words());
         }
+        let mut anl = self.anl.take();
+        if let Some(a) = &mut anl {
+            a.begin_launch();
+        }
         let mut fault: Option<SimtError> = None;
         let mut chaos_plan = self.chaos_prelaunch();
         let mut tasks: Vec<WarpTrace> = Vec::with_capacity(num_tasks as usize);
@@ -437,6 +472,8 @@ impl Gpu {
                 id,
                 scope,
                 self.prof.as_deref_mut(),
+                anl.as_deref_mut(),
+                0,
                 Some(&mut fault),
                 chaos_plan.as_mut(),
             );
@@ -446,7 +483,11 @@ impl Gpu {
         if let Some(s) = &mut san {
             s.finish_launch();
         }
+        if let Some(a) = &mut anl {
+            a.finish_launch();
+        }
         self.san = san;
+        self.anl = anl;
         self.chaos_postlaunch(chaos_plan.as_ref());
         if let Some(e) = fault.take() {
             return Err(e.into());

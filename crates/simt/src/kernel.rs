@@ -8,6 +8,7 @@
 //! memory effects of a phase are visible after the barrier, and the timing
 //! model makes the block's warps rendezvous there.
 
+use crate::analyze::Analyzer;
 use crate::cache::CacheModel;
 use crate::config::GpuConfig;
 use crate::fault::{self, AtomicDropPlan, SimtError};
@@ -44,6 +45,7 @@ pub struct BlockCtx<'a> {
     warps_per_block: u32,
     san: Option<&'a mut Sanitizer>,
     prof: Option<&'a mut Profiler>,
+    anl: Option<&'a mut Analyzer>,
     shadow: BlockShadow,
     fault: Option<&'a mut Option<SimtError>>,
     chaos: Option<&'a mut AtomicDropPlan>,
@@ -60,6 +62,7 @@ impl<'a> BlockCtx<'a> {
         warps_per_block: u32,
         san: Option<&'a mut Sanitizer>,
         prof: Option<&'a mut Profiler>,
+        anl: Option<&'a mut Analyzer>,
         fault: Option<&'a mut Option<SimtError>>,
         chaos: Option<&'a mut AtomicDropPlan>,
     ) -> Self {
@@ -76,6 +79,7 @@ impl<'a> BlockCtx<'a> {
             warps_per_block,
             san,
             prof,
+            anl,
             shadow: BlockShadow::default(),
             fault,
             chaos,
@@ -151,6 +155,7 @@ impl<'a> BlockCtx<'a> {
                 warps_per_block: self.warps_per_block,
                 num_blocks: self.num_blocks,
             };
+            let epoch = self.shadow.epoch;
             let scope = self.san.as_deref_mut().map(|san| SanScope {
                 san,
                 shadow: &mut self.shadow,
@@ -164,6 +169,8 @@ impl<'a> BlockCtx<'a> {
                 id,
                 scope,
                 self.prof.as_deref_mut(),
+                self.anl.as_deref_mut(),
+                epoch,
                 self.fault.as_deref_mut(),
                 self.chaos.as_deref_mut(),
             );
@@ -180,6 +187,9 @@ impl<'a> BlockCtx<'a> {
             if let Some(prof) = self.prof.as_deref_mut() {
                 prof.note(site, "barrier", Op::Bar, self.cfg.segment_words());
             }
+        }
+        if let Some(anl) = self.anl.as_deref_mut() {
+            anl.barrier(self.block_id, self.warps_per_block, site);
         }
         self.shadow.advance_epoch();
     }
@@ -206,7 +216,9 @@ mod tests {
         let mut mem = DeviceMem::new();
         let cfg = GpuConfig::tiny_test();
         let mut cache = CacheModel::new(0, 1, 128);
-        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 3, 5, 4, None, None, None, None);
+        let mut block = BlockCtx::new(
+            &mut mem, &mut cache, &cfg, 3, 5, 4, None, None, None, None, None,
+        );
         let mut seen = Vec::new();
         block.phase(|w| seen.push((w.id().block, w.id().warp_in_block)));
         assert_eq!(seen, vec![(3, 0), (3, 1), (3, 2), (3, 3)]);
@@ -217,7 +229,9 @@ mod tests {
         let mut mem = DeviceMem::new();
         let cfg = GpuConfig::tiny_test();
         let mut cache = CacheModel::new(0, 1, 128);
-        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 0, 1, 2, None, None, None, None);
+        let mut block = BlockCtx::new(
+            &mut mem, &mut cache, &cfg, 0, 1, 2, None, None, None, None, None,
+        );
         block.phase(|w| w.alu_nop(Mask::FULL));
         block.barrier();
         let (trace, _) = block.into_trace();
@@ -232,7 +246,9 @@ mod tests {
         let mut mem = DeviceMem::new();
         let cfg = GpuConfig::tiny_test();
         let mut cache = CacheModel::new(0, 1, 128);
-        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 0, 1, 2, None, None, None, None);
+        let mut block = BlockCtx::new(
+            &mut mem, &mut cache, &cfg, 0, 1, 2, None, None, None, None, None,
+        );
         let sp = block.shared_alloc::<u32>(64);
         block.phase(|w| {
             if w.id().warp_in_block == 0 {
@@ -257,7 +273,9 @@ mod tests {
         let mut mem = DeviceMem::new();
         let cfg = GpuConfig::tiny_test();
         let mut cache = CacheModel::new(0, 1, 128);
-        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 0, 1, 1, None, None, None, None);
+        let mut block = BlockCtx::new(
+            &mut mem, &mut cache, &cfg, 0, 1, 1, None, None, None, None, None,
+        );
         k.run_block(&mut block);
         let (trace, used) = block.into_trace();
         assert_eq!(trace.warps[0].ops.len(), 1);
@@ -270,7 +288,9 @@ mod tests {
         let p = mem.alloc::<u32>(64);
         let cfg = GpuConfig::tiny_test();
         let mut cache = CacheModel::new(0, 1, 128);
-        let mut block = BlockCtx::new(&mut mem, &mut cache, &cfg, 0, 1, 2, None, None, None, None);
+        let mut block = BlockCtx::new(
+            &mut mem, &mut cache, &cfg, 0, 1, 2, None, None, None, None, None,
+        );
         block.phase(|w| {
             let ids = w.global_thread_ids();
             w.st(Mask::FULL, p, &ids, &ids);

@@ -50,6 +50,7 @@
 //! );
 //! ```
 
+pub mod analyze;
 pub mod cache;
 pub mod coalesce;
 pub mod config;
@@ -67,6 +68,7 @@ pub mod timing;
 pub mod trace;
 pub mod warp;
 
+pub use analyze::{Analyzer, FindKind, Finding};
 pub use cache::CacheModel;
 pub use config::GpuConfig;
 pub use device::{Gpu, LaunchError, TaskSchedule};

@@ -140,6 +140,21 @@ impl Mask {
         debug_assert!(lane < WARP_SIZE);
         (self.0 & ((1u32 << lane) - 1)).count_ones()
     }
+
+    /// `(lowest, highest)` active lane, or `None` if the mask is empty. The
+    /// static analyzer uses the span to bound a site's lane-affine access
+    /// footprint.
+    #[inline]
+    pub const fn span(self) -> Option<(usize, usize)> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some((
+                self.0.trailing_zeros() as usize,
+                (31 - self.0.leading_zeros()) as usize,
+            ))
+        }
+    }
 }
 
 impl std::ops::BitAnd for Mask {
@@ -285,6 +300,15 @@ mod tests {
         assert_eq!(m.rank(1), 1);
         assert_eq!(m.rank(8), 4);
         assert_eq!(m.rank(31), 16); // lanes 0,2,..,30 below 31
+    }
+
+    #[test]
+    fn span_bounds_active_lanes() {
+        assert_eq!(Mask::NONE.span(), None);
+        assert_eq!(Mask::FULL.span(), Some((0, 31)));
+        assert_eq!(Mask::lane(9).span(), Some((9, 9)));
+        assert_eq!((Mask::lane(3) | Mask::lane(28)).span(), Some((3, 28)));
+        assert_eq!(Mask::first(5).span(), Some((0, 4)));
     }
 
     #[test]

@@ -695,6 +695,12 @@ impl Sanitizer {
     }
 
     /// Sample one global-memory op for the per-site coalescing lint.
+    /// `distinct` is the op's distinct-address footprint
+    /// ([`crate::coalesce::distinct_addrs`]): a broadcast read has a
+    /// footprint of one word and is already perfectly coalesced at one
+    /// transaction, so the ideal is derived from the footprint, not from the
+    /// active lane count.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn coalesce_sample(
         &mut self,
         id: WarpId,
@@ -702,12 +708,13 @@ impl Sanitizer {
         site: &'static Location<'static>,
         active: u32,
         tx: u32,
+        distinct: u32,
         segment_words: u32,
     ) {
         if active == 0 {
             return;
         }
-        let ideal = (active as u64).div_ceil(segment_words.max(1) as u64).max(1);
+        let ideal = crate::coalesce::ideal_transactions(distinct, segment_words) as u64;
         let entry = self.coalesce.entry(site).or_insert(CoalesceSite {
             op,
             ops: 0,
@@ -850,14 +857,15 @@ mod tests {
     fn coalesce_lint_fires_on_bad_sites_only() {
         let mut s = san();
         let bad = Location::caller();
-        // 32 active lanes spread over 32 transactions, ideal 1 → efficiency ~3%.
+        // 32 distinct words spread over 32 transactions, ideal 1 →
+        // efficiency ~3%.
         for _ in 0..10 {
-            s.coalesce_sample(id(0, 0), "ld", bad, 32, 32, 32);
+            s.coalesce_sample(id(0, 0), "ld", bad, 32, 32, 32, 32);
         }
         // Perfectly coalesced site.
         let good = Location::caller();
         for _ in 0..10 {
-            s.coalesce_sample(id(0, 0), "ld", good, 32, 1, 32);
+            s.coalesce_sample(id(0, 0), "ld", good, 32, 1, 32, 32);
         }
         s.finish_launch();
         assert_eq!(s.warning_count(), 1);
@@ -868,9 +876,39 @@ mod tests {
     #[test]
     fn coalesce_lint_needs_min_ops() {
         let mut s = san();
-        s.coalesce_sample(id(0, 0), "ld", Location::caller(), 32, 32, 32);
+        s.coalesce_sample(id(0, 0), "ld", Location::caller(), 32, 32, 32, 32);
         s.finish_launch();
         assert!(s.is_clean());
+    }
+
+    #[test]
+    fn broadcast_read_is_not_a_coalescing_false_positive() {
+        // All 32 lanes load the same word: 1 transaction, footprint 1 word.
+        // The old active-lane ideal (ceil(32/8) = 4 with 8-word segments)
+        // called this 400% efficient, inflating the site's aggregate and
+        // masking genuinely bad ops mixed into it; footprint ideal says 1/1.
+        let mut s = san();
+        let site = Location::caller();
+        for _ in 0..10 {
+            s.coalesce_sample(id(0, 0), "ld", site, 32, 1, 1, 8);
+        }
+        s.finish_launch();
+        assert!(s.is_clean());
+        // A broadcast-heavy site must not absolve scattered ops: 10
+        // broadcasts + 10 fully scattered ops = 10·1 + 10·32 actual vs
+        // 10·1 + 10·4 ideal → 15% < 25% lints. Under the active-lane ideal
+        // this site scored 10·4 + 10·4 / 330 = 24%… and a slightly smaller
+        // broadcast share pushed it over the lint threshold, hiding the bad
+        // ops.
+        let mut s2 = san();
+        let mixed = Location::caller();
+        for _ in 0..10 {
+            s2.coalesce_sample(id(0, 0), "ld", mixed, 32, 1, 1, 8);
+            s2.coalesce_sample(id(0, 0), "ld", mixed, 32, 32, 32, 8);
+        }
+        s2.finish_launch();
+        assert_eq!(s2.warning_count(), 1);
+        assert_eq!(s2.diagnostics()[0].kind, DiagKind::CoalescingLint);
     }
 
     #[test]

@@ -28,8 +28,9 @@
 //! * Reductions and scans cost `log2(width)` instructions, matching the
 //!   shuffle-tree implementations used on real hardware.
 
+use crate::analyze::{AccessKind, Analyzer, MemObs, Space};
 use crate::cache::CacheModel;
-use crate::coalesce::transactions;
+use crate::coalesce::{distinct_addrs, transactions};
 use crate::config::GpuConfig;
 use crate::fault::{self, AddressSpace, AtomicDropPlan, SimtError, WatchdogKind};
 use crate::lanes::{DeviceWord, Lanes, WARP_SIZE};
@@ -85,6 +86,11 @@ pub struct WarpCtx<'a> {
     id: WarpId,
     san: Option<SanScope<'a>>,
     prof: Option<&'a mut Profiler>,
+    /// Static analyzer observing abstract per-site access patterns.
+    anl: Option<&'a mut Analyzer>,
+    /// Barrier epoch of the current phase (from the block's shadow); the
+    /// analyzer orders same-block accesses by it.
+    epoch: u32,
     /// Launch-wide fault slot. `Some` on the `Gpu::launch` path: the first
     /// fault is recorded, the offending lanes are dropped, and the launch
     /// returns `Err`. `None` for bare (test-harness) contexts, which keep
@@ -107,7 +113,9 @@ impl<'a> WarpCtx<'a> {
         cfg: &GpuConfig,
         id: WarpId,
     ) -> Self {
-        Self::new_instrumented(mem, shared, trace, cache, cfg, id, None, None, None, None)
+        Self::new_instrumented(
+            mem, shared, trace, cache, cfg, id, None, None, None, 0, None, None,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -120,6 +128,8 @@ impl<'a> WarpCtx<'a> {
         id: WarpId,
         san: Option<SanScope<'a>>,
         prof: Option<&'a mut Profiler>,
+        anl: Option<&'a mut Analyzer>,
+        epoch: u32,
         fault: Option<&'a mut Option<SimtError>>,
         chaos: Option<&'a mut AtomicDropPlan>,
     ) -> Self {
@@ -132,6 +142,8 @@ impl<'a> WarpCtx<'a> {
             id,
             san,
             prof,
+            anl,
+            epoch,
             fault,
             budget: cfg.watchdog.max_instructions,
             chaos,
@@ -273,6 +285,9 @@ impl<'a> WarpCtx<'a> {
             return Mask::NONE;
         }
         self.check_empty_mask(mask, "ballot", site);
+        if let Some(anl) = self.anl.as_deref_mut() {
+            anl.collective(self.id, "ballot", site, mask.count(), (pred & mask).count());
+        }
         self.push_alu(mask);
         pred & mask
     }
@@ -286,6 +301,9 @@ impl<'a> WarpCtx<'a> {
             return false;
         }
         self.check_empty_mask(mask, "any", site);
+        if let Some(anl) = self.anl.as_deref_mut() {
+            anl.collective(self.id, "any", site, mask.count(), (pred & mask).count());
+        }
         self.push_alu(mask);
         (pred & mask).any()
     }
@@ -299,6 +317,9 @@ impl<'a> WarpCtx<'a> {
             return false;
         }
         self.check_empty_mask(mask, "all", site);
+        if let Some(anl) = self.anl.as_deref_mut() {
+            anl.collective(self.id, "all", site, mask.count(), (pred & mask).count());
+        }
         self.push_alu(mask);
         (pred & mask) == mask
     }
@@ -331,6 +352,15 @@ impl<'a> WarpCtx<'a> {
             }
             for _ in 0..new {
                 self.trace.ops.push(Op::San);
+            }
+        }
+        if self.anl.is_some()
+            && mask
+                .iter()
+                .any(|l| !mask.get(src.get(l) as usize % WARP_SIZE))
+        {
+            if let Some(anl) = self.anl.as_deref_mut() {
+                anl.divergent_shuffle(self.id, "shfl", site);
             }
         }
         Lanes::from_fn(|l| {
@@ -371,6 +401,13 @@ impl<'a> WarpCtx<'a> {
             };
             for _ in 0..new {
                 self.trace.ops.push(Op::San);
+            }
+        }
+        if let Some(anl) = self.anl.as_deref_mut() {
+            if mask.any() {
+                anl.divergent_shuffle(self.id, "shfl_bcast", site);
+            } else {
+                anl.empty_collective(self.id, "shfl_bcast", site);
             }
         }
         Lanes::splat(T::default())
@@ -515,6 +552,16 @@ impl<'a> WarpCtx<'a> {
                 self.trace.ops.push(Op::San);
             }
         }
+        if self.anl.is_some()
+            && (0..WARP_SIZE / width).any(|seg| {
+                let base = seg * width;
+                !mask.get(base) && (base..base + width).any(|l| mask.get(l))
+            })
+        {
+            if let Some(anl) = self.anl.as_deref_mut() {
+                anl.divergent_shuffle(self.id, "seg_bcast", site);
+            }
+        }
         Lanes::from_fn(|l| {
             let base = l / width * width;
             if mask.get(base) {
@@ -563,12 +610,14 @@ impl<'a> WarpCtx<'a> {
         self.prof_note(site, "ld", op);
         if let Some(scope) = &mut self.san {
             let epoch = scope.shadow.epoch;
+            let distinct = distinct_addrs(mask.iter().map(|l| ptr.byte_addr(idx.get(l))));
             scope.san.coalesce_sample(
                 self.id,
                 "ld",
                 site,
                 mask.count(),
                 tx as u32,
+                distinct,
                 self.segment_bytes / 4,
             );
             let mut new = 0;
@@ -583,6 +632,16 @@ impl<'a> WarpCtx<'a> {
                 self.trace.ops.push(Op::San);
             }
         }
+        self.anl_global(
+            mask,
+            ptr,
+            idx,
+            None,
+            AccessKind::Read,
+            "ld",
+            site,
+            Some(tx as u32),
+        );
         let mut out = Lanes::splat(T::default());
         for l in mask.iter() {
             out.set(l, self.mem.read(ptr, idx.get(l)));
@@ -616,12 +675,14 @@ impl<'a> WarpCtx<'a> {
         self.prof_note(site, "st", op);
         if let Some(scope) = &mut self.san {
             let epoch = scope.shadow.epoch;
+            let distinct = distinct_addrs(mask.iter().map(|l| ptr.byte_addr(idx.get(l))));
             scope.san.coalesce_sample(
                 self.id,
                 "st",
                 site,
                 mask.count(),
                 tx as u32,
+                distinct,
                 self.segment_bytes / 4,
             );
             let mut new = 0;
@@ -649,6 +710,16 @@ impl<'a> WarpCtx<'a> {
                 self.trace.ops.push(Op::San);
             }
         }
+        self.anl_global(
+            mask,
+            ptr,
+            idx,
+            Some(vals),
+            AccessKind::Write,
+            "st",
+            site,
+            Some(tx as u32),
+        );
         for l in mask.iter() {
             self.mem.write(ptr, idx.get(l), vals.get(l));
         }
@@ -713,6 +784,16 @@ impl<'a> WarpCtx<'a> {
                 self.trace.ops.push(Op::San);
             }
         }
+        self.anl_global(
+            mask,
+            ptr,
+            idx,
+            None,
+            AccessKind::Read,
+            "ld_cached",
+            site,
+            None,
+        );
         let mut out = Lanes::splat(T::default());
         for l in mask.iter() {
             out.set(l, self.mem.read(ptr, idx.get(l)));
@@ -749,6 +830,7 @@ impl<'a> WarpCtx<'a> {
                 self.trace.ops.push(Op::San);
             }
         }
+        self.anl_global_scalar(mask, ptr, idx, None, AccessKind::Read, "ld_uniform", site);
         self.mem.read(ptr, idx)
     }
 
@@ -785,6 +867,15 @@ impl<'a> WarpCtx<'a> {
                 self.trace.ops.push(Op::San);
             }
         }
+        self.anl_global_scalar(
+            mask,
+            ptr,
+            idx,
+            Some(v),
+            AccessKind::Write,
+            "st_uniform",
+            site,
+        );
         self.mem.write(ptr, idx, v);
     }
 
@@ -942,6 +1033,15 @@ impl<'a> WarpCtx<'a> {
                 self.trace.ops.push(Op::San);
             }
         }
+        self.anl_global_scalar(
+            mask,
+            ptr,
+            idx,
+            None,
+            AccessKind::Atomic,
+            "atomic_add_uniform",
+            site,
+        );
         let old = self.mem.read(ptr, idx);
         let dropped = self.chaos.as_mut().is_some_and(|plan| plan.should_drop());
         if !dropped {
@@ -1004,12 +1104,14 @@ impl<'a> WarpCtx<'a> {
     ) {
         if let Some(scope) = &mut self.san {
             let epoch = scope.shadow.epoch;
+            let distinct = distinct_addrs(mask.iter().map(|l| ptr.byte_addr(idx.get(l))));
             scope.san.coalesce_sample(
                 self.id,
                 op,
                 site,
                 mask.count(),
                 tx as u32,
+                distinct,
                 self.segment_bytes / 4,
             );
             let mut new = 0;
@@ -1027,6 +1129,16 @@ impl<'a> WarpCtx<'a> {
                 self.trace.ops.push(Op::San);
             }
         }
+        self.anl_global(
+            mask,
+            ptr,
+            idx,
+            None,
+            AccessKind::Atomic,
+            op,
+            site,
+            Some(tx as u32),
+        );
     }
 
     // ------------------------------------------------------------ shared mem
@@ -1066,6 +1178,7 @@ impl<'a> WarpCtx<'a> {
                 self.trace.ops.push(Op::San);
             }
         }
+        self.anl_shared(mask, ptr, idx, None, AccessKind::Read, "sh_ld", site, cost);
         let mut out = Lanes::splat(T::default());
         for l in mask.iter() {
             out.set(l, T::from_word(self.shared.word(ptr.word_of(idx.get(l)))));
@@ -1110,6 +1223,16 @@ impl<'a> WarpCtx<'a> {
                 self.trace.ops.push(Op::San);
             }
         }
+        self.anl_shared(
+            mask,
+            ptr,
+            idx,
+            Some(vals),
+            AccessKind::Write,
+            "sh_st",
+            site,
+            cost,
+        );
         for l in mask.iter() {
             let w = ptr.word_of(idx.get(l));
             self.shared.set_word(w, vals.get(l).to_word());
@@ -1117,6 +1240,150 @@ impl<'a> WarpCtx<'a> {
     }
 
     // ---------------------------------------------------------------- private
+
+    /// Hand one lane-wise global access to the static analyzer: absolute
+    /// word addresses, stored bit patterns, and validity of the words read,
+    /// all sampled at the same moment the sanitizer would observe them.
+    #[allow(clippy::too_many_arguments)]
+    fn anl_global<T: DeviceWord>(
+        &mut self,
+        mask: Mask,
+        ptr: DevPtr<T>,
+        idx: &Lanes<u32>,
+        vals: Option<&Lanes<T>>,
+        kind: AccessKind,
+        op: &'static str,
+        site: &'static Location<'static>,
+        coalesce_tx: Option<u32>,
+    ) {
+        if self.anl.is_none() {
+            return;
+        }
+        let mut addrs = [(0usize, 0i64); WARP_SIZE];
+        let mut values = [(0usize, 0i64); WARP_SIZE];
+        let mut n = 0usize;
+        let mut invalid = 0u32;
+        for l in mask.iter() {
+            let w = ptr.base() + idx.get(l);
+            addrs[n] = (l, w as i64);
+            if let Some(v) = vals {
+                values[n] = (l, v.get(l).to_word() as i64);
+            }
+            if kind == AccessKind::Read && !self.mem.word_valid(w) {
+                invalid += 1;
+            }
+            n += 1;
+        }
+        let coalesce = coalesce_tx.map(|tx| {
+            (
+                tx,
+                distinct_addrs(mask.iter().map(|l| ptr.byte_addr(idx.get(l)))),
+            )
+        });
+        if let Some(anl) = self.anl.as_deref_mut() {
+            anl.mem_access(MemObs {
+                id: self.id,
+                epoch: self.epoch,
+                kind,
+                space: Space::Global,
+                op,
+                site,
+                addrs: &addrs[..n],
+                values: vals.map(|_| &values[..n]),
+                lane_span: mask.span(),
+                invalid,
+                coalesce,
+                segment_words: self.segment_bytes / 4,
+                bank_cost: 1,
+            });
+        }
+    }
+
+    /// Hand one uniform (scalar-index) global access to the analyzer as a
+    /// single leader-lane observation.
+    #[allow(clippy::too_many_arguments)]
+    fn anl_global_scalar<T: DeviceWord>(
+        &mut self,
+        mask: Mask,
+        ptr: DevPtr<T>,
+        idx: u32,
+        val: Option<T>,
+        kind: AccessKind,
+        op: &'static str,
+        site: &'static Location<'static>,
+    ) {
+        if self.anl.is_none() {
+            return;
+        }
+        let lane = mask.leader().unwrap_or(0);
+        let w = ptr.base() + idx;
+        let invalid = (kind == AccessKind::Read && !self.mem.word_valid(w)) as u32;
+        let addrs = [(lane, w as i64)];
+        let values = val.map(|v| [(lane, v.to_word() as i64)]);
+        if let Some(anl) = self.anl.as_deref_mut() {
+            anl.mem_access(MemObs {
+                id: self.id,
+                epoch: self.epoch,
+                kind,
+                space: Space::Global,
+                op,
+                site,
+                addrs: &addrs,
+                values: values.as_ref().map(|a| &a[..]),
+                lane_span: Some((lane, lane)),
+                invalid,
+                coalesce: None,
+                segment_words: self.segment_bytes / 4,
+                bank_cost: 1,
+            });
+        }
+    }
+
+    /// Hand one lane-wise shared access to the analyzer (which keeps its
+    /// own per-block valid-bit shadow).
+    #[allow(clippy::too_many_arguments)]
+    fn anl_shared<T: DeviceWord>(
+        &mut self,
+        mask: Mask,
+        ptr: SharedPtr<T>,
+        idx: &Lanes<u32>,
+        vals: Option<&Lanes<T>>,
+        kind: AccessKind,
+        op: &'static str,
+        site: &'static Location<'static>,
+        bank_cost: u32,
+    ) {
+        if self.anl.is_none() {
+            return;
+        }
+        let mut addrs = [(0usize, 0i64); WARP_SIZE];
+        let mut values = [(0usize, 0i64); WARP_SIZE];
+        let mut n = 0usize;
+        for l in mask.iter() {
+            addrs[n] = (l, (ptr.base() + idx.get(l)) as i64);
+            if let Some(v) = vals {
+                values[n] = (l, v.get(l).to_word() as i64);
+            }
+            n += 1;
+        }
+        if let Some(anl) = self.anl.as_deref_mut() {
+            anl.mem_access(MemObs {
+                id: self.id,
+                epoch: self.epoch,
+                kind,
+                space: Space::Shared,
+                op,
+                site,
+                addrs: &addrs[..n],
+                values: vals.map(|_| &values[..n]),
+                lane_span: mask.span(),
+                invalid: 0,
+                coalesce: None,
+                segment_words: self.segment_bytes / 4,
+                bank_cost,
+            });
+        }
+    }
 
     /// Route a fault to the launch's fault slot (keeping the first), or —
     /// for bare test contexts with no slot — abort like the hardware would.
@@ -1209,6 +1476,9 @@ impl<'a> WarpCtx<'a> {
                 self.trace.ops.push(Op::San);
             }
         }
+        if let Some(anl) = self.anl.as_deref_mut() {
+            anl.empty_collective(self.id, op, site);
+        }
     }
 
     /// Bounds-check a lane-wise global access. With the sanitizer on,
@@ -1229,6 +1499,9 @@ impl<'a> WarpCtx<'a> {
             let i = idx.get(l);
             if i < ptr.len() {
                 continue;
+            }
+            if let Some(anl) = self.anl.as_deref_mut() {
+                anl.oob(self.id, Space::Global, op, site);
             }
             match &mut self.san {
                 Some(scope) => {
@@ -1270,6 +1543,9 @@ impl<'a> WarpCtx<'a> {
             return true;
         }
         let lane = mask.leader().unwrap_or(0);
+        if let Some(anl) = self.anl.as_deref_mut() {
+            anl.oob(self.id, Space::Global, op, site);
+        }
         match &mut self.san {
             Some(scope) => {
                 let new = scope
@@ -1311,6 +1587,9 @@ impl<'a> WarpCtx<'a> {
                 continue;
             }
             let bank = (ptr.base().wrapping_add(i)) % NUM_BANKS as u32;
+            if let Some(anl) = self.anl.as_deref_mut() {
+                anl.oob(self.id, Space::Shared, op, site);
+            }
             match &mut self.san {
                 Some(scope) => {
                     let new = scope

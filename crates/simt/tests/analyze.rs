@@ -1,0 +1,329 @@
+//! Integration tests for the static analyzer: observational transparency,
+//! seeded-hazard mutation coverage, and prediction cross-checks against the
+//! dynamic trace models — all through the public `Gpu` API.
+
+use maxwarp_simt::analyze::{AbsVal, FindKind, Space};
+use maxwarp_simt::{BlockCtx, Gpu, GpuConfig, Lanes, Mask, Severity, TaskSchedule};
+
+fn analyzing_gpu() -> Gpu {
+    let mut cfg = GpuConfig::tiny_test();
+    cfg.analyze = true;
+    Gpu::new(cfg)
+}
+
+/// The analyzer is an observer: stats, cycles, and memory are identical
+/// with it on or off.
+#[test]
+fn analysis_leaves_stats_byte_identical() {
+    let run = |mut g: Gpu| {
+        let out = g.mem.alloc::<u32>(64);
+        let stats = g
+            .launch(2, 64, &|b: &mut BlockCtx<'_>| {
+                let sp = b.shared_alloc::<u32>(64);
+                b.phase(|w| {
+                    let tid = w.global_thread_ids();
+                    let m = w.lt_scalar(Mask::FULL, &tid, 64);
+                    let ids = w.lane_ids();
+                    w.sh_st(m, sp, &ids, &tid);
+                    let v = w.sh_ld(m, sp, &ids);
+                    w.st(m, out, &tid, &v);
+                    let even = w.alu_pred(m, &v, |x| x % 2 == 0);
+                    let _ = w.ballot(m, even);
+                    w.atomic_add(m, out, &Lanes::splat(0), &Lanes::splat(1u32));
+                });
+                b.barrier();
+                b.phase(|w| {
+                    let tid = w.global_thread_ids();
+                    let m = w.lt_scalar(Mask::FULL, &tid, 64);
+                    let _ = w.ld(m, out, &tid);
+                });
+            })
+            .unwrap();
+        (stats, g.mem.download(out))
+    };
+    let (plain, mem_plain) = run(Gpu::new(GpuConfig::tiny_test()));
+    let (analyzed, mem_anl) = run(analyzing_gpu());
+    assert_eq!(plain, analyzed, "analysis must not perturb KernelStats");
+    assert_eq!(mem_plain, mem_anl, "analysis must not perturb memory");
+}
+
+/// Mutation test: seed a definite cross-agent race (every warp of a block
+/// stores its own warp id to one fixed word) and assert the analyzer
+/// reports it at error severity.
+#[test]
+fn seeded_cross_warp_race_is_caught() {
+    let mut g = analyzing_gpu();
+    let out = g.mem.alloc::<u32>(4);
+    g.launch(1, 128, &|b: &mut BlockCtx<'_>| {
+        b.phase(|w| {
+            // All four warps write different values to word 0, no barrier.
+            w.st_uniform(Mask::FULL, out, 0, w.id().warp_in_block);
+        });
+    })
+    .unwrap();
+    let anl = g.analyzer().expect("analyzer must be on");
+    assert!(
+        anl.has_errors(),
+        "seeded race must be an error:\n{}",
+        anl.report()
+    );
+    assert!(
+        anl.findings()
+            .iter()
+            .any(|f| f.kind == FindKind::DefiniteRace && f.severity == Severity::Error),
+        "expected a definite-race finding:\n{}",
+        anl.report()
+    );
+}
+
+/// Mutation test: the same definite race seeded across warp-task agents
+/// (every task stores its task id to one fixed word).
+#[test]
+fn seeded_cross_task_race_is_caught() {
+    let mut g = analyzing_gpu();
+    let out = g.mem.alloc::<u32>(4);
+    g.launch_warp_tasks(1, 64, 16, TaskSchedule::StaticBlocked, |w, task| {
+        w.st_uniform(Mask::FULL, out, 0, task);
+    })
+    .unwrap();
+    let anl = g.analyzer().expect("analyzer must be on");
+    assert!(
+        anl.findings()
+            .iter()
+            .any(|f| f.kind == FindKind::DefiniteRace),
+        "expected a definite-race finding:\n{}",
+        anl.report()
+    );
+    assert!(anl.has_errors());
+}
+
+/// Mutation test: reading shared memory nobody wrote is a definite
+/// uninitialized read (the analyzer keeps its own valid-bit shadow, so
+/// this works with the sanitizer off).
+#[test]
+fn seeded_uninit_shared_read_is_caught() {
+    let mut g = analyzing_gpu();
+    g.launch(1, 32, &|b: &mut BlockCtx<'_>| {
+        let sp = b.shared_alloc::<u32>(64);
+        b.phase(|w| {
+            let ids = w.lane_ids();
+            let _ = w.sh_ld(Mask::FULL, sp, &ids);
+        });
+    })
+    .unwrap();
+    let anl = g.analyzer().expect("analyzer must be on");
+    assert!(anl.has_errors());
+    assert!(
+        anl.findings()
+            .iter()
+            .any(|f| f.kind == FindKind::UninitShared && f.severity == Severity::Error),
+        "expected uninit-shared:\n{}",
+        anl.report()
+    );
+}
+
+/// Mutation test: removing the barrier between a cross-warp shared-memory
+/// producer and consumer degrades the proof — the analyzer must flag the
+/// unordered pair (may-race), where the barriered version is clean.
+#[test]
+fn missing_barrier_shared_hazard_is_caught() {
+    let run = |insert_barrier: bool| {
+        let mut g = analyzing_gpu();
+        g.launch(1, 64, &|b: &mut BlockCtx<'_>| {
+            let sp = b.shared_alloc::<u32>(32);
+            b.phase(|w| {
+                if w.id().warp_in_block == 0 {
+                    let ids = w.lane_ids();
+                    w.sh_st(Mask::FULL, sp, &ids, &ids);
+                }
+            });
+            if insert_barrier {
+                b.barrier();
+            }
+            b.phase(|w| {
+                if w.id().warp_in_block == 1 {
+                    let ids = w.lane_ids();
+                    let _ = w.sh_ld(Mask::FULL, sp, &ids);
+                }
+            });
+        })
+        .unwrap();
+        let anl = g.analyzer().expect("analyzer must be on");
+        anl.findings()
+            .iter()
+            .filter(|f| f.kind == FindKind::MayRace)
+            .count()
+    };
+    assert_eq!(run(true), 0, "barriered version must be race-free");
+    assert!(run(false) > 0, "unordered cross-warp pair must be flagged");
+}
+
+/// The affine summary joined across all warps and blocks predicts the same
+/// transaction count the trace-driven coalescing model measured.
+#[test]
+fn coalescing_prediction_matches_traced_transactions() {
+    let mut g = analyzing_gpu();
+    let n = 256u32;
+    let data = g.mem.alloc::<u32>(n);
+    // Unit stride: tid; strided: 8*lane (every lane its own segment slice).
+    let stats = g
+        .launch(2, 128, &|b: &mut BlockCtx<'_>| {
+            b.phase(|w| {
+                let tid = w.global_thread_ids();
+                let m = w.lt_scalar(Mask::FULL, &tid, n);
+                let v = w.ld(m, data, &tid);
+                w.st(m, data, &tid, &v);
+            });
+        })
+        .unwrap();
+    let anl = g.analyzer().expect("analyzer must be on");
+    let sites = anl.site_summaries();
+    let global: Vec<_> = sites.iter().filter(|s| s.space == Space::Global).collect();
+    assert!(!global.is_empty());
+    let mut predicted = 0u64;
+    let mut accesses = 0u64;
+    for s in &global {
+        let tx = s
+            .predicted_tx()
+            .expect("unit-stride sites must stay affine");
+        // tiny_test uses 128 B segments; tid over a full warp is one segment.
+        assert_eq!(tx, 1, "site {}", s.site);
+        predicted += tx as u64 * s.obs;
+        accesses += s.obs;
+    }
+    // Every access was one predicted transaction; the trace agrees.
+    assert_eq!(predicted, accesses);
+    assert_eq!(stats.mem_transactions, predicted);
+}
+
+/// A deliberately strided access pattern is predicted at full serialization
+/// and flagged by the coalescing lint, matching the dynamic accounting.
+#[test]
+fn strided_access_prediction_and_lint() {
+    let mut g = analyzing_gpu();
+    let n = 32 * 32u32;
+    let data = g.mem.alloc::<u32>(n);
+    g.launch(1, 32, &|b: &mut BlockCtx<'_>| {
+        b.phase(|w| {
+            // addr = 32·lane: one 128 B segment per lane.
+            let ids = w.lane_ids();
+            let idx = w.alu1(Mask::FULL, &ids, |l| l * 32);
+            for _ in 0..8 {
+                let v = w.ld(Mask::FULL, data, &idx);
+                w.st(Mask::FULL, data, &idx, &v);
+            }
+        });
+    })
+    .unwrap();
+    let anl = g.analyzer().expect("analyzer must be on");
+    for s in anl.site_summaries() {
+        let AbsVal::Affine(f) = s.addr.value().expect("observed") else {
+            panic!("strided site must stay affine");
+        };
+        assert_eq!(f.lane, 32, "site {}", s.site);
+        assert_eq!(s.predicted_tx(), Some(32));
+    }
+    assert!(
+        anl.findings()
+            .iter()
+            .any(|f| f.kind == FindKind::Coalescing),
+        "stride-32 site must trip the coalescing lint:\n{}",
+        anl.report()
+    );
+}
+
+/// Shared-memory bank-conflict prediction from the affine form matches the
+/// bank model, and the conflict lint fires on a seeded stride-32 pattern.
+#[test]
+fn bank_conflict_prediction_and_lint() {
+    let mut g = analyzing_gpu();
+    g.launch(1, 32, &|b: &mut BlockCtx<'_>| {
+        let sp = b.shared_alloc::<u32>(32 * 32);
+        b.phase(|w| {
+            // word = 32·lane: all lanes in bank 0.
+            let ids = w.lane_ids();
+            let idx = w.alu1(Mask::FULL, &ids, |l| l * 32);
+            w.sh_st(Mask::FULL, sp, &idx, &idx);
+            let _ = w.sh_ld(Mask::FULL, sp, &idx);
+        });
+    })
+    .unwrap();
+    let anl = g.analyzer().expect("analyzer must be on");
+    let shared: Vec<_> = anl
+        .site_summaries()
+        .into_iter()
+        .filter(|s| s.space == Space::Shared)
+        .collect();
+    assert!(!shared.is_empty());
+    for s in &shared {
+        assert_eq!(s.predicted_bank_cost(), Some(32), "site {}", s.site);
+    }
+    assert!(
+        anl.findings()
+            .iter()
+            .any(|f| f.kind == FindKind::BankConflict),
+        "stride-32 shared access must trip the bank lint:\n{}",
+        anl.report()
+    );
+}
+
+/// A ballot whose predicate is uniform in every observation is flagged as
+/// redundant; a genuinely divergent ballot is not.
+#[test]
+fn redundant_ballot_lint() {
+    let run = |divergent: bool| {
+        let mut g = analyzing_gpu();
+        g.launch(1, 32, &|b: &mut BlockCtx<'_>| {
+            b.phase(|w| {
+                let ids = w.lane_ids();
+                for _ in 0..10 {
+                    let p = if divergent {
+                        w.alu_pred(Mask::FULL, &ids, |l| l % 2 == 0)
+                    } else {
+                        w.alu_pred(Mask::FULL, &ids, |_| true)
+                    };
+                    let _ = w.ballot(Mask::FULL, p);
+                }
+            });
+        })
+        .unwrap();
+        let anl = g.analyzer().expect("analyzer must be on");
+        anl.findings()
+            .iter()
+            .any(|f| f.kind == FindKind::RedundantBallot)
+    };
+    assert!(run(false), "uniform ballot must be flagged");
+    assert!(!run(true), "divergent ballot must not be flagged");
+}
+
+/// `MAXWARP_ANALYZE=1` forces the analyzer on; `cfg.analyze` off keeps the
+/// accessor empty.
+#[test]
+fn analyzer_accessor_tracks_config() {
+    let g = Gpu::new(GpuConfig::tiny_test());
+    assert!(g.analyzer().is_none());
+    let g = analyzing_gpu();
+    assert!(g.analyzer().is_some());
+}
+
+/// Uninitialized *global* reads are a warning (may-uninit) — level kernels
+/// legitimately read freshly allocated buffers they then overwrite — and
+/// shipped-kernel style code stays error-free.
+#[test]
+fn global_uninit_read_is_warning_not_error() {
+    let mut g = analyzing_gpu();
+    let data = g.mem.alloc::<u32>(64);
+    g.launch(1, 32, &|b: &mut BlockCtx<'_>| {
+        b.phase(|w| {
+            let ids = w.lane_ids();
+            let _ = w.ld(Mask::FULL, data, &ids);
+        });
+    })
+    .unwrap();
+    let anl = g.analyzer().expect("analyzer must be on");
+    assert!(!anl.has_errors(), "{}", anl.report());
+    assert!(anl
+        .findings()
+        .iter()
+        .any(|f| f.kind == FindKind::MayUninit && f.severity == Severity::Warning));
+}

@@ -68,6 +68,60 @@ proptest! {
         }
     }
 
+    // Branch partition identity: a divergent branch splits the active mask
+    // into taken/not-taken halves whose union reconverges to exactly the
+    // original mask, with no lane on both sides. This is the invariant the
+    // SIMT reconvergence stack relies on, for every mask including the
+    // empty-mask and full-warp-uniform edge cases.
+    #[test]
+    fn mask_branch_partition_reconverges(m in arb_mask(), c in arb_mask()) {
+        let taken = m & c;
+        let fallthrough = m & !c;
+        prop_assert_eq!(taken | fallthrough, m);
+        prop_assert_eq!(taken & fallthrough, Mask::NONE);
+        // Uniform branch (all active lanes agree): one side is empty and
+        // the other is the whole mask — no divergence to reconverge.
+        let uniform_taken = m & Mask::FULL;
+        let uniform_fallthrough = m & !Mask::FULL;
+        prop_assert_eq!(uniform_taken, m);
+        prop_assert_eq!(uniform_fallthrough, Mask::NONE);
+    }
+
+    // Nested divergence: re-splitting a branch side stays inside it, and
+    // the inner partition reconverges to the outer mask level by level.
+    #[test]
+    fn mask_nested_divergence_restores_each_level(m in arb_mask(), c1 in arb_mask(), c2 in arb_mask()) {
+        let outer = m & c1;
+        let inner_t = outer & c2;
+        let inner_f = outer & !c2;
+        prop_assert_eq!(inner_t & outer, inner_t, "inner stays inside outer");
+        prop_assert_eq!(inner_t | inner_f, outer, "inner partition reconverges");
+        prop_assert_eq!((inner_t | inner_f) | (m & !c1), m, "outer partition reconverges");
+        // An empty outer side forces both inner sides empty.
+        if outer == Mask::NONE {
+            prop_assert_eq!(inner_t, Mask::NONE);
+            prop_assert_eq!(inner_f, Mask::NONE);
+        }
+    }
+
+    // span() is the tight active-lane interval: both endpoints active,
+    // nothing active outside, and None exactly for the empty mask.
+    #[test]
+    fn mask_span_is_tight(m in arb_mask()) {
+        match m.span() {
+            None => prop_assert_eq!(m, Mask::NONE),
+            Some((lo, hi)) => {
+                prop_assert!(lo <= hi && hi < 32);
+                prop_assert!(m.get(lo) && m.get(hi));
+                for l in 0..32 {
+                    if m.get(l) {
+                        prop_assert!(lo <= l && l <= hi);
+                    }
+                }
+            }
+        }
+    }
+
     // --------------------------------------------------------- coalescing
 
     #[test]
