@@ -1,0 +1,182 @@
+//! `tool_bench` — the pinned perf-trajectory suite.
+//!
+//! Runs the three fixed benchmarks from [`maxwarp_bench::bench_suite`]
+//! (fig2 sweep wall-clock, serve req/s + latency quantiles, per-kernel
+//! simulator throughput), validates each document against the pinned
+//! schema, and writes `BENCH_fig2.json` / `BENCH_serve.json` /
+//! `BENCH_simt.json` — committed at the repo root so performance over time
+//! is reviewable history.
+//!
+//! ```text
+//! tool_bench [--suite fig2|serve|simt|all] [--scale tiny|small|medium]
+//!            [--requests N] [--seed S] [--out-dir DIR]
+//!            [--compare DIR] [--tolerance PCT] [--sim-only]
+//! ```
+//!
+//! Defaults: all suites, tiny scale, 120 serve requests, out-dir `.`.
+//! With `--compare DIR`, each fresh document is gated against
+//! `DIR/BENCH_<suite>.json`; any pinned metric more than `--tolerance`
+//! percent (default 10) worse than the baseline exits nonzero.
+//! `--sim-only` restricts the gate to deterministic simulated metrics
+//! (speedups, cycles, hit rate) — the right mode when the baseline came
+//! from different hardware (CI gating against committed snapshots);
+//! without it wall-clock metrics (req/s, ops/sec, sweep seconds) are
+//! gated too, which only makes sense on the machine that produced the
+//! baseline.
+
+use maxwarp_bench::bench_suite::{
+    bench_fig2, bench_filename, bench_serve, bench_simt, compare, validate, BenchConfig, SUITES,
+};
+use maxwarp_graph::Scale;
+use maxwarp_serve::json::{self, Value};
+use std::path::PathBuf;
+
+struct Args {
+    suites: Vec<&'static str>,
+    cfg: BenchConfig,
+    out_dir: PathBuf,
+    compare_dir: Option<PathBuf>,
+    tolerance: f64,
+    sim_only: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        suites: SUITES.to_vec(),
+        cfg: BenchConfig::default(),
+        out_dir: PathBuf::from("."),
+        compare_dir: None,
+        tolerance: 10.0,
+        sim_only: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut val = || {
+            argv.next()
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--suite" => {
+                let v = val();
+                a.suites = match v.as_str() {
+                    "all" => SUITES.to_vec(),
+                    other => match SUITES.iter().find(|s| **s == other) {
+                        Some(s) => vec![*s],
+                        None => die(&format!("unknown suite {other}")),
+                    },
+                };
+            }
+            "--scale" => {
+                a.cfg.scale = match val().to_ascii_lowercase().as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "medium" => Scale::Medium,
+                    other => die(&format!("unknown scale {other}")),
+                }
+            }
+            "--requests" => a.cfg.requests = parse(&val(), &flag),
+            "--seed" => a.cfg.seed = parse(&val(), &flag),
+            "--out-dir" => a.out_dir = PathBuf::from(val()),
+            "--compare" => a.compare_dir = Some(PathBuf::from(val())),
+            "--tolerance" => a.tolerance = parse(&val(), &flag),
+            "--sim-only" => a.sim_only = true,
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    a
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("bad value {s} for {flag}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("tool_bench: {msg}");
+    std::process::exit(2);
+}
+
+fn load_baseline(dir: &std::path::Path, suite: &str) -> Option<Value> {
+    let path = dir.join(bench_filename(suite));
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tool_bench: cannot read baseline {}: {e}", path.display());
+            return None;
+        }
+    };
+    match json::parse(&text) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!("tool_bench: bad baseline {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if std::fs::create_dir_all(&args.out_dir).is_err() {
+        die(&format!("cannot create {}", args.out_dir.display()));
+    }
+
+    let mut regressions: Vec<String> = Vec::new();
+    let mut baseline_errors = 0usize;
+    for suite in &args.suites {
+        println!("== tool_bench: {suite} (scale {:?}) ==", args.cfg.scale);
+        let doc = match *suite {
+            "fig2" => bench_fig2(&args.cfg),
+            "serve" => bench_serve(&args.cfg),
+            _ => bench_simt(&args.cfg),
+        };
+        if let Err(e) = validate(suite, &doc) {
+            die(&format!(
+                "generated {suite} document failed validation: {e}"
+            ));
+        }
+        let path = args.out_dir.join(bench_filename(suite));
+        if let Err(e) = std::fs::write(&path, doc.to_json()) {
+            die(&format!("cannot write {}: {e}", path.display()));
+        }
+        println!("wrote {}", path.display());
+
+        if let Some(dir) = &args.compare_dir {
+            match load_baseline(dir, suite) {
+                Some(base) => {
+                    if let Err(e) = validate(suite, &base) {
+                        eprintln!("tool_bench: baseline {suite} failed validation: {e}");
+                        baseline_errors += 1;
+                        continue;
+                    }
+                    let bad = compare(suite, &doc, &base, args.tolerance, args.sim_only);
+                    if bad.is_empty() {
+                        println!(
+                            "compare vs {}: ok (tolerance {:.1}%{})",
+                            dir.display(),
+                            args.tolerance,
+                            if args.sim_only {
+                                ", simulated metrics only"
+                            } else {
+                                ""
+                            }
+                        );
+                    }
+                    for line in bad {
+                        println!("REGRESSION {line}");
+                        regressions.push(line);
+                    }
+                }
+                None => baseline_errors += 1,
+            }
+        }
+    }
+
+    if !regressions.is_empty() || baseline_errors > 0 {
+        eprintln!(
+            "tool_bench: {} regression(s), {} unusable baseline(s)",
+            regressions.len(),
+            baseline_errors
+        );
+        std::process::exit(1);
+    }
+}

@@ -16,6 +16,7 @@
 //! simulator and baselines; the figure binaries report *simulated* GPU
 //! cycles.
 
+pub mod bench_suite;
 pub mod experiments;
 pub mod harness;
 pub mod util;

@@ -1,0 +1,317 @@
+//! Log-bucketed latency histograms with exact merge semantics.
+//!
+//! Values (microseconds, cycles, bytes — any `u64`) land in log₂ buckets
+//! with 16 linear sub-buckets per octave: relative quantile error is at
+//! most 1/16 = 6.25 %, buckets 0–15 are exact, and the whole table is 976
+//! buckets (≈ 8 KB of atomics per histogram).
+//!
+//! The shared [`Histogram`] records with relaxed atomics — no locks, no
+//! allocation, safe from any thread. A [`HistSnapshot`] is the plain-data
+//! copy used for quantile queries and merging. **Merge is bucket-wise
+//! addition**, so it is associative and commutative, and the quantiles of
+//! a merged snapshot are exactly the quantiles of one histogram that had
+//! recorded every underlying sample — the property that lets per-worker or
+//! per-algorithm histograms roll up into totals without approximation
+//! beyond the fixed bucket width.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: 2^4 = 16 linear sub-buckets per octave.
+const SUB_LOG2: u32 = 4;
+const SUB: u64 = 1 << SUB_LOG2;
+
+/// Total bucket count for the full `u64` range: 16 exact buckets plus 60
+/// octaves (msb 4..=63) of 16 sub-buckets each.
+pub const BUCKETS: usize = (SUB + (64 - SUB_LOG2 as u64) * SUB) as usize;
+
+/// Bucket index of a value. Values below 16 get exact buckets; larger
+/// values share an octave-relative bucket of width `2^(msb-4)`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros() as u64;
+        let sub = (v >> (msb - SUB_LOG2 as u64)) - SUB;
+        (SUB + (msb - SUB_LOG2 as u64) * SUB + sub) as usize
+    }
+}
+
+/// Inclusive lower bound of a bucket.
+#[inline]
+pub fn bucket_lower(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB {
+        idx
+    } else {
+        let rel = idx - SUB;
+        let octave = rel / SUB + SUB_LOG2 as u64;
+        let sub = rel % SUB;
+        (SUB + sub) << (octave - SUB_LOG2 as u64)
+    }
+}
+
+/// Inclusive upper bound of a bucket.
+#[inline]
+pub fn bucket_upper(idx: usize) -> u64 {
+    if (idx as u64) < SUB {
+        idx as u64
+    } else {
+        let rel = idx as u64 - SUB;
+        let octave = rel / SUB + SUB_LOG2 as u64;
+        let width = 1u64 << (octave - SUB_LOG2 as u64);
+        bucket_lower(idx) + (width - 1)
+    }
+}
+
+/// Shared, thread-safe histogram. All updates are relaxed atomics.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation. Lock-free: three relaxed adds and one
+    /// relaxed max.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Plain-data copy for quantile queries and merging.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`]: quantiles, mean, merge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot::empty()
+    }
+}
+
+impl HistSnapshot {
+    pub fn empty() -> HistSnapshot {
+        HistSnapshot {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Record into a snapshot directly (single-threaded use, e.g. tests and
+    /// report assembly).
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Bucket-wise merge: exactly equivalent to having recorded `other`'s
+    /// samples into `self`. Associative and commutative.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Nearest-rank quantile (`p` in 0..=100). The returned value is the
+    /// upper bound of the target rank's bucket, clamped to the observed
+    /// maximum — monotone in `p`, exact for values below 16 and for the
+    /// p100/max case, within 6.25 % otherwise. 0 when empty.
+    pub fn quantile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let target = target.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_upper(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Truncating mean; 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// `(p50, p95, p99)` in one call — the serving summary.
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (
+            self.quantile(50.0),
+            self.quantile(95.0),
+            self.quantile(99.0),
+        )
+    }
+
+    /// Cumulative `(upper_bound, cumulative_count)` pairs over non-empty
+    /// buckets — the Prometheus `le` series.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                cum += n;
+                out.push((bucket_upper(idx), cum));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for v in 0..16usize {
+            assert_eq!(s.buckets[v], 1, "bucket {v}");
+        }
+        assert_eq!(s.quantile(100.0), 15);
+        assert_eq!(s.count, 16);
+        assert_eq!(s.sum, 120);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_u64() {
+        // Every bucket's upper + 1 is the next bucket's lower.
+        for idx in 0..BUCKETS - 1 {
+            assert_eq!(
+                bucket_upper(idx) + 1,
+                bucket_lower(idx + 1),
+                "gap or overlap at bucket {idx}"
+            );
+        }
+        assert_eq!(bucket_lower(0), 0);
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn index_respects_bounds() {
+        for v in [
+            0,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            1000,
+            123_456_789,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let idx = bucket_index(v);
+            assert!(
+                bucket_lower(idx) <= v && v <= bucket_upper(idx),
+                "v={v} idx={idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_error_bounded() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for (p, exact) in [(50.0, 5000u64), (95.0, 9500), (99.0, 9900)] {
+            let got = s.quantile(p);
+            let err = (got as f64 - exact as f64).abs() / exact as f64;
+            assert!(err <= 0.0625, "p{p}: got {got}, exact {exact}, err {err}");
+            assert!(got >= exact, "upper-bound semantics: p{p} {got} < {exact}");
+        }
+        assert_eq!(s.quantile(100.0), 10_000, "p100 is the exact max");
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = HistSnapshot::empty();
+        let mut b = HistSnapshot::empty();
+        let mut union = HistSnapshot::empty();
+        for v in [3u64, 17, 900, 17, 65_535] {
+            a.record(v);
+            union.record(v);
+        }
+        for v in [1u64, 1_000_000, 42] {
+            b.record(v);
+            union.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, union);
+    }
+
+    #[test]
+    fn empty_is_all_zero() {
+        let s = HistSnapshot::empty();
+        assert_eq!(s.quantile(50.0), 0);
+        assert_eq!(s.mean(), 0);
+        assert!(s.is_empty());
+        assert!(s.cumulative_buckets().is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! Tiny JSON *writer* for the registry/tracer exports.
+//!
+//! The workspace's serde is a vendored facade without derive codegen, and
+//! this crate sits below every other maxwarp crate, so it carries its own
+//! ~50-line emitter (same idiom as the profiler's exporter). Output is
+//! deterministic: callers pass pre-ordered pairs.
+
+use std::fmt::Write as _;
+
+/// Escape a string for a JSON string literal.
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `"key":` fragment.
+pub fn key(out: &mut String, k: &str) {
+    out.push('"');
+    out.push_str(&esc(k));
+    out.push_str("\":");
+}
+
+/// Append a `u64` losslessly (JSON numbers only hold 2^53; larger values
+/// are emitted as decimal strings so nothing silently rounds).
+pub fn u64v(out: &mut String, v: u64) {
+    if v < (1 << 53) {
+        let _ = write!(out, "{v}");
+    } else {
+        let _ = write!(out, "\"{v}\"");
+    }
+}
+
+/// Append an `f64` (finite → shortest repr, else null).
+pub fn f64v(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Append a quoted string value.
+pub fn strv(out: &mut String, v: &str) {
+    out.push('"');
+    out.push_str(&esc(v));
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_and_numbers() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let mut s = String::new();
+        u64v(&mut s, 7);
+        s.push(',');
+        u64v(&mut s, u64::MAX);
+        assert_eq!(s, format!("7,\"{}\"", u64::MAX));
+        let mut f = String::new();
+        f64v(&mut f, 1.5);
+        f.push(',');
+        f64v(&mut f, f64::NAN);
+        assert_eq!(f, "1.5,null");
+    }
+}

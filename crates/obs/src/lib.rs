@@ -1,0 +1,53 @@
+//! # maxwarp-obs — unified observability for the maxwarp stack
+//!
+//! The source paper's whole methodology is counter-driven: every figure is
+//! a measured trajectory. This crate gives the repo the same discipline at
+//! runtime — one registry of named metrics shared by the serving tier, the
+//! simulator, and the benchmark harness, plus a structured span tracer that
+//! follows a request end-to-end through the scheduler → batch → launch →
+//! cache pipeline.
+//!
+//! Three pieces:
+//!
+//! * **[`Registry`]** ([`registry`]) — monotonic counters, gauges (with
+//!   high-watermark semantics), and log-bucketed latency histograms.
+//!   Registration takes a short lock; every *update* afterwards is a
+//!   relaxed atomic on a pre-registered handle — the hot path is
+//!   lock-free. Exports as Prometheus text format and as a JSON snapshot.
+//! * **[`Histogram`]** ([`histogram`]) — log₂-bucketed with 16 sub-buckets
+//!   per octave (≤ 6.25 % relative quantile error). Merging snapshots is
+//!   bucket-wise addition, so `quantile(merge(a, b))` is *exactly* the
+//!   quantile of recording both sample sets into one histogram — merge is
+//!   associative and commutative by construction (proptested).
+//! * **[`Tracer`]** ([`span`]) — begin/finish spans with parent links and
+//!   key/value args; RAII guards close spans even when the traced code
+//!   panics (the serve executor is panic-isolated). Exports Chrome
+//!   trace-event JSON, the same format the simulator's profiler emits, so
+//!   serve spans and per-launch timelines load into one Perfetto view.
+//!
+//! A process-wide registry ([`global`]) carries the simulator-side counters
+//! (watchdog trips, chaos injections, sanitizer/analyzer findings); the
+//! serving tier builds one [`Registry`] per server so concurrent servers
+//! (tests) don't bleed into each other.
+//!
+//! Everything here is a **pure observer**: recording a metric or a span
+//! never changes simulation results — `KernelStats` stay byte-identical
+//! with observation on or off (asserted by `crates/serve/tests/
+//! obs_identity.rs`).
+//!
+//! ## Environment knobs
+//!
+//! | variable | effect |
+//! |---|---|
+//! | `MAXWARP_OBS` | `0`/`off` disables all metric recording (default on) |
+//! | `MAXWARP_OBS_TRACE` | `1` enables request span tracing in maxwarp-serve |
+//! | `MAXWARP_OBS_SPANS` | span buffer capacity (default 65536; excess spans are counted, not stored) |
+
+pub mod histogram;
+pub mod json;
+pub mod registry;
+pub mod span;
+
+pub use histogram::{HistSnapshot, Histogram, BUCKETS};
+pub use registry::{global, Counter, Gauge, HistogramHandle, Registry};
+pub use span::{ActiveSpan, Span, SpanId, Tracer};

@@ -1,0 +1,598 @@
+//! The metrics registry: named counters, gauges, and histograms.
+//!
+//! Design split: **registration** (name → handle) takes a mutex on a
+//! `BTreeMap`, once per metric per process/server — the cold path.
+//! **Updates** go through cloned handles ([`Counter`], [`Gauge`],
+//! [`HistogramHandle`]) that own an `Arc` to the underlying atomics — the
+//! hot path is relaxed atomic ops, no locks, no allocation.
+//!
+//! Labels are first-class: `counter_with("serve_tenant_requests_total",
+//! &[("tenant", "rmat")])` creates a distinct series per label set, keyed
+//! deterministically (labels sorted). Exports:
+//!
+//! * [`Registry::prometheus_text`] — Prometheus text exposition format
+//!   (counters/gauges as-is, histograms as `_bucket{le=…}` + `_sum` +
+//!   `_count` plus precomputed `quantile` series).
+//! * [`Registry::snapshot_json`] — a flat JSON snapshot for the repo's
+//!   hand-rolled report files.
+//!
+//! Recording can be disabled process- or server-wide
+//! ([`Registry::set_enabled`], `MAXWARP_OBS=0`): handles check one shared
+//! `AtomicBool` and skip the update — this is how the bench harness
+//! measures the registry's own overhead.
+
+use crate::histogram::{HistSnapshot, Histogram};
+use crate::json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Series key: metric name plus sorted label pairs.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct SeriesKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl SeriesKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        SeriesKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// `name{k="v",…}` (or bare name without labels).
+    fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let body: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", json::esc(v)))
+            .collect();
+        format!("{}{{{}}}", self.name, body.join(","))
+    }
+}
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Inner {
+    metrics: Mutex<BTreeMap<SeriesKey, Metric>>,
+    enabled: Arc<AtomicBool>,
+}
+
+/// A set of named metrics with lock-free updates through handles.
+#[derive(Clone)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    match m.lock() {
+        Ok(g) => g,
+        // Registration closures never panic; poisoning here means a bug in
+        // this module itself.
+        Err(_) => panic!("metrics registry lock poisoned"),
+    }
+}
+
+impl Registry {
+    /// An enabled, empty registry.
+    pub fn new() -> Registry {
+        Registry {
+            inner: Arc::new(Inner {
+                metrics: Mutex::new(BTreeMap::new()),
+                enabled: Arc::new(AtomicBool::new(true)),
+            }),
+        }
+    }
+
+    /// Whether handles record (shared by every handle from this registry).
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enable/disable recording for every handle of this registry.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Get-or-register a monotonic counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Get-or-register a labeled counter series.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = SeriesKey::new(name, labels);
+        let mut m = lock(&self.inner.metrics);
+        let metric = m
+            .entry(key)
+            .or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0))));
+        match metric {
+            Metric::Counter(c) => Counter {
+                cell: Arc::clone(c),
+                enabled: Arc::clone(&self.inner.enabled),
+            },
+            // Same name registered as a different kind: return a detached
+            // handle rather than corrupting the existing series.
+            _ => Counter::detached(),
+        }
+    }
+
+    /// Get-or-register a gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// Get-or-register a labeled gauge series.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = SeriesKey::new(name, labels);
+        let mut m = lock(&self.inner.metrics);
+        let metric = m
+            .entry(key)
+            .or_insert_with(|| Metric::Gauge(Arc::new(AtomicU64::new(0))));
+        match metric {
+            Metric::Gauge(g) => Gauge {
+                cell: Arc::clone(g),
+                enabled: Arc::clone(&self.inner.enabled),
+            },
+            _ => Gauge::detached(),
+        }
+    }
+
+    /// Get-or-register a histogram.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        self.histogram_with(name, &[])
+    }
+
+    /// Get-or-register a labeled histogram series.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> HistogramHandle {
+        let key = SeriesKey::new(name, labels);
+        let mut m = lock(&self.inner.metrics);
+        let metric = m
+            .entry(key)
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())));
+        match metric {
+            Metric::Histogram(h) => HistogramHandle {
+                hist: Arc::clone(h),
+                enabled: Arc::clone(&self.inner.enabled),
+            },
+            _ => HistogramHandle::detached(),
+        }
+    }
+
+    /// All counter/gauge series and their current values, key-sorted.
+    pub fn scalar_values(&self) -> Vec<(String, u64, bool)> {
+        lock(&self.inner.metrics)
+            .iter()
+            .filter_map(|(k, m)| match m {
+                Metric::Counter(c) => Some((k.render(), c.load(Ordering::Relaxed), true)),
+                Metric::Gauge(g) => Some((k.render(), g.load(Ordering::Relaxed), false)),
+                Metric::Histogram(_) => None,
+            })
+            .collect()
+    }
+
+    /// All histogram series snapshots, key-sorted.
+    pub fn histogram_values(&self) -> Vec<(String, HistSnapshot)> {
+        lock(&self.inner.metrics)
+            .iter()
+            .filter_map(|(k, m)| match m {
+                Metric::Histogram(h) => Some((k.render(), h.snapshot())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Series matching `name` with their label sets and values (counters
+    /// and gauges). Used for per-label breakdowns (tenants, algos).
+    pub fn series_of(&self, name: &str) -> Vec<(Vec<(String, String)>, u64)> {
+        lock(&self.inner.metrics)
+            .iter()
+            .filter_map(|(k, m)| {
+                if k.name != name {
+                    return None;
+                }
+                match m {
+                    Metric::Counter(c) => Some((k.labels.clone(), c.load(Ordering::Relaxed))),
+                    Metric::Gauge(g) => Some((k.labels.clone(), g.load(Ordering::Relaxed))),
+                    Metric::Histogram(_) => None,
+                }
+            })
+            .collect()
+    }
+
+    /// Histogram series matching `name` with their label sets.
+    pub fn histograms_of(&self, name: &str) -> Vec<(Vec<(String, String)>, HistSnapshot)> {
+        lock(&self.inner.metrics)
+            .iter()
+            .filter_map(|(k, m)| {
+                if k.name != name {
+                    return None;
+                }
+                match m {
+                    Metric::Histogram(h) => Some((k.labels.clone(), h.snapshot())),
+                    _ => None,
+                }
+            })
+            .collect()
+    }
+
+    /// Prometheus text exposition format. Counters keep their `_total`
+    /// names, histograms expand to `_bucket{le=…}`/`_sum`/`_count` plus
+    /// precomputed `{quantile=…}` series (summary-style convenience).
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let m = lock(&self.inner.metrics);
+        let mut typed: BTreeMap<&str, &'static str> = BTreeMap::new();
+        for (k, metric) in m.iter() {
+            let t = match metric {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram(_) => "histogram",
+            };
+            typed.entry(k.name.as_str()).or_insert(t);
+        }
+        let mut last_name = "";
+        for (k, metric) in m.iter() {
+            if k.name != last_name {
+                last_name = &k.name;
+                out.push_str(&format!("# TYPE {} {}\n", k.name, typed[k.name.as_str()]));
+            }
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("{} {}\n", k.render(), c.load(Ordering::Relaxed)));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("{} {}\n", k.render(), g.load(Ordering::Relaxed)));
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let with = |extra: &str| -> String {
+                        let mut labels: Vec<String> = k
+                            .labels
+                            .iter()
+                            .map(|(lk, lv)| format!("{lk}=\"{}\"", json::esc(lv)))
+                            .collect();
+                        if !extra.is_empty() {
+                            labels.push(extra.to_string());
+                        }
+                        if labels.is_empty() {
+                            String::new()
+                        } else {
+                            format!("{{{}}}", labels.join(","))
+                        }
+                    };
+                    for (le, cum) in snap.cumulative_buckets() {
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            k.name,
+                            with(&format!("le=\"{le}\"")),
+                            cum
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        k.name,
+                        with("le=\"+Inf\""),
+                        snap.count
+                    ));
+                    out.push_str(&format!("{}_sum{} {}\n", k.name, with(""), snap.sum));
+                    out.push_str(&format!("{}_count{} {}\n", k.name, with(""), snap.count));
+                    for (q, v) in [
+                        (0.5, snap.quantile(50.0)),
+                        (0.95, snap.quantile(95.0)),
+                        (0.99, snap.quantile(99.0)),
+                    ] {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            k.name,
+                            with(&format!("quantile=\"{q}\"")),
+                            v
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Flat JSON snapshot: `{"counters":{…},"gauges":{…},"histograms":{…}}`
+    /// with histogram entries summarized as count/sum/mean/max/p50/p95/p99.
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::from("{");
+        json::key(&mut out, "counters");
+        out.push('{');
+        let scalars = self.scalar_values();
+        let mut first = true;
+        for (k, v, is_counter) in &scalars {
+            if !is_counter {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            json::key(&mut out, k);
+            json::u64v(&mut out, *v);
+        }
+        out.push_str("},");
+        json::key(&mut out, "gauges");
+        out.push('{');
+        let mut first = true;
+        for (k, v, is_counter) in &scalars {
+            if *is_counter {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            json::key(&mut out, k);
+            json::u64v(&mut out, *v);
+        }
+        out.push_str("},");
+        json::key(&mut out, "histograms");
+        out.push('{');
+        let mut first = true;
+        for (k, snap) in self.histogram_values() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            json::key(&mut out, &k);
+            let (p50, p95, p99) = snap.percentiles();
+            out.push('{');
+            for (i, (field, v)) in [
+                ("count", snap.count),
+                ("sum", snap.sum),
+                ("mean", snap.mean()),
+                ("max", snap.max),
+                ("p50", p50),
+                ("p95", p95),
+                ("p99", p99),
+            ]
+            .iter()
+            .enumerate()
+            {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::key(&mut out, field);
+                json::u64v(&mut out, *v);
+            }
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Handle to a monotonic counter. Cloning shares the underlying cell.
+#[derive(Clone, Debug)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Counter {
+    /// A counter not connected to any registry (still functional — used
+    /// when callers don't care about export).
+    pub fn detached() -> Counter {
+        Counter {
+            cell: Arc::new(AtomicU64::new(0)),
+            enabled: Arc::new(AtomicBool::new(true)),
+        }
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to a gauge: set, add/sub, and high-watermark updates.
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Gauge {
+    pub fn detached() -> Gauge {
+        Gauge {
+            cell: Arc::new(AtomicU64::new(0)),
+            enabled: Arc::new(AtomicBool::new(true)),
+        }
+    }
+
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Monotone update: keep the maximum ever set (high watermark).
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to a shared histogram.
+#[derive(Clone, Debug)]
+pub struct HistogramHandle {
+    hist: Arc<Histogram>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl HistogramHandle {
+    pub fn detached() -> HistogramHandle {
+        HistogramHandle {
+            hist: Arc::new(Histogram::new()),
+            enabled: Arc::new(AtomicBool::new(true)),
+        }
+    }
+
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.hist.record(v);
+        }
+    }
+
+    /// Record a duration as microseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_micros() as u64);
+    }
+
+    pub fn snapshot(&self) -> HistSnapshot {
+        self.hist.snapshot()
+    }
+}
+
+/// The process-wide registry: simulator-side counters (watchdog trips,
+/// chaos injections, sanitizer/analyzer findings) land here. Initial
+/// enablement honors `MAXWARP_OBS` (default on; `0`/`off` disables).
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let r = Registry::new();
+        if let Ok(v) = std::env::var("MAXWARP_OBS") {
+            if v == "0" || v.eq_ignore_ascii_case("off") {
+                r.set_enabled(false);
+            }
+        }
+        r
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let r = Registry::new();
+        let c = r.counter("requests_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Second lookup returns the same series.
+        assert_eq!(r.counter("requests_total").get(), 5);
+
+        let g = r.gauge("queue_depth");
+        g.set(3);
+        g.set_max(10);
+        g.set_max(7);
+        assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    fn labeled_series_are_distinct_and_sorted() {
+        let r = Registry::new();
+        r.counter_with("t", &[("b", "2"), ("a", "1")]).inc();
+        r.counter_with("t", &[("a", "1"), ("b", "2")]).inc();
+        r.counter_with("t", &[("a", "9")]).add(7);
+        let series = r.series_of("t");
+        assert_eq!(series.len(), 2);
+        // Label order normalized: both insertions hit one series.
+        assert!(series.iter().any(|(_, v)| *v == 2));
+        assert!(series.iter().any(|(_, v)| *v == 7));
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = Registry::new();
+        let c = r.counter("c");
+        let h = r.histogram("h");
+        r.set_enabled(false);
+        c.inc();
+        h.record(9);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.snapshot().count, 0);
+        r.set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn kind_conflicts_yield_detached_handles() {
+        let r = Registry::new();
+        r.counter("x").inc();
+        let g = r.gauge("x"); // conflicting kind
+        g.set(99);
+        assert_eq!(r.counter("x").get(), 1, "existing series unharmed");
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let r = Registry::new();
+        r.counter("reqs_total").add(3);
+        r.gauge_with("depth", &[("q", "main")]).set(2);
+        let h = r.histogram("lat_us");
+        h.record(5);
+        h.record(500);
+        let text = r.prometheus_text();
+        assert!(text.contains("# TYPE reqs_total counter"), "{text}");
+        assert!(text.contains("reqs_total 3"));
+        assert!(text.contains("depth{q=\"main\"} 2"));
+        assert!(text.contains("# TYPE lat_us histogram"));
+        assert!(text.contains("lat_us_bucket{le=\"5\"} 1"));
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("lat_us_sum 505"));
+        assert!(text.contains("lat_us_count 2"));
+        assert!(text.contains("lat_us{quantile=\"0.99\"}"));
+    }
+
+    #[test]
+    fn snapshot_json_is_valid_shape() {
+        let r = Registry::new();
+        r.counter("c_total").inc();
+        r.gauge("g").set(4);
+        r.histogram("h_us").record(100);
+        let j = r.snapshot_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"c_total\":1"));
+        assert!(j.contains("\"g\":4"));
+        assert!(j.contains("\"count\":1"));
+    }
+}

@@ -1,0 +1,365 @@
+//! Structured span tracing: follow a request end-to-end.
+//!
+//! A [`Tracer`] hands out [`ActiveSpan`] guards. Each span has a unique id,
+//! an optional parent id (so stages nest under their request), a name,
+//! key/value args, and microsecond start/duration relative to the tracer's
+//! epoch. Spans are recorded when the guard is **finished or dropped** —
+//! dropping during a panic unwind still closes the span, which is what
+//! keeps traces well-formed under the serve executor's per-request
+//! `catch_unwind` isolation (proptested in `tests/properties.rs`).
+//!
+//! Guards are `Send`: a span can begin on the submitting thread (enqueue)
+//! and finish on the worker that picked the job up — that's how queue-wait
+//! is measured as a real span rather than a derived number.
+//!
+//! The buffer is bounded (`MAXWARP_OBS_SPANS`, default 65536): past the
+//! cap, spans are counted as dropped instead of stored, so a long soak
+//! can't grow memory without bound.
+//!
+//! Export is Chrome trace-event JSON (`chrome://tracing` / Perfetto) —
+//! deliberately the same format as the simulator profiler's warp timeline,
+//! so serve-side spans and device-side launch spans can be loaded into a
+//! single view. Span ids appear as event args (`id`, `parent`), and the
+//! serve executor stamps the same `req-<id>` label into the profiler's
+//! context, which is the correlation key between the two timelines.
+
+use crate::json;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Unique span identifier (1-based; 0 means "no span").
+pub type SpanId = u64;
+
+/// A finished span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    pub id: SpanId,
+    /// Parent span id; `None` for roots.
+    pub parent: Option<SpanId>,
+    pub name: String,
+    /// Microseconds since the tracer's epoch.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+    /// Key/value annotations (method, algo, cache outcome, …).
+    pub args: Vec<(String, String)>,
+}
+
+struct Inner {
+    epoch: Instant,
+    next_id: AtomicU64,
+    spans: Mutex<Vec<Span>>,
+    dropped: AtomicU64,
+    cap: usize,
+    enabled: AtomicBool,
+}
+
+/// Span collector. Clone freely — clones share the buffer.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<Inner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new(true)
+    }
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(_) => panic!("tracer lock poisoned"),
+    }
+}
+
+impl Tracer {
+    /// A tracer with the default (env-configurable) span cap.
+    pub fn new(enabled: bool) -> Tracer {
+        let cap = std::env::var("MAXWARP_OBS_SPANS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(65_536);
+        Tracer::with_capacity(enabled, cap)
+    }
+
+    /// A tracer storing at most `cap` spans (excess counted as dropped).
+    pub fn with_capacity(enabled: bool, cap: usize) -> Tracer {
+        Tracer {
+            inner: Arc::new(Inner {
+                epoch: Instant::now(),
+                next_id: AtomicU64::new(1),
+                spans: Mutex::new(Vec::new()),
+                dropped: AtomicU64::new(0),
+                cap,
+                enabled: AtomicBool::new(enabled),
+            }),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Begin a root span. Disabled tracers return a no-op guard (id 0).
+    pub fn begin(&self, name: &str) -> ActiveSpan {
+        self.begin_child(name, None)
+    }
+
+    /// Begin a span under `parent` (`None` for a root).
+    pub fn begin_child(&self, name: &str, parent: Option<SpanId>) -> ActiveSpan {
+        if !self.enabled() {
+            return ActiveSpan {
+                tracer: None,
+                id: 0,
+                parent: None,
+                name: String::new(),
+                start: Instant::now(),
+                args: Vec::new(),
+                finished: true,
+            };
+        }
+        ActiveSpan {
+            tracer: Some(self.clone()),
+            id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
+            parent,
+            name: name.to_string(),
+            start: Instant::now(),
+            args: Vec::new(),
+            finished: false,
+        }
+    }
+
+    fn record(&self, span: Span) {
+        let mut spans = lock(&self.inner.spans);
+        if spans.len() >= self.inner.cap {
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            spans.push(span);
+        }
+    }
+
+    /// Spans recorded so far (clone of the buffer).
+    pub fn spans(&self) -> Vec<Span> {
+        lock(&self.inner.spans).clone()
+    }
+
+    pub fn len(&self) -> usize {
+        lock(&self.inner.spans).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Spans rejected because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Chrome trace-event JSON (`{"traceEvents":[…]}`): one complete
+    /// (`ph:"X"`) event per span, `ts`/`dur` in microseconds, span id and
+    /// parent id in `args`. Events are sorted by start time so the file is
+    /// deterministic for a given span set.
+    pub fn chrome_trace_json(&self, process_name: &str) -> String {
+        let mut spans = self.spans();
+        spans.sort_by_key(|s| (s.start_us, s.id));
+        let mut out = String::from("{\"traceEvents\":[");
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{{\"name\":\"{}\"}}}}",
+            json::esc(process_name)
+        ));
+        for s in &spans {
+            out.push(',');
+            out.push_str("{\"ph\":\"X\",\"pid\":1,\"tid\":");
+            // One row per root request keeps concurrent requests visually
+            // separate: spans ride their root ancestor's id as tid.
+            json::u64v(&mut out, s.parent.unwrap_or(s.id));
+            out.push_str(",\"name\":");
+            json::strv(&mut out, &s.name);
+            out.push_str(",\"ts\":");
+            json::u64v(&mut out, s.start_us);
+            out.push_str(",\"dur\":");
+            json::u64v(&mut out, s.dur_us.max(1));
+            out.push_str(",\"args\":{");
+            json::key(&mut out, "id");
+            json::u64v(&mut out, s.id);
+            out.push(',');
+            json::key(&mut out, "parent");
+            json::u64v(&mut out, s.parent.unwrap_or(0));
+            for (k, v) in &s.args {
+                out.push(',');
+                json::key(&mut out, k);
+                json::strv(&mut out, v);
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    fn us_since_epoch(&self, t: Instant) -> u64 {
+        t.duration_since(self.inner.epoch).as_micros() as u64
+    }
+}
+
+/// An in-flight span. Finishes on [`finish`](ActiveSpan::finish) or drop
+/// (including panic unwinds). `Send`, so it can cross threads with a job.
+pub struct ActiveSpan {
+    tracer: Option<Tracer>,
+    id: SpanId,
+    parent: Option<SpanId>,
+    name: String,
+    start: Instant,
+    args: Vec<(String, String)>,
+    finished: bool,
+}
+
+impl ActiveSpan {
+    /// This span's id (0 for a no-op span from a disabled tracer) — pass
+    /// as `parent` to `begin_child` for nesting, including across threads.
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+
+    /// Attach a key/value annotation.
+    pub fn arg(&mut self, key: &str, value: impl Into<String>) {
+        if self.tracer.is_some() {
+            self.args.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// Begin a child of this span on the same tracer.
+    pub fn child(&self, name: &str) -> ActiveSpan {
+        match &self.tracer {
+            Some(t) => t.begin_child(name, Some(self.id)),
+            None => ActiveSpan {
+                tracer: None,
+                id: 0,
+                parent: None,
+                name: String::new(),
+                start: Instant::now(),
+                args: Vec::new(),
+                finished: true,
+            },
+        }
+    }
+
+    /// Close the span now (drop also closes it).
+    pub fn finish(mut self) {
+        self.finish_inner();
+    }
+
+    fn finish_inner(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        if let Some(t) = self.tracer.take() {
+            let start_us = t.us_since_epoch(self.start);
+            let dur_us = self.start.elapsed().as_micros() as u64;
+            t.record(Span {
+                id: self.id,
+                parent: self.parent,
+                name: std::mem::take(&mut self.name),
+                start_us,
+                dur_us,
+                args: std::mem::take(&mut self.args),
+            });
+        }
+    }
+}
+
+impl Drop for ActiveSpan {
+    fn drop(&mut self) {
+        self.finish_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_record() {
+        let t = Tracer::with_capacity(true, 100);
+        let mut root = t.begin("request");
+        root.arg("algo", "bfs");
+        let child = root.child("launch");
+        let cid = child.id();
+        child.finish();
+        let rid = root.id();
+        root.finish();
+
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        let launch = spans.iter().find(|s| s.name == "launch").unwrap();
+        assert_eq!(launch.parent, Some(rid));
+        assert_eq!(launch.id, cid);
+        let req = spans.iter().find(|s| s.name == "request").unwrap();
+        assert_eq!(req.args, vec![("algo".to_string(), "bfs".to_string())]);
+        assert!(req.start_us <= launch.start_us);
+    }
+
+    #[test]
+    fn disabled_tracer_is_a_noop() {
+        let t = Tracer::with_capacity(false, 100);
+        let s = t.begin("x");
+        assert_eq!(s.id(), 0);
+        s.finish();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn drop_closes_spans_even_on_panic() {
+        let t = Tracer::with_capacity(true, 100);
+        let t2 = t.clone();
+        let _ = std::panic::catch_unwind(move || {
+            let _span = t2.begin("doomed");
+            panic!("kernel exploded");
+        });
+        let spans = t.spans();
+        assert_eq!(spans.len(), 1, "span closed during unwind");
+        assert_eq!(spans[0].name, "doomed");
+    }
+
+    #[test]
+    fn capacity_drops_are_counted() {
+        let t = Tracer::with_capacity(true, 2);
+        for i in 0..5 {
+            t.begin(&format!("s{i}")).finish();
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn chrome_trace_is_sorted_and_tagged() {
+        let t = Tracer::with_capacity(true, 100);
+        let root = t.begin("request");
+        let c = root.child("stage");
+        c.finish();
+        root.finish();
+        let json = t.chrome_trace_json("maxwarp-serve");
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"request\""));
+        assert!(json.contains("\"parent\":"));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn spans_cross_threads() {
+        let t = Tracer::with_capacity(true, 100);
+        let span = t.begin("queued");
+        let id = span.id();
+        let handle = std::thread::spawn(move || span.finish());
+        handle.join().unwrap();
+        assert_eq!(t.spans()[0].id, id);
+    }
+}

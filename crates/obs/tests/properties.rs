@@ -1,0 +1,159 @@
+//! Property tests of the histogram's exact-merge contract and the span
+//! tracer's nesting discipline.
+//!
+//! The histogram properties pin what the Prometheus/JSON exporters lean
+//! on: recording is a lossless partition of `u64` into buckets (count and
+//! sum exact), merge is bucket-wise addition (associative, commutative,
+//! exactly the union of the inputs), and quantiles are monotone with the
+//! bucket's bounded relative error. The span properties pin that guards
+//! close in LIFO order and survive panics — the panic-isolated serve exec
+//! path relies on RAII close, not manual bookkeeping.
+
+use maxwarp_obs::{HistSnapshot, Tracer};
+use proptest::prelude::*;
+
+/// Values capped so 256 of them cannot overflow the u64 `sum`.
+fn arb_value() -> impl Strategy<Value = u64> {
+    any::<u64>().prop_map(|v| v >> 9)
+}
+
+fn merged(parts: &[Vec<u64>]) -> HistSnapshot {
+    let mut out = HistSnapshot::default();
+    for part in parts {
+        let mut h = HistSnapshot::default();
+        for &v in part {
+            h.record(v);
+        }
+        out.merge(&h);
+    }
+    out
+}
+
+proptest! {
+    /// Merging per-shard histograms is exactly the union: same count, same
+    /// sum, same max, same buckets as recording everything into one.
+    #[test]
+    fn merge_is_union(
+        a in proptest::collection::vec(arb_value(), 0..64),
+        b in proptest::collection::vec(arb_value(), 0..64),
+        c in proptest::collection::vec(arb_value(), 0..64),
+    ) {
+        let mut all = HistSnapshot::default();
+        for &v in a.iter().chain(&b).chain(&c) {
+            all.record(v);
+        }
+        let shards = merged(&[a, b, c]);
+        prop_assert_eq!(shards, all);
+    }
+
+    /// Merge order never matters: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c) == (c ⊕ a) ⊕ b.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in proptest::collection::vec(arb_value(), 0..48),
+        b in proptest::collection::vec(arb_value(), 0..48),
+        c in proptest::collection::vec(arb_value(), 0..48),
+    ) {
+        let left = merged(&[a.clone(), b.clone(), c.clone()]);
+        let right = merged(&[c.clone(), a.clone(), b.clone()]);
+        prop_assert_eq!(&left, &right);
+
+        // Explicit re-association: merge (b ⊕ c) into a as one unit.
+        let mut bc = HistSnapshot::default();
+        for &v in b.iter().chain(&c) {
+            bc.record(v);
+        }
+        let mut ha = HistSnapshot::default();
+        for &v in &a {
+            ha.record(v);
+        }
+        ha.merge(&bc);
+        prop_assert_eq!(&ha, &left);
+    }
+
+    /// Quantiles (percent in 0..=100) are monotone, the p100 case is the
+    /// exact max, and the median carries the documented ≤6.25% relative
+    /// overestimate (values below 16 are exact).
+    #[test]
+    fn quantiles_monotone_and_bounded(
+        mut values in proptest::collection::vec(arb_value(), 1..256),
+        qa in 0u64..=1000,
+        qb in 0u64..=1000,
+    ) {
+        let mut h = HistSnapshot::default();
+        for &v in &values {
+            h.record(v);
+        }
+        let (qa, qb) = (qa as f64 / 10.0, qb as f64 / 10.0);
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(h.quantile(lo) <= h.quantile(hi));
+
+        values.sort_unstable();
+        let exact_max = *values.last().unwrap();
+        prop_assert_eq!(h.quantile(100.0), exact_max);
+        // Nearest-rank with bucket upper bounds: never below the exact
+        // value, never more than one sub-bucket above it.
+        let exact = values[(values.len() - 1) / 2];
+        let est = h.quantile(50.0);
+        prop_assert!(est >= exact);
+        let bound = (exact.max(16) as f64 * 1.0625).min(exact_max as f64);
+        prop_assert!(
+            (est as f64) <= bound.max(exact as f64),
+            "p50: est {} exact {}",
+            est,
+            exact
+        );
+    }
+
+    /// Bucket boundary values (powers of two and neighbors) are recovered
+    /// exactly from a single-sample histogram: the bucket upper bound is
+    /// clamped to the observed max.
+    #[test]
+    fn bucket_boundaries_round_trip(shift in 0u32..55, delta in 0u64..2) {
+        let base = 1u64 << shift;
+        let v = (base - 1) + delta;
+        let mut h = HistSnapshot::default();
+        h.record(v);
+        prop_assert_eq!(h.quantile(50.0), v);
+        prop_assert_eq!(h.count, 1);
+        prop_assert_eq!(h.sum, v);
+        prop_assert_eq!(h.max, v);
+    }
+
+    /// Spans close LIFO under arbitrary nesting depths, parents link
+    /// correctly, and a panic mid-span still closes every open guard.
+    #[test]
+    fn span_nesting_and_panic_close(depth in 1usize..12, panic_at in 0usize..12) {
+        let tracer = Tracer::with_capacity(true, 4096);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut guards: Vec<maxwarp_obs::ActiveSpan> = Vec::new();
+            for level in 0..depth {
+                let span = match guards.last() {
+                    None => tracer.begin("root"),
+                    Some(parent) => tracer.begin_child("child", Some(parent.id())),
+                };
+                guards.push(span);
+                if level == panic_at {
+                    panic!("mid-request failure");
+                }
+            }
+        }));
+        prop_assert_eq!(result.is_err(), panic_at < depth);
+
+        let spans = tracer.spans();
+        prop_assert_eq!(spans.len(), depth.min(panic_at + 1));
+        // Every non-root span's parent is the span begun just before it.
+        let mut prev: Option<u64> = None;
+        for s in &spans {
+            prop_assert_eq!(s.parent, prev);
+            prev = Some(s.id);
+        }
+        // RAII close: children end no later than their parents recorded
+        // durations allow (parent start <= child start).
+        for s in &spans {
+            if let Some(p) = s.parent {
+                let parent = spans.iter().find(|x| x.id == p).unwrap();
+                prop_assert!(parent.start_us <= s.start_us);
+            }
+        }
+    }
+}

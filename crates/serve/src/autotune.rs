@@ -20,6 +20,7 @@ use crate::request::{Algo, Query, ServeError};
 use crate::store::GraphEntry;
 use maxwarp::{method_table, ExecConfig, Method};
 use maxwarp_graph::{induced_sample, Csr};
+use maxwarp_obs::Counter;
 use maxwarp_simt::GpuConfig;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -111,7 +112,7 @@ pub struct Tuner {
     path: Option<PathBuf>,
     sample_target: u32,
     pin: Option<Method>,
-    probes_run: u64,
+    probes_run: Counter,
 }
 
 impl Tuner {
@@ -126,7 +127,7 @@ impl Tuner {
             path,
             sample_target,
             pin,
-            probes_run: 0,
+            probes_run: Counter::detached(),
         };
         if let Some(p) = t.path.clone() {
             t.load(&p);
@@ -141,7 +142,13 @@ impl Tuner {
 
     /// Number of probe executions performed by this tuner instance.
     pub fn probes_run(&self) -> u64 {
-        self.probes_run
+        self.probes_run.get()
+    }
+
+    /// Route probe accounting through a registry counter (the server
+    /// passes its `serve_tuner_probes_total` series).
+    pub fn set_probe_counter(&mut self, c: Counter) {
+        self.probes_run = c;
     }
 
     /// Number of `(graph, algo)` decisions in the table.
@@ -211,7 +218,7 @@ impl Tuner {
             .filter(|m| algo.supports(*m))
             .collect();
         let results = probe_methods(cfg, exec, probe_entry, algo, &candidates);
-        self.probes_run += results.len() as u64;
+        self.probes_run.add(results.len() as u64);
 
         let probes: Vec<(String, u64)> = results
             .iter()

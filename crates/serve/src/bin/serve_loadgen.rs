@@ -19,12 +19,38 @@
 //! failed request.
 
 use maxwarp_graph::{Dataset, Scale};
-use maxwarp_serve::json;
+use maxwarp_serve::json::{self, Value};
 use maxwarp_serve::{
-    Algo, LatencyHistogram, Query, Request, Response, ServeError, Server, ServerConfig, Ticket,
+    Algo, LatencyHistogram, LatencySummary, Query, Request, Response, ServeError, Server,
+    ServerConfig, Ticket,
 };
 use maxwarp_simt::GpuConfig;
 use std::time::{Duration, Instant};
+
+/// Label-keyed latency summaries of one histogram family from the server's
+/// registry (`serve_algo_service_us{algo=…}` / `serve_tenant_service_us`
+/// {tenant=…}`) — the per-algorithm / per-tenant breakdown.
+fn breakdown(server: &Server, family: &str) -> Vec<(String, LatencySummary)> {
+    server
+        .registry()
+        .histograms_of(family)
+        .into_iter()
+        .filter_map(|(labels, h)| {
+            labels
+                .into_iter()
+                .next()
+                .map(|(_, v)| (v, LatencySummary::from_hist(&h)))
+        })
+        .collect()
+}
+
+fn breakdown_json(rows: &[(String, LatencySummary)]) -> Value {
+    Value::Obj(
+        rows.iter()
+            .map(|(label, s)| (label.clone(), s.to_json()))
+            .collect(),
+    )
+}
 
 /// SplitMix64 — enough RNG for a request stream, no dependency needed.
 struct Rng(u64);
@@ -290,6 +316,22 @@ fn main() {
         "batches: {} ({} requests shared a batch); templates built: {}",
         snap.batches, snap.batched_requests, snap.templates_built
     );
+    println!(
+        "queue: depth high-watermark {}, {} backpressure rejections",
+        snap.queue_depth_hwm, snap.rejected_full
+    );
+
+    // Server-side latency breakdown, straight from the registry histograms.
+    let per_algo = breakdown(&server, "serve_algo_service_us");
+    let per_tenant = breakdown(&server, "serve_tenant_service_us");
+    println!("service latency by algorithm:");
+    for (algo, s) in per_algo.iter().filter(|(_, s)| s.count > 0) {
+        println!("  {algo:<12} {s}");
+    }
+    println!("service latency by tenant (graph):");
+    for (tenant, s) in &per_tenant {
+        println!("  {tenant:<12} {s}");
+    }
     if !errors.is_empty() {
         println!("{} FAILED requests:", errors.len());
         for e in errors.iter().take(10) {
@@ -311,6 +353,8 @@ fn main() {
         ("latency", lat.to_json()),
         ("queue_wait", wait.to_json()),
         ("cached_responses", json::n(cached as f64)),
+        ("per_algo_service", breakdown_json(&per_algo)),
+        ("per_tenant_service", breakdown_json(&per_tenant)),
         ("server", snap.to_json()),
     ]);
     let out = args
@@ -324,6 +368,26 @@ fn main() {
     match std::fs::write(&path, report.to_json()) {
         Ok(()) => println!("report -> {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+
+    // Registry exports next to the report: Prometheus text + JSON snapshot,
+    // and the request trace when MAXWARP_OBS_TRACE is on.
+    let prom_path = path.with_extension("prom");
+    if std::fs::write(&prom_path, server.prometheus_text()).is_ok() {
+        println!("metrics -> {}", prom_path.display());
+    }
+    let metrics_path = path.with_extension("metrics.json");
+    let _ = std::fs::write(&metrics_path, server.metrics_json());
+    if server.tracer().enabled() {
+        let trace_path = path.with_extension("trace.json");
+        if std::fs::write(&trace_path, server.trace_json()).is_ok() {
+            println!(
+                "trace -> {} ({} spans, {} dropped)",
+                trace_path.display(),
+                server.tracer().len(),
+                server.tracer().dropped()
+            );
+        }
     }
 
     server.shutdown();

@@ -104,6 +104,25 @@ fn main() {
         println!("snapshot -> {}", path.display());
     }
 
+    // Registry exports: Prometheus text, JSON metrics snapshot, and the
+    // request trace when MAXWARP_OBS_TRACE=1.
+    let prom = std::path::Path::new("results").join("serve_demo.prom");
+    if std::fs::write(&prom, server.prometheus_text()).is_ok() {
+        println!("metrics -> {}", prom.display());
+    }
+    let metrics = std::path::Path::new("results").join("serve_demo_metrics.json");
+    let _ = std::fs::write(&metrics, server.metrics_json());
+    if server.tracer().enabled() {
+        let trace = std::path::Path::new("results").join("serve_demo_trace.json");
+        if std::fs::write(&trace, server.trace_json()).is_ok() {
+            println!(
+                "trace -> {} ({} spans)",
+                trace.display(),
+                server.tracer().len()
+            );
+        }
+    }
+
     let failed = snap.failed;
     server.shutdown();
     if failed > 0 {

@@ -13,6 +13,7 @@
 
 use crate::json::{self, Value};
 use crate::request::ResultData;
+use maxwarp_obs::Counter;
 use maxwarp_simt::{GpuConfig, KernelStats};
 use std::collections::HashMap;
 
@@ -133,28 +134,52 @@ impl CacheStats {
 }
 
 /// LRU map from [`CacheKey`] to [`CachedResult`], bounded by entry count.
+///
+/// The hit/miss/insertion/eviction counters are [`maxwarp_obs::Counter`]
+/// handles: the server wires them to its metrics registry
+/// ([`ResultCache::with_counters`]) so the cache's numbers are registry
+/// series, not a parallel set of fields.
 pub struct ResultCache {
     map: HashMap<CacheKey, Entry>,
     capacity: usize,
     tick: u64,
-    hits: u64,
-    misses: u64,
-    insertions: u64,
-    evictions: u64,
+    hits: Counter,
+    misses: Counter,
+    insertions: Counter,
+    evictions: Counter,
 }
 
 impl ResultCache {
-    /// A cache holding at most `capacity` entries. Capacity 0 disables
-    /// caching (every lookup misses, inserts are dropped).
+    /// A cache holding at most `capacity` entries, counting on detached
+    /// (unexported) counters. Capacity 0 disables caching (every lookup
+    /// misses, inserts are dropped).
     pub fn new(capacity: usize) -> ResultCache {
+        ResultCache::with_counters(
+            capacity,
+            Counter::detached(),
+            Counter::detached(),
+            Counter::detached(),
+            Counter::detached(),
+        )
+    }
+
+    /// A cache whose counters are registry handles (the server passes its
+    /// `serve_cache_*_total` series).
+    pub fn with_counters(
+        capacity: usize,
+        hits: Counter,
+        misses: Counter,
+        insertions: Counter,
+        evictions: Counter,
+    ) -> ResultCache {
         ResultCache {
             map: HashMap::new(),
             capacity,
             tick: 0,
-            hits: 0,
-            misses: 0,
-            insertions: 0,
-            evictions: 0,
+            hits,
+            misses,
+            insertions,
+            evictions,
         }
     }
 
@@ -164,11 +189,11 @@ impl ResultCache {
         match self.map.get_mut(key) {
             Some(e) => {
                 e.touched = self.tick;
-                self.hits += 1;
+                self.hits.inc();
                 Some(e.value.clone())
             }
             None => {
-                self.misses += 1;
+                self.misses.inc();
                 None
             }
         }
@@ -188,11 +213,11 @@ impl ResultCache {
                 .map(|(k, _)| k.clone())
             {
                 self.map.remove(&victim);
-                self.evictions += 1;
+                self.evictions.inc();
             }
         }
         let bytes = value.data.approx_bytes();
-        self.insertions += 1;
+        self.insertions.inc();
         self.map.insert(
             key,
             Entry {
@@ -206,10 +231,10 @@ impl ResultCache {
     /// Snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits,
-            misses: self.misses,
-            insertions: self.insertions,
-            evictions: self.evictions,
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            insertions: self.insertions.get(),
+            evictions: self.evictions.get(),
             entries: self.map.len() as u64,
             bytes: self.map.values().map(|e| e.bytes as u64).sum(),
         }

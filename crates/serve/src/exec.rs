@@ -103,6 +103,34 @@ pub fn execute(
     method: Method,
     deadline_cycles: Option<u64>,
 ) -> Result<(ResultData, AlgoRun), ServeError> {
+    execute_labeled(
+        cfg,
+        exec,
+        entry,
+        template,
+        query,
+        method,
+        deadline_cycles,
+        None,
+    )
+}
+
+/// [`execute`] with an optional profile-context label. When the device is
+/// profiling, the label (the scheduler passes `req-<span> <algo> <method>`)
+/// is stamped into the profiler's context, so the per-launch timeline
+/// carries the request's span id — the correlation key between the serve
+/// tracer's Chrome-trace export and the profiler's.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_labeled(
+    cfg: &GpuConfig,
+    exec: &ExecConfig,
+    entry: &GraphEntry,
+    template: &DeviceTemplate,
+    query: &Query,
+    method: Method,
+    deadline_cycles: Option<u64>,
+    trace_label: Option<&str>,
+) -> Result<(ResultData, AlgoRun), ServeError> {
     let algo = query.algo();
     if !algo.supports(method) {
         return Err(ServeError::Unsupported {
@@ -113,6 +141,9 @@ pub fn execute(
     assert!(template.covers(algo), "scheduler built the wrong template");
 
     let mut gpu = Gpu::new(cfg.clone());
+    if let Some(label) = trace_label {
+        gpu.set_profile_context(label);
+    }
     // Compose the per-request deadline with config/env budgets: tightest wins.
     gpu.cfg.watchdog.max_cycles = match (gpu.cfg.watchdog.max_cycles, deadline_cycles) {
         (Some(a), Some(b)) => Some(a.min(b)),

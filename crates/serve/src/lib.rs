@@ -49,11 +49,26 @@
 //! | `MAXWARP_QUEUE_DEPTH` | submission-queue capacity (default 64) |
 //! | `MAXWARP_CACHE_CAP` | result-cache entries (default 256; `0` disables) |
 //! | `MAXWARP_GRAPH_CACHE` | generated-graph disk cache dir (default `target/graph-cache`; `0`/`off` disables) |
+//! | `MAXWARP_OBS` | `0`/`off` disables the per-server metrics registry (default on) |
+//! | `MAXWARP_OBS_TRACE` | `1` enables per-request span tracing (Chrome-trace export) |
+//! | `MAXWARP_OBS_SPANS` | span buffer capacity (default 65536) |
+//!
+//! ## Observability
+//!
+//! Every [`Server`] owns a [`maxwarp_obs::Registry`] with the full
+//! scheduler/cache/tuner series ([`metrics::ServeMetrics`]) and a
+//! [`maxwarp_obs::Tracer`] that follows each request end-to-end
+//! (`request` → `queue_wait`/`cache_lookup`/`template`/`execute`/
+//! `cache_insert`/`reply`). Export via [`Server::prometheus_text`],
+//! [`Server::metrics_json`], and [`Server::trace_json`]. All of it is a
+//! pure observer: `KernelStats` and payloads are byte-identical with
+//! observation on or off (`tests/obs_identity.rs`).
 
 pub mod autotune;
 pub mod cache;
 pub mod exec;
 pub mod json;
+pub mod metrics;
 pub mod request;
 pub mod scheduler;
 pub mod stats;
@@ -61,7 +76,8 @@ pub mod store;
 
 pub use autotune::{probe_methods, probe_one, Choice, ChoiceSource, TuneEntry, Tuner};
 pub use cache::{gpu_fingerprint, CacheKey, CacheStats, CachedResult, ResultCache};
-pub use exec::{execute, DeviceTemplate};
+pub use exec::{execute, execute_labeled, DeviceTemplate};
+pub use metrics::ServeMetrics;
 pub use request::{Algo, Query, Request, Response, ResultData, ServeError};
 pub use scheduler::{Server, ServerConfig, ServerSnapshot, Ticket};
 pub use stats::{LatencyHistogram, LatencySummary};

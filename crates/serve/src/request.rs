@@ -303,6 +303,11 @@ pub struct Response {
     pub service: Duration,
     /// Number of requests in the batch this one was served in.
     pub batch_size: u32,
+    /// Root span id of this request in the server's tracer (0 when request
+    /// tracing is off). The same id appears in the Chrome-trace export and,
+    /// when profiling, in the profiler's `req-<id>` context label — the
+    /// correlation key between serve-side and device-side timelines.
+    pub span: u64,
 }
 
 /// Structured service errors.

@@ -21,18 +21,31 @@
 //! 5. **Execution** — misses run on a fresh device with the request's
 //!    deadline wired into the watchdog. Panics are caught per request; a
 //!    poisoned request fails alone, the worker and its batch survive.
+//!
+//! ## Observability
+//!
+//! Every server owns a [`maxwarp_obs::Registry`] (so concurrent servers in
+//! tests don't bleed into each other) holding all scheduler/cache/tuner
+//! series — see [`crate::metrics::ServeMetrics`] for the inventory — and a
+//! [`maxwarp_obs::Tracer`] that, when enabled, records one span tree per
+//! request: `request` → `queue_wait` / `cache_lookup` / `template` /
+//! `execute` / `cache_insert` / `reply`, plus one `batch` root per served
+//! batch. Both are pure observers: disable them and responses stay
+//! byte-identical (asserted by `tests/obs_identity.rs`).
 
 use crate::autotune::Tuner;
 use crate::cache::{gpu_fingerprint, CacheKey, CacheStats, CachedResult, ResultCache};
-use crate::exec::{execute, DeviceTemplate};
+use crate::exec::{execute_labeled, DeviceTemplate};
 use crate::json::{self, Value};
+use crate::metrics::ServeMetrics;
 use crate::request::{Request, Response, ServeError};
-use crate::stats::{LatencyHistogram, LatencySummary};
+use crate::stats::LatencySummary;
 use crate::store::{GraphEntry, GraphHandle, GraphStore};
 use maxwarp::{ExecConfig, Method};
 use maxwarp_graph::Csr;
-use maxwarp_simt::GpuConfig;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use maxwarp_obs::{ActiveSpan, Registry, Tracer};
+use maxwarp_simt::{GpuConfig, LaunchError, SimtError};
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -77,6 +90,11 @@ pub struct ServerConfig {
     pub paused: bool,
     /// Deadline in simulated cycles for requests that don't carry one.
     pub default_deadline: Option<u64>,
+    /// Whether the metrics registry records (`MAXWARP_OBS`; default on).
+    pub obs: bool,
+    /// Whether request span tracing records (`MAXWARP_OBS_TRACE`; default
+    /// off — spans cost an allocation per stage).
+    pub trace: bool,
 }
 
 impl ServerConfig {
@@ -104,6 +122,12 @@ impl ServerConfig {
                 None => eprintln!("[serve] ignoring unparseable MAXWARP_METHOD={v}"),
             }
         }
+        if let Ok(v) = std::env::var("MAXWARP_OBS") {
+            cfg.obs = !(v == "0" || v.eq_ignore_ascii_case("off"));
+        }
+        if let Ok(v) = std::env::var("MAXWARP_OBS_TRACE") {
+            cfg.trace = v == "1" || v.eq_ignore_ascii_case("on");
+        }
         cfg
     }
 
@@ -121,27 +145,14 @@ impl ServerConfig {
             method_pin: None,
             paused: false,
             default_deadline: None,
+            obs: true,
+            trace: false,
         }
     }
 }
 
-/// Running server counters (behind the stats mutex).
-#[derive(Default)]
-struct Counters {
-    submitted: u64,
-    rejected_full: u64,
-    rejected_invalid: u64,
-    completed: u64,
-    failed: u64,
-    batches: u64,
-    batched_requests: u64,
-    templates_built: u64,
-    queue_wait: LatencyHistogram,
-    service: LatencyHistogram,
-    per_tenant: BTreeMap<String, u64>,
-}
-
-/// Point-in-time view of everything the server counts.
+/// Point-in-time view of everything the server counts. Assembled from the
+/// server's metrics registry — there is no second set of books.
 #[derive(Clone, Debug)]
 pub struct ServerSnapshot {
     pub submitted: u64,
@@ -149,11 +160,17 @@ pub struct ServerSnapshot {
     pub rejected_invalid: u64,
     pub completed: u64,
     pub failed: u64,
+    /// Failures caused by the per-request cycle deadline (watchdog).
+    pub deadline_overruns: u64,
     /// Batches served (each covers ≥ 1 request).
     pub batches: u64,
     /// Requests that shared a batch with at least one other request.
     pub batched_requests: u64,
     pub templates_built: u64,
+    /// Requests queued right now.
+    pub queue_depth: u64,
+    /// Deepest the queue has ever been.
+    pub queue_depth_hwm: u64,
     pub queue_wait: LatencySummary,
     pub service: LatencySummary,
     pub cache: CacheStats,
@@ -170,9 +187,12 @@ impl ServerSnapshot {
             ("rejected_invalid", json::n(self.rejected_invalid as f64)),
             ("completed", json::n(self.completed as f64)),
             ("failed", json::n(self.failed as f64)),
+            ("deadline_overruns", json::n(self.deadline_overruns as f64)),
             ("batches", json::n(self.batches as f64)),
             ("batched_requests", json::n(self.batched_requests as f64)),
             ("templates_built", json::n(self.templates_built as f64)),
+            ("queue_depth", json::n(self.queue_depth as f64)),
+            ("queue_depth_hwm", json::n(self.queue_depth_hwm as f64)),
             ("queue_wait", self.queue_wait.to_json()),
             ("service", self.service.to_json()),
             ("cache", self.cache.to_json()),
@@ -195,6 +215,10 @@ struct Job {
     req: Request,
     enqueued: Instant,
     tx: mpsc::Sender<Result<Response, ServeError>>,
+    /// Root span of the request's trace (no-op guard when tracing is off).
+    span: ActiveSpan,
+    /// `queue_wait` child span, open from enqueue to worker pickup.
+    queue_span: ActiveSpan,
 }
 
 /// A submitted request's receipt; [`Ticket::wait`] blocks for the response.
@@ -224,7 +248,8 @@ struct Inner {
     tuner: Mutex<Tuner>,
     /// Device templates keyed by `(handle, with_reverse)`.
     templates: Mutex<HashMap<(u32, bool), Arc<DeviceTemplate>>>,
-    counters: Mutex<Counters>,
+    metrics: ServeMetrics,
+    tracer: Tracer,
     shutdown: AtomicBool,
     paused: AtomicBool,
     /// Fingerprint of `cfg.gpu` — the device half of every cache key.
@@ -242,18 +267,27 @@ impl Server {
     /// Start the worker pool.
     pub fn start(cfg: ServerConfig) -> Server {
         let device_fp = gpu_fingerprint(&cfg.gpu);
+        let registry = Registry::new();
+        registry.set_enabled(cfg.obs);
+        let metrics = ServeMetrics::new(&registry);
+        let tracer = Tracer::new(cfg.trace);
+        let mut tuner = Tuner::new(cfg.tuning_path.clone(), cfg.tuner_sample, cfg.method_pin);
+        tuner.set_probe_counter(metrics.tuner_probes.clone());
         let inner = Arc::new(Inner {
-            cache: Mutex::new(ResultCache::new(cfg.cache_capacity)),
-            tuner: Mutex::new(Tuner::new(
-                cfg.tuning_path.clone(),
-                cfg.tuner_sample,
-                cfg.method_pin,
+            cache: Mutex::new(ResultCache::with_counters(
+                cfg.cache_capacity,
+                metrics.cache_hits.clone(),
+                metrics.cache_misses.clone(),
+                metrics.cache_insertions.clone(),
+                metrics.cache_evictions.clone(),
             )),
+            tuner: Mutex::new(tuner),
             store: GraphStore::new(),
             queue: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
             templates: Mutex::new(HashMap::new()),
-            counters: Mutex::new(Counters::default()),
+            metrics,
+            tracer,
             shutdown: AtomicBool::new(false),
             paused: AtomicBool::new(cfg.paused),
             device_fp,
@@ -292,12 +326,12 @@ impl Server {
         // Validate before taking a queue slot: a request that can never
         // execute should not consume capacity.
         if self.inner.store.get(req.graph).is_none() {
-            self.count(|c| c.rejected_invalid += 1);
+            self.inner.metrics.rejected_invalid.inc();
             return Err(ServeError::UnknownGraph(req.graph));
         }
         if let Some(m) = req.method {
             if !req.query.algo().supports(m) {
-                self.count(|c| c.rejected_invalid += 1);
+                self.inner.metrics.rejected_invalid.inc();
                 return Err(ServeError::Unsupported {
                     algo: req.query.algo(),
                     method: m.spec(),
@@ -305,11 +339,17 @@ impl Server {
             }
         }
         let (tx, rx) = mpsc::channel();
+        let mut span = self.inner.tracer.begin("request");
+        span.arg("algo", req.query.algo().label());
+        if let Some(t) = &req.tenant {
+            span.arg("tenant", t.clone());
+        }
+        let queue_span = span.child("queue_wait");
         {
             let mut q = lock(&self.inner.queue);
             if q.len() >= self.inner.cfg.queue_capacity {
                 drop(q);
-                self.count(|c| c.rejected_full += 1);
+                self.inner.metrics.rejected_full.inc();
                 return Err(ServeError::QueueFull {
                     capacity: self.inner.cfg.queue_capacity,
                 });
@@ -318,9 +358,14 @@ impl Server {
                 req,
                 enqueued: Instant::now(),
                 tx,
+                span,
+                queue_span,
             });
+            let depth = q.len() as u64;
+            self.inner.metrics.queue_depth.set(depth);
+            self.inner.metrics.queue_depth_hwm.set_max(depth);
         }
-        self.count(|c| c.submitted += 1);
+        self.inner.metrics.submitted.inc();
         self.inner.cv.notify_one();
         Ok(Ticket { rx })
     }
@@ -346,6 +391,44 @@ impl Server {
         self.inner.device_fp
     }
 
+    /// This server's metrics registry (one per server; servers in the same
+    /// process don't share series).
+    pub fn registry(&self) -> &Registry {
+        self.inner.metrics.registry()
+    }
+
+    /// This server's request tracer (no-op unless `cfg.trace`).
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
+    }
+
+    /// Prometheus text exposition of every serve-side series, with the
+    /// occupancy gauges (queue depth, cache entries/bytes) refreshed first.
+    pub fn prometheus_text(&self) -> String {
+        self.refresh_gauges();
+        self.registry().prometheus_text()
+    }
+
+    /// JSON snapshot of the registry (counters/gauges/histogram summaries),
+    /// with occupancy gauges refreshed first.
+    pub fn metrics_json(&self) -> String {
+        self.refresh_gauges();
+        self.registry().snapshot_json()
+    }
+
+    /// Chrome-trace JSON of every recorded request span.
+    pub fn trace_json(&self) -> String {
+        self.inner.tracer.chrome_trace_json("maxwarp-serve")
+    }
+
+    fn refresh_gauges(&self) {
+        let depth = lock(&self.inner.queue).len() as u64;
+        self.inner.metrics.queue_depth.set(depth);
+        let cache = lock(&self.inner.cache).stats();
+        self.inner.metrics.cache_entries.set(cache.entries);
+        self.inner.metrics.cache_bytes.set(cache.bytes);
+    }
+
     /// The cache key this server would use for `(graph, query, method)` —
     /// exposed for tests that reason about hit/miss identity.
     pub fn cache_key(&self, req: &Request, method: Method) -> Option<CacheKey> {
@@ -358,26 +441,36 @@ impl Server {
         })
     }
 
-    /// Counters, cache, and tuner state in one snapshot.
+    /// Counters, cache, and tuner state in one snapshot, read back from the
+    /// metrics registry.
     pub fn snapshot(&self) -> ServerSnapshot {
-        let c = lock(&self.inner.counters);
+        let m = &self.inner.metrics;
         let cache = lock(&self.inner.cache).stats();
         let tuner = lock(&self.inner.tuner);
+        let per_tenant = m
+            .registry()
+            .series_of("serve_tenant_requests_total")
+            .into_iter()
+            .filter_map(|(labels, v)| labels.into_iter().next().map(|(_, t)| (t, v)))
+            .collect();
         ServerSnapshot {
-            submitted: c.submitted,
-            rejected_full: c.rejected_full,
-            rejected_invalid: c.rejected_invalid,
-            completed: c.completed,
-            failed: c.failed,
-            batches: c.batches,
-            batched_requests: c.batched_requests,
-            templates_built: c.templates_built,
-            queue_wait: c.queue_wait.summary(),
-            service: c.service.summary(),
+            submitted: m.submitted.get(),
+            rejected_full: m.rejected_full.get(),
+            rejected_invalid: m.rejected_invalid.get(),
+            completed: m.completed.get(),
+            failed: m.failed.get(),
+            deadline_overruns: m.deadline_overruns.get(),
+            batches: m.batches.get(),
+            batched_requests: m.batched_requests.get(),
+            templates_built: m.templates_built.get(),
+            queue_depth: lock(&self.inner.queue).len() as u64,
+            queue_depth_hwm: m.queue_depth_hwm.get(),
+            queue_wait: LatencySummary::from_hist(&m.queue_wait.snapshot()),
+            service: LatencySummary::from_hist(&m.service.snapshot()),
             cache,
             tuner_decisions: tuner.decisions() as u64,
             tuner_probes: tuner.probes_run(),
-            per_tenant: c.per_tenant.iter().map(|(t, n)| (t.clone(), *n)).collect(),
+            per_tenant,
         }
     }
 
@@ -397,10 +490,6 @@ impl Server {
         while let Some(job) = q.pop_front() {
             let _ = job.tx.send(Err(ServeError::ShuttingDown));
         }
-    }
-
-    fn count(&self, f: impl FnOnce(&mut Counters)) {
-        f(&mut lock(&self.inner.counters));
     }
 }
 
@@ -422,7 +511,9 @@ fn worker_loop(inner: &Inner) {
                 }
                 if !inner.paused.load(Ordering::SeqCst) {
                     if let Some(first) = q.pop_front() {
-                        break extract_batch(&mut q, first, inner.cfg.batch_max);
+                        let batch = extract_batch(&mut q, first, inner.cfg.batch_max);
+                        inner.metrics.queue_depth.set(q.len() as u64);
+                        break batch;
                     }
                 }
                 q = match inner.cv.wait(q) {
@@ -453,32 +544,52 @@ fn extract_batch(q: &mut VecDeque<Job>, first: Job, batch_max: usize) -> Vec<Job
     batch
 }
 
+/// True when a failure's root cause is the per-request cycle deadline.
+fn is_deadline_overrun(e: &ServeError) -> bool {
+    matches!(
+        e,
+        ServeError::Launch(LaunchError::Fault(SimtError::Watchdog(_)))
+    )
+}
+
 fn serve_batch(inner: &Inner, batch: Vec<Job>) {
     let batch_size = batch.len() as u32;
-    {
-        let mut c = lock(&inner.counters);
-        c.batches += 1;
-        if batch_size > 1 {
-            c.batched_requests += batch_size as u64;
-        }
+    let m = &inner.metrics;
+    m.batches.inc();
+    m.batch_size.record(batch_size as u64);
+    if batch_size > 1 {
+        m.batched_requests.add(batch_size as u64);
     }
+    let mut batch_span = inner.tracer.begin("batch");
+    batch_span.arg("graph", format!("{}", batch[0].req.graph.0));
+    batch_span.arg("size", format!("{batch_size}"));
     for job in batch {
+        job.queue_span.finish();
         let queue_wait = job.enqueued.elapsed();
         let started = Instant::now();
-        let outcome = serve_one(inner, &job.req);
+        let outcome = serve_one(inner, &job.req, &job.span);
         let service = started.elapsed();
-        {
-            let mut c = lock(&inner.counters);
-            c.queue_wait.record(queue_wait);
-            c.service.record(service);
-            match &outcome {
-                Ok(_) => c.completed += 1,
-                Err(_) => c.failed += 1,
-            }
-            if let Some(t) = &job.req.tenant {
-                *c.per_tenant.entry(t.clone()).or_insert(0) += 1;
+
+        m.queue_wait.record_duration(queue_wait);
+        m.service.record_duration(service);
+        m.algo_service(job.req.query.algo())
+            .record_duration(service);
+        match &outcome {
+            Ok(_) => m.completed.inc(),
+            Err(e) => {
+                m.failed.inc();
+                if is_deadline_overrun(e) {
+                    m.deadline_overruns.inc();
+                }
             }
         }
+        if let Some(t) = &job.req.tenant {
+            m.tenant_requests(t).inc();
+            m.tenant_service(t).record_duration(service);
+        }
+
+        let reply_span = job.span.child("reply");
+        let span_id = job.span.id();
         let response = outcome.map(|(data, stats, iterations, method, cached)| Response {
             data,
             stats,
@@ -488,9 +599,13 @@ fn serve_batch(inner: &Inner, batch: Vec<Job>) {
             queue_wait,
             service,
             batch_size,
+            span: span_id,
         });
         let _ = job.tx.send(response);
+        reply_span.finish();
+        job.span.finish();
     }
+    batch_span.finish();
 }
 
 type Served = (
@@ -501,7 +616,7 @@ type Served = (
     bool,
 );
 
-fn serve_one(inner: &Inner, req: &Request) -> Result<Served, ServeError> {
+fn serve_one(inner: &Inner, req: &Request, span: &ActiveSpan) -> Result<Served, ServeError> {
     let entry = inner
         .store
         .get(req.graph)
@@ -513,10 +628,12 @@ fn serve_one(inner: &Inner, req: &Request) -> Result<Served, ServeError> {
     let method = match req.method {
         Some(m) => m,
         None => {
+            let tuner_span = span.child("tuner");
             let mut tuner = lock(&inner.tuner);
-            tuner
-                .choose(&inner.cfg.gpu, &inner.cfg.exec, &entry, algo)
-                .method
+            let choice = tuner.choose(&inner.cfg.gpu, &inner.cfg.exec, &entry, algo);
+            drop(tuner);
+            tuner_span.finish();
+            choice.method
         }
     };
     if !algo.supports(method) {
@@ -532,14 +649,30 @@ fn serve_one(inner: &Inner, req: &Request) -> Result<Served, ServeError> {
         method: method.spec(),
         device: inner.device_fp,
     };
-    if let Some(hit) = lock(&inner.cache).get(&key) {
+    let mut lookup_span = span.child("cache_lookup");
+    let hit = lock(&inner.cache).get(&key);
+    if let Some(hit) = hit {
+        lookup_span.arg("outcome", "hit");
+        lookup_span.finish();
         return Ok((hit.data, hit.stats, hit.iterations, method, true));
     }
+    lookup_span.arg("outcome", "miss");
+    lookup_span.finish();
 
-    let template = get_template(inner, req.graph, &entry, algo.needs_reverse());
+    let mut template_span = span.child("template");
+    let (template, built) = get_template(inner, req.graph, &entry, algo.needs_reverse());
+    template_span.arg("built", if built { "upload" } else { "clone" });
+    template_span.finish();
+
     let deadline = req.deadline_cycles.or(inner.cfg.default_deadline);
+    let mut exec_span = span.child("execute");
+    exec_span.arg("method", method.spec());
+    // When profiling, stamp the request's span id into the profiler context
+    // so device-side launch timelines correlate with this trace.
+    let label = (inner.tracer.enabled() && inner.cfg.gpu.profile)
+        .then(|| format!("req-{} {} {}", span.id(), algo.label(), method.spec()));
     let run = catch_unwind(AssertUnwindSafe(|| {
-        execute(
+        execute_labeled(
             &inner.cfg.gpu,
             &inner.cfg.exec,
             &entry,
@@ -547,11 +680,14 @@ fn serve_one(inner: &Inner, req: &Request) -> Result<Served, ServeError> {
             &req.query,
             method,
             deadline,
+            label.as_deref(),
         )
     }))
     .map_err(|p| ServeError::Panicked(panic_message(&p)))??;
+    exec_span.finish();
 
     let (data, algo_run) = run;
+    let insert_span = span.child("cache_insert");
     lock(&inner.cache).insert(
         key,
         CachedResult {
@@ -561,23 +697,26 @@ fn serve_one(inner: &Inner, req: &Request) -> Result<Served, ServeError> {
             method: method.spec(),
         },
     );
+    insert_span.finish();
     Ok((data, algo_run.stats, algo_run.iterations, method, false))
 }
 
+/// Fetch or build the device template; the flag reports whether this call
+/// paid the upload.
 fn get_template(
     inner: &Inner,
     handle: GraphHandle,
     entry: &GraphEntry,
     needs_reverse: bool,
-) -> Arc<DeviceTemplate> {
+) -> (Arc<DeviceTemplate>, bool) {
     let mut templates = lock(&inner.templates);
     if let Some(t) = templates.get(&(handle.0, needs_reverse)) {
-        return Arc::clone(t);
+        return (Arc::clone(t), false);
     }
     let t = Arc::new(DeviceTemplate::build(&inner.cfg.gpu, entry, needs_reverse));
     templates.insert((handle.0, needs_reverse), Arc::clone(&t));
-    lock(&inner.counters).templates_built += 1;
-    t
+    inner.metrics.templates_built.inc();
+    (t, true)
 }
 
 fn panic_message(p: &(dyn std::any::Any + Send)) -> String {

@@ -76,6 +76,22 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
+    /// Summarize a registry histogram snapshot. The server's scheduler
+    /// accounts latency on `maxwarp_obs` histograms (the single source of
+    /// truth); this bridges those into the existing summary/JSON shape.
+    /// Quantiles are bucketed (≤ 6.25 % high), mean and max are exact.
+    pub fn from_hist(h: &maxwarp_obs::HistSnapshot) -> LatencySummary {
+        let (p50, p95, p99) = h.percentiles();
+        LatencySummary {
+            count: h.count,
+            p50_us: p50,
+            p95_us: p95,
+            p99_us: p99,
+            mean_us: h.mean(),
+            max_us: h.max,
+        }
+    }
+
     pub fn to_json(&self) -> Value {
         json::obj(vec![
             ("count", json::n(self.count as f64)),

@@ -1019,6 +1019,7 @@ impl Analyzer {
             Severity::Error => self.errors += 1,
             Severity::Warning => self.warnings += 1,
         }
+        crate::obs::analyzer_finding(severity);
         if let Some(&i) = self.index.get(&(kind, site, other_site)) {
             self.findings[i].count += 1;
             return;

@@ -53,11 +53,15 @@ impl From<TimingError> for LaunchError {
                 block,
                 parked_warps,
                 retired_warps,
-            } => LaunchError::Fault(SimtError::Watchdog(WatchdogKind::BarrierDeadlock {
-                block,
-                parked_warps,
-                retired_warps,
-            })),
+            } => {
+                let fault = SimtError::Watchdog(WatchdogKind::BarrierDeadlock {
+                    block,
+                    parked_warps,
+                    retired_warps,
+                });
+                crate::obs::fault_recorded(&fault);
+                LaunchError::Fault(fault)
+            }
             other => LaunchError::Timing(other),
         }
     }
@@ -65,6 +69,10 @@ impl From<TimingError> for LaunchError {
 
 impl From<SimtError> for LaunchError {
     fn from(e: SimtError) -> Self {
+        // Every runtime fault funnels through this conversion (or the
+        // barrier-deadlock arm above), making it the one chokepoint for the
+        // process-wide fault counters.
+        crate::obs::fault_recorded(&e);
         LaunchError::Fault(e)
     }
 }
@@ -274,6 +282,7 @@ impl Gpu {
         chaos.launches += 1;
         if chaos.cfg.bit_flips && self.mem.chaos_flip_bit(&mut chaos.rng).is_some() {
             chaos.bit_flips_injected += 1;
+            crate::obs::chaos_injected("bit_flip");
         }
         if chaos.cfg.dropped_atomics {
             Some(AtomicDropPlan::new(chaos.rng.below(64)))
@@ -287,6 +296,7 @@ impl Gpu {
         if let (Some(chaos), Some(plan)) = (self.chaos.as_mut(), plan) {
             if plan.dropped {
                 chaos.atomics_dropped += 1;
+                crate::obs::chaos_injected("dropped_atomic");
             }
         }
     }
@@ -308,6 +318,7 @@ impl Gpu {
                 if r > 0 {
                     bt.warps.rotate_left(r);
                     chaos.sched_perturbations += 1;
+                    crate::obs::chaos_injected("sched_perturb");
                 }
             }
         }
@@ -500,6 +511,7 @@ impl Gpu {
                 let r = chaos.rng.below(resident_warps as u64) as u32;
                 if r > 0 {
                     chaos.sched_perturbations += 1;
+                    crate::obs::chaos_injected("sched_perturb");
                 }
                 r
             }

@@ -122,6 +122,32 @@ pub enum SimtError {
     Watchdog(WatchdogKind),
 }
 
+impl WatchdogKind {
+    /// Stable lowercase label for metrics
+    /// (`simt_watchdog_trips_total{kind=…}`).
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            WatchdogKind::CycleBudget { .. } => "cycle_budget",
+            WatchdogKind::InstructionBudget { .. } => "instruction_budget",
+            WatchdogKind::IterationBudget { .. } => "iteration_budget",
+            WatchdogKind::BarrierDeadlock { .. } => "barrier_deadlock",
+        }
+    }
+}
+
+impl SimtError {
+    /// Stable lowercase label for metrics (`simt_faults_total{kind=…}`).
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            SimtError::OutOfBounds { .. } => "out_of_bounds",
+            SimtError::SharedMemoryOverflow { .. } => "shared_memory_overflow",
+            SimtError::AddressSpaceExhausted { .. } => "address_space_exhausted",
+            SimtError::InvalidShuffle { .. } => "invalid_shuffle",
+            SimtError::Watchdog(_) => "watchdog",
+        }
+    }
+}
+
 impl fmt::Display for SimtError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -60,6 +60,7 @@ pub mod kernel;
 pub mod lanes;
 pub mod mask;
 pub mod mem;
+pub(crate) mod obs;
 pub mod profile;
 pub mod sanitize;
 pub mod shared;

@@ -205,6 +205,7 @@ impl Sanitizer {
             Severity::Error => self.errors += 1,
             Severity::Warning => self.warnings += 1,
         }
+        crate::obs::sanitizer_finding(severity);
         if let Some(&i) = self.index.get(&(kind, site)) {
             self.diags[i].count += 1;
             return 0;
