@@ -11,7 +11,9 @@
 //! * **serve** — an in-process zipf load against the query service:
 //!   req/s, bucketed latency quantiles from the server's own metrics
 //!   registry, cache hit rate, and the measured overhead of that registry
-//!   (enabled-vs-disabled throughput delta).
+//!   (enabled-vs-disabled throughput delta). A second, deliberately
+//!   overloaded pass against a resilience-armed server records shed,
+//!   retry, and degraded rates (availability telemetry, never gated).
 //! * **simt** — per-kernel simulator throughput: host-side ops/sec
 //!   (simulated warp instructions per wall second) and the deterministic
 //!   simulated cycle counts for a pinned RMAT graph.
@@ -29,7 +31,8 @@ use maxwarp::{geomean, run_bfs, run_cc, run_pagerank, run_sssp, ExecConfig, Meth
 use maxwarp_graph::{random_weights, Csr, Dataset, Scale};
 use maxwarp_serve::json::{self, Value};
 use maxwarp_serve::{
-    Algo, LatencySummary, Query, Request, ServeError, Server, ServerConfig, Ticket,
+    Algo, ChaosConfig, LatencySummary, Query, Request, RetryPolicy, ServeError, Server,
+    ServerConfig, ShedConfig, Ticket,
 };
 use maxwarp_simt::GpuConfig;
 use std::time::Instant;
@@ -277,6 +280,121 @@ fn run_load(cfg: &BenchConfig, obs: bool) -> LoadRun {
     }
 }
 
+/// One deliberately overloaded pass against a resilience-armed server:
+/// small queue, admission control with rotating tenants, retries over a
+/// seeded launch-fault trickle, and a 1 ms stale TTL so warm entries are
+/// served stale-while-revalidate. Records shed/retry/degraded rates —
+/// availability telemetry for the trajectory, recorded but never gated
+/// (the rates are policy outcomes, not perf).
+fn run_overload(cfg: &BenchConfig) -> Value {
+    let mut sc = ServerConfig::for_tests(GpuConfig::fermi_c2050());
+    sc.workers = 2;
+    sc.queue_capacity = 16;
+    sc.tuning_path = None;
+    sc.resilience.shed = Some(ShedConfig {
+        high_watermark: 0.75,
+        tenant_rate: 100.0,
+        tenant_burst: 8.0,
+    });
+    sc.resilience.retry = RetryPolicy::attempts(3);
+    sc.resilience.stale_ttl = Some(std::time::Duration::from_millis(1));
+    sc.chaos = Some(ChaosConfig {
+        seed: cfg.seed,
+        launch_fault: 0.15,
+        ..ChaosConfig::default()
+    });
+    let server = Server::start(sc);
+    let catalog = serve_catalog(&server, cfg.scale);
+
+    // Warm every entry (stubbornly: shed warmups just retry), then let the
+    // cache go stale behind the 1 ms TTL.
+    let warm: Vec<Ticket> = catalog
+        .iter()
+        .filter_map(|(h, q)| {
+            let req = Request::new(*h, q.clone());
+            loop {
+                match server.submit(req.clone()) {
+                    Ok(t) => return Some(t),
+                    Err(ServeError::QueueFull { .. }) | Err(ServeError::Shed { .. }) => {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                    Err(_) => return None,
+                }
+            }
+        })
+        .collect();
+    for t in warm {
+        let _ = t.wait();
+    }
+    // Counters accumulated while stubbornly warming (shed warmups retried
+    // until admitted) are not part of the timed window.
+    let warm_res = server.snapshot().resilience;
+    std::thread::sleep(std::time::Duration::from_millis(2));
+
+    let mut rng = Rng(cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
+    let zipf = Zipf::new(catalog.len(), 1.1);
+    let tenants = ["alpha", "bravo", "charlie", "delta"];
+    let attempted = cfg.requests as u64;
+    let (h0, _) = catalog[0];
+    let n0 = server.graph(h0).map_or(1, |e| e.csr.num_vertices().max(1));
+    let mut tickets = Vec::new();
+    let mut rejected_full = 0u64;
+    for i in 0..cfg.requests {
+        // Every third request is a fresh cache-missing BFS so the retry
+        // path (device execution under the fault trickle) gets exercised;
+        // the rest replay the warm zipf catalog and go stale-while-
+        // revalidate.
+        let mut req = if i % 3 == 0 {
+            let src = (i as u32).wrapping_mul(131) % n0;
+            Request::new(h0, Query::Bfs { src: Some(src) })
+        } else {
+            let (h, q) = &catalog[zipf.draw(&mut rng)];
+            Request::new(*h, q.clone())
+        };
+        req.tenant = Some(tenants[i % tenants.len()].to_string());
+        match server.submit(req) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::QueueFull { .. }) => rejected_full += 1,
+            Err(_) => {} // sheds are read back from the snapshot counters
+        }
+    }
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    for t in tickets {
+        match t.wait() {
+            Ok(_) => completed += 1,
+            Err(ServeError::Shed { .. }) => {} // evicted victim, counted below
+            Err(_) => failed += 1,
+        }
+    }
+    let snap = server.snapshot();
+    server.shutdown();
+    let res = &snap.resilience;
+    let sheds = (res.shed_tenant - warm_res.shed_tenant) + (res.shed_queue - warm_res.shed_queue);
+    let retries = res.retries - warm_res.retries;
+    let degraded = res.degraded - warm_res.degraded;
+    let denom = attempted.max(1) as f64;
+    json::obj(vec![
+        ("attempted", json::n(attempted as f64)),
+        ("completed", json::n(completed as f64)),
+        ("failed", json::n(failed as f64)),
+        ("rejected_full", json::n(rejected_full as f64)),
+        ("shed", json::n(sheds as f64)),
+        ("retries", json::n(retries as f64)),
+        ("degraded", json::n(degraded as f64)),
+        ("shed_rate", json::n(sheds as f64 / denom)),
+        ("retry_rate", json::n(retries as f64 / denom)),
+        (
+            "degraded_rate",
+            json::n(if completed > 0 {
+                degraded as f64 / completed as f64
+            } else {
+                0.0
+            }),
+        ),
+    ])
+}
+
 /// The serve benchmark: alternating registry-on / registry-off loads, best
 /// throughput per mode, and the observability overhead that implies.
 pub fn bench_serve(cfg: &BenchConfig) -> Value {
@@ -288,6 +406,7 @@ pub fn bench_serve(cfg: &BenchConfig) -> Value {
         on_runs.push(run_load(cfg, true));
         off_best = off_best.max(run_load(cfg, false).throughput_rps);
     }
+    let overload = run_overload(cfg);
     let wall = start.elapsed().as_secs_f64();
     let Some(best) = on_runs
         .into_iter()
@@ -321,6 +440,7 @@ pub fn bench_serve(cfg: &BenchConfig) -> Value {
                 .collect(),
         ),
     ));
+    doc.push(("overload", overload));
     json::obj(doc)
 }
 
@@ -497,6 +617,24 @@ pub fn validate(suite: &str, v: &Value) -> Result<(), String> {
                 .ok_or("missing object field `per_algo`")?;
             if per_algo.is_empty() {
                 return Err("per_algo must be non-empty".into());
+            }
+            let ov = v.get("overload").ok_or("missing object field `overload`")?;
+            for key in [
+                "attempted",
+                "completed",
+                "failed",
+                "shed",
+                "retries",
+                "degraded",
+                "retry_rate",
+            ] {
+                want_num(ov, key).map_err(|e| format!("overload: {e}"))?;
+            }
+            for key in ["shed_rate", "degraded_rate"] {
+                let rate = want_num(ov, key).map_err(|e| format!("overload: {e}"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("overload {key} must be in [0,1]"));
+                }
             }
         }
         "simt" => {
@@ -718,6 +856,20 @@ mod tests {
             (
                 "per_algo",
                 Value::Obj([("bfs".to_string(), json::n(1.0))].into_iter().collect()),
+            ),
+            (
+                "overload",
+                doc(vec![
+                    ("attempted", json::n(10.0)),
+                    ("completed", json::n(8.0)),
+                    ("failed", json::n(0.0)),
+                    ("shed", json::n(2.0)),
+                    ("retries", json::n(1.0)),
+                    ("degraded", json::n(3.0)),
+                    ("shed_rate", json::n(0.2)),
+                    ("retry_rate", json::n(0.1)),
+                    ("degraded_rate", json::n(0.375)),
+                ]),
             ),
         ])
     }

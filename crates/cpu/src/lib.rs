@@ -19,6 +19,7 @@
 pub mod bfs;
 pub mod bfs_hybrid;
 pub mod cc;
+pub mod fallback;
 pub mod measure;
 pub mod pagerank;
 pub mod sssp;
@@ -26,6 +27,9 @@ pub mod sssp;
 pub use bfs::{bfs_parallel, bfs_parallel_default, bfs_sequential};
 pub use bfs_hybrid::{bfs_hybrid, bfs_hybrid_symmetric, HybridConfig, HybridStats};
 pub use cc::{cc_label_propagation, cc_parallel, cc_parallel_default};
+pub use fallback::{
+    run as fallback_run, supported as fallback_supported, FallbackData, FallbackParams,
+};
 pub use measure::{default_threads, edges_per_second, time_median, time_once};
 pub use pagerank::{pagerank_parallel, pagerank_parallel_default, pagerank_push, rank_linf};
 pub use sssp::{sssp_bellman_ford, sssp_parallel, sssp_parallel_default};

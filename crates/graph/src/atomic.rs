@@ -1,0 +1,296 @@
+//! Crash-safe on-disk store: checksummed headers, atomic publish, and
+//! detect-corrupt → quarantine → rebuild recovery.
+//!
+//! Every file the workspace persists across restarts (the serve tier's
+//! tuning table and cache-warmup snapshot, the generated-graph cache) goes
+//! through this one layer instead of hand-rolled `fs::write` calls, so the
+//! failure semantics are uniform:
+//!
+//! * **Torn writes cannot happen.** [`write`] publishes via
+//!   write-to-temp + rename; a reader sees the old file or the new one,
+//!   never a prefix.
+//! * **Corruption cannot be served.** Payloads are framed by a one-line
+//!   header carrying the format magic, a version, the payload length, and
+//!   an FNV-1a checksum. [`read`] verifies all four; a truncated,
+//!   bit-flipped, or partially overwritten file is a structured
+//!   [`StoreError::Corrupt`], never garbage data.
+//! * **Corruption is evidence, not garbage.** [`read_or_quarantine`] moves
+//!   a corrupt file aside to `<name>.corrupt` (instead of silently
+//!   overwriting it) so an operator can inspect what happened, then lets
+//!   the caller rebuild from scratch.
+//!
+//! The header is a single ASCII line so checksummed JSON files stay
+//! greppable: `#mwstore v1 len=<decimal> fnv=<16 hex digits>\n` followed by
+//! the raw payload bytes (text or binary).
+
+use crate::digest::Fnv64;
+use std::path::{Path, PathBuf};
+
+/// First bytes of every store file.
+const MAGIC: &str = "#mwstore";
+/// Format version this module writes and accepts.
+const VERSION: u32 = 1;
+
+/// Why a read failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The file does not exist (a fresh start, not a failure).
+    Missing,
+    /// Underlying IO failure (permissions, disk).
+    Io(std::io::Error),
+    /// The file exists but its header or payload is damaged. The message
+    /// names the first check that failed.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Missing => write!(f, "file missing"),
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt store file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Frame `payload` with the checksummed header.
+pub fn encode(payload: &[u8]) -> Vec<u8> {
+    let checksum = Fnv64::new().bytes(payload).finish();
+    let mut out = format!(
+        "{MAGIC} v{VERSION} len={} fnv={:016x}\n",
+        payload.len(),
+        checksum
+    )
+    .into_bytes();
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Verify a framed file image and return the payload.
+pub fn decode(data: &[u8]) -> Result<Vec<u8>, StoreError> {
+    let corrupt = |msg: &str| StoreError::Corrupt(msg.to_string());
+    let nl = data
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| corrupt("no header line"))?;
+    let header = std::str::from_utf8(&data[..nl]).map_err(|_| corrupt("header not utf-8"))?;
+    let mut parts = header.split_ascii_whitespace();
+    if parts.next() != Some(MAGIC) {
+        return Err(corrupt("bad magic"));
+    }
+    if parts.next() != Some("v1") {
+        return Err(corrupt("unknown version"));
+    }
+    let len: usize = parts
+        .next()
+        .and_then(|p| p.strip_prefix("len="))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| corrupt("bad length field"))?;
+    let fnv: u64 = parts
+        .next()
+        .and_then(|p| p.strip_prefix("fnv="))
+        .and_then(|v| u64::from_str_radix(v, 16).ok())
+        .ok_or_else(|| corrupt("bad checksum field"))?;
+    let payload = &data[nl + 1..];
+    if payload.len() != len {
+        return Err(StoreError::Corrupt(format!(
+            "length mismatch: header says {len}, file holds {}",
+            payload.len()
+        )));
+    }
+    let actual = Fnv64::new().bytes(payload).finish();
+    if actual != fnv {
+        return Err(StoreError::Corrupt(format!(
+            "checksum mismatch: header {fnv:016x}, payload {actual:016x}"
+        )));
+    }
+    Ok(payload.to_vec())
+}
+
+/// Atomically publish `payload` (framed with a checksummed header) at
+/// `path`: parent dirs created, bytes written to a process-unique temp
+/// name in the same directory, then renamed over the target.
+pub fn write(path: &Path, payload: &[u8]) -> Result<(), StoreError> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(StoreError::Io)?;
+        }
+    }
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "store".to_string());
+    let tmp = path.with_file_name(format!(".tmp-{}-{file_name}", std::process::id()));
+    std::fs::write(&tmp, encode(payload)).map_err(StoreError::Io)?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        StoreError::Io(e)
+    })
+}
+
+/// Read and verify the file at `path`.
+pub fn read(path: &Path) -> Result<Vec<u8>, StoreError> {
+    let data = match std::fs::read(path) {
+        Ok(d) => d,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(StoreError::Missing),
+        Err(e) => return Err(StoreError::Io(e)),
+    };
+    decode(&data)
+}
+
+/// Move a damaged file aside to `<name>.corrupt` (overwriting any previous
+/// quarantine of the same name) and return the quarantine path.
+pub fn quarantine(path: &Path) -> Option<PathBuf> {
+    let file_name = path.file_name()?.to_string_lossy().into_owned();
+    let dst = path.with_file_name(format!("{file_name}.corrupt"));
+    std::fs::rename(path, &dst).ok()?;
+    Some(dst)
+}
+
+/// What [`read_or_quarantine`] found.
+#[derive(Debug)]
+pub enum Recovered {
+    /// Verified payload.
+    Ok(Vec<u8>),
+    /// No file — a fresh start.
+    Missing,
+    /// The file was corrupt; it has been moved to the returned quarantine
+    /// path (or deleted if the rename failed) and the caller should
+    /// rebuild. The string is the corruption diagnosis.
+    Quarantined(Option<PathBuf>, String),
+}
+
+/// [`read`], but a corrupt file is quarantined instead of left in place,
+/// so the next writer starts clean and the evidence survives.
+pub fn read_or_quarantine(path: &Path) -> Recovered {
+    match read(path) {
+        Ok(payload) => Recovered::Ok(payload),
+        Err(StoreError::Missing) => Recovered::Missing,
+        Err(StoreError::Io(_)) => Recovered::Missing,
+        Err(StoreError::Corrupt(msg)) => {
+            let dst = quarantine(path);
+            if dst.is_none() {
+                // Rename failed (cross-device, permissions): delete so the
+                // corrupt bytes can't be re-read forever.
+                let _ = std::fs::remove_file(path);
+            }
+            Recovered::Quarantined(dst, msg)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("maxwarp-atomic-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn round_trip_text_and_binary() {
+        let dir = tmp("rt");
+        for payload in [b"hello json {}".to_vec(), vec![0u8, 255, 7, 0, 13, 10, 1]] {
+            let p = dir.join("f");
+            write(&p, &payload).unwrap();
+            assert_eq!(read(&p).unwrap(), payload);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_is_not_corrupt() {
+        let dir = tmp("missing");
+        assert!(matches!(read(&dir.join("nope")), Err(StoreError::Missing)));
+        assert!(matches!(
+            read_or_quarantine(&dir.join("nope")),
+            Recovered::Missing
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_bitflip_and_garbage_are_detected() {
+        let dir = tmp("corrupt");
+        let p = dir.join("f");
+        let payload = b"the quick brown fox jumps over the lazy dog".to_vec();
+        write(&p, &payload).unwrap();
+        let good = std::fs::read(&p).unwrap();
+
+        // Truncation at every prefix length fails (except we never confuse
+        // it with success).
+        for cut in [0, 5, good.len() / 2, good.len() - 1] {
+            std::fs::write(&p, &good[..cut]).unwrap();
+            assert!(read(&p).is_err(), "truncated to {cut} bytes");
+        }
+        // A single bit flip anywhere fails.
+        for pos in [0, 10, good.len() - 3] {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x40;
+            std::fs::write(&p, &bad).unwrap();
+            assert!(matches!(read(&p), Err(StoreError::Corrupt(_))), "bit {pos}");
+        }
+        // A plain legacy file without a header is corrupt, not a panic.
+        std::fs::write(&p, b"{\"version\":1}").unwrap();
+        assert!(matches!(read(&p), Err(StoreError::Corrupt(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_moves_evidence_aside() {
+        let dir = tmp("quarantine");
+        let p = dir.join("state.json");
+        write(&p, b"payload").unwrap();
+        // Flip a payload bit.
+        let mut bytes = std::fs::read(&p).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        std::fs::write(&p, &bytes).unwrap();
+
+        let Recovered::Quarantined(Some(q), msg) = read_or_quarantine(&p) else {
+            panic!("expected quarantine");
+        };
+        assert!(msg.contains("checksum"), "{msg}");
+        assert!(!p.exists(), "corrupt file moved aside");
+        assert!(q.exists() && q.ends_with("state.json.corrupt"));
+        // A rebuild then publishes cleanly over the vacated path.
+        write(&p, b"rebuilt").unwrap();
+        assert_eq!(read(&p).unwrap(), b"rebuilt");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_is_atomic_under_concurrent_readers() {
+        let dir = tmp("atomic");
+        let p = dir.join("f");
+        write(&p, &vec![b'a'; 4096]).unwrap();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let reader = s.spawn(|| {
+                let mut reads = 0u32;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    match read(&p) {
+                        Ok(payload) => {
+                            assert!(payload.iter().all(|&b| b == payload[0]));
+                            reads += 1;
+                        }
+                        Err(e) => panic!("reader saw a torn write: {e}"),
+                    }
+                }
+                reads
+            });
+            for i in 0..50u8 {
+                let byte = if i % 2 == 0 { b'a' } else { b'b' };
+                write(&p, &vec![byte; 4096]).unwrap();
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            assert!(reader.join().unwrap() > 0);
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

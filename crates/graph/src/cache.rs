@@ -7,9 +7,11 @@
 //! the key must be a pure function of everything that determines the
 //! output, so a recipe change can never serve a stale graph.
 //!
-//! Layout: `<dir>/<slug>-<fnv64(key)>.csr`, written atomically (temp file +
-//! rename) so concurrent builders — harness workers, parallel CI jobs —
-//! race benignly: both write identical bytes, last rename wins.
+//! Layout: `<dir>/<slug>-<fnv64(key)>.csr`, stored through the
+//! [`crate::atomic`] layer: a checksummed header over the binary CSR
+//! payload, published by temp-file + rename so concurrent builders —
+//! harness workers, parallel CI jobs — race benignly: both write identical
+//! bytes, last rename wins.
 //!
 //! The directory is resolved from `MAXWARP_GRAPH_CACHE`:
 //! * unset → `target/graph-cache` under the current directory;
@@ -18,11 +20,15 @@
 //!
 //! Every failure mode (unreadable file, corrupt bytes, read-only disk)
 //! degrades to regenerating the graph; the cache is never load-bearing for
-//! correctness.
+//! correctness. A truncated or bit-flipped cache file is additionally
+//! **quarantined** (moved aside to `<name>.csr.corrupt`) before the
+//! rebuild, mirroring the tuning-table recovery path, so corruption leaves
+//! evidence instead of being silently overwritten.
 
+use crate::atomic::{self, Recovered};
 use crate::csr::Csr;
 use crate::digest::Fnv64;
-use crate::io::{load_csr, save_csr};
+use crate::io::{decode_csr, encode_csr};
 use std::path::{Path, PathBuf};
 
 /// Resolve the cache directory from the environment (see module docs).
@@ -45,19 +51,42 @@ fn file_name(key: &str) -> String {
 }
 
 /// Fetch the graph for `key` from `dir`, or build and store it.
+///
+/// A present-but-damaged file (truncation, bit flip, a legacy un-headered
+/// image, or a valid frame whose CSR payload fails to decode) is
+/// quarantined and the graph rebuilt; the rebuild republishes a clean
+/// entry, so the next lookup hits again.
 pub fn cached_or_build_in(dir: &Path, key: &str, build: impl FnOnce() -> Csr) -> Csr {
     let path = dir.join(file_name(key));
-    if let Ok(g) = load_csr(&path) {
-        return g;
-    }
-    let g = build();
-    if std::fs::create_dir_all(dir).is_ok() {
-        // Atomic publish: write under a process-unique temp name, rename.
-        let tmp = dir.join(format!(".tmp-{}-{}", std::process::id(), file_name(key)));
-        if save_csr(&g, &tmp).is_ok() && std::fs::rename(&tmp, &path).is_err() {
-            let _ = std::fs::remove_file(&tmp);
+    match atomic::read_or_quarantine(&path) {
+        Recovered::Ok(payload) => match decode_csr(&payload) {
+            Ok(g) => return g,
+            Err(e) => {
+                // Frame verified but the CSR inside is invalid (e.g. a
+                // stale format): same recovery as a bad frame.
+                if let Some(q) = atomic::quarantine(&path) {
+                    eprintln!(
+                        "[graph-cache] quarantined undecodable entry {} -> {} ({e})",
+                        path.display(),
+                        q.display()
+                    );
+                }
+            }
+        },
+        Recovered::Missing => {}
+        Recovered::Quarantined(q, msg) => {
+            eprintln!(
+                "[graph-cache] quarantined corrupt entry {}{} ({msg}); rebuilding",
+                path.display(),
+                q.map(|p| format!(" -> {}", p.display()))
+                    .unwrap_or_default()
+            );
         }
     }
+    let g = build();
+    // Atomic checksummed publish; failures (read-only disk) only cost the
+    // next builder a regeneration.
+    let _ = atomic::write(&path, &encode_csr(&g));
     g
 }
 
@@ -109,15 +138,50 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_file_falls_back_to_rebuild() {
+    fn corrupt_file_is_quarantined_then_rebuilt() {
         let dir = tmpdir("corrupt");
         std::fs::create_dir_all(&dir).unwrap();
-        std::fs::write(dir.join(file_name("kc")), b"not a csr file").unwrap();
+        let entry = dir.join(file_name("kc"));
+        std::fs::write(&entry, b"not a csr file").unwrap();
         let g = cached_or_build_in(&dir, "kc", || Csr::from_edges(2, &[(0, 1)]));
         assert_eq!(g.num_edges(), 1);
+        // The bad bytes were moved aside as evidence, not overwritten.
+        let quarantined = entry.with_file_name(format!(
+            "{}.corrupt",
+            entry.file_name().unwrap().to_string_lossy()
+        ));
+        assert!(quarantined.exists(), "corrupt entry quarantined");
+        assert_eq!(std::fs::read(&quarantined).unwrap(), b"not a csr file");
         // The rebuild repaired the cache entry.
         let again = cached_or_build_in(&dir, "kc", || unreachable!("must hit"));
         assert_eq!(again, g);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_and_bitflipped_files_recover() {
+        let dir = tmpdir("damage");
+        let mk = || Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let reference = mk();
+        let entry = dir.join(file_name("kd"));
+        for damage in 0..3 {
+            let _ = cached_or_build_in(&dir, "kd", mk); // seed a clean entry
+            let mut bytes = std::fs::read(&entry).unwrap();
+            match damage {
+                0 => bytes.truncate(bytes.len() / 2),
+                1 => {
+                    let mid = bytes.len() / 2;
+                    bytes[mid] ^= 0x10;
+                }
+                _ => bytes.truncate(0),
+            }
+            std::fs::write(&entry, &bytes).unwrap();
+            let g = cached_or_build_in(&dir, "kd", mk);
+            assert_eq!(g, reference, "damage mode {damage}");
+            // Recovered entry serves hits again.
+            let hit = cached_or_build_in(&dir, "kd", || unreachable!("must hit"));
+            assert_eq!(hit, reference);
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -15,6 +15,7 @@
 //! assert_eq!(levels[Dataset::Rmat.source(&g) as usize], 0);
 //! ```
 
+pub mod atomic;
 pub mod builder;
 pub mod cache;
 pub mod csr;

@@ -19,7 +19,7 @@ use crate::json::{self, Value};
 use crate::request::{Algo, Query, ServeError};
 use crate::store::GraphEntry;
 use maxwarp::{method_table, ExecConfig, Method};
-use maxwarp_graph::{induced_sample, Csr};
+use maxwarp_graph::{atomic, induced_sample, Csr};
 use maxwarp_obs::Counter;
 use maxwarp_simt::GpuConfig;
 use std::collections::HashMap;
@@ -296,19 +296,29 @@ impl Tuner {
 
     fn persist(&self) {
         let Some(path) = &self.path else { return };
-        if let Some(dir) = path.parent() {
-            let _ = std::fs::create_dir_all(dir);
-        }
-        // Atomic publish: a concurrent reader sees the old table or the new
-        // one, never a torn file.
-        let tmp = path.with_extension("json.tmp");
-        if std::fs::write(&tmp, self.to_json().to_json()).is_ok() {
-            let _ = std::fs::rename(&tmp, path);
+        // Crash-safe publish through the checksummed atomic store: a
+        // concurrent reader sees the old table or the new one, never a torn
+        // file, and a torn/bit-flipped file is detected (and quarantined)
+        // at load instead of being parsed as garbage.
+        if let Err(e) = atomic::write(path, self.to_json().to_json().as_bytes()) {
+            eprintln!("[serve] tuning table write failed: {e}");
         }
     }
 
     fn load(&mut self, path: &Path) {
-        let Ok(text) = std::fs::read_to_string(path) else {
+        let payload = match atomic::read_or_quarantine(path) {
+            atomic::Recovered::Ok(p) => p,
+            atomic::Recovered::Missing => return,
+            atomic::Recovered::Quarantined(dst, msg) => {
+                eprintln!(
+                    "[serve] tuning table {} corrupt ({msg}); quarantined to {dst:?}, re-probing",
+                    path.display()
+                );
+                return;
+            }
+        };
+        let Ok(text) = String::from_utf8(payload) else {
+            eprintln!("[serve] tuning table {} not utf-8", path.display());
             return;
         };
         let Ok(doc) = json::parse(&text) else {

@@ -21,11 +21,11 @@
 use maxwarp_graph::{Dataset, Scale};
 use maxwarp_serve::json::{self, Value};
 use maxwarp_serve::{
-    Algo, LatencyHistogram, LatencySummary, Query, Request, Response, ServeError, Server,
+    Algo, Backoff, LatencyHistogram, LatencySummary, Query, Request, Response, ServeError, Server,
     ServerConfig, Ticket,
 };
 use maxwarp_simt::GpuConfig;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Label-keyed latency summaries of one histogram family from the server's
 /// registry (`serve_algo_service_us{algo=…}` / `serve_tenant_service_us`
@@ -245,11 +245,13 @@ fn main() {
     let wall_start = Instant::now();
     let mut tickets: Vec<(usize, Ticket)> = Vec::with_capacity(args.requests);
     let mut retries = 0u64;
-    for _ in 0..args.requests {
+    let backoff = Backoff::default();
+    for n in 0..args.requests {
         let idx = zipf.draw(&mut rng);
         let (h, name, query) = &catalog[idx];
         let mut req = Request::new(*h, query.clone());
         req.tenant = Some(name.to_string());
+        let mut attempt = 0u32;
         loop {
             match server.submit(req.clone()) {
                 Ok(t) => {
@@ -257,10 +259,13 @@ fn main() {
                     break;
                 }
                 Err(ServeError::QueueFull { .. }) => {
-                    // Structured backpressure: back off and retry — the
-                    // request is never dropped.
+                    // Structured backpressure: capped exponential backoff
+                    // with jitter, then retry — the request is never
+                    // dropped, and distinct submitters don't re-collide
+                    // in lockstep.
                     retries += 1;
-                    std::thread::sleep(Duration::from_micros(200));
+                    std::thread::sleep(backoff.delay(attempt, args.seed ^ n as u64));
+                    attempt = attempt.saturating_add(1);
                 }
                 Err(e) => die(&format!("unexpected admission error: {e}")),
             }

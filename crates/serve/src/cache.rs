@@ -16,6 +16,7 @@ use crate::request::ResultData;
 use maxwarp_obs::Counter;
 use maxwarp_simt::{GpuConfig, KernelStats};
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 /// Full identity of a cacheable response.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -94,6 +95,18 @@ struct Entry {
     value: CachedResult,
     bytes: usize,
     touched: u64,
+    /// When the entry was produced — drives stale-while-revalidate.
+    inserted: Instant,
+}
+
+/// Age classification of a cache hit relative to a TTL.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Freshness {
+    /// Within TTL (or no TTL configured): byte-identical replay.
+    Fresh,
+    /// Past TTL: still byte-identical to the run that produced it, but the
+    /// server flags it `degraded` and refreshes in the background.
+    Stale,
 }
 
 /// Running counters, exported in the server's stats JSON.
@@ -185,12 +198,29 @@ impl ResultCache {
 
     /// Look `key` up, refreshing its LRU position on hit.
     pub fn get(&mut self, key: &CacheKey) -> Option<CachedResult> {
+        self.get_at(key, Instant::now(), None).map(|(v, _)| v)
+    }
+
+    /// Look `key` up with stale classification: a hit older than `ttl` (if
+    /// one is given) is returned as [`Freshness::Stale`]. Stale entries are
+    /// still served — the scheduler flags them `degraded` and refreshes in
+    /// the background — so availability never regresses to a miss.
+    pub fn get_at(
+        &mut self,
+        key: &CacheKey,
+        now: Instant,
+        ttl: Option<Duration>,
+    ) -> Option<(CachedResult, Freshness)> {
         self.tick += 1;
         match self.map.get_mut(key) {
             Some(e) => {
                 e.touched = self.tick;
                 self.hits.inc();
-                Some(e.value.clone())
+                let fresh = match ttl {
+                    Some(t) if now.saturating_duration_since(e.inserted) > t => Freshness::Stale,
+                    _ => Freshness::Fresh,
+                };
+                Some((e.value.clone(), fresh))
             }
             None => {
                 self.misses.inc();
@@ -201,6 +231,12 @@ impl ResultCache {
 
     /// Insert a result, evicting the least-recently-touched entry if full.
     pub fn insert(&mut self, key: CacheKey, value: CachedResult) {
+        self.insert_at(key, value, Instant::now());
+    }
+
+    /// [`insert`](ResultCache::insert) with an explicit timestamp (the
+    /// scheduler passes one `now` per serve; tests pass synthetic clocks).
+    pub fn insert_at(&mut self, key: CacheKey, value: CachedResult, now: Instant) {
         if self.capacity == 0 {
             return;
         }
@@ -224,8 +260,60 @@ impl ResultCache {
                 value,
                 bytes,
                 touched: self.tick,
+                inserted: now,
             },
         );
+    }
+
+    /// Serialize every entry into the cache-warmup snapshot format: a
+    /// versioned, deterministic (key-sorted) binary image. The caller
+    /// frames it through `maxwarp_graph::atomic`, which adds the checksum
+    /// and atomic publish — this layer only defines the payload.
+    pub fn export_snapshot(&self) -> Vec<u8> {
+        let mut keys: Vec<&CacheKey> = self.map.keys().collect();
+        keys.sort_by(|a, b| {
+            (a.graph, a.query, &a.method, a.device).cmp(&(b.graph, b.query, &b.method, b.device))
+        });
+        let mut w = Vec::new();
+        put_u32(&mut w, SNAPSHOT_VERSION);
+        put_u64(&mut w, keys.len() as u64);
+        for k in keys {
+            let e = &self.map[k];
+            put_u64(&mut w, k.graph);
+            put_u64(&mut w, k.query);
+            put_u64(&mut w, k.device);
+            put_str(&mut w, &k.method);
+            put_u32(&mut w, e.value.iterations);
+            put_str(&mut w, &e.value.method);
+            put_stats(&mut w, &e.value.stats);
+            put_data(&mut w, &e.value.data);
+        }
+        w
+    }
+
+    /// Load entries from a snapshot produced by
+    /// [`export_snapshot`](ResultCache::export_snapshot), inserting them as
+    /// fresh at `now`. Returns the number of entries imported. A snapshot
+    /// from an unknown version (or with trailing garbage — the atomic layer
+    /// already rules out corruption) imports nothing: warmup is an
+    /// optimization, never load-bearing.
+    pub fn import_snapshot(&mut self, bytes: &[u8], now: Instant) -> usize {
+        let mut r = Reader { buf: bytes, at: 0 };
+        let Some(version) = r.u32() else { return 0 };
+        if version != SNAPSHOT_VERSION {
+            return 0;
+        }
+        let Some(count) = r.u64() else { return 0 };
+        let mut imported = 0;
+        for _ in 0..count {
+            let Some(entry) = read_entry(&mut r) else {
+                break;
+            };
+            let (key, value) = entry;
+            self.insert_at(key, value, now);
+            imported += 1;
+        }
+        imported
     }
 
     /// Snapshot of the counters.
@@ -239,6 +327,224 @@ impl ResultCache {
             bytes: self.map.values().map(|e| e.bytes as u64).sum(),
         }
     }
+}
+
+/// Warmup-snapshot payload version (bumped on any layout change; old
+/// snapshots are then ignored and the cache warms organically).
+const SNAPSHOT_VERSION: u32 = 1;
+
+fn put_u8(w: &mut Vec<u8>, v: u8) {
+    w.push(v);
+}
+fn put_u32(w: &mut Vec<u8>, v: u32) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(w: &mut Vec<u8>, v: u64) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+fn put_str(w: &mut Vec<u8>, s: &str) {
+    put_u32(w, s.len() as u32);
+    w.extend_from_slice(s.as_bytes());
+}
+
+fn put_stats(w: &mut Vec<u8>, s: &KernelStats) {
+    // Field-by-field (not a memcpy) so a struct change breaks the build
+    // here instead of silently corrupting snapshots.
+    for v in [
+        s.cycles,
+        s.instructions,
+        s.alu_instructions,
+        s.mem_instructions,
+        s.atomic_instructions,
+        s.shared_instructions,
+        s.barriers,
+        s.mem_transactions,
+        s.cached_load_instructions,
+        s.cache_hit_segments,
+        s.cache_miss_segments,
+        s.atomic_replays,
+        s.shared_replay_passes,
+        s.active_lane_sum,
+        s.warps,
+        s.blocks,
+    ] {
+        put_u64(w, v);
+    }
+    put_u32(w, s.per_warp_instructions.len() as u32);
+    for &v in &s.per_warp_instructions {
+        put_u32(w, v);
+    }
+}
+
+fn put_data(w: &mut Vec<u8>, d: &ResultData) {
+    match d {
+        ResultData::U32s(v) => {
+            put_u8(w, 0);
+            put_u64(w, v.len() as u64);
+            for &x in v {
+                put_u32(w, x);
+            }
+        }
+        ResultData::F32s(v) => {
+            put_u8(w, 1);
+            put_u64(w, v.len() as u64);
+            for &x in v {
+                put_u32(w, x.to_bits());
+            }
+        }
+        ResultData::U32Rows(rows) => {
+            put_u8(w, 2);
+            put_u64(w, rows.len() as u64);
+            for r in rows {
+                put_u64(w, r.len() as u64);
+                for &x in r {
+                    put_u32(w, x);
+                }
+            }
+        }
+        ResultData::Count(c) => {
+            put_u8(w, 3);
+            put_u64(w, *c);
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Option<&[u8]> {
+        let end = self.at.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Some(s)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Some(u64::from_le_bytes(a))
+    }
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        // An implausible length means a layout drift, not a real string.
+        if len > 1 << 20 {
+            return None;
+        }
+        let b = self.take(len)?;
+        String::from_utf8(b.to_vec()).ok()
+    }
+    /// Bounded element count: payloads are result vectors over graphs the
+    /// process could actually hold, never multi-billion-entry claims.
+    fn count(&mut self, elem_bytes: usize) -> Option<usize> {
+        let n = self.u64()? as usize;
+        if n.checked_mul(elem_bytes)? > self.buf.len() {
+            return None;
+        }
+        Some(n)
+    }
+}
+
+fn read_stats(r: &mut Reader) -> Option<KernelStats> {
+    let mut s = KernelStats {
+        cycles: r.u64()?,
+        instructions: r.u64()?,
+        alu_instructions: r.u64()?,
+        mem_instructions: r.u64()?,
+        atomic_instructions: r.u64()?,
+        shared_instructions: r.u64()?,
+        barriers: r.u64()?,
+        mem_transactions: r.u64()?,
+        cached_load_instructions: r.u64()?,
+        cache_hit_segments: r.u64()?,
+        cache_miss_segments: r.u64()?,
+        atomic_replays: r.u64()?,
+        shared_replay_passes: r.u64()?,
+        active_lane_sum: r.u64()?,
+        warps: r.u64()?,
+        blocks: r.u64()?,
+        per_warp_instructions: Vec::new(),
+    };
+    let n = r.u32()? as usize;
+    if n * 4 > r.buf.len() {
+        return None;
+    }
+    let mut per_warp = Vec::with_capacity(n);
+    for _ in 0..n {
+        per_warp.push(r.u32()?);
+    }
+    s.per_warp_instructions = per_warp;
+    Some(s)
+}
+
+fn read_data(r: &mut Reader) -> Option<ResultData> {
+    match r.u8()? {
+        0 => {
+            let n = r.count(4)?;
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(r.u32()?);
+            }
+            Some(ResultData::U32s(v))
+        }
+        1 => {
+            let n = r.count(4)?;
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(f32::from_bits(r.u32()?));
+            }
+            Some(ResultData::F32s(v))
+        }
+        2 => {
+            let rows_n = r.count(8)?;
+            let mut rows = Vec::with_capacity(rows_n);
+            for _ in 0..rows_n {
+                let n = r.count(4)?;
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(r.u32()?);
+                }
+                rows.push(v);
+            }
+            Some(ResultData::U32Rows(rows))
+        }
+        3 => Some(ResultData::Count(r.u64()?)),
+        _ => None,
+    }
+}
+
+fn read_entry(r: &mut Reader) -> Option<(CacheKey, CachedResult)> {
+    let key = CacheKey {
+        graph: r.u64()?,
+        query: r.u64()?,
+        device: r.u64()?,
+        method: r.str()?,
+    };
+    let iterations = r.u32()?;
+    let method = r.str()?;
+    let stats = read_stats(r)?;
+    let data = read_data(r)?;
+    Some((
+        key,
+        CachedResult {
+            data,
+            stats,
+            iterations,
+            method,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -287,6 +593,96 @@ mod tests {
         assert!(c.get(&key(3)).is_some());
         assert_eq!(c.stats().evictions, 1);
         assert_eq!(c.stats().entries, 2);
+    }
+
+    #[test]
+    fn ttl_classifies_but_never_drops() {
+        let mut c = ResultCache::new(4);
+        let t0 = Instant::now();
+        c.insert_at(key(1), result(7), t0);
+        let ttl = Some(Duration::from_millis(100));
+        let (_, fresh) = c
+            .get_at(&key(1), t0 + Duration::from_millis(50), ttl)
+            .unwrap();
+        assert_eq!(fresh, Freshness::Fresh);
+        let (v, fresh) = c
+            .get_at(&key(1), t0 + Duration::from_millis(150), ttl)
+            .unwrap();
+        assert_eq!(fresh, Freshness::Stale, "past TTL is stale, not a miss");
+        assert_eq!(v.iterations, 7, "stale replay is still the same bytes");
+        // No TTL: never stale.
+        let (_, fresh) = c
+            .get_at(&key(1), t0 + Duration::from_secs(3600), None)
+            .unwrap();
+        assert_eq!(fresh, Freshness::Fresh);
+        // A re-insert refreshes the clock.
+        c.insert_at(key(1), result(8), t0 + Duration::from_millis(150));
+        let (_, fresh) = c
+            .get_at(&key(1), t0 + Duration::from_millis(200), ttl)
+            .unwrap();
+        assert_eq!(fresh, Freshness::Fresh);
+    }
+
+    #[test]
+    fn snapshot_round_trips_every_payload_shape() {
+        let mut c = ResultCache::new(16);
+        let shapes = [
+            ResultData::U32s(vec![0, 7, u32::MAX]),
+            ResultData::F32s(vec![0.5, -1.25, f32::NAN]),
+            ResultData::U32Rows(vec![vec![1, 2], vec![], vec![3]]),
+            ResultData::Count(99),
+        ];
+        for (i, data) in shapes.iter().enumerate() {
+            let stats = KernelStats {
+                cycles: 1000 + i as u64,
+                per_warp_instructions: vec![i as u32; 3],
+                ..KernelStats::default()
+            };
+            c.insert(
+                key(i as u64),
+                CachedResult {
+                    data: data.clone(),
+                    stats,
+                    iterations: i as u32,
+                    method: format!("vw{}", 1 << i),
+                },
+            );
+        }
+        let snap = c.export_snapshot();
+        // Deterministic bytes for the same content.
+        assert_eq!(snap, c.export_snapshot());
+
+        let mut warm = ResultCache::new(16);
+        assert_eq!(warm.import_snapshot(&snap, Instant::now()), shapes.len());
+        for (i, data) in shapes.iter().enumerate() {
+            let hit = warm.get(&key(i as u64)).unwrap();
+            match (&hit.data, data) {
+                (ResultData::F32s(a), ResultData::F32s(b)) => {
+                    // Bit-exact, including the NaN.
+                    let ab: Vec<u32> = a.iter().map(|x| x.to_bits()).collect();
+                    let bb: Vec<u32> = b.iter().map(|x| x.to_bits()).collect();
+                    assert_eq!(ab, bb);
+                }
+                (got, want) => assert_eq!(got, want),
+            }
+            assert_eq!(hit.iterations, i as u32);
+            assert_eq!(hit.stats.cycles, 1000 + i as u64);
+            assert_eq!(hit.stats.per_warp_instructions, vec![i as u32; 3]);
+        }
+
+        // Unknown version or truncation imports nothing/partially, never
+        // panics.
+        let mut bad = snap.clone();
+        bad[0] ^= 0xff;
+        assert_eq!(
+            ResultCache::new(16).import_snapshot(&bad, Instant::now()),
+            0
+        );
+        for cut in [0, 3, snap.len() / 2] {
+            let mut partial = ResultCache::new(16);
+            let n = partial.import_snapshot(&snap[..cut], Instant::now());
+            assert!(n <= shapes.len());
+        }
     }
 
     #[test]

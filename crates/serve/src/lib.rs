@@ -22,6 +22,18 @@
 //!   evidence to `results/tuning.json`, and serves the winner thereafter.
 //!   `MAXWARP_METHOD` pins a method globally.
 //!
+//! A fourth layer — **resilience** ([`resilience`]) — keeps the service
+//! standing when things break: supervised workers (panic-isolated, bounded
+//! restarts with backoff, crash recovery of in-flight requests),
+//! per-request retry/backoff/hedging, admission control (per-tenant token
+//! buckets + priority shedding past a queue high-watermark), graceful
+//! degradation (stale-while-revalidate cache serving and a per-`(graph,
+//! algorithm)` circuit breaker routing to the CPU reference), and
+//! crash-safe persistence (tuning table and cache-warmup snapshot framed
+//! through [`maxwarp_graph::atomic`]). Every resilience policy is strictly
+//! *around* execution: non-degraded responses are byte-identical with the
+//! features on or off.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -52,6 +64,11 @@
 //! | `MAXWARP_OBS` | `0`/`off` disables the per-server metrics registry (default on) |
 //! | `MAXWARP_OBS_TRACE` | `1` enables per-request span tracing (Chrome-trace export) |
 //! | `MAXWARP_OBS_SPANS` | span buffer capacity (default 65536) |
+//! | `MAXWARP_RETRY` | execution attempts per request (default 1 = retries off) |
+//! | `MAXWARP_SHED` | queue high-watermark fraction for priority shedding (e.g. `0.75`; `0`/`off` keeps bare `QueueFull`) |
+//! | `MAXWARP_STALE_TTL` | stale-while-revalidate TTL in ms (`0`/`off` disables) |
+//! | `MAXWARP_BREAKER` | circuit-breaker trip threshold in consecutive faults (`0`/`off` disables) |
+//! | `MAXWARP_WARMUP` | cache-warmup snapshot path (unset/`0`/`off` disables) |
 //!
 //! ## Observability
 //!
@@ -70,15 +87,24 @@ pub mod exec;
 pub mod json;
 pub mod metrics;
 pub mod request;
+pub mod resilience;
 pub mod scheduler;
 pub mod stats;
 pub mod store;
 
 pub use autotune::{probe_methods, probe_one, Choice, ChoiceSource, TuneEntry, Tuner};
-pub use cache::{gpu_fingerprint, CacheKey, CacheStats, CachedResult, ResultCache};
+pub use cache::{gpu_fingerprint, CacheKey, CacheStats, CachedResult, Freshness, ResultCache};
 pub use exec::{execute, execute_labeled, DeviceTemplate};
 pub use metrics::ServeMetrics;
-pub use request::{Algo, Query, Request, Response, ResultData, ServeError};
-pub use scheduler::{Server, ServerConfig, ServerSnapshot, Ticket};
+pub use request::{
+    Algo, Priority, Query, Request, Response, ResponseSource, ResultData, ServeError,
+};
+pub use resilience::{
+    Backoff, BreakerConfig, BreakerState, ChaosConfig, CircuitBreaker, CrashPolicy,
+    ResilienceConfig, RestartPolicy, RetryPolicy, ShedConfig, ShedReason, TokenBucket,
+};
+pub use scheduler::{
+    ResilienceSnapshot, Server, ServerConfig, ServerSnapshot, Ticket, WorkerHealth,
+};
 pub use stats::{LatencyHistogram, LatencySummary};
 pub use store::{GraphEntry, GraphHandle, GraphStore};

@@ -64,6 +64,53 @@ pub struct ServeMetrics {
     pub cache_bytes: Gauge,
     /// `serve_tuner_probes_total` — autotuner probe executions.
     pub tuner_probes: Counter,
+    /// `serve_retries_total` — extra execution attempts consumed.
+    pub retries: Counter,
+    /// `serve_retry_successes_total` — requests that succeeded on attempt
+    /// two or later.
+    pub retry_successes: Counter,
+    /// `serve_hedges_total` — hedged duplicates actually launched.
+    pub hedges: Counter,
+    /// `serve_hedge_wins_total` — hedged duplicates that produced the
+    /// winning response.
+    pub hedge_wins: Counter,
+    /// `serve_hedge_cancels_total` — hedge losers cancelled before (or
+    /// discarded after) execution.
+    pub hedge_cancels: Counter,
+    /// `serve_shed_total{reason="tenant_rate"}` — token-bucket sheds.
+    pub shed_tenant: Counter,
+    /// `serve_shed_total{reason="queue_pressure"}` — watermark sheds.
+    pub shed_queue: Counter,
+    /// `serve_breaker_trips_total` — Closed→Open transitions.
+    pub breaker_trips: Counter,
+    /// `serve_breaker_open` — breaker keys currently open.
+    pub breaker_open: Gauge,
+    /// `serve_cpu_fallbacks_total` — responses served by the CPU reference
+    /// path while a breaker was open.
+    pub fallbacks: Counter,
+    /// `serve_stale_served_total` — cache hits past TTL served degraded.
+    pub stale_served: Counter,
+    /// `serve_refreshes_total` — background refreshes enqueued for stale
+    /// entries.
+    pub refreshes: Counter,
+    /// `serve_degraded_total` — all degraded responses (stale + fallback).
+    pub degraded: Counter,
+    /// `serve_worker_panics_total` — panics that escaped a request and
+    /// crashed a worker (supervised).
+    pub worker_panics: Counter,
+    /// `serve_worker_restarts_total` — supervised restarts granted.
+    pub worker_restarts: Counter,
+    /// `serve_workers_dead` — slots that exhausted their restart budget.
+    pub workers_dead: Gauge,
+    /// `serve_crash_requeued_total` — in-flight requests of a crashed
+    /// worker put back on the queue.
+    pub crash_requeued: Counter,
+    /// `serve_crash_failed_total` — in-flight requests of a crashed worker
+    /// failed (policy or requeue budget).
+    pub crash_failed: Counter,
+    /// `serve_warmup_entries_total` — cache entries loaded from the warmup
+    /// snapshot at startup.
+    pub warmup_loaded: Counter,
     /// `serve_algo_service_us{algo=…}`, indexed in `Algo::ALL` order.
     per_algo_service: Vec<HistogramHandle>,
 }
@@ -99,6 +146,25 @@ impl ServeMetrics {
             cache_entries: registry.gauge("serve_cache_entries"),
             cache_bytes: registry.gauge("serve_cache_bytes"),
             tuner_probes: registry.counter("serve_tuner_probes_total"),
+            retries: registry.counter("serve_retries_total"),
+            retry_successes: registry.counter("serve_retry_successes_total"),
+            hedges: registry.counter("serve_hedges_total"),
+            hedge_wins: registry.counter("serve_hedge_wins_total"),
+            hedge_cancels: registry.counter("serve_hedge_cancels_total"),
+            shed_tenant: registry.counter_with("serve_shed_total", &[("reason", "tenant_rate")]),
+            shed_queue: registry.counter_with("serve_shed_total", &[("reason", "queue_pressure")]),
+            breaker_trips: registry.counter("serve_breaker_trips_total"),
+            breaker_open: registry.gauge("serve_breaker_open"),
+            fallbacks: registry.counter("serve_cpu_fallbacks_total"),
+            stale_served: registry.counter("serve_stale_served_total"),
+            refreshes: registry.counter("serve_refreshes_total"),
+            degraded: registry.counter("serve_degraded_total"),
+            worker_panics: registry.counter("serve_worker_panics_total"),
+            worker_restarts: registry.counter("serve_worker_restarts_total"),
+            workers_dead: registry.gauge("serve_workers_dead"),
+            crash_requeued: registry.counter("serve_crash_requeued_total"),
+            crash_failed: registry.counter("serve_crash_failed_total"),
+            warmup_loaded: registry.counter("serve_warmup_entries_total"),
             per_algo_service,
             registry: registry.clone(),
         }
@@ -143,6 +209,18 @@ mod tests {
         let series = r.histograms_of("serve_algo_service_us");
         assert_eq!(series.len(), Algo::ALL.len());
         assert!(series.iter().all(|(_, h)| h.count == 1));
+    }
+
+    #[test]
+    fn shed_reasons_share_one_series_family() {
+        let r = Registry::new();
+        let m = ServeMetrics::new(&r);
+        m.shed_tenant.inc();
+        m.shed_queue.add(2);
+        let series = r.series_of("serve_shed_total");
+        assert_eq!(series.len(), 2);
+        let total: u64 = series.iter().map(|(_, v)| v).sum();
+        assert_eq!(total, 3);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Query/request/response types of the serving API.
 
+use crate::resilience::{RetryPolicy, ShedReason};
 use crate::store::GraphHandle;
 use maxwarp::Method;
 use maxwarp_graph::Fnv64;
@@ -195,6 +196,26 @@ impl Query {
     }
 }
 
+/// Shedding priority class: under queue pressure, [`Priority::Low`] work
+/// is dropped first (the derived `Ord` makes `Low < Normal < High`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    Low,
+    #[default]
+    Normal,
+    High,
+}
+
+impl Priority {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+}
+
 /// One query against one registered graph.
 #[derive(Clone, Debug)]
 pub struct Request {
@@ -208,8 +229,14 @@ pub struct Request {
     /// device watchdog. Cache hits consume no budget. `None` falls back to
     /// the server's default deadline.
     pub deadline_cycles: Option<u64>,
-    /// Optional tenant tag for per-tenant accounting.
+    /// Optional tenant tag for per-tenant accounting (and, when admission
+    /// control is on, the token-bucket key).
     pub tenant: Option<String>,
+    /// Shedding priority under queue pressure.
+    pub priority: Priority,
+    /// Retry/hedge policy for this request; `None` uses the server's
+    /// default class ([`crate::resilience::ResilienceConfig::retry`]).
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Request {
@@ -221,7 +248,21 @@ impl Request {
             method: None,
             deadline_cycles: None,
             tenant: None,
+            priority: Priority::Normal,
+            retry: None,
         }
+    }
+
+    /// Set the shedding priority.
+    pub fn with_priority(mut self, p: Priority) -> Request {
+        self.priority = p;
+        self
+    }
+
+    /// Attach a per-request retry/hedge policy.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Request {
+        self.retry = Some(policy);
+        self
     }
 }
 
@@ -282,6 +323,33 @@ impl ResultData {
     }
 }
 
+/// Where a response's payload came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResponseSource {
+    /// Executed on the simulated device this call.
+    Device,
+    /// Replayed from the result cache (fresh entry).
+    Cache,
+    /// Replayed from a cache entry past its TTL — `degraded: true`, a
+    /// background refresh is running.
+    StaleCache,
+    /// Produced by the CPU reference implementation because the circuit
+    /// breaker for this `(graph, algorithm)` is open — `degraded: true`,
+    /// `stats` are zeroed (no device ran).
+    CpuFallback,
+}
+
+impl ResponseSource {
+    pub fn label(&self) -> &'static str {
+        match self {
+            ResponseSource::Device => "device",
+            ResponseSource::Cache => "cache",
+            ResponseSource::StaleCache => "stale_cache",
+            ResponseSource::CpuFallback => "cpu_fallback",
+        }
+    }
+}
+
 /// A completed query: the payload plus everything a caller needs to reason
 /// about how it was produced.
 #[derive(Clone, Debug)]
@@ -297,6 +365,14 @@ pub struct Response {
     pub method: Method,
     /// True if served from the result cache.
     pub cached: bool,
+    /// Which path produced the payload.
+    pub source: ResponseSource,
+    /// True for degraded serves: a stale cache replay or a CPU fallback.
+    /// Non-degraded responses are byte-identical to a clean cold run;
+    /// degraded ones trade that guarantee for availability.
+    pub degraded: bool,
+    /// Execution attempts consumed (1 = first try; >1 means retries).
+    pub attempts: u32,
     /// Host time spent queued before a worker picked the request up.
     pub queue_wait: Duration,
     /// Host time spent executing (or fetching from cache).
@@ -336,6 +412,23 @@ pub enum ServeError {
     /// Execution panicked inside the simulator. The worker survived (panics
     /// are caught per request) and the panic message is preserved.
     Panicked(String),
+    /// Admission control shed this request (or evicted it from the queue
+    /// in favor of higher-priority work). Nothing was executed; the
+    /// structured reason says which limit was hit.
+    Shed {
+        /// Which admission limit rejected the request.
+        reason: ShedReason,
+    },
+    /// The worker executing this request crashed and the crash policy (or
+    /// its requeue budget) did not re-admit it. `requeues` counts how many
+    /// times it had already been recovered.
+    WorkerCrashed {
+        /// Crash-recovery requeues this request had consumed.
+        requeues: u32,
+    },
+    /// Every worker slot has exhausted its restart budget; the service can
+    /// no longer execute anything.
+    WorkersDead,
     /// The server is shutting down; the request was not executed.
     ShuttingDown,
     /// The worker serving this request disappeared (a bug — workers are
@@ -359,6 +452,15 @@ impl std::fmt::Display for ServeError {
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServeError::Launch(e) => write!(f, "launch failed: {e}"),
             ServeError::Panicked(msg) => write!(f, "execution panicked: {msg}"),
+            ServeError::Shed { reason } => {
+                write!(f, "request shed by admission control ({})", reason.label())
+            }
+            ServeError::WorkerCrashed { requeues } => {
+                write!(f, "worker crashed mid-request (after {requeues} requeues)")
+            }
+            ServeError::WorkersDead => {
+                write!(f, "all worker slots dead (restart budgets exhausted)")
+            }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::WorkerLost => write!(f, "worker lost before responding"),
         }
@@ -416,6 +518,12 @@ mod tests {
             damping: 0.86,
         };
         assert_ne!(p1.digest(), p2.digest());
+    }
+
+    #[test]
+    fn priority_orders_low_normal_high() {
+        assert!(Priority::Low < Priority::Normal && Priority::Normal < Priority::High);
+        assert_eq!(Priority::default(), Priority::Normal);
     }
 
     #[test]

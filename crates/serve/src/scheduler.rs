@@ -1,12 +1,17 @@
-//! The request scheduler: bounded admission queue, worker pool, same-graph
-//! batching, and the glue between cache, tuner, and executor.
+//! The request scheduler: bounded admission queue, supervised worker pool,
+//! same-graph batching, resilience policy enforcement, and the glue
+//! between cache, tuner, and executor.
 //!
 //! Life of a request:
 //!
 //! 1. **Admission** — `submit` validates the graph handle and any pinned
-//!    method, then tries to enqueue. A full queue is a structured
-//!    [`ServeError::QueueFull`] *before* anything is enqueued: callers get
-//!    backpressure they can retry on, never silent dropping.
+//!    method, charges the tenant's token bucket (when admission control is
+//!    on), then tries to enqueue. With shedding off, a full queue is a
+//!    structured [`ServeError::QueueFull`]; with shedding on, crossing the
+//!    high-watermark starts priority triage — the queue stops growing, and
+//!    a higher-priority arrival displaces the most recent lowest-priority
+//!    occupant (who gets a structured [`ServeError::Shed`]). Either way,
+//!    errors here mean nothing was enqueued.
 //! 2. **Batching** — a worker pops the oldest request, then pulls up to
 //!    `batch_max - 1` more requests *for the same graph* out of the queue
 //!    (preserving arrival order for everyone else). The batch shares one
@@ -18,9 +23,36 @@
 //! 4. **Cache** — the resolved `(graph, query, method, device)` key is
 //!    looked up; hits replay the recorded payload and `KernelStats`
 //!    (byte-identical by the template-layout argument in [`crate::exec`]).
+//!    With a stale TTL configured, hits past it are still served — flagged
+//!    `degraded` — while a background refresh re-executes.
 //! 5. **Execution** — misses run on a fresh device with the request's
 //!    deadline wired into the watchdog. Panics are caught per request; a
 //!    poisoned request fails alone, the worker and its batch survive.
+//!    Retriable faults (launch errors, panics) consume the request's retry
+//!    budget with jittered backoff between attempts. With the circuit
+//!    breaker on, K consecutive faults per `(graph, algorithm)` open the
+//!    breaker and route requests to the CPU reference implementation
+//!    (degraded, zeroed stats) until a half-open trial succeeds.
+//!
+//! ## Supervision
+//!
+//! A panic that escapes the per-request `catch_unwind` (a worker-level
+//! crash — in production a driver bug, here injected by [`ChaosConfig`])
+//! no longer poisons the server: each worker slot runs under a supervisor
+//! that records the panic, recovers the slot's in-flight requests
+//! (requeue-or-fail per [`CrashPolicy`]), and restarts the worker with
+//! jittered backoff up to [`RestartPolicy::max_restarts`] times. A slot
+//! out of budget is [`WorkerHealth::Dead`]; when every slot is dead the
+//! queue is drained with [`ServeError::WorkersDead`] and new submissions
+//! fail fast. Server locks recover from poisoning (`into_inner`) — a
+//! crashed worker cannot take the service down with it.
+//!
+//! ## Hedging
+//!
+//! A request whose [`RetryPolicy::hedge_after`] elapses without a response
+//! gets a duplicate enqueued by the hedger thread; whichever twin finishes
+//! first wins the (single) reply channel and the loser is cancelled —
+//! skipped if still queued, discarded at the send gate if it raced.
 //!
 //! ## Observability
 //!
@@ -28,38 +60,41 @@
 //! tests don't bleed into each other) holding all scheduler/cache/tuner
 //! series — see [`crate::metrics::ServeMetrics`] for the inventory — and a
 //! [`maxwarp_obs::Tracer`] that, when enabled, records one span tree per
-//! request: `request` → `queue_wait` / `cache_lookup` / `template` /
-//! `execute` / `cache_insert` / `reply`, plus one `batch` root per served
-//! batch. Both are pure observers: disable them and responses stay
-//! byte-identical (asserted by `tests/obs_identity.rs`).
+//! request. Both are pure observers, and so is every resilience policy:
+//! non-degraded responses stay byte-identical with every feature on or off
+//! (asserted by `tests/obs_identity.rs` and `tests/resilience.rs`).
 
 use crate::autotune::Tuner;
-use crate::cache::{gpu_fingerprint, CacheKey, CacheStats, CachedResult, ResultCache};
+use crate::cache::{gpu_fingerprint, CacheKey, CacheStats, CachedResult, Freshness, ResultCache};
 use crate::exec::{execute_labeled, DeviceTemplate};
 use crate::json::{self, Value};
 use crate::metrics::ServeMetrics;
-use crate::request::{Request, Response, ServeError};
+use crate::request::{Priority, Request, Response, ResponseSource, ResultData, ServeError};
+use crate::resilience::{
+    chaos_salt, BreakerState, ChaosConfig, CircuitBreaker, CrashPolicy, ResilienceConfig,
+    RetryPolicy, ShedReason, TokenBucket,
+};
 use crate::stats::LatencySummary;
 use crate::store::{GraphEntry, GraphHandle, GraphStore};
 use maxwarp::{ExecConfig, Method};
-use maxwarp_graph::Csr;
+use maxwarp_cpu::FallbackData;
+use maxwarp_graph::{atomic as store_atomic, Csr};
 use maxwarp_obs::{ActiveSpan, Registry, Tracer};
-use maxwarp_simt::{GpuConfig, LaunchError, SimtError};
-use std::collections::{HashMap, VecDeque};
+use maxwarp_simt::{GpuConfig, KernelStats, LaunchError, SimtError};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// Lock a mutex, panicking on poisoning. A poisoned server lock means a
-/// worker died outside the per-request `catch_unwind` — unrecoverable.
+/// Lock a mutex, recovering from poisoning. A poisoned server lock means a
+/// worker panicked while holding it; the supervisor restarts the worker,
+/// and every guarded structure here is valid at every step (no multi-field
+/// invariants span an unwind point), so the data is safe to keep serving.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    match m.lock() {
-        Ok(g) => g,
-        Err(_) => panic!("server lock poisoned"),
-    }
+    m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 /// Server construction parameters. `ServerConfig::new` reads the
@@ -95,6 +130,16 @@ pub struct ServerConfig {
     /// Whether request span tracing records (`MAXWARP_OBS_TRACE`; default
     /// off — spans cost an allocation per stage).
     pub trace: bool,
+    /// Resilience policy bundle (retry/hedge defaults, admission control,
+    /// stale TTL, circuit breaker, supervision). The default is everything
+    /// off except supervision — see [`ResilienceConfig`].
+    pub resilience: ResilienceConfig,
+    /// Cache-warmup snapshot path (`MAXWARP_WARMUP`; unset disables).
+    /// Loaded at startup, written at shutdown, framed through the
+    /// crash-safe [`maxwarp_graph::atomic`] store.
+    pub warmup_path: Option<PathBuf>,
+    /// Seeded fault injection for the chaos harness; `None` in production.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl ServerConfig {
@@ -128,10 +173,17 @@ impl ServerConfig {
         if let Ok(v) = std::env::var("MAXWARP_OBS_TRACE") {
             cfg.trace = v == "1" || v.eq_ignore_ascii_case("on");
         }
+        cfg.warmup_path = match std::env::var("MAXWARP_WARMUP") {
+            Ok(v) if v == "0" || v.eq_ignore_ascii_case("off") => None,
+            Ok(v) => Some(PathBuf::from(v)),
+            Err(_) => None,
+        };
+        cfg.resilience = ResilienceConfig::from_env();
         cfg
     }
 
-    /// Defaults with **no** environment reads and no tuning persistence.
+    /// Defaults with **no** environment reads, no tuning persistence, no
+    /// warmup snapshot, and every resilience feature off.
     pub fn for_tests(gpu: GpuConfig) -> ServerConfig {
         ServerConfig {
             workers: 2,
@@ -147,7 +199,76 @@ impl ServerConfig {
             default_deadline: None,
             obs: true,
             trace: false,
+            resilience: ResilienceConfig::default(),
+            warmup_path: None,
+            chaos: None,
         }
+    }
+}
+
+/// Health of one supervised worker slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerHealth {
+    /// Serving (possibly after restarts).
+    Running {
+        /// Supervised restarts this slot has consumed.
+        restarts: u32,
+    },
+    /// Restart budget exhausted; the slot will never serve again.
+    Dead {
+        /// Restarts consumed before giving up.
+        restarts: u32,
+    },
+}
+
+/// Resilience counters in a [`ServerSnapshot`] — all read back from the
+/// metrics registry.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResilienceSnapshot {
+    pub retries: u64,
+    pub retry_successes: u64,
+    pub hedges: u64,
+    pub hedge_wins: u64,
+    pub hedge_cancels: u64,
+    pub shed_tenant: u64,
+    pub shed_queue: u64,
+    pub breaker_trips: u64,
+    pub breaker_open: u64,
+    pub fallbacks: u64,
+    pub stale_served: u64,
+    pub refreshes: u64,
+    pub degraded: u64,
+    pub worker_panics: u64,
+    pub worker_restarts: u64,
+    pub workers_dead: u64,
+    pub crash_requeued: u64,
+    pub crash_failed: u64,
+    pub warmup_loaded: u64,
+}
+
+impl ResilienceSnapshot {
+    pub fn to_json(&self) -> Value {
+        json::obj(vec![
+            ("retries", json::n(self.retries as f64)),
+            ("retry_successes", json::n(self.retry_successes as f64)),
+            ("hedges", json::n(self.hedges as f64)),
+            ("hedge_wins", json::n(self.hedge_wins as f64)),
+            ("hedge_cancels", json::n(self.hedge_cancels as f64)),
+            ("shed_tenant", json::n(self.shed_tenant as f64)),
+            ("shed_queue", json::n(self.shed_queue as f64)),
+            ("breaker_trips", json::n(self.breaker_trips as f64)),
+            ("breaker_open", json::n(self.breaker_open as f64)),
+            ("fallbacks", json::n(self.fallbacks as f64)),
+            ("stale_served", json::n(self.stale_served as f64)),
+            ("refreshes", json::n(self.refreshes as f64)),
+            ("degraded", json::n(self.degraded as f64)),
+            ("worker_panics", json::n(self.worker_panics as f64)),
+            ("worker_restarts", json::n(self.worker_restarts as f64)),
+            ("workers_dead", json::n(self.workers_dead as f64)),
+            ("crash_requeued", json::n(self.crash_requeued as f64)),
+            ("crash_failed", json::n(self.crash_failed as f64)),
+            ("warmup_loaded", json::n(self.warmup_loaded as f64)),
+        ])
     }
 }
 
@@ -177,6 +298,8 @@ pub struct ServerSnapshot {
     pub tuner_decisions: u64,
     pub tuner_probes: u64,
     pub per_tenant: Vec<(String, u64)>,
+    /// Retry/hedge/shed/breaker/supervision counters.
+    pub resilience: ResilienceSnapshot,
 }
 
 impl ServerSnapshot {
@@ -207,8 +330,22 @@ impl ServerSnapshot {
                         .collect(),
                 ),
             ),
+            ("resilience", self.resilience.to_json()),
         ])
     }
+}
+
+/// Shared first-result-wins flag between a hedged request and its twin.
+struct HedgeState {
+    done: AtomicBool,
+}
+
+/// A registered hedge the hedger thread is timing.
+struct HedgeEntry {
+    due: Instant,
+    req: Request,
+    tx: mpsc::Sender<Result<Response, ServeError>>,
+    state: Arc<HedgeState>,
 }
 
 struct Job {
@@ -219,6 +356,35 @@ struct Job {
     span: ActiveSpan,
     /// `queue_wait` child span, open from enqueue to worker pickup.
     queue_span: ActiveSpan,
+    /// Crash-recovery requeues this request has consumed.
+    crash_requeues: u32,
+    /// First-result-wins gate shared with a hedged twin, if any.
+    hedge: Option<Arc<HedgeState>>,
+    /// True for the hedged duplicate (the late twin).
+    is_hedge_dup: bool,
+    /// Set on internal background-refresh jobs: the cache key being
+    /// refreshed. Internal jobs bypass the cache read, never reply to a
+    /// client, and skip client-facing metrics.
+    refresh_key: Option<CacheKey>,
+}
+
+/// What a crashed worker was holding — enough to requeue or fail each
+/// in-flight request.
+struct InflightStub {
+    req: Request,
+    tx: mpsc::Sender<Result<Response, ServeError>>,
+    crash_requeues: u32,
+    hedge: Option<Arc<HedgeState>>,
+    is_hedge_dup: bool,
+    refresh_key: Option<CacheKey>,
+}
+
+/// One supervised worker slot.
+struct Slot {
+    health: Mutex<WorkerHealth>,
+    /// The jobs this slot's worker is currently serving (cleared as each
+    /// completes); the supervisor recovers them after a crash.
+    inflight: Mutex<Vec<Option<InflightStub>>>,
 }
 
 /// A submitted request's receipt; [`Ticket::wait`] blocks for the response.
@@ -254,17 +420,38 @@ struct Inner {
     paused: AtomicBool,
     /// Fingerprint of `cfg.gpu` — the device half of every cache key.
     device_fp: u64,
+    /// Supervised worker slots (health + in-flight recovery state).
+    slots: Vec<Slot>,
+    /// Slots whose restart budget is exhausted.
+    dead_workers: AtomicUsize,
+    /// Per-tenant admission token buckets (admission control on only).
+    buckets: Mutex<HashMap<String, TokenBucket>>,
+    /// Per-(graph, algorithm) circuit breaker (consulted only when
+    /// `cfg.resilience.breaker` is set).
+    breaker: Mutex<CircuitBreaker>,
+    /// Cache keys with a background refresh already queued (dedupe).
+    refreshing: Mutex<HashSet<CacheKey>>,
+    /// Hedges waiting for their deadline.
+    hedges: Mutex<Vec<HedgeEntry>>,
+    hedge_cv: Condvar,
+    /// Fault-injection plan; swappable at runtime by the chaos harness.
+    chaos: Mutex<Option<ChaosConfig>>,
+    /// Sequence counters for the chaos decision streams (one per class of
+    /// injection point so the streams stay independent).
+    chaos_batch_seq: AtomicU64,
+    chaos_exec_seq: AtomicU64,
 }
 
 /// The graph-query service: a [`GraphStore`], a bounded queue, and a pool
-/// of workers each driving a simulated GPU.
+/// of supervised workers each driving a simulated GPU.
 pub struct Server {
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
+    hedger: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Start the worker pool.
+    /// Start the worker pool (and load the warmup snapshot, if configured).
     pub fn start(cfg: ServerConfig) -> Server {
         let device_fp = gpu_fingerprint(&cfg.gpu);
         let registry = Registry::new();
@@ -273,14 +460,37 @@ impl Server {
         let tracer = Tracer::new(cfg.trace);
         let mut tuner = Tuner::new(cfg.tuning_path.clone(), cfg.tuner_sample, cfg.method_pin);
         tuner.set_probe_counter(metrics.tuner_probes.clone());
+        let mut cache = ResultCache::with_counters(
+            cfg.cache_capacity,
+            metrics.cache_hits.clone(),
+            metrics.cache_misses.clone(),
+            metrics.cache_insertions.clone(),
+            metrics.cache_evictions.clone(),
+        );
+        if let Some(path) = &cfg.warmup_path {
+            match store_atomic::read_or_quarantine(path) {
+                store_atomic::Recovered::Ok(payload) => {
+                    let n = cache.import_snapshot(&payload, Instant::now());
+                    metrics.warmup_loaded.add(n as u64);
+                }
+                store_atomic::Recovered::Missing => {}
+                store_atomic::Recovered::Quarantined(dst, msg) => {
+                    eprintln!(
+                        "[serve] warmup snapshot corrupt ({msg}); quarantined to {:?}, starting cold",
+                        dst
+                    );
+                }
+            }
+        }
+        let slots = (0..cfg.workers.max(1))
+            .map(|_| Slot {
+                health: Mutex::new(WorkerHealth::Running { restarts: 0 }),
+                inflight: Mutex::new(Vec::new()),
+            })
+            .collect();
+        let breaker = CircuitBreaker::new(cfg.resilience.breaker.unwrap_or_default());
         let inner = Arc::new(Inner {
-            cache: Mutex::new(ResultCache::with_counters(
-                cfg.cache_capacity,
-                metrics.cache_hits.clone(),
-                metrics.cache_misses.clone(),
-                metrics.cache_insertions.clone(),
-                metrics.cache_evictions.clone(),
-            )),
+            cache: Mutex::new(cache),
             tuner: Mutex::new(tuner),
             store: GraphStore::new(),
             queue: Mutex::new(VecDeque::new()),
@@ -291,21 +501,42 @@ impl Server {
             shutdown: AtomicBool::new(false),
             paused: AtomicBool::new(cfg.paused),
             device_fp,
+            slots,
+            dead_workers: AtomicUsize::new(0),
+            buckets: Mutex::new(HashMap::new()),
+            breaker: Mutex::new(breaker),
+            refreshing: Mutex::new(HashSet::new()),
+            hedges: Mutex::new(Vec::new()),
+            hedge_cv: Condvar::new(),
+            chaos: Mutex::new(cfg.chaos),
+            chaos_batch_seq: AtomicU64::new(0),
+            chaos_exec_seq: AtomicU64::new(0),
             cfg,
         });
-        let workers = (0..inner.cfg.workers.max(1))
+        let workers = (0..inner.slots.len())
             .map(|i| {
                 let inner = Arc::clone(&inner);
                 let spawned = std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&inner));
+                    .spawn(move || worker_entry(&inner, i));
                 match spawned {
                     Ok(h) => h,
                     Err(e) => panic!("spawn worker: {e}"),
                 }
             })
             .collect();
-        Server { inner, workers }
+        let hedger = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("serve-hedger".to_string())
+                .spawn(move || hedger_loop(&inner))
+                .ok()
+        };
+        Server {
+            inner,
+            workers,
+            hedger,
+        }
     }
 
     /// Register a graph for querying.
@@ -323,6 +554,9 @@ impl Server {
         if self.inner.shutdown.load(Ordering::SeqCst) {
             return Err(ServeError::ShuttingDown);
         }
+        if self.inner.dead_workers.load(Ordering::SeqCst) >= self.inner.slots.len() {
+            return Err(ServeError::WorkersDead);
+        }
         // Validate before taking a queue slot: a request that can never
         // execute should not consume capacity.
         if self.inner.store.get(req.graph).is_none() {
@@ -338,35 +572,120 @@ impl Server {
                 });
             }
         }
+        // Admission control: charge the tenant's token bucket.
+        if let (Some(sc), Some(tenant)) = (&self.inner.cfg.resilience.shed, &req.tenant) {
+            let now = Instant::now();
+            let mut buckets = lock(&self.inner.buckets);
+            let bucket = buckets
+                .entry(tenant.clone())
+                .or_insert_with(|| TokenBucket::new(sc.tenant_burst, sc.tenant_rate, now));
+            if !bucket.try_take(now) {
+                drop(buckets);
+                self.inner.metrics.shed_tenant.inc();
+                return Err(ServeError::Shed {
+                    reason: ShedReason::TenantRate,
+                });
+            }
+        }
+
         let (tx, rx) = mpsc::channel();
+        let policy = req.retry.unwrap_or(self.inner.cfg.resilience.retry);
+        // Prepare the hedge registration before `req` moves into the job.
+        let hedge_plan = policy.hedge_after.map(|after| {
+            (
+                after,
+                Arc::new(HedgeState {
+                    done: AtomicBool::new(false),
+                }),
+                req.clone(),
+            )
+        });
         let mut span = self.inner.tracer.begin("request");
         span.arg("algo", req.query.algo().label());
         if let Some(t) = &req.tenant {
             span.arg("tenant", t.clone());
         }
         let queue_span = span.child("queue_wait");
-        {
+        let job = Job {
+            req,
+            enqueued: Instant::now(),
+            tx: tx.clone(),
+            span,
+            queue_span,
+            crash_requeues: 0,
+            hedge: hedge_plan.as_ref().map(|(_, s, _)| Arc::clone(s)),
+            is_hedge_dup: false,
+            refresh_key: None,
+        };
+        let cap = self.inner.cfg.queue_capacity;
+        let victim = {
             let mut q = lock(&self.inner.queue);
-            if q.len() >= self.inner.cfg.queue_capacity {
-                drop(q);
-                self.inner.metrics.rejected_full.inc();
-                return Err(ServeError::QueueFull {
-                    capacity: self.inner.cfg.queue_capacity,
-                });
-            }
-            q.push_back(Job {
-                req,
-                enqueued: Instant::now(),
-                tx,
-                span,
-                queue_span,
-            });
+            let victim = match &self.inner.cfg.resilience.shed {
+                None => {
+                    if q.len() >= cap {
+                        drop(q);
+                        self.inner.metrics.rejected_full.inc();
+                        return Err(ServeError::QueueFull { capacity: cap });
+                    }
+                    q.push_back(job);
+                    None
+                }
+                Some(sc) => {
+                    let watermark =
+                        ((cap as f64 * sc.high_watermark).ceil() as usize).clamp(1, cap);
+                    if q.len() >= watermark {
+                        // Above the watermark the queue stops growing:
+                        // either the newcomer outranks the weakest occupant
+                        // (displace the most recent of that class) or it is
+                        // shed itself.
+                        let min_pri = q.iter().map(|j| j.req.priority).min();
+                        match min_pri {
+                            Some(p) if p < job.req.priority => {
+                                let idx = q.iter().rposition(|j| j.req.priority == p);
+                                let victim = idx.and_then(|i| q.remove(i));
+                                q.push_back(job);
+                                victim
+                            }
+                            _ => {
+                                drop(q);
+                                self.inner.metrics.shed_queue.inc();
+                                return Err(ServeError::Shed {
+                                    reason: ShedReason::QueuePressure,
+                                });
+                            }
+                        }
+                    } else {
+                        q.push_back(job);
+                        None
+                    }
+                }
+            };
             let depth = q.len() as u64;
             self.inner.metrics.queue_depth.set(depth);
             self.inner.metrics.queue_depth_hwm.set_max(depth);
+            victim
+        };
+        if let Some(v) = victim {
+            self.inner.metrics.shed_queue.inc();
+            deliver(
+                &v.tx,
+                &v.hedge,
+                Err(ServeError::Shed {
+                    reason: ShedReason::QueuePressure,
+                }),
+            );
         }
         self.inner.metrics.submitted.inc();
         self.inner.cv.notify_one();
+        if let Some((after, state, hedge_req)) = hedge_plan {
+            lock(&self.inner.hedges).push(HedgeEntry {
+                due: Instant::now() + after,
+                req: hedge_req,
+                tx,
+                state,
+            });
+            self.inner.hedge_cv.notify_all();
+        }
         Ok(Ticket { rx })
     }
 
@@ -389,6 +708,41 @@ impl Server {
     /// The device fingerprint used in this server's cache keys.
     pub fn device_fingerprint(&self) -> u64 {
         self.inner.device_fp
+    }
+
+    /// Health of every supervised worker slot.
+    pub fn worker_health(&self) -> Vec<WorkerHealth> {
+        self.inner.slots.iter().map(|s| *lock(&s.health)).collect()
+    }
+
+    /// Worker slots still able to serve.
+    pub fn workers_alive(&self) -> usize {
+        self.inner
+            .slots
+            .len()
+            .saturating_sub(self.inner.dead_workers.load(Ordering::SeqCst))
+    }
+
+    /// Swap the fault-injection plan at runtime (chaos harness only).
+    pub fn set_chaos(&self, chaos: Option<ChaosConfig>) {
+        *lock(&self.inner.chaos) = chaos;
+    }
+
+    /// Write the cache-warmup snapshot now (also done at shutdown).
+    /// Returns `false` when no warmup path is configured or the write
+    /// failed.
+    pub fn save_warmup(&self) -> bool {
+        let Some(path) = &self.inner.cfg.warmup_path else {
+            return false;
+        };
+        let snap = lock(&self.inner.cache).export_snapshot();
+        match store_atomic::write(path, &snap) {
+            Ok(()) => true,
+            Err(e) => {
+                eprintln!("[serve] warmup snapshot write failed: {e}");
+                false
+            }
+        }
     }
 
     /// This server's metrics registry (one per server; servers in the same
@@ -427,6 +781,8 @@ impl Server {
         let cache = lock(&self.inner.cache).stats();
         self.inner.metrics.cache_entries.set(cache.entries);
         self.inner.metrics.cache_bytes.set(cache.bytes);
+        let open = lock(&self.inner.breaker).open_count();
+        self.inner.metrics.breaker_open.set(open);
     }
 
     /// The cache key this server would use for `(graph, query, method)` —
@@ -444,6 +800,7 @@ impl Server {
     /// Counters, cache, and tuner state in one snapshot, read back from the
     /// metrics registry.
     pub fn snapshot(&self) -> ServerSnapshot {
+        self.refresh_gauges();
         let m = &self.inner.metrics;
         let cache = lock(&self.inner.cache).stats();
         let tuner = lock(&self.inner.tuner);
@@ -471,11 +828,33 @@ impl Server {
             tuner_decisions: tuner.decisions() as u64,
             tuner_probes: tuner.probes_run(),
             per_tenant,
+            resilience: ResilienceSnapshot {
+                retries: m.retries.get(),
+                retry_successes: m.retry_successes.get(),
+                hedges: m.hedges.get(),
+                hedge_wins: m.hedge_wins.get(),
+                hedge_cancels: m.hedge_cancels.get(),
+                shed_tenant: m.shed_tenant.get(),
+                shed_queue: m.shed_queue.get(),
+                breaker_trips: m.breaker_trips.get(),
+                breaker_open: m.breaker_open.get(),
+                fallbacks: m.fallbacks.get(),
+                stale_served: m.stale_served.get(),
+                refreshes: m.refreshes.get(),
+                degraded: m.degraded.get(),
+                worker_panics: m.worker_panics.get(),
+                worker_restarts: m.worker_restarts.get(),
+                workers_dead: m.workers_dead.get(),
+                crash_requeued: m.crash_requeued.get(),
+                crash_failed: m.crash_failed.get(),
+                warmup_loaded: m.warmup_loaded.get(),
+            },
         }
     }
 
-    /// Stop accepting work, finish in-flight batches, fail queued requests
-    /// with [`ServeError::ShuttingDown`], and join the workers.
+    /// Stop accepting work, finish in-flight batches, persist the warmup
+    /// snapshot, fail queued requests with [`ServeError::ShuttingDown`],
+    /// and join the workers.
     pub fn shutdown(mut self) {
         self.shutdown_impl();
     }
@@ -483,25 +862,246 @@ impl Server {
     fn shutdown_impl(&mut self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.cv.notify_all();
+        self.inner.hedge_cv.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
-        let mut q = lock(&self.inner.queue);
-        while let Some(job) = q.pop_front() {
-            let _ = job.tx.send(Err(ServeError::ShuttingDown));
+        if let Some(h) = self.hedger.take() {
+            let _ = h.join();
+        }
+        self.save_warmup();
+        let drained: Vec<Job> = {
+            let mut q = lock(&self.inner.queue);
+            q.drain(..).collect()
+        };
+        for job in drained {
+            if let Some(k) = &job.refresh_key {
+                lock(&self.inner.refreshing).remove(k);
+                continue;
+            }
+            deliver(&job.tx, &job.hedge, Err(ServeError::ShuttingDown));
         }
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if !self.workers.is_empty() {
+        if !self.workers.is_empty() || self.hedger.is_some() {
             self.shutdown_impl();
         }
     }
 }
 
-fn worker_loop(inner: &Inner) {
+/// Send `result` to the client unless a hedged twin already won the
+/// first-result-wins race. Returns whether this caller won.
+fn deliver(
+    tx: &mpsc::Sender<Result<Response, ServeError>>,
+    hedge: &Option<Arc<HedgeState>>,
+    result: Result<Response, ServeError>,
+) -> bool {
+    if let Some(h) = hedge {
+        if h.done.swap(true, Ordering::AcqRel) {
+            return false;
+        }
+    }
+    let _ = tx.send(result);
+    true
+}
+
+/// Supervisor for one worker slot: run the worker loop, and on a crash
+/// recover its in-flight requests and restart it (bounded, with backoff).
+fn worker_entry(inner: &Arc<Inner>, slot: usize) {
+    loop {
+        let run = catch_unwind(AssertUnwindSafe(|| worker_loop(inner, slot)));
+        match run {
+            Ok(()) => return, // clean shutdown
+            Err(_) => {
+                inner.metrics.worker_panics.inc();
+                recover_inflight(inner, slot);
+                let granted = {
+                    let mut health = lock(&inner.slots[slot].health);
+                    let restarts = match *health {
+                        WorkerHealth::Running { restarts } | WorkerHealth::Dead { restarts } => {
+                            restarts
+                        }
+                    };
+                    if restarts >= inner.cfg.resilience.restart.max_restarts {
+                        *health = WorkerHealth::Dead { restarts };
+                        None
+                    } else {
+                        *health = WorkerHealth::Running {
+                            restarts: restarts + 1,
+                        };
+                        Some(restarts)
+                    }
+                };
+                match granted {
+                    Some(prior) => {
+                        inner.metrics.worker_restarts.inc();
+                        std::thread::sleep(
+                            inner
+                                .cfg
+                                .resilience
+                                .restart
+                                .backoff
+                                .delay(prior, slot as u64),
+                        );
+                    }
+                    None => {
+                        let dead = inner.dead_workers.fetch_add(1, Ordering::SeqCst) + 1;
+                        inner.metrics.workers_dead.set(dead as u64);
+                        if dead >= inner.slots.len() {
+                            // Nobody left to serve: drain the queue with a
+                            // structured terminal error.
+                            let drained: Vec<Job> = {
+                                let mut q = lock(&inner.queue);
+                                q.drain(..).collect()
+                            };
+                            for job in drained {
+                                if let Some(k) = &job.refresh_key {
+                                    lock(&inner.refreshing).remove(k);
+                                    continue;
+                                }
+                                inner.metrics.failed.inc();
+                                deliver(&job.tx, &job.hedge, Err(ServeError::WorkersDead));
+                            }
+                            inner.metrics.queue_depth.set(0);
+                        }
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Requeue or fail everything a crashed worker was serving, per the crash
+/// policy.
+fn recover_inflight(inner: &Arc<Inner>, slot: usize) {
+    let stubs: Vec<InflightStub> = {
+        let mut inflight = lock(&inner.slots[slot].inflight);
+        inflight.drain(..).flatten().collect()
+    };
+    for stub in stubs {
+        if let Some(k) = &stub.refresh_key {
+            // Background refresh: nobody is waiting; just release the
+            // dedupe slot so a later stale hit can re-schedule it.
+            lock(&inner.refreshing).remove(k);
+            continue;
+        }
+        if let Some(h) = &stub.hedge {
+            if h.done.load(Ordering::Acquire) {
+                continue; // the twin already answered
+            }
+        }
+        let requeue = match inner.cfg.resilience.crash {
+            CrashPolicy::Requeue { max_requeues } => stub.crash_requeues < max_requeues,
+            CrashPolicy::Fail => false,
+        };
+        if requeue {
+            let span = inner.tracer.begin("requeue");
+            let queue_span = span.child("queue_wait");
+            {
+                let mut q = lock(&inner.queue);
+                q.push_front(Job {
+                    req: stub.req,
+                    enqueued: Instant::now(),
+                    tx: stub.tx,
+                    span,
+                    queue_span,
+                    crash_requeues: stub.crash_requeues + 1,
+                    hedge: stub.hedge,
+                    is_hedge_dup: stub.is_hedge_dup,
+                    refresh_key: None,
+                });
+                inner.metrics.queue_depth.set(q.len() as u64);
+            }
+            inner.metrics.crash_requeued.inc();
+            inner.cv.notify_one();
+        } else {
+            inner.metrics.crash_failed.inc();
+            inner.metrics.failed.inc();
+            deliver(
+                &stub.tx,
+                &stub.hedge,
+                Err(ServeError::WorkerCrashed {
+                    requeues: stub.crash_requeues,
+                }),
+            );
+        }
+    }
+}
+
+/// The hedger: watches registered hedges and enqueues the duplicate when a
+/// deadline passes without a response.
+fn hedger_loop(inner: &Arc<Inner>) {
+    let mut hedges = lock(&inner.hedges);
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        hedges.retain(|e| !e.state.done.load(Ordering::Acquire));
+        let now = Instant::now();
+        let mut due = Vec::new();
+        let mut i = 0;
+        while i < hedges.len() {
+            if hedges[i].due <= now {
+                due.push(hedges.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        if !due.is_empty() {
+            drop(hedges);
+            for e in due {
+                if e.state.done.load(Ordering::Acquire) {
+                    continue;
+                }
+                let mut span = inner.tracer.begin("hedge");
+                span.arg("algo", e.req.query.algo().label());
+                let queue_span = span.child("queue_wait");
+                let pushed = {
+                    let mut q = lock(&inner.queue);
+                    if q.len() >= inner.cfg.queue_capacity {
+                        false // queue saturated; the primary is still in flight
+                    } else {
+                        q.push_back(Job {
+                            req: e.req,
+                            enqueued: Instant::now(),
+                            tx: e.tx,
+                            span,
+                            queue_span,
+                            crash_requeues: 0,
+                            hedge: Some(e.state),
+                            is_hedge_dup: true,
+                            refresh_key: None,
+                        });
+                        inner.metrics.queue_depth.set(q.len() as u64);
+                        true
+                    }
+                };
+                if pushed {
+                    inner.metrics.hedges.inc();
+                    inner.cv.notify_one();
+                }
+            }
+            hedges = lock(&inner.hedges);
+            continue;
+        }
+        let timeout = hedges
+            .iter()
+            .map(|e| e.due.saturating_duration_since(now))
+            .min()
+            .unwrap_or(Duration::from_millis(50));
+        let (guard, _) = inner
+            .hedge_cv
+            .wait_timeout(hedges, timeout.max(Duration::from_micros(100)))
+            .unwrap_or_else(|p| p.into_inner());
+        hedges = guard;
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>, slot: usize) {
     loop {
         let batch = {
             let mut q = lock(&inner.queue);
@@ -516,13 +1116,43 @@ fn worker_loop(inner: &Inner) {
                         break batch;
                     }
                 }
-                q = match inner.cv.wait(q) {
-                    Ok(g) => g,
-                    Err(_) => panic!("server lock poisoned"),
-                };
+                q = inner.cv.wait(q).unwrap_or_else(|p| p.into_inner());
             }
         };
-        serve_batch(inner, batch);
+        // Record what this worker is about to serve *before* any code that
+        // can crash, so the supervisor can recover it.
+        {
+            let mut inflight = lock(&inner.slots[slot].inflight);
+            inflight.clear();
+            inflight.extend(batch.iter().map(|j| {
+                Some(InflightStub {
+                    req: j.req.clone(),
+                    tx: j.tx.clone(),
+                    crash_requeues: j.crash_requeues,
+                    hedge: j.hedge.clone(),
+                    is_hedge_dup: j.is_hedge_dup,
+                    refresh_key: j.refresh_key.clone(),
+                })
+            }));
+        }
+        // Chaos: a worker-level panic, outside the per-request
+        // catch_unwind — this genuinely crashes the worker and exercises
+        // supervision + in-flight recovery.
+        let panic_now = {
+            let chaos = *lock(&inner.chaos);
+            match chaos {
+                Some(c) if c.worker_panic > 0.0 => {
+                    let n = inner.chaos_batch_seq.fetch_add(1, Ordering::Relaxed);
+                    c.roll(chaos_salt::WORKER_PANIC, n, c.worker_panic)
+                }
+                _ => false,
+            }
+        };
+        if panic_now {
+            panic!("chaos: injected worker panic");
+        }
+        serve_batch(inner, slot, batch);
+        lock(&inner.slots[slot].inflight).clear();
     }
 }
 
@@ -552,7 +1182,13 @@ fn is_deadline_overrun(e: &ServeError) -> bool {
     )
 }
 
-fn serve_batch(inner: &Inner, batch: Vec<Job>) {
+/// True when retrying could plausibly change the outcome (transient
+/// execution faults; not validation or admission errors).
+fn is_retriable(e: &ServeError) -> bool {
+    matches!(e, ServeError::Launch(_) | ServeError::Panicked(_))
+}
+
+fn serve_batch(inner: &Arc<Inner>, slot: usize, batch: Vec<Job>) {
     let batch_size = batch.len() as u32;
     let m = &inner.metrics;
     m.batches.inc();
@@ -563,60 +1199,145 @@ fn serve_batch(inner: &Inner, batch: Vec<Job>) {
     let mut batch_span = inner.tracer.begin("batch");
     batch_span.arg("graph", format!("{}", batch[0].req.graph.0));
     batch_span.arg("size", format!("{batch_size}"));
-    for job in batch {
-        job.queue_span.finish();
-        let queue_wait = job.enqueued.elapsed();
-        let started = Instant::now();
-        let outcome = serve_one(inner, &job.req, &job.span);
-        let service = started.elapsed();
-
-        m.queue_wait.record_duration(queue_wait);
-        m.service.record_duration(service);
-        m.algo_service(job.req.query.algo())
-            .record_duration(service);
-        match &outcome {
-            Ok(_) => m.completed.inc(),
-            Err(e) => {
-                m.failed.inc();
-                if is_deadline_overrun(e) {
-                    m.deadline_overruns.inc();
-                }
-            }
-        }
-        if let Some(t) = &job.req.tenant {
-            m.tenant_requests(t).inc();
-            m.tenant_service(t).record_duration(service);
-        }
-
-        let reply_span = job.span.child("reply");
-        let span_id = job.span.id();
-        let response = outcome.map(|(data, stats, iterations, method, cached)| Response {
-            data,
-            stats,
-            iterations,
-            method,
-            cached,
-            queue_wait,
-            service,
-            batch_size,
-            span: span_id,
-        });
-        let _ = job.tx.send(response);
-        reply_span.finish();
-        job.span.finish();
+    for (idx, job) in batch.into_iter().enumerate() {
+        serve_job(inner, slot, idx, job, batch_size);
     }
     batch_span.finish();
 }
 
-type Served = (
-    crate::request::ResultData,
-    maxwarp_simt::KernelStats,
-    u32,
-    Method,
-    bool,
-);
+/// Serve one job end to end: hedge gate, retry loop, metrics, reply.
+fn serve_job(inner: &Arc<Inner>, slot: usize, idx: usize, job: Job, batch_size: u32) {
+    let m = &inner.metrics;
+    let clear_stub = |inner: &Arc<Inner>| {
+        let mut inflight = lock(&inner.slots[slot].inflight);
+        if let Some(s) = inflight.get_mut(idx) {
+            *s = None;
+        }
+    };
+    job.queue_span.finish();
+    // A hedge loser still in the queue when its twin answered: cancel
+    // without executing.
+    if let Some(h) = &job.hedge {
+        if h.done.load(Ordering::Acquire) {
+            m.hedge_cancels.inc();
+            clear_stub(inner);
+            job.span.finish();
+            return;
+        }
+    }
+    let queue_wait = job.enqueued.elapsed();
+    let started = Instant::now();
+    let internal = job.refresh_key.is_some();
+    let policy = job.req.retry.unwrap_or(inner.cfg.resilience.retry);
+    let mut attempts: u32 = 0;
+    let outcome = loop {
+        attempts += 1;
+        match serve_one(inner, &job.req, &job.span, internal) {
+            Ok(s) => break Ok(s),
+            Err(e) => {
+                if is_retriable(&e) && attempts < policy.max_attempts.max(1) {
+                    m.retries.inc();
+                    let seed = job.req.query.digest() ^ u64::from(job.req.graph.0);
+                    std::thread::sleep(policy.backoff.delay(attempts - 1, seed));
+                    continue;
+                }
+                break Err(e);
+            }
+        }
+    };
+    let service = started.elapsed();
 
-fn serve_one(inner: &Inner, req: &Request, span: &ActiveSpan) -> Result<Served, ServeError> {
+    if internal {
+        // Background refresh: release the dedupe slot; no client, no
+        // client-facing metrics.
+        if let Some(k) = &job.refresh_key {
+            lock(&inner.refreshing).remove(k);
+        }
+        clear_stub(inner);
+        job.span.finish();
+        return;
+    }
+
+    // First-result-wins: claim the reply channel before recording
+    // client-facing metrics, so a hedge loser doesn't double-count.
+    let won = match &job.hedge {
+        Some(h) => !h.done.swap(true, Ordering::AcqRel),
+        None => true,
+    };
+    if !won {
+        m.hedge_cancels.inc();
+        clear_stub(inner);
+        job.span.finish();
+        return;
+    }
+    if job.is_hedge_dup {
+        m.hedge_wins.inc();
+    }
+
+    m.queue_wait.record_duration(queue_wait);
+    m.service.record_duration(service);
+    m.algo_service(job.req.query.algo())
+        .record_duration(service);
+    match &outcome {
+        Ok(s) => {
+            m.completed.inc();
+            if attempts > 1 {
+                m.retry_successes.inc();
+            }
+            if s.degraded {
+                m.degraded.inc();
+            }
+        }
+        Err(e) => {
+            m.failed.inc();
+            if is_deadline_overrun(e) {
+                m.deadline_overruns.inc();
+            }
+        }
+    }
+    if let Some(t) = &job.req.tenant {
+        m.tenant_requests(t).inc();
+        m.tenant_service(t).record_duration(service);
+    }
+
+    let reply_span = job.span.child("reply");
+    let span_id = job.span.id();
+    let response = outcome.map(|s| Response {
+        data: s.data,
+        stats: s.stats,
+        iterations: s.iterations,
+        method: s.method,
+        cached: matches!(s.source, ResponseSource::Cache | ResponseSource::StaleCache),
+        source: s.source,
+        degraded: s.degraded,
+        attempts,
+        queue_wait,
+        service,
+        batch_size,
+        span: span_id,
+    });
+    let _ = job.tx.send(response);
+    reply_span.finish();
+    job.span.finish();
+    clear_stub(inner);
+}
+
+/// One execution attempt's result, before it becomes a [`Response`].
+struct Served {
+    data: ResultData,
+    stats: KernelStats,
+    iterations: u32,
+    method: Method,
+    source: ResponseSource,
+    degraded: bool,
+}
+
+fn serve_one(
+    inner: &Arc<Inner>,
+    req: &Request,
+    span: &ActiveSpan,
+    force_refresh: bool,
+) -> Result<Served, ServeError> {
     let entry = inner
         .store
         .get(req.graph)
@@ -649,20 +1370,89 @@ fn serve_one(inner: &Inner, req: &Request, span: &ActiveSpan) -> Result<Served, 
         method: method.spec(),
         device: inner.device_fp,
     };
-    let mut lookup_span = span.child("cache_lookup");
-    let hit = lock(&inner.cache).get(&key);
-    if let Some(hit) = hit {
-        lookup_span.arg("outcome", "hit");
+    if !force_refresh {
+        let mut lookup_span = span.child("cache_lookup");
+        let hit = lock(&inner.cache).get_at(&key, Instant::now(), inner.cfg.resilience.stale_ttl);
+        if let Some((hit, freshness)) = hit {
+            lookup_span.arg(
+                "outcome",
+                if freshness == Freshness::Fresh {
+                    "hit"
+                } else {
+                    "stale"
+                },
+            );
+            lookup_span.finish();
+            return match freshness {
+                Freshness::Fresh => Ok(Served {
+                    data: hit.data,
+                    stats: hit.stats,
+                    iterations: hit.iterations,
+                    method,
+                    source: ResponseSource::Cache,
+                    degraded: false,
+                }),
+                Freshness::Stale => {
+                    // Stale-while-revalidate: serve the (still
+                    // byte-identical) old entry flagged degraded, and
+                    // refresh in the background.
+                    inner.metrics.stale_served.inc();
+                    schedule_refresh(inner, req, &key);
+                    Ok(Served {
+                        data: hit.data,
+                        stats: hit.stats,
+                        iterations: hit.iterations,
+                        method,
+                        source: ResponseSource::StaleCache,
+                        degraded: true,
+                    })
+                }
+            };
+        }
+        lookup_span.arg("outcome", "miss");
         lookup_span.finish();
-        return Ok((hit.data, hit.stats, hit.iterations, method, true));
     }
-    lookup_span.arg("outcome", "miss");
-    lookup_span.finish();
+
+    // Circuit breaker: an open breaker routes to the CPU reference
+    // implementation (degraded) instead of burning device attempts on a
+    // failing (graph, algorithm) pair.
+    let bkey = (entry.digest, algo.label());
+    if inner.cfg.resilience.breaker.is_some()
+        && lock(&inner.breaker).admit(bkey, Instant::now()) == BreakerState::Open
+    {
+        if let Some(served) = cpu_fallback(&entry, &req.query) {
+            inner.metrics.fallbacks.inc();
+            return Ok(served);
+        }
+        // No CPU implementation for this algorithm: fall through to the
+        // device rather than fail a request the breaker can't cover.
+    }
 
     let mut template_span = span.child("template");
     let (template, built) = get_template(inner, req.graph, &entry, algo.needs_reverse());
     template_span.arg("built", if built { "upload" } else { "clone" });
     template_span.finish();
+
+    // Chaos: execution-level injections (inside the per-request unwind
+    // boundary — they exercise retry, hedging, and the breaker without
+    // crashing the worker).
+    {
+        let chaos = *lock(&inner.chaos);
+        if let Some(c) = chaos {
+            if c.slow_launch > 0.0 || c.launch_fault > 0.0 {
+                let n = inner.chaos_exec_seq.fetch_add(1, Ordering::Relaxed);
+                if c.roll(chaos_salt::SLOW_LAUNCH, n, c.slow_launch) {
+                    std::thread::sleep(c.slow);
+                }
+                if c.roll(chaos_salt::LAUNCH_FAULT, n, c.launch_fault) {
+                    breaker_fault(inner, bkey);
+                    return Err(ServeError::Panicked(
+                        "chaos: injected launch fault".to_string(),
+                    ));
+                }
+            }
+        }
+    }
 
     let deadline = req.deadline_cycles.or(inner.cfg.default_deadline);
     let mut exec_span = span.child("execute");
@@ -682,8 +1472,21 @@ fn serve_one(inner: &Inner, req: &Request, span: &ActiveSpan) -> Result<Served, 
             deadline,
             label.as_deref(),
         )
-    }))
-    .map_err(|p| ServeError::Panicked(panic_message(&p)))??;
+    }));
+    let run = match run {
+        Err(p) => {
+            breaker_fault(inner, bkey);
+            return Err(ServeError::Panicked(panic_message(&p)));
+        }
+        Ok(Err(e)) => {
+            breaker_fault(inner, bkey);
+            return Err(e);
+        }
+        Ok(Ok(r)) => {
+            breaker_ok(inner, bkey);
+            r
+        }
+    };
     exec_span.finish();
 
     let (data, algo_run) = run;
@@ -698,13 +1501,127 @@ fn serve_one(inner: &Inner, req: &Request, span: &ActiveSpan) -> Result<Served, 
         },
     );
     insert_span.finish();
-    Ok((data, algo_run.stats, algo_run.iterations, method, false))
+    Ok(Served {
+        data,
+        stats: algo_run.stats,
+        iterations: algo_run.iterations,
+        method,
+        source: ResponseSource::Device,
+        degraded: false,
+    })
+}
+
+/// Feed an execution fault to the breaker (no-op when disabled).
+fn breaker_fault(inner: &Arc<Inner>, key: (u64, &'static str)) {
+    if inner.cfg.resilience.breaker.is_none() {
+        return;
+    }
+    let tripped = {
+        let mut b = lock(&inner.breaker);
+        let t = b.on_failure(key, Instant::now());
+        inner.metrics.breaker_open.set(b.open_count());
+        t
+    };
+    if tripped {
+        inner.metrics.breaker_trips.inc();
+    }
+}
+
+/// Feed an execution success to the breaker (no-op when disabled).
+fn breaker_ok(inner: &Arc<Inner>, key: (u64, &'static str)) {
+    if inner.cfg.resilience.breaker.is_none() {
+        return;
+    }
+    let mut b = lock(&inner.breaker);
+    b.on_success(key);
+    inner.metrics.breaker_open.set(b.open_count());
+}
+
+/// Serve from the CPU reference implementation (breaker open). Stats are
+/// zeroed — no device ran — and the result is **not** cached, preserving
+/// the cache's byte-identity contract.
+fn cpu_fallback(entry: &GraphEntry, query: &crate::request::Query) -> Option<Served> {
+    use crate::request::Query;
+    let algo = query.algo();
+    let params = match query {
+        Query::Bfs { src }
+        | Query::BfsQueue { src }
+        | Query::BfsHybrid { src }
+        | Query::Sssp { src } => maxwarp_cpu::FallbackParams {
+            src: src.unwrap_or(entry.source()),
+            ..Default::default()
+        },
+        Query::Pagerank { iters, damping } => maxwarp_cpu::FallbackParams {
+            iters: *iters,
+            damping: *damping,
+            ..Default::default()
+        },
+        _ => maxwarp_cpu::FallbackParams::default(),
+    };
+    let data = match maxwarp_cpu::fallback_run(algo.label(), &entry.csr, &entry.weights, params)? {
+        FallbackData::U32s(v) => ResultData::U32s(v),
+        FallbackData::F32s(v) => ResultData::F32s(v),
+    };
+    Some(Served {
+        data,
+        stats: KernelStats::default(),
+        iterations: 0,
+        method: Method::Baseline,
+        source: ResponseSource::CpuFallback,
+        degraded: true,
+    })
+}
+
+/// Enqueue a background refresh for a stale cache entry (deduped per key;
+/// dropped silently if the queue is saturated — the stale entry keeps
+/// serving).
+fn schedule_refresh(inner: &Arc<Inner>, req: &Request, key: &CacheKey) {
+    {
+        let mut refreshing = lock(&inner.refreshing);
+        if !refreshing.insert(key.clone()) {
+            return; // already scheduled
+        }
+    }
+    let mut refresh_req = req.clone();
+    refresh_req.retry = Some(RetryPolicy::none());
+    refresh_req.priority = Priority::Low;
+    refresh_req.tenant = None;
+    // Internal job: the receiver is dropped immediately; nothing replies.
+    let (tx, _rx) = mpsc::channel();
+    let span = inner.tracer.begin("refresh");
+    let queue_span = span.child("queue_wait");
+    let pushed = {
+        let mut q = lock(&inner.queue);
+        if q.len() >= inner.cfg.queue_capacity {
+            false
+        } else {
+            q.push_back(Job {
+                req: refresh_req,
+                enqueued: Instant::now(),
+                tx,
+                span,
+                queue_span,
+                crash_requeues: 0,
+                hedge: None,
+                is_hedge_dup: false,
+                refresh_key: Some(key.clone()),
+            });
+            inner.metrics.queue_depth.set(q.len() as u64);
+            true
+        }
+    };
+    if pushed {
+        inner.metrics.refreshes.inc();
+        inner.cv.notify_one();
+    } else {
+        lock(&inner.refreshing).remove(key);
+    }
 }
 
 /// Fetch or build the device template; the flag reports whether this call
 /// paid the upload.
 fn get_template(
-    inner: &Inner,
+    inner: &Arc<Inner>,
     handle: GraphHandle,
     entry: &GraphEntry,
     needs_reverse: bool,

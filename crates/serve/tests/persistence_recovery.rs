@@ -1,0 +1,186 @@
+//! Crash-safe persistence: property tests that corrupt each persisted
+//! artifact — the tuning table, the cache-warmup snapshot, and the
+//! generated-graph disk cache — with truncation, bit flips, and partial
+//! (torn) writes, then prove the service starts clean, quarantines the
+//! damage, rebuilds, and serves byte-identical results.
+
+use maxwarp::Method;
+use maxwarp_graph::{csr_digest, hub_graph};
+use maxwarp_serve::{Query, Request, Server, ServerConfig};
+use maxwarp_simt::GpuConfig;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn graph() -> maxwarp_graph::Csr {
+    hub_graph(300, 2, 40, 3, 11)
+}
+
+fn pinned(h: maxwarp_serve::GraphHandle, q: Query) -> Request {
+    let mut r = Request::new(h, q);
+    r.method = Some(Method::Baseline);
+    r
+}
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+/// A fresh per-case scratch directory (proptest cases run sequentially but
+/// must not see each other's files).
+fn scratch(tag: &str) -> PathBuf {
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("maxwarp-recovery-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Apply one corruption to the file: `op` 0 truncates, 1 flips a bit,
+/// 2 simulates a torn write (truncate + garbage tail). Positions are
+/// derived from `pos`/`bit` so proptest explores headers, payload, and
+/// checksums alike.
+fn corrupt(path: &Path, op: u8, pos: u32, bit: u8) {
+    let mut bytes = std::fs::read(path).expect("artifact exists before corruption");
+    assert!(!bytes.is_empty(), "artifact must be non-trivial");
+    let at = pos as usize % bytes.len();
+    match op % 3 {
+        0 => bytes.truncate(at),
+        1 => bytes[at] ^= 1 << (bit % 8),
+        _ => {
+            bytes.truncate(at);
+            bytes.extend_from_slice(&[0xA5; 9]);
+        }
+    }
+    std::fs::write(path, bytes).unwrap();
+}
+
+fn has_quarantine(dir: &Path) -> bool {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .flatten()
+                .any(|e| e.file_name().to_string_lossy().contains(".corrupt"))
+        })
+        .unwrap_or(false)
+}
+
+fn check_tuning_recovers(op: u8, pos: u32, bit: u8) {
+    let dir = scratch("tuning");
+    let path = dir.join("tuning.json");
+    let mut cfg = ServerConfig::for_tests(GpuConfig::tiny_test());
+    cfg.workers = 1;
+    cfg.tuner_sample = 128;
+    cfg.tuning_path = Some(path.clone());
+
+    // Populate: one probed decision lands on disk.
+    let first = Server::start(cfg.clone());
+    let h = first.register_graph("hub", graph());
+    let clean = first
+        .call(Request::new(h, Query::Bfs { src: None }))
+        .unwrap();
+    first.shutdown();
+    assert!(path.exists(), "tuner must persist its table");
+
+    corrupt(&path, op, pos, bit);
+
+    // Restart over the damaged table: clean start, quarantine, re-probe,
+    // and the same payload as before.
+    let second = Server::start(cfg);
+    let h = second.register_graph("hub", graph());
+    let again = second
+        .call(Request::new(h, Query::Bfs { src: None }))
+        .unwrap();
+    assert_eq!(
+        again.data, clean.data,
+        "rebuilt tuner serves the same answer"
+    );
+    assert!(
+        second.snapshot().tuner_probes > 0,
+        "damaged table must be discarded, not trusted"
+    );
+    second.shutdown();
+    assert!(has_quarantine(&dir), "corrupt table must be quarantined");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn check_warmup_recovers(op: u8, pos: u32, bit: u8) {
+    let dir = scratch("warmup");
+    let path = dir.join("warmup.snapshot");
+    let mut cfg = ServerConfig::for_tests(GpuConfig::tiny_test());
+    cfg.workers = 1;
+    cfg.warmup_path = Some(path.clone());
+
+    // Populate the cache and persist it at shutdown.
+    let first = Server::start(cfg.clone());
+    let h = first.register_graph("hub", graph());
+    let clean = first.call(pinned(h, Query::Bfs { src: Some(0) })).unwrap();
+    first.call(pinned(h, Query::Cc)).unwrap();
+    first.shutdown();
+    assert!(path.exists(), "shutdown must write the warmup snapshot");
+
+    corrupt(&path, op, pos, bit);
+
+    // Restart: nothing loads from the damaged snapshot, the file is
+    // quarantined, and a recomputed response is byte-identical.
+    let second = Server::start(cfg);
+    let h = second.register_graph("hub", graph());
+    let snap = second.snapshot();
+    assert_eq!(
+        snap.resilience.warmup_loaded, 0,
+        "a damaged snapshot must load zero entries"
+    );
+    let again = second.call(pinned(h, Query::Bfs { src: Some(0) })).unwrap();
+    assert!(!again.cached, "nothing was warmed from the corrupt file");
+    assert_eq!(again.data, clean.data, "recomputed payload is identical");
+    assert_eq!(again.stats, clean.stats, "recomputed stats are identical");
+    second.shutdown();
+    assert!(has_quarantine(&dir), "corrupt snapshot must be quarantined");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn check_graph_cache_recovers(op: u8, pos: u32, bit: u8) {
+    let dir = scratch("graphcache");
+    let key = "recovery-hub";
+    let built = maxwarp_graph::cached_or_build_in(&dir, key, graph);
+    let want = csr_digest(&built);
+
+    // Exactly one cache entry was published; corrupt it.
+    let entry = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "csr"))
+        .expect("cache entry published");
+    corrupt(&entry, op, pos, bit);
+
+    // The next lookup quarantines, rebuilds, and republishes.
+    let rebuilt = maxwarp_graph::cached_or_build_in(&dir, key, graph);
+    assert_eq!(csr_digest(&rebuilt), want, "rebuilt graph is identical");
+    assert!(has_quarantine(&dir), "corrupt entry must be quarantined");
+
+    // The republished entry is clean: a third lookup must not build.
+    let hit = maxwarp_graph::cached_or_build_in(&dir, key, || {
+        panic!("republished entry must hit, not rebuild")
+    });
+    assert_eq!(csr_digest(&hit), want);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn tuning_table_survives_corruption(op in any::<u8>(), pos in any::<u32>(), bit in any::<u8>()) {
+        check_tuning_recovers(op, pos, bit);
+    }
+
+    #[test]
+    fn warmup_snapshot_survives_corruption(op in any::<u8>(), pos in any::<u32>(), bit in any::<u8>()) {
+        check_warmup_recovers(op, pos, bit);
+    }
+
+    #[test]
+    fn graph_cache_survives_corruption(op in any::<u8>(), pos in any::<u32>(), bit in any::<u8>()) {
+        check_graph_cache_recovers(op, pos, bit);
+    }
+}
