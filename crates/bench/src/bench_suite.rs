@@ -1,9 +1,9 @@
 //! The pinned perf-trajectory suite behind `tool_bench`.
 //!
-//! Three fixed benchmarks, each emitting a schema-validated JSON document
+//! Four fixed benchmarks, each emitting a schema-validated JSON document
 //! meant to be committed at the repo root (`BENCH_fig2.json`,
-//! `BENCH_serve.json`, `BENCH_simt.json`) so the repo's performance over
-//! time is diffable history, not folklore:
+//! `BENCH_serve.json`, `BENCH_simt.json`, `BENCH_shard.json`) so the
+//! repo's performance over time is diffable history, not folklore:
 //!
 //! * **fig2** — wall-clock of the headline BFS speedup sweep plus the
 //!   simulated geomean speedup itself (a *result* regression gate, not
@@ -17,6 +17,12 @@
 //! * **simt** — per-kernel simulator throughput: host-side ops/sec
 //!   (simulated warp instructions per wall second) and the deterministic
 //!   simulated cycle counts for a pinned RMAT graph.
+//! * **shard** — multi-device strong scaling on a pinned RMAT graph: per
+//!   algorithm, the single-device cycle count and the N ∈ {2, 4, 8}
+//!   sharded makespans with their comms/compute/stall breakdown, plus the
+//!   geomean scaling efficiency `T1 / (N · TN)` at each shard count —
+//!   all simulated, all deterministic, all gated. Payload identity
+//!   against the single-device drivers is asserted on every point.
 //!
 //! [`compare`] gates a fresh run against a committed baseline: any pinned
 //! metric that moves in the bad direction by more than the tolerance is a
@@ -25,7 +31,7 @@
 //! tolerance while local runs can tighten it.
 
 use crate::harness::Harness;
-use crate::util::{fresh_gpu, launch_ok, scale_name};
+use crate::util::{device, fresh_gpu, launch_ok, scale_name};
 use maxwarp::DeviceGraph;
 use maxwarp::{geomean, run_bfs, run_cc, run_pagerank, run_sssp, ExecConfig, Method};
 use maxwarp_graph::{random_weights, Csr, Dataset, Scale};
@@ -33,6 +39,10 @@ use maxwarp_serve::json::{self, Value};
 use maxwarp_serve::{
     Algo, ChaosConfig, LatencySummary, Query, Request, RetryPolicy, ServeError, Server,
     ServerConfig, ShedConfig, Ticket,
+};
+use maxwarp_shard::{
+    run_bfs_sharded, run_cc_sharded, run_pagerank_sharded, run_sssp_sharded, CutStrategy,
+    LinkConfig, MultiDevice, Partition, PartitionSpec, ShardedRun,
 };
 use maxwarp_simt::GpuConfig;
 use std::time::Instant;
@@ -42,7 +52,7 @@ use std::time::Instant;
 pub const SCHEMA_VERSION: u64 = 1;
 
 /// Suite names, in run order.
-pub const SUITES: [&str; 3] = ["fig2", "serve", "simt"];
+pub const SUITES: [&str; 4] = ["fig2", "serve", "simt", "shard"];
 
 /// Pinned configuration for one suite run.
 #[derive(Clone, Debug)]
@@ -535,6 +545,178 @@ fn upload_plain(g: &Csr) -> (maxwarp_simt::Gpu, DeviceGraph) {
     (gpu, dg)
 }
 
+// ---- shard -----------------------------------------------------------------
+
+/// Shard counts the scaling suite pins (beyond the single-device T1).
+const SHARD_POINTS: [u32; 3] = [2, 4, 8];
+
+/// One sharded data point: the JSON row plus the scaling efficiency
+/// `T1 / (N · TN)` it contributes to the suite-level geomean.
+fn shard_point(shards: u32, sr: &ShardedRun, t1: u64) -> (f64, Value) {
+    let efficiency = t1 as f64 / (shards as u64 * sr.makespan_cycles()).max(1) as f64;
+    let rounds: Vec<Value> = sr
+        .rounds
+        .iter()
+        .map(|r| {
+            json::obj(vec![
+                ("compute_cycles", json::n(r.compute_cycles as f64)),
+                ("comm_cycles", json::n(r.comm_cycles as f64)),
+                ("stall_cycles", json::n(r.stall_cycles as f64)),
+                ("halo_bytes", json::n(r.halo_bytes as f64)),
+            ])
+        })
+        .collect();
+    let row = json::obj(vec![
+        ("shards", json::n(shards as f64)),
+        ("makespan_cycles", json::n(sr.makespan_cycles() as f64)),
+        ("compute_cycles", json::n(sr.compute_cycles() as f64)),
+        ("comm_cycles", json::n(sr.comm_cycles() as f64)),
+        ("stall_cycles", json::n(sr.stall_cycles() as f64)),
+        ("halo_bytes", json::n(sr.halo_bytes() as f64)),
+        ("bsp_rounds", json::n(sr.bsp_rounds() as f64)),
+        ("efficiency", json::n(efficiency)),
+        ("rounds", Value::Arr(rounds)),
+    ]);
+    (efficiency, row)
+}
+
+/// The multi-device scaling benchmark: every sharded algorithm on a
+/// pinned RMAT graph, block cut, default interconnect. All metrics are
+/// simulated cycles — deterministic across hosts — so the per-point
+/// makespans and the efficiency geomeans gate tightly in CI. Payload
+/// identity against the single-device drivers is asserted inline.
+pub fn bench_shard(cfg: &BenchConfig) -> Value {
+    let start = Instant::now();
+    let g = Dataset::Rmat.build_cached(cfg.scale);
+    let src = Dataset::Rmat.source(&g);
+    let weights = random_weights(&g, 15, 0xbe9c);
+    let sym = g.symmetrize();
+    let exec = ExecConfig::default();
+    let link = LinkConfig::default();
+    let method = Method::warp(8);
+
+    let fleet = |graph: &Csr, w: Option<&[u32]>, shards: u32| {
+        let spec = PartitionSpec {
+            shards,
+            cut: CutStrategy::Block,
+        };
+        MultiDevice::upload(&device(), Partition::new(graph, w, &spec))
+    };
+
+    let mut algo_rows = Vec::new();
+    let mut eff_by_n: Vec<Vec<f64>> = vec![Vec::new(); SHARD_POINTS.len()];
+    let mut push_algo = |name: &str, t1: u64, points: Vec<Value>| {
+        algo_rows.push(json::obj(vec![
+            ("algo", json::s(name.to_string())),
+            ("single_cycles", json::n(t1 as f64)),
+            ("points", Value::Arr(points)),
+        ]));
+    };
+
+    // BFS
+    {
+        let (want, t1) = {
+            let (mut gpu, dg) = upload_plain(&g);
+            let o = launch_ok(run_bfs(&mut gpu, &dg, src, method, &exec));
+            (o.levels, o.run.cycles())
+        };
+        let mut points = Vec::new();
+        for (i, &n) in SHARD_POINTS.iter().enumerate() {
+            let mut md = fleet(&g, None, n);
+            let out = launch_ok(run_bfs_sharded(&mut md, src, method, &exec, &link, None));
+            assert_eq!(out.values, want, "bfs payload identity at N={n}");
+            let (eff, row) = shard_point(n, &out.run, t1);
+            eff_by_n[i].push(eff);
+            points.push(row);
+        }
+        push_algo("bfs", t1, points);
+    }
+    // SSSP
+    {
+        let (want, t1) = {
+            let mut gpu = fresh_gpu();
+            let dg = DeviceGraph::upload_weighted(&mut gpu, &g, &weights);
+            let o = launch_ok(run_sssp(&mut gpu, &dg, src, method, &exec));
+            (o.dist, o.run.cycles())
+        };
+        let mut points = Vec::new();
+        for (i, &n) in SHARD_POINTS.iter().enumerate() {
+            let mut md = fleet(&g, Some(&weights), n);
+            let out = launch_ok(run_sssp_sharded(&mut md, src, method, &exec, &link, None));
+            assert_eq!(out.values, want, "sssp payload identity at N={n}");
+            let (eff, row) = shard_point(n, &out.run, t1);
+            eff_by_n[i].push(eff);
+            points.push(row);
+        }
+        push_algo("sssp", t1, points);
+    }
+    // PageRank
+    {
+        const ITERS: u32 = 5;
+        let (want, t1) = {
+            let (mut gpu, dg) = upload_plain(&g);
+            let o = launch_ok(run_pagerank(&mut gpu, &dg, ITERS, 0.85, method, &exec));
+            (o.ranks, o.run.cycles())
+        };
+        let mut points = Vec::new();
+        for (i, &n) in SHARD_POINTS.iter().enumerate() {
+            let mut md = fleet(&g, None, n);
+            let out = launch_ok(run_pagerank_sharded(
+                &mut md, ITERS, 0.85, method, &exec, &link, None,
+            ));
+            assert_eq!(out.values, want, "pagerank payload identity at N={n}");
+            let (eff, row) = shard_point(n, &out.run, t1);
+            eff_by_n[i].push(eff);
+            points.push(row);
+        }
+        push_algo("pagerank", t1, points);
+    }
+    // CC (on the symmetrized graph, matching the single-device driver).
+    {
+        let (want, t1) = {
+            let (mut gpu, dg) = upload_plain(&sym);
+            let o = launch_ok(run_cc(&mut gpu, &dg, method, &exec));
+            (o.labels, o.run.cycles())
+        };
+        let mut points = Vec::new();
+        for (i, &n) in SHARD_POINTS.iter().enumerate() {
+            let mut md = fleet(&sym, None, n);
+            let out = launch_ok(run_cc_sharded(&mut md, method, &exec, &link, None));
+            assert_eq!(out.values, want, "cc payload identity at N={n}");
+            let (eff, row) = shard_point(n, &out.run, t1);
+            eff_by_n[i].push(eff);
+            points.push(row);
+        }
+        push_algo("cc", t1, points);
+    }
+
+    let wall = start.elapsed().as_secs_f64();
+    let mut doc = common_header("shard", cfg, wall);
+    doc.push(("graph", json::s("rmat")));
+    doc.push(("vertices", json::n(g.num_vertices() as f64)));
+    doc.push(("edges", json::n(g.num_edges() as f64)));
+    doc.push(("cut", json::s("block")));
+    doc.push(("method", json::s("vw8")));
+    doc.push((
+        "link",
+        json::obj(vec![
+            ("bytes_per_cycle", json::n(link.bytes_per_cycle as f64)),
+            ("latency_cycles", json::n(link.latency_cycles as f64)),
+            ("devices_per_link", json::n(link.devices_per_link as f64)),
+        ]),
+    ));
+    for (i, &n) in SHARD_POINTS.iter().enumerate() {
+        let key = match n {
+            2 => "efficiency_n2",
+            4 => "efficiency_n4",
+            _ => "efficiency_n8",
+        };
+        doc.push((key, json::n(geomean(&eff_by_n[i]))));
+    }
+    doc.push(("algos", Value::Arr(algo_rows)));
+    json::obj(doc)
+}
+
 // ---- schema validation -----------------------------------------------------
 
 fn want_num(v: &Value, key: &str) -> Result<f64, String> {
@@ -655,6 +837,72 @@ pub fn validate(suite: &str, v: &Value) -> Result<(), String> {
                 want_num(k, "wall_seconds")?;
                 if want_num(k, "ops_per_sec")? <= 0.0 {
                     return Err("kernel ops_per_sec must be positive".into());
+                }
+            }
+        }
+        "shard" => {
+            want_str(v, "graph")?;
+            want_num(v, "vertices")?;
+            want_num(v, "edges")?;
+            want_str(v, "cut")?;
+            for key in ["efficiency_n2", "efficiency_n4", "efficiency_n8"] {
+                if want_num(v, key)? <= 0.0 {
+                    return Err(format!("{key} must be positive"));
+                }
+            }
+            let algos = v
+                .get("algos")
+                .and_then(Value::as_arr)
+                .ok_or("missing array field `algos`")?;
+            if algos.is_empty() {
+                return Err("algos must be non-empty".into());
+            }
+            for a in algos {
+                want_str(a, "algo")?;
+                if want_num(a, "single_cycles")? <= 0.0 {
+                    return Err("single_cycles must be positive".into());
+                }
+                let points = a
+                    .get("points")
+                    .and_then(Value::as_arr)
+                    .ok_or("missing array field `points`")?;
+                if points.is_empty() {
+                    return Err("points must be non-empty".into());
+                }
+                for p in points {
+                    for key in [
+                        "shards",
+                        "compute_cycles",
+                        "comm_cycles",
+                        "stall_cycles",
+                        "halo_bytes",
+                        "bsp_rounds",
+                    ] {
+                        want_num(p, key)?;
+                    }
+                    if want_num(p, "makespan_cycles")? <= 0.0 {
+                        return Err("point makespan_cycles must be positive".into());
+                    }
+                    if want_num(p, "efficiency")? <= 0.0 {
+                        return Err("point efficiency must be positive".into());
+                    }
+                    let rounds = p
+                        .get("rounds")
+                        .and_then(Value::as_arr)
+                        .ok_or("missing array field `rounds`")?;
+                    if rounds.is_empty() {
+                        return Err("point rounds must be non-empty".into());
+                    }
+                    for r in rounds {
+                        for key in [
+                            "compute_cycles",
+                            "comm_cycles",
+                            "stall_cycles",
+                            "halo_bytes",
+                        ] {
+                            want_num(r, key).map_err(|e| format!("round: {e}"))?;
+                        }
+                    }
                 }
             }
         }
@@ -786,6 +1034,67 @@ fn gated_metrics(suite: &str, cur: &Value, base: &Value) -> Vec<Metric> {
                 );
             }
         }
+        "shard" => {
+            // Scaling efficiency and every per-point makespan are pure
+            // simulated quantities — tight cross-machine gates.
+            for key in ["efficiency_n2", "efficiency_n4", "efficiency_n8"] {
+                paired(cur, base, key, &format!("shard {key}"), true, true, &mut m);
+            }
+            paired(
+                cur,
+                base,
+                "wall_seconds",
+                "shard wall_seconds",
+                false,
+                false,
+                &mut m,
+            );
+            let empty = Vec::new();
+            let cur_algos = cur.get("algos").and_then(Value::as_arr).unwrap_or(&empty);
+            let base_algos = base.get("algos").and_then(Value::as_arr).unwrap_or(&empty);
+            for ca in cur_algos {
+                let Some(name) = ca.get("algo").and_then(Value::as_str) else {
+                    continue;
+                };
+                let Some(ba) = base_algos
+                    .iter()
+                    .find(|ba| ba.get("algo").and_then(Value::as_str) == Some(name))
+                else {
+                    continue;
+                };
+                paired(
+                    ca,
+                    ba,
+                    "single_cycles",
+                    &format!("shard {name} single_cycles"),
+                    false,
+                    true,
+                    &mut m,
+                );
+                let cur_points = ca.get("points").and_then(Value::as_arr).unwrap_or(&empty);
+                let base_points = ba.get("points").and_then(Value::as_arr).unwrap_or(&empty);
+                for cp in cur_points {
+                    let Some(n) = cp.get("shards").and_then(Value::as_f64) else {
+                        continue;
+                    };
+                    let Some(bp) = base_points
+                        .iter()
+                        .find(|bp| bp.get("shards").and_then(Value::as_f64) == Some(n))
+                    else {
+                        continue;
+                    };
+                    paired(
+                        cp,
+                        bp,
+                        "makespan_cycles",
+                        &format!("shard {name} N={n} makespan_cycles"),
+                        false,
+                        true,
+                        &mut m,
+                    );
+                }
+            }
+        }
         _ => {}
     }
     m
@@ -905,6 +1214,67 @@ mod tests {
         assert!(compare("serve", &cur, &base, 2.0, true).is_empty());
         let cold_cache = serve_doc(95.0, 0.2);
         assert_eq!(compare("serve", &cold_cache, &base, 2.0, true).len(), 1);
+    }
+
+    fn shard_doc(eff: f64, makespan: f64) -> Value {
+        let point = doc(vec![
+            ("shards", json::n(2.0)),
+            ("makespan_cycles", json::n(makespan)),
+            ("compute_cycles", json::n(makespan * 0.8)),
+            ("comm_cycles", json::n(makespan * 0.2)),
+            ("stall_cycles", json::n(10.0)),
+            ("halo_bytes", json::n(4096.0)),
+            ("bsp_rounds", json::n(6.0)),
+            ("efficiency", json::n(eff)),
+            (
+                "rounds",
+                Value::Arr(vec![doc(vec![
+                    ("compute_cycles", json::n(makespan * 0.8)),
+                    ("comm_cycles", json::n(makespan * 0.2)),
+                    ("stall_cycles", json::n(10.0)),
+                    ("halo_bytes", json::n(4096.0)),
+                ])]),
+            ),
+        ]);
+        doc(vec![
+            ("suite", json::s("shard")),
+            ("schema_version", json::n(SCHEMA_VERSION as f64)),
+            ("scale", json::s("tiny")),
+            ("wall_seconds", json::n(1.0)),
+            ("graph", json::s("rmat")),
+            ("vertices", json::n(1024.0)),
+            ("edges", json::n(8192.0)),
+            ("cut", json::s("block")),
+            ("efficiency_n2", json::n(eff)),
+            ("efficiency_n4", json::n(eff)),
+            ("efficiency_n8", json::n(eff)),
+            (
+                "algos",
+                Value::Arr(vec![doc(vec![
+                    ("algo", json::s("bfs")),
+                    ("single_cycles", json::n(1000.0)),
+                    ("points", Value::Arr(vec![point])),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn validate_accepts_wellformed_shard_doc() {
+        assert_eq!(validate("shard", &shard_doc(0.7, 700.0)), Ok(()));
+        let bad = shard_doc(0.0, 700.0);
+        assert!(validate("shard", &bad).is_err(), "zero efficiency");
+    }
+
+    #[test]
+    fn compare_gates_shard_efficiency_and_makespan() {
+        let base = shard_doc(0.8, 700.0);
+        // Efficiency dropped 25% and the makespan grew: both deterministic,
+        // both gated even in sim_only mode.
+        let reg = compare("shard", &shard_doc(0.6, 900.0), &base, 10.0, true);
+        assert!(reg.iter().any(|l| l.contains("efficiency_n2")), "{reg:?}");
+        assert!(reg.iter().any(|l| l.contains("makespan_cycles")), "{reg:?}");
+        assert!(compare("shard", &shard_doc(0.8, 700.0), &base, 10.0, true).is_empty());
     }
 
     #[test]

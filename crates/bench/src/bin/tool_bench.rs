@@ -1,14 +1,15 @@
 //! `tool_bench` — the pinned perf-trajectory suite.
 //!
-//! Runs the three fixed benchmarks from [`maxwarp_bench::bench_suite`]
+//! Runs the four fixed benchmarks from [`maxwarp_bench::bench_suite`]
 //! (fig2 sweep wall-clock, serve req/s + latency quantiles, per-kernel
-//! simulator throughput), validates each document against the pinned
-//! schema, and writes `BENCH_fig2.json` / `BENCH_serve.json` /
-//! `BENCH_simt.json` — committed at the repo root so performance over time
-//! is reviewable history.
+//! simulator throughput, multi-device shard scaling), validates each
+//! document against the pinned schema, and writes `BENCH_fig2.json` /
+//! `BENCH_serve.json` / `BENCH_simt.json` / `BENCH_shard.json` —
+//! committed at the repo root so performance over time is reviewable
+//! history.
 //!
 //! ```text
-//! tool_bench [--suite fig2|serve|simt|all] [--scale tiny|small|medium]
+//! tool_bench [--suite fig2|serve|simt|shard|all] [--scale tiny|small|medium]
 //!            [--requests N] [--seed S] [--out-dir DIR]
 //!            [--compare DIR] [--tolerance PCT] [--sim-only]
 //! ```
@@ -25,7 +26,8 @@
 //! baseline.
 
 use maxwarp_bench::bench_suite::{
-    bench_fig2, bench_filename, bench_serve, bench_simt, compare, validate, BenchConfig, SUITES,
+    bench_fig2, bench_filename, bench_serve, bench_shard, bench_simt, compare, validate,
+    BenchConfig, SUITES,
 };
 use maxwarp_graph::Scale;
 use maxwarp_serve::json::{self, Value};
@@ -127,6 +129,7 @@ fn main() {
         let doc = match *suite {
             "fig2" => bench_fig2(&args.cfg),
             "serve" => bench_serve(&args.cfg),
+            "shard" => bench_shard(&args.cfg),
             _ => bench_simt(&args.cfg),
         };
         if let Err(e) = validate(suite, &doc) {

@@ -1,0 +1,216 @@
+//! `tool_shard` — the multi-device identity sweep and scaling report.
+//!
+//! Runs every sharded algorithm (BFS, SSSP, PageRank, CC) on the sweep
+//! datasets across shard counts and cut strategies, checks each merged
+//! payload byte-for-byte against the single-device driver, prints the
+//! comms/compute scaling table, and writes a JSON report. Any identity
+//! mismatch (or failed cell) exits nonzero — this is the CI gate for the
+//! `maxwarp-shard` contract.
+//!
+//! ```text
+//! tool_shard [tiny|small|medium] [--jobs N] [--shards LIST] [--cut block|degree|bfs|all]
+//!            [--out PATH]
+//! ```
+//!
+//! Defaults: scale small, shards `1,2,4,8`, all three cuts, report to
+//! `results/shard_sweep.json`. The interconnect model reads
+//! `MAXWARP_LINK_BW` / `MAXWARP_LINK_LAT` / `MAXWARP_LINK_FANOUT`.
+
+use maxwarp::{ExecConfig, Method};
+use maxwarp_bench::experiments::shard::{reference, sharded_with, workloads, Point};
+use maxwarp_bench::harness::{exit_code, row, Cell, Harness};
+use maxwarp_bench::util::{f, scale_from_args, scale_name, write_results};
+use maxwarp_serve::json::{self, Value};
+use maxwarp_shard::{CutStrategy, LinkConfig};
+
+struct Args {
+    shards: Vec<u32>,
+    cuts: Vec<CutStrategy>,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        shards: vec![1, 2, 4, 8],
+        cuts: vec![CutStrategy::Block, CutStrategy::Degree, CutStrategy::Bfs],
+        out: "shard_sweep.json".to_string(),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut val = || {
+            argv.next()
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--shards" => {
+                a.shards = val()
+                    .split(',')
+                    .map(|s| match s.trim().parse::<u32>() {
+                        Ok(n) if n >= 1 => n,
+                        _ => die(&format!("bad shard count `{s}`")),
+                    })
+                    .collect();
+                if a.shards.is_empty() {
+                    die("--shards needs at least one count");
+                }
+            }
+            "--cut" => {
+                a.cuts = match val().as_str() {
+                    "all" => vec![CutStrategy::Block, CutStrategy::Degree, CutStrategy::Bfs],
+                    other => vec![CutStrategy::parse(other)],
+                }
+            }
+            "--out" => a.out = val(),
+            "--jobs" => {
+                val(); // consumed by Harness::from_env
+            }
+            other if other.starts_with("--jobs=") => {}
+            "tiny" | "small" | "medium" => {} // consumed by scale_from_args
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    a
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("tool_shard: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let args = parse_args();
+    let h = Harness::from_env();
+    let exec = ExecConfig::default();
+    let method = Method::warp(8);
+    let link = LinkConfig::from_env();
+
+    println!(
+        "== tool_shard: identity sweep [scale={}] shards={:?} cuts={:?} \
+         link(bw={} B/cyc, lat={} cyc, fanout={}) ==",
+        scale_name(scale),
+        args.shards,
+        args.cuts.iter().map(|c| c.label()).collect::<Vec<_>>(),
+        link.bytes_per_cycle,
+        link.latency_cycles,
+        link.devices_per_link,
+    );
+
+    let work = workloads(scale);
+
+    // Single-device references, one cell per (dataset, algo).
+    let ref_cells = work
+        .iter()
+        .map(|w| {
+            Cell::new(format!("{} {} single", w.dataset, w.algo), move || {
+                reference(w, method, &exec)
+            })
+        })
+        .collect();
+    let refs = h.run("tool_shard:single", ref_cells);
+
+    // Sharded runs: (dataset, algo) x cut x N. Each cell carries its own
+    // identity verdict so a mismatch is a reported row, not a panic.
+    let mut cells = Vec::new();
+    for (w, reference) in work.iter().zip(&refs) {
+        for &cut in &args.cuts {
+            for &n in &args.shards {
+                cells.push(Cell::new(
+                    format!("{} {} {} N={n}", w.dataset, w.algo, cut.label()),
+                    move || {
+                        let (payload, sr) = sharded_with(w, n, cut, method, &exec, &link);
+                        let matches = reference.as_ref().is_some_and(|(want, _)| payload == *want);
+                        (matches, Point::from_run(n, &sr))
+                    },
+                ));
+            }
+        }
+    }
+    let outs = h.run("tool_shard", cells);
+
+    let points_per_row = args.cuts.len() * args.shards.len();
+    let mut mismatches = 0usize;
+    let mut rows = Vec::new();
+    println!(
+        "{:<12} {:<9} {:<7} {:>3} {:>12} {:>7} {:>10} {:>10} {:>7} {:>6} {:>6}",
+        "dataset",
+        "algo",
+        "cut",
+        "N",
+        "makespan",
+        "comm%",
+        "stall-cyc",
+        "halo-B",
+        "rounds",
+        "eff",
+        "ident"
+    );
+    for ((w, reference), chunk) in work.iter().zip(&refs).zip(outs.chunks(points_per_row)) {
+        let Some(points) = row("tool_shard", &format!("{} {}", w.dataset, w.algo), chunk) else {
+            mismatches += 1; // a dropped cell is a failed check
+            continue;
+        };
+        let Some((_, t1)) = reference else {
+            mismatches += 1;
+            continue;
+        };
+        for (i, (matches, p)) in points.iter().enumerate() {
+            let cut = args.cuts[i / args.shards.len()];
+            let comm_pct = 100.0 * p.comm as f64 / p.makespan.max(1) as f64;
+            let eff = *t1 as f64 / (p.shards as u64 * p.makespan).max(1) as f64;
+            if !matches {
+                mismatches += 1;
+            }
+            println!(
+                "{:<12} {:<9} {:<7} {:>3} {:>12} {:>6}% {:>10} {:>10} {:>7} {:>6} {:>6}",
+                w.dataset,
+                w.algo,
+                cut.label(),
+                p.shards,
+                p.makespan,
+                f(comm_pct),
+                p.stall,
+                p.halo,
+                p.rounds,
+                f(eff),
+                if *matches { "ok" } else { "FAIL" }
+            );
+            rows.push(json::obj(vec![
+                ("dataset", json::s(w.dataset.to_string())),
+                ("algo", json::s(w.algo.to_string())),
+                ("cut", json::s(cut.label().to_string())),
+                ("shards", json::n(p.shards as f64)),
+                ("single_cycles", json::n(*t1 as f64)),
+                ("makespan_cycles", json::n(p.makespan as f64)),
+                ("comm_cycles", json::n(p.comm as f64)),
+                ("stall_cycles", json::n(p.stall as f64)),
+                ("halo_bytes", json::n(p.halo as f64)),
+                ("bsp_rounds", json::n(p.rounds as f64)),
+                ("efficiency", json::n(eff)),
+                ("identical", json::n(if *matches { 1.0 } else { 0.0 })),
+            ]));
+        }
+    }
+
+    let report = json::obj(vec![
+        ("scale", json::s(scale_name(scale).to_string())),
+        (
+            "link",
+            json::obj(vec![
+                ("bytes_per_cycle", json::n(link.bytes_per_cycle as f64)),
+                ("latency_cycles", json::n(link.latency_cycles as f64)),
+                ("devices_per_link", json::n(link.devices_per_link as f64)),
+            ]),
+        ),
+        ("mismatches", json::n(mismatches as f64)),
+        ("points", Value::Arr(rows)),
+    ]);
+    let path = write_results(&args.out, &report.to_json());
+    println!("report -> {}", path.display());
+
+    if mismatches > 0 {
+        eprintln!("tool_shard: {mismatches} identity check(s) FAILED");
+        std::process::exit(1);
+    }
+    std::process::exit(exit_code());
+}

@@ -15,6 +15,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod shard;
 pub mod table1;
 
 use crate::harness::Harness;
@@ -114,6 +115,11 @@ pub const ALL: &[Experiment] = &[
         name: "ablation6",
         title: "multi-source BFS: one 8-source bitmask sweep vs separate runs",
         run: ablation6::run,
+    },
+    Experiment {
+        name: "shard",
+        title: "multi-device sharding: identity and strong scaling over the interconnect model",
+        run: shard::run,
     },
 ];
 

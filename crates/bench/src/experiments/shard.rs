@@ -1,0 +1,275 @@
+//! SHARD — multi-device sharded execution: identity plus strong scaling.
+//!
+//! For each dataset and sharded algorithm, runs the single-device driver
+//! as the reference, then the N ∈ {1, 2, 4, 8} BSP executor under the
+//! default interconnect model. Every sharded payload is asserted
+//! byte-identical to the reference (a failed assert drops the cell and
+//! fails the run), and the table reports the per-point makespan, the
+//! comms share of it, interconnect stalls, halo traffic, BSP rounds, and
+//! the scaling efficiency `T1 / (N · TN)`.
+
+use crate::harness::{row, Cell, Harness};
+use crate::util::{banner, device, f, fresh_gpu, launch_ok};
+use maxwarp::{run_bfs, run_cc, run_pagerank, run_sssp, DeviceGraph, ExecConfig, Method};
+use maxwarp_graph::{random_weights, Csr, Dataset, Scale};
+use maxwarp_shard::{
+    run_bfs_sharded, run_cc_sharded, run_pagerank_sharded, run_sssp_sharded, CutStrategy,
+    LinkConfig, MultiDevice, Partition, PartitionSpec, ShardedRun,
+};
+
+const SHARDS: [u32; 4] = [1, 2, 4, 8];
+const PR_ITERS: u32 = 5;
+const PR_DAMPING: f32 = 0.85;
+
+/// Merged payload of either integer-valued or rank-valued algorithms,
+/// comparable across the single- and multi-device paths.
+#[derive(PartialEq)]
+pub enum Payload {
+    U(Vec<u32>),
+    F(Vec<f32>),
+}
+
+pub struct Point {
+    /// Shard count for this data point.
+    pub shards: u32,
+    /// Critical-path cycles across the BSP supersteps.
+    pub makespan: u64,
+    /// Modeled interconnect cycles on the critical path.
+    pub comm: u64,
+    /// Cycles lost to link arbitration.
+    pub stall: u64,
+    /// Halo bytes exchanged over the run.
+    pub halo: u64,
+    /// BSP rounds to convergence.
+    pub rounds: u32,
+}
+
+impl Point {
+    /// Summarize one merged sharded run.
+    pub fn from_run(shards: u32, sr: &ShardedRun) -> Point {
+        Point {
+            shards,
+            makespan: sr.makespan_cycles(),
+            comm: sr.comm_cycles(),
+            stall: sr.stall_cycles(),
+            halo: sr.halo_bytes(),
+            rounds: sr.bsp_rounds(),
+        }
+    }
+}
+
+/// The algorithm mix per dataset: weighted SSSP only where weights exist;
+/// CC runs on the symmetrized graph like the single-device driver.
+pub struct Workload {
+    /// Dataset name, for table rows.
+    pub dataset: &'static str,
+    /// Algorithm name (`bfs`/`sssp`/`pagerank`/`cc`).
+    pub algo: &'static str,
+    /// The graph the drivers run on (symmetrized for CC).
+    pub g: Csr,
+    /// Edge weights (SSSP only).
+    pub weights: Option<Vec<u32>>,
+    /// Traversal source.
+    pub src: u32,
+}
+
+pub fn workloads(scale: Scale) -> Vec<Workload> {
+    let mut out = Vec::new();
+    for d in [Dataset::Rmat, Dataset::WikiTalkLike] {
+        let g = d.build_cached(scale);
+        let src = d.source(&g);
+        let w = random_weights(&g, 31, 0xd1ce);
+        let sym = g.symmetrize();
+        out.push(Workload {
+            dataset: d.name(),
+            algo: "bfs",
+            g: g.clone(),
+            weights: None,
+            src,
+        });
+        out.push(Workload {
+            dataset: d.name(),
+            algo: "sssp",
+            g: g.clone(),
+            weights: Some(w),
+            src,
+        });
+        out.push(Workload {
+            dataset: d.name(),
+            algo: "pagerank",
+            g,
+            weights: None,
+            src,
+        });
+        out.push(Workload {
+            dataset: d.name(),
+            algo: "cc",
+            g: sym,
+            weights: None,
+            src,
+        });
+    }
+    out
+}
+
+/// Single-device reference for one workload: payload plus cycle count.
+pub fn reference(w: &Workload, method: Method, exec: &ExecConfig) -> (Payload, u64) {
+    let mut gpu = fresh_gpu();
+    match w.algo {
+        "bfs" => {
+            let dg = DeviceGraph::upload(&mut gpu, &w.g);
+            let o = launch_ok(run_bfs(&mut gpu, &dg, w.src, method, exec));
+            (Payload::U(o.levels), o.run.cycles())
+        }
+        "sssp" => {
+            let wts = w.weights.as_deref().unwrap_or(&[]);
+            let dg = DeviceGraph::upload_weighted(&mut gpu, &w.g, wts);
+            let o = launch_ok(run_sssp(&mut gpu, &dg, w.src, method, exec));
+            (Payload::U(o.dist), o.run.cycles())
+        }
+        "pagerank" => {
+            let dg = DeviceGraph::upload(&mut gpu, &w.g);
+            let o = launch_ok(run_pagerank(
+                &mut gpu, &dg, PR_ITERS, PR_DAMPING, method, exec,
+            ));
+            (Payload::F(o.ranks), o.run.cycles())
+        }
+        _ => {
+            let dg = DeviceGraph::upload(&mut gpu, &w.g);
+            let o = launch_ok(run_cc(&mut gpu, &dg, method, exec));
+            (Payload::U(o.labels), o.run.cycles())
+        }
+    }
+}
+
+/// One sharded run for one workload at one shard count and cut.
+pub fn sharded_with(
+    w: &Workload,
+    shards: u32,
+    cut: CutStrategy,
+    method: Method,
+    exec: &ExecConfig,
+    link: &LinkConfig,
+) -> (Payload, ShardedRun) {
+    let spec = PartitionSpec { shards, cut };
+    let part = Partition::new(&w.g, w.weights.as_deref(), &spec);
+    let mut md = MultiDevice::upload(&device(), part);
+    match w.algo {
+        "bfs" => {
+            let o = launch_ok(run_bfs_sharded(&mut md, w.src, method, exec, link, None));
+            (Payload::U(o.values), o.run)
+        }
+        "sssp" => {
+            let o = launch_ok(run_sssp_sharded(&mut md, w.src, method, exec, link, None));
+            (Payload::U(o.values), o.run)
+        }
+        "pagerank" => {
+            let o = launch_ok(run_pagerank_sharded(
+                &mut md, PR_ITERS, PR_DAMPING, method, exec, link, None,
+            ));
+            (Payload::F(o.values), o.run)
+        }
+        _ => {
+            let o = launch_ok(run_cc_sharded(&mut md, method, exec, link, None));
+            (Payload::U(o.values), o.run)
+        }
+    }
+}
+
+/// [`sharded_with`] under the default block cut and default link — the
+/// configuration the SHARD experiment table pins.
+pub fn sharded(
+    w: &Workload,
+    shards: u32,
+    method: Method,
+    exec: &ExecConfig,
+) -> (Payload, ShardedRun) {
+    sharded_with(
+        w,
+        shards,
+        CutStrategy::Block,
+        method,
+        exec,
+        &LinkConfig::default(),
+    )
+}
+
+/// Print the identity-checked scaling table across datasets and shard
+/// counts.
+pub fn run(scale: Scale, h: &Harness) {
+    banner(
+        "SHARD",
+        "multi-device sharding: identity and strong scaling (block cut)",
+        scale,
+    );
+    let exec = ExecConfig::default();
+    let method = Method::warp(8);
+    let work = workloads(scale);
+
+    // Stage 1: single-device references, one cell each.
+    let ref_cells = work
+        .iter()
+        .map(|w| {
+            Cell::new(format!("{} {} single", w.dataset, w.algo), move || {
+                reference(w, method, &exec)
+            })
+        })
+        .collect();
+    let refs = h.run("SHARD:single", ref_cells);
+
+    // Stage 2: sharded runs. Each cell borrows its reference and asserts
+    // payload identity in place, so a divergence fails the cell (and the
+    // process) rather than printing a wrong table.
+    let mut cells = Vec::new();
+    for (w, reference) in work.iter().zip(&refs) {
+        for &n in &SHARDS {
+            cells.push(Cell::new(
+                format!("{} {} N={n}", w.dataset, w.algo),
+                move || {
+                    let (payload, sr) = sharded(w, n, method, &exec);
+                    if let Some((want, _)) = reference {
+                        assert!(
+                            payload == *want,
+                            "{} {} N={n}: sharded payload diverged",
+                            w.dataset,
+                            w.algo
+                        );
+                    }
+                    Point::from_run(n, &sr)
+                },
+            ));
+        }
+    }
+    let outs = h.run("SHARD", cells);
+
+    println!(
+        "{:<12} {:<9} {:>3} {:>12} {:>7} {:>10} {:>10} {:>7} {:>6}",
+        "dataset", "algo", "N", "makespan", "comm%", "stall-cyc", "halo-B", "rounds", "eff"
+    );
+    for ((w, reference), chunk) in work.iter().zip(&refs).zip(outs.chunks(SHARDS.len())) {
+        let Some(points) = row("SHARD", &format!("{} {}", w.dataset, w.algo), chunk) else {
+            continue;
+        };
+        let Some((_, t1)) = reference else { continue };
+        for p in points {
+            let comm_pct = 100.0 * p.comm as f64 / p.makespan.max(1) as f64;
+            let eff = *t1 as f64 / (p.shards as u64 * p.makespan).max(1) as f64;
+            println!(
+                "{:<12} {:<9} {:>3} {:>12} {:>6}% {:>10} {:>10} {:>7} {:>6}",
+                w.dataset,
+                w.algo,
+                p.shards,
+                p.makespan,
+                f(comm_pct),
+                p.stall,
+                p.halo,
+                p.rounds,
+                f(eff)
+            );
+        }
+    }
+    println!(
+        "(identity asserted per cell: every sharded payload is byte-identical to the \
+         single-device driver; efficiency = T1 / (N x TN) against the modeled interconnect)"
+    );
+}

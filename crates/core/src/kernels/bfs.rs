@@ -34,20 +34,35 @@ pub struct BfsOutput {
     pub run: AlgoRun,
 }
 
-/// Device-side working state of a BFS run.
-struct BfsState {
-    levels: DevPtr<u32>,
-    changed: DevPtr<u32>,
-    queue: DevPtr<u32>,
-    qcount: DevPtr<u32>,
+/// Device-side working state of a BFS run. Public so external drivers
+/// (the sharded BSP executor) can seed levels and step rounds themselves.
+pub struct BfsState {
+    /// Per-vertex level array (`INF` = unvisited).
+    pub levels: DevPtr<u32>,
+    /// Device changed flag, reset each round.
+    pub changed: DevPtr<u32>,
+    /// Deferred-outlier queue.
+    pub queue: DevPtr<u32>,
+    /// Deferred-outlier count.
+    pub qcount: DevPtr<u32>,
 }
 
 impl BfsState {
-    fn new(gpu: &mut Gpu, g: &DeviceGraph, src: u32) -> BfsState {
+    /// Allocate state with `src` at level 0 and everything else `INF`.
+    pub fn new(gpu: &mut Gpu, g: &DeviceGraph, src: u32) -> BfsState {
         assert!(src < g.n, "source {src} out of range for n={}", g.n);
-        let levels = gpu.mem.alloc::<u32>(g.n);
-        gpu.mem.fill(levels, INF);
-        gpu.mem.write(levels, src, 0);
+        let mut init = vec![INF; g.n as usize];
+        init[src as usize] = 0;
+        BfsState::from_levels(gpu, g, &init)
+    }
+
+    /// Allocate state from an explicit host-side level array (one entry per
+    /// device vertex). Host init issues no kernel launches, so seeding this
+    /// way leaves `KernelStats` untouched.
+    pub fn from_levels(gpu: &mut Gpu, g: &DeviceGraph, init: &[u32]) -> BfsState {
+        assert_eq!(init.len(), g.n as usize, "one level per vertex");
+        let levels = gpu.mem.alloc::<u32>(g.n.max(1));
+        gpu.mem.upload(levels, init);
         BfsState {
             levels,
             changed: gpu.mem.alloc::<u32>(1),
@@ -55,6 +70,54 @@ impl BfsState {
             qcount: gpu.mem.alloc::<u32>(1),
         }
     }
+}
+
+/// One level-synchronous BFS round: reset the flags, expand every vertex at
+/// level `cur` (plus the deferred-outlier pass when the method requests
+/// it), absorb the launch stats into `run`, and report whether any vertex
+/// was claimed. [`run_bfs`] is exactly a loop over this function, so a
+/// caller stepping rounds itself produces byte-identical levels and stats.
+pub fn bfs_round(
+    gpu: &mut Gpu,
+    g: &DeviceGraph,
+    st: &BfsState,
+    cur: u32,
+    method: Method,
+    exec: &ExecConfig,
+    run: &mut AlgoRun,
+) -> Result<bool, LaunchError> {
+    run.begin_iteration();
+    gpu.mem.write(st.changed, 0, 0u32);
+    gpu.mem.write(st.qcount, 0, 0u32);
+
+    if gpu.profiling() {
+        gpu.set_profile_label(&format!("bfs level {cur}"));
+    }
+    let stats = match method {
+        Method::Baseline => launch_baseline_level(gpu, g, st, cur, exec)?,
+        Method::WarpCentric(opts) => launch_warp_level(gpu, g, st, cur, opts, exec)?,
+    };
+    run.absorb(&stats);
+
+    // Outlier pass: block-cooperative expansion of deferred vertices.
+    if let Method::WarpCentric(opts) = method {
+        if opts.defer_threshold.is_some() {
+            let qc = gpu.mem.read(st.qcount, 0);
+            if qc > 0 {
+                let body =
+                    bfs_edge_body(*g, st.levels, st.changed, cur + 1, exec.cached_graph_loads);
+                let k = outlier_kernel(*g, st.queue, qc, body);
+                let grid = qc.min(exec.resident_grid(&gpu.cfg));
+                if gpu.profiling() {
+                    gpu.set_profile_label(&format!("bfs level {cur} outliers"));
+                }
+                let s = gpu.launch(grid, exec.block_threads, &k)?;
+                run.absorb(&s);
+            }
+        }
+    }
+
+    Ok(gpu.mem.read(st.changed, 0) != 0)
 }
 
 /// The per-edge action of a BFS expansion: claim unvisited neighbors at
@@ -90,38 +153,7 @@ pub fn run_bfs(
     let mut run = AlgoRun::default();
     let mut cur = 0u32;
     loop {
-        run.begin_iteration();
-        gpu.mem.write(st.changed, 0, 0u32);
-        gpu.mem.write(st.qcount, 0, 0u32);
-
-        if gpu.profiling() {
-            gpu.set_profile_label(&format!("bfs level {cur}"));
-        }
-        let stats = match method {
-            Method::Baseline => launch_baseline_level(gpu, g, &st, cur, exec)?,
-            Method::WarpCentric(opts) => launch_warp_level(gpu, g, &st, cur, opts, exec)?,
-        };
-        run.absorb(&stats);
-
-        // Outlier pass: block-cooperative expansion of deferred vertices.
-        if let Method::WarpCentric(opts) = method {
-            if opts.defer_threshold.is_some() {
-                let qc = gpu.mem.read(st.qcount, 0);
-                if qc > 0 {
-                    let body =
-                        bfs_edge_body(*g, st.levels, st.changed, cur + 1, exec.cached_graph_loads);
-                    let k = outlier_kernel(*g, st.queue, qc, body);
-                    let grid = qc.min(exec.resident_grid(&gpu.cfg));
-                    if gpu.profiling() {
-                        gpu.set_profile_label(&format!("bfs level {cur} outliers"));
-                    }
-                    let s = gpu.launch(grid, exec.block_threads, &k)?;
-                    run.absorb(&s);
-                }
-            }
-        }
-
-        if gpu.mem.read(st.changed, 0) == 0 {
+        if !bfs_round(gpu, g, &st, cur, method, exec, &mut run)? {
             break;
         }
         cur += 1;

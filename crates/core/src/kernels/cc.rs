@@ -26,11 +26,74 @@ pub struct CcOutput {
     pub run: AlgoRun,
 }
 
-struct CcState {
-    labels: DevPtr<u32>,
-    changed: DevPtr<u32>,
-    queue: DevPtr<u32>,
-    qcount: DevPtr<u32>,
+/// Device-side working state of a CC run. Public so external drivers (the
+/// sharded BSP executor) can seed labels and step rounds themselves.
+pub struct CcState {
+    /// Per-vertex component labels.
+    pub labels: DevPtr<u32>,
+    /// Device changed flag, reset each round.
+    pub changed: DevPtr<u32>,
+    /// Deferred-outlier queue.
+    pub queue: DevPtr<u32>,
+    /// Deferred-outlier count.
+    pub qcount: DevPtr<u32>,
+}
+
+impl CcState {
+    /// Allocate state with every vertex labeled by its own id.
+    pub fn new(gpu: &mut Gpu, g: &DeviceGraph) -> CcState {
+        let init: Vec<u32> = (0..g.n).collect();
+        CcState::with_labels(gpu, g, &init)
+    }
+
+    /// Allocate state from an explicit host-side label array. Host init
+    /// issues no kernel launches, so `KernelStats` stay untouched.
+    pub fn with_labels(gpu: &mut Gpu, g: &DeviceGraph, init: &[u32]) -> CcState {
+        assert_eq!(init.len(), g.n as usize, "one label per vertex");
+        let labels = gpu.mem.alloc::<u32>(g.n.max(1));
+        gpu.mem.upload(labels, init);
+        CcState {
+            labels,
+            changed: gpu.mem.alloc::<u32>(1),
+            queue: gpu.mem.alloc::<u32>(g.n.max(1)),
+            qcount: gpu.mem.alloc::<u32>(1),
+        }
+    }
+}
+
+/// One min-label propagation round: reset the flags, push every vertex's
+/// label across its edges (plus the deferred-outlier pass when requested),
+/// absorb the launch stats into `run`, and report whether any label
+/// improved. [`run_cc`] is exactly a loop over this function.
+pub fn cc_round(
+    gpu: &mut Gpu,
+    g: &DeviceGraph,
+    st: &CcState,
+    method: Method,
+    exec: &ExecConfig,
+    run: &mut AlgoRun,
+) -> Result<bool, LaunchError> {
+    run.begin_iteration();
+    gpu.mem.write(st.changed, 0, 0u32);
+    gpu.mem.write(st.qcount, 0, 0u32);
+
+    let stats = match method {
+        Method::Baseline => launch_baseline_round(gpu, g, st, exec)?,
+        Method::WarpCentric(opts) => launch_warp_round(gpu, g, st, opts, exec)?,
+    };
+    run.absorb(&stats);
+
+    if let Method::WarpCentric(opts) = method {
+        if opts.defer_threshold.is_some() {
+            let qc = gpu.mem.read(st.qcount, 0);
+            if qc > 0 {
+                let s = launch_outlier_round(gpu, g, st, qc, exec)?;
+                run.absorb(&s);
+            }
+        }
+    }
+
+    Ok(gpu.mem.read(st.changed, 0) != 0)
 }
 
 /// Push source labels `lu` across the edges at indices `i`.
@@ -58,40 +121,11 @@ pub fn run_cc(
     method: Method,
     exec: &ExecConfig,
 ) -> Result<CcOutput, LaunchError> {
-    let labels = gpu.mem.alloc::<u32>(g.n.max(1));
-    let init: Vec<u32> = (0..g.n).collect();
-    gpu.mem.upload(labels, &init);
-    let st = CcState {
-        labels,
-        changed: gpu.mem.alloc::<u32>(1),
-        queue: gpu.mem.alloc::<u32>(g.n.max(1)),
-        qcount: gpu.mem.alloc::<u32>(1),
-    };
-
+    let st = CcState::new(gpu, g);
     let mut run = AlgoRun::default();
     let mut round = 0u32;
     loop {
-        run.begin_iteration();
-        gpu.mem.write(st.changed, 0, 0u32);
-        gpu.mem.write(st.qcount, 0, 0u32);
-
-        let stats = match method {
-            Method::Baseline => launch_baseline_round(gpu, g, &st, exec)?,
-            Method::WarpCentric(opts) => launch_warp_round(gpu, g, &st, opts, exec)?,
-        };
-        run.absorb(&stats);
-
-        if let Method::WarpCentric(opts) = method {
-            if opts.defer_threshold.is_some() {
-                let qc = gpu.mem.read(st.qcount, 0);
-                if qc > 0 {
-                    let s = launch_outlier_round(gpu, g, &st, qc, exec)?;
-                    run.absorb(&s);
-                }
-            }
-        }
-
-        if gpu.mem.read(st.changed, 0) == 0 {
+        if !cc_round(gpu, g, &st, method, exec, &mut run)? {
             break;
         }
         round += 1;

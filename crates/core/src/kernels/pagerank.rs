@@ -5,6 +5,16 @@
 //! a second map kernel then applies damping and teleport. The neighbor
 //! push is the irregular part, and it takes the same baseline vs.
 //! virtual-warp-centric shapes as BFS.
+//!
+//! Ranks are **Q2.30 fixed-point `u32`**, not `f32`: integer `atomicAdd`
+//! is associative and commutative, so the accumulated `next` array is
+//! bit-identical no matter how the pushes are ordered — across warp
+//! schedules, and across a multi-device edge-cut where each shard
+//! accumulates a partial sum that is merged host-side. (With `f32`
+//! accumulation the sharded merge would differ from the single-device
+//! result in the last ulp.) One fixed-point unit is `2^-30 ≈ 9.3e-10` of
+//! rank mass; divisions round to nearest, so the result tracks exact
+//! rational PageRank far closer than the `f32` tolerance of the tests.
 
 use crate::device_graph::DeviceGraph;
 use crate::kernels::common::{
@@ -15,6 +25,37 @@ use crate::runner::AlgoRun;
 use crate::vwarp::VwLayout;
 use maxwarp_simt::{BlockCtx, DevPtr, Gpu, Lanes, LaunchError, Mask, WarpCtx};
 
+/// Fixed-point scale: rank 1.0 == `PR_SCALE` units (Q2.30).
+pub const PR_SCALE: u32 = 1 << 30;
+
+/// Damping factor as a Q2.30 fixed-point multiplier.
+pub fn pagerank_damping_fp(d: f32) -> u64 {
+    assert!((0.0..=1.0).contains(&d), "damping must be in [0,1]");
+    (d as f64 * PR_SCALE as f64).round() as u64
+}
+
+/// `(d_fp * x) >> 30`, rounded to nearest — the damping multiply.
+#[inline]
+fn mul_fp(d_fp: u64, x: u32) -> u32 {
+    ((d_fp * x as u64 + (1 << 29)) >> 30) as u32
+}
+
+/// The per-iteration teleport+dangling base term, in fixed point:
+/// `((1 - d) + d * dangling) / n`, rounded to nearest. Shared by the
+/// single-device driver and the sharded executor so both apply the exact
+/// same integer — the redistribution must be computed over the *global*
+/// vertex count and dangling mass.
+pub fn pagerank_base_fp(n: u32, d_fp: u64, dangling: u32) -> u32 {
+    let teleport = PR_SCALE as u64 - d_fp;
+    let redistributed = mul_fp(d_fp, dangling) as u64;
+    (((teleport + redistributed) + n as u64 / 2) / n as u64) as u32
+}
+
+/// Convert a fixed-point rank back to `f32` for output.
+pub fn pagerank_fp_to_f32(x: u32) -> f32 {
+    (x as f64 / PR_SCALE as f64) as f32
+}
+
 /// Result of a PageRank run.
 #[derive(Clone, Debug)]
 pub struct PagerankOutput {
@@ -24,12 +65,97 @@ pub struct PagerankOutput {
     pub run: AlgoRun,
 }
 
+/// Device-side working state of a PageRank run. Public so external
+/// drivers (the sharded BSP executor) can seed ranks and step iterations
+/// themselves.
+pub struct PagerankState {
+    /// Current ranks, fixed point.
+    pub rank: DevPtr<u32>,
+    /// Next-iteration accumulator, fixed point.
+    pub next: DevPtr<u32>,
+    /// Global dangling-mass accumulator (one fixed-point cell).
+    pub dangling: DevPtr<u32>,
+}
+
+impl PagerankState {
+    /// Allocate state over `len` vertex slots, every rank initialized to
+    /// `init` fixed-point units. The single-device driver passes
+    /// `PR_SCALE / n`; a shard passes the same global value for its local
+    /// slots (owned and ghost alike).
+    pub fn new(gpu: &mut Gpu, len: u32, init: u32) -> PagerankState {
+        let rank = gpu.mem.alloc::<u32>(len.max(1));
+        let next = gpu.mem.alloc::<u32>(len.max(1));
+        let dangling = gpu.mem.alloc::<u32>(1);
+        gpu.mem.fill(rank, init);
+        PagerankState {
+            rank,
+            next,
+            dangling,
+        }
+    }
+
+    /// Swap the rank and next buffers (end of one iteration).
+    pub fn swap(&mut self) {
+        std::mem::swap(&mut self.rank, &mut self.next);
+    }
+}
+
+/// One push pass: zero `next` and the dangling cell, then push every
+/// vertex in `0..rows` across its out-edges (`rows < len` lets a shard
+/// skip its edge-less ghost slots, which must neither push nor count as
+/// dangling). Stats are absorbed into `run` under a fresh iteration.
+#[allow(clippy::too_many_arguments)]
+pub fn pagerank_push_round(
+    gpu: &mut Gpu,
+    g: &DeviceGraph,
+    st: &PagerankState,
+    rows: u32,
+    iter: u32,
+    method: Method,
+    exec: &ExecConfig,
+    run: &mut AlgoRun,
+) -> Result<(), LaunchError> {
+    run.begin_iteration();
+    gpu.mem.fill(st.next, 0u32);
+    gpu.mem.write(st.dangling, 0, 0u32);
+
+    if gpu.profiling() {
+        gpu.set_profile_label(&format!("pagerank iter {iter}"));
+    }
+    let stats = match method {
+        Method::Baseline => {
+            launch_baseline_push(gpu, g, st.rank, st.next, st.dangling, rows, exec)?
+        }
+        Method::WarpCentric(opts) => {
+            launch_warp_push(gpu, g, st.rank, st.next, st.dangling, rows, opts, exec)?
+        }
+    };
+    run.absorb(&stats);
+    Ok(())
+}
+
+/// The damping/teleport map over `0..rows`: `next[v] = base_fp + d*next[v]`.
+/// Stats absorb into the current iteration; the caller swaps buffers after.
+pub fn pagerank_apply_round(
+    gpu: &mut Gpu,
+    st: &PagerankState,
+    rows: u32,
+    base_fp: u32,
+    d_fp: u64,
+    exec: &ExecConfig,
+    run: &mut AlgoRun,
+) -> Result<(), LaunchError> {
+    let s = launch_apply(gpu, rows, st.next, base_fp, d_fp, exec)?;
+    run.absorb(&s);
+    Ok(())
+}
+
 /// Push each active vertex's `share` across the edges at indices `i`.
 fn push_rank(
     w: &mut WarpCtx<'_>,
     g: &DeviceGraph,
-    next: DevPtr<f32>,
-    share: &Lanes<f32>,
+    next: DevPtr<u32>,
+    share: &Lanes<u32>,
     act: Mask,
     i: &Lanes<u32>,
 ) {
@@ -47,82 +173,70 @@ pub fn run_pagerank(
     exec: &ExecConfig,
 ) -> Result<PagerankOutput, LaunchError> {
     assert!(g.n > 0, "pagerank needs a non-empty graph");
-    assert!((0.0..=1.0).contains(&d), "damping must be in [0,1]");
     let n = g.n;
-    let mut rank = gpu.mem.alloc::<f32>(n);
-    let mut next = gpu.mem.alloc::<f32>(n);
-    let dangling = gpu.mem.alloc::<f32>(1);
-    gpu.mem.fill(rank, 1.0f32 / n as f32);
+    let d_fp = pagerank_damping_fp(d);
+    let mut st = PagerankState::new(gpu, n, PR_SCALE / n);
 
     let mut run = AlgoRun::default();
     for it in 0..iters {
-        run.begin_iteration();
-        gpu.mem.fill(next, 0.0f32);
-        gpu.mem.write(dangling, 0, 0.0f32);
-
-        if gpu.profiling() {
-            gpu.set_profile_label(&format!("pagerank iter {it}"));
-        }
-        let stats = match method {
-            Method::Baseline => launch_baseline_push(gpu, g, rank, next, dangling, exec)?,
-            Method::WarpCentric(opts) => {
-                launch_warp_push(gpu, g, rank, next, dangling, opts, exec)?
-            }
-        };
-        run.absorb(&stats);
+        pagerank_push_round(gpu, g, &st, n, it, method, exec, &mut run)?;
 
         // Apply damping + teleport + dangling redistribution (a uniform map
         // kernel, identical for every method).
-        let dang = gpu.mem.read(dangling, 0);
-        let base = (1.0 - d) / n as f32 + d * dang / n as f32;
-        let s = launch_apply(gpu, n, next, base, d, exec)?;
-        run.absorb(&s);
-
-        std::mem::swap(&mut rank, &mut next);
+        let dang = gpu.mem.read(st.dangling, 0);
+        let base_fp = pagerank_base_fp(n, d_fp, dang);
+        pagerank_apply_round(gpu, &st, n, base_fp, d_fp, exec, &mut run)?;
+        st.swap();
     }
-    Ok(PagerankOutput {
-        ranks: gpu.mem.download(rank),
-        run,
-    })
+    let ranks = gpu
+        .mem
+        .download(st.rank)
+        .into_iter()
+        .map(pagerank_fp_to_f32)
+        .collect();
+    Ok(PagerankOutput { ranks, run })
 }
 
 /// Compute per-lane shares and flag dangling vertices; shared by both push
-/// variants. Returns `(share, m_dangling, m_push)`.
+/// variants. Returns `(share, m_dangling, m_push)`. The share is the
+/// round-to-nearest fixed-point quotient `rank / degree`.
 fn shares(
     w: &mut WarpCtx<'_>,
-    rank: DevPtr<f32>,
+    rank: DevPtr<u32>,
     vids: &Lanes<u32>,
     m: Mask,
     s: &Lanes<u32>,
     e: &Lanes<u32>,
-) -> (Lanes<f32>, Mask, Mask) {
+) -> (Lanes<u32>, Mask, Mask) {
     let deg = w.alu2(m, e, s, |e, s| e.wrapping_sub(s));
     let r = w.ld(m, rank, vids);
     let m_dangling = w.alu_pred(m, &deg, |d| d == 0);
     let m_push = m.andnot(m_dangling);
-    let share = w.alu2(
-        m_push,
-        &r,
-        &deg,
-        |r, d| if d > 0 { r / d as f32 } else { 0.0 },
-    );
+    let share = w.alu2(m_push, &r, &deg, |r, d| {
+        if d > 0 {
+            ((r as u64 + d as u64 / 2) / d as u64) as u32
+        } else {
+            0
+        }
+    });
     (share, m_dangling, m_push)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn launch_baseline_push(
     gpu: &mut Gpu,
     g: &DeviceGraph,
-    rank: DevPtr<f32>,
-    next: DevPtr<f32>,
-    dangling: DevPtr<f32>,
+    rank: DevPtr<u32>,
+    next: DevPtr<u32>,
+    dangling: DevPtr<u32>,
+    rows: u32,
     exec: &ExecConfig,
 ) -> Result<maxwarp_simt::KernelStats, LaunchError> {
     let g = *g;
-    let n = g.n;
     let kernel = move |b: &mut BlockCtx<'_>| {
         b.phase(|w| {
             let vid = w.global_thread_ids();
-            let m = w.lt_scalar(Mask::FULL, &vid, n);
+            let m = w.lt_scalar(Mask::FULL, &vid, rows);
             if m.none() {
                 return;
             }
@@ -139,25 +253,26 @@ fn launch_baseline_push(
             }
         });
     };
-    let grid = n.div_ceil(exec.block_threads).max(1);
+    let grid = rows.div_ceil(exec.block_threads).max(1);
     gpu.launch(grid, exec.block_threads, &kernel)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn launch_warp_push(
     gpu: &mut Gpu,
     g: &DeviceGraph,
-    rank: DevPtr<f32>,
-    next: DevPtr<f32>,
-    dangling: DevPtr<f32>,
+    rank: DevPtr<u32>,
+    next: DevPtr<u32>,
+    dangling: DevPtr<u32>,
+    rows: u32,
     opts: WarpCentricOpts,
     exec: &ExecConfig,
 ) -> Result<maxwarp_simt::KernelStats, LaunchError> {
     let g = *g;
     let layout = VwLayout::new(opts.vw);
     let vpp = vertices_per_pass(&layout);
-    let n = g.n;
     let chunk = exec.chunk_vertices.max(vpp);
-    let num_tasks = n.div_ceil(chunk);
+    let num_tasks = rows.div_ceil(chunk).max(1);
     let grid = exec.resident_grid(&gpu.cfg);
 
     gpu.launch_warp_tasks(
@@ -167,7 +282,7 @@ fn launch_warp_push(
         opts.schedule(),
         move |w, task| {
             let chunk_base = task * chunk;
-            let chunk_end = (chunk_base + chunk).min(n);
+            let chunk_end = (chunk_base + chunk).min(rows);
             let mut base = chunk_base;
             while base < chunk_end {
                 let vids = layout.task_ids(base);
@@ -195,28 +310,28 @@ fn launch_warp_push(
     )
 }
 
-/// `next[v] = base + d * next[v]` — the uniform apply kernel.
+/// `next[v] = base_fp + d * next[v]` — the uniform apply kernel.
 fn launch_apply(
     gpu: &mut Gpu,
-    n: u32,
-    next: DevPtr<f32>,
-    base: f32,
-    d: f32,
+    rows: u32,
+    next: DevPtr<u32>,
+    base_fp: u32,
+    d_fp: u64,
     exec: &ExecConfig,
 ) -> Result<maxwarp_simt::KernelStats, LaunchError> {
     let kernel = move |b: &mut BlockCtx<'_>| {
         b.phase(|w| {
             let vid = w.global_thread_ids();
-            let m = w.lt_scalar(Mask::FULL, &vid, n);
+            let m = w.lt_scalar(Mask::FULL, &vid, rows);
             if m.none() {
                 return;
             }
             let v = w.ld(m, next, &vid);
-            let r = w.alu1(m, &v, |x| base + d * x);
+            let r = w.alu1(m, &v, |x| base_fp + mul_fp(d_fp, x));
             w.st(m, next, &vid, &r);
         });
     };
-    let grid = n.div_ceil(exec.block_threads).max(1);
+    let grid = rows.div_ceil(exec.block_threads).max(1);
     gpu.launch(grid, exec.block_threads, &kernel)
 }
 
@@ -304,6 +419,38 @@ mod tests {
         for v in 1..40 {
             assert!(out.ranks[0] > out.ranks[v as usize]);
         }
+    }
+
+    #[test]
+    fn methods_agree_bitwise() {
+        // Fixed-point accumulation is order-independent: every method must
+        // produce byte-identical ranks, not merely close ones.
+        let g = Dataset::Rmat.build(Scale::Tiny);
+        let runs: Vec<Vec<f32>> = methods()
+            .into_iter()
+            .map(|m| {
+                let mut gpu = Gpu::new(GpuConfig::tiny_test());
+                let dg = DeviceGraph::upload(&mut gpu, &g);
+                run_pagerank(&mut gpu, &dg, 10, 0.85, m, &ExecConfig::default())
+                    .unwrap()
+                    .ranks
+            })
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(&runs[0], r, "fixed-point ranks must not depend on method");
+        }
+    }
+
+    #[test]
+    fn fixed_point_helpers_round_to_nearest() {
+        assert_eq!(pagerank_damping_fp(1.0), PR_SCALE as u64);
+        assert_eq!(pagerank_damping_fp(0.0), 0);
+        // base with no damping is exactly the rounded teleport share.
+        assert_eq!(pagerank_base_fp(4, 0, 0), PR_SCALE / 4);
+        // Full damping and full dangling mass: everything redistributes.
+        assert_eq!(pagerank_base_fp(2, PR_SCALE as u64, PR_SCALE), PR_SCALE / 2);
+        assert_eq!(pagerank_fp_to_f32(PR_SCALE), 1.0);
+        assert_eq!(pagerank_fp_to_f32(PR_SCALE / 2), 0.5);
     }
 
     #[test]

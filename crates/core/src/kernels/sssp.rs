@@ -26,11 +26,83 @@ pub struct SsspOutput {
     pub run: AlgoRun,
 }
 
-struct SsspState {
-    dist: DevPtr<u32>,
-    changed: DevPtr<u32>,
-    queue: DevPtr<u32>,
-    qcount: DevPtr<u32>,
+/// Device-side working state of an SSSP run. Public so external drivers
+/// (the sharded BSP executor) can seed distances and step rounds
+/// themselves.
+pub struct SsspState {
+    /// Per-vertex distances (`INF` = unreached).
+    pub dist: DevPtr<u32>,
+    /// Device changed flag, reset each round.
+    pub changed: DevPtr<u32>,
+    /// Deferred-outlier queue.
+    pub queue: DevPtr<u32>,
+    /// Deferred-outlier count.
+    pub qcount: DevPtr<u32>,
+}
+
+impl SsspState {
+    /// Allocate state with `src` at distance 0 and everything else `INF`.
+    pub fn new(gpu: &mut Gpu, g: &DeviceGraph, src: u32) -> SsspState {
+        assert!(src < g.n, "source {src} out of range for n={}", g.n);
+        let mut init = vec![INF; g.n as usize];
+        init[src as usize] = 0;
+        SsspState::from_dist(gpu, g, &init)
+    }
+
+    /// Allocate state from an explicit host-side distance array. Host init
+    /// issues no kernel launches, so `KernelStats` stay untouched.
+    pub fn from_dist(gpu: &mut Gpu, g: &DeviceGraph, init: &[u32]) -> SsspState {
+        assert_eq!(init.len(), g.n as usize, "one distance per vertex");
+        let dist = gpu.mem.alloc::<u32>(g.n.max(1));
+        gpu.mem.upload(dist, init);
+        SsspState {
+            dist,
+            changed: gpu.mem.alloc::<u32>(1),
+            queue: gpu.mem.alloc::<u32>(g.n.max(1)),
+            qcount: gpu.mem.alloc::<u32>(1),
+        }
+    }
+}
+
+/// One Bellman-Ford relaxation round: reset the flags, relax the out-edges
+/// of every reached vertex (plus the deferred-outlier pass when
+/// requested), absorb the launch stats into `run`, and report whether any
+/// distance improved. [`run_sssp`] is exactly a loop over this function.
+#[allow(clippy::too_many_arguments)]
+pub fn sssp_round(
+    gpu: &mut Gpu,
+    g: &DeviceGraph,
+    weights: DevPtr<u32>,
+    st: &SsspState,
+    round: u32,
+    method: Method,
+    exec: &ExecConfig,
+    run: &mut AlgoRun,
+) -> Result<bool, LaunchError> {
+    run.begin_iteration();
+    gpu.mem.write(st.changed, 0, 0u32);
+    gpu.mem.write(st.qcount, 0, 0u32);
+
+    if gpu.profiling() {
+        gpu.set_profile_label(&format!("sssp round {round}"));
+    }
+    let stats = match method {
+        Method::Baseline => launch_baseline_round(gpu, g, weights, st, exec)?,
+        Method::WarpCentric(opts) => launch_warp_round(gpu, g, weights, st, opts, exec)?,
+    };
+    run.absorb(&stats);
+
+    if let Method::WarpCentric(opts) = method {
+        if opts.defer_threshold.is_some() {
+            let qc = gpu.mem.read(st.qcount, 0);
+            if qc > 0 {
+                let s = launch_outlier_round(gpu, g, weights, st, qc, exec)?;
+                run.absorb(&s);
+            }
+        }
+    }
+
+    Ok(gpu.mem.read(st.changed, 0) != 0)
 }
 
 /// Relax the edges at indices `i` from source distances `du`.
@@ -79,44 +151,11 @@ pub fn run_sssp(
     let Some(weights) = g.weights else {
         panic!("run_sssp requires a weighted device graph");
     };
-    assert!(src < g.n, "source {src} out of range for n={}", g.n);
-    let dist = gpu.mem.alloc::<u32>(g.n);
-    gpu.mem.fill(dist, INF);
-    gpu.mem.write(dist, src, 0);
-    let st = SsspState {
-        dist,
-        changed: gpu.mem.alloc::<u32>(1),
-        queue: gpu.mem.alloc::<u32>(g.n.max(1)),
-        qcount: gpu.mem.alloc::<u32>(1),
-    };
-
+    let st = SsspState::new(gpu, g, src);
     let mut run = AlgoRun::default();
     let mut round = 0u32;
     loop {
-        run.begin_iteration();
-        gpu.mem.write(st.changed, 0, 0u32);
-        gpu.mem.write(st.qcount, 0, 0u32);
-
-        if gpu.profiling() {
-            gpu.set_profile_label(&format!("sssp round {round}"));
-        }
-        let stats = match method {
-            Method::Baseline => launch_baseline_round(gpu, g, weights, &st, exec)?,
-            Method::WarpCentric(opts) => launch_warp_round(gpu, g, weights, &st, opts, exec)?,
-        };
-        run.absorb(&stats);
-
-        if let Method::WarpCentric(opts) = method {
-            if opts.defer_threshold.is_some() {
-                let qc = gpu.mem.read(st.qcount, 0);
-                if qc > 0 {
-                    let s = launch_outlier_round(gpu, g, weights, &st, qc, exec)?;
-                    run.absorb(&s);
-                }
-            }
-        }
-
-        if gpu.mem.read(st.changed, 0) == 0 {
+        if !sssp_round(gpu, g, weights, &st, round, method, exec, &mut run)? {
             break;
         }
         round += 1;

@@ -68,18 +68,21 @@ pub mod vwarp;
 
 pub use device_graph::DeviceGraph;
 pub use kernels::bc::{run_betweenness, BcOutput};
-pub use kernels::bfs::{run_bfs, BfsOutput, INF as BFS_INF};
+pub use kernels::bfs::{bfs_round, run_bfs, BfsOutput, BfsState, INF as BFS_INF};
 pub use kernels::bfs_hybrid::{run_bfs_hybrid, Direction, GpuHybridConfig, HybridBfsOutput};
 pub use kernels::bfs_queue::run_bfs_queue;
-pub use kernels::cc::{run_cc, CcOutput};
+pub use kernels::cc::{cc_round, run_cc, CcOutput, CcState};
 pub use kernels::coloring::{run_coloring, ColoringOutput};
 pub use kernels::kcore::{kcore_reference, run_kcore, KcoreOutput};
 pub use kernels::msbfs::{run_msbfs, MsBfsOutput};
-pub use kernels::pagerank::{run_pagerank, PagerankOutput};
+pub use kernels::pagerank::{
+    pagerank_apply_round, pagerank_base_fp, pagerank_damping_fp, pagerank_fp_to_f32,
+    pagerank_push_round, run_pagerank, PagerankOutput, PagerankState, PR_SCALE,
+};
 pub use kernels::spmv::{run_spmv, spmv_reference, SpmvOutput};
-pub use kernels::sssp::{run_sssp, SsspOutput, INF as SSSP_INF};
+pub use kernels::sssp::{run_sssp, sssp_round, SsspOutput, SsspState, INF as SSSP_INF};
 pub use kernels::triangles::{run_triangles, TriangleOutput};
 pub use method::{table as method_table, ExecConfig, Method, WarpCentricOpts};
 pub use metrics::{geomean, rows_to_json, RunRow};
-pub use runner::AlgoRun;
+pub use runner::{check_iteration_bound, AlgoRun};
 pub use vwarp::{VirtualWarp, VwLayout};

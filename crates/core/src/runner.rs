@@ -65,8 +65,10 @@ impl AlgoRun {
 /// Guard against runaway fixpoint loops in drivers: errors (with the
 /// algorithm name and call site) if iterations exceed the theoretical bound
 /// or the device's `watchdog.max_iterations` budget, whichever is tighter.
+/// Public so out-of-crate drivers (the sharded BSP executor) share the
+/// exact same budget semantics as the single-device loops.
 #[track_caller]
-pub(crate) fn check_iteration_bound(
+pub fn check_iteration_bound(
     gpu: &Gpu,
     algo: &str,
     iterations: u32,

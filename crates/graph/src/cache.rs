@@ -90,6 +90,17 @@ pub fn cached_or_build_in(dir: &Path, key: &str, build: impl FnOnce() -> Csr) ->
     g
 }
 
+/// Derive a cache key for one shard of a partitioned graph from the base
+/// recipe key. The partition spec (shard count, cut strategy, shard index)
+/// is folded into the key so sharded local CSRs can never collide with the
+/// whole-graph entry for the same recipe — or with a different cut of the
+/// same graph. Keep every determinant of the local CSR in `cut`'s label
+/// (the strategy name is enough today because cuts are deterministic
+/// functions of the graph).
+pub fn partitioned_key(base: &str, shards: u32, cut: &str, shard: u32) -> String {
+    format!("{base}+part{shards}x{cut}#{shard}")
+}
+
 /// Fetch the graph for `key` from the environment-resolved cache directory,
 /// or build it (and store it unless caching is disabled).
 pub fn cached_or_build(key: &str, build: impl FnOnce() -> Csr) -> Csr {
@@ -195,6 +206,26 @@ mod tests {
         let g = cached_or_build_in(&blocked.join("sub"), "k", || Csr::from_edges(2, &[(0, 1)]));
         assert_eq!(g.num_edges(), 1);
         let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn partitioned_keys_never_collide_with_base_or_each_other() {
+        let base = "rmat-Tiny-seed1-v1";
+        let mut keys = vec![base.to_string()];
+        for shards in [2u32, 4, 8] {
+            for cut in ["block", "degree", "bfs"] {
+                for s in 0..shards {
+                    keys.push(partitioned_key(base, shards, cut, s));
+                }
+            }
+        }
+        // Pairwise distinct keys and pairwise distinct cache file names.
+        for i in 0..keys.len() {
+            for j in (i + 1)..keys.len() {
+                assert_ne!(keys[i], keys[j]);
+                assert_ne!(file_name(&keys[i]), file_name(&keys[j]), "{}", keys[i]);
+            }
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod sample;
 pub mod triangles;
 
 pub use builder::{largest_component, GraphBuilder};
-pub use cache::{cached_or_build, cached_or_build_in};
+pub use cache::{cached_or_build, cached_or_build_in, partitioned_key};
 pub use csr::{Csr, VertexId};
 pub use datasets::{Dataset, Scale};
 pub use degree::{degree_histogram_log2, DegreeStats};

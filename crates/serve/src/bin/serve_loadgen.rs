@@ -10,13 +10,18 @@
 //! ```text
 //! serve_loadgen [--requests N] [--seed S] [--scale tiny|small|medium]
 //!               [--workers W] [--queue D] [--batch B] [--cache-cap C]
-//!               [--theta T] [--out PATH]
+//!               [--theta T] [--shards K] [--big] [--out PATH]
 //! ```
 //!
 //! Defaults: 500 requests, seed 1, tiny scale, 2 workers, queue 64,
 //! batch 8, cache 256, zipf theta 1.1, output
 //! `results/serve_load_<seed>.json`. Exits nonzero on any dropped or
 //! failed request.
+//!
+//! `--shards K` serves BFS/SSSP/CC/PageRank on `K` shard devices per
+//! graph (the `maxwarp-shard` BSP executor); `--big` adds an RMAT graph
+//! with ≥ 10× the edges of the largest graph in the standard mix to the
+//! catalog — the sharded-serve stress shape.
 
 use maxwarp_graph::{Dataset, Scale};
 use maxwarp_serve::json::{self, Value};
@@ -105,6 +110,8 @@ struct Args {
     batch: usize,
     cache_cap: usize,
     theta: f64,
+    shards: u32,
+    big: bool,
     out: Option<String>,
 }
 
@@ -118,6 +125,8 @@ fn parse_args() -> Args {
         batch: 8,
         cache_cap: 256,
         theta: 1.1,
+        shards: 1,
+        big: false,
         out: None,
     };
     let mut argv = std::env::args().skip(1);
@@ -134,6 +143,8 @@ fn parse_args() -> Args {
             "--batch" => a.batch = parse(&val(), &flag),
             "--cache-cap" => a.cache_cap = parse(&val(), &flag),
             "--theta" => a.theta = parse(&val(), &flag),
+            "--shards" => a.shards = parse::<u32>(&val(), &flag).max(1),
+            "--big" => a.big = true,
             "--out" => a.out = Some(val()),
             "--scale" => {
                 a.scale = match val().to_ascii_lowercase().as_str() {
@@ -159,6 +170,39 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// One catalog query for `(algo, variant)` on a graph with `n` vertices.
+fn query_for(algo: Algo, variant: u32, n: u32) -> Query {
+    let src = match variant {
+        0 => None,
+        _ => Some((variant * 97) % n.max(1)),
+    };
+    match algo {
+        Algo::Bfs => Query::Bfs { src },
+        Algo::BfsQueue => Query::BfsQueue { src },
+        Algo::Sssp => Query::Sssp { src },
+        Algo::Pagerank => Query::Pagerank {
+            iters: 3 + variant,
+            damping: 0.85,
+        },
+        Algo::Cc => Query::Cc,
+        Algo::Kcore => Query::Kcore,
+        _ => unreachable!("not in the loadgen mix"),
+    }
+}
+
+/// An RMAT graph with at least `target` edges (the `--big` stress graph).
+fn big_rmat(target: u64, seed: u64) -> maxwarp_graph::Csr {
+    use maxwarp_graph::{rmat, RmatConfig};
+    let mut scale = 64 - target.div_ceil(8).leading_zeros();
+    loop {
+        let g = rmat(&RmatConfig::classic(scale, 8, seed));
+        if g.num_edges() >= target {
+            return g;
+        }
+        scale += 1; // edge dedup undercut the nominal count; go bigger
+    }
+}
+
 fn main() {
     let args = parse_args();
     let datasets = [
@@ -181,6 +225,7 @@ fn main() {
     cfg.queue_capacity = args.queue;
     cfg.batch_max = args.batch;
     cfg.cache_capacity = args.cache_cap;
+    cfg.shards = args.shards;
     let server = Server::start(cfg);
 
     // Graph builds go through the on-disk graph cache (`MAXWARP_GRAPH_CACHE`)
@@ -190,32 +235,37 @@ fn main() {
         .iter()
         .map(|d| server.register_graph(d.name(), d.build_cached(args.scale)))
         .collect();
+    // `--big`: one RMAT graph with >= 10x the edges of the largest graph in
+    // the standard mix — the shape the sharded tier exists for.
+    let big_handle = args.big.then(|| {
+        let max_edges = handles
+            .iter()
+            .map(|&h| server.graph(h).expect("registered").csr.num_edges())
+            .max()
+            .unwrap_or(0);
+        let g = big_rmat(max_edges.saturating_mul(10).max(1), 0xb16 ^ args.seed);
+        let edges = g.num_edges();
+        println!("big graph: rmat_big with {edges} edges (>= 10x the mix's largest, {max_edges})");
+        server.register_graph("rmat_big", g)
+    });
     let build_time = build_start.elapsed();
 
     // Distinct-query catalog: graphs × algorithms × 3 source variants.
     // Zipf over a shuffled catalog makes the hot set span graphs and algos.
     let mut catalog = Vec::new();
-    for (&h, d) in handles.iter().zip(&datasets) {
+    let mut graphs: Vec<(_, &str)> = handles
+        .iter()
+        .zip(&datasets)
+        .map(|(&h, d)| (h, d.name()))
+        .collect();
+    if let Some(hb) = big_handle {
+        graphs.push((hb, "rmat_big"));
+    }
+    for &(h, name) in &graphs {
         let n = server.graph(h).expect("registered").csr.num_vertices();
         for algo in algos {
             for variant in 0..3u32 {
-                let src = match variant {
-                    0 => None,
-                    _ => Some((variant * 97) % n.max(1)),
-                };
-                let query = match algo {
-                    Algo::Bfs => Query::Bfs { src },
-                    Algo::BfsQueue => Query::BfsQueue { src },
-                    Algo::Sssp => Query::Sssp { src },
-                    Algo::Pagerank => Query::Pagerank {
-                        iters: 3 + variant,
-                        damping: 0.85,
-                    },
-                    Algo::Cc => Query::Cc,
-                    Algo::Kcore => Query::Kcore,
-                    _ => unreachable!("not in the loadgen mix"),
-                };
-                catalog.push((h, d.name(), query));
+                catalog.push((h, name, query_for(algo, variant, n)));
             }
         }
     }
@@ -233,12 +283,13 @@ fn main() {
 
     println!(
         "== serve_loadgen: {} requests, zipf(theta={}) over {} distinct queries \
-         ({} graphs x {} algos), seed {} ==",
+         ({} graphs x {} algos), {} shard(s), seed {} ==",
         args.requests,
         args.theta,
         catalog.len(),
-        datasets.len(),
+        graphs.len(),
         algos.len(),
+        args.shards,
         args.seed
     );
 
@@ -353,6 +404,13 @@ fn main() {
         ("errors", json::n(errors.len() as f64)),
         ("retries", json::n(retries as f64)),
         ("drops", json::n(0u32)),
+        ("shards", json::n(args.shards as f64)),
+        (
+            "big_graph_edges",
+            json::n(
+                big_handle.map_or(0, |h| server.graph(h).map_or(0, |g| g.csr.num_edges())) as f64,
+            ),
+        ),
         ("wall_seconds", json::n(wall.as_secs_f64())),
         ("throughput_rps", json::n(throughput)),
         ("latency", lat.to_json()),

@@ -81,6 +81,30 @@ pub fn gpu_fingerprint(cfg: &GpuConfig) -> u64 {
     h.finish()
 }
 
+/// Device-fingerprint extension for sharded servers: folds the partition
+/// spec and the interconnect model into the single-device fingerprint.
+///
+/// Payloads are byte-identical between the sharded and single-device paths
+/// (the `maxwarp-shard` identity contract), but stats and cycle accounting
+/// are not — so sharded and single-device results must never share a cache
+/// entry, on disk (warmup snapshots) or in memory.
+pub fn sharded_fingerprint(
+    base: u64,
+    shards: u32,
+    cut: &str,
+    link: &maxwarp_shard::LinkConfig,
+) -> u64 {
+    let mut h = maxwarp_graph::Fnv64::new();
+    h.u64(base);
+    h.str("shard");
+    h.u32(shards);
+    h.str(cut);
+    h.u64(link.bytes_per_cycle);
+    h.u64(link.latency_cycles);
+    h.u32(link.devices_per_link);
+    h.finish()
+}
+
 /// A cached response body.
 #[derive(Clone, Debug)]
 pub struct CachedResult {
@@ -691,6 +715,20 @@ mod tests {
         c.insert(key(1), result(1));
         assert!(c.get(&key(1)).is_none());
         assert_eq!(c.stats().entries, 0);
+    }
+
+    #[test]
+    fn sharded_fingerprint_separates_every_spec_dimension() {
+        let base = gpu_fingerprint(&GpuConfig::tiny_test());
+        let link = maxwarp_shard::LinkConfig::default();
+        let f4 = sharded_fingerprint(base, 4, "block", &link);
+        assert_ne!(f4, base, "sharded never collides with single-device");
+        assert_ne!(f4, sharded_fingerprint(base, 2, "block", &link));
+        assert_ne!(f4, sharded_fingerprint(base, 4, "degree", &link));
+        let mut slow = link;
+        slow.bytes_per_cycle = 1;
+        assert_ne!(f4, sharded_fingerprint(base, 4, "block", &slow));
+        assert_eq!(f4, sharded_fingerprint(base, 4, "block", &link));
     }
 
     #[test]

@@ -25,6 +25,11 @@ use maxwarp::{
     GpuHybridConfig, Method,
 };
 use maxwarp_graph::Orientation;
+use maxwarp_obs::Registry;
+use maxwarp_shard::{
+    run_bfs_sharded, run_cc_sharded, run_pagerank_sharded, run_sssp_sharded, LinkConfig,
+    MultiDevice, Partition, PartitionSpec, ShardDevice,
+};
 use maxwarp_simt::{DeviceMem, Gpu, GpuConfig};
 
 /// A graph uploaded to a device once, cloned per request.
@@ -57,6 +62,69 @@ impl DeviceTemplate {
     pub fn covers(&self, algo: Algo) -> bool {
         !algo.needs_reverse() || self.rev.is_some()
     }
+}
+
+/// A graph partitioned and uploaded across `N` shard devices once, cloned
+/// into a fresh fleet per request.
+///
+/// The single-device fresh-`Gpu`-per-request rule applies per shard: each
+/// request reconstructs every shard device from the template's memory
+/// image, so allocation offsets — and therefore cycle counts — match a
+/// cold sharded run exactly, keeping cache hits byte-identical.
+pub struct ShardedTemplate {
+    /// The edge-cut partition (host side, immutable).
+    part: Partition,
+    /// Per-shard device memory image after the local-graph upload.
+    mems: Vec<DeviceMem>,
+    /// Per-shard resident local graphs.
+    dgs: Vec<DeviceGraph>,
+}
+
+impl ShardedTemplate {
+    /// Partition `entry` per `spec` and upload each shard's local graph
+    /// (always weighted — SSSP needs weights, the rest ignore them).
+    pub fn build(cfg: &GpuConfig, entry: &GraphEntry, spec: &PartitionSpec) -> ShardedTemplate {
+        let weights = (!entry.weights.is_empty()).then_some(entry.weights.as_slice());
+        let part = Partition::new(&entry.csr, weights, spec);
+        let md = MultiDevice::upload(cfg, part);
+        let MultiDevice { part, devices } = md;
+        let (mems, dgs) = devices
+            .into_iter()
+            .map(|d| (d.gpu.mem.clone(), d.dg))
+            .unzip();
+        ShardedTemplate { part, mems, dgs }
+    }
+
+    /// Shard count.
+    pub fn num_shards(&self) -> u32 {
+        self.mems.len() as u32
+    }
+
+    /// A fresh fleet cloned from the template images. `cfg` may differ
+    /// from the build config only in observers/watchdog (the request
+    /// deadline is composed into it).
+    fn fleet(&self, cfg: &GpuConfig) -> MultiDevice {
+        let devices = self
+            .mems
+            .iter()
+            .zip(&self.dgs)
+            .map(|(mem, dg)| {
+                let mut gpu = Gpu::new(cfg.clone());
+                gpu.mem = mem.clone();
+                ShardDevice { gpu, dg: *dg }
+            })
+            .collect();
+        MultiDevice {
+            part: self.part.clone(),
+            devices,
+        }
+    }
+}
+
+/// Whether the sharded BSP executor implements `algo`. The rest route to
+/// the single-device path even on a sharded server.
+pub fn sharded_supported(algo: Algo) -> bool {
+    matches!(algo, Algo::Bfs | Algo::Sssp | Algo::Cc | Algo::Pagerank)
 }
 
 /// Resolve a query's source vertex, validating explicit ones.
@@ -233,6 +301,73 @@ pub fn execute_labeled(
     Ok((data, run))
 }
 
+/// Run one query on a fresh shard fleet cloned from `template`.
+///
+/// Only the algorithms in [`sharded_supported`] are accepted; the payload
+/// is byte-identical to the single-device driver (the `maxwarp-shard`
+/// identity contract) and the returned [`AlgoRun`] is the merged sharded
+/// record — per-round critical-path cycles including modeled interconnect
+/// time. Shard metrics land on `obs` when given (the scheduler passes the
+/// server registry). `deadline_cycles` bounds each shard device's budget.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_sharded(
+    cfg: &GpuConfig,
+    exec: &ExecConfig,
+    entry: &GraphEntry,
+    template: &ShardedTemplate,
+    query: &Query,
+    method: Method,
+    deadline_cycles: Option<u64>,
+    link: &LinkConfig,
+    obs: Option<&Registry>,
+) -> Result<(ResultData, AlgoRun), ServeError> {
+    let algo = query.algo();
+    if !algo.supports(method) {
+        return Err(ServeError::Unsupported {
+            algo,
+            method: method.spec(),
+        });
+    }
+    assert!(
+        sharded_supported(algo),
+        "scheduler routed {algo} to the sharded path"
+    );
+
+    let mut cfg = cfg.clone();
+    cfg.watchdog.max_cycles = match (cfg.watchdog.max_cycles, deadline_cycles) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    let mut md = template.fleet(&cfg);
+
+    let out = match query {
+        Query::Bfs { src } => {
+            let s = resolve_src(entry, *src)?;
+            let out = run_bfs_sharded(&mut md, s, method, exec, link, obs)?;
+            (ResultData::U32s(out.values), out.run)
+        }
+        Query::Sssp { src } => {
+            let s = resolve_src(entry, *src)?;
+            let out = run_sssp_sharded(&mut md, s, method, exec, link, obs)?;
+            (ResultData::U32s(out.values), out.run)
+        }
+        Query::Cc => {
+            let out = run_cc_sharded(&mut md, method, exec, link, obs)?;
+            (ResultData::U32s(out.values), out.run)
+        }
+        Query::Pagerank { iters, damping } => {
+            if *iters == 0 {
+                return Err(ServeError::BadRequest("pagerank iters must be >= 1".into()));
+            }
+            let out = run_pagerank_sharded(&mut md, *iters, *damping, method, exec, link, obs)?;
+            (ResultData::F32s(out.values), out.run)
+        }
+        _ => unreachable!("sharded_supported() checked above"),
+    };
+    let (data, sr) = out;
+    Ok((data, sr.run))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +422,91 @@ mod tests {
             ResultData::U32Rows(r) => r.len(),
             ResultData::Count(_) => 1,
         }
+    }
+
+    #[test]
+    fn sharded_payloads_match_single_device() {
+        let e = entry();
+        let exec = ExecConfig::default();
+        let t = DeviceTemplate::build(&cfg(), &e, false);
+        let st = ShardedTemplate::build(&cfg(), &e, &PartitionSpec::block(4));
+        let link = LinkConfig::default();
+        let queries = [
+            Query::Bfs { src: None },
+            Query::Sssp { src: None },
+            Query::Cc,
+            Query::Pagerank {
+                iters: 5,
+                damping: 0.85,
+            },
+        ];
+        for q in queries {
+            let (single, _) = execute(&cfg(), &exec, &e, &t, &q, Method::warp(8), None).unwrap();
+            let (sharded, run) = execute_sharded(
+                &cfg(),
+                &exec,
+                &e,
+                &st,
+                &q,
+                Method::warp(8),
+                None,
+                &link,
+                None,
+            )
+            .unwrap();
+            assert_eq!(single, sharded, "{}: payload identity", q.algo());
+            assert!(run.cycles() > 0, "{}: no cycles simulated", q.algo());
+        }
+    }
+
+    #[test]
+    fn sharded_template_runs_are_deterministic() {
+        // Two template runs must agree byte for byte (stats included) —
+        // the property that lets sharded responses be cached.
+        let e = entry();
+        let exec = ExecConfig::default();
+        let st = ShardedTemplate::build(&cfg(), &e, &PartitionSpec::block(2));
+        let link = LinkConfig::default();
+        let q = Query::Bfs { src: None };
+        let run = || {
+            execute_sharded(
+                &cfg(),
+                &exec,
+                &e,
+                &st,
+                &q,
+                Method::warp(8),
+                None,
+                &link,
+                None,
+            )
+            .unwrap()
+        };
+        let (d1, r1) = run();
+        let (d2, r2) = run();
+        assert_eq!(d1, d2);
+        assert_eq!(r1.stats, r2.stats);
+        assert_eq!(r1.iterations, r2.iterations);
+    }
+
+    #[test]
+    fn sharded_deadline_trips_watchdog() {
+        let e = entry();
+        let exec = ExecConfig::default();
+        let st = ShardedTemplate::build(&cfg(), &e, &PartitionSpec::block(2));
+        let err = execute_sharded(
+            &cfg(),
+            &exec,
+            &e,
+            &st,
+            &Query::Cc,
+            Method::Baseline,
+            Some(10),
+            &LinkConfig::default(),
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ServeError::Launch(_)), "got {err:?}");
     }
 
     #[test]

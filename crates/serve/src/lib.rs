@@ -34,6 +34,17 @@
 //! *around* execution: non-degraded responses are byte-identical with the
 //! features on or off.
 //!
+//! A fifth layer — **sharding** — scales individual graphs across `N`
+//! simulated devices: with `MAXWARP_SHARDS > 1`, BFS/SSSP/CC/PageRank
+//! requests run on the [`maxwarp_shard`] multi-device BSP executor behind
+//! a [`ShardedTemplate`] (partition + per-shard uploads paid once per
+//! graph, fresh fleet cloned per request), workers pick work with
+//! graph-affinity, and the cache's device fingerprint folds the partition
+//! spec so sharded and single-device results never collide. Payloads stay
+//! byte-identical to single-device by the `maxwarp-shard` identity
+//! contract; per-request stats carry the merged multi-device record
+//! including modeled interconnect cycles.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -69,6 +80,11 @@
 //! | `MAXWARP_STALE_TTL` | stale-while-revalidate TTL in ms (`0`/`off` disables) |
 //! | `MAXWARP_BREAKER` | circuit-breaker trip threshold in consecutive faults (`0`/`off` disables) |
 //! | `MAXWARP_WARMUP` | cache-warmup snapshot path (unset/`0`/`off` disables) |
+//! | `MAXWARP_SHARDS` | shard devices per graph (default 1 = single-device; >1 routes BFS/SSSP/CC/PageRank to the multi-device BSP executor) |
+//! | `MAXWARP_CUT` | vertex-to-shard cut strategy (`block`/`degree`/`bfs`) |
+//! | `MAXWARP_LINK_BW` | interconnect bandwidth in bytes/cycle (default 16) |
+//! | `MAXWARP_LINK_LAT` | interconnect per-round latency in cycles (default 600) |
+//! | `MAXWARP_LINK_FANOUT` | shard devices sharing one link (default 2) |
 //!
 //! ## Observability
 //!
@@ -93,8 +109,13 @@ pub mod stats;
 pub mod store;
 
 pub use autotune::{probe_methods, probe_one, Choice, ChoiceSource, TuneEntry, Tuner};
-pub use cache::{gpu_fingerprint, CacheKey, CacheStats, CachedResult, Freshness, ResultCache};
-pub use exec::{execute, execute_labeled, DeviceTemplate};
+pub use cache::{
+    gpu_fingerprint, sharded_fingerprint, CacheKey, CacheStats, CachedResult, Freshness,
+    ResultCache,
+};
+pub use exec::{
+    execute, execute_labeled, execute_sharded, sharded_supported, DeviceTemplate, ShardedTemplate,
+};
 pub use metrics::ServeMetrics;
 pub use request::{
     Algo, Priority, Query, Request, Response, ResponseSource, ResultData, ServeError,

@@ -65,8 +65,13 @@
 //! (asserted by `tests/obs_identity.rs` and `tests/resilience.rs`).
 
 use crate::autotune::Tuner;
-use crate::cache::{gpu_fingerprint, CacheKey, CacheStats, CachedResult, Freshness, ResultCache};
-use crate::exec::{execute_labeled, DeviceTemplate};
+use crate::cache::{
+    gpu_fingerprint, sharded_fingerprint, CacheKey, CacheStats, CachedResult, Freshness,
+    ResultCache,
+};
+use crate::exec::{
+    execute_labeled, execute_sharded, sharded_supported, DeviceTemplate, ShardedTemplate,
+};
 use crate::json::{self, Value};
 use crate::metrics::ServeMetrics;
 use crate::request::{Priority, Request, Response, ResponseSource, ResultData, ServeError};
@@ -80,6 +85,7 @@ use maxwarp::{ExecConfig, Method};
 use maxwarp_cpu::FallbackData;
 use maxwarp_graph::{atomic as store_atomic, Csr};
 use maxwarp_obs::{ActiveSpan, Registry, Tracer};
+use maxwarp_shard::{CutStrategy, LinkConfig, PartitionSpec};
 use maxwarp_simt::{GpuConfig, KernelStats, LaunchError, SimtError};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -140,6 +146,18 @@ pub struct ServerConfig {
     pub warmup_path: Option<PathBuf>,
     /// Seeded fault injection for the chaos harness; `None` in production.
     pub chaos: Option<ChaosConfig>,
+    /// Shard devices per graph (`MAXWARP_SHARDS`; default 1 =
+    /// single-device). Above 1, BFS/SSSP/CC/PageRank requests run on the
+    /// multi-device BSP executor (`maxwarp-shard`) — payloads stay
+    /// byte-identical to single-device, the device fingerprint folds the
+    /// partition spec so cache entries never collide, and workers pick
+    /// work with graph affinity. Other algorithms stay single-device.
+    pub shards: u32,
+    /// Vertex-to-shard cut strategy (`MAXWARP_CUT`: `block`/`degree`/`bfs`).
+    pub cut: CutStrategy,
+    /// Interconnect model for the shard fabric (`MAXWARP_LINK_BW` /
+    /// `MAXWARP_LINK_LAT` / `MAXWARP_LINK_FANOUT`).
+    pub link: LinkConfig,
 }
 
 impl ServerConfig {
@@ -179,6 +197,15 @@ impl ServerConfig {
             Err(_) => None,
         };
         cfg.resilience = ResilienceConfig::from_env();
+        if let Ok(v) = std::env::var("MAXWARP_SHARDS") {
+            if let Ok(s) = v.parse::<u32>() {
+                cfg.shards = s.max(1);
+            }
+        }
+        if let Ok(v) = std::env::var("MAXWARP_CUT") {
+            cfg.cut = CutStrategy::parse(&v);
+        }
+        cfg.link = LinkConfig::from_env();
         cfg
     }
 
@@ -202,6 +229,9 @@ impl ServerConfig {
             resilience: ResilienceConfig::default(),
             warmup_path: None,
             chaos: None,
+            shards: 1,
+            cut: CutStrategy::Block,
+            link: LinkConfig::default(),
         }
     }
 }
@@ -414,6 +444,9 @@ struct Inner {
     tuner: Mutex<Tuner>,
     /// Device templates keyed by `(handle, with_reverse)`.
     templates: Mutex<HashMap<(u32, bool), Arc<DeviceTemplate>>>,
+    /// Sharded templates keyed by handle (the cut and shard count are fixed
+    /// per server config). Built only when `cfg.shards > 1`.
+    sharded_templates: Mutex<HashMap<u32, Arc<ShardedTemplate>>>,
     metrics: ServeMetrics,
     tracer: Tracer,
     shutdown: AtomicBool,
@@ -453,7 +486,18 @@ pub struct Server {
 impl Server {
     /// Start the worker pool (and load the warmup snapshot, if configured).
     pub fn start(cfg: ServerConfig) -> Server {
-        let device_fp = gpu_fingerprint(&cfg.gpu);
+        // The device half of every cache key: a sharded server folds the
+        // partition spec and interconnect model in, so sharded and
+        // single-device results (identical payloads, different stats)
+        // never share an entry.
+        let device_fp = {
+            let base = gpu_fingerprint(&cfg.gpu);
+            if cfg.shards > 1 {
+                sharded_fingerprint(base, cfg.shards, cfg.cut.label(), &cfg.link)
+            } else {
+                base
+            }
+        };
         let registry = Registry::new();
         registry.set_enabled(cfg.obs);
         let metrics = ServeMetrics::new(&registry);
@@ -496,6 +540,7 @@ impl Server {
             queue: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
             templates: Mutex::new(HashMap::new()),
+            sharded_templates: Mutex::new(HashMap::new()),
             metrics,
             tracer,
             shutdown: AtomicBool::new(false),
@@ -1110,7 +1155,8 @@ fn worker_loop(inner: &Arc<Inner>, slot: usize) {
                     return;
                 }
                 if !inner.paused.load(Ordering::SeqCst) {
-                    if let Some(first) = q.pop_front() {
+                    let next = pop_affine(&mut q, slot, inner.slots.len(), inner.cfg.shards > 1);
+                    if let Some(first) = next {
                         let batch = extract_batch(&mut q, first, inner.cfg.batch_max);
                         inner.metrics.queue_depth.set(q.len() as u64);
                         break batch;
@@ -1154,6 +1200,24 @@ fn worker_loop(inner: &Arc<Inner>, slot: usize) {
         serve_batch(inner, slot, batch);
         lock(&inner.slots[slot].inflight).clear();
     }
+}
+
+/// Pick the next job for worker `slot`. On a sharded server, workers
+/// prefer the oldest queued job whose graph handle maps to their slot
+/// (graph-affinity placement: the same worker set keeps serving the same
+/// graphs, so a graph's shard-template clones stay off the other workers'
+/// plates). When no affine job is queued the worker takes the queue head —
+/// placement is work-conserving and never idles a worker.
+fn pop_affine(q: &mut VecDeque<Job>, slot: usize, workers: usize, affinity: bool) -> Option<Job> {
+    if affinity && workers > 1 {
+        if let Some(i) = q
+            .iter()
+            .position(|j| j.req.graph.0 as usize % workers == slot)
+        {
+            return q.remove(i);
+        }
+    }
+    q.pop_front()
 }
 
 /// Pull up to `batch_max - 1` additional same-graph jobs out of the queue,
@@ -1428,9 +1492,21 @@ fn serve_one(
         // device rather than fail a request the breaker can't cover.
     }
 
+    // Sharded servers route the BSP-capable algorithms to the multi-device
+    // executor; everything else runs single-device even when sharding is on.
+    let use_sharded = inner.cfg.shards > 1 && sharded_supported(algo);
     let mut template_span = span.child("template");
-    let (template, built) = get_template(inner, req.graph, &entry, algo.needs_reverse());
+    let (template, sharded, built) = if use_sharded {
+        let (t, built) = get_sharded_template(inner, req.graph, &entry);
+        (None, Some(t), built)
+    } else {
+        let (t, built) = get_template(inner, req.graph, &entry, algo.needs_reverse());
+        (Some(t), None, built)
+    };
     template_span.arg("built", if built { "upload" } else { "clone" });
+    if use_sharded {
+        template_span.arg("shards", format!("{}", inner.cfg.shards));
+    }
     template_span.finish();
 
     // Chaos: execution-level injections (inside the per-request unwind
@@ -1461,17 +1537,29 @@ fn serve_one(
     // so device-side launch timelines correlate with this trace.
     let label = (inner.tracer.enabled() && inner.cfg.gpu.profile)
         .then(|| format!("req-{} {} {}", span.id(), algo.label(), method.spec()));
-    let run = catch_unwind(AssertUnwindSafe(|| {
-        execute_labeled(
+    let run = catch_unwind(AssertUnwindSafe(|| match (&template, &sharded) {
+        (_, Some(st)) => execute_sharded(
             &inner.cfg.gpu,
             &inner.cfg.exec,
             &entry,
-            &template,
+            st,
+            &req.query,
+            method,
+            deadline,
+            &inner.cfg.link,
+            Some(inner.metrics.registry()),
+        ),
+        (Some(t), None) => execute_labeled(
+            &inner.cfg.gpu,
+            &inner.cfg.exec,
+            &entry,
+            t,
             &req.query,
             method,
             deadline,
             label.as_deref(),
-        )
+        ),
+        (None, None) => unreachable!("one template variant is always built"),
     }));
     let run = match run {
         Err(p) => {
@@ -1632,6 +1720,27 @@ fn get_template(
     }
     let t = Arc::new(DeviceTemplate::build(&inner.cfg.gpu, entry, needs_reverse));
     templates.insert((handle.0, needs_reverse), Arc::clone(&t));
+    inner.metrics.templates_built.inc();
+    (t, true)
+}
+
+/// Fetch or build the sharded template (partition + per-shard uploads);
+/// the flag reports whether this call paid the partitioning/upload.
+fn get_sharded_template(
+    inner: &Arc<Inner>,
+    handle: GraphHandle,
+    entry: &GraphEntry,
+) -> (Arc<ShardedTemplate>, bool) {
+    let mut templates = lock(&inner.sharded_templates);
+    if let Some(t) = templates.get(&handle.0) {
+        return (Arc::clone(t), false);
+    }
+    let spec = PartitionSpec {
+        shards: inner.cfg.shards,
+        cut: inner.cfg.cut,
+    };
+    let t = Arc::new(ShardedTemplate::build(&inner.cfg.gpu, entry, &spec));
+    templates.insert(handle.0, Arc::clone(&t));
     inner.metrics.templates_built.inc();
     (t, true)
 }

@@ -1,0 +1,97 @@
+//! The sharded serve tier's identity contract: a server with
+//! `shards = N > 1` routes BFS/SSSP/CC/PageRank through the
+//! `maxwarp-shard` multi-device executor, yet every payload is
+//! byte-identical to what a single-device server returns. Cache entries
+//! are keyed under a sharded device fingerprint (no collisions with
+//! single-device results), cache hits replay byte-identically, and
+//! algorithms without a sharded path still serve fine.
+
+use maxwarp_graph::{Dataset, Scale};
+use maxwarp_serve::{Algo, Query, Request, Response, Server, ServerConfig};
+use maxwarp_simt::GpuConfig;
+
+fn server(shards: u32) -> Server {
+    let mut cfg = ServerConfig::for_tests(GpuConfig::tiny_test());
+    cfg.workers = 2; // exercise graph-affinity pickup on the sharded server
+    cfg.shards = shards;
+    Server::start(cfg)
+}
+
+fn run_mix(s: &Server) -> Vec<Response> {
+    let h = s.register_graph("rmat", Dataset::Rmat.build(Scale::Tiny));
+    [
+        Query::canonical(Algo::Bfs),
+        Query::canonical(Algo::Sssp),
+        Query::canonical(Algo::Pagerank),
+        Query::canonical(Algo::Cc),
+    ]
+    .iter()
+    .map(|q| {
+        s.call(Request::new(h, q.clone()))
+            .expect("mix query must succeed")
+    })
+    .collect()
+}
+
+#[test]
+fn sharded_server_payloads_match_single_device() {
+    for shards in [2u32, 4] {
+        let single = server(1);
+        let sharded = server(shards);
+        let a = run_mix(&single);
+        let b = run_mix(&sharded);
+        assert_eq!(a.len(), b.len());
+        for (ra, rb) in a.iter().zip(&b) {
+            // Payloads are byte-identical; merged multi-device stats are
+            // deterministic but not comparable to a single device's.
+            assert_eq!(ra.data, rb.data, "payload must survive sharding");
+            assert_eq!(ra.method, rb.method);
+        }
+        single.shutdown();
+        sharded.shutdown();
+    }
+}
+
+#[test]
+fn sharded_fingerprint_keeps_cache_spaces_apart() {
+    let single = server(1);
+    let sharded = server(4);
+    assert_ne!(
+        single.device_fingerprint(),
+        sharded.device_fingerprint(),
+        "sharded and single-device results must never share cache keys"
+    );
+    single.shutdown();
+    sharded.shutdown();
+}
+
+#[test]
+fn sharded_cache_hit_replays_byte_identically() {
+    let s = server(4);
+    let h = s.register_graph("rmat", Dataset::Rmat.build(Scale::Tiny));
+    let req = Request::new(h, Query::canonical(Algo::Pagerank));
+    let cold = s.call(req.clone()).expect("cold run");
+    let warm = s.call(req).expect("cache hit");
+    assert!(!cold.cached && warm.cached);
+    assert_eq!(cold.data, warm.data);
+    assert_eq!(cold.stats, warm.stats, "hits replay merged stats verbatim");
+    assert_eq!(cold.iterations, warm.iterations);
+    s.shutdown();
+}
+
+#[test]
+fn non_shardable_algo_still_serves_on_sharded_server() {
+    let single = server(1);
+    let sharded = server(4);
+    let q = Query::canonical(Algo::Kcore);
+    let hs = single.register_graph("rmat", Dataset::Rmat.build(Scale::Tiny));
+    let hm = sharded.register_graph("rmat", Dataset::Rmat.build(Scale::Tiny));
+    let a = single.call(Request::new(hs, q.clone())).expect("single");
+    let b = sharded.call(Request::new(hm, q)).expect("sharded server");
+    // K-core has no sharded path: it transparently runs single-device,
+    // so even the stats match.
+    assert_eq!(a.data, b.data);
+    assert_eq!(a.stats, b.stats);
+    single.shutdown();
+    sharded.shutdown();
+}

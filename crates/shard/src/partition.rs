@@ -1,0 +1,402 @@
+//! Edge-cut graph partitioning for multi-device execution.
+//!
+//! A [`Partition`] splits a CSR graph into `N` shards. Every vertex has
+//! exactly one **owner** shard; a shard's local graph holds its owned
+//! vertices (local ids `0..n_owned`, assigned in ascending global-id
+//! order) followed by **ghost** slots — remote endpoints of cut edges,
+//! appended in first-encounter order with *empty* adjacency rows. Edges
+//! stay with the owner of their source vertex, in the original CSR order,
+//! so per-edge weights remap one-to-one and the `N = 1` partition
+//! reproduces the input CSR exactly.
+//!
+//! Owners come from a contiguous range split of a relabeling permutation
+//! ([`CutStrategy`]): `owner(v) = perm[v] / ceil(n / N)`. The strategies
+//! reuse the orderings from [`maxwarp_graph::permute`] — `Block` keeps the
+//! native order, `Degree` packs hubs together (adversarial: one shard gets
+//! the heavy tail), `Bfs` keeps discovery-order neighborhoods together
+//! (locality-preserving, fewest cut edges on meshes).
+
+use maxwarp_graph::{bfs_permutation, degree_sort_permutation, partitioned_key, Csr};
+
+/// How vertices are assigned to shards (which relabeling the contiguous
+/// range split is applied to).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CutStrategy {
+    /// Native vertex order: shard `s` owns the contiguous id range
+    /// `[s*chunk, (s+1)*chunk)`.
+    Block,
+    /// Degree-descending order: hubs cluster on the first shard.
+    Degree,
+    /// BFS discovery order from the max-degree vertex.
+    Bfs,
+}
+
+impl CutStrategy {
+    /// Stable label, used in cache keys and bench output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CutStrategy::Block => "block",
+            CutStrategy::Degree => "degree",
+            CutStrategy::Bfs => "bfs",
+        }
+    }
+
+    /// Parse a label (as accepted by `MAXWARP_CUT`); unknown labels fall
+    /// back to `Block`.
+    pub fn parse(s: &str) -> CutStrategy {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "degree" => CutStrategy::Degree,
+            "bfs" => CutStrategy::Bfs,
+            _ => CutStrategy::Block,
+        }
+    }
+
+    /// The owner permutation for `g` (`perm[old] = new`).
+    fn permutation(&self, g: &Csr) -> Option<Vec<u32>> {
+        match self {
+            CutStrategy::Block => None, // identity
+            CutStrategy::Degree => Some(degree_sort_permutation(g)),
+            CutStrategy::Bfs => {
+                let src = (0..g.num_vertices())
+                    .max_by_key(|&v| g.degree(v))
+                    .unwrap_or(0);
+                Some(bfs_permutation(g, src))
+            }
+        }
+    }
+}
+
+/// Everything that determines a partition's shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PartitionSpec {
+    /// Number of shards (devices).
+    pub shards: u32,
+    /// Vertex-to-shard assignment strategy.
+    pub cut: CutStrategy,
+}
+
+impl PartitionSpec {
+    /// A block cut over `shards` devices.
+    pub fn block(shards: u32) -> PartitionSpec {
+        PartitionSpec {
+            shards,
+            cut: CutStrategy::Block,
+        }
+    }
+
+    /// The graph-cache key for shard `shard` of a graph whose whole-graph
+    /// recipe key is `base` (see [`maxwarp_graph::cache::partitioned_key`]).
+    pub fn cache_key(&self, base: &str, shard: u32) -> String {
+        partitioned_key(base, self.shards, self.cut.label(), shard)
+    }
+}
+
+/// A remote vertex referenced by a shard's cut edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ghost {
+    /// Global vertex id.
+    pub global: u32,
+    /// Owning shard.
+    pub owner: u32,
+    /// Local id within the owning shard.
+    pub owner_local: u32,
+}
+
+/// One shard of a partitioned graph.
+#[derive(Clone, Debug)]
+pub struct Shard {
+    /// Global ids of owned vertices, ascending; index = local id.
+    pub owned: Vec<u32>,
+    /// Ghost table; ghost `i` has local id `n_owned + i`.
+    pub ghosts: Vec<Ghost>,
+    /// Local CSR: `n_owned` real rows then one empty row per ghost.
+    pub local: Csr,
+    /// Per-edge weights aligned with `local`, when the input was weighted.
+    pub weights: Option<Vec<u32>>,
+}
+
+impl Shard {
+    /// Number of owned (non-ghost) vertices.
+    pub fn n_owned(&self) -> u32 {
+        self.owned.len() as u32
+    }
+
+    /// Total local vertex slots (owned + ghosts).
+    pub fn n_local(&self) -> u32 {
+        self.owned.len() as u32 + self.ghosts.len() as u32
+    }
+
+    /// Global id of local slot `l`.
+    pub fn global_of(&self, l: u32) -> u32 {
+        let no = self.owned.len() as u32;
+        if l < no {
+            self.owned[l as usize]
+        } else {
+            self.ghosts[(l - no) as usize].global
+        }
+    }
+}
+
+/// An edge-cut partition of one graph.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// The spec this partition was built from.
+    pub spec: PartitionSpec,
+    /// Global vertex count.
+    pub n: u32,
+    /// Global edge count.
+    pub m: u64,
+    /// `owner[v]` = shard owning global vertex `v`.
+    pub owner: Vec<u32>,
+    /// `local_id[v]` = local id of `v` within its owner shard.
+    pub local_id: Vec<u32>,
+    /// The shards, indexed by shard id. Shards may be empty when `n <
+    /// spec.shards`.
+    pub shards: Vec<Shard>,
+}
+
+impl Partition {
+    /// Partition `g` (with optional per-edge `weights`) per `spec`.
+    pub fn new(g: &Csr, weights: Option<&[u32]>, spec: &PartitionSpec) -> Partition {
+        assert!(spec.shards >= 1, "need at least one shard");
+        if let Some(w) = weights {
+            assert_eq!(w.len() as u64, g.num_edges(), "one weight per edge");
+        }
+        let n = g.num_vertices();
+        let nshards = spec.shards;
+        let chunk = n.div_ceil(nshards).max(1);
+        let perm = spec.cut.permutation(g);
+        let owner_of = |v: u32| -> u32 {
+            let key = match &perm {
+                Some(p) => p[v as usize],
+                None => v,
+            };
+            (key / chunk).min(nshards - 1)
+        };
+
+        let owner: Vec<u32> = (0..n).map(owner_of).collect();
+        // Owned lists in ascending global order: a single counting pass
+        // over 0..n appends each vertex to its owner, already sorted.
+        let mut owned: Vec<Vec<u32>> = vec![Vec::new(); nshards as usize];
+        let mut local_id = vec![0u32; n as usize];
+        for v in 0..n {
+            let s = owner[v as usize] as usize;
+            local_id[v as usize] = owned[s].len() as u32;
+            owned[s].push(v);
+        }
+
+        let mut shards = Vec::with_capacity(nshards as usize);
+        for (s, owned_s) in owned.into_iter().enumerate() {
+            // Walk owned rows in local-id order; cut-edge targets become
+            // ghosts in first-encounter order.
+            let mut ghosts: Vec<Ghost> = Vec::new();
+            let mut ghost_slot: std::collections::HashMap<u32, u32> =
+                std::collections::HashMap::new();
+            let n_owned = owned_s.len() as u32;
+            let mut row_offsets = Vec::with_capacity(owned_s.len() + 1);
+            let mut col = Vec::new();
+            let mut wts: Option<Vec<u32>> = weights.map(|_| Vec::new());
+            row_offsets.push(0u32);
+            for &u in &owned_s {
+                let row = g.neighbors(u);
+                let base = g.row_offsets()[u as usize];
+                for (k, &v) in row.iter().enumerate() {
+                    let tgt = if owner[v as usize] as usize == s {
+                        local_id[v as usize]
+                    } else {
+                        *ghost_slot.entry(v).or_insert_with(|| {
+                            let slot = n_owned + ghosts.len() as u32;
+                            ghosts.push(Ghost {
+                                global: v,
+                                owner: owner[v as usize],
+                                owner_local: local_id[v as usize],
+                            });
+                            slot
+                        })
+                    };
+                    col.push(tgt);
+                    if let Some(w) = &mut wts {
+                        w.push(weights.unwrap_or(&[])[(base as usize) + k]);
+                    }
+                }
+                row_offsets.push(col.len() as u32);
+            }
+            // Ghost rows are empty.
+            for _ in 0..ghosts.len() {
+                row_offsets.push(col.len() as u32);
+            }
+            shards.push(Shard {
+                owned: owned_s,
+                ghosts,
+                local: Csr::from_raw(row_offsets, col),
+                weights: wts,
+            });
+        }
+
+        Partition {
+            spec: *spec,
+            n,
+            m: g.num_edges(),
+            owner,
+            local_id,
+            shards,
+        }
+    }
+
+    /// Total cut edges (edges whose target lives on another shard).
+    pub fn cut_edges(&self) -> u64 {
+        let mut cut = 0u64;
+        for sh in &self.shards {
+            let no = sh.n_owned();
+            for &t in sh.local.col_indices() {
+                if t >= no {
+                    cut += 1;
+                }
+            }
+        }
+        cut
+    }
+
+    /// Total ghost slots across shards (each counted once per shard that
+    /// references the vertex).
+    pub fn ghost_slots(&self) -> u64 {
+        self.shards.iter().map(|s| s.ghosts.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxwarp_graph::{hub_graph, random_weights, rmat, Dataset, RmatConfig, Scale};
+
+    fn small_rmat() -> Csr {
+        let mut g = rmat(&RmatConfig::classic(9, 8, 7));
+        g.sort_neighbors();
+        g
+    }
+
+    fn check_invariants(g: &Csr, p: &Partition) {
+        let n = g.num_vertices();
+        assert_eq!(p.n, n);
+        assert_eq!(p.m, g.num_edges());
+        // Every vertex owned exactly once, local ids consistent.
+        let mut seen = vec![false; n as usize];
+        for (s, sh) in p.shards.iter().enumerate() {
+            let mut prev: Option<u32> = None;
+            for (l, &v) in sh.owned.iter().enumerate() {
+                assert_eq!(p.owner[v as usize] as usize, s);
+                assert_eq!(p.local_id[v as usize] as usize, l);
+                if let Some(pv) = prev {
+                    assert!(pv < v, "owned ids ascending");
+                }
+                prev = Some(v);
+                assert!(!seen[v as usize]);
+                seen[v as usize] = true;
+            }
+            // Ghost rows are empty; ghost records point at real slots.
+            let no = sh.n_owned();
+            for (gi, gh) in sh.ghosts.iter().enumerate() {
+                assert_ne!(gh.owner as usize, s, "ghosts are remote");
+                assert_eq!(p.owner[gh.global as usize], gh.owner);
+                assert_eq!(p.local_id[gh.global as usize], gh.owner_local);
+                assert_eq!(sh.local.degree(no + gi as u32), 0, "ghost rows empty");
+                assert_eq!(sh.global_of(no + gi as u32), gh.global);
+            }
+        }
+        assert!(seen.iter().all(|&x| x), "every vertex owned");
+        // Edge multiset preserved: map each local edge back to global.
+        let mut want: Vec<(u32, u32)> = g.edges().collect();
+        let mut got = Vec::new();
+        for sh in &p.shards {
+            for u in 0..sh.n_owned() {
+                for &t in sh.local.neighbors(u) {
+                    got.push((sh.global_of(u), sh.global_of(t)));
+                }
+            }
+        }
+        want.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(want, got, "edges survive the round-trip");
+    }
+
+    #[test]
+    fn invariants_hold_across_cuts_and_counts() {
+        let g = Dataset::Rmat.build(Scale::Tiny);
+        for shards in [1u32, 2, 3, 4, 8] {
+            for cut in [CutStrategy::Block, CutStrategy::Degree, CutStrategy::Bfs] {
+                let p = Partition::new(&g, None, &PartitionSpec { shards, cut });
+                check_invariants(&g, &p);
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_reproduces_the_input() {
+        let g = small_rmat();
+        let w = random_weights(&g, 63, 5);
+        for cut in [CutStrategy::Block, CutStrategy::Degree, CutStrategy::Bfs] {
+            let p = Partition::new(&g, Some(&w), &PartitionSpec { shards: 1, cut });
+            assert_eq!(p.shards[0].local, g, "{}", cut.label());
+            assert_eq!(p.shards[0].weights.as_deref(), Some(&w[..]));
+            assert!(p.shards[0].ghosts.is_empty());
+        }
+    }
+
+    #[test]
+    fn weights_follow_their_edges() {
+        let g = hub_graph(64, 4, 12, 3, 5);
+        let w = random_weights(&g, 63, 9);
+        let p = Partition::new(&g, Some(&w), &PartitionSpec::block(4));
+        // Each global edge's weight must appear on the owner shard at the
+        // position of the corresponding local edge.
+        for sh in &p.shards {
+            let sw = sh.weights.as_ref().unwrap();
+            let mut k = 0usize;
+            for u in 0..sh.n_owned() {
+                let gu = sh.global_of(u);
+                let base = g.row_offsets()[gu as usize] as usize;
+                for (i, _) in sh.local.neighbors(u).iter().enumerate() {
+                    assert_eq!(sw[k], w[base + i]);
+                    k += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_shards_when_more_shards_than_vertices() {
+        let g = Csr::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let p = Partition::new(&g, None, &PartitionSpec::block(8));
+        check_invariants(&g, &p);
+        let empty = p.shards.iter().filter(|s| s.owned.is_empty()).count();
+        assert!(empty >= 3, "8 shards over 5 vertices leaves empties");
+    }
+
+    #[test]
+    fn degree_cut_packs_hubs_on_shard_zero() {
+        let g = hub_graph(256, 2, 64, 2, 1);
+        let p = Partition::new(
+            &g,
+            None,
+            &PartitionSpec {
+                shards: 4,
+                cut: CutStrategy::Degree,
+            },
+        );
+        check_invariants(&g, &p);
+        let hub = (0..256u32).max_by_key(|&v| g.degree(v)).unwrap();
+        assert_eq!(p.owner[hub as usize], 0, "hubs land on shard 0");
+    }
+
+    #[test]
+    fn cache_keys_embed_the_spec() {
+        let spec = PartitionSpec {
+            shards: 4,
+            cut: CutStrategy::Degree,
+        };
+        let k = spec.cache_key("rmat-Tiny-seed1-v1", 2);
+        assert!(k.contains("part4xdegree"));
+        assert!(k.ends_with("#2"));
+        assert_ne!(k, spec.cache_key("rmat-Tiny-seed1-v1", 3));
+    }
+}
